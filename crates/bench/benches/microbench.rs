@@ -1,0 +1,186 @@
+//! Criterion microbenchmarks of the hot kernels: the plane-sweep variants
+//! (partition merge), the spatial partitioning function, Hilbert/Z-order
+//! keys, R*-tree probes, and the refinement predicates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use pbsm_datagen::tiger::{self, TigerConfig};
+use pbsm_datagen::UNIVERSE;
+use pbsm_geom::predicates::{evaluate, RefineOptions, SpatialPredicate};
+use pbsm_geom::sweep::{nested_loop_join, sort_by_xl, sweep_join, sweep_join_interval, Tagged};
+use pbsm_geom::{hilbert, zorder, Geometry, Rect};
+use pbsm_join::partition::{PartitionHistogram, TileGrid, TileMapScheme};
+use pbsm_rtree::bulk::bulk_load;
+use pbsm_rtree::query::window_query;
+use pbsm_storage::buffer::BufferPool;
+use pbsm_storage::disk::{DiskModel, SimDisk};
+use pbsm_storage::{FileId, Oid, PAGE_SIZE};
+use std::hint::black_box;
+
+fn tagged_rects(n: usize, seed: u64) -> Vec<Tagged> {
+    let mut state = seed;
+    let mut rnd = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
+    };
+    let mut v: Vec<Tagged> = (0..n)
+        .map(|i| {
+            let x = rnd() * 100.0;
+            let y = rnd() * 100.0;
+            (Rect::new(x, y, x + rnd() * 0.5, y + rnd() * 0.5), i as u32)
+        })
+        .collect();
+    sort_by_xl(&mut v);
+    v
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rect_sweep");
+    g.sample_size(20);
+    for n in [1_000usize, 10_000] {
+        let a = tagged_rects(n, 3);
+        let b = tagged_rects(n, 7);
+        g.bench_with_input(BenchmarkId::new("nested_scan", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut hits = 0u64;
+                sweep_join(&a, &b, |_, _| hits += 1);
+                black_box(hits)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("interval_tree", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut hits = 0u64;
+                sweep_join_interval(&a, &b, |_, _| hits += 1);
+                black_box(hits)
+            })
+        });
+        if n <= 1_000 {
+            g.bench_with_input(BenchmarkId::new("nested_loop_reference", n), &n, |bch, _| {
+                bch.iter(|| {
+                    let mut hits = 0u64;
+                    nested_loop_join(&a, &b, |_, _| hits += 1);
+                    black_box(hits)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition_function");
+    g.sample_size(20);
+    let cfg = TigerConfig::scaled(0.05);
+    let mbrs: Vec<Rect> = tiger::road(&cfg).iter().map(|t| t.geom.mbr()).collect();
+    for tiles in [64usize, 1024, 4096] {
+        let grid = TileGrid::new(UNIVERSE, tiles);
+        g.bench_with_input(BenchmarkId::new("hash_16_parts", tiles), &tiles, |bch, _| {
+            bch.iter(|| {
+                black_box(PartitionHistogram::build(
+                    &grid,
+                    TileMapScheme::Hash,
+                    16,
+                    mbrs.iter().copied(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_curves(c: &mut Criterion) {
+    let mut g = c.benchmark_group("space_filling_curves");
+    let u = Rect::new(0.0, 0.0, 100.0, 100.0);
+    let rects: Vec<Rect> = tagged_rects(10_000, 11).into_iter().map(|(r, _)| r).collect();
+    g.bench_function("hilbert_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in &rects {
+                acc = acc.wrapping_add(hilbert::hilbert_of_rect(&u, r));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("zorder_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in &rects {
+                acc = acc.wrapping_add(zorder::z_of_rect(&u, r));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_rtree_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtree");
+    g.sample_size(20);
+    let pool = BufferPool::new(1024 * PAGE_SIZE, SimDisk::new(DiskModel::default()));
+    let entries: Vec<(Rect, Oid)> = tagged_rects(50_000, 5)
+        .into_iter()
+        .map(|(r, i)| (r, Oid::new(FileId(1), i, 0)))
+        .collect();
+    let u = Rect::new(0.0, 0.0, 101.0, 101.0);
+    let tree = bulk_load(&pool, entries.clone(), &u, pbsm_rtree::DEFAULT_CAPACITY, false).unwrap();
+    let probes = tagged_rects(200, 13);
+    g.bench_function("window_probe_50k", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut total = 0usize;
+            for (w, _) in &probes {
+                out.clear();
+                window_query(&tree, &pool, w, &mut out).unwrap();
+                total += out.len();
+            }
+            black_box(total)
+        })
+    });
+    g.bench_function("bulk_load_50k", |b| {
+        b.iter_batched(
+            || entries.clone(),
+            |e| {
+                black_box(
+                    bulk_load(&pool, e, &u, pbsm_rtree::DEFAULT_CAPACITY, false).unwrap(),
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_refinement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("refinement_predicates");
+    let cfg = TigerConfig::scaled(0.01);
+    let roads: Vec<Geometry> =
+        tiger::road(&cfg).into_iter().take(200).map(|t| t.geom).collect();
+    let hydro: Vec<Geometry> =
+        tiger::hydrography(&cfg).into_iter().take(200).map(|t| t.geom).collect();
+    for (name, sweep) in [("plane_sweep", true), ("naive", false)] {
+        let opts = RefineOptions { plane_sweep: sweep, mer_filter: false };
+        g.bench_function(format!("polyline_intersect_{name}"), |b| {
+            b.iter(|| {
+                let mut hits = 0u64;
+                for r in &roads {
+                    for h in &hydro {
+                        if evaluate(SpatialPredicate::Intersects, r, h, &opts) {
+                            hits += 1;
+                        }
+                    }
+                }
+                black_box(hits)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sweep,
+    bench_partitioning,
+    bench_curves,
+    bench_rtree_probe,
+    bench_refinement
+);
+criterion_main!(benches);

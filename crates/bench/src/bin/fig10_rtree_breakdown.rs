@@ -1,0 +1,15 @@
+//! Figure 10: R-tree based join cost breakdown, clustered vs
+//! non-clustered, per buffer-pool size.
+//!
+//! Paper's findings to reproduce: clustering slashes the index-building
+//! cost (the Hilbert sort is skipped) and the refinement cost (S fetches
+//! scan a small window), but leaves the tree-joining cost unchanged (the
+//! bulk loader builds identical trees either way).
+
+fn main() {
+    pbsm_bench::breakdown_figure(
+        "fig10_rtree_breakdown",
+        "Figure 10: R-tree based join breakdown, Road ⋈ Hydrography",
+        pbsm_bench::Algorithm::RtreeJoin,
+    );
+}

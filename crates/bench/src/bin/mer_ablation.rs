@@ -1,0 +1,47 @@
+//! §4.4 discussion: the \[BKSS94\] multi-step refinement. "each polygon
+//! could store its minimum bounding rectangle (MBR), and a maximal
+//! enclosed rectangle (MER)… If these techniques were implemented, the
+//! relative performance of the PBSM algorithm would improve."
+//!
+//! Runs the Sequoia containment query with and without stored MERs and
+//! measures the refinement speedup (the paper cites "an order of
+//! magnitude in many cases" for the exact-geometry test it short-cuts).
+
+use pbsm_bench::{secs, sequoia_db, sequoia_spec, Report};
+use pbsm_geom::predicates::RefineOptions;
+use pbsm_join::JoinConfig;
+
+fn main() {
+    let mut report = Report::new(
+        "mer_ablation",
+        "§4.4: MER pre-filter for containment refinement (Sequoia, 8 MB pool)",
+    );
+    let spec = sequoia_spec();
+    let mut rows = Vec::new();
+    let mut cpu = [0.0f64; 2];
+    let mut results = [0u64; 2];
+    for (i, use_mer) in [false, true].into_iter().enumerate() {
+        let db = sequoia_db(8, use_mer);
+        let config = JoinConfig {
+            refine: RefineOptions { plane_sweep: true, mer_filter: use_mer },
+            ..JoinConfig::for_db(&db)
+        };
+        let out = pbsm_join::pbsm::pbsm_join(&db, &spec, &config).unwrap();
+        let refine = out.report.component("refinement step").unwrap();
+        cpu[i] = refine.cpu_s;
+        results[i] = out.stats.results;
+        rows.push(vec![
+            (if use_mer { "with stored MER" } else { "exact only" }).to_string(),
+            secs(refine.cpu_s),
+            format!("{}", out.stats.results),
+        ]);
+    }
+    report.table(&["refinement variant", "refine cpu s (native)", "results"], &rows);
+    report.blank();
+    assert_eq!(results[0], results[1], "MER filter changed the answer!");
+    report.line(&format!(
+        "refinement speedup from stored MERs: {:.1}x — answers identical ✓",
+        cpu[0] / cpu[1].max(1e-12)
+    ));
+    report.save();
+}

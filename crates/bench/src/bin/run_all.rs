@@ -1,0 +1,67 @@
+//! Runs every figure/table harness in sequence, collecting all outputs
+//! under `bench_results/`. This is the one command that regenerates the
+//! paper's entire evaluation section:
+//!
+//! ```text
+//! cargo run --release -p pbsm-bench --bin run_all
+//! ```
+//!
+//! Use `PBSM_SCALE=0.05` for a quick smoke pass.
+
+use std::process::Command;
+
+const HARNESSES: &[&str] = &[
+    "table02_tiger_stats",
+    "table03_sequoia_stats",
+    "fig04_partition_balance",
+    "fig05_replication_tiger",
+    "fig06_replication_sequoia",
+    "fig07_tiger_road_hydro",
+    "fig08_tiger_road_rail",
+    "fig09_clustered_road_hydro",
+    "fig10_rtree_breakdown",
+    "fig11_inl_breakdown",
+    "fig12_pbsm_breakdown",
+    "fig13_sequoia",
+    "fig14_indices_road_hydro",
+    "fig15_indices_road_rail",
+    "table04_cost_breakdown",
+    "bulkload_vs_insert",
+    "tiles_ablation",
+    "refinement_sweep_ablation",
+    "mer_ablation",
+    "sweep_variants",
+    "sorted_flush_ablation",
+    "skew_ablation",
+    "parallel_scaling",
+    "pd_clustered_road_rail",
+    "pd_sequoia_indices",
+];
+
+fn main() {
+    let self_path = std::env::current_exe().expect("current exe");
+    let bin_dir = self_path.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    let t0 = std::time::Instant::now();
+    for name in HARNESSES {
+        println!("\n================ {name} ================");
+        let status = Command::new(bin_dir.join(name)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("!! {name} failed: {other:?}");
+                failures.push(*name);
+            }
+        }
+    }
+    println!(
+        "\nran {} harnesses in {:.0}s; {} failed{}",
+        HARNESSES.len(),
+        t0.elapsed().as_secs_f64(),
+        failures.len(),
+        if failures.is_empty() { String::new() } else { format!(": {failures:?}") }
+    );
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Table 3: Sequoia data — #objects, total size, R*-tree size.
+//!
+//! Paper's rows: Polygon 58,115 / 21.9 MB (avg 46 pts); Island 20,256
+//! (avg 35 pts). The query result is 25,260 tuples / 30.8 MB.
+
+use pbsm_bench::Report;
+use pbsm_datagen::sequoia::{self, SequoiaConfig};
+use pbsm_datagen::DatasetStats;
+use pbsm_join::loader::{build_index, load_relation};
+use pbsm_storage::{Db, DbConfig};
+
+fn main() {
+    let mut report = Report::new("table03_sequoia_stats", "Table 3: Sequoia data");
+    let cfg = SequoiaConfig { scale: pbsm_bench::scale(), ..SequoiaConfig::default() };
+    let (polys, islands) = sequoia::generate(&cfg);
+    let db = Db::new(DbConfig::with_pool_mb(16));
+
+    let mut rows = Vec::new();
+    for (name, tuples, paper) in [
+        ("Polygon", &polys, "58,115 / 21.9 MB / avg 46 pts"),
+        ("Island", &islands, "20,256 / avg 35 pts"),
+    ] {
+        let stats = DatasetStats::from_tuples(name, tuples);
+        let meta = load_relation(&db, name, tuples, false).unwrap();
+        let tree = build_index(&db, &meta).unwrap();
+        rows.push(vec![
+            name.to_string(),
+            format!("{}", stats.count),
+            format!("{:.1} MB", meta.bytes as f64 / (1024.0 * 1024.0)),
+            format!("{:.1} MB", tree.bytes(db.pool()) as f64 / (1024.0 * 1024.0)),
+            format!("{:.1}", stats.avg_points),
+            paper.to_string(),
+        ]);
+    }
+    report.table(
+        &["data", "#objects", "heap size", "R*-tree size", "avg pts", "paper"],
+        &rows,
+    );
+
+    // The query's result size, for the 25,260-tuple cross-check.
+    let spec = pbsm_bench::sequoia_spec();
+    let db2 = pbsm_bench::sequoia_db(16, false);
+    let out = pbsm_join::pbsm::pbsm_join(&db2, &spec, &pbsm_join::JoinConfig::for_db(&db2)).unwrap();
+    report.blank();
+    report.line(&format!(
+        "landuse ⋈ islands containment result: {} pairs (paper: 25,260)",
+        out.stats.results
+    ));
+    report.save();
+}

@@ -1,0 +1,430 @@
+//! Shared harness machinery for the figure/table reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation section (see DESIGN.md §4 for the index). They share
+//! the workload builders, the result-table formatter, and the environment
+//! knobs defined here:
+//!
+//! * `PBSM_SCALE` — workload scale factor (default 1.0, the paper's full
+//!   cardinalities). Set e.g. `PBSM_SCALE=0.05` for quick smoke runs.
+//! * `PBSM_POOLS` — comma-separated buffer-pool sizes in MB (default
+//!   `2,8,24`, the paper's x-axis).
+//! * `PBSM_CPU_SCALE` — native→1996 CPU calibration factor (see
+//!   `pbsm_join::cost`).
+//!
+//! Output goes to stdout and to `bench_results/<name>.txt`.
+
+use pbsm_datagen::sequoia::{self, SequoiaConfig};
+use pbsm_datagen::tiger::{self, TigerConfig};
+use pbsm_geom::predicates::SpatialPredicate;
+use pbsm_join::loader::{load_relation, spatial_sort};
+use pbsm_join::{JoinConfig, JoinOutcome, JoinSpec};
+use pbsm_storage::{Db, DbConfig};
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+/// Workload scale factor from `PBSM_SCALE` (default 1.0). Warns on an
+/// unparseable value rather than silently running at full scale.
+pub fn scale() -> f64 {
+    match std::env::var("PBSM_SCALE") {
+        Err(_) => 1.0,
+        Ok(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("warning: ignoring unparseable PBSM_SCALE={v:?}; using 1.0");
+            1.0
+        }),
+    }
+}
+
+/// Buffer-pool sizes in MB from `PBSM_POOLS` (default the paper's
+/// 2, 8, 24).
+pub fn pool_sizes_mb() -> Vec<usize> {
+    std::env::var("PBSM_POOLS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![2, 8, 24])
+}
+
+/// The native→1996 CPU calibration factor (see `pbsm_join::cost`).
+pub fn cpu_scale() -> f64 {
+    pbsm_join::cost::cpu_scale()
+}
+
+/// Which TIGER relations to load.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum TigerSet {
+    RoadHydro,
+    RoadRail,
+}
+
+/// Builds a fresh database with TIGER data loaded (and nothing cached:
+/// the pool is cooled after loading, so measured runs start cold).
+pub fn tiger_db(pool_mb: usize, set: TigerSet, clustered: bool) -> Db {
+    tiger_db_scaled(pool_mb, set, clustered, scale())
+}
+
+/// [`tiger_db`] with an explicit scale (tests use this to avoid mutating
+/// the process-global `PBSM_SCALE`).
+pub fn tiger_db_scaled(pool_mb: usize, set: TigerSet, clustered: bool, scale: f64) -> Db {
+    let db = Db::new(DbConfig::with_pool_mb(pool_mb));
+    let cfg = TigerConfig::scaled(scale);
+    let mut road = tiger::road(&cfg);
+    let mut other = match set {
+        TigerSet::RoadHydro => tiger::hydrography(&cfg),
+        TigerSet::RoadRail => tiger::rail(&cfg),
+    };
+    if clustered {
+        spatial_sort(&mut road);
+        spatial_sort(&mut other);
+    }
+    load_relation(&db, "road", &road, clustered).unwrap();
+    let name = match set {
+        TigerSet::RoadHydro => "hydrography",
+        TigerSet::RoadRail => "rail",
+    };
+    load_relation(&db, name, &other, clustered).unwrap();
+    db.pool().clear_cache().unwrap();
+    db
+}
+
+/// Builds a fresh database with the Sequoia polygons + islands loaded.
+pub fn sequoia_db(pool_mb: usize, with_mer: bool) -> Db {
+    let db = Db::new(DbConfig::with_pool_mb(pool_mb));
+    let cfg = SequoiaConfig { scale: scale(), with_mer, ..SequoiaConfig::default() };
+    let (polys, islands) = sequoia::generate(&cfg);
+    load_relation(&db, "landuse", &polys, false).unwrap();
+    load_relation(&db, "islands", &islands, false).unwrap();
+    db.pool().clear_cache().unwrap();
+    db
+}
+
+/// The join spec of the given TIGER query.
+pub fn tiger_spec(set: TigerSet) -> JoinSpec {
+    match set {
+        TigerSet::RoadHydro => {
+            JoinSpec::new("road", "hydrography", SpatialPredicate::Intersects)
+        }
+        TigerSet::RoadRail => JoinSpec::new("road", "rail", SpatialPredicate::Intersects),
+    }
+}
+
+/// The Sequoia containment query.
+pub fn sequoia_spec() -> JoinSpec {
+    JoinSpec::new("landuse", "islands", SpatialPredicate::Contains)
+}
+
+/// The three algorithms of the study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    Pbsm,
+    RtreeJoin,
+    Inl,
+}
+
+impl Algorithm {
+    pub const ALL: [Algorithm; 3] = [Algorithm::Pbsm, Algorithm::RtreeJoin, Algorithm::Inl];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Pbsm => "PBSM Join",
+            Algorithm::RtreeJoin => "R-tree Based Join",
+            Algorithm::Inl => "Idx. Nested Loops",
+        }
+    }
+
+    /// Runs this algorithm.
+    pub fn run(self, db: &Db, spec: &JoinSpec, config: &JoinConfig) -> JoinOutcome {
+        match self {
+            Algorithm::Pbsm => pbsm_join::pbsm::pbsm_join(db, spec, config).unwrap(),
+            Algorithm::RtreeJoin => pbsm_join::rtree_join::rtree_join(db, spec, config).unwrap(),
+            Algorithm::Inl => pbsm_join::inl::inl_join(db, spec, config).unwrap(),
+        }
+    }
+}
+
+/// Collects harness output, mirrors it to stdout, and saves it under
+/// `bench_results/`.
+pub struct Report {
+    name: String,
+    body: String,
+}
+
+impl Report {
+    /// Starts a report; prints the header.
+    pub fn new(name: &str, title: &str) -> Self {
+        let mut r = Report { name: name.to_string(), body: String::new() };
+        r.line(&format!("# {title}"));
+        r.line(&format!(
+            "# scale={} pools={:?} cpu_scale={}",
+            scale(),
+            pool_sizes_mb(),
+            cpu_scale()
+        ));
+        r
+    }
+
+    /// Appends (and prints) one line.
+    pub fn line(&mut self, s: &str) {
+        println!("{s}");
+        let _ = writeln!(self.body, "{s}");
+    }
+
+    /// Appends a blank line.
+    pub fn blank(&mut self) {
+        self.line("");
+    }
+
+    /// Renders an aligned table: header row plus data rows.
+    pub fn table(&mut self, header: &[&str], rows: &[Vec<String>]) {
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        for row in rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+        self.line(&fmt_row(&head));
+        self.line(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in rows {
+            let s = fmt_row(row);
+            self.line(&s);
+        }
+    }
+
+    /// Writes the collected output to `bench_results/<name>.txt`.
+    pub fn save(&self) {
+        let dir = std::path::Path::new("bench_results");
+        let _ = std::fs::create_dir_all(dir);
+        let path = dir.join(format!("{}.txt", self.name));
+        match std::fs::File::create(&path) {
+            Ok(mut f) => {
+                let _ = f.write_all(self.body.as_bytes());
+                println!("\n[saved {}]", path.display());
+            }
+            Err(e) => eprintln!("could not save {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Formats seconds with sensible precision.
+pub fn secs(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Summarizes a `JoinOutcome` into the standard comparison columns.
+pub fn outcome_row(alg: &str, pool_mb: usize, out: &JoinOutcome) -> Vec<String> {
+    let cs = cpu_scale();
+    vec![
+        alg.to_string(),
+        format!("{pool_mb}"),
+        secs(out.report.total_1996(cs)),
+        secs(out.report.total_cpu_s() * cs),
+        secs(out.report.total_io_s()),
+        format!("{:.1}%", 100.0 * out.report.total_io_s() / out.report.total_1996(cs).max(1e-9)),
+        format!("{}", out.stats.results),
+    ]
+}
+
+/// Standard header matching [`outcome_row`].
+pub const OUTCOME_HEADER: [&str; 7] =
+    ["algorithm", "pool MB", "total s (1996)", "cpu s", "io s", "io %", "results"];
+
+/// Per-component rows of one outcome (Figure 10–12 shape).
+pub fn component_rows(out: &JoinOutcome) -> Vec<Vec<String>> {
+    let cs = cpu_scale();
+    out.report
+        .components
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                secs(c.total_1996(cs)),
+                secs(c.cpu_s * cs),
+                secs(c.io_s()),
+                format!("{}", c.io.reads),
+                format!("{}", c.io.writes),
+                format!("{}", c.io.seeks),
+            ]
+        })
+        .collect()
+}
+
+/// Header matching [`component_rows`].
+pub const COMPONENT_HEADER: [&str; 7] =
+    ["component", "total s", "cpu s", "io s", "reads", "writes", "seeks"];
+
+/// The Figure 7/8/9/13 experiment: run all three algorithms at each
+/// buffer-pool size on a fresh database (no pre-existing indices), report
+/// totals, and return `(pool_mb, algorithm, modeled 1996 total)` samples
+/// for qualitative checks.
+pub fn compare_algorithms(
+    report: &mut Report,
+    mk_db: &dyn Fn(usize) -> Db,
+    spec: &JoinSpec,
+) -> Vec<(usize, Algorithm, f64)> {
+    let cs = cpu_scale();
+    let mut samples = Vec::new();
+    let mut rows = Vec::new();
+    for pool_mb in pool_sizes_mb() {
+        for alg in Algorithm::ALL {
+            // Fresh database per run: index builds must be paid by the
+            // algorithm that needs them, and caches start cold.
+            let db = mk_db(pool_mb);
+            let config = JoinConfig::for_db(&db);
+            let out = alg.run(&db, spec, &config);
+            samples.push((pool_mb, alg, out.report.total_1996(cs)));
+            rows.push(outcome_row(alg.name(), pool_mb, &out));
+        }
+    }
+    report.table(&OUTCOME_HEADER, &rows);
+    samples
+}
+
+/// The Figure 10/11/12 experiment: one algorithm's per-component cost
+/// breakdown on Road ⋈ Hydrography, clustered and non-clustered, at each
+/// buffer-pool size.
+pub fn breakdown_figure(name: &str, title: &str, alg: Algorithm) {
+    let mut report = Report::new(name, title);
+    let spec = tiger_spec(TigerSet::RoadHydro);
+    for clustered in [false, true] {
+        for pool_mb in pool_sizes_mb() {
+            let db = tiger_db(pool_mb, TigerSet::RoadHydro, clustered);
+            let out = alg.run(&db, &spec, &JoinConfig::for_db(&db));
+            report.blank();
+            report.line(&format!(
+                "== {} | {} | {pool_mb} MB pool ==",
+                alg.name(),
+                if clustered { "clustered" } else { "non-clustered" }
+            ));
+            report.table(&COMPONENT_HEADER, &component_rows(&out));
+        }
+    }
+    report.save();
+}
+
+/// The Figure 14/15 experiment: the six pre-existing-index scenarios of
+/// §4.5. Returns `(pool_mb, series, total)` samples.
+pub fn index_scenarios_figure(
+    name: &str,
+    title: &str,
+    set: TigerSet,
+) -> (Report, Vec<(usize, &'static str, f64)>) {
+    let mut report = Report::new(name, title);
+    let spec = tiger_spec(set);
+    let small_rel = match set {
+        TigerSet::RoadHydro => "hydrography",
+        TigerSet::RoadRail => "rail",
+    };
+    // (series label, algorithm, pre-built indices)
+    let series: [(&'static str, Algorithm, &[&str]); 6] = [
+        ("PBSM", Algorithm::Pbsm, &[]),
+        ("Rtree-2-Indices", Algorithm::RtreeJoin, &["road", small_rel]),
+        ("Rtree-1-LargeIdx", Algorithm::RtreeJoin, &["road"]),
+        ("INL-1-LargeIdx", Algorithm::Inl, &["road"]),
+        ("Rtree-1-SmallIdx", Algorithm::RtreeJoin, &[small_rel]),
+        ("INL-1-SmallIdx", Algorithm::Inl, &[small_rel]),
+    ];
+    let cs = cpu_scale();
+    let mut samples = Vec::new();
+    let mut rows = Vec::new();
+    for pool_mb in pool_sizes_mb() {
+        for (label, alg, prebuilt) in series {
+            let db = tiger_db(pool_mb, set, false);
+            for rel in prebuilt {
+                let meta = db.catalog().relation(rel).unwrap().clone();
+                pbsm_join::loader::build_index(&db, &meta).unwrap();
+            }
+            // Pre-existing indices are not charged to the join.
+            db.pool().clear_cache().unwrap();
+            let out = alg.run(&db, &spec, &JoinConfig::for_db(&db));
+            samples.push((pool_mb, label, out.report.total_1996(cs)));
+            rows.push(outcome_row(label, pool_mb, &out));
+        }
+    }
+    report.table(&OUTCOME_HEADER, &rows);
+    (report, samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(secs(1234.4), "1234");
+        assert_eq!(secs(99.94), "99.9");
+        assert_eq!(secs(2.04), "2.0");
+        assert_eq!(secs(0.1234), "0.123");
+    }
+
+    #[test]
+    fn env_knobs_have_defaults() {
+        // These read the live environment; absent overrides they must
+        // return the paper's defaults.
+        if std::env::var("PBSM_SCALE").is_err() {
+            assert_eq!(scale(), 1.0);
+        }
+        if std::env::var("PBSM_POOLS").is_err() {
+            assert_eq!(pool_sizes_mb(), vec![2, 8, 24]);
+        }
+        assert!(cpu_scale() > 0.0);
+    }
+
+    #[test]
+    fn algorithms_enumerate_and_name() {
+        assert_eq!(Algorithm::ALL.len(), 3);
+        let names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+        assert!(names.contains(&"PBSM Join"));
+        assert!(names.contains(&"R-tree Based Join"));
+        assert!(names.contains(&"Idx. Nested Loops"));
+    }
+
+    #[test]
+    fn tiny_end_to_end_through_harness_builders() {
+        // The workload builders must produce runnable databases at any
+        // scale; exercise the whole harness path at 0.2 %. Uses the
+        // explicit-scale builder: mutating PBSM_SCALE would race with the
+        // other tests in this binary.
+        let db = tiger_db_scaled(2, TigerSet::RoadRail, false, 0.002);
+        let spec = tiger_spec(TigerSet::RoadRail);
+        let out = Algorithm::Pbsm.run(&db, &spec, &JoinConfig::for_db(&db));
+        let row = outcome_row("PBSM", 2, &out);
+        assert_eq!(row.len(), OUTCOME_HEADER.len());
+        assert!(!component_rows(&out).is_empty());
+    }
+}
+
+/// Renders the "who wins" verdicts the paper draws from a comparison.
+pub fn verdicts(report: &mut Report, samples: &[(usize, Algorithm, f64)]) {
+    report.blank();
+    for pool_mb in pool_sizes_mb() {
+        let mut at: Vec<(Algorithm, f64)> = samples
+            .iter()
+            .filter(|(p, _, _)| *p == pool_mb)
+            .map(|(_, a, t)| (*a, *t))
+            .collect();
+        at.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let line = at
+            .iter()
+            .map(|(a, t)| format!("{} {}", a.name(), secs(*t)))
+            .collect::<Vec<_>>()
+            .join("  <  ");
+        report.line(&format!("{pool_mb:>3} MB: {line}"));
+    }
+}

@@ -1,0 +1,254 @@
+//! The PBSM filter step (§3.1).
+//!
+//! 1. **Partitioning**: each input is scanned once; every tuple's
+//!    key-pointer element is routed through the spatial partitioning
+//!    function into one or more of the `P` partition files (`P` from
+//!    Equation 1; with `P = 1` the single "partition" is exactly the
+//!    paper's temporary relation `R_kp`).
+//! 2. **Merging**: for each `i`, partitions `R_i` and `S_i` are loaded,
+//!    sorted on `MBR.xl`, and joined with the plane sweep of
+//!    [`pbsm_geom::sweep`]; matching element pairs contribute a candidate
+//!    `<OID_R, OID_S>` to the output relation.
+//!
+//! Because the partitioning function replicates elements that span tiles
+//! of multiple partitions, the candidate relation may contain duplicates;
+//! they are eliminated by the refinement step's sort, exactly as in §3.2.
+
+use crate::keyptr::{encode_pair, KeyPointer, KEY_PTR_SIZE, OID_PAIR_SIZE};
+use crate::partition::{TileGrid, TileMapScheme};
+use crate::{skew, JoinConfig};
+use pbsm_geom::sweep::{sort_by_xl, sweep_join, Tagged};
+use pbsm_storage::catalog::RelationMeta;
+use pbsm_storage::heap::HeapFile;
+use pbsm_storage::record::RecordFile;
+use pbsm_storage::tuple::SpatialTuple;
+use pbsm_storage::{Db, StorageResult};
+
+/// Result of partitioning one input.
+pub struct Partitioned {
+    /// One key-pointer file per partition.
+    pub files: Vec<RecordFile>,
+    /// Elements scanned from the input.
+    pub input_elements: u64,
+    /// Elements written across all partitions (≥ input: replication).
+    pub replicated_elements: u64,
+}
+
+impl Partitioned {
+    /// Drops all partition files.
+    pub fn destroy(self, db: &Db) {
+        for f in self.files {
+            f.destroy(db.pool());
+        }
+    }
+}
+
+/// Scans `rel` and routes each tuple's key-pointer element into `p`
+/// partition files through the spatial partitioning function.
+pub fn partition_input(
+    db: &Db,
+    rel: &RelationMeta,
+    grid: &TileGrid,
+    scheme: TileMapScheme,
+    p: usize,
+) -> StorageResult<Partitioned> {
+    let files: Vec<RecordFile> =
+        (0..p).map(|_| RecordFile::create(db.pool(), KEY_PTR_SIZE)).collect();
+    let mut writers: Vec<_> = files.iter().map(|f| f.writer(db.pool())).collect();
+    let heap = HeapFile::open(rel.file);
+    let mut input_elements = 0u64;
+    let mut replicated_elements = 0u64;
+    for item in heap.scan(db.pool()) {
+        let (oid, bytes) = item?;
+        let tuple = SpatialTuple::decode(&bytes)?;
+        let kp = KeyPointer { mbr: tuple.geom.mbr(), oid };
+        let enc = kp.encode();
+        input_elements += 1;
+        let mut err = None;
+        grid.for_each_partition(&kp.mbr, scheme, p, |part| {
+            replicated_elements += 1;
+            if let Err(e) = writers[part as usize].push(&enc) {
+                err = Some(e);
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+    }
+    for w in writers {
+        w.finish()?;
+    }
+    Ok(Partitioned { files, input_elements, replicated_elements })
+}
+
+/// Decodes a partition file into memory.
+pub fn load_partition(db: &Db, file: &RecordFile) -> StorageResult<Vec<KeyPointer>> {
+    let bytes = file.read_all(db.pool())?;
+    Ok(bytes.chunks_exact(KEY_PTR_SIZE).map(KeyPointer::decode).collect())
+}
+
+/// Plane-sweeps one in-memory partition pair, appending candidate OID
+/// pairs to `out`. This is the paper's "computational geometry based
+/// plane-sweeping technique … the spatial equivalent of sort–merge".
+pub fn sweep_partition_pair(
+    r: &[KeyPointer],
+    s: &[KeyPointer],
+    out: &mut Vec<(pbsm_storage::Oid, pbsm_storage::Oid)>,
+) {
+    let mut tr: Vec<Tagged> = r.iter().enumerate().map(|(i, kp)| (kp.mbr, i as u32)).collect();
+    let mut ts: Vec<Tagged> = s.iter().enumerate().map(|(i, kp)| (kp.mbr, i as u32)).collect();
+    sort_by_xl(&mut tr);
+    sort_by_xl(&mut ts);
+    sweep_join(&tr, &ts, |ir, is| {
+        out.push((r[ir as usize].oid, s[is as usize].oid));
+    });
+}
+
+/// Merges every partition pair, writing candidate OID pairs to a new
+/// record file. Honors the configuration's skew-repartitioning and
+/// parallel-merge extensions.
+pub fn merge_partitions(
+    db: &Db,
+    r_parts: &Partitioned,
+    s_parts: &Partitioned,
+    config: &JoinConfig,
+) -> StorageResult<(RecordFile, u64)> {
+    debug_assert_eq!(r_parts.files.len(), s_parts.files.len());
+    if config.merge_threads > 1 {
+        return crate::parallel::merge_partitions_parallel(db, r_parts, s_parts, config);
+    }
+    let out = RecordFile::create(db.pool(), OID_PAIR_SIZE);
+    let mut writer = out.writer(db.pool());
+    let mut candidates = 0u64;
+    let mut pairs = Vec::new();
+    for (rf, sf) in r_parts.files.iter().zip(&s_parts.files) {
+        let r = load_partition(db, rf)?;
+        let s = load_partition(db, sf)?;
+        pairs.clear();
+        let pair_bytes = (r.len() + s.len()) * KEY_PTR_SIZE;
+        if config.dynamic_repartition && pair_bytes > config.work_mem_bytes {
+            skew::merge_with_repartition(&r, &s, config.work_mem_bytes, &mut pairs);
+        } else {
+            sweep_partition_pair(&r, &s, &mut pairs);
+        }
+        candidates += pairs.len() as u64;
+        for (ro, so) in &pairs {
+            writer.push(&encode_pair(*ro, *so))?;
+        }
+    }
+    writer.finish()?;
+    Ok((out, candidates))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::load_relation;
+    use pbsm_geom::{Geometry, Point, Polyline};
+    use pbsm_storage::{DbConfig, Oid};
+
+    fn mk_tuples(n: usize, seed: u64, spread: f64) -> Vec<SpatialTuple> {
+        let mut state = seed;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
+        };
+        (0..n)
+            .map(|i| {
+                let x = rnd() * spread;
+                let y = rnd() * spread;
+                let geom: Geometry = Polyline::new(vec![
+                    Point::new(x, y),
+                    Point::new(x + rnd() * 2.0, y + rnd() * 2.0),
+                ])
+                .into();
+                SpatialTuple::new(i as u64, geom, 8)
+            })
+            .collect()
+    }
+
+    fn setup(p_mem: usize) -> (pbsm_storage::Db, RelationMeta, RelationMeta) {
+        let db = pbsm_storage::Db::new(DbConfig::with_pool_mb(2));
+        let r = load_relation(&db, "r", &mk_tuples(800, 3, 50.0), false).unwrap();
+        let s = load_relation(&db, "s", &mk_tuples(600, 7, 50.0), false).unwrap();
+        let _ = p_mem;
+        (db, r, s)
+    }
+
+    /// Filter-level ground truth: all MBR-overlapping OID pairs.
+    fn brute_filter(db: &pbsm_storage::Db, r: &RelationMeta, s: &RelationMeta) -> Vec<(Oid, Oid)> {
+        let re = crate::loader::extract_entries(db, r).unwrap();
+        let se = crate::loader::extract_entries(db, s).unwrap();
+        let mut out = Vec::new();
+        for (rr, ro) in &re {
+            for (sr, so) in &se {
+                if rr.intersects(sr) {
+                    out.push((*ro, *so));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn read_pairs(db: &pbsm_storage::Db, rf: &RecordFile) -> Vec<(Oid, Oid)> {
+        let bytes = rf.read_all(db.pool()).unwrap();
+        let mut pairs: Vec<(Oid, Oid)> =
+            bytes.chunks_exact(OID_PAIR_SIZE).map(crate::keyptr::decode_pair).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+
+    #[test]
+    fn single_partition_filter_matches_brute_force() {
+        let (db, r, s) = setup(1);
+        let universe = r.universe.union(&s.universe);
+        let grid = TileGrid::new(universe, 64);
+        let rp = partition_input(&db, &r, &grid, TileMapScheme::Hash, 1).unwrap();
+        let sp = partition_input(&db, &s, &grid, TileMapScheme::Hash, 1).unwrap();
+        assert_eq!(rp.input_elements, 800);
+        assert_eq!(rp.replicated_elements, 800); // one partition: no replication
+        let (cand, n) = merge_partitions(&db, &rp, &sp, &JoinConfig::default()).unwrap();
+        assert!(n > 0);
+        assert_eq!(read_pairs(&db, &cand), brute_filter(&db, &r, &s));
+    }
+
+    #[test]
+    fn multi_partition_filter_matches_brute_force() {
+        let (db, r, s) = setup(8);
+        let universe = r.universe.union(&s.universe);
+        for p in [2usize, 4, 7, 16] {
+            for scheme in [TileMapScheme::RoundRobin, TileMapScheme::Hash] {
+                let grid = TileGrid::new(universe, 256);
+                let rp = partition_input(&db, &r, &grid, scheme, p).unwrap();
+                let sp = partition_input(&db, &s, &grid, scheme, p).unwrap();
+                assert!(rp.replicated_elements >= rp.input_elements);
+                let (cand, _) = merge_partitions(&db, &rp, &sp, &JoinConfig::default()).unwrap();
+                assert_eq!(
+                    read_pairs(&db, &cand),
+                    brute_filter(&db, &r, &s),
+                    "p={p} scheme={scheme:?}"
+                );
+                cand.destroy(db.pool());
+                rp.destroy(&db);
+                sp.destroy(&db);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_only_from_replication() {
+        // With one tile per partition and objects spanning tiles, raw
+        // candidates contain duplicates; dedup must fix it.
+        let (db, r, s) = setup(4);
+        let universe = r.universe.union(&s.universe);
+        let grid = TileGrid::new(universe, 4);
+        let rp = partition_input(&db, &r, &grid, TileMapScheme::RoundRobin, 4).unwrap();
+        let sp = partition_input(&db, &s, &grid, TileMapScheme::RoundRobin, 4).unwrap();
+        let (cand, raw) = merge_partitions(&db, &rp, &sp, &JoinConfig::default()).unwrap();
+        let deduped = read_pairs(&db, &cand);
+        assert!(raw >= deduped.len() as u64);
+        assert_eq!(deduped, brute_filter(&db, &r, &s));
+    }
+}

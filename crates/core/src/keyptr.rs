@@ -1,0 +1,115 @@
+//! Key-pointer elements.
+//!
+//! §3.1: "the MBR of the joining attribute and the OID of the tuple, which
+//! is collectively called a key–pointer element, are appended to a
+//! temporary relation on disk."
+//!
+//! The element is a fixed 40-byte record (`4 × f64` MBR + `u64` OID) —
+//! the `Size_key_ptr` of Equation 1.
+
+use pbsm_geom::Rect;
+use pbsm_storage::Oid;
+
+/// Serialized size of a key-pointer element in bytes (Equation 1's
+/// `Size_key-ptr`).
+pub const KEY_PTR_SIZE: usize = 40;
+
+/// An `<MBR, OID>` pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KeyPointer {
+    pub mbr: Rect,
+    pub oid: Oid,
+}
+
+impl KeyPointer {
+    /// Serializes to the fixed 40-byte layout.
+    pub fn encode(&self) -> [u8; KEY_PTR_SIZE] {
+        let mut out = [0u8; KEY_PTR_SIZE];
+        out[0..8].copy_from_slice(&self.mbr.xl.to_le_bytes());
+        out[8..16].copy_from_slice(&self.mbr.yl.to_le_bytes());
+        out[16..24].copy_from_slice(&self.mbr.xu.to_le_bytes());
+        out[24..32].copy_from_slice(&self.mbr.yu.to_le_bytes());
+        out[32..40].copy_from_slice(&self.oid.raw().to_le_bytes());
+        out
+    }
+
+    /// Deserializes from the fixed layout. `bytes` must be exactly
+    /// [`KEY_PTR_SIZE`] long.
+    pub fn decode(bytes: &[u8]) -> KeyPointer {
+        debug_assert_eq!(bytes.len(), KEY_PTR_SIZE);
+        let f = |at: usize| f64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        KeyPointer {
+            mbr: Rect { xl: f(0), yl: f(8), xu: f(16), yu: f(24) },
+            oid: Oid::from_raw(u64::from_le_bytes(bytes[32..40].try_into().unwrap())),
+        }
+    }
+}
+
+/// Candidate OID pair record: `<OID_R, OID_S>`, 16 bytes.
+pub const OID_PAIR_SIZE: usize = 16;
+
+/// Serializes a candidate pair.
+pub fn encode_pair(r: Oid, s: Oid) -> [u8; OID_PAIR_SIZE] {
+    let mut out = [0u8; OID_PAIR_SIZE];
+    out[0..8].copy_from_slice(&r.raw().to_le_bytes());
+    out[8..16].copy_from_slice(&s.raw().to_le_bytes());
+    out
+}
+
+/// Deserializes a candidate pair.
+pub fn decode_pair(bytes: &[u8]) -> (Oid, Oid) {
+    debug_assert_eq!(bytes.len(), OID_PAIR_SIZE);
+    (
+        Oid::from_raw(u64::from_le_bytes(bytes[0..8].try_into().unwrap())),
+        Oid::from_raw(u64::from_le_bytes(bytes[8..16].try_into().unwrap())),
+    )
+}
+
+/// Compares two serialized pairs by `(OID_R, OID_S)` — the §3.2 sort
+/// order. Works directly on record bytes so the external sort avoids
+/// decoding.
+pub fn cmp_pair_bytes(a: &[u8], b: &[u8]) -> std::cmp::Ordering {
+    let ar = u64::from_le_bytes(a[0..8].try_into().unwrap());
+    let br = u64::from_le_bytes(b[0..8].try_into().unwrap());
+    ar.cmp(&br).then_with(|| {
+        let as_ = u64::from_le_bytes(a[8..16].try_into().unwrap());
+        let bs = u64::from_le_bytes(b[8..16].try_into().unwrap());
+        as_.cmp(&bs)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbsm_storage::FileId;
+
+    #[test]
+    fn keypointer_roundtrip() {
+        let kp = KeyPointer {
+            mbr: Rect::new(-1.5, 2.0, 3.25, 7.75),
+            oid: Oid::new(FileId(4), 99, 3),
+        };
+        assert_eq!(KeyPointer::decode(&kp.encode()), kp);
+    }
+
+    #[test]
+    fn pair_roundtrip_and_order() {
+        let a = Oid::new(FileId(1), 5, 0);
+        let b = Oid::new(FileId(2), 0, 7);
+        let enc = encode_pair(a, b);
+        assert_eq!(decode_pair(&enc), (a, b));
+
+        let enc2 = encode_pair(a, Oid::new(FileId(2), 0, 8));
+        assert_eq!(cmp_pair_bytes(&enc, &enc2), std::cmp::Ordering::Less);
+        assert_eq!(cmp_pair_bytes(&enc, &enc), std::cmp::Ordering::Equal);
+        let enc3 = encode_pair(Oid::new(FileId(1), 6, 0), b);
+        assert_eq!(cmp_pair_bytes(&enc3, &enc), std::cmp::Ordering::Greater);
+    }
+
+    #[test]
+    fn size_constant_matches_layout() {
+        let kp = KeyPointer { mbr: Rect::new(0.0, 0.0, 1.0, 1.0), oid: Oid::new(FileId(0), 0, 0) };
+        assert_eq!(kp.encode().len(), KEY_PTR_SIZE);
+        assert_eq!(KEY_PTR_SIZE, 40);
+    }
+}

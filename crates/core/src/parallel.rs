@@ -1,0 +1,137 @@
+//! Parallel partition merging (§5) — implemented extension.
+//!
+//! The paper's future work: "Since, PBSM, just like hash based relational
+//! joins, uses partitioning to break large inputs into smaller parts, we
+//! expect that the PBSM algorithm will parallelize efficiently."
+//!
+//! Partition pairs are independent, so their plane-sweep merges — the
+//! CPU-heavy part of the filter step — run on worker threads here. I/O
+//! stays on the calling thread (the storage manager is single-threaded,
+//! like SHORE's per-client view): partition files are read sequentially
+//! up front, workers sweep in parallel, and the candidate file is written
+//! sequentially afterwards. `parallel_scaling` in the bench crate measures
+//! the speedup.
+
+use crate::filter::{load_partition, sweep_partition_pair, Partitioned};
+use crate::keyptr::{encode_pair, KeyPointer, OID_PAIR_SIZE};
+use crate::JoinConfig;
+use parking_lot::Mutex;
+use pbsm_storage::record::RecordFile;
+use pbsm_storage::{Db, Oid, StorageResult};
+
+/// Merges all partition pairs using `config.merge_threads` workers.
+/// Returns the candidate file and the raw (pre-dedup) candidate count.
+pub fn merge_partitions_parallel(
+    db: &Db,
+    r_parts: &Partitioned,
+    s_parts: &Partitioned,
+    config: &JoinConfig,
+) -> StorageResult<(RecordFile, u64)> {
+    let threads = config.merge_threads.max(1);
+    // Phase 1 (sequential I/O): load every partition pair.
+    let mut pairs_in: Vec<(Vec<KeyPointer>, Vec<KeyPointer>)> =
+        Vec::with_capacity(r_parts.files.len());
+    for (rf, sf) in r_parts.files.iter().zip(&s_parts.files) {
+        pairs_in.push((load_partition(db, rf)?, load_partition(db, sf)?));
+    }
+
+    // Phase 2 (parallel CPU): sweep pairs, pulled from a shared queue so
+    // skewed partitions do not serialize behind one worker.
+    let n = pairs_in.len();
+    let mut results: Vec<Vec<(Oid, Oid)>> = Vec::with_capacity(n);
+    results.resize_with(n, Vec::new);
+    {
+        let next = Mutex::new(0usize);
+        let slots = Mutex::new(&mut results);
+        let use_repartition = config.dynamic_repartition;
+        let work_mem = config.work_mem_bytes;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = {
+                        let mut g = next.lock();
+                        if *g >= n {
+                            break;
+                        }
+                        let i = *g;
+                        *g += 1;
+                        i
+                    };
+                    let (r, s) = &pairs_in[i];
+                    let mut out = Vec::new();
+                    if use_repartition
+                        && (r.len() + s.len()) * crate::keyptr::KEY_PTR_SIZE > work_mem
+                    {
+                        crate::skew::merge_with_repartition(r, s, work_mem, &mut out);
+                    } else {
+                        sweep_partition_pair(r, s, &mut out);
+                    }
+                    slots.lock()[i] = out;
+                });
+            }
+        });
+    }
+
+    // Phase 3 (sequential I/O): write candidates in partition order so the
+    // output is deterministic regardless of thread scheduling.
+    let out = RecordFile::create(db.pool(), OID_PAIR_SIZE);
+    let mut writer = out.writer(db.pool());
+    let mut candidates = 0u64;
+    for part in &results {
+        candidates += part.len() as u64;
+        for (ro, so) in part {
+            writer.push(&encode_pair(*ro, *so))?;
+        }
+    }
+    writer.finish()?;
+    Ok((out, candidates))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{merge_partitions, partition_input};
+    use crate::loader::load_relation;
+    use crate::partition::{TileGrid, TileMapScheme};
+    use pbsm_geom::{Point, Polyline};
+    use pbsm_storage::tuple::SpatialTuple;
+    use pbsm_storage::DbConfig;
+
+    #[test]
+    fn parallel_merge_matches_sequential() {
+        let db = Db::new(DbConfig::with_pool_mb(2));
+        let mk = |n: usize, seed: u64| -> Vec<SpatialTuple> {
+            let mut state = seed;
+            let mut rnd = move || {
+                state =
+                    state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
+            };
+            (0..n)
+                .map(|i| {
+                    let x = rnd() * 60.0;
+                    let y = rnd() * 60.0;
+                    SpatialTuple::new(
+                        i as u64,
+                        Polyline::new(vec![Point::new(x, y), Point::new(x + 1.0, y + 1.0)]).into(),
+                        0,
+                    )
+                })
+                .collect()
+        };
+        let r = load_relation(&db, "r", &mk(600, 3), false).unwrap();
+        let s = load_relation(&db, "s", &mk(500, 5), false).unwrap();
+        let grid = TileGrid::new(r.universe.union(&s.universe), 256);
+        let rp = partition_input(&db, &r, &grid, TileMapScheme::Hash, 8).unwrap();
+        let sp = partition_input(&db, &s, &grid, TileMapScheme::Hash, 8).unwrap();
+
+        let seq_cfg = JoinConfig { merge_threads: 1, ..JoinConfig::default() };
+        let par_cfg = JoinConfig { merge_threads: 4, ..JoinConfig::default() };
+        let (seq_file, seq_n) = merge_partitions(&db, &rp, &sp, &seq_cfg).unwrap();
+        let (par_file, par_n) = merge_partitions(&db, &rp, &sp, &par_cfg).unwrap();
+        assert_eq!(seq_n, par_n);
+        let seq_bytes = seq_file.read_all(db.pool()).unwrap();
+        let par_bytes = par_file.read_all(db.pool()).unwrap();
+        assert_eq!(seq_bytes, par_bytes, "parallel merge must be deterministic");
+    }
+}

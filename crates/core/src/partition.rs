@@ -1,0 +1,364 @@
+//! The spatial partitioning function (§3.1, §3.4).
+//!
+//! The universe is decomposed regularly into `NT ≥ P` tiles, numbered row
+//! by row "starting from the upper left corner". Each tile maps to a
+//! partition by round robin or by hashing the tile number; a key-pointer
+//! element is inserted into the partition of *every* tile its MBR
+//! overlaps, so elements spanning tiles of multiple partitions are
+//! replicated — "the spatial analog of virtual processor round robin
+//! partitioning" \[DNSS92\].
+//!
+//! The Figure 4–6 experiments explore this design space: partition balance
+//! (coefficient of variation) and replication overhead as functions of the
+//! tile count and mapping scheme.
+
+use pbsm_geom::Rect;
+
+/// Number of partitions from Equation 1:
+/// `P = ceil((||R|| + ||S||) * Size_key_ptr / M)`.
+///
+/// ```
+/// use pbsm_join::partition::partition_count;
+///
+/// // The paper's TIGER query at an 8 MB pool: (456,613 + 122,149)
+/// // 40-byte key-pointers need 3 partition pairs.
+/// assert_eq!(partition_count(456_613, 122_149, 40, 8 << 20), 3);
+/// // Everything fits in a 24 MB pool: a single in-memory "partition".
+/// assert_eq!(partition_count(456_613, 122_149, 40, 24 << 20), 1);
+/// ```
+pub fn partition_count(card_r: u64, card_s: u64, key_ptr_size: usize, work_mem: usize) -> usize {
+    let bytes = (card_r + card_s) * key_ptr_size as u64;
+    (bytes.div_ceil(work_mem.max(1) as u64)).max(1) as usize
+}
+
+/// Tile→partition mapping scheme (§3.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TileMapScheme {
+    /// `partition = tile mod P`.
+    RoundRobin,
+    /// `partition = hash(tile) mod P` — the paper finds this combined with
+    /// many tiles gives the best balance.
+    Hash,
+}
+
+impl TileMapScheme {
+    /// Maps a tile number to a partition.
+    #[inline]
+    pub fn partition_of(self, tile: u32, num_partitions: usize) -> u32 {
+        match self {
+            TileMapScheme::RoundRobin => tile % num_partitions as u32,
+            TileMapScheme::Hash => (splitmix64(tile as u64) % num_partitions as u64) as u32,
+        }
+    }
+}
+
+/// Deterministic integer hash (SplitMix64 finalizer).
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A regular decomposition of the universe into `nx × ny` tiles, numbered
+/// row-major from the upper-left corner (Figure 3).
+#[derive(Clone, Copy, Debug)]
+pub struct TileGrid {
+    universe: Rect,
+    nx: u32,
+    ny: u32,
+}
+
+impl TileGrid {
+    /// Builds a grid with at least `num_tiles` tiles, as square as
+    /// possible. The actual tile count is `nx × ny ≥ num_tiles`.
+    pub fn new(universe: Rect, num_tiles: usize) -> Self {
+        assert!(!universe.is_empty(), "cannot tile an empty universe");
+        let n = num_tiles.max(1) as f64;
+        let nx = n.sqrt().ceil() as u32;
+        let ny = ((num_tiles.max(1) as u32).div_ceil(nx)).max(1);
+        TileGrid { universe, nx, ny }
+    }
+
+    /// Total number of tiles.
+    pub fn num_tiles(&self) -> u32 {
+        self.nx * self.ny
+    }
+
+    /// Grid dimensions `(columns, rows)`.
+    pub fn dims(&self) -> (u32, u32) {
+        (self.nx, self.ny)
+    }
+
+    /// The universe being tiled.
+    pub fn universe(&self) -> Rect {
+        self.universe
+    }
+
+    /// Tile number of the tile at `(col, row)`; row 0 is the top row.
+    #[inline]
+    pub fn tile_at(&self, col: u32, row: u32) -> u32 {
+        row * self.nx + col
+    }
+
+    /// Column/row ranges of tiles overlapped by `mbr` (clamped to the
+    /// grid). Returns `(col_lo..=col_hi, row_lo..=row_hi)`.
+    pub fn tile_range(&self, mbr: &Rect) -> (u32, u32, u32, u32) {
+        let w = self.universe.width().max(f64::MIN_POSITIVE);
+        let h = self.universe.height().max(f64::MIN_POSITIVE);
+        let fx = |x: f64| (((x - self.universe.xl) / w) * self.nx as f64).floor();
+        // Row 0 at the top (max y), matching the paper's numbering.
+        let fy = |y: f64| (((self.universe.yu - y) / h) * self.ny as f64).floor();
+        let clamp = |v: f64, n: u32| (v.max(0.0) as u32).min(n - 1);
+        let col_lo = clamp(fx(mbr.xl), self.nx);
+        let col_hi = clamp(fx(mbr.xu), self.nx);
+        let row_lo = clamp(fy(mbr.yu), self.ny);
+        let row_hi = clamp(fy(mbr.yl), self.ny);
+        (col_lo, col_hi, row_lo, row_hi)
+    }
+
+    /// Invokes `f` with each tile number overlapped by `mbr`.
+    #[inline]
+    pub fn for_each_tile(&self, mbr: &Rect, mut f: impl FnMut(u32)) {
+        let (cl, ch, rl, rh) = self.tile_range(mbr);
+        for row in rl..=rh {
+            for col in cl..=ch {
+                f(self.tile_at(col, row));
+            }
+        }
+    }
+
+    /// Invokes `f` once per *distinct partition* overlapped by `mbr` under
+    /// `scheme` with `p` partitions. This is the partitioning function
+    /// applied to one key-pointer element; the number of invocations is
+    /// that element's replication factor.
+    pub fn for_each_partition(
+        &self,
+        mbr: &Rect,
+        scheme: TileMapScheme,
+        p: usize,
+        mut f: impl FnMut(u32),
+    ) {
+        // MBRs overlap few tiles; a small linear set dedups partitions.
+        let mut seen: [u32; 16] = [u32::MAX; 16];
+        let mut n_seen = 0usize;
+        let mut overflow: Vec<u32> = Vec::new();
+        self.for_each_tile(mbr, |tile| {
+            let part = scheme.partition_of(tile, p);
+            let dup = seen[..n_seen].contains(&part) || overflow.contains(&part);
+            if !dup {
+                if n_seen < seen.len() {
+                    seen[n_seen] = part;
+                    n_seen += 1;
+                } else {
+                    overflow.push(part);
+                }
+                f(part);
+            }
+        });
+    }
+}
+
+/// Distribution diagnostics for Figures 4–6: per-partition element counts
+/// and the replication overhead of one input.
+#[derive(Clone, Debug)]
+pub struct PartitionHistogram {
+    /// Elements assigned to each partition (with replication).
+    pub counts: Vec<u64>,
+    /// Input elements (before replication).
+    pub input: u64,
+}
+
+impl PartitionHistogram {
+    /// Builds the histogram for `mbrs` under the given grid/scheme.
+    pub fn build(
+        grid: &TileGrid,
+        scheme: TileMapScheme,
+        p: usize,
+        mbrs: impl Iterator<Item = Rect>,
+    ) -> Self {
+        let mut counts = vec![0u64; p];
+        let mut input = 0u64;
+        for mbr in mbrs {
+            input += 1;
+            grid.for_each_partition(&mbr, scheme, p, |part| counts[part as usize] += 1);
+        }
+        PartitionHistogram { counts, input }
+    }
+
+    /// Total elements after replication.
+    pub fn replicated(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Replication overhead in percent — Figure 5/6's y-axis ("the
+    /// increase in the number of tuples created due to replication").
+    pub fn replication_overhead_pct(&self) -> f64 {
+        if self.input == 0 {
+            return 0.0;
+        }
+        (self.replicated() as f64 / self.input as f64 - 1.0) * 100.0
+    }
+
+    /// Coefficient of variation of the per-partition counts — Figure 4's
+    /// y-axis (standard deviation / mean).
+    pub fn coefficient_of_variation(&self) -> f64 {
+        let n = self.counts.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let mean = self.replicated() as f64 / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var =
+            self.counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe() -> Rect {
+        Rect::new(0.0, 0.0, 100.0, 100.0)
+    }
+
+    #[test]
+    fn equation_1() {
+        // (456_613 + 122_149) * 40 bytes ≈ 22.1 MB.
+        assert_eq!(partition_count(456_613, 122_149, 40, 24 << 20), 1);
+        assert_eq!(partition_count(456_613, 122_149, 40, 8 << 20), 3);
+        assert_eq!(partition_count(456_613, 122_149, 40, 2 << 20), 12);
+        assert_eq!(partition_count(0, 0, 40, 2 << 20), 1);
+    }
+
+    #[test]
+    fn grid_dimensions_cover_request() {
+        for want in [1usize, 4, 12, 100, 1024, 4000] {
+            let g = TileGrid::new(universe(), want);
+            assert!(g.num_tiles() as usize >= want, "{want}");
+        }
+        assert_eq!(TileGrid::new(universe(), 1024).dims(), (32, 32));
+    }
+
+    #[test]
+    fn paper_figure_1_example() {
+        // Figure 1's setting: 4 subparts = 2×2 grid; an object straddling
+        // the vertical midline of the top half overlaps exactly two
+        // subparts (row-major from top-left here: tiles 0 and 1).
+        let g = TileGrid::new(universe(), 4);
+        assert_eq!(g.dims(), (2, 2));
+        // Object in top half spanning both columns.
+        let obj = Rect::new(40.0, 60.0, 60.0, 70.0);
+        let mut tiles = Vec::new();
+        g.for_each_tile(&obj, |t| tiles.push(t));
+        tiles.sort_unstable();
+        assert_eq!(tiles, vec![0, 1]);
+    }
+
+    #[test]
+    fn figure_3_example_round_robin() {
+        // Figure 3: 12 tiles (4×3), 3 partitions, round robin. An object
+        // overlapping tiles 0, 1, 2 lands in partitions 0, 1, 2.
+        let g = TileGrid { universe: universe(), nx: 4, ny: 3 };
+        assert_eq!(g.num_tiles(), 12);
+        let obj = Rect::new(5.0, 70.0, 70.0, 95.0); // top row, 3 columns
+        let mut parts = Vec::new();
+        g.for_each_partition(&obj, TileMapScheme::RoundRobin, 3, |p| parts.push(p));
+        parts.sort_unstable();
+        assert_eq!(parts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tiny_object_is_not_replicated() {
+        let g = TileGrid::new(universe(), 1024);
+        let obj = Rect::new(10.01, 10.01, 10.02, 10.02);
+        let mut n = 0;
+        g.for_each_partition(&obj, TileMapScheme::Hash, 16, |_| n += 1);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn out_of_universe_clamps() {
+        let g = TileGrid::new(universe(), 64);
+        let obj = Rect::new(-50.0, -50.0, 200.0, 200.0); // covers everything
+        let mut tiles = Vec::new();
+        g.for_each_tile(&obj, |t| tiles.push(t));
+        assert_eq!(tiles.len() as u32, g.num_tiles());
+    }
+
+    #[test]
+    fn partition_dedup_under_many_tiles() {
+        // An object overlapping 6 tiles mapped round-robin onto 2
+        // partitions must be emitted at most twice.
+        let g = TileGrid { universe: universe(), nx: 3, ny: 2 };
+        let obj = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let mut parts = Vec::new();
+        g.for_each_partition(&obj, TileMapScheme::RoundRobin, 2, |p| parts.push(p));
+        parts.sort_unstable();
+        assert_eq!(parts, vec![0, 1]);
+    }
+
+    #[test]
+    fn histogram_balance_improves_with_tiles() {
+        // Clustered data: everything in the top-left corner. With NT = P
+        // the single busy tile maps to one partition (cov ≈ sqrt(P-1));
+        // with many tiles the cluster spreads across partitions.
+        let mbrs: Vec<Rect> = (0..1000)
+            .map(|i| {
+                let x = (i % 100) as f64 * 0.1;
+                let y = 99.0 - (i / 100) as f64 * 0.1;
+                Rect::new(x, y - 0.05, x + 0.05, y)
+            })
+            .collect();
+        let p = 16;
+        let coarse = PartitionHistogram::build(
+            &TileGrid::new(universe(), p),
+            TileMapScheme::Hash,
+            p,
+            mbrs.iter().copied(),
+        );
+        let fine = PartitionHistogram::build(
+            &TileGrid::new(universe(), 4096),
+            TileMapScheme::Hash,
+            p,
+            mbrs.iter().copied(),
+        );
+        assert!(
+            fine.coefficient_of_variation() < coarse.coefficient_of_variation() * 0.5,
+            "fine {} vs coarse {}",
+            fine.coefficient_of_variation(),
+            coarse.coefficient_of_variation()
+        );
+    }
+
+    #[test]
+    fn replication_grows_with_tiles() {
+        // Large objects replicate more with finer grids.
+        let mbrs: Vec<Rect> = (0..500)
+            .map(|i| {
+                let x = (i % 50) as f64 * 2.0;
+                let y = (i / 50) as f64 * 10.0;
+                Rect::new(x, y, (x + 5.0).min(100.0), (y + 5.0).min(100.0))
+            })
+            .collect();
+        let p = 16;
+        let few = PartitionHistogram::build(
+            &TileGrid::new(universe(), 64),
+            TileMapScheme::Hash,
+            p,
+            mbrs.iter().copied(),
+        );
+        let many = PartitionHistogram::build(
+            &TileGrid::new(universe(), 4096),
+            TileMapScheme::Hash,
+            p,
+            mbrs.iter().copied(),
+        );
+        assert!(many.replication_overhead_pct() > few.replication_overhead_pct());
+        assert!(few.replication_overhead_pct() >= 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the spatial partitioning function — the invariants
+//! that make the PBSM filter step lossless.
+
+use pbsm_geom::Rect;
+use pbsm_join::partition::{partition_count, TileGrid, TileMapScheme};
+use proptest::prelude::*;
+
+fn arb_rect_in(universe: Rect) -> impl Strategy<Value = Rect> {
+    let w = universe.width();
+    let h = universe.height();
+    (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.3, 0.0f64..0.3).prop_map(move |(fx, fy, fw, fh)| {
+        let x = universe.xl + fx * w;
+        let y = universe.yl + fy * h;
+        Rect::new(x, y, (x + fw * w).min(universe.xu), (y + fh * h).min(universe.yu))
+    })
+}
+
+const UNI: Rect = Rect { xl: 0.0, yl: 0.0, xu: 100.0, yu: 100.0 };
+
+proptest! {
+    /// Every rectangle is assigned to at least one partition and at most
+    /// min(tiles overlapped, P) — so no element is ever lost and the
+    /// filter step stays a superset.
+    #[test]
+    fn every_rect_lands_somewhere(
+        r in arb_rect_in(UNI),
+        tiles in 1usize..2000,
+        p in 1usize..40,
+        hash in any::<bool>(),
+    ) {
+        let grid = TileGrid::new(UNI, tiles);
+        let scheme = if hash { TileMapScheme::Hash } else { TileMapScheme::RoundRobin };
+        let mut parts = Vec::new();
+        grid.for_each_partition(&r, scheme, p, |x| parts.push(x));
+        prop_assert!(!parts.is_empty());
+        prop_assert!(parts.iter().all(|&x| (x as usize) < p));
+        // No duplicates.
+        let mut sorted = parts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), parts.len());
+        prop_assert!(parts.len() <= p);
+    }
+
+    /// Two overlapping rectangles always share at least one partition —
+    /// the correctness condition of §3.1 ("for each key–pointer element
+    /// in a partition R_i, all the key–pointer elements of S that have an
+    /// overlapping MBR are present in the corresponding S_i partition").
+    #[test]
+    fn overlapping_rects_share_a_partition(
+        a in arb_rect_in(UNI),
+        (dx, dy, fw, fh) in (-0.9f64..0.9, -0.9f64..0.9, 0.1f64..2.0, 0.1f64..2.0),
+        tiles in 1usize..2000,
+        p in 1usize..40,
+        hash in any::<bool>(),
+    ) {
+        // Construct b overlapping a: shift within a's extent and rescale.
+        let b = Rect::new(
+            (a.xl + dx * a.width()).clamp(UNI.xl, UNI.xu),
+            (a.yl + dy * a.height()).clamp(UNI.yl, UNI.yu),
+            (a.xl + dx * a.width() + fw * (a.width() + 0.1)).clamp(UNI.xl, UNI.xu),
+            (a.yl + dy * a.height() + fh * (a.height() + 0.1)).clamp(UNI.yl, UNI.yu),
+        );
+        prop_assume!(a.intersects(&b));
+        let grid = TileGrid::new(UNI, tiles);
+        let scheme = if hash { TileMapScheme::Hash } else { TileMapScheme::RoundRobin };
+        let mut pa = Vec::new();
+        grid.for_each_partition(&a, scheme, p, |x| pa.push(x));
+        let mut pb = Vec::new();
+        grid.for_each_partition(&b, scheme, p, |x| pb.push(x));
+        prop_assert!(
+            pa.iter().any(|x| pb.contains(x)),
+            "overlapping rects in disjoint partitions: {:?} vs {:?}", pa, pb
+        );
+    }
+
+    /// Stronger: overlapping rectangles share a partition *derived from a
+    /// common overlapped tile* — the grid ranges must intersect.
+    #[test]
+    fn overlapping_rects_share_a_tile(
+        a in arb_rect_in(UNI),
+        (dx, dy) in (-0.5f64..0.5, -0.5f64..0.5),
+        tiles in 1usize..2000,
+    ) {
+        let b = Rect::new(
+            (a.xl + dx * (a.width() + 1.0)).clamp(UNI.xl, UNI.xu),
+            (a.yl + dy * (a.height() + 1.0)).clamp(UNI.yl, UNI.yu),
+            (a.xu + dx * (a.width() + 1.0)).clamp(UNI.xl, UNI.xu),
+            (a.yu + dy * (a.height() + 1.0)).clamp(UNI.yl, UNI.yu),
+        );
+        prop_assume!(a.intersects(&b));
+        let grid = TileGrid::new(UNI, tiles);
+        let mut ta = Vec::new();
+        grid.for_each_tile(&a, |t| ta.push(t));
+        let mut tb = Vec::new();
+        grid.for_each_tile(&b, |t| tb.push(t));
+        prop_assert!(ta.iter().any(|t| tb.contains(t)));
+    }
+
+    /// Equation 1 always produces enough partitions for the inputs to fit
+    /// pairwise in memory (modulo skew, which the paper handles
+    /// separately).
+    #[test]
+    fn equation_1_is_sufficient(
+        card_r in 0u64..2_000_000,
+        card_s in 0u64..2_000_000,
+        work_mem in 1024usize..64*1024*1024,
+    ) {
+        let p = partition_count(card_r, card_s, 40, work_mem);
+        prop_assert!(p >= 1);
+        // Under a perfectly uniform split, each pair fits.
+        let per_pair = ((card_r + card_s) * 40).div_ceil(p as u64);
+        prop_assert!(per_pair <= work_mem as u64 + 40);
+    }
+
+    /// Tile ranges are always within the grid, even for rects that poke
+    /// outside the universe.
+    #[test]
+    fn tile_ranges_clamped(
+        x in -200.0f64..200.0,
+        y in -200.0f64..200.0,
+        w in 0.0f64..400.0,
+        h in 0.0f64..400.0,
+        tiles in 1usize..5000,
+    ) {
+        let grid = TileGrid::new(UNI, tiles);
+        let r = Rect::new(x, y, x + w, y + h);
+        let (cl, ch, rl, rh) = grid.tile_range(&r);
+        let (nx, ny) = grid.dims();
+        prop_assert!(cl <= ch && ch < nx);
+        prop_assert!(rl <= rh && rh < ny);
+    }
+}

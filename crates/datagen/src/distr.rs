@@ -1,0 +1,244 @@
+//! Shared spatial distribution machinery: population clusters plus a
+//! uniform background, approximating the skew of real cartographic data
+//! (most TIGER features crowd around cities — exactly the skew Figure 2
+//! worries about).
+
+use crate::UNIVERSE;
+use pbsm_geom::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A mixture of Gaussian population clusters over a uniform background.
+pub struct ClusterModel {
+    clusters: Vec<(Point, f64, f64)>, // (center, sigma, cumulative weight)
+    background: f64,
+}
+
+impl ClusterModel {
+    /// Builds a model with `n_clusters` centers from `rng`.
+    /// `background` is the probability mass of the uniform component.
+    pub fn new(rng: &mut StdRng, n_clusters: usize, background: f64) -> Self {
+        let mut clusters = Vec::with_capacity(n_clusters);
+        let mut cum = 0.0;
+        for i in 0..n_clusters {
+            let center = Point::new(
+                rng.gen_range(UNIVERSE.xl + 5.0..UNIVERSE.xu - 5.0),
+                rng.gen_range(UNIVERSE.yl + 5.0..UNIVERSE.yu - 5.0),
+            );
+            // A few big metros, many small towns (geometric weights).
+            let weight = 0.75f64.powi(i as i32) + 0.05;
+            let sigma = rng.gen_range(0.8..4.0);
+            cum += weight;
+            clusters.push((center, sigma, cum));
+        }
+        ClusterModel { clusters, background: background.clamp(0.0, 1.0) }
+    }
+
+    /// Standard-normal sample via Box–Muller (rand 0.8 has no Normal
+    /// distribution without the rand_distr crate).
+    fn gaussian(rng: &mut StdRng) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Samples a location: a cluster point with probability
+    /// `1 - background`, uniform otherwise. Clamped to the universe.
+    pub fn sample(&self, rng: &mut StdRng) -> Point {
+        if rng.gen_bool(self.background) || self.clusters.is_empty() {
+            return Point::new(
+                rng.gen_range(UNIVERSE.xl..UNIVERSE.xu),
+                rng.gen_range(UNIVERSE.yl..UNIVERSE.yu),
+            );
+        }
+        let total = self.clusters.last().unwrap().2;
+        let pick = rng.gen_range(0.0..total);
+        let idx = self.clusters.partition_point(|(_, _, cum)| *cum < pick);
+        let (center, sigma, _) = self.clusters[idx.min(self.clusters.len() - 1)];
+        let x = center.x + Self::gaussian(rng) * sigma;
+        let y = center.y + Self::gaussian(rng) * sigma;
+        Point::new(
+            x.clamp(UNIVERSE.xl, UNIVERSE.xu),
+            y.clamp(UNIVERSE.yl, UNIVERSE.yu),
+        )
+    }
+
+    /// The cluster centers (used by the rail generator to connect
+    /// "cities").
+    pub fn centers(&self) -> Vec<Point> {
+        self.clusters.iter().map(|(c, _, _)| *c).collect()
+    }
+}
+
+/// Creates the rng for a generator, mixing a stream id into the seed so
+/// each data set has an independent stream.
+pub fn rng_for(seed: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(stream))
+}
+
+/// Groups tuples into "county order": features are stably sorted by a
+/// coarse grid cell of their MBR center, with the cells visited in a
+/// seeded random permutation.
+///
+/// Real TIGER/Line files are distributed county by county, so features
+/// that are adjacent in the file are usually spatially near each other —
+/// without the file being globally spatially sorted. The paper's
+/// *non-clustered* collections still have this property (its *clustered*
+/// collections are additionally Hilbert-sorted), and index probes and
+/// refinement fetches depend on it for their cache behaviour.
+pub fn county_order(tuples: &mut [pbsm_storage::tuple::SpatialTuple], seed: u64) {
+    const CELLS: u32 = 8; // 64 "counties"
+    let mut perm: Vec<u32> = (0..CELLS * CELLS).collect();
+    // Seeded Fisher–Yates.
+    let mut rng = rng_for(seed, 0xC077);
+    for i in (1..perm.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let w = UNIVERSE.width() / CELLS as f64;
+    let h = UNIVERSE.height() / CELLS as f64;
+    tuples.sort_by_cached_key(|t| {
+        let c = t.geom.mbr().center();
+        let cx = (((c.x - UNIVERSE.xl) / w) as u32).min(CELLS - 1);
+        let cy = (((c.y - UNIVERSE.yl) / h) as u32).min(CELLS - 1);
+        perm[(cy * CELLS + cx) as usize]
+    });
+}
+
+/// A meandering random walk of `n` points starting at `start`: direction
+/// persists with some turning noise, step length `step`. Models roads and
+/// rivers.
+pub fn random_walk(rng: &mut StdRng, start: Point, n: usize, step: f64, wiggle: f64) -> Vec<Point> {
+    let mut pts = Vec::with_capacity(n);
+    let mut heading: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let mut cur = start;
+    pts.push(cur);
+    for _ in 1..n {
+        heading += rng.gen_range(-wiggle..wiggle);
+        cur = Point::new(
+            (cur.x + heading.cos() * step).clamp(UNIVERSE.xl, UNIVERSE.xu),
+            (cur.y + heading.sin() * step).clamp(UNIVERSE.yl, UNIVERSE.yu),
+        );
+        pts.push(cur);
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mk = || {
+            let mut rng = rng_for(42, 1);
+            let model = ClusterModel::new(&mut rng, 10, 0.3);
+            (0..50).map(|_| model.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+        let mut rng2 = rng_for(43, 1);
+        let model2 = ClusterModel::new(&mut rng2, 10, 0.3);
+        let other: Vec<Point> = (0..50).map(|_| model2.sample(&mut rng2)).collect();
+        assert_ne!(mk(), other);
+    }
+
+    #[test]
+    fn samples_inside_universe() {
+        let mut rng = rng_for(7, 2);
+        let model = ClusterModel::new(&mut rng, 5, 0.2);
+        for _ in 0..1000 {
+            let p = model.sample(&mut rng);
+            assert!(UNIVERSE.contains_point(p), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn distribution_is_skewed() {
+        // With clustering, a small area should hold a disproportionate
+        // share of samples.
+        let mut rng = rng_for(11, 3);
+        let model = ClusterModel::new(&mut rng, 8, 0.1);
+        let samples: Vec<Point> = (0..5000).map(|_| model.sample(&mut rng)).collect();
+        // Count samples in 100 cells; the busiest 10 cells should hold
+        // far more than 10% of the data.
+        let mut cells = [0u32; 100];
+        for p in &samples {
+            let cx = ((p.x / 10.0) as usize).min(9);
+            let cy = ((p.y / 10.0) as usize).min(9);
+            cells[cy * 10 + cx] += 1;
+        }
+        let mut sorted = cells;
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u32 = sorted[..10].iter().sum();
+        assert!(top10 as f64 > 0.35 * samples.len() as f64, "top10 {top10}");
+    }
+
+    #[test]
+    fn county_order_groups_neighbours() {
+        use pbsm_geom::{Geometry, Point as P, Polyline};
+        use pbsm_storage::tuple::SpatialTuple;
+        let mut rng = rng_for(3, 9);
+        let mut tuples: Vec<SpatialTuple> = (0..2000)
+            .map(|i| {
+                let x = rng.gen_range(0.0..100.0);
+                let y = rng.gen_range(0.0..100.0);
+                let g: Geometry =
+                    Polyline::new(vec![P::new(x, y), P::new(x + 0.1, y + 0.1)]).into();
+                SpatialTuple::new(i, g, 0)
+            })
+            .collect();
+        let mean_step = |ts: &[SpatialTuple]| -> f64 {
+            ts.windows(2)
+                .map(|w| w[0].geom.mbr().center().distance(&w[1].geom.mbr().center()))
+                .sum::<f64>()
+                / (ts.len() - 1) as f64
+        };
+        let before = mean_step(&tuples);
+        county_order(&mut tuples, 3);
+        let after = mean_step(&tuples);
+        // File-adjacent features become spatially closer on average.
+        assert!(after < before * 0.6, "before {before:.2}, after {after:.2}");
+        // And it is a permutation: all keys still present.
+        let mut keys: Vec<u64> = tuples.iter().map(|t| t.key).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..2000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn county_order_is_not_a_global_spatial_sort() {
+        // Distinct seeds permute the county visit order differently, so
+        // this is weaker than Hilbert clustering (the paper's "clustered"
+        // collections remain a separate, stronger treatment).
+        use pbsm_geom::{Geometry, Point as P, Polyline};
+        use pbsm_storage::tuple::SpatialTuple;
+        let mk = || -> Vec<SpatialTuple> {
+            (0..500u64)
+                .map(|i| {
+                    let x = ((i * 37) % 100) as f64;
+                    let y = ((i * 61) % 100) as f64;
+                    let g: Geometry =
+                        Polyline::new(vec![P::new(x, y), P::new(x + 0.1, y + 0.1)]).into();
+                    SpatialTuple::new(i, g, 0)
+                })
+                .collect()
+        };
+        let mut a = mk();
+        let mut b = mk();
+        county_order(&mut a, 1);
+        county_order(&mut b, 2);
+        assert_ne!(
+            a.iter().map(|t| t.key).collect::<Vec<_>>(),
+            b.iter().map(|t| t.key).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn walk_has_requested_length_and_stays_in_bounds() {
+        let mut rng = rng_for(5, 4);
+        let pts = random_walk(&mut rng, Point::new(50.0, 50.0), 19, 0.2, 0.5);
+        assert_eq!(pts.len(), 19);
+        for p in &pts {
+            assert!(UNIVERSE.contains_point(*p));
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Seeded synthetic workloads standing in for the paper's data sets.
+//!
+//! The paper evaluates on two real collections we cannot redistribute:
+//! the 1992 TIGER/Line extracts for Wisconsin (Road / Hydrography / Rail
+//! polylines, Table 2) and the Sequoia 2000 polygon + island data
+//! (Table 3). Per DESIGN.md §1, this crate generates seeded synthetic
+//! equivalents that match the properties the join algorithms are
+//! sensitive to:
+//!
+//! * cardinalities (456,613 / 122,149 / 16,844 and 58,115 / 20,256 at
+//!   `scale = 1.0`),
+//! * mean vertex counts per feature (8 / 19 / 7 and 46 / 35),
+//! * a skewed cluster-plus-background spatial distribution (population
+//!   centers), since partition skew is what §3.4 is about,
+//! * join selectivities in the ballpark of the paper's result sizes.
+//!
+//! All generators are deterministic in their seed. `scale` shrinks
+//! cardinalities proportionally so tests can run the full pipeline in
+//! milliseconds.
+
+pub mod distr;
+pub mod sequoia;
+pub mod stats;
+pub mod tiger;
+
+pub use stats::DatasetStats;
+
+use pbsm_geom::Rect;
+
+/// The synthetic state boundary all workloads live in. (Arbitrary units;
+/// think of it as a 500 km square.)
+pub const UNIVERSE: Rect = Rect { xl: 0.0, yl: 0.0, xu: 100.0, yu: 100.0 };

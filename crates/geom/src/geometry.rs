@@ -1,0 +1,95 @@
+//! The tagged union of spatial feature types stored in tuples.
+
+use crate::{Point, Polygon, Polyline, Rect};
+
+/// A spatial attribute value: any of the geometric types the paper's data
+/// sets contain (points, polylines for TIGER features, polygons with holes
+/// for Sequoia landuse/islands).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Geometry {
+    Point(Point),
+    Polyline(Polyline),
+    Polygon(Polygon),
+}
+
+impl Geometry {
+    /// Minimum bounding rectangle — the filter-step approximation.
+    pub fn mbr(&self) -> Rect {
+        match self {
+            Geometry::Point(p) => Rect::from_point(*p),
+            Geometry::Polyline(l) => l.mbr(),
+            Geometry::Polygon(g) => g.mbr(),
+        }
+    }
+
+    /// Number of coordinate points in the feature; drives the refinement
+    /// CPU cost the paper measures.
+    pub fn num_points(&self) -> usize {
+        match self {
+            Geometry::Point(_) => 1,
+            Geometry::Polyline(l) => l.len(),
+            Geometry::Polygon(g) => g.num_points(),
+        }
+    }
+
+    /// Convenience accessor; panics if the geometry is not a polyline.
+    pub fn as_polyline(&self) -> &Polyline {
+        match self {
+            Geometry::Polyline(l) => l,
+            other => panic!("expected polyline, got {other:?}"),
+        }
+    }
+
+    /// Convenience accessor; panics if the geometry is not a polygon.
+    pub fn as_polygon(&self) -> &Polygon {
+        match self {
+            Geometry::Polygon(g) => g,
+            other => panic!("expected polygon, got {other:?}"),
+        }
+    }
+}
+
+impl From<Point> for Geometry {
+    fn from(p: Point) -> Self {
+        Geometry::Point(p)
+    }
+}
+
+impl From<Polyline> for Geometry {
+    fn from(l: Polyline) -> Self {
+        Geometry::Polyline(l)
+    }
+}
+
+impl From<Polygon> for Geometry {
+    fn from(g: Polygon) -> Self {
+        Geometry::Polygon(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::Ring;
+
+    #[test]
+    fn mbr_dispatch() {
+        let p: Geometry = Point::new(1.0, 2.0).into();
+        assert_eq!(p.mbr(), Rect::new(1.0, 2.0, 1.0, 2.0));
+        assert_eq!(p.num_points(), 1);
+
+        let l: Geometry =
+            Polyline::new(vec![Point::new(0.0, 0.0), Point::new(3.0, 1.0)]).into();
+        assert_eq!(l.mbr(), Rect::new(0.0, 0.0, 3.0, 1.0));
+        assert_eq!(l.num_points(), 2);
+
+        let g: Geometry = Polygon::simple(Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 2.0),
+        ]))
+        .into();
+        assert_eq!(g.mbr(), Rect::new(0.0, 0.0, 2.0, 2.0));
+        assert_eq!(g.num_points(), 3);
+    }
+}

@@ -1,0 +1,148 @@
+//! Hilbert space-filling curve.
+//!
+//! Paradise bulk loads its R\*-trees by "transforming the center point of
+//! the MBR into a Hilbert value, and using this value for ordering the
+//! key–pointer information" (§4.1). The same ordering produces the
+//! "clustered" data collections of §4.3.
+
+use crate::{Point, Rect};
+
+/// Curve order: coordinates are quantized to `2^ORDER` cells per axis.
+/// Order 16 gives a 32-bit Hilbert value, plenty of resolution for the
+/// ~half-million-feature TIGER workloads.
+pub const ORDER: u32 = 16;
+const SIDE: u32 = 1 << ORDER;
+
+/// Maps quantized cell coordinates `(x, y)` (each `< 2^ORDER`) to the
+/// distance along the Hilbert curve.
+///
+/// ```
+/// use pbsm_geom::hilbert::{xy_to_d, d_to_xy};
+///
+/// let d = xy_to_d(123, 456);
+/// assert_eq!(d_to_xy(d), (123, 456));
+/// // Consecutive curve positions are unit neighbours in the grid.
+/// let (x1, y1) = d_to_xy(d);
+/// let (x2, y2) = d_to_xy(d + 1);
+/// assert_eq!(x1.abs_diff(x2) + y1.abs_diff(y2), 1);
+/// ```
+pub fn xy_to_d(mut x: u32, mut y: u32) -> u64 {
+    debug_assert!(x < SIDE && y < SIDE);
+    let mut rx: u32;
+    let mut ry: u32;
+    let mut d: u64 = 0;
+    let mut s = SIDE / 2;
+    while s > 0 {
+        rx = u32::from((x & s) > 0);
+        ry = u32::from((y & s) > 0);
+        d += (s as u64) * (s as u64) * ((3 * rx) ^ ry) as u64;
+        // Rotate the quadrant (reflection is within the full grid).
+        if ry == 0 {
+            if rx == 1 {
+                x = (SIDE - 1) - x;
+                y = (SIDE - 1) - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+/// Inverse of [`xy_to_d`]: curve distance back to cell coordinates.
+pub fn d_to_xy(mut d: u64) -> (u32, u32) {
+    let mut x: u32 = 0;
+    let mut y: u32 = 0;
+    let mut s: u32 = 1;
+    while s < SIDE {
+        let rx = 1 & (d / 2) as u32;
+        let ry = 1 & ((d as u32) ^ rx);
+        // Rotate.
+        if ry == 0 {
+            if rx == 1 {
+                x = s - 1 - x;
+                y = s - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        x += s * rx;
+        y += s * ry;
+        d /= 4;
+        s *= 2;
+    }
+    (x, y)
+}
+
+/// Quantizes a point within `universe` to curve cells and returns its
+/// Hilbert value. Points outside the universe are clamped.
+pub fn hilbert_value(universe: &Rect, p: Point) -> u64 {
+    let w = universe.width().max(f64::MIN_POSITIVE);
+    let h = universe.height().max(f64::MIN_POSITIVE);
+    let fx = ((p.x - universe.xl) / w).clamp(0.0, 1.0);
+    let fy = ((p.y - universe.yl) / h).clamp(0.0, 1.0);
+    let x = ((fx * (SIDE - 1) as f64) + 0.5) as u32;
+    let y = ((fy * (SIDE - 1) as f64) + 0.5) as u32;
+    xy_to_d(x.min(SIDE - 1), y.min(SIDE - 1))
+}
+
+/// Hilbert value of a rectangle's center — the spatial-sort key used by the
+/// bulk loader and by the clustered collections.
+pub fn hilbert_of_rect(universe: &Rect, r: &Rect) -> u64 {
+    hilbert_value(universe, r.center())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_small() {
+        for x in 0..8 {
+            for y in 0..8 {
+                let d = xy_to_d(x, y);
+                assert_eq!(d_to_xy(d), (x, y), "cell ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn curve_is_a_bijection_on_a_grid() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for x in 0..32 {
+            for y in 0..32 {
+                assert!(seen.insert(xy_to_d(x, y)));
+            }
+        }
+        assert_eq!(seen.len(), 1024);
+    }
+
+    #[test]
+    fn adjacent_cells_are_adjacent_on_curve() {
+        // The defining property: consecutive curve positions are unit
+        // neighbours in the grid.
+        for d in 0..4096u64 {
+            let (x1, y1) = d_to_xy(d);
+            let (x2, y2) = d_to_xy(d + 1);
+            let dist = (x1 as i64 - x2 as i64).abs() + (y1 as i64 - y2 as i64).abs();
+            assert_eq!(dist, 1, "jump between d={d} and d={}", d + 1);
+        }
+    }
+
+    #[test]
+    fn value_respects_locality() {
+        let u = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let a = hilbert_value(&u, Point::new(0.10, 0.10));
+        let b = hilbert_value(&u, Point::new(0.11, 0.10));
+        let c = hilbert_value(&u, Point::new(0.90, 0.90));
+        assert!(a.abs_diff(b) < a.abs_diff(c));
+    }
+
+    #[test]
+    fn clamps_out_of_universe() {
+        let u = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let inside = hilbert_value(&u, Point::new(0.0, 0.0));
+        let outside = hilbert_value(&u, Point::new(-5.0, -5.0));
+        assert_eq!(inside, outside);
+    }
+}

@@ -1,0 +1,296 @@
+//! A dynamic interval tree.
+//!
+//! Footnote 1 of the paper: *"This check for overlap can be speeded up by
+//! organizing the MBRs of S that overlap with r along the x-axis in an
+//! Interval-tree \[PS88\]"*. This module provides that structure: an
+//! augmented randomized treap keyed on `(low, id)` where every node stores
+//! the maximum `high` of its subtree, giving `O(log n)` expected insert and
+//! delete and output-sensitive stabbing queries.
+//!
+//! The tree is used by [`crate::sweep::sweep_join_interval`], the
+//! interval-tree variant of the partition-merge sweep, which the benchmark
+//! suite compares against the paper's nested-scan formulation.
+
+/// A y-interval `[low, high]` tagged with the index of the rectangle it
+/// came from.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    pub low: f64,
+    pub high: f64,
+    pub id: u32,
+}
+
+struct Node {
+    iv: Interval,
+    /// Max `high` within this subtree — the classic interval-tree
+    /// augmentation that lets queries prune whole subtrees.
+    max_high: f64,
+    /// Treap heap priority (deterministic pseudo-random).
+    prio: u64,
+    left: Option<Box<Node>>,
+    right: Option<Box<Node>>,
+}
+
+impl Node {
+    fn new(iv: Interval, prio: u64) -> Box<Node> {
+        Box::new(Node { iv, max_high: iv.high, prio, left: None, right: None })
+    }
+
+    fn update(&mut self) {
+        let mut m = self.iv.high;
+        if let Some(l) = &self.left {
+            m = m.max(l.max_high);
+        }
+        if let Some(r) = &self.right {
+            m = m.max(r.max_high);
+        }
+        self.max_high = m;
+    }
+
+    /// Key order: by `low`, ties broken by `id` so duplicates are distinct.
+    fn key(&self) -> (f64, u32) {
+        (self.iv.low, self.iv.id)
+    }
+}
+
+/// Dynamic set of intervals supporting insertion, deletion, and stabbing
+/// (overlap) queries.
+pub struct IntervalTree {
+    root: Option<Box<Node>>,
+    len: usize,
+    rng_state: u64,
+}
+
+impl Default for IntervalTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IntervalTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        IntervalTree { root: None, len: 0, rng_state: 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Number of stored intervals.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn next_prio(&mut self) -> u64 {
+        // SplitMix64: deterministic, good-enough treap priorities.
+        self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Inserts an interval. Duplicate `(low, id)` keys are allowed but make
+    /// deletion ambiguous; callers use unique ids.
+    pub fn insert(&mut self, iv: Interval) {
+        debug_assert!(iv.low <= iv.high);
+        let prio = self.next_prio();
+        let root = self.root.take();
+        self.root = Some(Self::insert_node(root, Node::new(iv, prio)));
+        self.len += 1;
+    }
+
+    fn insert_node(node: Option<Box<Node>>, mut new: Box<Node>) -> Box<Node> {
+        match node {
+            None => new,
+            Some(mut n) => {
+                if new.prio > n.prio {
+                    // `new` becomes the subtree root: split `n` by key.
+                    let (l, r) = Self::split(Some(n), new.key());
+                    new.left = l;
+                    new.right = r;
+                    new.update();
+                    new
+                } else {
+                    if new.key() < n.key() {
+                        n.left = Some(Self::insert_node(n.left.take(), new));
+                    } else {
+                        n.right = Some(Self::insert_node(n.right.take(), new));
+                    }
+                    n.update();
+                    n
+                }
+            }
+        }
+    }
+
+    /// Splits by key: left subtree gets keys `< key`, right gets `>= key`.
+    fn split(node: Option<Box<Node>>, key: (f64, u32)) -> (Option<Box<Node>>, Option<Box<Node>>) {
+        match node {
+            None => (None, None),
+            Some(mut n) => {
+                if n.key() < key {
+                    let (l, r) = Self::split(n.right.take(), key);
+                    n.right = l;
+                    n.update();
+                    (Some(n), r)
+                } else {
+                    let (l, r) = Self::split(n.left.take(), key);
+                    n.left = r;
+                    n.update();
+                    (l, Some(n))
+                }
+            }
+        }
+    }
+
+    fn merge(a: Option<Box<Node>>, b: Option<Box<Node>>) -> Option<Box<Node>> {
+        match (a, b) {
+            (None, b) => b,
+            (a, None) => a,
+            (Some(mut a), Some(mut b)) => {
+                if a.prio > b.prio {
+                    a.right = Self::merge(a.right.take(), Some(b));
+                    a.update();
+                    Some(a)
+                } else {
+                    b.left = Self::merge(Some(a), b.left.take());
+                    b.update();
+                    Some(b)
+                }
+            }
+        }
+    }
+
+    /// Removes the interval with this exact `(low, id)` key. Returns
+    /// whether something was removed.
+    pub fn remove(&mut self, low: f64, id: u32) -> bool {
+        fn rec(node: Option<Box<Node>>, key: (f64, u32), removed: &mut bool) -> Option<Box<Node>> {
+            match node {
+                None => None,
+                Some(mut n) => {
+                    if n.key() == key {
+                        *removed = true;
+                        IntervalTree::merge(n.left.take(), n.right.take())
+                    } else if key < n.key() {
+                        n.left = rec(n.left.take(), key, removed);
+                        n.update();
+                        Some(n)
+                    } else {
+                        n.right = rec(n.right.take(), key, removed);
+                        n.update();
+                        Some(n)
+                    }
+                }
+            }
+        }
+        let mut removed = false;
+        let root = self.root.take();
+        self.root = rec(root, (low, id), &mut removed);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Appends to `out` the ids of every stored interval overlapping the
+    /// closed query interval `[low, high]`.
+    pub fn stab(&self, low: f64, high: f64, out: &mut Vec<u32>) {
+        fn rec(node: &Option<Box<Node>>, low: f64, high: f64, out: &mut Vec<u32>) {
+            let Some(n) = node else { return };
+            // Prune: nothing in this subtree reaches up to `low`.
+            if n.max_high < low {
+                return;
+            }
+            rec(&n.left, low, high, out);
+            if n.iv.low <= high && low <= n.iv.high {
+                out.push(n.iv.id);
+            }
+            // Keys to the right all have `iv.low >= n.iv.low`; if the node's
+            // own low already exceeds `high`, so do all right keys.
+            if n.iv.low <= high {
+                rec(&n.right, low, high, out);
+            }
+        }
+        rec(&self.root, low, high, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(low: f64, high: f64, id: u32) -> Interval {
+        Interval { low, high, id }
+    }
+
+    #[test]
+    fn stab_finds_overlaps_only() {
+        let mut t = IntervalTree::new();
+        t.insert(iv(0.0, 1.0, 0));
+        t.insert(iv(2.0, 3.0, 1));
+        t.insert(iv(0.5, 2.5, 2));
+        t.insert(iv(5.0, 6.0, 3));
+        let mut out = Vec::new();
+        t.stab(0.9, 2.1, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1, 2]);
+        out.clear();
+        t.stab(4.0, 4.5, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut t = IntervalTree::new();
+        t.insert(iv(0.0, 10.0, 7));
+        t.insert(iv(1.0, 2.0, 8));
+        assert_eq!(t.len(), 2);
+        assert!(t.remove(0.0, 7));
+        assert!(!t.remove(0.0, 7));
+        assert_eq!(t.len(), 1);
+        let mut out = Vec::new();
+        t.stab(5.0, 6.0, &mut out);
+        assert!(out.is_empty());
+        t.stab(1.5, 1.6, &mut out);
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        // Deterministic pseudo-random stress against a naive list.
+        let mut t = IntervalTree::new();
+        let mut list: Vec<Interval> = Vec::new();
+        let mut state = 42u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
+        };
+        for id in 0..300u32 {
+            let a = rnd() * 100.0;
+            let b = a + rnd() * 10.0;
+            t.insert(iv(a, b, id));
+            list.push(iv(a, b, id));
+            if id % 3 == 0 && !list.is_empty() {
+                let victim = list.remove((id as usize * 7) % list.len());
+                assert!(t.remove(victim.low, victim.id));
+            }
+            // Query.
+            let ql = rnd() * 100.0;
+            let qh = ql + rnd() * 20.0;
+            let mut got = Vec::new();
+            t.stab(ql, qh, &mut got);
+            got.sort_unstable();
+            let mut want: Vec<u32> = list
+                .iter()
+                .filter(|i| i.low <= qh && ql <= i.high)
+                .map(|i| i.id)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "query [{ql},{qh}] after {id} ops");
+        }
+        assert_eq!(t.len(), list.len());
+    }
+}

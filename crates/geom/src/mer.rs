@@ -1,0 +1,195 @@
+//! Maximal enclosed rectangle (MER) — the \[BKSS94\] refinement pre-filter.
+//!
+//! §4.4 of the paper discusses speeding up the containment refinement step
+//! "by an order of magnitude in many cases" by storing, alongside each
+//! polygon, a *maximal enclosed rectangle* (a rectangle fully contained in
+//! the polygon). During refinement, "to determine if polygon p1 is
+//! contained in polygon p2, the MBR of p1 could be examined for containment
+//! in the MER of p2. If this containment holds, p1 is guaranteed to lie
+//! within p2, and we can skip further processing."
+//!
+//! Computing the true largest axis-aligned enclosed rectangle of an
+//! arbitrary polygon is itself an expensive computational-geometry problem;
+//! any *enclosed* rectangle is a sound filter (it can only shrink the
+//! fast-accept set, never accept wrongly). We therefore compute a large —
+//! not necessarily maximum — enclosed rectangle by binary-searching the
+//! biggest scaled copy of the MBR, centred on an interior anchor point,
+//! that still lies fully inside the polygon.
+
+use crate::{Point, Polygon, Rect, Segment};
+
+/// Whether `rect` lies fully inside `poly` (hole-aware): all four corners
+/// are inside and no polygon edge crosses the rectangle boundary.
+pub fn rect_inside_polygon(rect: &Rect, poly: &Polygon) -> bool {
+    if rect.is_empty() {
+        return false;
+    }
+    let corners = [
+        Point::new(rect.xl, rect.yl),
+        Point::new(rect.xu, rect.yl),
+        Point::new(rect.xu, rect.yu),
+        Point::new(rect.xl, rect.yu),
+    ];
+    if !corners.iter().all(|&c| poly.contains_point(c)) {
+        return false;
+    }
+    // Any polygon edge (outer or hole) intersecting the rectangle's
+    // interior or boundary disqualifies it. Crossing requires the edge to
+    // intersect one of the four rectangle sides, or to be fully inside —
+    // but a fully-inside edge implies a hole inside the rect, which the
+    // endpoint test below also catches via the edge MBR check.
+    let sides = [
+        Segment::new(corners[0], corners[1]),
+        Segment::new(corners[1], corners[2]),
+        Segment::new(corners[2], corners[3]),
+        Segment::new(corners[3], corners[0]),
+    ];
+    for edge in poly.segments() {
+        let em = edge.mbr();
+        if !em.intersects(rect) {
+            continue;
+        }
+        // Edge endpoint strictly inside the rectangle ⇒ boundary dips in.
+        for p in [edge.a, edge.b] {
+            if p.x > rect.xl && p.x < rect.xu && p.y > rect.yl && p.y < rect.yu {
+                return false;
+            }
+        }
+        for side in &sides {
+            if side.intersects(&edge) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Finds an interior anchor point: the outer-ring centroid if it is inside
+/// the polygon, otherwise the first midpoint of consecutive vertices that
+/// is.
+fn interior_anchor(poly: &Polygon) -> Option<Point> {
+    let pts = poly.outer().points();
+    let n = pts.len() as f64;
+    let centroid = Point::new(
+        pts.iter().map(|p| p.x).sum::<f64>() / n,
+        pts.iter().map(|p| p.y).sum::<f64>() / n,
+    );
+    if poly.contains_point(centroid) {
+        return Some(centroid);
+    }
+    for w in pts.windows(2) {
+        let mid = w[0].midpoint(&w[1]);
+        // Nudge inward by averaging with the centroid.
+        let cand = mid.midpoint(&centroid);
+        if poly.contains_point(cand) {
+            return Some(cand);
+        }
+    }
+    None
+}
+
+/// Computes a large enclosed rectangle of `poly`, or `None` when no
+/// interior anchor could be found (degenerate polygons).
+///
+/// `iterations` controls the binary-search resolution; 12 gives scale
+/// resolution of 1/4096 of the MBR, ample for a filter.
+pub fn maximal_enclosed_rect(poly: &Polygon, iterations: u32) -> Option<Rect> {
+    let anchor = interior_anchor(poly)?;
+    let mbr = poly.mbr();
+    let half_w = (mbr.width() * 0.5).max(f64::MIN_POSITIVE);
+    let half_h = (mbr.height() * 0.5).max(f64::MIN_POSITIVE);
+
+    let rect_at = |scale: f64| -> Rect {
+        Rect {
+            xl: anchor.x - half_w * scale,
+            yl: anchor.y - half_h * scale,
+            xu: anchor.x + half_w * scale,
+            yu: anchor.y + half_h * scale,
+        }
+    };
+
+    let mut lo = 0.0f64; // known inside (degenerate point)
+    let mut hi = 1.0f64;
+    if rect_inside_polygon(&rect_at(hi), poly) {
+        return Some(rect_at(hi));
+    }
+    for _ in 0..iterations {
+        let mid = (lo + hi) * 0.5;
+        if rect_inside_polygon(&rect_at(mid), poly) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    if lo == 0.0 {
+        None
+    } else {
+        Some(rect_at(lo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::Ring;
+
+    fn ring(coords: &[(f64, f64)]) -> Ring {
+        Ring::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect())
+    }
+
+    fn square(s: f64) -> Polygon {
+        Polygon::simple(ring(&[(0.0, 0.0), (s, 0.0), (s, s), (0.0, s)]))
+    }
+
+    #[test]
+    fn mer_of_square_is_nearly_the_square() {
+        let p = square(10.0);
+        let mer = maximal_enclosed_rect(&p, 14).unwrap();
+        assert!(rect_inside_polygon(&mer, &p));
+        assert!(mer.area() > 0.99 * 100.0, "area {}", mer.area());
+    }
+
+    #[test]
+    fn mer_avoids_holes() {
+        let hole = ring(&[(4.0, 4.0), (6.0, 4.0), (6.0, 6.0), (4.0, 6.0)]);
+        let p = Polygon::with_holes(
+            ring(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]),
+            vec![hole],
+        );
+        // The centred rectangle cannot cover the central hole.
+        if let Some(mer) = maximal_enclosed_rect(&p, 14) {
+            assert!(rect_inside_polygon(&mer, &p));
+            assert!(!mer.contains(&Rect::new(4.5, 4.5, 5.5, 5.5)));
+        }
+    }
+
+    #[test]
+    fn mer_of_triangle_is_inside() {
+        let p = Polygon::simple(ring(&[(0.0, 0.0), (10.0, 0.0), (5.0, 8.0)]));
+        let mer = maximal_enclosed_rect(&p, 14).unwrap();
+        assert!(rect_inside_polygon(&mer, &p));
+        assert!(mer.area() > 1.0);
+    }
+
+    #[test]
+    fn rect_inside_rejects_protrusions() {
+        let p = square(10.0);
+        assert!(rect_inside_polygon(&Rect::new(1.0, 1.0, 9.0, 9.0), &p));
+        assert!(!rect_inside_polygon(&Rect::new(1.0, 1.0, 11.0, 9.0), &p));
+        assert!(!rect_inside_polygon(&Rect::new(-1.0, 1.0, 9.0, 9.0), &p));
+    }
+
+    #[test]
+    fn mer_is_sound_filter_for_containment() {
+        // Anything inside the MER is inside the polygon.
+        let p = Polygon::simple(ring(&[(0.0, 0.0), (8.0, 0.0), (8.0, 4.0), (4.0, 8.0), (0.0, 4.0)]));
+        let mer = maximal_enclosed_rect(&p, 14).unwrap();
+        for &(x, y) in &[(0.25, 0.25), (0.5, 0.5), (0.75, 0.75)] {
+            let probe = Point::new(
+                mer.xl + x * mer.width(),
+                mer.yl + y * mer.height(),
+            );
+            assert!(p.contains_point(probe));
+        }
+    }
+}

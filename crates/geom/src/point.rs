@@ -1,0 +1,117 @@
+//! 2-D points.
+
+use std::fmt;
+
+/// A point in the plane.
+///
+/// Coordinates are `f64`. All spatial data in the reproduction (TIGER
+/// polyline vertices, Sequoia polygon vertices) bottoms out in `Point`s.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the `sqrt` when only
+    /// comparisons are needed, e.g. in the R\* forced-reinsert sort).
+    #[inline]
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Midpoint of the segment from `self` to `other`.
+    #[inline]
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// Orientation of the ordered triple `(a, b, c)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Orientation {
+    /// Counter-clockwise turn.
+    Ccw,
+    /// Clockwise turn.
+    Cw,
+    /// The three points are collinear.
+    Collinear,
+}
+
+/// Computes the orientation of the triple `(a, b, c)` via the sign of the
+/// cross product `(b - a) × (c - a)`.
+///
+/// This is the fundamental predicate behind segment intersection,
+/// point-in-polygon, and the refinement-step geometry tests. A relative
+/// epsilon is applied so that nearly-collinear triples produced by the
+/// synthetic generators are classified as collinear rather than flapping
+/// between `Ccw`/`Cw` under round-off.
+#[inline]
+pub fn orientation(a: Point, b: Point, c: Point) -> Orientation {
+    let cross = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+    // Scale-aware tolerance: |cross| is bounded by the product of the two
+    // edge lengths, so compare against that magnitude.
+    let scale = (b.x - a.x).abs().max((b.y - a.y).abs()).max((c.x - a.x).abs()).max((c.y - a.y).abs());
+    let eps = f64::EPSILON * 64.0 * scale * scale;
+    if cross > eps {
+        Orientation::Ccw
+    } else if cross < -eps {
+        Orientation::Cw
+    } else {
+        Orientation::Collinear
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+        assert_eq!(a.midpoint(&b), Point::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn orientation_basic() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        assert_eq!(orientation(a, b, Point::new(1.0, 1.0)), Orientation::Ccw);
+        assert_eq!(orientation(a, b, Point::new(1.0, -1.0)), Orientation::Cw);
+        assert_eq!(orientation(a, b, Point::new(2.0, 0.0)), Orientation::Collinear);
+    }
+
+    #[test]
+    fn orientation_is_antisymmetric() {
+        let a = Point::new(0.1, 0.7);
+        let b = Point::new(0.9, 0.2);
+        let c = Point::new(0.4, 0.9);
+        let o1 = orientation(a, b, c);
+        let o2 = orientation(a, c, b);
+        assert_ne!(o1, Orientation::Collinear);
+        assert_ne!(o1, o2);
+    }
+}

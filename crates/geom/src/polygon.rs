@@ -1,0 +1,237 @@
+//! Polygons with holes — the paper's "swiss-cheese polygons".
+//!
+//! The Sequoia landuse data is polygonal, and the island data set
+//! "represents holes in the polygon data (example, a lake in a park)". The
+//! evaluation query checks whether an island polygon is *contained* in a
+//! landuse polygon, so the predicates here are point-in-polygon and
+//! polygon-in-polygon, both hole-aware.
+
+use crate::{Point, Rect, Segment};
+
+/// A simple closed ring of vertices (implicitly closed: the last vertex
+/// connects back to the first; do not repeat the first vertex).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ring {
+    points: Vec<Point>,
+}
+
+impl Ring {
+    /// Creates a ring from at least three vertices.
+    pub fn new(points: Vec<Point>) -> Self {
+        assert!(points.len() >= 3, "a ring needs at least 3 points");
+        Ring { points }
+    }
+
+    /// Vertices of the ring.
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always false: construction requires ≥ 3 points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterator over the boundary segments, including the closing one.
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.points.len();
+        (0..n).map(move |i| Segment::new(self.points[i], self.points[(i + 1) % n]))
+    }
+
+    /// Minimum bounding rectangle.
+    pub fn mbr(&self) -> Rect {
+        Rect::bounding(&self.points)
+    }
+
+    /// Signed area (positive for counter-clockwise winding).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.points.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let p = self.points[i];
+            let q = self.points[(i + 1) % n];
+            acc += p.x * q.y - q.x * p.y;
+        }
+        acc * 0.5
+    }
+
+    /// Even-odd (ray casting) point-in-ring test. Points exactly on the
+    /// boundary are treated as inside, which matches the closed semantics
+    /// of the other predicates.
+    pub fn contains_point(&self, p: Point) -> bool {
+        // Boundary check first so edge-lying points are deterministic.
+        for s in self.segments() {
+            if s.mbr().contains_point(p) && s.intersects(&Segment::new(p, p)) {
+                return true;
+            }
+        }
+        let n = self.points.len();
+        let mut inside = false;
+        let mut j = n - 1;
+        for i in 0..n {
+            let pi = self.points[i];
+            let pj = self.points[j];
+            // Half-open rule on y avoids double counting at vertices.
+            if (pi.y > p.y) != (pj.y > p.y) {
+                let x_cross = pj.x + (p.y - pj.y) / (pi.y - pj.y) * (pi.x - pj.x);
+                if p.x < x_cross {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+}
+
+/// A polygon with an outer ring and zero or more hole rings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Polygon {
+    outer: Ring,
+    holes: Vec<Ring>,
+}
+
+impl Polygon {
+    /// A polygon with no holes.
+    pub fn simple(outer: Ring) -> Self {
+        Polygon { outer, holes: Vec::new() }
+    }
+
+    /// A swiss-cheese polygon: an outer ring with holes.
+    pub fn with_holes(outer: Ring, holes: Vec<Ring>) -> Self {
+        Polygon { outer, holes }
+    }
+
+    /// The outer boundary ring.
+    #[inline]
+    pub fn outer(&self) -> &Ring {
+        &self.outer
+    }
+
+    /// The hole rings.
+    #[inline]
+    pub fn holes(&self) -> &[Ring] {
+        &self.holes
+    }
+
+    /// Total vertex count across all rings — the `n` of the paper's
+    /// "naive O(n²)" containment discussion.
+    pub fn num_points(&self) -> usize {
+        self.outer.len() + self.holes.iter().map(Ring::len).sum::<usize>()
+    }
+
+    /// Minimum bounding rectangle (of the outer ring).
+    pub fn mbr(&self) -> Rect {
+        self.outer.mbr()
+    }
+
+    /// Area of the outer ring minus the holes.
+    pub fn area(&self) -> f64 {
+        self.outer.signed_area().abs()
+            - self.holes.iter().map(|h| h.signed_area().abs()).sum::<f64>()
+    }
+
+    /// Iterator over the segments of every ring.
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.outer
+            .segments()
+            .chain(self.holes.iter().flat_map(|h| h.segments()))
+    }
+
+    /// Hole-aware point containment: inside the outer ring and strictly
+    /// outside every hole.
+    pub fn contains_point(&self, p: Point) -> bool {
+        if !self.outer.contains_point(p) {
+            return false;
+        }
+        for h in &self.holes {
+            if h.contains_point(p) {
+                // Points on a hole's boundary still belong to the polygon.
+                let on_boundary = h
+                    .segments()
+                    .any(|s| s.mbr().contains_point(p) && s.intersects(&Segment::new(p, p)));
+                if !on_boundary {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn ring(coords: &[(f64, f64)]) -> Ring {
+        Ring::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect())
+    }
+
+    fn unit_square() -> Ring {
+        ring(&[(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)])
+    }
+
+    #[test]
+    fn signed_area_and_winding() {
+        let ccw = unit_square();
+        assert_eq!(ccw.signed_area(), 16.0);
+        let cw = ring(&[(0.0, 0.0), (0.0, 4.0), (4.0, 4.0), (4.0, 0.0)]);
+        assert_eq!(cw.signed_area(), -16.0);
+    }
+
+    #[test]
+    fn point_in_ring() {
+        let r = unit_square();
+        assert!(r.contains_point(Point::new(2.0, 2.0)));
+        assert!(!r.contains_point(Point::new(5.0, 2.0)));
+        assert!(!r.contains_point(Point::new(-0.1, 2.0)));
+        // Boundary points count as inside.
+        assert!(r.contains_point(Point::new(0.0, 2.0)));
+        assert!(r.contains_point(Point::new(4.0, 4.0)));
+    }
+
+    #[test]
+    fn point_in_concave_ring() {
+        // A "U" shape.
+        let u = ring(&[
+            (0.0, 0.0),
+            (6.0, 0.0),
+            (6.0, 6.0),
+            (4.0, 6.0),
+            (4.0, 2.0),
+            (2.0, 2.0),
+            (2.0, 6.0),
+            (0.0, 6.0),
+        ]);
+        assert!(u.contains_point(Point::new(1.0, 5.0)));
+        assert!(u.contains_point(Point::new(5.0, 5.0)));
+        assert!(!u.contains_point(Point::new(3.0, 5.0))); // in the notch
+        assert!(u.contains_point(Point::new(3.0, 1.0)));
+    }
+
+    #[test]
+    fn swiss_cheese_containment() {
+        let hole = ring(&[(1.0, 1.0), (3.0, 1.0), (3.0, 3.0), (1.0, 3.0)]);
+        let p = Polygon::with_holes(unit_square(), vec![hole]);
+        assert!(p.contains_point(Point::new(0.5, 0.5)));
+        assert!(!p.contains_point(Point::new(2.0, 2.0))); // in the hole
+        assert!(p.contains_point(Point::new(3.0, 2.0))); // on hole boundary
+        assert_eq!(p.area(), 16.0 - 4.0);
+        assert_eq!(p.num_points(), 8);
+    }
+
+    #[test]
+    fn polygon_mbr_is_outer_mbr() {
+        let p = Polygon::simple(unit_square());
+        assert_eq!(p.mbr(), Rect::new(0.0, 0.0, 4.0, 4.0));
+        assert_eq!(p.segments().count(), 4);
+    }
+}

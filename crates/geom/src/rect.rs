@@ -1,0 +1,255 @@
+//! Axis-aligned rectangles (minimum bounding rectangles).
+//!
+//! `Rect` is the approximation used throughout the filter step: PBSM
+//! key-pointer elements, R\*-tree entries, and the tile grid of the spatial
+//! partitioning function are all rectangles. Field names follow the paper's
+//! notation: `xl`/`xu` are the lower/upper x-coordinates (the paper writes
+//! `MBR.xl` and `MBR.xu` in §3.1), and likewise for y.
+
+use crate::Point;
+use std::fmt;
+
+/// An axis-aligned rectangle `[xl, xu] × [yl, yu]`, closed on all sides.
+#[derive(Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Lower x-coordinate (`MBR.xl` in the paper).
+    pub xl: f64,
+    /// Lower y-coordinate.
+    pub yl: f64,
+    /// Upper x-coordinate (`MBR.xu` in the paper).
+    pub xu: f64,
+    /// Upper y-coordinate.
+    pub yu: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its bounds. Panics in debug builds if the
+    /// bounds are inverted or non-finite.
+    #[inline]
+    pub fn new(xl: f64, yl: f64, xu: f64, yu: f64) -> Self {
+        debug_assert!(xl <= xu && yl <= yu, "inverted rect [{xl},{xu}]x[{yl},{yu}]");
+        debug_assert!(xl.is_finite() && yl.is_finite() && xu.is_finite() && yu.is_finite());
+        Rect { xl, yl, xu, yu }
+    }
+
+    /// The degenerate rectangle covering a single point.
+    #[inline]
+    pub fn from_point(p: Point) -> Self {
+        Rect::new(p.x, p.y, p.x, p.y)
+    }
+
+    /// The "empty" rectangle: the identity for [`Rect::union`]. Contains and
+    /// intersects nothing.
+    #[inline]
+    pub const fn empty() -> Self {
+        Rect { xl: f64::INFINITY, yl: f64::INFINITY, xu: f64::NEG_INFINITY, yu: f64::NEG_INFINITY }
+    }
+
+    /// Whether this is the empty rectangle (or otherwise inverted).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.xl > self.xu || self.yl > self.yu
+    }
+
+    /// Minimum bounding rectangle of a set of points. Returns
+    /// [`Rect::empty`] for an empty slice.
+    pub fn bounding(points: &[Point]) -> Self {
+        let mut r = Rect::empty();
+        for p in points {
+            r.expand_point(*p);
+        }
+        r
+    }
+
+    /// Grows `self` to cover `p`.
+    #[inline]
+    pub fn expand_point(&mut self, p: Point) {
+        self.xl = self.xl.min(p.x);
+        self.yl = self.yl.min(p.y);
+        self.xu = self.xu.max(p.x);
+        self.yu = self.yu.max(p.y);
+    }
+
+    /// Width along x.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.xu - self.xl).max(0.0)
+    }
+
+    /// Height along y.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.yu - self.yl).max(0.0)
+    }
+
+    /// Area. Zero for degenerate and empty rectangles.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() * self.height()
+        }
+    }
+
+    /// Half-perimeter ("margin" in the R\*-tree split heuristics).
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() + self.height()
+        }
+    }
+
+    /// Center point. Meaningless for the empty rectangle.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new((self.xl + self.xu) * 0.5, (self.yl + self.yu) * 0.5)
+    }
+
+    /// Closed-interval overlap test — the filter-step predicate. Rectangles
+    /// that merely touch along an edge are considered intersecting, matching
+    /// the candidate-superset semantics of the filter step.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.xl <= other.xu && other.xl <= self.xu && self.yl <= other.yu && other.yl <= self.yu
+    }
+
+    /// Overlap test along the y-axis only; used by the plane sweep after it
+    /// has established x-overlap (§3.1: "checked for overlap with r along
+    /// the y-axis").
+    #[inline]
+    pub fn intersects_y(&self, other: &Rect) -> bool {
+        self.yl <= other.yu && other.yl <= self.yu
+    }
+
+    /// Whether `self` fully contains `other`.
+    #[inline]
+    pub fn contains(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && self.xl <= other.xl
+            && self.yl <= other.yl
+            && self.xu >= other.xu
+            && self.yu >= other.yu
+    }
+
+    /// Whether `self` contains the point `p` (closed).
+    #[inline]
+    pub fn contains_point(&self, p: Point) -> bool {
+        self.xl <= p.x && p.x <= self.xu && self.yl <= p.y && p.y <= self.yu
+    }
+
+    /// Smallest rectangle covering both inputs.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            xl: self.xl.min(other.xl),
+            yl: self.yl.min(other.yl),
+            xu: self.xu.max(other.xu),
+            yu: self.yu.max(other.yu),
+        }
+    }
+
+    /// Intersection of the two rectangles; [`Rect::empty`] if disjoint.
+    #[inline]
+    pub fn intersection(&self, other: &Rect) -> Rect {
+        let r = Rect {
+            xl: self.xl.max(other.xl),
+            yl: self.yl.max(other.yl),
+            xu: self.xu.min(other.xu),
+            yu: self.yu.min(other.yu),
+        };
+        if r.xl > r.xu || r.yl > r.yu {
+            Rect::empty()
+        } else {
+            r
+        }
+    }
+
+    /// Area of the intersection; 0 if disjoint. Used by the R\*-tree split
+    /// heuristics.
+    #[inline]
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        self.intersection(other).area()
+    }
+
+    /// By how much the area grows if `self` is enlarged to cover `other`.
+    /// The ChooseSubtree criterion of R-trees.
+    #[inline]
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+}
+
+impl fmt::Debug for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]x[{}, {}]", self.xl, self.xu, self.yl, self.yu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(xl: f64, yl: f64, xu: f64, yu: f64) -> Rect {
+        Rect::new(xl, yl, xu, yu)
+    }
+
+    #[test]
+    fn empty_behaves_as_identity() {
+        let e = Rect::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(e.union(&a), a);
+        assert!(!e.intersects(&a));
+        assert!(!e.contains(&a));
+    }
+
+    #[test]
+    fn intersects_is_symmetric_and_closed() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(1.0, 1.0, 2.0, 2.0); // touches at a corner
+        let c = r(1.1, 1.1, 2.0, 2.0);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert!(!c.intersects(&a));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        let b = r(1.0, 1.0, 3.0, 3.0);
+        assert_eq!(a.union(&b), r(0.0, 0.0, 3.0, 3.0));
+        assert_eq!(a.intersection(&b), r(1.0, 1.0, 2.0, 2.0));
+        assert_eq!(a.overlap_area(&b), 1.0);
+        assert!(a.intersection(&r(5.0, 5.0, 6.0, 6.0)).is_empty());
+    }
+
+    #[test]
+    fn containment() {
+        let a = r(0.0, 0.0, 4.0, 4.0);
+        assert!(a.contains(&r(1.0, 1.0, 2.0, 2.0)));
+        assert!(a.contains(&a));
+        assert!(!a.contains(&r(1.0, 1.0, 5.0, 2.0)));
+        assert!(a.contains_point(Point::new(0.0, 4.0)));
+        assert!(!a.contains_point(Point::new(-0.1, 2.0)));
+    }
+
+    #[test]
+    fn enlargement_and_margin() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(a.enlargement(&r(0.0, 0.0, 2.0, 1.0)), 1.0);
+        assert_eq!(a.margin(), 2.0);
+        assert_eq!(a.center(), Point::new(0.5, 0.5));
+    }
+
+    #[test]
+    fn bounding_points() {
+        let pts = [Point::new(1.0, 5.0), Point::new(-2.0, 3.0), Point::new(0.0, 7.0)];
+        assert_eq!(Rect::bounding(&pts), r(-2.0, 3.0, 1.0, 7.0));
+        assert!(Rect::bounding(&[]).is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! Line segments and the segment-intersection predicate.
+
+use crate::point::{orientation, Orientation, Point};
+use crate::Rect;
+
+/// A closed line segment between two points.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    pub a: Point,
+    pub b: Point,
+}
+
+impl Segment {
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Minimum bounding rectangle of the segment.
+    #[inline]
+    pub fn mbr(&self) -> Rect {
+        Rect {
+            xl: self.a.x.min(self.b.x),
+            yl: self.a.y.min(self.b.y),
+            xu: self.a.x.max(self.b.x),
+            yu: self.a.y.max(self.b.y),
+        }
+    }
+
+    /// Whether the (collinear) point `p` lies on this segment. Only
+    /// meaningful when `p` is already known to be collinear with the
+    /// segment endpoints.
+    #[inline]
+    fn on_segment(&self, p: Point) -> bool {
+        p.x >= self.a.x.min(self.b.x)
+            && p.x <= self.a.x.max(self.b.x)
+            && p.y >= self.a.y.min(self.b.y)
+            && p.y <= self.a.y.max(self.b.y)
+    }
+
+    /// Closed segment-intersection predicate, including touching endpoints
+    /// and collinear overlap. This is the inner loop of the refinement step
+    /// for polyline × polyline joins.
+    pub fn intersects(&self, other: &Segment) -> bool {
+        let o1 = orientation(self.a, self.b, other.a);
+        let o2 = orientation(self.a, self.b, other.b);
+        let o3 = orientation(other.a, other.b, self.a);
+        let o4 = orientation(other.a, other.b, self.b);
+
+        if o1 != o2 && o3 != o4 && o1 != Orientation::Collinear && o2 != Orientation::Collinear
+            && o3 != Orientation::Collinear && o4 != Orientation::Collinear
+        {
+            return true;
+        }
+        // Collinear / touching special cases.
+        (o1 == Orientation::Collinear && self.on_segment(other.a))
+            || (o2 == Orientation::Collinear && self.on_segment(other.b))
+            || (o3 == Orientation::Collinear && other.on_segment(self.a))
+            || (o4 == Orientation::Collinear && other.on_segment(self.b))
+    }
+
+    /// Segment length.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.distance(&self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn proper_crossing() {
+        assert!(seg(0.0, 0.0, 2.0, 2.0).intersects(&seg(0.0, 2.0, 2.0, 0.0)));
+    }
+
+    #[test]
+    fn disjoint() {
+        assert!(!seg(0.0, 0.0, 1.0, 0.0).intersects(&seg(0.0, 1.0, 1.0, 1.0)));
+        assert!(!seg(0.0, 0.0, 1.0, 1.0).intersects(&seg(2.0, 2.0, 3.0, 3.5)));
+    }
+
+    #[test]
+    fn touching_endpoint_counts() {
+        assert!(seg(0.0, 0.0, 1.0, 1.0).intersects(&seg(1.0, 1.0, 2.0, 0.0)));
+        // T-junction: endpoint in segment interior.
+        assert!(seg(0.0, 0.0, 2.0, 0.0).intersects(&seg(1.0, 0.0, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn collinear_overlap_counts() {
+        assert!(seg(0.0, 0.0, 2.0, 0.0).intersects(&seg(1.0, 0.0, 3.0, 0.0)));
+        // Collinear but disjoint.
+        assert!(!seg(0.0, 0.0, 1.0, 0.0).intersects(&seg(2.0, 0.0, 3.0, 0.0)));
+    }
+
+    #[test]
+    fn symmetric() {
+        let s1 = seg(0.3, 0.1, 0.9, 0.8);
+        let s2 = seg(0.2, 0.9, 0.8, 0.0);
+        assert_eq!(s1.intersects(&s2), s2.intersects(&s1));
+    }
+
+    #[test]
+    fn mbr_covers_segment() {
+        let s = seg(2.0, 5.0, -1.0, 3.0);
+        assert_eq!(s.mbr(), Rect::new(-1.0, 3.0, 2.0, 5.0));
+    }
+}

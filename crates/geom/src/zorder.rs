@@ -1,0 +1,96 @@
+//! Z-order (Morton) curve.
+//!
+//! Included for completeness of the related-work lineage: Orenstein's
+//! z-value spatial join (\[Ore86\], \[OM88\]) transforms grid pixels to a
+//! 1-dimensional domain with this mapping. The reproduction uses it as an
+//! alternative spatial-sort key (the bulk loader takes either curve) and in
+//! ablation benchmarks against the Hilbert order.
+
+use crate::{Point, Rect};
+
+/// Bits per axis; matches [`crate::hilbert::ORDER`].
+pub const ORDER: u32 = 16;
+const SIDE: u32 = 1 << ORDER;
+
+/// Spreads the low 16 bits of `v` so one zero bit separates each data bit.
+#[inline]
+fn interleave(v: u32) -> u64 {
+    let mut x = v as u64 & 0xFFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555;
+    x
+}
+
+/// Inverse of [`interleave`].
+#[inline]
+fn deinterleave(v: u64) -> u32 {
+    let mut x = v & 0x5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF;
+    x as u32
+}
+
+/// Morton code of quantized cell coordinates.
+#[inline]
+pub fn xy_to_z(x: u32, y: u32) -> u64 {
+    debug_assert!(x < SIDE && y < SIDE);
+    interleave(x) | (interleave(y) << 1)
+}
+
+/// Inverse of [`xy_to_z`].
+#[inline]
+pub fn z_to_xy(z: u64) -> (u32, u32) {
+    (deinterleave(z), deinterleave(z >> 1))
+}
+
+/// Z-value of a point quantized within `universe` (clamped).
+pub fn z_value(universe: &Rect, p: Point) -> u64 {
+    let w = universe.width().max(f64::MIN_POSITIVE);
+    let h = universe.height().max(f64::MIN_POSITIVE);
+    let fx = ((p.x - universe.xl) / w).clamp(0.0, 1.0);
+    let fy = ((p.y - universe.yl) / h).clamp(0.0, 1.0);
+    let x = ((fx * (SIDE - 1) as f64) + 0.5) as u32;
+    let y = ((fy * (SIDE - 1) as f64) + 0.5) as u32;
+    xy_to_z(x.min(SIDE - 1), y.min(SIDE - 1))
+}
+
+/// Z-value of a rectangle's center.
+pub fn z_of_rect(universe: &Rect, r: &Rect) -> u64 {
+    z_value(universe, r.center())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for &(x, y) in &[(0, 0), (1, 0), (0, 1), (65535, 65535), (12345, 54321)] {
+            assert_eq!(z_to_xy(xy_to_z(x, y)), (x, y));
+        }
+    }
+
+    #[test]
+    fn interleaving_orders_quadrants() {
+        // All of quadrant (0,0) sorts before any cell with the top bit set.
+        assert!(xy_to_z(10, 20) < xy_to_z(SIDE / 2, 0));
+        assert!(xy_to_z(SIDE / 2, 0) < xy_to_z(0, SIDE / 2) || xy_to_z(0, SIDE / 2) < xy_to_z(SIDE / 2, 0));
+    }
+
+    #[test]
+    fn monotone_along_axes() {
+        assert!(xy_to_z(0, 0) < xy_to_z(1, 0));
+        assert!(xy_to_z(0, 0) < xy_to_z(0, 1));
+    }
+
+    #[test]
+    fn z_value_clamps() {
+        let u = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(z_value(&u, Point::new(-1.0, -1.0)), z_value(&u, Point::new(0.0, 0.0)));
+        assert_eq!(z_value(&u, Point::new(2.0, 2.0)), z_value(&u, Point::new(1.0, 1.0)));
+    }
+}

@@ -1,0 +1,258 @@
+//! R-tree deletion with CondenseTree \[Gut84\].
+//!
+//! The paper's workloads never delete, but a production index needs the
+//! operation: find the leaf holding the entry, remove it, and condense —
+//! nodes that underflow are dissolved and their surviving entries
+//! reinserted at their original level, then ancestor MBRs are tightened.
+//! If the root ends up with a single child, the tree shrinks.
+
+use crate::node::{read_node, write_node, Entry, Node};
+use crate::RTree;
+use pbsm_geom::Rect;
+use pbsm_storage::buffer::BufferPool;
+use pbsm_storage::{Oid, PageId, StorageResult};
+
+impl RTree {
+    /// Deletes the `(rect, oid)` leaf entry. Returns whether it was found.
+    ///
+    /// The rectangle must match the one the entry was inserted with (the
+    /// standard R-tree contract: deletion descends only subtrees whose
+    /// MBRs cover it).
+    pub fn delete(&mut self, pool: &BufferPool, rect: &Rect, oid: Oid) -> StorageResult<bool> {
+        // (page, index-in-parent) path to the leaf that holds the entry.
+        let mut orphans: Vec<(Entry, u32)> = Vec::new();
+        let root = self.root;
+        let height = self.height;
+        let _ = height;
+        let found = self.delete_rec(pool, root, rect, oid, &mut Vec::new(), &mut orphans)?;
+        if !found {
+            return Ok(false);
+        }
+        self.entries -= 1;
+        // Reinsert orphans at their recorded levels (leaf entries at 1).
+        for (entry, level) in orphans {
+            let mut reinserted = vec![false; (self.height + 2) as usize];
+            self.insert_at_level(pool, entry, level, &mut reinserted)?;
+        }
+        // Shrink the root while it is an internal node with one child.
+        loop {
+            let node = read_node(pool, self.root)?;
+            if node.is_leaf || node.entries.len() != 1 {
+                break;
+            }
+            self.root = node.entries[0].child_page(self.file_id());
+            self.height -= 1;
+        }
+        Ok(true)
+    }
+
+    fn delete_rec(
+        &mut self,
+        pool: &BufferPool,
+        pid: PageId,
+        rect: &Rect,
+        oid: Oid,
+        path: &mut Vec<(PageId, usize)>,
+        orphans: &mut Vec<(Entry, u32)>,
+    ) -> StorageResult<bool> {
+        let mut node = read_node(pool, pid)?;
+        if node.is_leaf {
+            let Some(at) = node
+                .entries
+                .iter()
+                .position(|e| e.child_oid() == oid && e.rect == *rect)
+            else {
+                return Ok(false);
+            };
+            node.entries.swap_remove(at);
+            self.condense(pool, pid, node, 1, path, orphans)?;
+            return Ok(true);
+        }
+        for i in 0..node.entries.len() {
+            if node.entries[i].rect.contains(rect) {
+                path.push((pid, i));
+                if self.delete_rec(
+                    pool,
+                    node.entries[i].child_page(self.file_id()),
+                    rect,
+                    oid,
+                    path,
+                    orphans,
+                )? {
+                    return Ok(true);
+                }
+                path.pop();
+            }
+        }
+        Ok(false)
+    }
+
+    /// CondenseTree: after removal, dissolve underfull nodes upward,
+    /// collecting their entries for reinsertion, and tighten MBRs.
+    fn condense(
+        &mut self,
+        pool: &BufferPool,
+        mut pid: PageId,
+        mut node: Node,
+        mut level: u32,
+        path: &mut Vec<(PageId, usize)>,
+        orphans: &mut Vec<(Entry, u32)>,
+    ) -> StorageResult<()> {
+        loop {
+            let is_root = pid == self.root;
+            if !is_root && node.entries.len() < self.min_fill() {
+                // Dissolve: orphan the survivors, drop this node from its
+                // parent. (The page itself is left unreferenced; a full
+                // implementation would recycle it via a free list.)
+                for e in node.entries.drain(..) {
+                    orphans.push((e, level));
+                }
+                let (parent_pid, idx) = path.pop().expect("non-root has a parent");
+                let mut parent = read_node(pool, parent_pid)?;
+                parent.entries.swap_remove(idx);
+                pid = parent_pid;
+                node = parent;
+                level += 1;
+                continue;
+            }
+            let mbr = node.mbr();
+            write_node(pool, pid, &node)?;
+            // Tighten ancestors.
+            let mut child_mbr = mbr;
+            for (anc_pid, idx) in path.iter().rev() {
+                let mut anc = read_node(pool, *anc_pid)?;
+                if anc.entries[*idx].rect == child_mbr {
+                    break;
+                }
+                anc.entries[*idx].rect = child_mbr;
+                child_mbr = anc.mbr();
+                write_node(pool, *anc_pid, &anc)?;
+            }
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::window_query;
+    use pbsm_storage::disk::{DiskModel, SimDisk};
+    use pbsm_storage::{FileId, PAGE_SIZE};
+
+    fn pool() -> BufferPool {
+        BufferPool::new(128 * PAGE_SIZE, SimDisk::new(DiskModel::default()))
+    }
+
+    fn oid(i: u32) -> Oid {
+        Oid::new(FileId(9), i, 0)
+    }
+
+    fn rects(n: usize, seed: u64) -> Vec<Rect> {
+        let mut state = seed;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
+        };
+        (0..n)
+            .map(|_| {
+                let x = rnd() * 100.0;
+                let y = rnd() * 100.0;
+                Rect::new(x, y, x + rnd(), y + rnd())
+            })
+            .collect()
+    }
+
+    fn everything(tree: &RTree, pool: &BufferPool) -> Vec<Oid> {
+        let mut out = Vec::new();
+        window_query(tree, pool, &Rect::new(-1e9, -1e9, 1e9, 1e9), &mut out).unwrap();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn delete_removes_exactly_one_entry() {
+        let pool = pool();
+        let mut tree = RTree::create(&pool, 8).unwrap();
+        let data = rects(300, 5);
+        for (i, r) in data.iter().enumerate() {
+            tree.insert(&pool, *r, oid(i as u32)).unwrap();
+        }
+        assert!(tree.delete(&pool, &data[137], oid(137)).unwrap());
+        assert_eq!(tree.num_entries(), 299);
+        let left = everything(&tree, &pool);
+        assert_eq!(left.len(), 299);
+        assert!(!left.contains(&oid(137)));
+        // Deleting again fails cleanly.
+        assert!(!tree.delete(&pool, &data[137], oid(137)).unwrap());
+    }
+
+    #[test]
+    fn delete_everything_then_reinsert() {
+        let pool = pool();
+        let mut tree = RTree::create(&pool, 8).unwrap();
+        let data = rects(200, 9);
+        for (i, r) in data.iter().enumerate() {
+            tree.insert(&pool, *r, oid(i as u32)).unwrap();
+        }
+        // Delete in an interleaved order to exercise condensing.
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        order.sort_unstable_by_key(|i| (i * 7919) % 200);
+        for &i in &order {
+            assert!(tree.delete(&pool, &data[i], oid(i as u32)).unwrap(), "entry {i}");
+        }
+        assert_eq!(tree.num_entries(), 0);
+        assert!(everything(&tree, &pool).is_empty());
+        assert_eq!(tree.height(), 1, "tree should shrink back to a leaf root");
+
+        for (i, r) in data.iter().enumerate() {
+            tree.insert(&pool, *r, oid(i as u32)).unwrap();
+        }
+        assert_eq!(everything(&tree, &pool).len(), 200);
+    }
+
+    #[test]
+    fn queries_stay_exact_under_churn() {
+        let pool = pool();
+        let mut tree = RTree::create(&pool, 8).unwrap();
+        let data = rects(400, 21);
+        let mut live: Vec<bool> = vec![false; data.len()];
+        // Insert the first 300.
+        for i in 0..300 {
+            tree.insert(&pool, data[i], oid(i as u32)).unwrap();
+            live[i] = true;
+        }
+        // Churn: delete every third, insert the remaining hundred.
+        for i in (0..300).step_by(3) {
+            assert!(tree.delete(&pool, &data[i], oid(i as u32)).unwrap());
+            live[i] = false;
+        }
+        for (i, item) in live.iter_mut().enumerate().take(400).skip(300) {
+            tree.insert(&pool, data[i], oid(i as u32)).unwrap();
+            *item = true;
+        }
+        for probe in rects(20, 99) {
+            let mut got = Vec::new();
+            window_query(&tree, &pool, &probe, &mut got).unwrap();
+            got.sort_unstable();
+            let mut want: Vec<Oid> = data
+                .iter()
+                .enumerate()
+                .filter(|(i, r)| live[*i] && r.intersects(&probe))
+                .map(|(i, _)| oid(i as u32))
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn delete_with_wrong_rect_fails() {
+        let pool = pool();
+        let mut tree = RTree::create(&pool, 8).unwrap();
+        let r = Rect::new(1.0, 1.0, 2.0, 2.0);
+        tree.insert(&pool, r, oid(1)).unwrap();
+        assert!(!tree.delete(&pool, &Rect::new(5.0, 5.0, 6.0, 6.0), oid(1)).unwrap());
+        assert!(tree.delete(&pool, &r, oid(1)).unwrap());
+    }
+}

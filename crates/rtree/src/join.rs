@@ -1,0 +1,223 @@
+//! The BKS93 R-tree join: a "synchronized depth-first traversal of the two
+//! trees" (§4.2).
+//!
+//! "The traversal starts with the roots of the two R-trees, and moves down
+//! the levels of the two trees in tandem until the leaf nodes are reached.
+//! At each step, two nodes, one from each tree, are joined. Joining two
+//! nodes requires finding all bounding boxes in the first node that
+//! intersect with some bounding box in the other node. The child pointers
+//! corresponding to such matching bounding boxes are then traversed."
+//!
+//! Two BKS93 optimizations are applied: the search space of each node pair
+//! is restricted to the intersection of the two node MBRs, and matching
+//! entry pairs within a node pair are found with the same plane sweep PBSM
+//! uses on partitions ([`pbsm_geom::sweep`]).
+//!
+//! This produces only the *filter-step* candidates ("The R-tree join
+//! algorithm of \[BKS93\] only performs the filter step"); the caller feeds
+//! them to the shared refinement step.
+
+use crate::node::read_node;
+use crate::RTree;
+use pbsm_geom::sweep::{sort_by_xl, sweep_join, Tagged};
+use pbsm_geom::Rect;
+use pbsm_storage::buffer::BufferPool;
+use pbsm_storage::{Oid, PageId, StorageResult};
+
+/// Joins two R\*-trees, invoking `emit(oid_a, oid_b)` for every pair of
+/// leaf entries with intersecting rectangles.
+pub fn rtree_join(
+    a: &RTree,
+    b: &RTree,
+    pool: &BufferPool,
+    emit: &mut impl FnMut(Oid, Oid),
+) -> StorageResult<()> {
+    join_nodes(a, b, pool, a.root(), b.root(), a.height(), b.height(), emit)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn join_nodes(
+    a: &RTree,
+    b: &RTree,
+    pool: &BufferPool,
+    pid_a: PageId,
+    pid_b: PageId,
+    level_a: u32,
+    level_b: u32,
+    emit: &mut impl FnMut(Oid, Oid),
+) -> StorageResult<()> {
+    let node_a = read_node(pool, pid_a)?;
+    let node_b = read_node(pool, pid_b)?;
+
+    // BKS93 space restriction: only entries intersecting the other node's
+    // MBR can participate.
+    let window = node_a.mbr().intersection(&node_b.mbr());
+    if window.is_empty() {
+        return Ok(());
+    }
+
+    // Unequal heights (trees over different cardinalities): descend only
+    // the deeper tree until levels align.
+    if level_a > level_b {
+        for e in &node_a.entries {
+            if e.rect.intersects(&window) {
+                join_nodes(a, b, pool, e.child_page(a.file_id()), pid_b, level_a - 1, level_b, emit)?;
+            }
+        }
+        return Ok(());
+    }
+    if level_b > level_a {
+        for e in &node_b.entries {
+            if e.rect.intersects(&window) {
+                join_nodes(a, b, pool, pid_a, e.child_page(b.file_id()), level_a, level_b - 1, emit)?;
+            }
+        }
+        return Ok(());
+    }
+
+    // Same level: plane-sweep the two entry sets, restricted to `window`.
+    let mut ta = restricted(&node_a.entries, &window);
+    let mut tb = restricted(&node_b.entries, &window);
+    sort_by_xl(&mut ta);
+    sort_by_xl(&mut tb);
+
+    if node_a.is_leaf {
+        debug_assert!(node_b.is_leaf);
+        sweep_join(&ta, &tb, |ia, ib| {
+            emit(
+                node_a.entries[ia as usize].child_oid(),
+                node_b.entries[ib as usize].child_oid(),
+            );
+        });
+        return Ok(());
+    }
+
+    // Internal: collect matching child pairs, then recurse depth-first.
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    sweep_join(&ta, &tb, |ia, ib| pairs.push((ia, ib)));
+    for (ia, ib) in pairs {
+        join_nodes(
+            a,
+            b,
+            pool,
+            node_a.entries[ia as usize].child_page(a.file_id()),
+            node_b.entries[ib as usize].child_page(b.file_id()),
+            level_a - 1,
+            level_b - 1,
+            emit,
+        )?;
+    }
+    Ok(())
+}
+
+fn restricted(entries: &[crate::node::Entry], window: &Rect) -> Vec<Tagged> {
+    entries
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.rect.intersects(window))
+        .map(|(i, e)| (e.rect, i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bulk::bulk_load;
+    use pbsm_storage::disk::{DiskModel, SimDisk};
+    use pbsm_storage::{FileId, PAGE_SIZE};
+
+    fn pool() -> BufferPool {
+        BufferPool::new(128 * PAGE_SIZE, SimDisk::new(DiskModel::default()))
+    }
+
+    fn rects(n: usize, seed: u64, spread: f64) -> Vec<(Rect, Oid)> {
+        let mut state = seed;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
+        };
+        (0..n)
+            .map(|i| {
+                let x = rnd() * spread;
+                let y = rnd() * spread;
+                (
+                    Rect::new(x, y, x + rnd() * 2.0, y + rnd() * 2.0),
+                    Oid::new(FileId(7), i as u32, 0),
+                )
+            })
+            .collect()
+    }
+
+    fn brute(a: &[(Rect, Oid)], b: &[(Rect, Oid)]) -> Vec<(Oid, Oid)> {
+        let mut out = Vec::new();
+        for (ra, oa) in a {
+            for (rb, ob) in b {
+                if ra.intersects(rb) {
+                    out.push((*oa, *ob));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn run_join(a: &RTree, b: &RTree, pool: &BufferPool) -> Vec<(Oid, Oid)> {
+        let mut got = Vec::new();
+        rtree_join(a, b, pool, &mut |x, y| got.push((x, y))).unwrap();
+        got.sort_unstable();
+        got
+    }
+
+    #[test]
+    fn join_matches_brute_force() {
+        let pool = pool();
+        let universe = Rect::new(0.0, 0.0, 102.0, 102.0);
+        let da = rects(800, 3, 100.0);
+        let db = rects(700, 5, 100.0);
+        let ta = bulk_load(&pool, da.clone(), &universe, 16, false).unwrap();
+        let tb = bulk_load(&pool, db.clone(), &universe, 16, false).unwrap();
+        assert_eq!(run_join(&ta, &tb, &pool), brute(&da, &db));
+    }
+
+    #[test]
+    fn join_with_unequal_heights() {
+        let pool = pool();
+        let universe = Rect::new(0.0, 0.0, 102.0, 102.0);
+        let da = rects(2000, 7, 100.0); // tall tree
+        let db = rects(30, 9, 100.0); // single leaf or height 2
+        let ta = bulk_load(&pool, da.clone(), &universe, 16, false).unwrap();
+        let tb = bulk_load(&pool, db.clone(), &universe, 16, false).unwrap();
+        assert!(ta.height() > tb.height());
+        assert_eq!(run_join(&ta, &tb, &pool), brute(&da, &db));
+        // And symmetric.
+        let got: Vec<(Oid, Oid)> =
+            run_join(&tb, &ta, &pool).into_iter().map(|(x, y)| (y, x)).collect();
+        let mut got = got;
+        got.sort_unstable();
+        assert_eq!(got, brute(&da, &db));
+    }
+
+    #[test]
+    fn disjoint_regions_produce_nothing() {
+        let pool = pool();
+        let universe = Rect::new(0.0, 0.0, 500.0, 500.0);
+        let da = rects(300, 11, 100.0);
+        let mut db = rects(300, 13, 100.0);
+        for (r, _) in &mut db {
+            *r = Rect::new(r.xl + 300.0, r.yl + 300.0, r.xu + 300.0, r.yu + 300.0);
+        }
+        let ta = bulk_load(&pool, da, &universe, 16, false).unwrap();
+        let tb = bulk_load(&pool, db, &universe, 16, false).unwrap();
+        assert!(run_join(&ta, &tb, &pool).is_empty());
+    }
+
+    #[test]
+    fn join_with_empty_tree() {
+        let pool = pool();
+        let universe = Rect::new(0.0, 0.0, 102.0, 102.0);
+        let da = rects(100, 15, 100.0);
+        let ta = bulk_load(&pool, da, &universe, 16, false).unwrap();
+        let tb = bulk_load(&pool, Vec::new(), &universe, 16, false).unwrap();
+        assert!(run_join(&ta, &tb, &pool).is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! The R\*-tree split algorithm \[BKSS90\].
+//!
+//! ChooseSplitAxis picks the axis whose candidate distributions have the
+//! smallest total margin; ChooseSplitIndex then picks, along that axis,
+//! the distribution with minimum overlap between the two groups (ties:
+//! minimum total area).
+
+use crate::node::Entry;
+use pbsm_geom::Rect;
+
+fn mbr_of(entries: &[Entry]) -> Rect {
+    entries.iter().fold(Rect::empty(), |acc, e| acc.union(&e.rect))
+}
+
+/// All candidate distributions along one axis, per the R\* recipe: sort by
+/// lower then by upper bound; for each sort and each split point
+/// `k ∈ [m, M+1-m]`, the first `k` entries form group one.
+fn axis_margin(entries: &mut [Entry], min_fill: usize, by_x: bool) -> f64 {
+    // Total margin over all candidate distributions along one axis.
+    let mut total_margin = 0.0;
+    for by_upper in [false, true] {
+        sort_axis(entries, by_x, by_upper);
+        let n = entries.len();
+        for k in min_fill..=n - min_fill {
+            let g1 = mbr_of(&entries[..k]);
+            let g2 = mbr_of(&entries[k..]);
+            total_margin += g1.margin() + g2.margin();
+        }
+    }
+    total_margin
+}
+
+fn sort_axis(entries: &mut [Entry], by_x: bool, by_upper: bool) {
+    entries.sort_unstable_by(|a, b| {
+        let (al, au, bl, bu) = if by_x {
+            (a.rect.xl, a.rect.xu, b.rect.xl, b.rect.xu)
+        } else {
+            (a.rect.yl, a.rect.yu, b.rect.yl, b.rect.yu)
+        };
+        let (ka, kb) = if by_upper { (au, bu) } else { (al, bl) };
+        ka.partial_cmp(&kb)
+            .expect("NaN in rect")
+            .then(al.partial_cmp(&bl).expect("NaN in rect"))
+    });
+}
+
+/// Splits an overfull entry set into two groups per the R\* heuristics.
+/// `min_fill` is the R\* `m` (40 % of capacity). Returns the two groups;
+/// both have at least `min_fill` entries.
+pub fn rstar_split(mut entries: Vec<Entry>, min_fill: usize) -> (Vec<Entry>, Vec<Entry>) {
+    assert!(entries.len() >= 2 * min_fill, "cannot split {} entries", entries.len());
+
+    // ChooseSplitAxis: minimize total margin.
+    let margin_x = axis_margin(&mut entries, min_fill, true);
+    let margin_y = axis_margin(&mut entries, min_fill, false);
+    let by_x = margin_x <= margin_y;
+
+    // ChooseSplitIndex on the chosen axis: minimize overlap, then area.
+    let n = entries.len();
+    let mut best: Option<(f64, f64, usize, bool)> = None;
+    for by_upper in [false, true] {
+        sort_axis(&mut entries, by_x, by_upper);
+        for k in min_fill..=n - min_fill {
+            let g1 = mbr_of(&entries[..k]);
+            let g2 = mbr_of(&entries[k..]);
+            let overlap = g1.overlap_area(&g2);
+            let area = g1.area() + g2.area();
+            let better = match best {
+                None => true,
+                Some((bo, ba, _, _)) => {
+                    overlap < bo || (overlap == bo && area < ba)
+                }
+            };
+            if better {
+                best = Some((overlap, area, k, by_upper));
+            }
+        }
+    }
+    let (_, _, k, by_upper) = best.expect("at least one distribution");
+    sort_axis(&mut entries, by_x, by_upper);
+    let right = entries.split_off(k);
+    (entries, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(xl: f64, yl: f64, xu: f64, yu: f64) -> Entry {
+        Entry { rect: Rect::new(xl, yl, xu, yu), child: 0 }
+    }
+
+    #[test]
+    fn split_respects_min_fill() {
+        let entries: Vec<Entry> =
+            (0..10).map(|i| e(i as f64, 0.0, i as f64 + 0.5, 1.0)).collect();
+        let (g1, g2) = rstar_split(entries, 4);
+        assert!(g1.len() >= 4 && g2.len() >= 4);
+        assert_eq!(g1.len() + g2.len(), 10);
+    }
+
+    #[test]
+    fn split_separates_two_clusters() {
+        // Two well-separated clusters along x should split cleanly.
+        let mut entries = Vec::new();
+        for i in 0..5 {
+            entries.push(e(i as f64 * 0.1, 0.0, i as f64 * 0.1 + 0.05, 1.0));
+        }
+        for i in 0..5 {
+            entries.push(e(100.0 + i as f64 * 0.1, 0.0, 100.0 + i as f64 * 0.1 + 0.05, 1.0));
+        }
+        let (g1, g2) = rstar_split(entries, 4);
+        let m1 = mbr_of(&g1);
+        let m2 = mbr_of(&g2);
+        assert_eq!(m1.overlap_area(&m2), 0.0, "{m1:?} vs {m2:?}");
+    }
+
+    #[test]
+    fn split_separates_vertical_clusters() {
+        let mut entries = Vec::new();
+        for i in 0..6 {
+            entries.push(e(0.0, i as f64 * 0.1, 1.0, i as f64 * 0.1 + 0.05));
+            entries.push(e(0.0, 50.0 + i as f64 * 0.1, 1.0, 50.0 + i as f64 * 0.1 + 0.05));
+        }
+        let (g1, g2) = rstar_split(entries, 5);
+        assert_eq!(mbr_of(&g1).overlap_area(&mbr_of(&g2)), 0.0);
+    }
+
+    #[test]
+    fn split_preserves_all_entries() {
+        let entries: Vec<Entry> = (0..20)
+            .map(|i| {
+                let x = (i as f64 * 7.3) % 13.0;
+                let y = (i as f64 * 3.1) % 11.0;
+                Entry { rect: Rect::new(x, y, x + 1.0, y + 1.0), child: i }
+            })
+            .collect();
+        let ids: Vec<u64> = entries.iter().map(|e| e.child).collect();
+        let (g1, g2) = rstar_split(entries, 8);
+        let mut got: Vec<u64> = g1.iter().chain(&g2).map(|e| e.child).collect();
+        got.sort_unstable();
+        let mut want = ids;
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

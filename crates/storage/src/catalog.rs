@@ -1,0 +1,137 @@
+//! The system catalog.
+//!
+//! PBSM's spatial partitioning function starts "from the catalog
+//! information for the joining attribute of input R" to estimate the
+//! *universe* — "the rectangle that is the minimum cover of the join
+//! attribute of all the tuples in the input" (§3.1). Loaders maintain that
+//! rectangle (plus cardinality and size statistics) here, and joins read
+//! it back instead of scanning the data.
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::{FileId, PageId};
+use pbsm_geom::Rect;
+use std::collections::HashMap;
+
+/// Statistics and location of a stored relation.
+#[derive(Clone, Debug)]
+pub struct RelationMeta {
+    /// Relation name (e.g. "road").
+    pub name: String,
+    /// Heap file holding the tuples.
+    pub file: FileId,
+    /// Number of tuples.
+    pub cardinality: u64,
+    /// Minimum cover of all join-attribute MBRs — the PBSM universe.
+    pub universe: Rect,
+    /// Total bytes of tuple data (for Table 2/3-style reporting).
+    pub bytes: u64,
+    /// Mean vertex count of the spatial attribute.
+    pub avg_points: f64,
+    /// Whether the file was loaded in spatial (Hilbert) order.
+    pub clustered: bool,
+}
+
+/// Location and shape of an R*-tree index.
+#[derive(Clone, Copy, Debug)]
+pub struct IndexMeta {
+    /// File holding the index pages.
+    pub file: FileId,
+    /// Root node page.
+    pub root: PageId,
+    /// Levels, counting the leaf level as 1.
+    pub height: u32,
+    /// Number of leaf entries.
+    pub entries: u64,
+}
+
+/// In-memory catalog of relations and their spatial indices.
+#[derive(Default)]
+pub struct Catalog {
+    relations: HashMap<String, RelationMeta>,
+    indexes: HashMap<String, IndexMeta>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers (or replaces) a relation's metadata.
+    pub fn put_relation(&mut self, meta: RelationMeta) {
+        self.relations.insert(meta.name.clone(), meta);
+    }
+
+    /// Looks up a relation.
+    pub fn relation(&self, name: &str) -> StorageResult<&RelationMeta> {
+        self.relations.get(name).ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Registers an index on `relation`.
+    pub fn put_index(&mut self, relation: &str, meta: IndexMeta) {
+        self.indexes.insert(relation.to_string(), meta);
+    }
+
+    /// Index on `relation`, if one exists.
+    pub fn index(&self, relation: &str) -> Option<IndexMeta> {
+        self.indexes.get(relation).copied()
+    }
+
+    /// Drops the index registration for `relation`, returning it.
+    pub fn take_index(&mut self, relation: &str) -> Option<IndexMeta> {
+        self.indexes.remove(relation)
+    }
+
+    /// All registered relation names, sorted.
+    pub fn relation_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.relations.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(name: &str) -> RelationMeta {
+        RelationMeta {
+            name: name.to_string(),
+            file: FileId(1),
+            cardinality: 10,
+            universe: Rect::new(0.0, 0.0, 1.0, 1.0),
+            bytes: 1000,
+            avg_points: 8.0,
+            clustered: false,
+        }
+    }
+
+    #[test]
+    fn relation_roundtrip() {
+        let mut c = Catalog::new();
+        c.put_relation(meta("road"));
+        assert_eq!(c.relation("road").unwrap().cardinality, 10);
+        assert!(matches!(
+            c.relation("rail"),
+            Err(StorageError::UnknownRelation(_))
+        ));
+        assert_eq!(c.relation_names(), vec!["road"]);
+    }
+
+    #[test]
+    fn index_registration() {
+        let mut c = Catalog::new();
+        c.put_relation(meta("road"));
+        assert!(c.index("road").is_none());
+        let im = IndexMeta {
+            file: FileId(2),
+            root: PageId::new(FileId(2), 0),
+            height: 3,
+            entries: 456,
+        };
+        c.put_index("road", im);
+        assert_eq!(c.index("road").unwrap().entries, 456);
+        assert_eq!(c.take_index("road").unwrap().entries, 456);
+        assert!(c.index("road").is_none());
+    }
+}

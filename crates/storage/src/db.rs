@@ -1,0 +1,103 @@
+//! The database handle tying disk, buffer pool, and catalog together.
+
+use crate::buffer::BufferPool;
+use crate::catalog::Catalog;
+use crate::disk::{DiskModel, DiskStats, SimDisk};
+use std::cell::{Ref, RefCell, RefMut};
+
+/// Configuration for a [`Db`] instance.
+#[derive(Clone, Copy, Debug)]
+pub struct DbConfig {
+    /// Buffer pool size in bytes (the paper varies 2/8/24 MB).
+    pub buffer_pool_bytes: usize,
+    /// Disk timing model.
+    pub disk: DiskModel,
+    /// SHORE-style sorted write-behind (§4.6). Default on.
+    pub sorted_flush: bool,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            buffer_pool_bytes: 24 * 1024 * 1024,
+            disk: DiskModel::default(),
+            sorted_flush: true,
+        }
+    }
+}
+
+impl DbConfig {
+    /// Convenience constructor with the pool size in megabytes.
+    pub fn with_pool_mb(mb: usize) -> Self {
+        DbConfig { buffer_pool_bytes: mb * 1024 * 1024, ..DbConfig::default() }
+    }
+}
+
+/// An in-process spatial database instance: simulated disk + buffer pool +
+/// catalog. All structures (heap files, record files, R*-trees) operate
+/// through [`Db::pool`].
+pub struct Db {
+    pool: BufferPool,
+    catalog: RefCell<Catalog>,
+    config: DbConfig,
+}
+
+impl Db {
+    /// Creates an empty database.
+    pub fn new(config: DbConfig) -> Self {
+        let disk = SimDisk::new(config.disk);
+        let pool = BufferPool::new(config.buffer_pool_bytes, disk);
+        pool.set_sorted_flush(config.sorted_flush);
+        Db { pool, catalog: RefCell::new(Catalog::new()), config }
+    }
+
+    /// The buffer pool (and through it, the disk).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Read access to the catalog.
+    pub fn catalog(&self) -> Ref<'_, Catalog> {
+        self.catalog.borrow()
+    }
+
+    /// Write access to the catalog.
+    pub fn catalog_mut(&self) -> RefMut<'_, Catalog> {
+        self.catalog.borrow_mut()
+    }
+
+    /// The configuration this instance was created with.
+    pub fn config(&self) -> DbConfig {
+        self.config
+    }
+
+    /// Cumulative disk counters.
+    pub fn disk_stats(&self) -> DiskStats {
+        self.pool.disk_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::HeapFile;
+
+    #[test]
+    fn db_wires_pool_and_catalog() {
+        let db = Db::new(DbConfig::with_pool_mb(2));
+        assert_eq!(db.pool().num_frames(), 2 * 1024 * 1024 / crate::page::PAGE_SIZE);
+        let heap = HeapFile::create(db.pool());
+        let oid = heap.insert(db.pool(), b"hello").unwrap();
+        let mut buf = Vec::new();
+        heap.fetch(db.pool(), oid, &mut buf).unwrap();
+        assert_eq!(buf, b"hello");
+        assert!(db.catalog().relation("nope").is_err());
+    }
+
+    #[test]
+    fn sorted_flush_config_respected() {
+        let cfg = DbConfig { sorted_flush: false, ..DbConfig::with_pool_mb(2) };
+        let db = Db::new(cfg);
+        assert!(!db.config().sorted_flush);
+    }
+}

@@ -1,0 +1,279 @@
+//! The simulated disk and its 1996 cost model.
+//!
+//! The paper's testbed stored the database on a Seagate ST12400N (2 GB,
+//! 3.5" SCSI). This module keeps all file contents in memory but meters
+//! every page transfer: a *seek* is charged whenever an access is not
+//! physically consecutive with the previous access, and every page charges
+//! transfer time. The resulting [`DiskStats`] feed the Table-4-style I/O
+//! cost columns of the benchmark harness.
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::{zeroed_page, FileId, PageBuf, PageId, PAGE_SIZE};
+
+/// Disk timing parameters.
+///
+/// Defaults approximate the ST12400N: ~11 ms average positioning time
+/// (seek + rotational latency) and ~4.5 MB/s sustained transfer.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskModel {
+    /// Cost of a non-sequential access, in milliseconds.
+    pub seek_ms: f64,
+    /// Sustained transfer rate, in megabytes per second.
+    pub transfer_mb_per_s: f64,
+}
+
+impl Default for DiskModel {
+    fn default() -> Self {
+        DiskModel { seek_ms: 11.0, transfer_mb_per_s: 4.5 }
+    }
+}
+
+impl DiskModel {
+    /// Transfer time of one page in milliseconds.
+    #[inline]
+    pub fn page_transfer_ms(&self) -> f64 {
+        (PAGE_SIZE as f64 / (self.transfer_mb_per_s * 1024.0 * 1024.0)) * 1000.0
+    }
+
+    /// Models the time for an access pattern of `pages` page transfers of
+    /// which `seeks` were non-sequential.
+    #[inline]
+    pub fn time_ms(&self, pages: u64, seeks: u64) -> f64 {
+        seeks as f64 * self.seek_ms + pages as f64 * self.page_transfer_ms()
+    }
+}
+
+/// Monotonically increasing I/O counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DiskStats {
+    /// Pages read from disk.
+    pub reads: u64,
+    /// Pages written to disk.
+    pub writes: u64,
+    /// Non-sequential accesses (head movements).
+    pub seeks: u64,
+    /// Modeled elapsed I/O time in milliseconds.
+    pub io_ms: f64,
+}
+
+impl DiskStats {
+    /// Component-wise difference `self - earlier`, for per-phase deltas.
+    pub fn delta_since(&self, earlier: &DiskStats) -> DiskStats {
+        DiskStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            seeks: self.seeks - earlier.seeks,
+            io_ms: self.io_ms - earlier.io_ms,
+        }
+    }
+
+    /// Total page transfers.
+    pub fn pages(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+struct FileData {
+    pages: Vec<PageBuf>,
+    /// Freed files keep their slot (FileIds are never reused) but drop
+    /// their pages.
+    dropped: bool,
+}
+
+/// The simulated disk: an array of files, each an array of pages, plus the
+/// metering state.
+pub struct SimDisk {
+    files: Vec<FileData>,
+    model: DiskModel,
+    stats: DiskStats,
+    /// Last physical position touched, for sequentiality detection.
+    last_pos: Option<PageId>,
+}
+
+impl SimDisk {
+    /// Creates an empty disk with the given timing model.
+    pub fn new(model: DiskModel) -> Self {
+        SimDisk { files: Vec::new(), model, stats: DiskStats::default(), last_pos: None }
+    }
+
+    /// Creates a new empty file and returns its id.
+    pub fn create_file(&mut self) -> FileId {
+        let id = FileId(self.files.len() as u32);
+        self.files.push(FileData { pages: Vec::new(), dropped: false });
+        id
+    }
+
+    /// Drops a file's pages (temp-file cleanup). The id is not reused.
+    pub fn drop_file(&mut self, file: FileId) {
+        if let Some(f) = self.files.get_mut(file.0 as usize) {
+            f.pages.clear();
+            f.pages.shrink_to_fit();
+            f.dropped = true;
+        }
+    }
+
+    /// Number of allocated pages in `file`.
+    pub fn num_pages(&self, file: FileId) -> u32 {
+        self.files.get(file.0 as usize).map_or(0, |f| f.pages.len() as u32)
+    }
+
+    /// Appends a zeroed page to `file` and returns its id. Allocation
+    /// itself is not charged; the subsequent write is.
+    pub fn allocate_page(&mut self, file: FileId) -> StorageResult<PageId> {
+        let f = self
+            .files
+            .get_mut(file.0 as usize)
+            .ok_or(StorageError::InvalidPage(PageId::new(file, 0)))?;
+        let page_no = f.pages.len() as u32;
+        f.pages.push(zeroed_page());
+        Ok(PageId::new(file, page_no))
+    }
+
+    #[inline]
+    fn account(&mut self, pid: PageId, is_write: bool) {
+        let sequential = match self.last_pos {
+            Some(last) => last.file == pid.file && pid.page_no == last.page_no.wrapping_add(1),
+            None => false,
+        };
+        if !sequential {
+            self.stats.seeks += 1;
+            self.stats.io_ms += self.model.seek_ms;
+        }
+        self.stats.io_ms += self.model.page_transfer_ms();
+        if is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        self.last_pos = Some(pid);
+    }
+
+    /// Reads a page into `buf`, charging the model.
+    pub fn read_page(&mut self, pid: PageId, buf: &mut [u8; PAGE_SIZE]) -> StorageResult<()> {
+        let f = self
+            .files
+            .get(pid.file.0 as usize)
+            .filter(|f| !f.dropped)
+            .ok_or(StorageError::InvalidPage(pid))?;
+        let page = f.pages.get(pid.page_no as usize).ok_or(StorageError::InvalidPage(pid))?;
+        buf.copy_from_slice(&page[..]);
+        self.account(pid, false);
+        Ok(())
+    }
+
+    /// Writes a page from `buf`, charging the model.
+    pub fn write_page(&mut self, pid: PageId, buf: &[u8; PAGE_SIZE]) -> StorageResult<()> {
+        let f = self
+            .files
+            .get_mut(pid.file.0 as usize)
+            .filter(|f| !f.dropped)
+            .ok_or(StorageError::InvalidPage(pid))?;
+        let page = f.pages.get_mut(pid.page_no as usize).ok_or(StorageError::InvalidPage(pid))?;
+        page.copy_from_slice(buf);
+        self.account(pid, true);
+        Ok(())
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// The timing model in force.
+    pub fn model(&self) -> DiskModel {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_of(byte: u8) -> PageBuf {
+        let mut p = zeroed_page();
+        p.fill(byte);
+        p
+    }
+
+    #[test]
+    fn roundtrip_and_counters() {
+        let mut d = SimDisk::new(DiskModel::default());
+        let f = d.create_file();
+        let p0 = d.allocate_page(f).unwrap();
+        let p1 = d.allocate_page(f).unwrap();
+        assert_eq!(d.num_pages(f), 2);
+
+        d.write_page(p0, &page_of(7)).unwrap();
+        d.write_page(p1, &page_of(9)).unwrap();
+        let mut buf = zeroed_page();
+        d.read_page(p0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 7));
+
+        let s = d.stats();
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.reads, 1);
+        // Write p0 (seek), write p1 (sequential), read p0 (seek back).
+        assert_eq!(s.seeks, 2);
+    }
+
+    #[test]
+    fn sequential_writes_incur_one_seek() {
+        let mut d = SimDisk::new(DiskModel::default());
+        let f = d.create_file();
+        let pids: Vec<_> = (0..10).map(|_| d.allocate_page(f).unwrap()).collect();
+        let buf = page_of(1);
+        for pid in &pids {
+            d.write_page(*pid, &buf).unwrap();
+        }
+        assert_eq!(d.stats().seeks, 1);
+        assert_eq!(d.stats().writes, 10);
+    }
+
+    #[test]
+    fn random_writes_incur_many_seeks() {
+        let mut d = SimDisk::new(DiskModel::default());
+        let f = d.create_file();
+        let pids: Vec<_> = (0..10).map(|_| d.allocate_page(f).unwrap()).collect();
+        let buf = page_of(1);
+        for pid in pids.iter().rev() {
+            d.write_page(*pid, &buf).unwrap();
+        }
+        assert_eq!(d.stats().seeks, 10);
+    }
+
+    #[test]
+    fn model_time_accumulates() {
+        let model = DiskModel { seek_ms: 10.0, transfer_mb_per_s: 8.0 };
+        let mut d = SimDisk::new(model);
+        let f = d.create_file();
+        let p = d.allocate_page(f).unwrap();
+        d.write_page(p, &page_of(0)).unwrap();
+        let expect = 10.0 + model.page_transfer_ms();
+        assert!((d.stats().io_ms - expect).abs() < 1e-9);
+        assert_eq!(model.time_ms(1, 1), expect);
+    }
+
+    #[test]
+    fn delta_since() {
+        let mut d = SimDisk::new(DiskModel::default());
+        let f = d.create_file();
+        let p = d.allocate_page(f).unwrap();
+        d.write_page(p, &page_of(0)).unwrap();
+        let snap = d.stats();
+        let mut buf = zeroed_page();
+        d.read_page(p, &mut buf).unwrap();
+        let delta = d.stats().delta_since(&snap);
+        assert_eq!(delta.reads, 1);
+        assert_eq!(delta.writes, 0);
+    }
+
+    #[test]
+    fn dropped_file_rejects_io() {
+        let mut d = SimDisk::new(DiskModel::default());
+        let f = d.create_file();
+        let p = d.allocate_page(f).unwrap();
+        d.drop_file(f);
+        let mut buf = zeroed_page();
+        assert!(d.read_page(p, &mut buf).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! Storage-layer error type.
+
+use crate::page::PageId;
+use std::fmt;
+
+/// Errors surfaced by the storage manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Every buffer frame is pinned; no victim can be evicted.
+    BufferPoolFull,
+    /// A page id referenced a file or page that does not exist.
+    InvalidPage(PageId),
+    /// An OID referenced a slot that does not exist or was deleted.
+    InvalidOid(u64),
+    /// A record was too large for the requested operation.
+    RecordTooLarge { size: usize },
+    /// A relation name was not found in the catalog.
+    UnknownRelation(String),
+    /// Tuple bytes failed to decode.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::BufferPoolFull => {
+                write!(f, "buffer pool exhausted: all frames pinned")
+            }
+            StorageError::InvalidPage(pid) => write!(f, "invalid page reference {pid:?}"),
+            StorageError::InvalidOid(oid) => write!(f, "invalid OID {oid:#x}"),
+            StorageError::RecordTooLarge { size } => {
+                write!(f, "record of {size} bytes exceeds storable limit")
+            }
+            StorageError::UnknownRelation(name) => write!(f, "unknown relation {name:?}"),
+            StorageError::Corrupt(what) => write!(f, "corrupt on-page data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Result alias used across the storage crate.
+pub type StorageResult<T> = Result<T, StorageError>;

@@ -1,0 +1,50 @@
+//! Paged storage manager — the Paradise/SHORE substrate of the PBSM paper,
+//! rebuilt as an in-process library over a **simulated disk**.
+//!
+//! The performance study in the paper runs inside Paradise, which uses the
+//! SHORE storage manager on a Sun SPARCstation-10/51 with a Seagate
+//! ST12400N disk and a buffer pool of 2/8/24 MB. This crate reproduces the
+//! pieces of that stack the study exercises:
+//!
+//! * [`disk::SimDisk`] — an in-memory "disk" that counts reads, writes, and
+//!   seeks, distinguishes sequential from random access, and converts the
+//!   counts to modeled 1996 seconds via [`disk::DiskModel`].
+//! * [`buffer::BufferPool`] — a pin/unpin buffer pool with clock
+//!   replacement and SHORE's sorted write-behind ("forms a sorted list of
+//!   all the dirty pages in the buffer pool, and tries to find pages that
+//!   are consecutive on the disk", §4.6), toggleable for ablation.
+//! * [`slotted`] + [`heap::HeapFile`] — slotted pages with overflow chains
+//!   for long records, heap files addressed by [`oid::Oid`]s
+//!   `(file, page, slot)` whose sort order equals physical disk order —
+//!   the property the refinement step's OID-sort exploits.
+//! * [`record::RecordFile`] — packed fixed-size-record temp files for
+//!   key-pointer partitions and candidate OID pairs.
+//! * [`tuple::SpatialTuple`] — the on-page tuple format with a spatial
+//!   attribute, filler payload matching the paper's tuple widths, and an
+//!   optional precomputed MER (\[BKSS94\]).
+//! * [`catalog::Catalog`] — relation metadata including the *universe*
+//!   rectangle PBSM reads "from the catalog information" (§3.1).
+//! * [`extsort`] — an external merge sort bounded by work memory, used to
+//!   sort candidate OID pairs in the refinement step.
+//!
+//! Everything is deterministic and single-threaded; [`Db`] ties the pieces
+//! together.
+
+pub mod buffer;
+pub mod catalog;
+pub mod disk;
+pub mod error;
+pub mod extsort;
+pub mod heap;
+pub mod oid;
+pub mod page;
+pub mod record;
+pub mod slotted;
+pub mod tuple;
+
+mod db;
+
+pub use db::{Db, DbConfig};
+pub use error::{StorageError, StorageResult};
+pub use oid::Oid;
+pub use page::{FileId, PageId, PAGE_SIZE};

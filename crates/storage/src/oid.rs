@@ -1,0 +1,98 @@
+//! Object identifiers.
+//!
+//! §3: "We also assume that the system has a unique identifier for each
+//! tuple. This unique identifier is referred to as the OID of the tuple."
+//!
+//! An [`Oid`] encodes `(file, page, slot)` in one `u64` whose natural
+//! integer order equals physical disk order. The refinement step (§3.2)
+//! sorts candidate pairs by OID precisely to turn tuple fetches into
+//! near-sequential disk access, so this ordering property is load-bearing.
+
+use crate::page::{FileId, PageId};
+use std::fmt;
+
+/// A tuple identifier: file (16 bits), page number (32 bits), slot
+/// (16 bits), packed so that `Ord` equals physical placement order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Oid(u64);
+
+impl Oid {
+    /// Packs the components. Panics if the file id exceeds 16 bits.
+    #[inline]
+    pub fn new(file: FileId, page_no: u32, slot: u16) -> Self {
+        assert!(file.0 <= u16::MAX as u32, "file id {} exceeds OID capacity", file.0);
+        Oid(((file.0 as u64) << 48) | ((page_no as u64) << 16) | slot as u64)
+    }
+
+    /// The raw packed value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an OID from its packed value.
+    #[inline]
+    pub fn from_raw(raw: u64) -> Self {
+        Oid(raw)
+    }
+
+    /// File component.
+    #[inline]
+    pub fn file(self) -> FileId {
+        FileId((self.0 >> 48) as u32)
+    }
+
+    /// Page-number component.
+    #[inline]
+    pub fn page_no(self) -> u32 {
+        ((self.0 >> 16) & 0xFFFF_FFFF) as u32
+    }
+
+    /// Slot component.
+    #[inline]
+    pub fn slot(self) -> u16 {
+        (self.0 & 0xFFFF) as u16
+    }
+
+    /// The page this OID lives on.
+    #[inline]
+    pub fn page_id(self) -> PageId {
+        PageId::new(self.file(), self.page_no())
+    }
+}
+
+impl fmt::Debug for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Oid({}:{}:{})", self.file().0, self.page_no(), self.slot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let oid = Oid::new(FileId(3), 123_456, 789);
+        assert_eq!(oid.file(), FileId(3));
+        assert_eq!(oid.page_no(), 123_456);
+        assert_eq!(oid.slot(), 789);
+        assert_eq!(Oid::from_raw(oid.raw()), oid);
+    }
+
+    #[test]
+    fn order_equals_physical_order() {
+        let a = Oid::new(FileId(0), 0, 5);
+        let b = Oid::new(FileId(0), 1, 0);
+        let c = Oid::new(FileId(1), 0, 0);
+        assert!(a < b && b < c);
+        let d = Oid::new(FileId(0), 0, 6);
+        assert!(a < d && d < b);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds OID capacity")]
+    fn oversized_file_id_panics() {
+        let _ = Oid::new(FileId(70_000), 0, 0);
+    }
+}

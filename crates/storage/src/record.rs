@@ -1,0 +1,282 @@
+//! Packed fixed-size-record files.
+//!
+//! The PBSM filter step materializes several temporary relations of
+//! fixed-size records: the key-pointer relations R_kp / S_kp (an
+//! `<MBR, OID>` pair per tuple, §3.1), one file per partition, and the
+//! candidate OID-pair relation handed to the refinement step. This module
+//! gives them a dense page layout — no slot directory needed when records
+//! are fixed-size — plus buffered sequential writers and readers.
+//!
+//! Page layout: `[type u8][pad u8][count u16][records ...]`.
+
+use crate::buffer::BufferPool;
+use crate::error::{StorageError, StorageResult};
+use crate::page::{FileId, PageId, PAGE_SIZE};
+use crate::slotted::PageType;
+use std::cell::Cell;
+
+const HEADER: usize = 4;
+
+/// A file of fixed-size records.
+pub struct RecordFile {
+    file: FileId,
+    rec_size: usize,
+    count: Cell<u64>,
+}
+
+impl RecordFile {
+    /// Creates an empty record file for records of `rec_size` bytes.
+    pub fn create(pool: &BufferPool, rec_size: usize) -> Self {
+        assert!(rec_size > 0 && rec_size <= PAGE_SIZE - HEADER, "record size {rec_size}");
+        let file = pool.disk_mut().create_file();
+        RecordFile { file, rec_size, count: Cell::new(0) }
+    }
+
+    /// Records per page.
+    pub fn per_page(&self) -> usize {
+        (PAGE_SIZE - HEADER) / self.rec_size
+    }
+
+    /// Underlying file id.
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    /// Record size in bytes.
+    pub fn rec_size(&self) -> usize {
+        self.rec_size
+    }
+
+    /// Number of records written.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Number of pages.
+    pub fn num_pages(&self, pool: &BufferPool) -> u32 {
+        pool.disk().num_pages(self.file)
+    }
+
+    /// Starts a buffered sequential writer. Only one writer at a time may
+    /// exist per file; records written become visible after
+    /// [`RecordWriter::finish`].
+    pub fn writer<'a>(&'a self, pool: &'a BufferPool) -> RecordWriter<'a> {
+        RecordWriter { rf: self, pool, buf: vec![0u8; PAGE_SIZE], fill: HEADER, n_in_page: 0 }
+    }
+
+    /// Starts a buffered sequential reader from the first record.
+    pub fn reader<'a>(&'a self, pool: &'a BufferPool) -> RecordReader<'a> {
+        RecordReader {
+            rf: self,
+            pool,
+            page: Box::new([0u8; PAGE_SIZE]),
+            page_no: 0,
+            in_page: 0,
+            page_count: 0,
+            loaded: false,
+        }
+    }
+
+    /// Reads every record into a contiguous buffer (used when a partition
+    /// is known to fit in the join's work memory).
+    pub fn read_all(&self, pool: &BufferPool) -> StorageResult<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.count.get() as usize * self.rec_size);
+        let mut reader = self.reader(pool);
+        while let Some(rec) = reader.next_record()? {
+            out.extend_from_slice(rec);
+        }
+        Ok(out)
+    }
+
+    /// Drops the file's pages (temp cleanup).
+    pub fn destroy(self, pool: &BufferPool) {
+        pool.drop_file(self.file);
+    }
+}
+
+/// Buffered appender of fixed-size records.
+pub struct RecordWriter<'a> {
+    rf: &'a RecordFile,
+    pool: &'a BufferPool,
+    buf: Vec<u8>,
+    fill: usize,
+    n_in_page: u16,
+}
+
+impl RecordWriter<'_> {
+    /// Appends one record; `rec` must be exactly `rec_size` bytes.
+    pub fn push(&mut self, rec: &[u8]) -> StorageResult<()> {
+        debug_assert_eq!(rec.len(), self.rf.rec_size);
+        if self.fill + rec.len() > PAGE_SIZE {
+            self.flush_page()?;
+        }
+        self.buf[self.fill..self.fill + rec.len()].copy_from_slice(rec);
+        self.fill += rec.len();
+        self.n_in_page += 1;
+        self.rf.count.set(self.rf.count.get() + 1);
+        Ok(())
+    }
+
+    fn flush_page(&mut self) -> StorageResult<()> {
+        if self.n_in_page == 0 {
+            return Ok(());
+        }
+        self.buf[0] = PageType::Record as u8;
+        self.buf[2..4].copy_from_slice(&self.n_in_page.to_le_bytes());
+        let (_pid, mut page) = self.pool.new_page(self.rf.file)?;
+        page.copy_from_slice(&self.buf);
+        self.fill = HEADER;
+        self.n_in_page = 0;
+        Ok(())
+    }
+
+    /// Flushes the trailing partial page, surfacing any I/O error.
+    /// Dropping the writer also flushes (errors then ignored), so records
+    /// are never silently lost; call `finish` where errors matter.
+    pub fn finish(mut self) -> StorageResult<()> {
+        self.flush_page()
+    }
+}
+
+impl Drop for RecordWriter<'_> {
+    fn drop(&mut self) {
+        // Best-effort flush so an early-returning caller cannot silently
+        // truncate the file; `finish()` is the error-visible path.
+        let _ = self.flush_page();
+    }
+}
+
+/// Buffered sequential reader of fixed-size records.
+pub struct RecordReader<'a> {
+    rf: &'a RecordFile,
+    pool: &'a BufferPool,
+    /// Local copy of the current page, so no pin is held between calls.
+    page: Box<[u8; PAGE_SIZE]>,
+    page_no: u32,
+    in_page: usize,
+    page_count: usize,
+    loaded: bool,
+}
+
+impl RecordReader<'_> {
+    /// Returns the next record, or `None` at end of file.
+    pub fn next_record(&mut self) -> StorageResult<Option<&[u8]>> {
+        while !(self.loaded && self.in_page < self.page_count) {
+            let npages = self.pool.disk().num_pages(self.rf.file);
+            if self.page_no >= npages {
+                return Ok(None);
+            }
+            let pid = PageId::new(self.rf.file, self.page_no);
+            {
+                let guard = self.pool.get(pid)?;
+                self.page.copy_from_slice(&guard[..]);
+            }
+            if PageType::of(&self.page) != PageType::Record {
+                return Err(StorageError::Corrupt("expected record page"));
+            }
+            self.page_count = u16::from_le_bytes([self.page[2], self.page[3]]) as usize;
+            self.in_page = 0;
+            self.page_no += 1;
+            self.loaded = true;
+        }
+        let at = HEADER + self.in_page * self.rf.rec_size;
+        self.in_page += 1;
+        Ok(Some(&self.page[at..at + self.rf.rec_size]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::{DiskModel, SimDisk};
+
+    fn pool(frames: usize) -> BufferPool {
+        BufferPool::new(frames * PAGE_SIZE, SimDisk::new(DiskModel::default()))
+    }
+
+    #[test]
+    fn roundtrip_many_records() {
+        let pool = pool(16);
+        let rf = RecordFile::create(&pool, 24);
+        let mut w = rf.writer(&pool);
+        for i in 0..5000u64 {
+            let mut rec = [0u8; 24];
+            rec[..8].copy_from_slice(&i.to_le_bytes());
+            rec[16..24].copy_from_slice(&(i * 3).to_le_bytes());
+            w.push(&rec).unwrap();
+        }
+        w.finish().unwrap();
+        assert_eq!(rf.count(), 5000);
+
+        let mut r = rf.reader(&pool);
+        let mut i = 0u64;
+        while let Some(rec) = r.next_record().unwrap() {
+            assert_eq!(u64::from_le_bytes(rec[..8].try_into().unwrap()), i);
+            assert_eq!(u64::from_le_bytes(rec[16..24].try_into().unwrap()), i * 3);
+            i += 1;
+        }
+        assert_eq!(i, 5000);
+    }
+
+    #[test]
+    fn empty_file_reads_nothing() {
+        let pool = pool(8);
+        let rf = RecordFile::create(&pool, 16);
+        rf.writer(&pool).finish().unwrap();
+        assert!(rf.reader(&pool).next_record().unwrap().is_none());
+        assert_eq!(rf.num_pages(&pool), 0);
+    }
+
+    #[test]
+    fn read_all_matches_stream() {
+        let pool = pool(8);
+        let rf = RecordFile::create(&pool, 8);
+        let mut w = rf.writer(&pool);
+        for i in 0..1000u64 {
+            w.push(&i.to_le_bytes()).unwrap();
+        }
+        w.finish().unwrap();
+        let all = rf.read_all(&pool).unwrap();
+        assert_eq!(all.len(), 8000);
+        for i in 0..1000usize {
+            let v = u64::from_le_bytes(all[i * 8..i * 8 + 8].try_into().unwrap());
+            assert_eq!(v, i as u64);
+        }
+    }
+
+    #[test]
+    fn writes_are_sequential() {
+        let pool = pool(8);
+        let rf = RecordFile::create(&pool, 32);
+        let mut w = rf.writer(&pool);
+        for i in 0..10_000u64 {
+            let mut rec = [0u8; 32];
+            rec[..8].copy_from_slice(&i.to_le_bytes());
+            w.push(&rec).unwrap();
+        }
+        w.finish().unwrap();
+        pool.flush_all().unwrap();
+        let s = pool.disk_stats();
+        // Sorted write-behind keeps the write pattern nearly sequential.
+        assert!(
+            s.seeks < s.writes / 4,
+            "seeks {} vs writes {} should be mostly sequential",
+            s.seeks,
+            s.writes
+        );
+    }
+
+    #[test]
+    fn destroy_frees_pages() {
+        let pool = pool(8);
+        let rf = RecordFile::create(&pool, 16);
+        let mut w = rf.writer(&pool);
+        for _ in 0..1000 {
+            w.push(&[0u8; 16]).unwrap();
+        }
+        w.finish().unwrap();
+        let fid = rf.file_id();
+        rf.destroy(&pool);
+        assert_eq!(pool.disk().num_pages(fid), 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Slotted-page layout.
+//!
+//! Operates directly on raw page bytes. Layout:
+//!
+//! ```text
+//! [0]      page type (see PageType)
+//! [1]      unused
+//! [2..4]   slot count          (u16 LE)
+//! [4..6]   free-end offset     (u16 LE; data region grows down from here)
+//! [6..]    slot array: per slot [offset u16][len u16]
+//! [...end] record data, packed from the page end downward
+//! ```
+//!
+//! A slot with `len == 0` is a tombstone. Records larger than a page are
+//! stored as a stub here plus an overflow chain (see [`crate::heap`]).
+
+use crate::page::PAGE_SIZE;
+
+/// Discriminates page roles within a file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PageType {
+    /// Never initialized.
+    Unknown = 0,
+    /// Slotted data page.
+    Data = 1,
+    /// Overflow page of a long record.
+    Overflow = 2,
+    /// Packed fixed-size-record page (see [`crate::record`]).
+    Record = 3,
+    /// R*-tree node page.
+    Index = 4,
+}
+
+impl PageType {
+    /// Reads the page-type byte.
+    pub fn of(page: &[u8; PAGE_SIZE]) -> PageType {
+        match page[0] {
+            1 => PageType::Data,
+            2 => PageType::Overflow,
+            3 => PageType::Record,
+            4 => PageType::Index,
+            _ => PageType::Unknown,
+        }
+    }
+
+    /// Writes the page-type byte.
+    pub fn set(self, page: &mut [u8; PAGE_SIZE]) {
+        page[0] = self as u8;
+    }
+}
+
+const HEADER: usize = 6;
+const SLOT_ENTRY: usize = 4;
+
+#[inline]
+fn read_u16(page: &[u8; PAGE_SIZE], at: usize) -> u16 {
+    u16::from_le_bytes([page[at], page[at + 1]])
+}
+
+#[inline]
+fn write_u16(page: &mut [u8; PAGE_SIZE], at: usize, v: u16) {
+    page[at..at + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Initializes an empty slotted data page.
+pub fn init(page: &mut [u8; PAGE_SIZE]) {
+    PageType::Data.set(page);
+    write_u16(page, 2, 0);
+    write_u16(page, 4, PAGE_SIZE as u16);
+}
+
+/// Number of slots (including tombstones).
+pub fn slot_count(page: &[u8; PAGE_SIZE]) -> u16 {
+    read_u16(page, 2)
+}
+
+fn free_end(page: &[u8; PAGE_SIZE]) -> usize {
+    read_u16(page, 4) as usize
+}
+
+/// Bytes available for one more record (its data plus a slot entry).
+pub fn free_space(page: &[u8; PAGE_SIZE]) -> usize {
+    let used_front = HEADER + SLOT_ENTRY * slot_count(page) as usize;
+    free_end(page).saturating_sub(used_front)
+}
+
+/// Largest record insertable into a freshly initialized page.
+pub const MAX_RECORD: usize = PAGE_SIZE - HEADER - SLOT_ENTRY;
+
+/// Inserts `data`, returning the slot index, or `None` if it does not fit.
+pub fn insert(page: &mut [u8; PAGE_SIZE], data: &[u8]) -> Option<u16> {
+    debug_assert_eq!(PageType::of(page), PageType::Data);
+    if data.is_empty() || data.len() + SLOT_ENTRY > free_space(page) {
+        return None;
+    }
+    let n = slot_count(page);
+    let new_end = free_end(page) - data.len();
+    page[new_end..new_end + data.len()].copy_from_slice(data);
+    let slot_at = HEADER + SLOT_ENTRY * n as usize;
+    write_u16(page, slot_at, new_end as u16);
+    write_u16(page, slot_at + 2, data.len() as u16);
+    write_u16(page, 2, n + 1);
+    write_u16(page, 4, new_end as u16);
+    Some(n)
+}
+
+/// Returns the record bytes in `slot`, or `None` for invalid/tombstoned
+/// slots.
+pub fn get(page: &[u8; PAGE_SIZE], slot: u16) -> Option<&[u8]> {
+    if slot >= slot_count(page) {
+        return None;
+    }
+    let slot_at = HEADER + SLOT_ENTRY * slot as usize;
+    let off = read_u16(page, slot_at) as usize;
+    let len = read_u16(page, slot_at + 2) as usize;
+    if len == 0 {
+        return None;
+    }
+    Some(&page[off..off + len])
+}
+
+/// Tombstones a slot (data space is not reclaimed; heap files here are
+/// append-mostly, matching the workloads).
+pub fn delete(page: &mut [u8; PAGE_SIZE], slot: u16) -> bool {
+    if slot >= slot_count(page) {
+        return false;
+    }
+    let slot_at = HEADER + SLOT_ENTRY * slot as usize;
+    if read_u16(page, slot_at + 2) == 0 {
+        return false;
+    }
+    write_u16(page, slot_at + 2, 0);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::zeroed_page;
+
+    #[test]
+    fn insert_and_get() {
+        let mut page = zeroed_page();
+        init(&mut page);
+        let s0 = insert(&mut page, b"hello").unwrap();
+        let s1 = insert(&mut page, b"world!").unwrap();
+        assert_eq!(s0, 0);
+        assert_eq!(s1, 1);
+        assert_eq!(get(&page, s0).unwrap(), b"hello");
+        assert_eq!(get(&page, s1).unwrap(), b"world!");
+        assert_eq!(get(&page, 2), None);
+        assert_eq!(slot_count(&page), 2);
+    }
+
+    #[test]
+    fn fills_up_and_rejects() {
+        let mut page = zeroed_page();
+        init(&mut page);
+        let rec = vec![7u8; 1000];
+        let mut inserted = 0;
+        while insert(&mut page, &rec).is_some() {
+            inserted += 1;
+        }
+        // 8 records of 1004 bytes each fit in 8186 usable bytes.
+        assert_eq!(inserted, 8);
+        assert!(free_space(&page) < 1004);
+        // Smaller record still fits.
+        assert!(insert(&mut page, &[1u8; 16]).is_some());
+    }
+
+    #[test]
+    fn max_record_fits_empty_page() {
+        let mut page = zeroed_page();
+        init(&mut page);
+        let rec = vec![1u8; MAX_RECORD];
+        assert!(insert(&mut page, &rec).is_some());
+        assert!(insert(&mut page, b"x").is_none());
+        assert_eq!(get(&page, 0).unwrap().len(), MAX_RECORD);
+    }
+
+    #[test]
+    fn delete_tombstones() {
+        let mut page = zeroed_page();
+        init(&mut page);
+        let s = insert(&mut page, b"gone").unwrap();
+        assert!(delete(&mut page, s));
+        assert_eq!(get(&page, s), None);
+        assert!(!delete(&mut page, s));
+        // Slot count unchanged; later slots unaffected.
+        let s2 = insert(&mut page, b"stay").unwrap();
+        assert_eq!(get(&page, s2).unwrap(), b"stay");
+    }
+
+    #[test]
+    fn page_type_roundtrip() {
+        let mut page = zeroed_page();
+        assert_eq!(PageType::of(&page), PageType::Unknown);
+        PageType::Overflow.set(&mut page);
+        assert_eq!(PageType::of(&page), PageType::Overflow);
+        init(&mut page);
+        assert_eq!(PageType::of(&page), PageType::Data);
+    }
+
+    #[test]
+    fn rejects_empty_record() {
+        let mut page = zeroed_page();
+        init(&mut page);
+        assert_eq!(insert(&mut page, b""), None);
+    }
+}

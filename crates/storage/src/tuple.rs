@@ -1,0 +1,276 @@
+//! The on-page spatial tuple format.
+//!
+//! Each tuple of the paper's data sets carries a spatial feature plus
+//! non-spatial attributes ("the name, the classification, and the address
+//! ranges"). The reproduction stores the spatial attribute exactly and
+//! replaces the proprietary attribute payload with `filler` bytes of the
+//! same width, so page counts and I/O volumes match the originals.
+//!
+//! A tuple may optionally carry a precomputed maximal enclosed rectangle
+//! (MER) as proposed by \[BKSS94\] and discussed in §4.4 — "extra
+//! information that is precomputed and stored along with each spatial
+//! feature".
+
+use crate::error::{StorageError, StorageResult};
+use bytes::{Buf, BufMut};
+use pbsm_geom::polygon::Ring;
+use pbsm_geom::{Geometry, Point, Polygon, Polyline, Rect};
+
+const TAG_POINT: u8 = 0;
+const TAG_POLYLINE: u8 = 1;
+const TAG_POLYGON: u8 = 2;
+
+/// A stored tuple: surrogate key, spatial feature, optional MER, and
+/// filler standing in for the non-spatial attributes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpatialTuple {
+    /// Surrogate key (generator sequence number).
+    pub key: u64,
+    /// The spatial join attribute.
+    pub geom: Geometry,
+    /// Optional precomputed maximal enclosed rectangle (\[BKSS94\]).
+    pub mer: Option<Rect>,
+    /// Width of the non-spatial payload this tuple carries.
+    pub filler_len: u16,
+}
+
+impl SpatialTuple {
+    /// Creates a tuple without a MER.
+    pub fn new(key: u64, geom: Geometry, filler_len: u16) -> Self {
+        SpatialTuple { key, geom, mer: None, filler_len }
+    }
+
+    /// Serializes into `out` (cleared first).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.put_u64_le(self.key);
+        out.put_u16_le(self.filler_len);
+        match self.mer {
+            Some(r) => {
+                out.put_u8(1);
+                out.put_f64_le(r.xl);
+                out.put_f64_le(r.yl);
+                out.put_f64_le(r.xu);
+                out.put_f64_le(r.yu);
+            }
+            None => out.put_u8(0),
+        }
+        encode_geometry(&self.geom, out);
+        out.resize(out.len() + self.filler_len as usize, 0);
+    }
+
+    /// Serializes into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Exact encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        let mer = if self.mer.is_some() { 33 } else { 1 };
+        8 + 2 + mer + geometry_len(&self.geom) + self.filler_len as usize
+    }
+
+    /// Deserializes a tuple.
+    pub fn decode(mut buf: &[u8]) -> StorageResult<SpatialTuple> {
+        if buf.remaining() < 11 {
+            return Err(StorageError::Corrupt("tuple too short"));
+        }
+        let key = buf.get_u64_le();
+        let filler_len = buf.get_u16_le();
+        let mer = match buf.get_u8() {
+            0 => None,
+            1 => {
+                if buf.remaining() < 32 {
+                    return Err(StorageError::Corrupt("truncated MER"));
+                }
+                Some(Rect {
+                    xl: buf.get_f64_le(),
+                    yl: buf.get_f64_le(),
+                    xu: buf.get_f64_le(),
+                    yu: buf.get_f64_le(),
+                })
+            }
+            _ => return Err(StorageError::Corrupt("bad MER flag")),
+        };
+        let geom = decode_geometry(&mut buf)?;
+        if buf.remaining() != filler_len as usize {
+            return Err(StorageError::Corrupt("filler length mismatch"));
+        }
+        Ok(SpatialTuple { key, geom, mer, filler_len })
+    }
+}
+
+fn geometry_len(g: &Geometry) -> usize {
+    match g {
+        Geometry::Point(_) => 1 + 16,
+        Geometry::Polyline(l) => 1 + 4 + 16 * l.len(),
+        Geometry::Polygon(p) => {
+            1 + 4
+                + (4 + 16 * p.outer().len())
+                + p.holes().iter().map(|h| 4 + 16 * h.len()).sum::<usize>()
+        }
+    }
+}
+
+fn put_points(pts: &[Point], out: &mut Vec<u8>) {
+    out.put_u32_le(pts.len() as u32);
+    for p in pts {
+        out.put_f64_le(p.x);
+        out.put_f64_le(p.y);
+    }
+}
+
+fn encode_geometry(g: &Geometry, out: &mut Vec<u8>) {
+    match g {
+        Geometry::Point(p) => {
+            out.put_u8(TAG_POINT);
+            out.put_f64_le(p.x);
+            out.put_f64_le(p.y);
+        }
+        Geometry::Polyline(l) => {
+            out.put_u8(TAG_POLYLINE);
+            put_points(l.points(), out);
+        }
+        Geometry::Polygon(poly) => {
+            out.put_u8(TAG_POLYGON);
+            out.put_u32_le(1 + poly.holes().len() as u32);
+            put_points(poly.outer().points(), out);
+            for h in poly.holes() {
+                put_points(h.points(), out);
+            }
+        }
+    }
+}
+
+fn get_points(buf: &mut &[u8]) -> StorageResult<Vec<Point>> {
+    if buf.remaining() < 4 {
+        return Err(StorageError::Corrupt("truncated point count"));
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n * 16 {
+        return Err(StorageError::Corrupt("truncated point array"));
+    }
+    let mut pts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x = buf.get_f64_le();
+        let y = buf.get_f64_le();
+        pts.push(Point::new(x, y));
+    }
+    Ok(pts)
+}
+
+fn decode_geometry(buf: &mut &[u8]) -> StorageResult<Geometry> {
+    if buf.remaining() < 1 {
+        return Err(StorageError::Corrupt("missing geometry tag"));
+    }
+    match buf.get_u8() {
+        TAG_POINT => {
+            if buf.remaining() < 16 {
+                return Err(StorageError::Corrupt("truncated point"));
+            }
+            let x = buf.get_f64_le();
+            let y = buf.get_f64_le();
+            Ok(Geometry::Point(Point::new(x, y)))
+        }
+        TAG_POLYLINE => {
+            let pts = get_points(buf)?;
+            if pts.len() < 2 {
+                return Err(StorageError::Corrupt("polyline with < 2 points"));
+            }
+            Ok(Geometry::Polyline(Polyline::new(pts)))
+        }
+        TAG_POLYGON => {
+            if buf.remaining() < 4 {
+                return Err(StorageError::Corrupt("truncated ring count"));
+            }
+            let nrings = buf.get_u32_le() as usize;
+            if nrings == 0 {
+                return Err(StorageError::Corrupt("polygon with no rings"));
+            }
+            let mut rings = Vec::with_capacity(nrings);
+            for _ in 0..nrings {
+                let pts = get_points(buf)?;
+                if pts.len() < 3 {
+                    return Err(StorageError::Corrupt("ring with < 3 points"));
+                }
+                rings.push(Ring::new(pts));
+            }
+            let outer = rings.remove(0);
+            Ok(Geometry::Polygon(Polygon::with_holes(outer, rings)))
+        }
+        _ => Err(StorageError::Corrupt("unknown geometry tag")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pl(coords: &[(f64, f64)]) -> Polyline {
+        Polyline::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect())
+    }
+
+    fn ring(coords: &[(f64, f64)]) -> Ring {
+        Ring::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect())
+    }
+
+    #[test]
+    fn point_roundtrip() {
+        let t = SpatialTuple::new(7, Point::new(1.5, -2.5).into(), 0);
+        let enc = t.encode();
+        assert_eq!(enc.len(), t.encoded_len());
+        assert_eq!(SpatialTuple::decode(&enc).unwrap(), t);
+    }
+
+    #[test]
+    fn polyline_roundtrip_with_filler() {
+        let t = SpatialTuple::new(
+            42,
+            pl(&[(0.0, 0.0), (1.0, 2.0), (3.0, 4.0)]).into(),
+            64,
+        );
+        let enc = t.encode();
+        assert_eq!(enc.len(), t.encoded_len());
+        let back = SpatialTuple::decode(&enc).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn swiss_cheese_roundtrip_with_mer() {
+        let outer = ring(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]);
+        let hole = ring(&[(4.0, 4.0), (6.0, 4.0), (6.0, 6.0), (4.0, 6.0)]);
+        let mut t =
+            SpatialTuple::new(1, Polygon::with_holes(outer, vec![hole]).into(), 32);
+        t.mer = Some(Rect::new(0.5, 0.5, 3.5, 3.5));
+        let enc = t.encode();
+        assert_eq!(enc.len(), t.encoded_len());
+        assert_eq!(SpatialTuple::decode(&enc).unwrap(), t);
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected() {
+        assert!(SpatialTuple::decode(&[]).is_err());
+        assert!(SpatialTuple::decode(&[0u8; 10]).is_err());
+        let t = SpatialTuple::new(1, Point::new(0.0, 0.0).into(), 0);
+        let mut enc = t.encode();
+        enc.truncate(enc.len() - 3);
+        assert!(SpatialTuple::decode(&enc).is_err());
+        // Bad geometry tag.
+        let mut enc2 = t.encode();
+        enc2[10] = 99;
+        assert!(SpatialTuple::decode(&enc2).is_err());
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer() {
+        let t1 = SpatialTuple::new(1, Point::new(0.0, 0.0).into(), 8);
+        let t2 = SpatialTuple::new(2, pl(&[(0.0, 0.0), (1.0, 1.0)]).into(), 0);
+        let mut buf = Vec::new();
+        t1.encode_into(&mut buf);
+        assert_eq!(SpatialTuple::decode(&buf).unwrap(), t1);
+        t2.encode_into(&mut buf);
+        assert_eq!(SpatialTuple::decode(&buf).unwrap(), t2);
+    }
+}

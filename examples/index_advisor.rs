@@ -1,0 +1,74 @@
+//! "Which join should the optimizer pick?" — replays the paper's §4.5
+//! index-scenario study on a small workload and prints the winner for
+//! each case, checking it against the paper's conclusions:
+//!
+//! * no indices → PBSM wins;
+//! * index on the smaller input only → PBSM still wins;
+//! * index on the larger input, or on both → the R-tree join wins.
+//!
+//! ```text
+//! cargo run --release --example index_advisor
+//! ```
+
+use pbsm::join::cost::cpu_scale;
+use pbsm::prelude::*;
+
+/// One scenario: which relations have a pre-built index.
+struct Scenario {
+    name: &'static str,
+    index_large: bool,
+    index_small: bool,
+}
+
+fn fresh_db(road: &[SpatialTuple], rail: &[SpatialTuple], sc: &Scenario) -> Db {
+    let db = Db::new(DbConfig::with_pool_mb(4));
+    let large = load_relation(&db, "road", road, false).unwrap();
+    let small = load_relation(&db, "rail", rail, false).unwrap();
+    if sc.index_large {
+        build_index(&db, &large).unwrap();
+    }
+    if sc.index_small {
+        build_index(&db, &small).unwrap();
+    }
+    db
+}
+
+fn main() {
+    let cfg = TigerConfig::scaled(0.05);
+    let road = tiger::road(&cfg);
+    let rail = tiger::rail(&cfg);
+    println!("{} roads vs {} rail features\n", road.len(), rail.len());
+    let scale = cpu_scale();
+
+    let scenarios = [
+        Scenario { name: "no pre-existing index", index_large: false, index_small: false },
+        Scenario { name: "index on smaller input", index_large: false, index_small: true },
+        Scenario { name: "index on larger input", index_large: true, index_small: false },
+        Scenario { name: "indices on both inputs", index_large: true, index_small: true },
+    ];
+
+    for sc in &scenarios {
+        let spec = JoinSpec::new("road", "rail", SpatialPredicate::Intersects);
+        let mut rows: Vec<(&str, f64, u64)> = Vec::new();
+        type JoinFn = fn(&Db, &JoinSpec, &JoinConfig) -> Result<JoinOutcome, pbsm::storage::StorageError>;
+        for (alg, f) in [
+            ("PBSM", pbsm_join as JoinFn),
+            ("R-tree join", rtree_join as JoinFn),
+            ("indexed NL", inl_join as JoinFn),
+        ] {
+            // Fresh database per run so index builds are charged to the
+            // algorithm that needed them, as in the paper.
+            let db = fresh_db(&road, &rail, sc);
+            let out = f(&db, &spec, &JoinConfig::for_db(&db)).unwrap();
+            rows.push((alg, out.report.total_1996(scale), out.stats.results));
+        }
+        let counts: Vec<u64> = rows.iter().map(|r| r.2).collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "algorithms disagreed");
+        rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        println!("{}:", sc.name);
+        for (alg, secs, _) in &rows {
+            println!("  {alg:14} {secs:8.1} modeled-1996 s");
+        }
+        println!("  → winner: {}\n", rows[0].0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Edge-case integration tests: degenerate inputs the paper's prose
+//! glosses over but a real system must survive.
+
+use pbsm::prelude::*;
+
+fn polyline(coords: &[(f64, f64)]) -> SpatialTuple {
+    SpatialTuple::new(
+        0,
+        Polyline::new(coords.iter().map(|&(x, y)| Point::new(x, y)).collect()).into(),
+        0,
+    )
+}
+
+fn db_with(left: &[SpatialTuple], right: &[SpatialTuple]) -> Db {
+    let db = Db::new(DbConfig::with_pool_mb(2));
+    load_relation(&db, "l", left, false).unwrap();
+    load_relation(&db, "r", right, false).unwrap();
+    db
+}
+
+fn all_algorithms(db: &Db) -> [JoinOutcome; 3] {
+    let spec = JoinSpec::new("l", "r", SpatialPredicate::Intersects);
+    let config = JoinConfig::for_db(db);
+    [
+        pbsm_join(db, &spec, &config).unwrap(),
+        rtree_join(db, &spec, &config).unwrap(),
+        inl_join(db, &spec, &config).unwrap(),
+    ]
+}
+
+#[test]
+fn single_tuple_each_side() {
+    let db = db_with(
+        &[polyline(&[(0.0, 0.0), (2.0, 2.0)])],
+        &[polyline(&[(0.0, 2.0), (2.0, 0.0)])],
+    );
+    for out in all_algorithms(&db) {
+        assert_eq!(out.stats.results, 1);
+    }
+}
+
+#[test]
+fn no_matches_at_all() {
+    let db = db_with(
+        &[polyline(&[(0.0, 0.0), (1.0, 1.0)])],
+        &[polyline(&[(50.0, 50.0), (51.0, 51.0)])],
+    );
+    for out in all_algorithms(&db) {
+        assert_eq!(out.stats.results, 0);
+        assert!(out.pairs.is_empty());
+    }
+}
+
+#[test]
+fn identical_degenerate_features() {
+    // Many copies of the same tiny feature: partition skew at its purest,
+    // plus heavy duplicate candidates.
+    let copies: Vec<SpatialTuple> = (0..200)
+        .map(|i| {
+            let mut t = polyline(&[(5.0, 5.0), (5.001, 5.001)]);
+            t.key = i;
+            t
+        })
+        .collect();
+    let db = db_with(&copies, &copies);
+    for out in all_algorithms(&db) {
+        assert_eq!(out.stats.results, 200 * 200, "{:?}", out.stats);
+    }
+}
+
+#[test]
+fn axis_aligned_and_degenerate_mbrs() {
+    // Horizontal and vertical lines have zero-height/width MBRs.
+    let db = db_with(
+        &[
+            polyline(&[(0.0, 5.0), (10.0, 5.0)]), // horizontal
+            polyline(&[(5.0, 0.0), (5.0, 10.0)]), // vertical
+        ],
+        &[
+            polyline(&[(5.0, 0.0), (5.0, 10.0)]),  // crosses the horizontal
+            polyline(&[(20.0, 5.0), (30.0, 5.0)]), // disjoint
+        ],
+    );
+    for out in all_algorithms(&db) {
+        // horizontal × vertical cross at (5,5); vertical × identical
+        // vertical overlap collinearly. The disjoint line matches nothing.
+        assert_eq!(out.stats.results, 2);
+    }
+}
+
+#[test]
+fn unknown_relation_is_a_clean_error() {
+    let db = Db::new(DbConfig::with_pool_mb(2));
+    let spec = JoinSpec::new("ghost", "phantom", SpatialPredicate::Intersects);
+    let err = pbsm_join(&db, &spec, &JoinConfig::for_db(&db));
+    assert!(err.is_err());
+    let msg = format!("{}", err.err().unwrap());
+    assert!(msg.contains("ghost"), "{msg}");
+}
+
+#[test]
+fn contains_is_asymmetric() {
+    use pbsm::geom::polygon::Ring;
+    use pbsm::geom::Polygon;
+    let square = |x0: f64, s: f64, key: u64| {
+        let mut t = SpatialTuple::new(
+            key,
+            Polygon::simple(Ring::new(vec![
+                Point::new(x0, x0),
+                Point::new(x0 + s, x0),
+                Point::new(x0 + s, x0 + s),
+                Point::new(x0, x0 + s),
+            ]))
+            .into(),
+            0,
+        );
+        t.key = key;
+        t
+    };
+    let db = Db::new(DbConfig::with_pool_mb(2));
+    load_relation(&db, "big", &[square(0.0, 10.0, 1)], false).unwrap();
+    load_relation(&db, "small", &[square(2.0, 2.0, 2)], false).unwrap();
+    let config = JoinConfig::for_db(&db);
+    let fwd = pbsm_join(
+        &db,
+        &JoinSpec::new("big", "small", SpatialPredicate::Contains),
+        &config,
+    )
+    .unwrap();
+    assert_eq!(fwd.stats.results, 1);
+    let rev = pbsm_join(
+        &db,
+        &JoinSpec::new("small", "big", SpatialPredicate::Contains),
+        &config,
+    )
+    .unwrap();
+    assert_eq!(rev.stats.results, 0);
+}
+
+#[test]
+fn tiny_work_memory_floors_gracefully() {
+    let cfg = TigerConfig::scaled(0.002);
+    let db = Db::new(DbConfig::with_pool_mb(2));
+    load_relation(&db, "l", &tiger::road(&cfg), false).unwrap();
+    load_relation(&db, "r", &tiger::hydrography(&cfg), false).unwrap();
+    let spec = JoinSpec::new("l", "r", SpatialPredicate::Intersects);
+    // 1 KB work memory: hundreds of partitions, external sorts with
+    // single-record runs — must still be correct.
+    let small = JoinConfig { work_mem_bytes: 1024, ..JoinConfig::default() };
+    let big = JoinConfig { work_mem_bytes: 64 << 20, ..JoinConfig::default() };
+    let a = pbsm_join(&db, &spec, &small).unwrap();
+    let b = pbsm_join(&db, &spec, &big).unwrap();
+    assert!(a.stats.partitions > 20, "partitions {}", a.stats.partitions);
+    assert_eq!(b.stats.partitions, 1);
+    assert_eq!(a.pairs, b.pairs);
+}
+
+#[test]
+fn swiss_cheese_tuples_survive_the_full_pipeline() {
+    use pbsm::geom::polygon::Ring;
+    use pbsm::geom::Polygon;
+    let ring = |pts: &[(f64, f64)]| {
+        Ring::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect())
+    };
+    // A park with a lake; an island in the lake (NOT contained in the
+    // park's point set) and a meadow in the park (contained).
+    let park = SpatialTuple::new(
+        1,
+        Polygon::with_holes(
+            ring(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]),
+            vec![ring(&[(4.0, 4.0), (7.0, 4.0), (7.0, 7.0), (4.0, 7.0)])],
+        )
+        .into(),
+        0,
+    );
+    let island_in_lake = SpatialTuple::new(
+        2,
+        Polygon::simple(ring(&[(5.0, 5.0), (6.0, 5.0), (6.0, 6.0), (5.0, 6.0)])).into(),
+        0,
+    );
+    let meadow = SpatialTuple::new(
+        3,
+        Polygon::simple(ring(&[(1.0, 1.0), (2.0, 1.0), (2.0, 2.0), (1.0, 2.0)])).into(),
+        0,
+    );
+    let db = Db::new(DbConfig::with_pool_mb(2));
+    load_relation(&db, "parks", &[park], false).unwrap();
+    load_relation(&db, "features", &[island_in_lake, meadow], false).unwrap();
+    let out = pbsm_join(
+        &db,
+        &JoinSpec::new("parks", "features", SpatialPredicate::Contains),
+        &JoinConfig::for_db(&db),
+    )
+    .unwrap();
+    // Only the meadow is contained; the island sits in the hole.
+    assert_eq!(out.stats.results, 1);
+}

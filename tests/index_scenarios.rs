@@ -1,0 +1,117 @@
+//! Integration tests for the §4.5 pre-existing-index scenarios and the
+//! cost-accounting behaviour the figures rely on.
+
+use pbsm::prelude::*;
+
+fn setup(index_large: bool, index_small: bool) -> Db {
+    let db = Db::new(DbConfig::with_pool_mb(2));
+    let cfg = TigerConfig::scaled(0.008);
+    let large = load_relation(&db, "road", &tiger::road(&cfg), false).unwrap();
+    let small = load_relation(&db, "rail", &tiger::rail(&cfg), false).unwrap();
+    if index_large {
+        build_index(&db, &large).unwrap();
+    }
+    if index_small {
+        build_index(&db, &small).unwrap();
+    }
+    db
+}
+
+fn names(out: &JoinOutcome) -> Vec<String> {
+    out.report.components.iter().map(|c| c.name.clone()).collect()
+}
+
+#[test]
+fn rtree_join_builds_only_missing_indices() {
+    let spec = JoinSpec::new("road", "rail", SpatialPredicate::Intersects);
+    let cases = [
+        (false, false, vec!["build index on road", "build index on rail", "join indices", "refinement step"]),
+        (true, false, vec!["build index on rail", "join indices", "refinement step"]),
+        (false, true, vec!["build index on road", "join indices", "refinement step"]),
+        (true, true, vec!["join indices", "refinement step"]),
+    ];
+    let mut reference: Option<u64> = None;
+    for (idx_l, idx_s, want) in cases {
+        let db = setup(idx_l, idx_s);
+        let out = rtree_join(&db, &spec, &JoinConfig::for_db(&db)).unwrap();
+        assert_eq!(names(&out), want, "large={idx_l} small={idx_s}");
+        match reference {
+            None => reference = Some(out.stats.results),
+            Some(r) => assert_eq!(out.stats.results, r),
+        }
+    }
+}
+
+#[test]
+fn inl_probes_the_right_index() {
+    let spec = JoinSpec::new("road", "rail", SpatialPredicate::Intersects);
+    // No index: builds on the smaller (rail).
+    let db = setup(false, false);
+    let out = inl_join(&db, &spec, &JoinConfig::for_db(&db)).unwrap();
+    assert_eq!(names(&out), vec!["build index on rail", "probe index"]);
+    // Index only on the larger: probes it, builds nothing.
+    let db = setup(true, false);
+    let out2 = inl_join(&db, &spec, &JoinConfig::for_db(&db)).unwrap();
+    assert_eq!(names(&out2), vec!["probe index"]);
+    assert_eq!(out2.stats.results, out.stats.results);
+    // Both: probes the smaller, builds nothing.
+    let db = setup(true, true);
+    let out3 = inl_join(&db, &spec, &JoinConfig::for_db(&db)).unwrap();
+    assert_eq!(names(&out3), vec!["probe index"]);
+    assert_eq!(out3.stats.results, out.stats.results);
+}
+
+#[test]
+fn pbsm_ignores_indices_entirely() {
+    let spec = JoinSpec::new("road", "rail", SpatialPredicate::Intersects);
+    let db_no = setup(false, false);
+    let a = pbsm_join(&db_no, &spec, &JoinConfig::for_db(&db_no)).unwrap();
+    let db_both = setup(true, true);
+    let b = pbsm_join(&db_both, &spec, &JoinConfig::for_db(&db_both)).unwrap();
+    assert_eq!(names(&a), names(&b));
+    assert_eq!(a.stats.results, b.stats.results);
+}
+
+#[test]
+fn index_build_cost_is_attributed() {
+    // The build component must carry real CPU time and its own I/O delta;
+    // the probe phase must not re-pay it.
+    let db = setup(false, false);
+    let spec = JoinSpec::new("road", "rail", SpatialPredicate::Intersects);
+    let out = inl_join(&db, &spec, &JoinConfig::for_db(&db)).unwrap();
+    let build = out.report.component("build index on rail").unwrap();
+    assert!(build.cpu_s > 0.0);
+    let probe = out.report.component("probe index").unwrap();
+    assert!(probe.cpu_s > 0.0);
+    assert!(out.report.total_1996(100.0) > out.report.total_io_s());
+}
+
+#[test]
+fn clustered_index_build_skips_sort_and_matches() {
+    // Same data, clustered vs not: identical query answers through the
+    // index, and the clustered build is registered against the catalog.
+    let cfg = TigerConfig::scaled(0.01);
+    let mut tuples = tiger::road(&cfg);
+
+    let db1 = Db::new(DbConfig::with_pool_mb(4));
+    let plain = load_relation(&db1, "road", &tuples, false).unwrap();
+    let t1 = build_index(&db1, &plain).unwrap();
+
+    spatial_sort(&mut tuples);
+    let db2 = Db::new(DbConfig::with_pool_mb(4));
+    let clustered = load_relation(&db2, "road", &tuples, true).unwrap();
+    let t2 = build_index(&db2, &clustered).unwrap();
+
+    assert_eq!(t1.num_entries(), t2.num_entries());
+    // §4.4: bulk loading sorts in the non-clustered case, so "the trees
+    // that are built in both the clustered and the non-clustered scenarios
+    // are exactly the same" — same page counts here.
+    assert_eq!(t1.num_pages(db1.pool()), t2.num_pages(db2.pool()));
+
+    let probe = Rect::new(10.0, 10.0, 30.0, 30.0);
+    let mut h1 = Vec::new();
+    let mut h2 = Vec::new();
+    pbsm::rtree::query::window_query(&t1, db1.pool(), &probe, &mut h1).unwrap();
+    pbsm::rtree::query::window_query(&t2, db2.pool(), &probe, &mut h2).unwrap();
+    assert_eq!(h1.len(), h2.len());
+}

@@ -1,0 +1,165 @@
+//! Cross-algorithm integration tests: PBSM, the R-tree join, and indexed
+//! nested loops are different plans for the same query, so on every
+//! workload, configuration, and buffer-pool size they must return
+//! identical answers — and agree with a brute-force ground truth.
+
+use pbsm::prelude::*;
+use pbsm::storage::heap::HeapFile;
+
+fn ground_truth(db: &Db, left: &str, right: &str, pred: SpatialPredicate) -> Vec<(Oid, Oid)> {
+    let opts = RefineOptions::default();
+    let load = |name: &str| -> Vec<(Oid, SpatialTuple)> {
+        let meta = db.catalog().relation(name).unwrap().clone();
+        HeapFile::open(meta.file)
+            .scan(db.pool())
+            .map(|x| {
+                let (o, b) = x.unwrap();
+                (o, SpatialTuple::decode(&b).unwrap())
+            })
+            .collect()
+    };
+    let l = load(left);
+    let r = load(right);
+    let mut out = Vec::new();
+    for (lo, lt) in &l {
+        for (ro, rt) in &r {
+            if pbsm::join::refine::matches(lt, rt, pred, &opts) {
+                out.push((*lo, *ro));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+fn setup_tiger(pool_mb: usize, clustered: bool) -> Db {
+    let db = Db::new(DbConfig::with_pool_mb(pool_mb));
+    let cfg = TigerConfig::scaled(0.01);
+    let mut road = tiger::road(&cfg);
+    let mut hydro = tiger::hydrography(&cfg);
+    if clustered {
+        spatial_sort(&mut road);
+        spatial_sort(&mut hydro);
+    }
+    load_relation(&db, "road", &road, clustered).unwrap();
+    load_relation(&db, "hydro", &hydro, clustered).unwrap();
+    db
+}
+
+#[test]
+fn all_algorithms_agree_on_tiger() {
+    let db = setup_tiger(2, false);
+    let spec = JoinSpec::new("road", "hydro", SpatialPredicate::Intersects);
+    let config = JoinConfig { work_mem_bytes: 128 * 1024, ..JoinConfig::default() };
+
+    let truth = ground_truth(&db, "road", "hydro", SpatialPredicate::Intersects);
+    assert!(!truth.is_empty(), "degenerate workload");
+
+    let a = pbsm_join(&db, &spec, &config).unwrap();
+    assert_eq!(a.pairs, truth, "PBSM");
+    let b = rtree_join(&db, &spec, &config).unwrap();
+    assert_eq!(b.pairs, truth, "R-tree join");
+    let c = inl_join(&db, &spec, &config).unwrap();
+    assert_eq!(c.pairs, truth, "INL");
+}
+
+#[test]
+fn agreement_across_buffer_pool_sizes() {
+    // The paper's 2/8/24 MB axis: answers must not depend on pool size.
+    let spec = JoinSpec::new("road", "hydro", SpatialPredicate::Intersects);
+    let mut reference: Option<Vec<(Oid, Oid)>> = None;
+    for pool_mb in [2usize, 8, 24] {
+        let db = setup_tiger(pool_mb, false);
+        let out = pbsm_join(&db, &spec, &JoinConfig::for_db(&db)).unwrap();
+        match &reference {
+            None => reference = Some(out.pairs),
+            Some(want) => assert_eq!(&out.pairs, want, "pool {pool_mb} MB"),
+        }
+    }
+}
+
+#[test]
+fn clustering_does_not_change_results() {
+    // Clustered inputs change OIDs (physical order), so compare surrogate
+    // key pairs instead.
+    let key_pairs = |db: &Db, pairs: &[(Oid, Oid)]| -> Vec<(u64, u64)> {
+        let mut buf = Vec::new();
+        let road = HeapFile::open(db.catalog().relation("road").unwrap().file);
+        let hydro = HeapFile::open(db.catalog().relation("hydro").unwrap().file);
+        let mut out: Vec<(u64, u64)> = pairs
+            .iter()
+            .map(|(a, b)| {
+                road.fetch(db.pool(), *a, &mut buf).unwrap();
+                let ka = SpatialTuple::decode(&buf).unwrap().key;
+                hydro.fetch(db.pool(), *b, &mut buf).unwrap();
+                let kb = SpatialTuple::decode(&buf).unwrap().key;
+                (ka, kb)
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    };
+    let spec = JoinSpec::new("road", "hydro", SpatialPredicate::Intersects);
+
+    let plain_db = setup_tiger(4, false);
+    let plain = pbsm_join(&plain_db, &spec, &JoinConfig::for_db(&plain_db)).unwrap();
+    let clustered_db = setup_tiger(4, true);
+    let clustered = pbsm_join(&clustered_db, &spec, &JoinConfig::for_db(&clustered_db)).unwrap();
+    assert_eq!(
+        key_pairs(&plain_db, &plain.pairs),
+        key_pairs(&clustered_db, &clustered.pairs)
+    );
+}
+
+#[test]
+fn sequoia_containment_all_algorithms() {
+    let db = Db::new(DbConfig::with_pool_mb(4));
+    let (landuse, islands) = sequoia::generate(&SequoiaConfig::scaled(0.01));
+    load_relation(&db, "landuse", &landuse, false).unwrap();
+    load_relation(&db, "islands", &islands, false).unwrap();
+    let spec = JoinSpec::new("landuse", "islands", SpatialPredicate::Contains);
+    let config = JoinConfig { work_mem_bytes: 256 * 1024, ..JoinConfig::default() };
+
+    let truth = ground_truth(&db, "landuse", "islands", SpatialPredicate::Contains);
+    assert!(!truth.is_empty());
+    assert_eq!(pbsm_join(&db, &spec, &config).unwrap().pairs, truth, "PBSM");
+    assert_eq!(rtree_join(&db, &spec, &config).unwrap().pairs, truth, "R-tree");
+    assert_eq!(inl_join(&db, &spec, &config).unwrap().pairs, truth, "INL");
+}
+
+#[test]
+fn extensions_preserve_answers() {
+    let db = setup_tiger(2, false);
+    let spec = JoinSpec::new("road", "hydro", SpatialPredicate::Intersects);
+    let base = JoinConfig { work_mem_bytes: 64 * 1024, ..JoinConfig::default() };
+    let want = pbsm_join(&db, &spec, &base).unwrap().pairs;
+
+    let repart = JoinConfig { dynamic_repartition: true, ..base.clone() };
+    assert_eq!(pbsm_join(&db, &spec, &repart).unwrap().pairs, want);
+
+    let par = JoinConfig { merge_threads: 3, ..base.clone() };
+    assert_eq!(pbsm_join(&db, &spec, &par).unwrap().pairs, want);
+
+    let rr = JoinConfig { tile_map: TileMapScheme::RoundRobin, ..base.clone() };
+    assert_eq!(pbsm_join(&db, &spec, &rr).unwrap().pairs, want);
+
+    for tiles in [16usize, 256, 4096] {
+        let t = JoinConfig { num_tiles: tiles, ..base.clone() };
+        assert_eq!(pbsm_join(&db, &spec, &t).unwrap().pairs, want, "{tiles} tiles");
+    }
+}
+
+#[test]
+fn sorted_flush_off_still_correct() {
+    let db = Db::new(DbConfig {
+        sorted_flush: false,
+        ..DbConfig::with_pool_mb(2)
+    });
+    let cfg = TigerConfig::scaled(0.005);
+    load_relation(&db, "road", &tiger::road(&cfg), false).unwrap();
+    load_relation(&db, "hydro", &tiger::hydrography(&cfg), false).unwrap();
+    let spec = JoinSpec::new("road", "hydro", SpatialPredicate::Intersects);
+    let out = pbsm_join(&db, &spec, &JoinConfig::for_db(&db)).unwrap();
+    let truth = ground_truth(&db, "road", "hydro", SpatialPredicate::Intersects);
+    assert_eq!(out.pairs, truth);
+}

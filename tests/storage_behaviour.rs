@@ -1,0 +1,148 @@
+//! Integration tests for the storage substrate's paper-relevant
+//! behaviours: buffer-pool sizing effects, sorted write-behind, OID
+//! physical ordering, and heap-file durability under churn.
+
+use pbsm::geom::{Geometry, Point, Polyline};
+use pbsm::storage::heap::HeapFile;
+use pbsm::storage::tuple::SpatialTuple;
+use pbsm::storage::{Db, DbConfig};
+
+fn tuples(n: usize) -> Vec<SpatialTuple> {
+    (0..n)
+        .map(|i| {
+            let x = (i % 97) as f64;
+            let y = (i / 97) as f64;
+            let geom: Geometry =
+                Polyline::new(vec![Point::new(x, y), Point::new(x + 1.0, y + 1.0)]).into();
+            SpatialTuple::new(i as u64, geom, (i % 50) as u16)
+        })
+        .collect()
+}
+
+#[test]
+fn smaller_pool_means_more_io() {
+    // The experimental axis of the whole paper: shrinking the buffer pool
+    // must increase physical I/O for an identical workload.
+    let run = |mb: usize| -> u64 {
+        let db = Db::new(DbConfig::with_pool_mb(mb));
+        let heap = HeapFile::create(db.pool());
+        let ts = tuples(80_000);
+        let mut buf = Vec::new();
+        let mut oids = Vec::new();
+        for t in &ts {
+            t.encode_into(&mut buf);
+            oids.push(heap.insert(db.pool(), &buf).unwrap());
+        }
+        // Random-order fetches: hit rate depends on pool size.
+        let mut idx = 7usize;
+        for _ in 0..80_000 {
+            idx = (idx * 31 + 17) % oids.len();
+            heap.fetch(db.pool(), oids[idx], &mut buf).unwrap();
+        }
+        db.disk_stats().reads
+    };
+    let small = run(2);
+    let large = run(24);
+    assert!(
+        small > large * 2,
+        "2 MB pool should read far more than 24 MB: {small} vs {large}"
+    );
+}
+
+#[test]
+fn oid_order_is_physical_order() {
+    // §3.2 sorts candidates by OID to make fetches sequential; that only
+    // works if OID order == insertion (physical) order.
+    let db = Db::new(DbConfig::with_pool_mb(2));
+    let heap = HeapFile::create(db.pool());
+    let mut buf = Vec::new();
+    let mut oids = Vec::new();
+    for t in tuples(5_000) {
+        t.encode_into(&mut buf);
+        oids.push(heap.insert(db.pool(), &buf).unwrap());
+    }
+    let mut sorted = oids.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, oids);
+
+    // And fetching in OID order is much cheaper than random order.
+    db.pool().clear_cache().unwrap();
+    let before = db.disk_stats();
+    for oid in &oids {
+        heap.fetch(db.pool(), *oid, &mut buf).unwrap();
+    }
+    let sequential = db.disk_stats().delta_since(&before);
+
+    db.pool().clear_cache().unwrap();
+    let before = db.disk_stats();
+    let mut idx = 13usize;
+    for _ in 0..oids.len() {
+        idx = (idx * 101 + 7) % oids.len();
+        heap.fetch(db.pool(), oids[idx], &mut buf).unwrap();
+    }
+    let random = db.disk_stats().delta_since(&before);
+    assert!(
+        random.io_ms > 2.0 * sequential.io_ms,
+        "random fetch {:.0}ms should cost far more than sequential {:.0}ms",
+        random.io_ms,
+        sequential.io_ms
+    );
+}
+
+#[test]
+fn sorted_flush_cuts_seeks_under_identical_workload() {
+    let run = |sorted: bool| -> u64 {
+        let db = Db::new(DbConfig { sorted_flush: sorted, ..DbConfig::with_pool_mb(2) });
+        let h1 = HeapFile::create(db.pool());
+        let h2 = HeapFile::create(db.pool());
+        let mut buf = Vec::new();
+        // Interleave inserts into two files: dirty pages alternate, so the
+        // naive single-victim flush seeks between files constantly.
+        for t in tuples(30_000) {
+            t.encode_into(&mut buf);
+            let target = if t.key % 2 == 0 { &h1 } else { &h2 };
+            target.insert(db.pool(), &buf).unwrap();
+        }
+        db.pool().flush_all().unwrap();
+        db.disk_stats().seeks
+    };
+    let with = run(true);
+    let without = run(false);
+    assert!(
+        with < without,
+        "sorted write-behind should seek less: {with} vs {without}"
+    );
+}
+
+#[test]
+fn scan_sees_all_records_under_eviction() {
+    let db = Db::new(DbConfig::with_pool_mb(2));
+    let heap = HeapFile::create(db.pool());
+    let ts = tuples(10_000);
+    let mut buf = Vec::new();
+    for t in &ts {
+        t.encode_into(&mut buf);
+        heap.insert(db.pool(), &buf).unwrap();
+    }
+    let decoded: Vec<SpatialTuple> = heap
+        .scan(db.pool())
+        .map(|r| SpatialTuple::decode(&r.unwrap().1).unwrap())
+        .collect();
+    assert_eq!(decoded, ts);
+}
+
+#[test]
+fn db_stats_are_monotonic() {
+    let db = Db::new(DbConfig::with_pool_mb(2));
+    let heap = HeapFile::create(db.pool());
+    let mut prev = db.disk_stats();
+    let mut buf = Vec::new();
+    for t in tuples(2_000) {
+        t.encode_into(&mut buf);
+        heap.insert(db.pool(), &buf).unwrap();
+        let now = db.disk_stats();
+        assert!(now.reads >= prev.reads && now.writes >= prev.writes);
+        assert!(now.io_ms >= prev.io_ms);
+        prev = now;
+    }
+}
