@@ -17,18 +17,8 @@ use pbsm_storage::{FileId, Oid, PAGE_SIZE};
 use std::hint::black_box;
 
 fn tagged_rects(n: usize, seed: u64) -> Vec<Tagged> {
-    let mut state = seed;
-    let mut rnd = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
-    };
-    let mut v: Vec<Tagged> = (0..n)
-        .map(|i| {
-            let x = rnd() * 100.0;
-            let y = rnd() * 100.0;
-            (Rect::new(x, y, x + rnd() * 0.5, y + rnd() * 0.5), i as u32)
-        })
-        .collect();
+    let mut rng = pbsm_geom::lcg::Lcg::new(seed);
+    let mut v: Vec<Tagged> = (0..n).map(|i| (rng.rect(100.0, 0.5), i as u32)).collect();
     sort_by_xl(&mut v);
     v
 }
@@ -54,13 +44,17 @@ fn bench_sweep(c: &mut Criterion) {
             })
         });
         if n <= 1_000 {
-            g.bench_with_input(BenchmarkId::new("nested_loop_reference", n), &n, |bch, _| {
-                bch.iter(|| {
-                    let mut hits = 0u64;
-                    nested_loop_join(&a, &b, |_, _| hits += 1);
-                    black_box(hits)
-                })
-            });
+            g.bench_with_input(
+                BenchmarkId::new("nested_loop_reference", n),
+                &n,
+                |bch, _| {
+                    bch.iter(|| {
+                        let mut hits = 0u64;
+                        nested_loop_join(&a, &b, |_, _| hits += 1);
+                        black_box(hits)
+                    })
+                },
+            );
         }
     }
     g.finish();
@@ -73,16 +67,20 @@ fn bench_partitioning(c: &mut Criterion) {
     let mbrs: Vec<Rect> = tiger::road(&cfg).iter().map(|t| t.geom.mbr()).collect();
     for tiles in [64usize, 1024, 4096] {
         let grid = TileGrid::new(UNIVERSE, tiles);
-        g.bench_with_input(BenchmarkId::new("hash_16_parts", tiles), &tiles, |bch, _| {
-            bch.iter(|| {
-                black_box(PartitionHistogram::build(
-                    &grid,
-                    TileMapScheme::Hash,
-                    16,
-                    mbrs.iter().copied(),
-                ))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("hash_16_parts", tiles),
+            &tiles,
+            |bch, _| {
+                bch.iter(|| {
+                    black_box(PartitionHistogram::build(
+                        &grid,
+                        TileMapScheme::Hash,
+                        16,
+                        mbrs.iter().copied(),
+                    ))
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -90,7 +88,10 @@ fn bench_partitioning(c: &mut Criterion) {
 fn bench_curves(c: &mut Criterion) {
     let mut g = c.benchmark_group("space_filling_curves");
     let u = Rect::new(0.0, 0.0, 100.0, 100.0);
-    let rects: Vec<Rect> = tagged_rects(10_000, 11).into_iter().map(|(r, _)| r).collect();
+    let rects: Vec<Rect> = tagged_rects(10_000, 11)
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect();
     g.bench_function("hilbert_10k", |b| {
         b.iter(|| {
             let mut acc = 0u64;
@@ -121,7 +122,14 @@ fn bench_rtree_probe(c: &mut Criterion) {
         .map(|(r, i)| (r, Oid::new(FileId(1), i, 0)))
         .collect();
     let u = Rect::new(0.0, 0.0, 101.0, 101.0);
-    let tree = bulk_load(&pool, entries.clone(), &u, pbsm_rtree::DEFAULT_CAPACITY, false).unwrap();
+    let tree = bulk_load(
+        &pool,
+        entries.clone(),
+        &u,
+        pbsm_rtree::DEFAULT_CAPACITY,
+        false,
+    )
+    .unwrap();
     let probes = tagged_rects(200, 13);
     g.bench_function("window_probe_50k", |b| {
         let mut out = Vec::new();
@@ -138,11 +146,7 @@ fn bench_rtree_probe(c: &mut Criterion) {
     g.bench_function("bulk_load_50k", |b| {
         b.iter_batched(
             || entries.clone(),
-            |e| {
-                black_box(
-                    bulk_load(&pool, e, &u, pbsm_rtree::DEFAULT_CAPACITY, false).unwrap(),
-                )
-            },
+            |e| black_box(bulk_load(&pool, e, &u, pbsm_rtree::DEFAULT_CAPACITY, false).unwrap()),
             BatchSize::LargeInput,
         )
     });
@@ -152,12 +156,21 @@ fn bench_rtree_probe(c: &mut Criterion) {
 fn bench_refinement(c: &mut Criterion) {
     let mut g = c.benchmark_group("refinement_predicates");
     let cfg = TigerConfig::scaled(0.01);
-    let roads: Vec<Geometry> =
-        tiger::road(&cfg).into_iter().take(200).map(|t| t.geom).collect();
-    let hydro: Vec<Geometry> =
-        tiger::hydrography(&cfg).into_iter().take(200).map(|t| t.geom).collect();
+    let roads: Vec<Geometry> = tiger::road(&cfg)
+        .into_iter()
+        .take(200)
+        .map(|t| t.geom)
+        .collect();
+    let hydro: Vec<Geometry> = tiger::hydrography(&cfg)
+        .into_iter()
+        .take(200)
+        .map(|t| t.geom)
+        .collect();
     for (name, sweep) in [("plane_sweep", true), ("naive", false)] {
-        let opts = RefineOptions { plane_sweep: sweep, mer_filter: false };
+        let opts = RefineOptions {
+            plane_sweep: sweep,
+            mer_filter: false,
+        };
         g.bench_function(format!("polyline_intersect_{name}"), |b| {
             b.iter(|| {
                 let mut hits = 0u64;

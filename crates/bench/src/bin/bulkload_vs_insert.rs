@@ -27,12 +27,17 @@ fn main() {
     let db1 = Db::new(DbConfig::with_pool_mb(16));
     let meta1 = load_relation(&db1, "hydro", &hydro, false).unwrap();
     db1.pool().clear_cache().unwrap();
-    let mut t1 = CostTracker::new(db1.pool());
+    let mut t1 = CostTracker::new();
     let bulk_tree = t1
         .run("bulk load", || {
             let entries = extract_entries(&db1, &meta1)?;
-            let tree =
-                bulk_load(db1.pool(), entries, &meta1.universe, DEFAULT_CAPACITY, false)?;
+            let tree = bulk_load(
+                db1.pool(),
+                entries,
+                &meta1.universe,
+                DEFAULT_CAPACITY,
+                false,
+            )?;
             db1.pool().flush_all()?;
             Ok::<_, pbsm_storage::StorageError>(tree)
         })
@@ -43,7 +48,7 @@ fn main() {
     let db2 = Db::new(DbConfig::with_pool_mb(16));
     let meta2 = load_relation(&db2, "hydro", &hydro, false).unwrap();
     db2.pool().clear_cache().unwrap();
-    let mut t2 = CostTracker::new(db2.pool());
+    let mut t2 = CostTracker::new();
     let insert_tree = t2
         .run("multiple inserts", || {
             let entries = extract_entries(&db2, &meta2)?;
@@ -66,14 +71,20 @@ fn main() {
                 "bulk load".into(),
                 secs(bulk_total),
                 secs(bulk_report.total_io_s()),
-                format!("{:.1}", bulk_tree.bytes(db1.pool()) as f64 / (1024.0 * 1024.0)),
+                format!(
+                    "{:.1}",
+                    bulk_tree.bytes(db1.pool()) as f64 / (1024.0 * 1024.0)
+                ),
                 format!("{}", bulk_tree.num_entries()),
             ],
             vec![
                 "multiple inserts".into(),
                 secs(insert_total),
                 secs(insert_report.total_io_s()),
-                format!("{:.1}", insert_tree.bytes(db2.pool()) as f64 / (1024.0 * 1024.0)),
+                format!(
+                    "{:.1}",
+                    insert_tree.bytes(db2.pool()) as f64 / (1024.0 * 1024.0)
+                ),
                 format!("{}", insert_tree.num_entries()),
             ],
         ],
@@ -82,7 +93,11 @@ fn main() {
     report.line(&format!(
         "slowdown of multiple inserts: {:.1}x (paper: 864.5/109.9 = 7.9x) — ≥4x: {}",
         insert_total / bulk_total.max(1e-9),
-        if insert_total >= 4.0 * bulk_total { "yes ✓" } else { "NO ✗" }
+        if insert_total >= 4.0 * bulk_total {
+            "yes ✓"
+        } else {
+            "NO ✗"
+        }
     ));
     assert_eq!(bulk_tree.num_entries(), insert_tree.num_entries());
     report.save();

@@ -44,10 +44,7 @@ fn main() {
         }
         rows.push(row);
     }
-    report.table(
-        &["tiles", "hash/4", "hash/16", "rr/4", "rr/16"],
-        &rows,
-    );
+    report.table(&["tiles", "hash/4", "hash/16", "rr/4", "rr/16"], &rows);
 
     // Paper's qualitative checks.
     report.blank();
@@ -60,7 +57,11 @@ fn main() {
     }
     report.line(&format!(
         "hash/4 better than hash/16 at same tile count (1024): {}",
-        if cov[&("hash/4 parts", 1024)] <= cov[&("hash/16 parts", 1024)] { "yes ✓" } else { "NO ✗" }
+        if cov[&("hash/4 parts", 1024)] <= cov[&("hash/16 parts", 1024)] {
+            "yes ✓"
+        } else {
+            "NO ✗"
+        }
     ));
     report.save();
 }

@@ -23,13 +23,14 @@ fn main() {
     report.blank();
 
     let p = 16;
-    let tile_counts = [16usize, 64, 144, 256, 400, 784, 1024, 1600, 2304, 3136, 4096];
+    let tile_counts = [
+        16usize, 64, 144, 256, 400, 784, 1024, 1600, 2304, 3136, 4096,
+    ];
     let mut rows = Vec::new();
     let mut last_hash = 0.0;
     for &tiles in &tile_counts {
         let grid = TileGrid::new(UNIVERSE, tiles);
-        let hash =
-            PartitionHistogram::build(&grid, TileMapScheme::Hash, p, mbrs.iter().copied());
+        let hash = PartitionHistogram::build(&grid, TileMapScheme::Hash, p, mbrs.iter().copied());
         let rr =
             PartitionHistogram::build(&grid, TileMapScheme::RoundRobin, p, mbrs.iter().copied());
         rows.push(vec![
@@ -43,7 +44,11 @@ fn main() {
     report.blank();
     report.line(&format!(
         "overhead at ~4096 tiles: {last_hash:.2}% (paper: ≈4.8% at 4000 tiles) — modest: {}",
-        if last_hash < 15.0 { "yes ✓" } else { "NO ✗" }
+        if last_hash < 15.0 {
+            "yes ✓"
+        } else {
+            "NO ✗"
+        }
     ));
     report.save();
 }

@@ -27,12 +27,10 @@ fn main() {
             .map(|(_, _, t)| *t)
             .unwrap()
     };
-    let pbsm_wins = pbsm_bench::pool_sizes_mb()
-        .iter()
-        .all(|&mb| {
-            t(mb, Algorithm::Pbsm) < t(mb, Algorithm::RtreeJoin)
-                && t(mb, Algorithm::Pbsm) < t(mb, Algorithm::Inl)
-        });
+    let pbsm_wins = pbsm_bench::pool_sizes_mb().iter().all(|&mb| {
+        t(mb, Algorithm::Pbsm) < t(mb, Algorithm::RtreeJoin)
+            && t(mb, Algorithm::Pbsm) < t(mb, Algorithm::Inl)
+    });
     // Within-10 % fallback: our from-scratch index build is relatively
     // cheaper than Paradise's, which narrows PBSM's margin over the
     // R-tree join at large pools (see EXPERIMENTS.md).
@@ -47,7 +45,11 @@ fn main() {
     ));
     report.line(&format!(
         "PBSM fastest or within 10% of the best at every pool size: {}",
-        if pbsm_competitive { "yes ✓" } else { "NO ✗" }
+        if pbsm_competitive {
+            "yes ✓"
+        } else {
+            "NO ✗"
+        }
     ));
     report.save();
 }

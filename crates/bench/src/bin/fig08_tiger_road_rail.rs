@@ -39,10 +39,22 @@ fn main() {
 
     // Paper: the R-tree join spends ~85 % of its time building the Road
     // index.
-    let db = tiger_db(*pbsm_bench::pool_sizes_mb().last().unwrap(), TigerSet::RoadRail, false);
-    let out = Algorithm::RtreeJoin.run(&db, &tiger_spec(TigerSet::RoadRail), &JoinConfig::for_db(&db));
+    let db = tiger_db(
+        *pbsm_bench::pool_sizes_mb().last().unwrap(),
+        TigerSet::RoadRail,
+        false,
+    );
+    let out = Algorithm::RtreeJoin.run(
+        &db,
+        &tiger_spec(TigerSet::RoadRail),
+        &JoinConfig::for_db(&db),
+    );
     let cs = pbsm_bench::cpu_scale();
-    let build_road = out.report.component("build index on road").map(|c| c.total_1996(cs)).unwrap_or(0.0);
+    let build_road = out
+        .report
+        .component("build index on road")
+        .map(|c| c.total_1996(cs))
+        .unwrap_or(0.0);
     let share = 100.0 * build_road / out.report.total_1996(cs).max(1e-9);
     report.line(&format!(
         "R-tree join share spent building the Road index: {share:.0}% (paper: ≈85%)"

@@ -14,8 +14,7 @@ fn main() {
         "fig13_sequoia",
         "Figure 13: Sequoia landuse ⋈ islands (containment), no pre-existing indices",
     );
-    let samples =
-        compare_algorithms(&mut report, &|mb| sequoia_db(mb, false), &sequoia_spec());
+    let samples = compare_algorithms(&mut report, &|mb| sequoia_db(mb, false), &sequoia_spec());
     verdicts(&mut report, &samples);
 
     // Refinement dominance check.
@@ -24,8 +23,11 @@ fn main() {
     for alg in [Algorithm::Pbsm, Algorithm::RtreeJoin] {
         let db = sequoia_db(*pbsm_bench::pool_sizes_mb().last().unwrap(), false);
         let out = alg.run(&db, &sequoia_spec(), &JoinConfig::for_db(&db));
-        let refine =
-            out.report.component("refinement step").map(|c| c.total_1996(cs)).unwrap_or(0.0);
+        let refine = out
+            .report
+            .component("refinement step")
+            .map(|c| c.total_1996(cs))
+            .unwrap_or(0.0);
         let share = 100.0 * refine / out.report.total_1996(cs).max(1e-9);
         report.line(&format!(
             "{}: refinement share {share:.0}% (paper: PBSM ≈79%, R-tree ≈68%)",

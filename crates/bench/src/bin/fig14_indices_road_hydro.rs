@@ -53,8 +53,17 @@ fn main() {
             format!("NO — only {k}/{n_pools} pool sizes ✗")
         }
     };
-    report.line(&format!("both indices ⇒ R-tree join best: {}", verdict(both_ok)));
-    report.line(&format!("index on larger ⇒ R-tree join beats PBSM: {}", verdict(large_ok)));
-    report.line(&format!("index on smaller only ⇒ PBSM best: {}", verdict(small_ok)));
+    report.line(&format!(
+        "both indices ⇒ R-tree join best: {}",
+        verdict(both_ok)
+    ));
+    report.line(&format!(
+        "index on larger ⇒ R-tree join beats PBSM: {}",
+        verdict(large_ok)
+    ));
+    report.line(&format!(
+        "index on smaller only ⇒ PBSM best: {}",
+        verdict(small_ok)
+    ));
     report.save();
 }

@@ -36,7 +36,11 @@ fn main() {
     report.blank();
     report.line(&format!(
         "INL beats the R-tree join when only the small Rail index exists: {}",
-        if inl_small_beats_rtree_small { "yes ✓" } else { "NO ✗" }
+        if inl_small_beats_rtree_small {
+            "yes ✓"
+        } else {
+            "NO ✗"
+        }
     ));
     report.save();
 }

@@ -23,7 +23,10 @@ fn main() {
     for (i, use_mer) in [false, true].into_iter().enumerate() {
         let db = sequoia_db(8, use_mer);
         let config = JoinConfig {
-            refine: RefineOptions { plane_sweep: true, mer_filter: use_mer },
+            refine: RefineOptions {
+                plane_sweep: true,
+                mer_filter: use_mer,
+            },
             ..JoinConfig::for_db(&db)
         };
         let out = pbsm_join::pbsm::pbsm_join(&db, &spec, &config).unwrap();
@@ -31,12 +34,20 @@ fn main() {
         cpu[i] = refine.cpu_s;
         results[i] = out.stats.results;
         rows.push(vec![
-            (if use_mer { "with stored MER" } else { "exact only" }).to_string(),
+            (if use_mer {
+                "with stored MER"
+            } else {
+                "exact only"
+            })
+            .to_string(),
             secs(refine.cpu_s),
             format!("{}", out.stats.results),
         ]);
     }
-    report.table(&["refinement variant", "refine cpu s (native)", "results"], &rows);
+    report.table(
+        &["refinement variant", "refine cpu s (native)", "results"],
+        &rows,
+    );
     report.blank();
     assert_eq!(results[0], results[1], "MER filter changed the answer!");
     report.line(&format!(

@@ -15,7 +15,10 @@ fn main() {
         "parallel_scaling",
         "§5: parallel partition merge scaling (Road ⋈ Hydrography)",
     );
-    report.line(&format!("host parallelism: {:?}", std::thread::available_parallelism()));
+    report.line(&format!(
+        "host parallelism: {:?}",
+        std::thread::available_parallelism()
+    ));
     report.blank();
     let spec = tiger_spec(TigerSet::RoadHydro);
     let mut rows = Vec::new();
@@ -42,7 +45,10 @@ fn main() {
             Some(want) => assert_eq!(&out.pairs, want, "nondeterministic at {threads} threads"),
         }
     }
-    report.table(&["threads", "merge native s", "partitions", "results"], &rows);
+    report.table(
+        &["threads", "merge native s", "partitions", "results"],
+        &rows,
+    );
     report.blank();
     report.line("answers identical at all thread counts ✓");
     report.save();

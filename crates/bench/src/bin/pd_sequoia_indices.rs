@@ -3,8 +3,10 @@
 //! Figure 14". Reproduced: the same six pre-existing-index scenarios on
 //! the Sequoia containment query.
 
-use pbsm_bench::{cpu_scale, outcome_row, pool_sizes_mb, secs, sequoia_db, sequoia_spec,
-                 Algorithm, Report, OUTCOME_HEADER};
+use pbsm_bench::{
+    cpu_scale, outcome_row, pool_sizes_mb, secs, sequoia_db, sequoia_spec, Algorithm, Report,
+    OUTCOME_HEADER,
+};
 use pbsm_join::JoinConfig;
 
 fn main() {
@@ -15,7 +17,11 @@ fn main() {
     let spec = sequoia_spec();
     let series: [(&str, Algorithm, &[&str]); 6] = [
         ("PBSM", Algorithm::Pbsm, &[]),
-        ("Rtree-2-Indices", Algorithm::RtreeJoin, &["landuse", "islands"]),
+        (
+            "Rtree-2-Indices",
+            Algorithm::RtreeJoin,
+            &["landuse", "islands"],
+        ),
         ("Rtree-1-LargeIdx", Algorithm::RtreeJoin, &["landuse"]),
         ("INL-1-LargeIdx", Algorithm::Inl, &["landuse"]),
         ("Rtree-1-SmallIdx", Algorithm::RtreeJoin, &["islands"]),
@@ -41,7 +47,11 @@ fn main() {
 
     report.blank();
     let t = |mb: usize, label: &str| {
-        samples.iter().find(|(p, l, _)| *p == mb && *l == label).map(|(_, _, v)| *v).unwrap()
+        samples
+            .iter()
+            .find(|(p, l, _)| *p == mb && *l == label)
+            .map(|(_, _, v)| *v)
+            .unwrap()
     };
     let mut both_ok = true;
     for mb in pool_sizes_mb() {

@@ -20,20 +20,36 @@ fn main() {
     for (i, sweep) in [true, false].into_iter().enumerate() {
         let db = tiger_db(8, TigerSet::RoadHydro, false);
         let config = JoinConfig {
-            refine: RefineOptions { plane_sweep: sweep, mer_filter: false },
+            refine: RefineOptions {
+                plane_sweep: sweep,
+                mer_filter: false,
+            },
             ..JoinConfig::for_db(&db)
         };
         let out = pbsm_join::pbsm::pbsm_join(&db, &spec, &config).unwrap();
         let refine = out.report.component("refinement step").unwrap();
         cpu[i] = refine.cpu_s;
         rows.push(vec![
-            (if sweep { "plane sweep" } else { "naive O(n·m)" }).to_string(),
+            (if sweep {
+                "plane sweep"
+            } else {
+                "naive O(n·m)"
+            })
+            .to_string(),
             secs(refine.cpu_s),
             secs(refine.io_s()),
             format!("{}", out.stats.results),
         ]);
     }
-    report.table(&["refinement variant", "refine cpu s (native)", "refine io s", "results"], &rows);
+    report.table(
+        &[
+            "refinement variant",
+            "refine cpu s (native)",
+            "refine io s",
+            "results",
+        ],
+        &rows,
+    );
     report.blank();
     let increase = 100.0 * (cpu[1] - cpu[0]) / cpu[0].max(1e-12);
     report.line(&format!(
@@ -92,7 +108,11 @@ fn main() {
     report.line(&format!(
         "raw all-pairs vs plane sweep: {raw_increase:+.0}% (paper: +62%) — \
          sweep clearly cheaper than the unfiltered 1996 baseline: {}",
-        if raw_increase > 20.0 { "yes ✓" } else { "NO ✗" }
+        if raw_increase > 20.0 {
+            "yes ✓"
+        } else {
+            "NO ✗"
+        }
     ));
     report.save();
 }

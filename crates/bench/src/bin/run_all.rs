@@ -59,7 +59,11 @@ fn main() {
         HARNESSES.len(),
         t0.elapsed().as_secs_f64(),
         failures.len(),
-        if failures.is_empty() { String::new() } else { format!(": {failures:?}") }
+        if failures.is_empty() {
+            String::new()
+        } else {
+            format!(": {failures:?}")
+        }
     );
     if !failures.is_empty() {
         std::process::exit(1);

@@ -17,22 +17,18 @@ use pbsm_storage::tuple::SpatialTuple;
 use pbsm_storage::{Db, DbConfig};
 
 fn skewed(n: usize, seed: u64) -> Vec<SpatialTuple> {
-    let mut state = seed;
-    let mut rnd = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
-    };
+    let mut rnd = pbsm_geom::lcg::Lcg::new(seed);
     (0..n)
         .map(|i| {
             // 92 % of features in a 1-unit cell of the 100-unit universe.
             let (x, y) = if i % 13 != 0 {
-                (50.0 + rnd(), 50.0 + rnd())
+                (50.0 + rnd.next_f64(), 50.0 + rnd.next_f64())
             } else {
-                (rnd() * 100.0, rnd() * 100.0)
+                (rnd.next_f64() * 100.0, rnd.next_f64() * 100.0)
             };
             let pts = vec![
                 Point::new(x, y),
-                Point::new(x + rnd() * 0.02, y + rnd() * 0.02),
+                Point::new(x + rnd.next_f64() * 0.02, y + rnd.next_f64() * 0.02),
             ];
             SpatialTuple::new(i as u64, Polyline::new(pts).into(), 8)
         })
@@ -48,7 +44,11 @@ fn main() {
     let db = Db::new(DbConfig::with_pool_mb(8));
     let r = load_relation(&db, "r", &skewed(n, 3), false).unwrap();
     let s = load_relation(&db, "s", &skewed(n * 4 / 5, 7), false).unwrap();
-    let spec = JoinSpec::new("r", "s", pbsm_geom::predicates::SpatialPredicate::Intersects);
+    let spec = JoinSpec::new(
+        "r",
+        "s",
+        pbsm_geom::predicates::SpatialPredicate::Intersects,
+    );
     let work_mem = 256 * 1024;
 
     // Show the skew: largest partition pair vs work memory under the
@@ -59,7 +59,10 @@ fn main() {
         &grid,
         TileMapScheme::Hash,
         p,
-        pbsm_join::loader::extract_entries(&db, &r).unwrap().iter().map(|(m, _)| *m),
+        pbsm_join::loader::extract_entries(&db, &r)
+            .unwrap()
+            .iter()
+            .map(|(m, _)| *m),
     );
     let max_part = hist_r.counts.iter().max().copied().unwrap_or(0);
     report.line(&format!(
@@ -84,14 +87,27 @@ fn main() {
         let out = pbsm_join::pbsm::pbsm_join(&db, &spec, &config).unwrap();
         wall[i] = t.elapsed().as_secs_f64();
         rows.push(vec![
-            (if repartition { "with repartitioning" } else { "sweep in place" }).to_string(),
+            (if repartition {
+                "with repartitioning"
+            } else {
+                "sweep in place"
+            })
+            .to_string(),
             secs(wall[i]),
             format!("{}", out.stats.candidates),
             format!("{}", out.stats.results),
         ]);
         pairs.push(out.pairs);
     }
-    report.table(&["overflow handling", "native wall s", "raw candidates", "results"], &rows);
+    report.table(
+        &[
+            "overflow handling",
+            "native wall s",
+            "raw candidates",
+            "results",
+        ],
+        &rows,
+    );
     assert_eq!(pairs[0], pairs[1], "repartitioning changed the answer!");
     report.blank();
     report.line("answers identical with and without repartitioning ✓");

@@ -20,7 +20,11 @@ fn main() {
     let cfg = TigerConfig::scaled(pbsm_bench::scale());
     let road = tiger::road(&cfg);
     let hydro = tiger::hydrography(&cfg);
-    let spec = JoinSpec::new("road", "hydrography", pbsm_geom::predicates::SpatialPredicate::Intersects);
+    let spec = JoinSpec::new(
+        "road",
+        "hydrography",
+        pbsm_geom::predicates::SpatialPredicate::Intersects,
+    );
     let cs = cpu_scale();
 
     let mut rows = Vec::new();
@@ -37,7 +41,12 @@ fn main() {
         let tio = out.report.total_io();
         io[i] = out.report.total_io_s();
         rows.push(vec![
-            (if sorted { "sorted write-behind" } else { "single-victim flush" }).to_string(),
+            (if sorted {
+                "sorted write-behind"
+            } else {
+                "single-victim flush"
+            })
+            .to_string(),
             secs(out.report.total_1996(cs)),
             secs(out.report.total_io_s()),
             format!("{}", tio.seeks),
@@ -46,7 +55,14 @@ fn main() {
         ]);
     }
     report.table(
-        &["flush policy", "total s (1996)", "io s", "seeks", "writes", "results"],
+        &[
+            "flush policy",
+            "total s (1996)",
+            "io s",
+            "seeks",
+            "writes",
+            "results",
+        ],
         &rows,
     );
     report.blank();

@@ -58,14 +58,10 @@ fn main() {
     // nested scan degenerates toward quadratic, the interval tree stays
     // output-sensitive.
     let mk = |n: usize, seed: u64| -> Vec<Tagged> {
-        let mut state = seed;
-        let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
-        };
+        let mut rng = pbsm_geom::lcg::Lcg::new(seed);
         let mut v: Vec<Tagged> = (0..n)
             .map(|i| {
-                let y = rnd() * 10_000.0;
+                let y = rng.next_f64() * 10_000.0;
                 (Rect::new(0.0, y, 100.0, y + 1.0), i as u32)
             })
             .collect();
@@ -84,11 +80,24 @@ fn main() {
         format!("{p1}"),
     ]);
 
-    report.table(&["workload", "sizes", "nested-scan s", "interval-tree s", "pairs"], &rows);
+    report.table(
+        &[
+            "workload",
+            "sizes",
+            "nested-scan s",
+            "interval-tree s",
+            "pairs",
+        ],
+        &rows,
+    );
     report.blank();
     report.line(&format!(
         "interval tree wins the degenerate case: {}",
-        if interval_p < nested_p { "yes ✓" } else { "NO ✗" }
+        if interval_p < nested_p {
+            "yes ✓"
+        } else {
+            "NO ✗"
+        }
     ));
     report.save();
 }

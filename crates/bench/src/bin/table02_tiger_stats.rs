@@ -17,7 +17,11 @@ fn main() {
     let mut rows = Vec::new();
     for (name, tuples, paper) in [
         ("Road", tiger::road(&cfg), "456,613 / 62.4 MB / 24.0 MB"),
-        ("Hydrography", tiger::hydrography(&cfg), "122,149 / 25.2 MB / 6.5 MB"),
+        (
+            "Hydrography",
+            tiger::hydrography(&cfg),
+            "122,149 / 25.2 MB / 6.5 MB",
+        ),
         ("Rail", tiger::rail(&cfg), "16,844 / 2.4 MB / 1.0 MB"),
     ] {
         let stats = DatasetStats::from_tuples(name, &tuples);
@@ -33,7 +37,14 @@ fn main() {
         ]);
     }
     report.table(
-        &["data", "#objects", "heap size", "R*-tree size", "avg pts", "paper (#/size/index)"],
+        &[
+            "data",
+            "#objects",
+            "heap size",
+            "R*-tree size",
+            "avg pts",
+            "paper (#/size/index)",
+        ],
         &rows,
     );
     report.save();

@@ -11,7 +11,10 @@ use pbsm_storage::{Db, DbConfig};
 
 fn main() {
     let mut report = Report::new("table03_sequoia_stats", "Table 3: Sequoia data");
-    let cfg = SequoiaConfig { scale: pbsm_bench::scale(), ..SequoiaConfig::default() };
+    let cfg = SequoiaConfig {
+        scale: pbsm_bench::scale(),
+        ..SequoiaConfig::default()
+    };
     let (polys, islands) = sequoia::generate(&cfg);
     let db = Db::new(DbConfig::with_pool_mb(16));
 
@@ -33,14 +36,22 @@ fn main() {
         ]);
     }
     report.table(
-        &["data", "#objects", "heap size", "R*-tree size", "avg pts", "paper"],
+        &[
+            "data",
+            "#objects",
+            "heap size",
+            "R*-tree size",
+            "avg pts",
+            "paper",
+        ],
         &rows,
     );
 
     // The query's result size, for the 25,260-tuple cross-check.
     let spec = pbsm_bench::sequoia_spec();
     let db2 = pbsm_bench::sequoia_db(16, false);
-    let out = pbsm_join::pbsm::pbsm_join(&db2, &spec, &pbsm_join::JoinConfig::for_db(&db2)).unwrap();
+    let out =
+        pbsm_join::pbsm::pbsm_join(&db2, &spec, &pbsm_join::JoinConfig::for_db(&db2)).unwrap();
     report.blank();
     report.line(&format!(
         "landuse ⋈ islands containment result: {} pairs (paper: 25,260)",

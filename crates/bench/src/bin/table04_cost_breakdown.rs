@@ -34,8 +34,13 @@ fn main() {
                 (mb, alg.run(&db, &spec, &JoinConfig::for_db(&db)))
             })
             .collect();
-        let component_names: Vec<String> =
-            runs[0].1.report.components.iter().map(|c| c.name.clone()).collect();
+        let component_names: Vec<String> = runs[0]
+            .1
+            .report
+            .components
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
 
         let mut header: Vec<String> = vec!["component".to_string()];
         for (mb, _) in &runs {
@@ -46,7 +51,10 @@ fn main() {
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
 
         let mut rows = Vec::new();
-        for cname in component_names.iter().chain(std::iter::once(&"TOTAL".to_string())) {
+        for cname in component_names
+            .iter()
+            .chain(std::iter::once(&"TOTAL".to_string()))
+        {
             let mut row = vec![cname.clone()];
             for (_, out) in &runs {
                 let (total, io) = if cname == "TOTAL" {
@@ -72,7 +80,11 @@ fn main() {
     report.blank();
     report.line(&format!(
         "CPU cost dominates I/O (PBSM & R-tree TOTAL io% < 50% at all pools; paper: yes): {}",
-        if cpu_dominates_everywhere { "yes ✓" } else { "NO ✗" }
+        if cpu_dominates_everywhere {
+            "yes ✓"
+        } else {
+            "NO ✗"
+        }
     ));
     report.save();
 }

@@ -33,14 +33,23 @@ fn main() {
             format!("{}", out.stats.partitions),
             format!(
                 "{:.2}%",
-                100.0 * (out.stats.replicated_elements as f64
-                    / out.stats.input_elements as f64
-                    - 1.0)
+                100.0
+                    * (out.stats.replicated_elements as f64 / out.stats.input_elements as f64
+                        - 1.0)
             ),
             format!("{}", out.stats.results),
         ]);
     }
-    report.table(&["tiles", "total s (1996)", "partitions", "replication", "results"], &rows);
+    report.table(
+        &[
+            "tiles",
+            "total s (1996)",
+            "partitions",
+            "replication",
+            "results",
+        ],
+        &rows,
+    );
 
     let min = totals.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = totals.iter().cloned().fold(0.0f64, f64::max);

@@ -11,8 +11,13 @@
 //!   `2,8,24`, the paper's x-axis).
 //! * `PBSM_CPU_SCALE` — native→1996 CPU calibration factor (see
 //!   `pbsm_join::cost`).
+//! * `PBSM_TRACE=1` — print every completed root span tree to stderr
+//!   (see `pbsm_obs`).
 //!
-//! Output goes to stdout and to `bench_results/<name>.txt`.
+//! Output goes to stdout and to `bench_results/<name>.txt`, plus a
+//! machine-readable `bench_results/<name>.json` holding the run's
+//! configuration and the full observability session (counters, gauges,
+//! histograms, and the span forest). See DESIGN.md §7 for the schema.
 
 use pbsm_datagen::sequoia::{self, SequoiaConfig};
 use pbsm_datagen::tiger::{self, TigerConfig};
@@ -90,7 +95,11 @@ pub fn tiger_db_scaled(pool_mb: usize, set: TigerSet, clustered: bool, scale: f6
 /// Builds a fresh database with the Sequoia polygons + islands loaded.
 pub fn sequoia_db(pool_mb: usize, with_mer: bool) -> Db {
     let db = Db::new(DbConfig::with_pool_mb(pool_mb));
-    let cfg = SequoiaConfig { scale: scale(), with_mer, ..SequoiaConfig::default() };
+    let cfg = SequoiaConfig {
+        scale: scale(),
+        with_mer,
+        ..SequoiaConfig::default()
+    };
     let (polys, islands) = sequoia::generate(&cfg);
     load_relation(&db, "landuse", &polys, false).unwrap();
     load_relation(&db, "islands", &islands, false).unwrap();
@@ -101,9 +110,7 @@ pub fn sequoia_db(pool_mb: usize, with_mer: bool) -> Db {
 /// The join spec of the given TIGER query.
 pub fn tiger_spec(set: TigerSet) -> JoinSpec {
     match set {
-        TigerSet::RoadHydro => {
-            JoinSpec::new("road", "hydrography", SpatialPredicate::Intersects)
-        }
+        TigerSet::RoadHydro => JoinSpec::new("road", "hydrography", SpatialPredicate::Intersects),
         TigerSet::RoadRail => JoinSpec::new("road", "rail", SpatialPredicate::Intersects),
     }
 }
@@ -150,9 +157,15 @@ pub struct Report {
 }
 
 impl Report {
-    /// Starts a report; prints the header.
+    /// Starts a report; prints the header. Also resets the metrics
+    /// collector, so the session captured by [`Report::save`] covers
+    /// exactly this report's work.
     pub fn new(name: &str, title: &str) -> Self {
-        let mut r = Report { name: name.to_string(), body: String::new() };
+        pbsm_obs::reset();
+        let mut r = Report {
+            name: name.to_string(),
+            body: String::new(),
+        };
         r.line(&format!("# {title}"));
         r.line(&format!(
             "# scale={} pools={:?} cpu_scale={}",
@@ -201,7 +214,8 @@ impl Report {
         }
     }
 
-    /// Writes the collected output to `bench_results/<name>.txt`.
+    /// Writes the collected output to `bench_results/<name>.txt` and the
+    /// machine-readable session to `bench_results/<name>.json`.
     pub fn save(&self) {
         let dir = std::path::Path::new("bench_results");
         let _ = std::fs::create_dir_all(dir);
@@ -213,6 +227,35 @@ impl Report {
             }
             Err(e) => eprintln!("could not save {}: {e}", path.display()),
         }
+        let json_path = dir.join(format!("{}.json", self.name));
+        match std::fs::File::create(&json_path) {
+            Ok(mut f) => {
+                let _ = f.write_all(self.session_json().render().as_bytes());
+                let _ = f.write_all(b"\n");
+                println!("[saved {}]", json_path.display());
+            }
+            Err(e) => eprintln!("could not save {}: {e}", json_path.display()),
+        }
+    }
+
+    /// The machine-readable form of this report: run identification, the
+    /// harness configuration, and the whole observability session.
+    pub fn session_json(&self) -> pbsm_obs::Json {
+        use pbsm_obs::Json;
+        let pools = pool_sizes_mb()
+            .into_iter()
+            .map(|p| Json::uint(p as u64))
+            .collect();
+        let config = Json::Obj(vec![
+            ("scale".into(), Json::Num(scale())),
+            ("pools_mb".into(), Json::Arr(pools)),
+            ("cpu_scale".into(), Json::Num(cpu_scale())),
+        ]);
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("config".into(), config),
+            ("session".into(), pbsm_obs::session_json()),
+        ])
     }
 }
 
@@ -236,14 +279,24 @@ pub fn outcome_row(alg: &str, pool_mb: usize, out: &JoinOutcome) -> Vec<String> 
         secs(out.report.total_1996(cs)),
         secs(out.report.total_cpu_s() * cs),
         secs(out.report.total_io_s()),
-        format!("{:.1}%", 100.0 * out.report.total_io_s() / out.report.total_1996(cs).max(1e-9)),
+        format!(
+            "{:.1}%",
+            100.0 * out.report.total_io_s() / out.report.total_1996(cs).max(1e-9)
+        ),
         format!("{}", out.stats.results),
     ]
 }
 
 /// Standard header matching [`outcome_row`].
-pub const OUTCOME_HEADER: [&str; 7] =
-    ["algorithm", "pool MB", "total s (1996)", "cpu s", "io s", "io %", "results"];
+pub const OUTCOME_HEADER: [&str; 7] = [
+    "algorithm",
+    "pool MB",
+    "total s (1996)",
+    "cpu s",
+    "io s",
+    "io %",
+    "results",
+];
 
 /// Per-component rows of one outcome (Figure 10–12 shape).
 pub fn component_rows(out: &JoinOutcome) -> Vec<Vec<String>> {
@@ -266,8 +319,15 @@ pub fn component_rows(out: &JoinOutcome) -> Vec<Vec<String>> {
 }
 
 /// Header matching [`component_rows`].
-pub const COMPONENT_HEADER: [&str; 7] =
-    ["component", "total s", "cpu s", "io s", "reads", "writes", "seeks"];
+pub const COMPONENT_HEADER: [&str; 7] = [
+    "component",
+    "total s",
+    "cpu s",
+    "io s",
+    "reads",
+    "writes",
+    "seeks",
+];
 
 /// The Figure 7/8/9/13 experiment: run all three algorithms at each
 /// buffer-pool size on a fresh database (no pre-existing indices), report
@@ -310,7 +370,11 @@ pub fn breakdown_figure(name: &str, title: &str, alg: Algorithm) {
             report.line(&format!(
                 "== {} | {} | {pool_mb} MB pool ==",
                 alg.name(),
-                if clustered { "clustered" } else { "non-clustered" }
+                if clustered {
+                    "clustered"
+                } else {
+                    "non-clustered"
+                }
             ));
             report.table(&COMPONENT_HEADER, &component_rows(&out));
         }
@@ -334,7 +398,11 @@ pub fn index_scenarios_figure(
     // (series label, algorithm, pre-built indices)
     let series: [(&'static str, Algorithm, &[&str]); 6] = [
         ("PBSM", Algorithm::Pbsm, &[]),
-        ("Rtree-2-Indices", Algorithm::RtreeJoin, &["road", small_rel]),
+        (
+            "Rtree-2-Indices",
+            Algorithm::RtreeJoin,
+            &["road", small_rel],
+        ),
         ("Rtree-1-LargeIdx", Algorithm::RtreeJoin, &["road"]),
         ("INL-1-LargeIdx", Algorithm::Inl, &["road"]),
         ("Rtree-1-SmallIdx", Algorithm::RtreeJoin, &[small_rel]),
@@ -359,6 +427,25 @@ pub fn index_scenarios_figure(
     }
     report.table(&OUTCOME_HEADER, &rows);
     (report, samples)
+}
+
+/// Renders the "who wins" verdicts the paper draws from a comparison.
+pub fn verdicts(report: &mut Report, samples: &[(usize, Algorithm, f64)]) {
+    report.blank();
+    for pool_mb in pool_sizes_mb() {
+        let mut at: Vec<(Algorithm, f64)> = samples
+            .iter()
+            .filter(|(p, _, _)| *p == pool_mb)
+            .map(|(_, a, t)| (*a, *t))
+            .collect();
+        at.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let line = at
+            .iter()
+            .map(|(a, t)| format!("{} {}", a.name(), secs(*t)))
+            .collect::<Vec<_>>()
+            .join("  <  ");
+        report.line(&format!("{pool_mb:>3} MB: {line}"));
+    }
 }
 
 #[cfg(test)]
@@ -407,24 +494,5 @@ mod tests {
         let row = outcome_row("PBSM", 2, &out);
         assert_eq!(row.len(), OUTCOME_HEADER.len());
         assert!(!component_rows(&out).is_empty());
-    }
-}
-
-/// Renders the "who wins" verdicts the paper draws from a comparison.
-pub fn verdicts(report: &mut Report, samples: &[(usize, Algorithm, f64)]) {
-    report.blank();
-    for pool_mb in pool_sizes_mb() {
-        let mut at: Vec<(Algorithm, f64)> = samples
-            .iter()
-            .filter(|(p, _, _)| *p == pool_mb)
-            .map(|(_, a, t)| (*a, *t))
-            .collect();
-        at.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        let line = at
-            .iter()
-            .map(|(a, t)| format!("{} {}", a.name(), secs(*t)))
-            .collect::<Vec<_>>()
-            .join("  <  ");
-        report.line(&format!("{pool_mb:>3} MB: {line}"));
     }
 }

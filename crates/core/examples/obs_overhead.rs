@@ -1,0 +1,72 @@
+//! Measures the wall-clock cost of the observability layer on the
+//! `pbsm_end_to_end` workload (the acceptance gate is ≤ 5 % overhead).
+//!
+//! Runs the same small multi-partition join in a loop and prints the
+//! per-iteration time. Compare a normal build against one with the
+//! `pbsm-obs` primitives stubbed out to quantify the overhead; with the
+//! deferred design (hot paths tally into `Cell`s / stack-local
+//! histograms, drained at span boundaries) the difference stays in the
+//! noise.
+
+use pbsm_geom::lcg::Lcg;
+use pbsm_geom::predicates::SpatialPredicate;
+use pbsm_geom::{Point, Polyline};
+use pbsm_join::loader::load_relation;
+use pbsm_join::pbsm::pbsm_join;
+use pbsm_join::{JoinConfig, JoinSpec};
+use pbsm_storage::tuple::SpatialTuple;
+use pbsm_storage::{Db, DbConfig};
+use std::time::Instant;
+
+fn mk_tuples(n: usize, seed: u64) -> Vec<SpatialTuple> {
+    let mut rng = Lcg::new(seed);
+    (0..n)
+        .map(|i| {
+            let x = rng.next_f64() * 80.0;
+            let y = rng.next_f64() * 80.0;
+            let pts = vec![
+                Point::new(x, y),
+                Point::new(x + rng.next_f64(), y + rng.next_f64()),
+            ];
+            SpatialTuple::new(i as u64, Polyline::new(pts).into(), 16)
+        })
+        .collect()
+}
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30);
+    let road = mk_tuples(700, 3);
+    let hydro = mk_tuples(500, 9);
+    let config = JoinConfig {
+        work_mem_bytes: 16 * 1024,
+        num_tiles: 128,
+        ..JoinConfig::default()
+    };
+    // Warm up (page cache, allocator).
+    for _ in 0..3 {
+        run_once(&road, &hydro, &config);
+    }
+    let t0 = Instant::now();
+    let mut results = 0u64;
+    for _ in 0..iters {
+        results += run_once(&road, &hydro, &config);
+    }
+    let total = t0.elapsed().as_secs_f64();
+    println!(
+        "{iters} iterations, {results} total result pairs: {total:.3}s total, {:.3}ms/iter",
+        1e3 * total / iters as f64
+    );
+}
+
+fn run_once(road: &[SpatialTuple], hydro: &[SpatialTuple], config: &JoinConfig) -> u64 {
+    pbsm_obs::reset();
+    let db = Db::new(DbConfig::with_pool_mb(2));
+    load_relation(&db, "road", road, false).unwrap();
+    load_relation(&db, "hydro", hydro, false).unwrap();
+    let spec = JoinSpec::new("road", "hydro", SpatialPredicate::Intersects);
+    let out = pbsm_join(&db, &spec, config).unwrap();
+    out.stats.results
+}

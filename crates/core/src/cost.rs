@@ -8,14 +8,22 @@
 //! * `cpu_s` — measured native seconds,
 //! * `io` — disk counter deltas, convertible to modeled 1996 seconds.
 //!
+//! Components are [`pbsm_obs`] spans: [`CostTracker::run`] wraps each
+//! phase in [`pbsm_obs::with_span`] and reads the disk counters
+//! (`storage.disk.*`) back out of the finished span's deltas. The same
+//! span therefore serves the Figure-12 breakdown here *and* the trace
+//! tree / bench JSON, with one measurement. Since the metrics collector
+//! is thread-local, the deltas cover every [`pbsm_storage::Db`] the
+//! thread touches during the phase — indistinguishable from the old
+//! per-pool snapshots in the one-Db-per-join usage all drivers follow.
+//!
 //! For Table-4-shaped output a calibrated total is provided:
 //! `total_1996 = cpu_s × CPU_SCALE + io_s`, where `CPU_SCALE` defaults to
 //! [`CPU_SCALE_1996`] and can be overridden with the `PBSM_CPU_SCALE`
 //! environment variable. See DESIGN.md §5 for the calibration rationale.
 
-use pbsm_storage::buffer::BufferPool;
+use pbsm_obs::SpanRecord;
 use pbsm_storage::disk::DiskStats;
-use std::time::Instant;
 
 /// Default native-CPU → SPARCstation-10/51 slowdown factor. Calibrated so
 /// the PBSM Road⋈Hydrography I/O contribution at a 24 MB pool lands near
@@ -25,7 +33,10 @@ pub const CPU_SCALE_1996: f64 = 250.0;
 /// Reads the calibration factor from `PBSM_CPU_SCALE`, falling back to
 /// [`CPU_SCALE_1996`].
 pub fn cpu_scale() -> f64 {
-    std::env::var("PBSM_CPU_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(CPU_SCALE_1996)
+    std::env::var("PBSM_CPU_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(CPU_SCALE_1996)
 }
 
 /// One join component's measured costs.
@@ -40,6 +51,22 @@ pub struct CostComponent {
 }
 
 impl CostComponent {
+    /// Builds a component from a finished span: wall time becomes
+    /// `cpu_s`, the `storage.disk.*` counter deltas become `io`
+    /// (`io_ms` reconstructed from the integer `storage.disk.io_ns`).
+    pub fn from_span(span: &SpanRecord) -> Self {
+        CostComponent {
+            name: span.name.clone(),
+            cpu_s: span.wall_s,
+            io: DiskStats {
+                reads: span.delta("storage.disk.reads"),
+                writes: span.delta("storage.disk.writes"),
+                seeks: span.delta("storage.disk.seeks"),
+                io_ms: span.delta("storage.disk.io_ns") as f64 / 1e6,
+            },
+        }
+    }
+
     /// Modeled 1996 I/O seconds.
     pub fn io_s(&self) -> f64 {
         self.io.io_ms / 1000.0
@@ -51,34 +78,31 @@ impl CostComponent {
     }
 }
 
-/// Records components by snapshotting the pool's disk counters around
-/// closures.
-pub struct CostTracker<'a> {
-    pool: &'a BufferPool,
+/// Records components by running closures inside [`pbsm_obs`] spans.
+#[derive(Default)]
+pub struct CostTracker {
     components: Vec<CostComponent>,
 }
 
-impl<'a> CostTracker<'a> {
-    /// Creates a tracker over `pool`.
-    pub fn new(pool: &'a BufferPool) -> Self {
-        CostTracker { pool, components: Vec::new() }
+impl CostTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        CostTracker::default()
     }
 
-    /// Runs `f` as a named component, recording its CPU time and disk
-    /// delta.
+    /// Runs `f` as a named component inside a span, recording its wall
+    /// time and disk-counter delta.
     pub fn run<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
-        let io_before = self.pool.disk_stats();
-        let t0 = Instant::now();
-        let out = f();
-        let cpu_s = t0.elapsed().as_secs_f64();
-        let io = self.pool.disk_stats().delta_since(&io_before);
-        self.components.push(CostComponent { name: name.to_string(), cpu_s, io });
+        let (out, span) = pbsm_obs::with_span(name, f);
+        self.components.push(CostComponent::from_span(&span));
         out
     }
 
     /// Finishes, returning the report.
     pub fn finish(self) -> JoinReport {
-        JoinReport { components: self.components }
+        JoinReport {
+            components: self.components,
+        }
     }
 }
 
@@ -132,6 +156,7 @@ impl JoinReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pbsm_storage::buffer::BufferPool;
     use pbsm_storage::disk::{DiskModel, SimDisk};
     use pbsm_storage::PAGE_SIZE;
 
@@ -139,7 +164,7 @@ mod tests {
     fn tracker_records_io_deltas() {
         let pool = BufferPool::new(8 * PAGE_SIZE, SimDisk::new(DiskModel::default()));
         let file = pool.disk_mut().create_file();
-        let mut t = CostTracker::new(&pool);
+        let mut t = CostTracker::new();
         t.run("write pages", || {
             for _ in 0..20 {
                 let (_pid, _g) = pool.new_page(file).unwrap();
@@ -162,12 +187,22 @@ mod tests {
                 CostComponent {
                     name: "a".into(),
                     cpu_s: 1.0,
-                    io: DiskStats { reads: 1, writes: 2, seeks: 3, io_ms: 4000.0 },
+                    io: DiskStats {
+                        reads: 1,
+                        writes: 2,
+                        seeks: 3,
+                        io_ms: 4000.0,
+                    },
                 },
                 CostComponent {
                     name: "b".into(),
                     cpu_s: 2.0,
-                    io: DiskStats { reads: 10, writes: 20, seeks: 30, io_ms: 6000.0 },
+                    io: DiskStats {
+                        reads: 10,
+                        writes: 20,
+                        seeks: 30,
+                        io_ms: 6000.0,
+                    },
                 },
             ],
         };

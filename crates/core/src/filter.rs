@@ -17,7 +17,7 @@
 use crate::keyptr::{encode_pair, KeyPointer, KEY_PTR_SIZE, OID_PAIR_SIZE};
 use crate::partition::{TileGrid, TileMapScheme};
 use crate::{skew, JoinConfig};
-use pbsm_geom::sweep::{sort_by_xl, sweep_join, Tagged};
+use pbsm_geom::sweep::{sort_by_xl, sweep_join, SweepStats, Tagged};
 use pbsm_storage::catalog::RelationMeta;
 use pbsm_storage::heap::HeapFile;
 use pbsm_storage::record::RecordFile;
@@ -52,25 +52,43 @@ pub fn partition_input(
     scheme: TileMapScheme,
     p: usize,
 ) -> StorageResult<Partitioned> {
-    let files: Vec<RecordFile> =
-        (0..p).map(|_| RecordFile::create(db.pool(), KEY_PTR_SIZE)).collect();
+    let files: Vec<RecordFile> = (0..p)
+        .map(|_| RecordFile::create(db.pool(), KEY_PTR_SIZE))
+        .collect();
     let mut writers: Vec<_> = files.iter().map(|f| f.writer(db.pool())).collect();
     let heap = HeapFile::open(rel.file);
+    // Per-tuple observations tally into stack-local histograms and merge
+    // into the registry once, after the scan.
+    let mut tiles_per_mbr = pbsm_obs::LocalHist::new();
+    let mut copies_per_mbr = pbsm_obs::LocalHist::new();
+    let mut tile_counts = vec![0u64; grid.num_tiles() as usize];
     let mut input_elements = 0u64;
     let mut replicated_elements = 0u64;
     for item in heap.scan(db.pool()) {
         let (oid, bytes) = item?;
         let tuple = SpatialTuple::decode(&bytes)?;
-        let kp = KeyPointer { mbr: tuple.geom.mbr(), oid };
+        let kp = KeyPointer {
+            mbr: tuple.geom.mbr(),
+            oid,
+        };
         let enc = kp.encode();
         input_elements += 1;
+        let mut tiles = 0u64;
+        grid.for_each_tile(&kp.mbr, |t| {
+            tiles += 1;
+            tile_counts[t as usize] += 1;
+        });
+        tiles_per_mbr.record(tiles);
         let mut err = None;
+        let mut copies = 0u64;
         grid.for_each_partition(&kp.mbr, scheme, p, |part| {
-            replicated_elements += 1;
+            copies += 1;
             if let Err(e) = writers[part as usize].push(&enc) {
                 err = Some(e);
             }
         });
+        copies_per_mbr.record(copies);
+        replicated_elements += copies;
         if let Some(e) = err {
             return Err(e);
         }
@@ -78,30 +96,66 @@ pub fn partition_input(
     for w in writers {
         w.finish()?;
     }
-    Ok(Partitioned { files, input_elements, replicated_elements })
+    let mut occupancy = pbsm_obs::LocalHist::new();
+    for &c in &tile_counts {
+        occupancy.record(c);
+    }
+    tiles_per_mbr.flush(pbsm_obs::cached_histogram!("pbsm.partition.tiles_per_mbr"));
+    copies_per_mbr.flush(pbsm_obs::cached_histogram!("pbsm.partition.copies_per_mbr"));
+    occupancy.flush(pbsm_obs::cached_histogram!("pbsm.partition.tile_occupancy"));
+    pbsm_obs::cached_counter!("pbsm.partition.input_elements").add(input_elements);
+    pbsm_obs::cached_counter!("pbsm.partition.replicated_elements").add(replicated_elements);
+    Ok(Partitioned {
+        files,
+        input_elements,
+        replicated_elements,
+    })
 }
 
 /// Decodes a partition file into memory.
 pub fn load_partition(db: &Db, file: &RecordFile) -> StorageResult<Vec<KeyPointer>> {
     let bytes = file.read_all(db.pool())?;
-    Ok(bytes.chunks_exact(KEY_PTR_SIZE).map(KeyPointer::decode).collect())
+    Ok(bytes
+        .chunks_exact(KEY_PTR_SIZE)
+        .map(KeyPointer::decode)
+        .collect())
 }
 
 /// Plane-sweeps one in-memory partition pair, appending candidate OID
 /// pairs to `out`. This is the paper's "computational geometry based
 /// plane-sweeping technique … the spatial equivalent of sort–merge".
+///
+/// Returns the sweep's work tallies rather than reporting them itself:
+/// the parallel merge calls this from worker threads, whose thread-local
+/// metric state would be lost, so the caller flushes the tallies on the
+/// main thread.
 pub fn sweep_partition_pair(
     r: &[KeyPointer],
     s: &[KeyPointer],
     out: &mut Vec<(pbsm_storage::Oid, pbsm_storage::Oid)>,
-) {
-    let mut tr: Vec<Tagged> = r.iter().enumerate().map(|(i, kp)| (kp.mbr, i as u32)).collect();
-    let mut ts: Vec<Tagged> = s.iter().enumerate().map(|(i, kp)| (kp.mbr, i as u32)).collect();
+) -> SweepStats {
+    let mut tr: Vec<Tagged> = r
+        .iter()
+        .enumerate()
+        .map(|(i, kp)| (kp.mbr, i as u32))
+        .collect();
+    let mut ts: Vec<Tagged> = s
+        .iter()
+        .enumerate()
+        .map(|(i, kp)| (kp.mbr, i as u32))
+        .collect();
     sort_by_xl(&mut tr);
     sort_by_xl(&mut ts);
     sweep_join(&tr, &ts, |ir, is| {
         out.push((r[ir as usize].oid, s[is as usize].oid));
-    });
+    })
+}
+
+/// Flushes accumulated sweep tallies into the metrics registry (main
+/// thread only).
+pub(crate) fn report_sweep_stats(stats: SweepStats) {
+    pbsm_obs::cached_counter!("pbsm.merge.sweep_comparisons").add(stats.comparisons);
+    pbsm_obs::cached_counter!("pbsm.merge.candidates").add(stats.hits);
 }
 
 /// Merges every partition pair, writing candidate OID pairs to a new
@@ -120,6 +174,7 @@ pub fn merge_partitions(
     let out = RecordFile::create(db.pool(), OID_PAIR_SIZE);
     let mut writer = out.writer(db.pool());
     let mut candidates = 0u64;
+    let mut stats = SweepStats::default();
     let mut pairs = Vec::new();
     for (rf, sf) in r_parts.files.iter().zip(&s_parts.files) {
         let r = load_partition(db, rf)?;
@@ -127,9 +182,14 @@ pub fn merge_partitions(
         pairs.clear();
         let pair_bytes = (r.len() + s.len()) * KEY_PTR_SIZE;
         if config.dynamic_repartition && pair_bytes > config.work_mem_bytes {
-            skew::merge_with_repartition(&r, &s, config.work_mem_bytes, &mut pairs);
+            stats.absorb(skew::merge_with_repartition(
+                &r,
+                &s,
+                config.work_mem_bytes,
+                &mut pairs,
+            ));
         } else {
-            sweep_partition_pair(&r, &s, &mut pairs);
+            stats.absorb(sweep_partition_pair(&r, &s, &mut pairs));
         }
         candidates += pairs.len() as u64;
         for (ro, so) in &pairs {
@@ -137,6 +197,7 @@ pub fn merge_partitions(
         }
     }
     writer.finish()?;
+    report_sweep_stats(stats);
     Ok((out, candidates))
 }
 
@@ -144,27 +205,10 @@ pub fn merge_partitions(
 mod tests {
     use super::*;
     use crate::loader::load_relation;
-    use pbsm_geom::{Geometry, Point, Polyline};
     use pbsm_storage::{DbConfig, Oid};
 
     fn mk_tuples(n: usize, seed: u64, spread: f64) -> Vec<SpatialTuple> {
-        let mut state = seed;
-        let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
-        };
-        (0..n)
-            .map(|i| {
-                let x = rnd() * spread;
-                let y = rnd() * spread;
-                let geom: Geometry = Polyline::new(vec![
-                    Point::new(x, y),
-                    Point::new(x + rnd() * 2.0, y + rnd() * 2.0),
-                ])
-                .into();
-                SpatialTuple::new(i as u64, geom, 8)
-            })
-            .collect()
+        crate::testgen::mk_tuples(n, seed, spread, 1, 2.0, 0.0, 8)
     }
 
     fn setup(p_mem: usize) -> (pbsm_storage::Db, RelationMeta, RelationMeta) {
@@ -193,8 +237,10 @@ mod tests {
 
     fn read_pairs(db: &pbsm_storage::Db, rf: &RecordFile) -> Vec<(Oid, Oid)> {
         let bytes = rf.read_all(db.pool()).unwrap();
-        let mut pairs: Vec<(Oid, Oid)> =
-            bytes.chunks_exact(OID_PAIR_SIZE).map(crate::keyptr::decode_pair).collect();
+        let mut pairs: Vec<(Oid, Oid)> = bytes
+            .chunks_exact(OID_PAIR_SIZE)
+            .map(crate::keyptr::decode_pair)
+            .collect();
         pairs.sort_unstable();
         pairs.dedup();
         pairs

@@ -22,17 +22,24 @@ use pbsm_storage::{Db, Oid, StorageResult};
 
 /// Runs the indexed nested loops join.
 pub fn inl_join(db: &Db, spec: &JoinSpec, config: &JoinConfig) -> StorageResult<JoinOutcome> {
+    let _span = pbsm_obs::span(format!("inl join {} ⋈ {}", spec.left, spec.right));
     let (left, right) = {
         let cat = db.catalog();
-        (cat.relation(&spec.left)?.clone(), cat.relation(&spec.right)?.clone())
+        (
+            cat.relation(&spec.left)?.clone(),
+            cat.relation(&spec.right)?.clone(),
+        )
     };
-    let mut tracker = CostTracker::new(db.pool());
+    let mut tracker = CostTracker::new();
     let mut stats = JoinStats::default();
 
     // Pick the indexed side per §4.1/§4.5.
     let (left_idx, right_idx) = {
         let cat = db.catalog();
-        (cat.index(&left.name).is_some(), cat.index(&right.name).is_some())
+        (
+            cat.index(&left.name).is_some(),
+            cat.index(&right.name).is_some(),
+        )
     };
     let index_on_left = match (left_idx, right_idx) {
         (true, false) => true,
@@ -40,7 +47,11 @@ pub fn inl_join(db: &Db, spec: &JoinSpec, config: &JoinConfig) -> StorageResult<
         // Both or neither: index side = smaller input.
         _ => left.cardinality <= right.cardinality,
     };
-    let (indexed, probing) = if index_on_left { (&left, &right) } else { (&right, &left) };
+    let (indexed, probing) = if index_on_left {
+        (&left, &right)
+    } else {
+        (&right, &left)
+    };
 
     let tree = ensure_index(db, indexed, &mut tracker)?;
 
@@ -88,7 +99,11 @@ pub fn inl_join(db: &Db, spec: &JoinSpec, config: &JoinConfig) -> StorageResult<
     stats.results = results;
     pairs.sort_unstable();
 
-    Ok(JoinOutcome { pairs, report: tracker.finish(), stats })
+    Ok(JoinOutcome {
+        pairs,
+        report: tracker.finish(),
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -97,31 +112,10 @@ mod tests {
     use crate::loader::{build_index, load_relation};
     use crate::pbsm::pbsm_join;
     use pbsm_geom::predicates::SpatialPredicate;
-    use pbsm_geom::{Point, Polyline};
     use pbsm_storage::DbConfig;
 
     fn mk_tuples(n: usize, seed: u64) -> Vec<SpatialTuple> {
-        let mut state = seed;
-        let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
-        };
-        (0..n)
-            .map(|i| {
-                let x = rnd() * 60.0;
-                let y = rnd() * 60.0;
-                SpatialTuple::new(
-                    i as u64,
-                    Polyline::new(vec![
-                        Point::new(x, y),
-                        Point::new(x + rnd(), y + rnd()),
-                        Point::new(x + rnd(), y + rnd()),
-                    ])
-                    .into(),
-                    16,
-                )
-            })
-            .collect()
+        crate::testgen::mk_tuples(n, seed, 60.0, 2, 1.0, 0.0, 16)
     }
 
     #[test]
@@ -130,13 +124,21 @@ mod tests {
         load_relation(&db, "big", &mk_tuples(600, 3), false).unwrap();
         load_relation(&db, "small", &mk_tuples(150, 7), false).unwrap();
         let spec = JoinSpec::new("big", "small", SpatialPredicate::Intersects);
-        let config = JoinConfig { work_mem_bytes: 64 * 1024, ..JoinConfig::default() };
+        let config = JoinConfig {
+            work_mem_bytes: 64 * 1024,
+            ..JoinConfig::default()
+        };
         let a = inl_join(&db, &spec, &config).unwrap();
         let b = pbsm_join(&db, &spec, &config).unwrap();
         assert!(!a.pairs.is_empty());
         assert_eq!(a.pairs, b.pairs);
         // INL built its index on the smaller input.
-        let names: Vec<&str> = a.report.components.iter().map(|c| c.name.as_str()).collect();
+        let names: Vec<&str> = a
+            .report
+            .components
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
         assert_eq!(names, vec!["build index on small", "probe index"]);
     }
 
@@ -150,7 +152,12 @@ mod tests {
         build_index(&db, &big).unwrap();
         let spec = JoinSpec::new("big", "small", SpatialPredicate::Intersects);
         let out = inl_join(&db, &spec, &JoinConfig::for_db(&db)).unwrap();
-        let names: Vec<&str> = out.report.components.iter().map(|c| c.name.as_str()).collect();
+        let names: Vec<&str> = out
+            .report
+            .components
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
         assert_eq!(names, vec!["probe index"], "should not rebuild any index");
         let want = pbsm_join(&db, &spec, &JoinConfig::for_db(&db)).unwrap();
         assert_eq!(out.pairs, want.pairs);

@@ -39,7 +39,12 @@ impl KeyPointer {
         debug_assert_eq!(bytes.len(), KEY_PTR_SIZE);
         let f = |at: usize| f64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
         KeyPointer {
-            mbr: Rect { xl: f(0), yl: f(8), xu: f(16), yu: f(24) },
+            mbr: Rect {
+                xl: f(0),
+                yl: f(8),
+                xu: f(16),
+                yu: f(24),
+            },
             oid: Oid::from_raw(u64::from_le_bytes(bytes[32..40].try_into().unwrap())),
         }
     }
@@ -108,7 +113,10 @@ mod tests {
 
     #[test]
     fn size_constant_matches_layout() {
-        let kp = KeyPointer { mbr: Rect::new(0.0, 0.0, 1.0, 1.0), oid: Oid::new(FileId(0), 0, 0) };
+        let kp = KeyPointer {
+            mbr: Rect::new(0.0, 0.0, 1.0, 1.0),
+            oid: Oid::new(FileId(0), 0, 0),
+        };
         assert_eq!(kp.encode().len(), KEY_PTR_SIZE);
         assert_eq!(KEY_PTR_SIZE, 40);
     }

@@ -44,6 +44,8 @@ pub mod refine;
 pub mod rtree_join;
 pub mod select;
 pub mod skew;
+#[cfg(test)]
+pub(crate) mod testgen;
 
 pub use cost::{CostComponent, CostTracker, JoinReport};
 pub use keyptr::KeyPointer;
@@ -67,7 +69,11 @@ pub struct JoinSpec {
 impl JoinSpec {
     /// Convenience constructor.
     pub fn new(left: &str, right: &str, predicate: SpatialPredicate) -> Self {
-        JoinSpec { left: left.to_string(), right: right.to_string(), predicate }
+        JoinSpec {
+            left: left.to_string(),
+            right: right.to_string(),
+            predicate,
+        }
     }
 }
 
@@ -111,7 +117,10 @@ impl JoinConfig {
     /// A configuration whose work memory matches a database's buffer pool,
     /// the way the paper sizes its joins.
     pub fn for_db(db: &pbsm_storage::Db) -> Self {
-        JoinConfig { work_mem_bytes: db.config().buffer_pool_bytes, ..JoinConfig::default() }
+        JoinConfig {
+            work_mem_bytes: db.config().buffer_pool_bytes,
+            ..JoinConfig::default()
+        }
     }
 }
 

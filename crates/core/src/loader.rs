@@ -17,8 +17,9 @@ use pbsm_storage::{Db, Oid, StorageResult};
 /// "clustered" collections of §4.3 are produced ("the second collection
 /// was formed by spatially sorting the objects in the first collection").
 pub fn spatial_sort(tuples: &mut [SpatialTuple]) {
-    let universe =
-        tuples.iter().fold(Rect::empty(), |acc, t| acc.union(&t.geom.mbr()));
+    let universe = tuples
+        .iter()
+        .fold(Rect::empty(), |acc, t| acc.union(&t.geom.mbr()));
     if universe.is_empty() {
         return;
     }
@@ -51,7 +52,11 @@ pub fn load_relation(
         cardinality: tuples.len() as u64,
         universe,
         bytes: heap.bytes(db.pool()),
-        avg_points: if tuples.is_empty() { 0.0 } else { points as f64 / tuples.len() as f64 },
+        avg_points: if tuples.is_empty() {
+            0.0
+        } else {
+            points as f64 / tuples.len() as f64
+        },
         clustered,
     };
     db.catalog_mut().put_relation(meta.clone());
@@ -132,7 +137,12 @@ pub fn build_index(db: &Db, rel: &RelationMeta) -> StorageResult<RTree> {
         let mut r = sorted.reader(db.pool());
         while let Some(rec) = r.next_record()? {
             let f = |at: usize| f64::from_le_bytes(rec[at..at + 8].try_into().unwrap());
-            let mbr = pbsm_geom::Rect { xl: f(8), yl: f(16), xu: f(24), yu: f(32) };
+            let mbr = pbsm_geom::Rect {
+                xl: f(8),
+                yl: f(16),
+                xu: f(24),
+                yu: f(32),
+            };
             let oid = Oid::from_raw(u64::from_le_bytes(rec[40..48].try_into().unwrap()));
             entries.push((mbr, oid));
         }
@@ -149,30 +159,24 @@ pub fn build_index(db: &Db, rel: &RelationMeta) -> StorageResult<RTree> {
 pub fn ensure_index(
     db: &Db,
     rel: &RelationMeta,
-    tracker: &mut CostTracker<'_>,
+    tracker: &mut CostTracker,
 ) -> StorageResult<RTree> {
     if let Some(meta) = db.catalog().index(&rel.name) {
         return Ok(RTree::open(meta));
     }
-    tracker.run(&format!("build index on {}", rel.name), || build_index(db, rel))
+    tracker.run(&format!("build index on {}", rel.name), || {
+        build_index(db, rel)
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pbsm_geom::{Geometry, Point, Polyline};
+    use pbsm_geom::{Point, Polyline};
     use pbsm_storage::DbConfig;
 
     fn tuples(n: usize) -> Vec<SpatialTuple> {
-        (0..n)
-            .map(|i| {
-                let x = (i % 50) as f64;
-                let y = (i / 50) as f64;
-                let geom: Geometry =
-                    Polyline::new(vec![Point::new(x, y), Point::new(x + 1.0, y + 0.5)]).into();
-                SpatialTuple::new(i as u64, geom, 16)
-            })
-            .collect()
+        crate::testgen::grid_tuples(n, 50, 1.0, 0.5, 16)
     }
 
     #[test]
@@ -218,10 +222,13 @@ mod tests {
     fn spatial_sort_orders_by_hilbert() {
         let mut ts = tuples(300);
         spatial_sort(&mut ts);
-        let universe =
-            ts.iter().fold(Rect::empty(), |acc, t| acc.union(&t.geom.mbr()));
-        let keys: Vec<u64> =
-            ts.iter().map(|t| hilbert::hilbert_of_rect(&universe, &t.geom.mbr())).collect();
+        let universe = ts
+            .iter()
+            .fold(Rect::empty(), |acc, t| acc.union(&t.geom.mbr()));
+        let keys: Vec<u64> = ts
+            .iter()
+            .map(|t| hilbert::hilbert_of_rect(&universe, &t.geom.mbr()))
+            .collect();
         assert!(keys.windows(2).all(|w| w[0] <= w[1]));
     }
 
@@ -248,15 +255,11 @@ mod tests {
                 .sum()
         }
         // Pseudo-random spread data (sequential grids sort too easily).
-        let mut state = 77u64;
-        let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
-        };
+        let mut rnd = pbsm_geom::lcg::Lcg::new(77);
         let ts: Vec<SpatialTuple> = (0..4000)
             .map(|i| {
-                let x = rnd() * 50.0;
-                let y = rnd() * 50.0;
+                let x = rnd.next_f64() * 50.0;
+                let y = rnd.next_f64() * 50.0;
                 SpatialTuple::new(
                     i,
                     Polyline::new(vec![Point::new(x, y), Point::new(x + 0.2, y + 0.2)]).into(),
@@ -277,7 +280,10 @@ mod tests {
             a <= b * 1.05,
             "external-sort build has loose leaves: {a} vs reference {b}"
         );
-        assert_eq!(via_extsort.num_pages(db.pool()), reference.num_pages(db.pool()));
+        assert_eq!(
+            via_extsort.num_pages(db.pool()),
+            reference.num_pages(db.pool())
+        );
     }
 
     #[test]
@@ -285,7 +291,7 @@ mod tests {
         let db = Db::new(DbConfig::with_pool_mb(4));
         let meta = load_relation(&db, "r", &tuples(100), false).unwrap();
         build_index(&db, &meta).unwrap();
-        let mut tracker = CostTracker::new(db.pool());
+        let mut tracker = CostTracker::new();
         let _tree = ensure_index(&db, &meta, &mut tracker).unwrap();
         // No "build index" component recorded: the index pre-existed.
         assert!(tracker.finish().components.is_empty());

@@ -12,12 +12,13 @@
 //! sequentially afterwards. `parallel_scaling` in the bench crate measures
 //! the speedup.
 
-use crate::filter::{load_partition, sweep_partition_pair, Partitioned};
+use crate::filter::{load_partition, report_sweep_stats, sweep_partition_pair, Partitioned};
 use crate::keyptr::{encode_pair, KeyPointer, OID_PAIR_SIZE};
 use crate::JoinConfig;
-use parking_lot::Mutex;
+use pbsm_geom::sweep::SweepStats;
 use pbsm_storage::record::RecordFile;
 use pbsm_storage::{Db, Oid, StorageResult};
+use std::sync::Mutex;
 
 /// Merges all partition pairs using `config.merge_threads` workers.
 /// Returns the candidate file and the raw (pre-dedup) candidate count.
@@ -36,10 +37,12 @@ pub fn merge_partitions_parallel(
     }
 
     // Phase 2 (parallel CPU): sweep pairs, pulled from a shared queue so
-    // skewed partitions do not serialize behind one worker.
+    // skewed partitions do not serialize behind one worker. Workers carry
+    // their sweep tallies in the result slots — the metrics collector is
+    // thread-local, so counting on a worker thread would lose the numbers.
     let n = pairs_in.len();
-    let mut results: Vec<Vec<(Oid, Oid)>> = Vec::with_capacity(n);
-    results.resize_with(n, Vec::new);
+    let mut results: Vec<(Vec<(Oid, Oid)>, SweepStats)> = Vec::with_capacity(n);
+    results.resize_with(n, Default::default);
     {
         let next = Mutex::new(0usize);
         let slots = Mutex::new(&mut results);
@@ -49,7 +52,7 @@ pub fn merge_partitions_parallel(
             for _ in 0..threads {
                 scope.spawn(|| loop {
                     let i = {
-                        let mut g = next.lock();
+                        let mut g = next.lock().unwrap();
                         if *g >= n {
                             break;
                         }
@@ -59,14 +62,14 @@ pub fn merge_partitions_parallel(
                     };
                     let (r, s) = &pairs_in[i];
                     let mut out = Vec::new();
-                    if use_repartition
+                    let stats = if use_repartition
                         && (r.len() + s.len()) * crate::keyptr::KEY_PTR_SIZE > work_mem
                     {
-                        crate::skew::merge_with_repartition(r, s, work_mem, &mut out);
+                        crate::skew::merge_with_repartition(r, s, work_mem, &mut out)
                     } else {
-                        sweep_partition_pair(r, s, &mut out);
-                    }
-                    slots.lock()[i] = out;
+                        sweep_partition_pair(r, s, &mut out)
+                    };
+                    slots.lock().unwrap()[i] = (out, stats);
                 });
             }
         });
@@ -77,13 +80,16 @@ pub fn merge_partitions_parallel(
     let out = RecordFile::create(db.pool(), OID_PAIR_SIZE);
     let mut writer = out.writer(db.pool());
     let mut candidates = 0u64;
-    for part in &results {
+    let mut stats = SweepStats::default();
+    for (part, part_stats) in &results {
         candidates += part.len() as u64;
+        stats.absorb(*part_stats);
         for (ro, so) in part {
             writer.push(&encode_pair(*ro, *so))?;
         }
     }
     writer.finish()?;
+    report_sweep_stats(stats);
     Ok((out, candidates))
 }
 
@@ -93,7 +99,6 @@ mod tests {
     use crate::filter::{merge_partitions, partition_input};
     use crate::loader::load_relation;
     use crate::partition::{TileGrid, TileMapScheme};
-    use pbsm_geom::{Point, Polyline};
     use pbsm_storage::tuple::SpatialTuple;
     use pbsm_storage::DbConfig;
 
@@ -101,23 +106,7 @@ mod tests {
     fn parallel_merge_matches_sequential() {
         let db = Db::new(DbConfig::with_pool_mb(2));
         let mk = |n: usize, seed: u64| -> Vec<SpatialTuple> {
-            let mut state = seed;
-            let mut rnd = move || {
-                state =
-                    state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
-            };
-            (0..n)
-                .map(|i| {
-                    let x = rnd() * 60.0;
-                    let y = rnd() * 60.0;
-                    SpatialTuple::new(
-                        i as u64,
-                        Polyline::new(vec![Point::new(x, y), Point::new(x + 1.0, y + 1.0)]).into(),
-                        0,
-                    )
-                })
-                .collect()
+            crate::testgen::mk_tuples(n, seed, 60.0, 1, 0.0, 1.0, 0)
         };
         let r = load_relation(&db, "r", &mk(600, 3), false).unwrap();
         let s = load_relation(&db, "s", &mk(500, 5), false).unwrap();
@@ -125,8 +114,14 @@ mod tests {
         let rp = partition_input(&db, &r, &grid, TileMapScheme::Hash, 8).unwrap();
         let sp = partition_input(&db, &s, &grid, TileMapScheme::Hash, 8).unwrap();
 
-        let seq_cfg = JoinConfig { merge_threads: 1, ..JoinConfig::default() };
-        let par_cfg = JoinConfig { merge_threads: 4, ..JoinConfig::default() };
+        let seq_cfg = JoinConfig {
+            merge_threads: 1,
+            ..JoinConfig::default()
+        };
+        let par_cfg = JoinConfig {
+            merge_threads: 4,
+            ..JoinConfig::default()
+        };
         let (seq_file, seq_n) = merge_partitions(&db, &rp, &sp, &seq_cfg).unwrap();
         let (par_file, par_n) = merge_partitions(&db, &rp, &sp, &par_cfg).unwrap();
         assert_eq!(seq_n, par_n);

@@ -212,8 +212,12 @@ impl PartitionHistogram {
         if mean == 0.0 {
             return 0.0;
         }
-        let var =
-            self.counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var = self
+            .counts
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
         var.sqrt() / mean
     }
 }
@@ -263,7 +267,11 @@ mod tests {
     fn figure_3_example_round_robin() {
         // Figure 3: 12 tiles (4×3), 3 partitions, round robin. An object
         // overlapping tiles 0, 1, 2 lands in partitions 0, 1, 2.
-        let g = TileGrid { universe: universe(), nx: 4, ny: 3 };
+        let g = TileGrid {
+            universe: universe(),
+            nx: 4,
+            ny: 3,
+        };
         assert_eq!(g.num_tiles(), 12);
         let obj = Rect::new(5.0, 70.0, 70.0, 95.0); // top row, 3 columns
         let mut parts = Vec::new();
@@ -294,7 +302,11 @@ mod tests {
     fn partition_dedup_under_many_tiles() {
         // An object overlapping 6 tiles mapped round-robin onto 2
         // partitions must be emitted at most twice.
-        let g = TileGrid { universe: universe(), nx: 3, ny: 2 };
+        let g = TileGrid {
+            universe: universe(),
+            nx: 3,
+            ny: 2,
+        };
         let obj = Rect::new(0.0, 0.0, 100.0, 100.0);
         let mut parts = Vec::new();
         g.for_each_partition(&obj, TileMapScheme::RoundRobin, 2, |p| parts.push(p));

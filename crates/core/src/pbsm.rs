@@ -13,11 +13,15 @@ use pbsm_storage::{Db, StorageResult};
 
 /// Runs the Partition Based Spatial-Merge join.
 pub fn pbsm_join(db: &Db, spec: &JoinSpec, config: &JoinConfig) -> StorageResult<JoinOutcome> {
+    let _span = pbsm_obs::span(format!("pbsm join {} ⋈ {}", spec.left, spec.right));
     let (left, right) = {
         let cat = db.catalog();
-        (cat.relation(&spec.left)?.clone(), cat.relation(&spec.right)?.clone())
+        (
+            cat.relation(&spec.left)?.clone(),
+            cat.relation(&spec.right)?.clone(),
+        )
     };
-    let mut tracker = CostTracker::new(db.pool());
+    let mut tracker = CostTracker::new();
     let mut stats = JoinStats::default();
 
     // Equation 1 sizes the partition set from catalog cardinalities; the
@@ -42,8 +46,7 @@ pub fn pbsm_join(db: &Db, spec: &JoinSpec, config: &JoinConfig) -> StorageResult
         partition_input(db, &right, &grid, config.tile_map, p)
     })?;
     stats.input_elements = left_parts.input_elements + right_parts.input_elements;
-    stats.replicated_elements =
-        left_parts.replicated_elements + right_parts.replicated_elements;
+    stats.replicated_elements = left_parts.replicated_elements + right_parts.replicated_elements;
 
     // Filter step, phase 2: plane-sweep merge of each partition pair.
     let (candidates, raw_candidates) = tracker.run("merge partitions", || {
@@ -69,7 +72,11 @@ pub fn pbsm_join(db: &Db, spec: &JoinSpec, config: &JoinConfig) -> StorageResult
     stats.unique_candidates = refined.unique_candidates;
     stats.results = refined.pairs.len() as u64;
 
-    Ok(JoinOutcome { pairs: refined.pairs, report: tracker.finish(), stats })
+    Ok(JoinOutcome {
+        pairs: refined.pairs,
+        report: tracker.finish(),
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -77,29 +84,11 @@ mod tests {
     use super::*;
     use crate::loader::load_relation;
     use pbsm_geom::predicates::SpatialPredicate;
-    use pbsm_geom::{Point, Polyline};
     use pbsm_storage::tuple::SpatialTuple;
     use pbsm_storage::DbConfig;
 
     fn mk_tuples(n: usize, seed: u64) -> Vec<SpatialTuple> {
-        let mut state = seed;
-        let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
-        };
-        (0..n)
-            .map(|i| {
-                let x = rnd() * 80.0;
-                let y = rnd() * 80.0;
-                let pts: Vec<Point> = (0..4)
-                    .scan(Point::new(x, y), |p, _| {
-                        *p = Point::new(p.x + rnd() - 0.5, p.y + rnd() - 0.5);
-                        Some(*p)
-                    })
-                    .collect();
-                SpatialTuple::new(i as u64, Polyline::new(pts).into(), 24)
-            })
-            .collect()
+        crate::testgen::mk_tuples(n, seed, 80.0, 3, 1.0, -0.5, 24)
     }
 
     #[test]
@@ -115,16 +104,29 @@ mod tests {
             ..JoinConfig::default()
         };
         let out = pbsm_join(&db, &spec, &config).unwrap();
-        assert!(out.stats.partitions >= 2, "partitions {}", out.stats.partitions);
+        assert!(
+            out.stats.partitions >= 2,
+            "partitions {}",
+            out.stats.partitions
+        );
         assert!(out.stats.results > 0);
         assert!(out.stats.candidates >= out.stats.unique_candidates);
         assert!(out.stats.unique_candidates >= out.stats.results);
         // Components present and in Figure-12 shape.
-        let names: Vec<&str> =
-            out.report.components.iter().map(|c| c.name.as_str()).collect();
+        let names: Vec<&str> = out
+            .report
+            .components
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
         assert_eq!(
             names,
-            vec!["partition road", "partition hydro", "merge partitions", "refinement step"]
+            vec![
+                "partition road",
+                "partition hydro",
+                "merge partitions",
+                "refinement step"
+            ]
         );
         // Data this small stays resident in a 2 MB pool, so physical I/O
         // may legitimately be zero; CPU time must not be.

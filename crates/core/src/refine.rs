@@ -45,6 +45,8 @@ pub fn refinement_step(
     // Sort by (OID_R, OID_S), eliminating duplicates during the sort.
     let sorted = external_sort(db.pool(), candidates, work_mem, cmp_pair_bytes, true)?;
     let unique_candidates = sorted.count();
+    pbsm_obs::cached_counter!("pbsm.refine.raw_candidates").add(candidates.count());
+    pbsm_obs::cached_counter!("pbsm.refine.unique_candidates").add(unique_candidates);
 
     let left_heap = HeapFile::open(left.file);
     let right_heap = HeapFile::open(right.file);
@@ -75,7 +77,15 @@ pub fn refinement_step(
             None => true,
         };
         if flush && !batch.is_empty() {
-            process_batch(db, &right_heap, &r_tuples, &mut batch, predicate, opts, &mut out)?;
+            process_batch(
+                db,
+                &right_heap,
+                &r_tuples,
+                &mut batch,
+                predicate,
+                opts,
+                &mut out,
+            )?;
             r_tuples.clear();
             r_index.clear();
             r_bytes = 0;
@@ -98,7 +108,10 @@ pub fn refinement_step(
     sorted.destroy(db.pool());
 
     out.sort_unstable();
-    Ok(RefineOutcome { pairs: out, unique_candidates })
+    Ok(RefineOutcome {
+        pairs: out,
+        unique_candidates,
+    })
 }
 
 /// Second half of a batch: sort on OID_S, stream S tuples sequentially,
@@ -116,6 +129,8 @@ fn process_batch(
     batch.sort_unstable_by_key(|(_, s)| *s);
     let mut fetch_buf = Vec::new();
     let mut cached: Option<(Oid, SpatialTuple)> = None;
+    let mut true_hits = 0u64;
+    let mut false_hits = 0u64;
     for &(r_idx, s_oid) in batch.iter() {
         if cached.as_ref().map(|(oid, _)| *oid) != Some(s_oid) {
             right_heap.fetch(db.pool(), s_oid, &mut fetch_buf)?;
@@ -124,9 +139,14 @@ fn process_batch(
         let s_tuple = &cached.as_ref().unwrap().1;
         let (r_oid, r_tuple) = &r_tuples[r_idx as usize];
         if matches(r_tuple, s_tuple, predicate, opts) {
+            true_hits += 1;
             out.push((*r_oid, s_oid));
+        } else {
+            false_hits += 1;
         }
     }
+    pbsm_obs::cached_counter!("pbsm.refine.true_hits").add(true_hits);
+    pbsm_obs::cached_counter!("pbsm.refine.false_hits").add(false_hits);
     batch.clear();
     Ok(())
 }
@@ -147,19 +167,17 @@ pub fn matches(
         }
         // Fall through to the exact test with the on-the-fly MER disabled:
         // a stored MER already served as the filter (or none exists).
-        let exact = RefineOptions { mer_filter: false, ..*opts };
+        let exact = RefineOptions {
+            mer_filter: false,
+            ..*opts
+        };
         return eval(predicate, &left.geom, &right.geom, &exact);
     }
     eval(predicate, &left.geom, &right.geom, opts)
 }
 
 #[inline]
-fn eval(
-    predicate: SpatialPredicate,
-    l: &Geometry,
-    r: &Geometry,
-    opts: &RefineOptions,
-) -> bool {
+fn eval(predicate: SpatialPredicate, l: &Geometry, r: &Geometry, opts: &RefineOptions) -> bool {
     evaluate(predicate, l, r, opts)
 }
 
@@ -170,27 +188,10 @@ mod tests {
     use crate::loader::load_relation;
     use crate::partition::{TileGrid, TileMapScheme};
     use crate::JoinConfig;
-    use pbsm_geom::{Point, Polyline};
     use pbsm_storage::DbConfig;
 
     fn mk_tuples(n: usize, seed: u64, spread: f64) -> Vec<SpatialTuple> {
-        let mut state = seed;
-        let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
-        };
-        (0..n)
-            .map(|i| {
-                let x = rnd() * spread;
-                let y = rnd() * spread;
-                let pts = vec![
-                    Point::new(x, y),
-                    Point::new(x + rnd() * 2.0 - 1.0, y + rnd() * 2.0 - 1.0),
-                    Point::new(x + rnd() * 2.0 - 1.0, y + rnd() * 2.0 - 1.0),
-                ];
-                SpatialTuple::new(i as u64, Polyline::new(pts).into(), 8)
-            })
-            .collect()
+        crate::testgen::mk_tuples(n, seed, spread, 2, 2.0, -1.0, 8)
     }
 
     /// Ground truth: exact predicate over all tuple pairs.
@@ -274,7 +275,10 @@ mod tests {
             130 * 1024, // drives r_budget to its 64 KiB floor
         )
         .unwrap();
-        assert_eq!(outcome.pairs, brute_exact(&db, &r, &s, SpatialPredicate::Intersects));
+        assert_eq!(
+            outcome.pairs,
+            brute_exact(&db, &r, &s, SpatialPredicate::Intersects)
+        );
     }
 
     #[test]
@@ -292,7 +296,10 @@ mod tests {
             &r,
             &s,
             SpatialPredicate::Intersects,
-            &RefineOptions { plane_sweep: true, mer_filter: false },
+            &RefineOptions {
+                plane_sweep: true,
+                mer_filter: false,
+            },
             1 << 20,
         )
         .unwrap();
@@ -302,11 +309,13 @@ mod tests {
             &r,
             &s,
             SpatialPredicate::Intersects,
-            &RefineOptions { plane_sweep: false, mer_filter: false },
+            &RefineOptions {
+                plane_sweep: false,
+                mer_filter: false,
+            },
             1 << 20,
         )
         .unwrap();
         assert_eq!(sweep.pairs, naive.pairs);
     }
 }
-

@@ -24,11 +24,15 @@ use pbsm_storage::{Db, StorageResult};
 /// Runs the R-tree join: build missing indices, BKS93 synchronized
 /// traversal, shared refinement.
 pub fn rtree_join(db: &Db, spec: &JoinSpec, config: &JoinConfig) -> StorageResult<JoinOutcome> {
+    let _span = pbsm_obs::span(format!("rtree join {} ⋈ {}", spec.left, spec.right));
     let (left, right) = {
         let cat = db.catalog();
-        (cat.relation(&spec.left)?.clone(), cat.relation(&spec.right)?.clone())
+        (
+            cat.relation(&spec.left)?.clone(),
+            cat.relation(&spec.right)?.clone(),
+        )
     };
-    let mut tracker = CostTracker::new(db.pool());
+    let mut tracker = CostTracker::new();
     let mut stats = JoinStats::default();
 
     let left_tree = ensure_index(db, &left, &mut tracker)?;
@@ -69,7 +73,11 @@ pub fn rtree_join(db: &Db, spec: &JoinSpec, config: &JoinConfig) -> StorageResul
     stats.unique_candidates = refined.unique_candidates;
     stats.results = refined.pairs.len() as u64;
 
-    Ok(JoinOutcome { pairs: refined.pairs, report: tracker.finish(), stats })
+    Ok(JoinOutcome {
+        pairs: refined.pairs,
+        report: tracker.finish(),
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -78,31 +86,11 @@ mod tests {
     use crate::loader::{build_index, load_relation};
     use crate::pbsm::pbsm_join;
     use pbsm_geom::predicates::SpatialPredicate;
-    use pbsm_geom::{Point, Polyline};
     use pbsm_storage::tuple::SpatialTuple;
     use pbsm_storage::DbConfig;
 
     fn mk_tuples(n: usize, seed: u64) -> Vec<SpatialTuple> {
-        let mut state = seed;
-        let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
-        };
-        (0..n)
-            .map(|i| {
-                let x = rnd() * 70.0;
-                let y = rnd() * 70.0;
-                SpatialTuple::new(
-                    i as u64,
-                    Polyline::new(vec![
-                        Point::new(x, y),
-                        Point::new(x + rnd(), y + rnd()),
-                    ])
-                    .into(),
-                    16,
-                )
-            })
-            .collect()
+        crate::testgen::mk_tuples(n, seed, 70.0, 1, 1.0, 0.0, 16)
     }
 
     #[test]
@@ -111,12 +99,25 @@ mod tests {
         load_relation(&db, "r", &mk_tuples(500, 3), false).unwrap();
         load_relation(&db, "s", &mk_tuples(400, 7), false).unwrap();
         let spec = JoinSpec::new("r", "s", SpatialPredicate::Intersects);
-        let config = JoinConfig { work_mem_bytes: 64 * 1024, ..JoinConfig::default() };
+        let config = JoinConfig {
+            work_mem_bytes: 64 * 1024,
+            ..JoinConfig::default()
+        };
         let a = rtree_join(&db, &spec, &config).unwrap();
-        let names: Vec<&str> = a.report.components.iter().map(|c| c.name.as_str()).collect();
+        let names: Vec<&str> = a
+            .report
+            .components
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
         assert_eq!(
             names,
-            vec!["build index on r", "build index on s", "join indices", "refinement step"]
+            vec![
+                "build index on r",
+                "build index on s",
+                "join indices",
+                "refinement step"
+            ]
         );
         let b = pbsm_join(&db, &spec, &config).unwrap();
         assert!(!a.pairs.is_empty());
@@ -132,7 +133,12 @@ mod tests {
         build_index(&db, &s).unwrap();
         let spec = JoinSpec::new("r", "s", SpatialPredicate::Intersects);
         let out = rtree_join(&db, &spec, &JoinConfig::for_db(&db)).unwrap();
-        let names: Vec<&str> = out.report.components.iter().map(|c| c.name.as_str()).collect();
+        let names: Vec<&str> = out
+            .report
+            .components
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
         assert_eq!(names, vec!["join indices", "refinement step"]);
     }
 }

@@ -9,9 +9,9 @@
 
 use crate::cost::CostTracker;
 use crate::JoinReport;
+use pbsm_geom::polygon::Ring;
 use pbsm_geom::predicates::{evaluate, RefineOptions, SpatialPredicate};
 use pbsm_geom::{Geometry, Point, Rect};
-use pbsm_geom::polygon::Ring;
 use pbsm_rtree::query::window_query;
 use pbsm_rtree::RTree;
 use pbsm_storage::heap::HeapFile;
@@ -31,7 +31,7 @@ pub struct SelectOutcome {
 pub fn select_scan(db: &Db, relation: &str, window: &Rect) -> StorageResult<SelectOutcome> {
     let meta = db.catalog().relation(relation)?.clone();
     let heap = HeapFile::open(meta.file);
-    let mut tracker = CostTracker::new(db.pool());
+    let mut tracker = CostTracker::new();
     let window_geom = window_polygon(window);
     let opts = RefineOptions::default();
     let oids: StorageResult<Vec<Oid>> = tracker.run("scan + refine", || {
@@ -41,7 +41,12 @@ pub fn select_scan(db: &Db, relation: &str, window: &Rect) -> StorageResult<Sele
             let tuple = SpatialTuple::decode(&bytes)?;
             // Filter on the MBR, refine exactly.
             if window.intersects(&tuple.geom.mbr())
-                && evaluate(SpatialPredicate::Intersects, &window_geom, &tuple.geom, &opts)
+                && evaluate(
+                    SpatialPredicate::Intersects,
+                    &window_geom,
+                    &tuple.geom,
+                    &opts,
+                )
             {
                 out.push(oid);
             }
@@ -50,20 +55,22 @@ pub fn select_scan(db: &Db, relation: &str, window: &Rect) -> StorageResult<Sele
     });
     let mut oids = oids?;
     oids.sort_unstable();
-    Ok(SelectOutcome { oids, report: tracker.finish() })
+    Ok(SelectOutcome {
+        oids,
+        report: tracker.finish(),
+    })
 }
 
 /// Selects via the relation's R\*-tree index (which must exist in the
 /// catalog): probe for candidates, then fetch and refine.
 pub fn select_index(db: &Db, relation: &str, window: &Rect) -> StorageResult<SelectOutcome> {
     let meta = db.catalog().relation(relation)?.clone();
-    let index = db
-        .catalog()
-        .index(relation)
-        .ok_or_else(|| pbsm_storage::StorageError::UnknownRelation(format!("{relation} (index)")))?;
+    let index = db.catalog().index(relation).ok_or_else(|| {
+        pbsm_storage::StorageError::UnknownRelation(format!("{relation} (index)"))
+    })?;
     let tree = RTree::open(index);
     let heap = HeapFile::open(meta.file);
-    let mut tracker = CostTracker::new(db.pool());
+    let mut tracker = CostTracker::new();
     let window_geom = window_polygon(window);
     let opts = RefineOptions::default();
 
@@ -81,13 +88,21 @@ pub fn select_index(db: &Db, relation: &str, window: &Rect) -> StorageResult<Sel
         for oid in &candidates {
             heap.fetch(db.pool(), *oid, &mut buf)?;
             let tuple = SpatialTuple::decode(&buf)?;
-            if evaluate(SpatialPredicate::Intersects, &window_geom, &tuple.geom, &opts) {
+            if evaluate(
+                SpatialPredicate::Intersects,
+                &window_geom,
+                &tuple.geom,
+                &opts,
+            ) {
                 out.push(*oid);
             }
         }
         Ok(out)
     });
-    Ok(SelectOutcome { oids: oids?, report: tracker.finish() })
+    Ok(SelectOutcome {
+        oids: oids?,
+        report: tracker.finish(),
+    })
 }
 
 fn window_polygon(window: &Rect) -> Geometry {
@@ -107,17 +122,7 @@ mod tests {
     use pbsm_storage::DbConfig;
 
     fn mk_tuples(n: usize) -> Vec<SpatialTuple> {
-        (0..n)
-            .map(|i| {
-                let x = (i % 40) as f64;
-                let y = (i / 40) as f64;
-                SpatialTuple::new(
-                    i as u64,
-                    Polyline::new(vec![Point::new(x, y), Point::new(x + 0.8, y + 0.8)]).into(),
-                    8,
-                )
-            })
-            .collect()
+        crate::testgen::grid_tuples(n, 40, 0.8, 0.8, 8)
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use crate::filter::sweep_partition_pair;
 use crate::keyptr::{KeyPointer, KEY_PTR_SIZE};
 use crate::partition::{TileGrid, TileMapScheme};
+use pbsm_geom::sweep::SweepStats;
 use pbsm_geom::Rect;
 use pbsm_storage::Oid;
 
@@ -29,20 +30,27 @@ const MAX_DEPTH: u32 = 6;
 /// Merges a partition pair that exceeds `work_mem`, recursively
 /// repartitioning through finer grids. Emitted pairs may contain
 /// duplicates (replication), matching the base algorithm's contract.
+/// Returns the accumulated sweep tallies (this runs on worker threads in
+/// the parallel merge, so metrics are reported by the caller).
 pub fn merge_with_repartition(
     r: &[KeyPointer],
     s: &[KeyPointer],
     work_mem: usize,
     out: &mut Vec<(Oid, Oid)>,
-) {
-    recurse(r, s, work_mem, 0, out);
+) -> SweepStats {
+    recurse(r, s, work_mem, 0, out)
 }
 
-fn recurse(r: &[KeyPointer], s: &[KeyPointer], work_mem: usize, depth: u32, out: &mut Vec<(Oid, Oid)>) {
+fn recurse(
+    r: &[KeyPointer],
+    s: &[KeyPointer],
+    work_mem: usize,
+    depth: u32,
+    out: &mut Vec<(Oid, Oid)>,
+) -> SweepStats {
     let bytes = (r.len() + s.len()) * KEY_PTR_SIZE;
     if bytes <= work_mem || depth >= MAX_DEPTH || r.is_empty() || s.is_empty() {
-        sweep_partition_pair(r, s, out);
-        return;
+        return sweep_partition_pair(r, s, out);
     }
     // Re-tile the union of the pair's extents.
     let universe = r
@@ -51,8 +59,7 @@ fn recurse(r: &[KeyPointer], s: &[KeyPointer], work_mem: usize, depth: u32, out:
         .fold(Rect::empty(), |acc, kp| acc.union(&kp.mbr));
     if universe.is_empty() || (universe.width() == 0.0 && universe.height() == 0.0) {
         // Degenerate cluster: nothing to subdivide spatially.
-        sweep_partition_pair(r, s, out);
-        return;
+        return sweep_partition_pair(r, s, out);
     }
     // A finer grid than the subpartition count spreads dense regions, just
     // like the top-level partitioning function.
@@ -68,15 +75,17 @@ fn recurse(r: &[KeyPointer], s: &[KeyPointer], work_mem: usize, depth: u32, out:
     };
     let r_parts = assign(r);
     let s_parts = assign(s);
+    let mut stats = SweepStats::default();
     for (rp, sp) in r_parts.iter().zip(&s_parts) {
         // Guard against non-progress: if a subpartition kept (almost)
         // everything, further splitting won't help — sweep it.
         if rp.len() + sp.len() >= r.len() + s.len() {
-            sweep_partition_pair(rp, sp, out);
+            stats.absorb(sweep_partition_pair(rp, sp, out));
         } else {
-            recurse(rp, sp, work_mem, depth + 1, out);
+            stats.absorb(recurse(rp, sp, work_mem, depth + 1, out));
         }
     }
+    stats
 }
 
 #[cfg(test)]
@@ -85,7 +94,10 @@ mod tests {
     use pbsm_storage::FileId;
 
     fn kp(xl: f64, yl: f64, xu: f64, yu: f64, i: u32) -> KeyPointer {
-        KeyPointer { mbr: Rect::new(xl, yl, xu, yu), oid: Oid::new(FileId(1), i, 0) }
+        KeyPointer {
+            mbr: Rect::new(xl, yl, xu, yu),
+            oid: Oid::new(FileId(1), i, 0),
+        }
     }
 
     fn brute(r: &[KeyPointer], s: &[KeyPointer]) -> Vec<(Oid, Oid)> {
@@ -111,21 +123,23 @@ mod tests {
 
     #[test]
     fn repartitioned_result_matches_brute_force() {
-        let mut state = 3u64;
-        let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
-        };
+        let mut rnd = pbsm_geom::lcg::Lcg::new(3);
         let mut mk = |n: usize, base: u32| -> Vec<KeyPointer> {
             (0..n)
                 .map(|i| {
                     // Dense cluster plus sparse background.
                     let (x, y) = if i % 4 == 0 {
-                        (rnd() * 100.0, rnd() * 100.0)
+                        (rnd.next_f64() * 100.0, rnd.next_f64() * 100.0)
                     } else {
-                        (rnd() * 2.0, rnd() * 2.0)
+                        (rnd.next_f64() * 2.0, rnd.next_f64() * 2.0)
                     };
-                    kp(x, y, x + rnd(), y + rnd(), base + i as u32)
+                    kp(
+                        x,
+                        y,
+                        x + rnd.next_f64(),
+                        y + rnd.next_f64(),
+                        base + i as u32,
+                    )
                 })
                 .collect()
         };

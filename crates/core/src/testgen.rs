@@ -1,0 +1,61 @@
+//! Shared test-data generators.
+//!
+//! Each join module used to carry its own copy-pasted LCG tuple
+//! generator; they all live here now, parameterized over the few knobs
+//! that actually differed (extent, vertex count, offset law, payload).
+//! Draw order matches the historical generators exactly, so tests keep
+//! the data sets their seeds always produced.
+
+use pbsm_geom::lcg::Lcg;
+use pbsm_geom::{Point, Polyline};
+use pbsm_storage::tuple::SpatialTuple;
+
+/// Pseudo-random polyline tuples. The first vertex is uniform in
+/// `[0, spread)²`; each of the `extra` following vertices is offset
+/// from it by `scale * rnd() + bias` per axis (x drawn before y).
+pub(crate) fn mk_tuples(
+    n: usize,
+    seed: u64,
+    spread: f64,
+    extra: usize,
+    scale: f64,
+    bias: f64,
+    payload: u16,
+) -> Vec<SpatialTuple> {
+    let mut rng = Lcg::new(seed);
+    (0..n)
+        .map(|i| {
+            let x = rng.next_f64() * spread;
+            let y = rng.next_f64() * spread;
+            let mut pts = Vec::with_capacity(extra + 1);
+            pts.push(Point::new(x, y));
+            for _ in 0..extra {
+                let dx = scale * rng.next_f64() + bias;
+                let dy = scale * rng.next_f64() + bias;
+                pts.push(Point::new(x + dx, y + dy));
+            }
+            SpatialTuple::new(i as u64, Polyline::new(pts).into(), payload)
+        })
+        .collect()
+}
+
+/// Deterministic two-vertex tuples laid out on a grid with `cols`
+/// columns; each segment extends by `(ext_x, ext_y)` from its cell
+/// origin. Used where tests assert exact catalog statistics.
+pub(crate) fn grid_tuples(
+    n: usize,
+    cols: usize,
+    ext_x: f64,
+    ext_y: f64,
+    payload: u16,
+) -> Vec<SpatialTuple> {
+    (0..n)
+        .map(|i| {
+            let x = (i % cols) as f64;
+            let y = (i / cols) as f64;
+            let geom =
+                Polyline::new(vec![Point::new(x, y), Point::new(x + ext_x, y + ext_y)]).into();
+            SpatialTuple::new(i as u64, geom, payload)
+        })
+        .collect()
+}

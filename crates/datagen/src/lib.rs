@@ -19,6 +19,7 @@
 //! milliseconds.
 
 pub mod distr;
+pub mod rng;
 pub mod sequoia;
 pub mod stats;
 pub mod tiger;
@@ -29,4 +30,9 @@ use pbsm_geom::Rect;
 
 /// The synthetic state boundary all workloads live in. (Arbitrary units;
 /// think of it as a 500 km square.)
-pub const UNIVERSE: Rect = Rect { xl: 0.0, yl: 0.0, xu: 100.0, yu: 100.0 };
+pub const UNIVERSE: Rect = Rect {
+    xl: 0.0,
+    yl: 0.0,
+    xu: 100.0,
+    yu: 100.0,
+};

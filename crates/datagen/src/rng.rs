@@ -1,0 +1,187 @@
+//! Vendored deterministic PRNG (no external crates, offline-safe).
+//!
+//! The generators only need a seeded stream of uniform samples, so the
+//! full `rand` crate is overkill — and unavailable in an offline build.
+//! This module provides xoshiro256\*\* (Blackman & Vigna) seeded through
+//! SplitMix64, with the tiny slice of the `rand::Rng` surface the
+//! workload generators actually use: [`StdRng::gen_range`] over
+//! `f64`/`usize` ranges and [`StdRng::gen_bool`].
+//!
+//! The name `StdRng` is kept so call sites read the same as before; the
+//! streams differ from `rand`'s, which only shifts which synthetic
+//! features are generated — all dataset-level statistics the tests
+//! assert (cardinalities, vertex-count means, selectivities, skew) are
+//! properties of the distributions, not of a particular stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 step: the recommended seeder for xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256\*\* — 256 bits of state, period 2^256 − 1, excellent
+/// equidistribution; more than enough for synthetic cartography.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Seeds the full 256-bit state from a single `u64` via SplitMix64,
+    /// mirroring `rand`'s `SeedableRng::seed_from_u64` contract.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        StdRng { s }
+    }
+
+    /// The next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` using the top 53 bits.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample from a range; supports `f64` and `usize` ranges
+    /// plus inclusive `usize` ranges (the shapes the generators use).
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+/// A range the PRNG can sample uniformly. Sealed in spirit: only the
+/// shapes used by the generators are implemented.
+pub trait SampleRange {
+    type Output;
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        debug_assert!(self.start < self.end, "empty f64 range");
+        // May round up to `end` for extreme ranges; the generators only
+        // use well-conditioned ranges where `[start, end)` holds.
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample(self, rng: &mut StdRng) -> usize {
+        debug_assert!(self.start < self.end, "empty usize range");
+        let span = (self.end - self.start) as u64;
+        // Multiply-shift bounded sample (Lemire); bias < 2^-32 for the
+        // small spans used here.
+        let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+        self.start + hi as usize
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample(self, rng: &mut StdRng) -> usize {
+        let (start, end) = (*self.start(), *self.end());
+        debug_assert!(start <= end, "empty inclusive range");
+        if end == usize::MAX && start == 0 {
+            return rng.next_u64() as usize;
+        }
+        start + rng.gen_range(0..end - start + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-2.5..3.5);
+            assert!((-2.5..3.5).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn usize_ranges_cover_and_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not all values hit: {seen:?}");
+        for _ in 0..1_000 {
+            let x = rng.gen_range(3..=5usize);
+            assert!((3..=5).contains(&x), "{x}");
+        }
+        assert_eq!(rng.gen_range(4..5usize), 4);
+        assert_eq!(rng.gen_range(4..=4usize), 4);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "{hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn roughly_uniform_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            buckets[(rng.next_f64() * 10.0) as usize] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((9_000..11_000).contains(&b), "bucket {i}: {b}");
+        }
+    }
+}

@@ -13,13 +13,12 @@
 //! matches the paper; the rest land in open space.
 
 use crate::distr::{rng_for, ClusterModel};
+use crate::rng::StdRng;
 use crate::UNIVERSE;
 use pbsm_geom::mer::maximal_enclosed_rect;
 use pbsm_geom::polygon::Ring;
 use pbsm_geom::{Point, Polygon};
 use pbsm_storage::tuple::SpatialTuple;
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// Full-scale cardinalities from Table 3.
 pub const POLYGON_COUNT: usize = 58_115;
@@ -40,14 +39,21 @@ pub struct SequoiaConfig {
 
 impl Default for SequoiaConfig {
     fn default() -> Self {
-        SequoiaConfig { scale: 1.0, seed: 2000, with_mer: false }
+        SequoiaConfig {
+            scale: 1.0,
+            seed: 2000,
+            with_mer: false,
+        }
     }
 }
 
 impl SequoiaConfig {
     /// A scaled-down configuration for tests.
     pub fn scaled(scale: f64) -> Self {
-        SequoiaConfig { scale, ..SequoiaConfig::default() }
+        SequoiaConfig {
+            scale,
+            ..SequoiaConfig::default()
+        }
     }
 }
 
@@ -190,7 +196,10 @@ mod tests {
 
     #[test]
     fn stored_mer_is_sound() {
-        let (polys, _) = generate(&SequoiaConfig { with_mer: true, ..SequoiaConfig::scaled(0.002) });
+        let (polys, _) = generate(&SequoiaConfig {
+            with_mer: true,
+            ..SequoiaConfig::scaled(0.002)
+        });
         let mut with = 0;
         for t in &polys {
             if let Some(mer) = &t.mer {
@@ -202,7 +211,10 @@ mod tests {
         }
         assert!(with > 0, "no MERs computed");
         // And the MER fast-accept agrees with the exact predicate.
-        let opts = RefineOptions { plane_sweep: true, mer_filter: true };
+        let opts = RefineOptions {
+            plane_sweep: true,
+            mer_filter: true,
+        };
         let _ = (SpatialPredicate::Contains, opts);
     }
 }

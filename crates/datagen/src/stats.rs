@@ -23,7 +23,11 @@ impl DatasetStats {
             name: name.to_string(),
             count,
             tuple_bytes,
-            avg_points: if count == 0 { 0.0 } else { points as f64 / count as f64 },
+            avg_points: if count == 0 {
+                0.0
+            } else {
+                points as f64 / count as f64
+            },
         }
     }
 

@@ -13,9 +13,8 @@
 //! tuples at `scale = 1.0` (see EXPERIMENTS.md for measured values).
 
 use crate::distr::{random_walk, rng_for, ClusterModel};
+use crate::rng::StdRng;
 use pbsm_geom::{Point, Polyline};
-use rand::rngs::StdRng;
-use rand::Rng;
 use pbsm_storage::tuple::SpatialTuple;
 
 /// Full-scale cardinalities from Table 2.
@@ -36,14 +35,20 @@ pub struct TigerConfig {
 
 impl Default for TigerConfig {
     fn default() -> Self {
-        TigerConfig { scale: 1.0, seed: 1996 }
+        TigerConfig {
+            scale: 1.0,
+            seed: 1996,
+        }
     }
 }
 
 impl TigerConfig {
     /// A scaled-down configuration for tests.
     pub fn scaled(scale: f64) -> Self {
-        TigerConfig { scale, ..TigerConfig::default() }
+        TigerConfig {
+            scale,
+            ..TigerConfig::default()
+        }
     }
 
     fn count(&self, full: usize) -> usize {
@@ -147,7 +152,11 @@ mod tests {
     use crate::UNIVERSE;
 
     fn mean_points(tuples: &[SpatialTuple]) -> f64 {
-        tuples.iter().map(|t| t.geom.num_points() as f64).sum::<f64>() / tuples.len() as f64
+        tuples
+            .iter()
+            .map(|t| t.geom.num_points() as f64)
+            .sum::<f64>()
+            / tuples.len() as f64
     }
 
     #[test]
@@ -180,7 +189,11 @@ mod tests {
     #[test]
     fn features_inside_universe() {
         let cfg = TigerConfig::scaled(0.005);
-        for t in road(&cfg).iter().chain(&hydrography(&cfg)).chain(&rail(&cfg)) {
+        for t in road(&cfg)
+            .iter()
+            .chain(&hydrography(&cfg))
+            .chain(&rail(&cfg))
+        {
             assert!(UNIVERSE.contains(&t.geom.mbr()));
         }
     }
@@ -189,10 +202,16 @@ mod tests {
     /// plane-sweep MBR prefilter (fast enough for dev-profile tests).
     pub(crate) fn count_intersections(a: &[SpatialTuple], b: &[SpatialTuple]) -> u64 {
         use pbsm_geom::sweep::{sort_by_xl, sweep_join, Tagged};
-        let mut ta: Vec<Tagged> =
-            a.iter().enumerate().map(|(i, t)| (t.geom.mbr(), i as u32)).collect();
-        let mut tb: Vec<Tagged> =
-            b.iter().enumerate().map(|(i, t)| (t.geom.mbr(), i as u32)).collect();
+        let mut ta: Vec<Tagged> = a
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.geom.mbr(), i as u32))
+            .collect();
+        let mut tb: Vec<Tagged> = b
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.geom.mbr(), i as u32))
+            .collect();
         sort_by_xl(&mut ta);
         sort_by_xl(&mut tb);
         let mut n = 0u64;

@@ -78,8 +78,7 @@ mod tests {
         assert_eq!(p.mbr(), Rect::new(1.0, 2.0, 1.0, 2.0));
         assert_eq!(p.num_points(), 1);
 
-        let l: Geometry =
-            Polyline::new(vec![Point::new(0.0, 0.0), Point::new(3.0, 1.0)]).into();
+        let l: Geometry = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(3.0, 1.0)]).into();
         assert_eq!(l.mbr(), Rect::new(0.0, 0.0, 3.0, 1.0));
         assert_eq!(l.num_points(), 2);
 

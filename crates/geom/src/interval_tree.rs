@@ -33,7 +33,13 @@ struct Node {
 
 impl Node {
     fn new(iv: Interval, prio: u64) -> Box<Node> {
-        Box::new(Node { iv, max_high: iv.high, prio, left: None, right: None })
+        Box::new(Node {
+            iv,
+            max_high: iv.high,
+            prio,
+            left: None,
+            right: None,
+        })
     }
 
     fn update(&mut self) {
@@ -70,7 +76,11 @@ impl Default for IntervalTree {
 impl IntervalTree {
     /// Creates an empty tree.
     pub fn new() -> Self {
-        IntervalTree { root: None, len: 0, rng_state: 0x9E37_79B9_7F4A_7C15 }
+        IntervalTree {
+            root: None,
+            len: 0,
+            rng_state: 0x9E37_79B9_7F4A_7C15,
+        }
     }
 
     /// Number of stored intervals.
@@ -263,11 +273,8 @@ mod tests {
         // Deterministic pseudo-random stress against a naive list.
         let mut t = IntervalTree::new();
         let mut list: Vec<Interval> = Vec::new();
-        let mut state = 42u64;
-        let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
-        };
+        let mut rng = crate::lcg::Lcg::new(42);
+        let mut rnd = move || rng.next_f64();
         for id in 0..300u32 {
             let a = rnd() * 100.0;
             let b = a + rnd() * 10.0;

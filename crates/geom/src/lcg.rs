@@ -1,0 +1,91 @@
+//! Deterministic pseudo-random generator for tests, benchmarks, and
+//! examples.
+//!
+//! Every crate in the workspace used to carry its own copy of this LCG
+//! (Knuth's MMIX multiplier); it lives here once so data sets stay
+//! reproducible across crates and so seeds mean the same thing
+//! everywhere. Not a statistical-quality RNG — just stable, seedable
+//! test data.
+
+use crate::Rect;
+
+/// Linear congruential generator with the historical workspace
+/// parameters. The same seed always yields the same sequence.
+#[derive(Clone, Debug)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// Starts a sequence at `seed`.
+    pub const fn new(seed: u64) -> Self {
+        Lcg { state: seed }
+    }
+
+    /// Advances the state and returns it.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.state
+    }
+
+    /// Next value in roughly `[0, 1]` (31 significant bits).
+    pub fn next_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 33) as f64) / (u32::MAX as f64 / 2.0)
+    }
+
+    /// A rectangle whose lower-left corner is uniform in
+    /// `[0, spread)²` with each side up to `max_side`. Draw order is
+    /// `x`, `y`, `width`, `height` — the order the old hand-rolled
+    /// generators used, so existing seeds keep their data sets.
+    pub fn rect(&mut self, spread: f64, max_side: f64) -> Rect {
+        let x = self.next_f64() * spread;
+        let y = self.next_f64() * spread;
+        let w = self.next_f64() * max_side;
+        let h = self.next_f64() * max_side;
+        Rect::new(x, y, x + w, y + h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = Lcg::new(42);
+        let mut b = Lcg::new(42);
+        for _ in 0..1000 {
+            let v = a.next_f64();
+            assert_eq!(v, b.next_f64());
+            assert!((0.0..=1.01).contains(&v));
+        }
+    }
+
+    #[test]
+    fn rect_is_well_formed() {
+        let mut rng = Lcg::new(7);
+        for _ in 0..100 {
+            let r = rng.rect(100.0, 2.0);
+            assert!(r.xl <= r.xu && r.yl <= r.yu);
+            assert!(r.xl >= 0.0 && r.xu <= 102.1);
+        }
+    }
+
+    #[test]
+    fn matches_historical_sequence() {
+        // The inlined generators computed exactly this; a change here
+        // would silently reshuffle every seeded test data set.
+        let mut state = 3u64;
+        let mut rng = Lcg::new(3);
+        for _ in 0..100 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let want = ((state >> 33) as f64) / (u32::MAX as f64 / 2.0);
+            assert_eq!(rng.next_f64(), want);
+        }
+    }
+}

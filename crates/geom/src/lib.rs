@@ -25,6 +25,7 @@
 
 pub mod hilbert;
 pub mod interval_tree;
+pub mod lcg;
 pub mod mer;
 pub mod point;
 pub mod polygon;

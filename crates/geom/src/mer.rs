@@ -182,13 +182,16 @@ mod tests {
     #[test]
     fn mer_is_sound_filter_for_containment() {
         // Anything inside the MER is inside the polygon.
-        let p = Polygon::simple(ring(&[(0.0, 0.0), (8.0, 0.0), (8.0, 4.0), (4.0, 8.0), (0.0, 4.0)]));
+        let p = Polygon::simple(ring(&[
+            (0.0, 0.0),
+            (8.0, 0.0),
+            (8.0, 4.0),
+            (4.0, 8.0),
+            (0.0, 4.0),
+        ]));
         let mer = maximal_enclosed_rect(&p, 14).unwrap();
         for &(x, y) in &[(0.25, 0.25), (0.5, 0.5), (0.75, 0.75)] {
-            let probe = Point::new(
-                mer.xl + x * mer.width(),
-                mer.yl + y * mer.height(),
-            );
+            let probe = Point::new(mer.xl + x * mer.width(), mer.yl + y * mer.height());
             assert!(p.contains_point(probe));
         }
     }

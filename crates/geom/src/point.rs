@@ -71,7 +71,11 @@ pub fn orientation(a: Point, b: Point, c: Point) -> Orientation {
     let cross = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
     // Scale-aware tolerance: |cross| is bounded by the product of the two
     // edge lengths, so compare against that magnitude.
-    let scale = (b.x - a.x).abs().max((b.y - a.y).abs()).max((c.x - a.x).abs()).max((c.y - a.y).abs());
+    let scale = (b.x - a.x)
+        .abs()
+        .max((b.y - a.y).abs())
+        .max((c.x - a.x).abs())
+        .max((c.y - a.y).abs());
     let eps = f64::EPSILON * 64.0 * scale * scale;
     if cross > eps {
         Orientation::Ccw
@@ -101,7 +105,10 @@ mod tests {
         let b = Point::new(1.0, 0.0);
         assert_eq!(orientation(a, b, Point::new(1.0, 1.0)), Orientation::Ccw);
         assert_eq!(orientation(a, b, Point::new(1.0, -1.0)), Orientation::Cw);
-        assert_eq!(orientation(a, b, Point::new(2.0, 0.0)), Orientation::Collinear);
+        assert_eq!(
+            orientation(a, b, Point::new(2.0, 0.0)),
+            Orientation::Collinear
+        );
     }
 
     #[test]

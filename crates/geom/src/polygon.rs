@@ -102,7 +102,10 @@ pub struct Polygon {
 impl Polygon {
     /// A polygon with no holes.
     pub fn simple(outer: Ring) -> Self {
-        Polygon { outer, holes: Vec::new() }
+        Polygon {
+            outer,
+            holes: Vec::new(),
+        }
     }
 
     /// A swiss-cheese polygon: an outer ring with holes.
@@ -136,7 +139,11 @@ impl Polygon {
     /// Area of the outer ring minus the holes.
     pub fn area(&self) -> f64 {
         self.outer.signed_area().abs()
-            - self.holes.iter().map(|h| h.signed_area().abs()).sum::<f64>()
+            - self
+                .holes
+                .iter()
+                .map(|h| h.signed_area().abs())
+                .sum::<f64>()
     }
 
     /// Iterator over the segments of every ring.

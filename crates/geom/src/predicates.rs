@@ -42,7 +42,10 @@ pub struct RefineOptions {
 
 impl Default for RefineOptions {
     fn default() -> Self {
-        RefineOptions { plane_sweep: true, mer_filter: false }
+        RefineOptions {
+            plane_sweep: true,
+            mer_filter: false,
+        }
     }
 }
 
@@ -142,7 +145,8 @@ pub fn polygon_contains_polyline(outer: &Polygon, l: &Polyline) -> bool {
 
 fn point_on_polyline(p: Point, l: &Polyline) -> bool {
     let probe = Segment::new(p, p);
-    l.segments().any(|s| s.mbr().contains_point(p) && s.intersects(&probe))
+    l.segments()
+        .any(|s| s.mbr().contains_point(p) && s.intersects(&probe))
 }
 
 /// Evaluates `pred(left, right)` exactly, honouring the strategy switches
@@ -234,15 +238,29 @@ mod tests {
     }
 
     fn square(x0: f64, y0: f64, s: f64) -> Polygon {
-        Polygon::simple(ring(&[(x0, y0), (x0 + s, y0), (x0 + s, y0 + s), (x0, y0 + s)]))
+        Polygon::simple(ring(&[
+            (x0, y0),
+            (x0 + s, y0),
+            (x0 + s, y0 + s),
+            (x0, y0 + s),
+        ]))
     }
 
     #[test]
     fn polyline_polygon_intersection() {
         let g = square(0.0, 0.0, 4.0);
-        assert!(polyline_intersects_polygon(&pl(&[(-1.0, 2.0), (5.0, 2.0)]), &g));
-        assert!(polyline_intersects_polygon(&pl(&[(1.0, 1.0), (2.0, 2.0)]), &g)); // inside
-        assert!(!polyline_intersects_polygon(&pl(&[(5.0, 5.0), (6.0, 6.0)]), &g));
+        assert!(polyline_intersects_polygon(
+            &pl(&[(-1.0, 2.0), (5.0, 2.0)]),
+            &g
+        ));
+        assert!(polyline_intersects_polygon(
+            &pl(&[(1.0, 1.0), (2.0, 2.0)]),
+            &g
+        )); // inside
+        assert!(!polyline_intersects_polygon(
+            &pl(&[(5.0, 5.0), (6.0, 6.0)]),
+            &g
+        ));
     }
 
     #[test]
@@ -283,7 +301,10 @@ mod tests {
         let a: Geometry = pl(&[(0.0, 0.0), (2.0, 2.0)]).into();
         let b: Geometry = pl(&[(0.0, 2.0), (2.0, 0.0)]).into();
         assert!(evaluate(SpatialPredicate::Intersects, &a, &b, &opts));
-        let naive = RefineOptions { plane_sweep: false, ..opts };
+        let naive = RefineOptions {
+            plane_sweep: false,
+            ..opts
+        };
         assert!(evaluate(SpatialPredicate::Intersects, &a, &b, &naive));
     }
 
@@ -302,7 +323,10 @@ mod tests {
     #[test]
     fn mer_filter_agrees_with_exact() {
         let outer = square(0.0, 0.0, 10.0);
-        let with_mer = RefineOptions { plane_sweep: true, mer_filter: true };
+        let with_mer = RefineOptions {
+            plane_sweep: true,
+            mer_filter: true,
+        };
         let without = RefineOptions::default();
         for &(x0, s) in &[(1.0, 2.0), (0.5, 9.0), (6.0, 5.0)] {
             let inner: Geometry = square(x0, x0, s).into();

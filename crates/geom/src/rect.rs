@@ -27,7 +27,10 @@ impl Rect {
     /// bounds are inverted or non-finite.
     #[inline]
     pub fn new(xl: f64, yl: f64, xu: f64, yu: f64) -> Self {
-        debug_assert!(xl <= xu && yl <= yu, "inverted rect [{xl},{xu}]x[{yl},{yu}]");
+        debug_assert!(
+            xl <= xu && yl <= yu,
+            "inverted rect [{xl},{xu}]x[{yl},{yu}]"
+        );
         debug_assert!(xl.is_finite() && yl.is_finite() && xu.is_finite() && yu.is_finite());
         Rect { xl, yl, xu, yu }
     }
@@ -42,7 +45,12 @@ impl Rect {
     /// intersects nothing.
     #[inline]
     pub const fn empty() -> Self {
-        Rect { xl: f64::INFINITY, yl: f64::INFINITY, xu: f64::NEG_INFINITY, yu: f64::NEG_INFINITY }
+        Rect {
+            xl: f64::INFINITY,
+            yl: f64::INFINITY,
+            xu: f64::NEG_INFINITY,
+            yu: f64::NEG_INFINITY,
+        }
     }
 
     /// Whether this is the empty rectangle (or otherwise inverted).
@@ -248,7 +256,11 @@ mod tests {
 
     #[test]
     fn bounding_points() {
-        let pts = [Point::new(1.0, 5.0), Point::new(-2.0, 3.0), Point::new(0.0, 7.0)];
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 3.0),
+            Point::new(0.0, 7.0),
+        ];
         assert_eq!(Rect::bounding(&pts), r(-2.0, 3.0, 1.0, 7.0));
         assert!(Rect::bounding(&[]).is_empty());
     }

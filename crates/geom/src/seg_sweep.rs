@@ -46,10 +46,18 @@ pub fn polylines_intersect_sweep(a: &Polyline, b: &Polyline) -> bool {
 fn sweep_into(a: &Polyline, b: &Polyline, items: &mut Vec<Item>) -> bool {
     items.reserve(a.len() + b.len());
     for seg in a.segments() {
-        items.push(Item { mbr: seg.mbr(), seg, from_a: true });
+        items.push(Item {
+            mbr: seg.mbr(),
+            seg,
+            from_a: true,
+        });
     }
     for seg in b.segments() {
-        items.push(Item { mbr: seg.mbr(), seg, from_a: false });
+        items.push(Item {
+            mbr: seg.mbr(),
+            seg,
+            from_a: false,
+        });
     }
     items.sort_unstable_by(|p, q| p.mbr.xl.partial_cmp(&q.mbr.xl).expect("NaN coordinate"));
 
@@ -61,9 +69,7 @@ fn sweep_into(a: &Polyline, b: &Polyline, items: &mut Vec<Item>) -> bool {
             if jt.mbr.xl > it.mbr.xu {
                 break;
             }
-            if jt.from_a != it.from_a
-                && it.mbr.intersects_y(&jt.mbr)
-                && it.seg.intersects(&jt.seg)
+            if jt.from_a != it.from_a && it.mbr.intersects_y(&jt.mbr) && it.seg.intersects(&jt.seg)
             {
                 return true;
             }
@@ -104,11 +110,8 @@ mod tests {
 
     #[test]
     fn random_walks_agree_with_naive() {
-        let mut state = 99u64;
-        let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0) - 1.0
-        };
+        let mut rng = crate::lcg::Lcg::new(99);
+        let mut rnd = move || rng.next_f64() - 1.0;
         fn walk(rnd: &mut impl FnMut() -> f64, x0: f64, y0: f64, n: usize) -> Polyline {
             let mut pts = vec![Point::new(x0, y0)];
             for _ in 1..n {

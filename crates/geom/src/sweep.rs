@@ -58,6 +58,26 @@ pub fn nested_loop_join(rs: &[Tagged], ss: &[Tagged], mut emit: impl FnMut(u32, 
     }
 }
 
+/// Work tallies of one plane-sweep invocation, for the observability
+/// layer. The module stays metrics-free: callers decide where (and on
+/// which thread) the numbers are reported.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Rectangle pairs whose x-extents overlapped and were therefore
+    /// tested for y-overlap — the sweep's unit of CPU work.
+    pub comparisons: u64,
+    /// Pairs that actually intersected and were emitted.
+    pub hits: u64,
+}
+
+impl SweepStats {
+    /// Accumulates another invocation's tallies into this one.
+    pub fn absorb(&mut self, other: SweepStats) {
+        self.comparisons += other.comparisons;
+        self.hits += other.hits;
+    }
+}
+
 /// The paper's plane-sweep join over two `xl`-sorted inputs.
 ///
 /// For each step the unprocessed rectangle with the smallest `xl` across
@@ -65,10 +85,11 @@ pub fn nested_loop_join(rs: &[Tagged], ss: &[Tagged], mut emit: impl FnMut(u32, 
 /// its current position "until a key–pointer element whose MBR has a
 /// `MBR.xl` value greater than `r.xu` is reached", testing y-overlap for
 /// each (§3.1). `emit` receives `(r_id, s_id)` with the first argument
-/// always from `rs`.
-pub fn sweep_join(rs: &[Tagged], ss: &[Tagged], mut emit: impl FnMut(u32, u32)) {
+/// always from `rs`. Returns the work tallies of the sweep.
+pub fn sweep_join(rs: &[Tagged], ss: &[Tagged], mut emit: impl FnMut(u32, u32)) -> SweepStats {
     assert_sorted(rs);
     assert_sorted(ss);
+    let mut stats = SweepStats::default();
     let mut i = 0;
     let mut j = 0;
     // "This continues until one of the two inputs has been fully
@@ -78,7 +99,9 @@ pub fn sweep_join(rs: &[Tagged], ss: &[Tagged], mut emit: impl FnMut(u32, u32)) 
             let (r, rid) = rs[i];
             let mut k = j;
             while k < ss.len() && ss[k].0.xl <= r.xu {
+                stats.comparisons += 1;
                 if r.intersects_y(&ss[k].0) {
+                    stats.hits += 1;
                     emit(rid, ss[k].1);
                 }
                 k += 1;
@@ -88,7 +111,9 @@ pub fn sweep_join(rs: &[Tagged], ss: &[Tagged], mut emit: impl FnMut(u32, u32)) 
             let (s, sid) = ss[j];
             let mut k = i;
             while k < rs.len() && rs[k].0.xl <= s.xu {
+                stats.comparisons += 1;
                 if s.intersects_y(&rs[k].0) {
+                    stats.hits += 1;
                     emit(rs[k].1, sid);
                 }
                 k += 1;
@@ -96,6 +121,7 @@ pub fn sweep_join(rs: &[Tagged], ss: &[Tagged], mut emit: impl FnMut(u32, u32)) 
             j += 1;
         }
     }
+    stats
 }
 
 /// Expiry-heap entry: active rectangles leave the sweep front when the
@@ -167,8 +193,16 @@ pub fn sweep_join_interval(rs: &[Tagged], ss: &[Tagged], mut emit: impl FnMut(u3
             for &sid in &hits {
                 emit(rid, sid);
             }
-            active_r.insert(Interval { low: r.yl, high: r.yu, id: rid });
-            expiry_r.push(Expiry { xu: r.xu, low: r.yl, id: rid });
+            active_r.insert(Interval {
+                low: r.yl,
+                high: r.yu,
+                id: rid,
+            });
+            expiry_r.push(Expiry {
+                xu: r.xu,
+                low: r.yl,
+                id: rid,
+            });
         } else {
             let (s, sid) = ss[j];
             j += 1;
@@ -185,8 +219,16 @@ pub fn sweep_join_interval(rs: &[Tagged], ss: &[Tagged], mut emit: impl FnMut(u3
             for &rid in &hits {
                 emit(rid, sid);
             }
-            active_s.insert(Interval { low: s.yl, high: s.yu, id: sid });
-            expiry_s.push(Expiry { xu: s.xu, low: s.yl, id: sid });
+            active_s.insert(Interval {
+                low: s.yl,
+                high: s.yu,
+                id: sid,
+            });
+            expiry_s.push(Expiry {
+                xu: s.xu,
+                low: s.yl,
+                id: sid,
+            });
         }
     }
 }
@@ -273,19 +315,9 @@ mod tests {
     fn sweep_agrees_with_nested_loop_on_random_data() {
         // Deterministic LCG data; checks both sweep variants against the
         // quadratic reference.
-        let mut state = 7u64;
-        let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
-        };
+        let mut rng = crate::lcg::Lcg::new(7);
         let mut mk = |n: usize| -> Vec<Tagged> {
-            (0..n)
-                .map(|i| {
-                    let x = rnd() * 100.0;
-                    let y = rnd() * 100.0;
-                    (Rect::new(x, y, x + rnd() * 8.0, y + rnd() * 8.0), i as u32)
-                })
-                .collect()
+            (0..n).map(|i| (rng.rect(100.0, 8.0), i as u32)).collect()
         };
         let rs = mk(250);
         let ss = mk(300);
@@ -297,7 +329,11 @@ mod tests {
 
     #[test]
     fn duplicate_xl_values() {
-        let rs = rects(&[(1.0, 0.0, 2.0, 1.0), (1.0, 5.0, 2.0, 6.0), (1.0, 0.5, 2.0, 5.5)]);
+        let rs = rects(&[
+            (1.0, 0.0, 2.0, 1.0),
+            (1.0, 5.0, 2.0, 6.0),
+            (1.0, 0.5, 2.0, 5.5),
+        ]);
         let ss = rects(&[(1.0, 0.0, 2.0, 10.0), (1.0, 2.0, 1.5, 3.0)]);
         let (nl, sw, it) = run_all(&rs, &ss);
         assert_eq!(sw, nl);

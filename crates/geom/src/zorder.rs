@@ -78,7 +78,10 @@ mod tests {
     fn interleaving_orders_quadrants() {
         // All of quadrant (0,0) sorts before any cell with the top bit set.
         assert!(xy_to_z(10, 20) < xy_to_z(SIDE / 2, 0));
-        assert!(xy_to_z(SIDE / 2, 0) < xy_to_z(0, SIDE / 2) || xy_to_z(0, SIDE / 2) < xy_to_z(SIDE / 2, 0));
+        assert!(
+            xy_to_z(SIDE / 2, 0) < xy_to_z(0, SIDE / 2)
+                || xy_to_z(0, SIDE / 2) < xy_to_z(SIDE / 2, 0)
+        );
     }
 
     #[test]
@@ -90,7 +93,13 @@ mod tests {
     #[test]
     fn z_value_clamps() {
         let u = Rect::new(0.0, 0.0, 1.0, 1.0);
-        assert_eq!(z_value(&u, Point::new(-1.0, -1.0)), z_value(&u, Point::new(0.0, 0.0)));
-        assert_eq!(z_value(&u, Point::new(2.0, 2.0)), z_value(&u, Point::new(1.0, 1.0)));
+        assert_eq!(
+            z_value(&u, Point::new(-1.0, -1.0)),
+            z_value(&u, Point::new(0.0, 0.0))
+        );
+        assert_eq!(
+            z_value(&u, Point::new(2.0, 2.0)),
+            z_value(&u, Point::new(1.0, 1.0))
+        );
     }
 }

@@ -1,4 +1,8 @@
 //! Property-based tests for the geometry kernel.
+//!
+//! Needs the external `proptest` crate: re-add it to [dev-dependencies]
+//! and run with `--features proptest-tests`.
+#![cfg(feature = "proptest-tests")]
 
 use pbsm_geom::hilbert;
 use pbsm_geom::interval_tree::{Interval, IntervalTree};

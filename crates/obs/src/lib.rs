@@ -1,0 +1,777 @@
+//! Unified observability for the PBSM reproduction: hierarchical spans,
+//! a metrics registry, and machine-readable trace output.
+//!
+//! The paper's evaluation is built on per-phase cost *breakdowns*
+//! (Table 4, Figures 10–12): every join is decomposed into components
+//! whose CPU and I/O shares are reported separately. This crate is the
+//! one mechanism every layer reports through:
+//!
+//! * **Counters / gauges / histograms** ([`counter`], [`gauge`],
+//!   [`histogram`]) — named monotone counters, set-point gauges, and
+//!   power-of-two-bucket histograms. Handles are interned once and
+//!   increment with a thread-local array index: cheap enough for page-I/O
+//!   paths, and truly zero-cost when a handle is never touched.
+//! * **Spans** ([`span`], [`with_span`]) — RAII guards that nest, record
+//!   wall-clock time, and capture the *delta of every counter* between
+//!   entry and exit. A span therefore knows exactly how many buffer
+//!   misses, disk seeks, or R-tree node visits happened inside it,
+//!   without the instrumented code knowing spans exist.
+//! * **Sessions** ([`session_json`], [`take_spans`], [`reset`]) — the
+//!   whole registry plus the finished span forest renders to JSON (via
+//!   the dependency-free [`json`] module) for `bench_results/*.json`.
+//! * **`PBSM_TRACE=1`** — when set, every completed root span prints an
+//!   indented tree with its I/O deltas to stderr.
+//!
+//! Like the storage manager, the collector is thread-local: the system
+//! is single-threaded by design (worker threads in the parallel merge do
+//! pure CPU work and report through return values, not counters).
+//!
+//! The very hottest paths (one buffer-pool hit per page touch) do not
+//! even pay the thread-local access: they tally into plain `Cell`s and
+//! register a [`FlushMetrics`] source, which the collector drains at
+//! every span boundary and read point — so span deltas stay exact while
+//! the per-event cost is a single in-struct add.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Weak;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+pub mod json;
+pub use json::Json;
+
+/// Number of histogram buckets: bucket `i ≥ 1` covers `[2^(i-1), 2^i)`,
+/// bucket 0 holds zeros. 64 value bits ⇒ 65 buckets.
+const HIST_BUCKETS: usize = 65;
+
+struct Registry<T> {
+    names: Vec<String>,
+    by_name: HashMap<String, u32>,
+    values: Vec<T>,
+}
+
+impl<T> Default for Registry<T> {
+    fn default() -> Self {
+        Registry {
+            names: Vec::new(),
+            by_name: HashMap::new(),
+            values: Vec::new(),
+        }
+    }
+}
+
+impl<T> Registry<T> {
+    fn intern_with(&mut self, name: &str, make: impl FnOnce() -> T) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        self.values.push(make());
+        id
+    }
+}
+
+impl<T: Default> Registry<T> {
+    fn intern(&mut self, name: &str) -> u32 {
+        self.intern_with(name, T::default)
+    }
+}
+
+struct OpenSpan {
+    name: String,
+    start: Instant,
+    /// Counter values at entry; counters registered later are implicitly 0.
+    snapshot: Vec<u64>,
+    children: Vec<SpanRecord>,
+}
+
+/// A finished span: wall time, sparse counter deltas, nested children.
+#[derive(Clone, Debug, Default)]
+pub struct SpanRecord {
+    /// Span label, e.g. "partition road".
+    pub name: String,
+    /// Wall-clock seconds between entry and exit.
+    pub wall_s: f64,
+    /// Non-zero counter deltas over the span, in registry order.
+    pub deltas: Vec<(String, u64)>,
+    /// Spans opened (and closed) while this one was open.
+    pub children: Vec<SpanRecord>,
+}
+
+impl SpanRecord {
+    /// The delta of one counter over this span (0 if it did not move).
+    pub fn delta(&self, counter: &str) -> u64 {
+        self.deltas
+            .iter()
+            .find(|(n, _)| n == counter)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Renders this span (and its subtree) as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("wall_s".into(), Json::Num(self.wall_s)),
+            (
+                "deltas".into(),
+                Json::Obj(
+                    self.deltas
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::uint(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "children".into(),
+                Json::Arr(self.children.iter().map(|c| c.to_json()).collect()),
+            ),
+        ])
+    }
+
+    /// Writes the indented tree form used by `PBSM_TRACE`.
+    pub fn render_tree(&self, depth: usize, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "{:indent$}{} {:.3}ms",
+            "",
+            self.name,
+            self.wall_s * 1e3,
+            indent = depth * 2
+        );
+        for (name, v) in &self.deltas {
+            let _ = write!(out, " {name}={v}");
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.render_tree(depth + 1, out);
+        }
+    }
+}
+
+struct Collector {
+    counters: Registry<u64>,
+    gauges: Registry<u64>,
+    hists: Registry<Box<[u64; HIST_BUCKETS]>>,
+    stack: Vec<OpenSpan>,
+    roots: Vec<SpanRecord>,
+}
+
+impl Collector {
+    fn new() -> Self {
+        Collector {
+            counters: Registry::default(),
+            gauges: Registry::default(),
+            hists: Registry::default(),
+            stack: Vec::new(),
+            roots: Vec::new(),
+        }
+    }
+
+    /// Pops and files the innermost span. The finished record is *moved*
+    /// into the forest; a clone is made only when the caller wants it
+    /// ([`with_span`]), never on the plain guard-drop path.
+    fn close_top(&mut self, want_record: bool) -> Option<SpanRecord> {
+        let open = self.stack.pop().expect("span stack underflow");
+        let wall_s = open.start.elapsed().as_secs_f64();
+        let mut deltas = Vec::new();
+        for (i, &now) in self.counters.values.iter().enumerate() {
+            let before = open.snapshot.get(i).copied().unwrap_or(0);
+            if now != before {
+                deltas.push((self.counters.names[i].clone(), now - before));
+            }
+        }
+        let record = SpanRecord {
+            name: open.name,
+            wall_s,
+            deltas,
+            children: open.children,
+        };
+        let ret = want_record.then(|| record.clone());
+        match self.stack.last_mut() {
+            Some(parent) => parent.children.push(record),
+            None => {
+                if trace_enabled() {
+                    let mut out = String::new();
+                    record.render_tree(0, &mut out);
+                    eprint!("{out}");
+                }
+                self.roots.push(record);
+            }
+        }
+        ret
+    }
+}
+
+thread_local! {
+    static COLLECTOR: RefCell<Collector> = RefCell::new(Collector::new());
+}
+
+fn with<T>(f: impl FnOnce(&mut Collector) -> T) -> T {
+    COLLECTOR.with(|c| f(&mut c.borrow_mut()))
+}
+
+/// A deferred metric source: code on a hot path tallies into plain
+/// `Cell`s and drains them into the registry here. Registered sources
+/// are flushed at every synchronization point — span open and close,
+/// counter reads, [`session_json`], [`reset`] — so span deltas and
+/// session totals are exactly what eager counting would have produced.
+pub trait FlushMetrics {
+    /// Drains all pending tallies into the shared registry (normal
+    /// [`Counter::add`] etc. calls are fine here: flushers never run
+    /// while the collector is borrowed).
+    fn flush_metrics(&self);
+}
+
+thread_local! {
+    static FLUSHERS: RefCell<Vec<Weak<dyn FlushMetrics>>> = RefCell::new(Vec::new());
+}
+
+/// Registers a deferred metric source for this thread. Hold the owning
+/// `Rc` in the instrumented struct; the registry keeps only a `Weak`
+/// and prunes it once the source is dropped.
+pub fn register_flusher(source: Weak<dyn FlushMetrics>) {
+    FLUSHERS.with(|f| f.borrow_mut().push(source));
+}
+
+/// Adds 1 to a pending-tally cell — the hot-path half of a
+/// [`FlushMetrics`] source.
+#[inline]
+pub fn bump(cell: &std::cell::Cell<u64>) {
+    cell.set(cell.get() + 1);
+}
+
+fn run_flushers() {
+    FLUSHERS.with(|f| {
+        let mut list = f.borrow_mut();
+        if list.is_empty() {
+            return;
+        }
+        let live: Vec<_> = list.iter().filter_map(Weak::upgrade).collect();
+        list.retain(|w| w.strong_count() > 0);
+        // The borrow is released before flushing so a source may itself
+        // touch counters (or register further sources).
+        drop(list);
+        for source in live {
+            source.flush_metrics();
+        }
+    });
+}
+
+/// Is `PBSM_TRACE` set (to anything but `0` or empty)?
+pub fn trace_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        std::env::var("PBSM_TRACE")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
+
+/// A monotone counter handle. Copy it into the owning struct once;
+/// increments are then an array index away.
+#[derive(Clone, Copy, Debug)]
+pub struct Counter(u32);
+
+/// Interns (or finds) the counter named `name`.
+pub fn counter(name: &str) -> Counter {
+    Counter(with(|c| c.counters.intern(name)))
+}
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(self, n: u64) {
+        if n != 0 {
+            with(|c| c.counters.values[self.0 as usize] += n);
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn incr(self) {
+        with(|c| c.counters.values[self.0 as usize] += 1);
+    }
+
+    /// Current value (primarily for tests and dumps).
+    pub fn get(self) -> u64 {
+        run_flushers();
+        with(|c| c.counters.values[self.0 as usize])
+    }
+}
+
+/// A set-point gauge handle (last-write-wins).
+#[derive(Clone, Copy, Debug)]
+pub struct Gauge(u32);
+
+/// Interns (or finds) the gauge named `name`.
+pub fn gauge(name: &str) -> Gauge {
+    Gauge(with(|c| c.gauges.intern(name)))
+}
+
+impl Gauge {
+    pub fn set(self, v: u64) {
+        with(|c| c.gauges.values[self.0 as usize] = v);
+    }
+
+    pub fn get(self) -> u64 {
+        run_flushers();
+        with(|c| c.gauges.values[self.0 as usize])
+    }
+}
+
+/// A power-of-two-bucket histogram handle.
+#[derive(Clone, Copy, Debug)]
+pub struct Histogram(u32);
+
+/// Interns (or finds) the histogram named `name`.
+pub fn histogram(name: &str) -> Histogram {
+    Histogram(with(|c| {
+        c.hists.intern_with(name, || Box::new([0u64; HIST_BUCKETS]))
+    }))
+}
+
+impl Histogram {
+    /// Records one observation. Bucket 0 holds zeros; bucket `i` holds
+    /// `[2^(i-1), 2^i)`.
+    #[inline]
+    pub fn record(self, v: u64) {
+        let bucket = (64 - v.leading_zeros()) as usize;
+        with(|c| c.hists.values[self.0 as usize][bucket] += 1);
+    }
+
+    /// Total observations recorded.
+    pub fn count(self) -> u64 {
+        run_flushers();
+        with(|c| c.hists.values[self.0 as usize].iter().sum())
+    }
+}
+
+/// A stack-local histogram for hot loops: observations land in a plain
+/// array on the caller's stack, and one [`LocalHist::flush`] merges them
+/// into the shared registry. Use when a loop would otherwise pay a
+/// thread-local access per element.
+#[derive(Clone, Debug)]
+pub struct LocalHist {
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for LocalHist {
+    fn default() -> Self {
+        LocalHist {
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl LocalHist {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation (same bucketing as [`Histogram::record`]).
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[(64 - v.leading_zeros()) as usize] += 1;
+    }
+
+    /// Merges the tallies into `h`.
+    pub fn flush(self, h: Histogram) {
+        with(|c| {
+            let dst = &mut c.hists.values[h.0 as usize];
+            for (d, s) in dst.iter_mut().zip(self.buckets) {
+                *d += s;
+            }
+        });
+    }
+}
+
+/// Interns a counter once per thread and returns the handle: the
+/// `HashMap` lookup happens on first use only, so this is safe to call
+/// from hot free functions that have no struct to cache a handle in.
+#[macro_export]
+macro_rules! cached_counter {
+    ($name:expr) => {{
+        thread_local! {
+            static __C: $crate::Counter = $crate::counter($name);
+        }
+        __C.with(|c| *c)
+    }};
+}
+
+/// Like [`cached_counter!`], for histograms.
+#[macro_export]
+macro_rules! cached_histogram {
+    ($name:expr) => {{
+        thread_local! {
+            static __H: $crate::Histogram = $crate::histogram($name);
+        }
+        __H.with(|h| *h)
+    }};
+}
+
+/// RAII span guard: closing (dropping) records the span.
+#[must_use = "a span closes when the guard drops"]
+pub struct SpanGuard {
+    depth: usize,
+}
+
+/// Opens a span. Spans nest: guards must drop in LIFO order (the natural
+/// order of scoped guards).
+pub fn span(name: impl Into<String>) -> SpanGuard {
+    let name = name.into();
+    run_flushers();
+    with(|c| {
+        c.stack.push(OpenSpan {
+            name,
+            start: Instant::now(),
+            snapshot: c.counters.values.clone(),
+            children: Vec::new(),
+        });
+        SpanGuard {
+            depth: c.stack.len(),
+        }
+    })
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        run_flushers();
+        with(|c| {
+            debug_assert_eq!(
+                c.stack.len(),
+                self.depth,
+                "span guards dropped out of order"
+            );
+            c.close_top(false);
+        });
+    }
+}
+
+/// Runs `f` inside a span named `name`, returning its result and the
+/// finished record (which is also threaded into the span forest).
+pub fn with_span<T>(name: impl Into<String>, f: impl FnOnce() -> T) -> (T, SpanRecord) {
+    let guard = span(name);
+    let out = f();
+    std::mem::forget(guard); // closed explicitly just below
+    run_flushers();
+    let record = with(|c| c.close_top(true)).expect("close_top(true) returns the record");
+    (out, record)
+}
+
+/// Clones the finished root spans collected so far.
+pub fn spans() -> Vec<SpanRecord> {
+    with(|c| c.roots.clone())
+}
+
+/// Removes and returns the finished root spans.
+pub fn take_spans() -> Vec<SpanRecord> {
+    with(|c| std::mem::take(&mut c.roots))
+}
+
+/// Current value of a counter by name (0 if never registered).
+pub fn counter_value(name: &str) -> u64 {
+    run_flushers();
+    with(|c| {
+        c.counters
+            .by_name
+            .get(name)
+            .map_or(0, |&id| c.counters.values[id as usize])
+    })
+}
+
+/// All counters as `(name, value)` pairs, in registration order.
+pub fn counters() -> Vec<(String, u64)> {
+    run_flushers();
+    with(|c| {
+        c.counters
+            .names
+            .iter()
+            .cloned()
+            .zip(c.counters.values.iter().copied())
+            .collect()
+    })
+}
+
+/// Zeroes every metric and discards all finished and open spans. Handles
+/// remain valid (names are never un-interned). Bench binaries call this
+/// so each run's session is self-contained.
+pub fn reset() {
+    run_flushers();
+    with(|c| {
+        c.counters.values.iter_mut().for_each(|v| *v = 0);
+        c.gauges.values.iter_mut().for_each(|v| *v = 0);
+        c.hists.values.iter_mut().for_each(|b| b.fill(0));
+        c.stack.clear();
+        c.roots.clear();
+    });
+}
+
+/// Renders the full session: every counter, gauge, and histogram plus
+/// the finished span forest.
+///
+/// Schema:
+/// ```json
+/// {
+///   "counters":   {"storage.disk.reads": 123, ...},
+///   "gauges":     {"storage.pool.frames": 512, ...},
+///   "histograms": {"pbsm.partition.tiles_per_mbr": [[1, 900], [3, 40]]},
+///   "spans":      [{"name", "wall_s", "deltas": {...}, "children": [...]}]
+/// }
+/// ```
+/// Histogram entries are `[bucket_upper_bound, count]` pairs for
+/// non-empty buckets.
+pub fn session_json() -> Json {
+    run_flushers();
+    with(|c| {
+        let counters = Json::Obj(
+            c.counters
+                .names
+                .iter()
+                .zip(&c.counters.values)
+                .map(|(n, &v)| (n.clone(), Json::uint(v)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            c.gauges
+                .names
+                .iter()
+                .zip(&c.gauges.values)
+                .map(|(n, &v)| (n.clone(), Json::uint(v)))
+                .collect(),
+        );
+        let hists = Json::Obj(
+            c.hists
+                .names
+                .iter()
+                .zip(&c.hists.values)
+                .map(|(n, buckets)| {
+                    let entries = buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &count)| count > 0)
+                        .map(|(i, &count)| {
+                            let upper = if i == 0 { 0 } else { (1u128 << i) - 1 };
+                            Json::Arr(vec![Json::Num(upper as f64), Json::uint(count)])
+                        })
+                        .collect();
+                    (n.clone(), Json::Arr(entries))
+                })
+                .collect(),
+        );
+        let spans = Json::Arr(c.roots.iter().map(|s| s.to_json()).collect());
+        Json::Obj(vec![
+            ("counters".into(), counters),
+            ("gauges".into(), gauges),
+            ("histograms".into(), hists),
+            ("spans".into(), spans),
+        ])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The collector is thread-local; each test runs in its own namespace
+    // by prefixing counter names, so parallel test threads don't collide.
+
+    #[test]
+    fn counters_accumulate() {
+        let c = counter("t1.ops");
+        c.add(3);
+        c.incr();
+        c.add(0);
+        assert_eq!(c.get(), 4);
+        assert_eq!(counter_value("t1.ops"), 4);
+        assert_eq!(counter_value("t1.never"), 0);
+    }
+
+    #[test]
+    fn same_name_same_handle() {
+        let a = counter("t2.x");
+        let b = counter("t2.x");
+        a.incr();
+        b.incr();
+        assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    fn gauges_set_point() {
+        let g = gauge("t3.frames");
+        g.set(512);
+        g.set(128);
+        assert_eq!(g.get(), 128);
+    }
+
+    #[test]
+    fn histogram_buckets_power_of_two() {
+        let h = histogram("t4.sizes");
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        let json = session_json();
+        let entries = json
+            .get("histograms")
+            .unwrap()
+            .get("t4.sizes")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        // zeros, [1,1], [2,3], [4,7], [8,15], [1024,2047]
+        let uppers: Vec<u64> = entries
+            .iter()
+            .map(|e| e.as_arr().unwrap()[0].as_u64().unwrap())
+            .collect();
+        assert_eq!(uppers, vec![0, 1, 3, 7, 15, 2047]);
+        let counts: Vec<u64> = entries
+            .iter()
+            .map(|e| e.as_arr().unwrap()[1].as_u64().unwrap())
+            .collect();
+        assert_eq!(counts, vec![1, 1, 2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn spans_capture_counter_deltas() {
+        let c = counter("t5.work");
+        c.add(10); // before the span: must not appear in the delta
+        let (_, rec) = with_span("outer", || {
+            c.add(5);
+            let (_, inner) = with_span("inner", || c.add(2));
+            assert_eq!(inner.delta("t5.work"), 2);
+        });
+        assert_eq!(rec.delta("t5.work"), 7);
+        assert_eq!(rec.children.len(), 1);
+        assert_eq!(rec.children[0].name, "inner");
+        assert_eq!(rec.delta("t5.absent"), 0);
+        assert!(rec.wall_s >= 0.0);
+    }
+
+    #[test]
+    fn counters_registered_mid_span_are_captured() {
+        let (_, rec) = with_span("t6.outer", || {
+            let c = counter("t6.late");
+            c.add(9);
+        });
+        assert_eq!(rec.delta("t6.late"), 9);
+    }
+
+    #[test]
+    fn guard_spans_nest_and_land_in_roots() {
+        let before = spans().len();
+        {
+            let _a = span("t7.root");
+            let _b = span("t7.child");
+        }
+        let roots = spans();
+        assert_eq!(roots.len(), before + 1);
+        let last = roots.last().unwrap();
+        assert_eq!(last.name, "t7.root");
+        assert_eq!(last.children[0].name, "t7.child");
+    }
+
+    #[test]
+    fn session_json_is_valid_and_reparses() {
+        counter("t8.c").add(1);
+        gauge("t8.g").set(2);
+        histogram("t8.h").record(3);
+        let (_, _) = with_span("t8.span", || counter("t8.c").incr());
+        let text = session_json().render();
+        let back = Json::parse(&text).unwrap();
+        assert!(
+            back.get("counters")
+                .unwrap()
+                .get("t8.c")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                >= 2
+        );
+        let spans = back.get("spans").unwrap().as_arr().unwrap();
+        assert!(spans
+            .iter()
+            .any(|s| s.get("name").unwrap().as_str() == Some("t8.span")));
+    }
+
+    #[test]
+    fn deferred_flushers_keep_span_deltas_exact() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        struct Pending {
+            n: Cell<u64>,
+            target: Counter,
+        }
+        impl FlushMetrics for Pending {
+            fn flush_metrics(&self) {
+                let n = self.n.take();
+                if n > 0 {
+                    self.target.add(n);
+                }
+            }
+        }
+
+        let source = Rc::new(Pending {
+            n: Cell::new(0),
+            target: counter("t9.deferred"),
+        });
+        let weak = Rc::downgrade(&source);
+        let weak: Weak<dyn FlushMetrics> = weak;
+        register_flusher(weak);
+
+        source.n.set(source.n.get() + 3); // before the span: flushed at open
+        let (_, rec) = with_span("t9.span", || {
+            source.n.set(source.n.get() + 4); // inside: flushed at close
+        });
+        assert_eq!(rec.delta("t9.deferred"), 4);
+        assert_eq!(counter_value("t9.deferred"), 7);
+        assert_eq!(source.n.get(), 0, "flush drains the pending cell");
+
+        // A dropped source is pruned, not called.
+        drop(source);
+        assert_eq!(counter_value("t9.deferred"), 7);
+    }
+
+    #[test]
+    fn local_hist_matches_eager_records() {
+        let eager = histogram("t10.eager");
+        let deferred = histogram("t10.deferred");
+        let mut local = LocalHist::new();
+        for v in [0u64, 1, 5, 5, 300, u64::MAX] {
+            eager.record(v);
+            local.record(v);
+        }
+        local.flush(deferred);
+        let json = session_json();
+        let h = json.get("histograms").unwrap();
+        assert_eq!(
+            h.get("t10.eager").unwrap().render(),
+            h.get("t10.deferred").unwrap().render()
+        );
+        assert_eq!(deferred.count(), 6);
+    }
+
+    #[test]
+    fn tree_rendering_indents() {
+        let rec = SpanRecord {
+            name: "root".into(),
+            wall_s: 0.001,
+            deltas: vec![("io.reads".into(), 4)],
+            children: vec![SpanRecord {
+                name: "leaf".into(),
+                wall_s: 0.0005,
+                deltas: vec![],
+                children: vec![],
+            }],
+        };
+        let mut out = String::new();
+        rec.render_tree(0, &mut out);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("root ") && lines[0].contains("io.reads=4"));
+        assert!(lines[1].starts_with("  leaf "));
+    }
+}

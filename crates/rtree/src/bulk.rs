@@ -48,18 +48,19 @@ pub fn bulk_load(
     {
         let mut height = 1u32;
         let mut chunk: Vec<Entry> = Vec::with_capacity(per_node);
-        let flush = |chunk: &mut Vec<Entry>,
-                         level: &mut Vec<Entry>,
-                         is_leaf: bool|
-         -> StorageResult<()> {
-            if chunk.is_empty() {
-                return Ok(());
-            }
-            let node = Node { is_leaf, entries: std::mem::take(chunk) };
-            let pid = append_node(pool, file, &node)?;
-            level.push(Entry::internal(node.mbr(), pid.page_no));
-            Ok(())
-        };
+        let flush =
+            |chunk: &mut Vec<Entry>, level: &mut Vec<Entry>, is_leaf: bool| -> StorageResult<()> {
+                if chunk.is_empty() {
+                    return Ok(());
+                }
+                let node = Node {
+                    is_leaf,
+                    entries: std::mem::take(chunk),
+                };
+                let pid = append_node(pool, file, &node)?;
+                level.push(Entry::internal(node.mbr(), pid.page_no));
+                Ok(())
+            };
 
         for (rect, oid) in entries {
             chunk.push(Entry::leaf(rect, oid));
@@ -70,8 +71,21 @@ pub fn bulk_load(
         flush(&mut chunk, &mut level, true)?;
         if level.is_empty() {
             // Empty input: a single empty leaf root.
-            let root = append_node(pool, file, &Node { is_leaf: true, entries: Vec::new() })?;
-            return Ok(RTree { file, root, height: 1, capacity, entries: 0 });
+            let root = append_node(
+                pool,
+                file,
+                &Node {
+                    is_leaf: true,
+                    entries: Vec::new(),
+                },
+            )?;
+            return Ok(RTree {
+                file,
+                root,
+                height: 1,
+                capacity,
+                entries: 0,
+            });
         }
 
         while level.len() > 1 {
@@ -91,7 +105,13 @@ pub fn bulk_load(
         // into a single leaf (height == 1).
         let root_page = level[0].child as u32;
         let root = pbsm_storage::PageId::new(file, root_page);
-        Ok(RTree { file, root, height, capacity, entries: n_entries })
+        Ok(RTree {
+            file,
+            root,
+            height,
+            capacity,
+            entries: n_entries,
+        })
     }
 }
 
@@ -112,21 +132,18 @@ mod tests {
     }
 
     fn rects(n: usize, seed: u64) -> Vec<(Rect, Oid)> {
-        let mut state = seed;
-        let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
-        };
+        let mut rng = pbsm_geom::lcg::Lcg::new(seed);
         (0..n)
-            .map(|i| {
-                let x = rnd() * 100.0;
-                let y = rnd() * 100.0;
-                (Rect::new(x, y, x + rnd(), y + rnd()), oid(i as u32))
-            })
+            .map(|i| (rng.rect(100.0, 1.0), oid(i as u32)))
             .collect()
     }
 
-    const UNIVERSE: Rect = Rect { xl: 0.0, yl: 0.0, xu: 102.0, yu: 102.0 };
+    const UNIVERSE: Rect = Rect {
+        xl: 0.0,
+        yl: 0.0,
+        xu: 102.0,
+        yu: 102.0,
+    };
 
     #[test]
     fn bulk_load_and_query() {

@@ -149,18 +149,8 @@ mod tests {
     }
 
     fn rects(n: usize, seed: u64) -> Vec<Rect> {
-        let mut state = seed;
-        let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
-        };
-        (0..n)
-            .map(|_| {
-                let x = rnd() * 100.0;
-                let y = rnd() * 100.0;
-                Rect::new(x, y, x + rnd(), y + rnd())
-            })
-            .collect()
+        let mut rng = pbsm_geom::lcg::Lcg::new(seed);
+        (0..n).map(|_| rng.rect(100.0, 1.0)).collect()
     }
 
     fn everything(tree: &RTree, pool: &BufferPool) -> Vec<Oid> {
@@ -199,7 +189,10 @@ mod tests {
         let mut order: Vec<usize> = (0..data.len()).collect();
         order.sort_unstable_by_key(|i| (i * 7919) % 200);
         for &i in &order {
-            assert!(tree.delete(&pool, &data[i], oid(i as u32)).unwrap(), "entry {i}");
+            assert!(
+                tree.delete(&pool, &data[i], oid(i as u32)).unwrap(),
+                "entry {i}"
+            );
         }
         assert_eq!(tree.num_entries(), 0);
         assert!(everything(&tree, &pool).is_empty());
@@ -252,7 +245,9 @@ mod tests {
         let mut tree = RTree::create(&pool, 8).unwrap();
         let r = Rect::new(1.0, 1.0, 2.0, 2.0);
         tree.insert(&pool, r, oid(1)).unwrap();
-        assert!(!tree.delete(&pool, &Rect::new(5.0, 5.0, 6.0, 6.0), oid(1)).unwrap());
+        assert!(!tree
+            .delete(&pool, &Rect::new(5.0, 5.0, 6.0, 6.0), oid(1))
+            .unwrap());
         assert!(tree.delete(&pool, &r, oid(1)).unwrap());
     }
 }

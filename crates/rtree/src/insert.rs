@@ -138,6 +138,7 @@ impl RTree {
             if !is_root && !reinserted[level as usize] {
                 reinserted[level as usize] = true;
                 let removed = self.detach_reinsert_victims(&mut node);
+                pbsm_obs::cached_counter!("rtree.reinserts").add(removed.len() as u64);
                 let mbr = node.mbr();
                 write_node(pool, pid, &node)?;
                 self.adjust_path_mbrs(pool, &path, mbr)?;
@@ -151,8 +152,14 @@ impl RTree {
             // Split.
             let is_leaf = node.is_leaf;
             let (g1, g2) = rstar_split(std::mem::take(&mut node.entries), self.min_fill());
-            let n1 = Node { is_leaf, entries: g1 };
-            let n2 = Node { is_leaf, entries: g2 };
+            let n1 = Node {
+                is_leaf,
+                entries: g1,
+            };
+            let n2 = Node {
+                is_leaf,
+                entries: g2,
+            };
             write_node(pool, pid, &n1)?;
             let new_pid = append_node(pool, self.file, &n2)?;
             let e1 = Entry::internal(n1.mbr(), pid.page_no);
@@ -161,8 +168,14 @@ impl RTree {
                 None => {
                     // Root split: grow the tree.
                     debug_assert!(is_root);
-                    let new_root =
-                        append_node(pool, self.file, &Node { is_leaf: false, entries: vec![e1, e2] })?;
+                    let new_root = append_node(
+                        pool,
+                        self.file,
+                        &Node {
+                            is_leaf: false,
+                            entries: vec![e1, e2],
+                        },
+                    )?;
                     self.root = new_root;
                     self.height += 1;
                     reinserted.push(false);
@@ -189,7 +202,9 @@ impl RTree {
             let db = b.rect.center().distance_sq(&center);
             db.partial_cmp(&da).expect("NaN")
         });
-        let p = self.reinsert_count().min(node.entries.len() - self.min_fill());
+        let p = self
+            .reinsert_count()
+            .min(node.entries.len() - self.min_fill());
         node.entries.drain(..p).collect()
     }
 
@@ -231,18 +246,8 @@ mod tests {
 
     /// Deterministic pseudo-random rectangles.
     fn rects(n: usize, seed: u64) -> Vec<Rect> {
-        let mut state = seed;
-        let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
-        };
-        (0..n)
-            .map(|_| {
-                let x = rnd() * 100.0;
-                let y = rnd() * 100.0;
-                Rect::new(x, y, x + rnd() * 2.0, y + rnd() * 2.0)
-            })
-            .collect()
+        let mut rng = pbsm_geom::lcg::Lcg::new(seed);
+        (0..n).map(|_| rng.rect(100.0, 2.0)).collect()
     }
 
     fn validate(tree: &RTree, pool: &BufferPool) {
@@ -271,7 +276,8 @@ mod tests {
             }
             let mut count = 0;
             for e in &node.entries {
-                let (c, child_mbr) = rec(tree, pool, e.child_page(tree.file_id()), level - 1, false);
+                let (c, child_mbr) =
+                    rec(tree, pool, e.child_page(tree.file_id()), level - 1, false);
                 assert!(
                     e.rect.contains(&child_mbr),
                     "parent rect {:?} does not cover child {:?}",
@@ -328,7 +334,8 @@ mod tests {
         let mut tree = RTree::create(&pool, 8).unwrap();
         for i in 0..300u32 {
             let x = i as f64;
-            tree.insert(&pool, Rect::new(x, 0.0, x + 1.5, 1.0), oid(i)).unwrap();
+            tree.insert(&pool, Rect::new(x, 0.0, x + 1.5, 1.0), oid(i))
+                .unwrap();
         }
         validate(&tree, &pool);
         let mut got = Vec::new();

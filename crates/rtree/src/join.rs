@@ -46,6 +46,7 @@ fn join_nodes(
     level_b: u32,
     emit: &mut impl FnMut(Oid, Oid),
 ) -> StorageResult<()> {
+    pbsm_obs::cached_counter!("rtree.join.node_pairs").incr();
     let node_a = read_node(pool, pid_a)?;
     let node_b = read_node(pool, pid_b)?;
 
@@ -61,7 +62,16 @@ fn join_nodes(
     if level_a > level_b {
         for e in &node_a.entries {
             if e.rect.intersects(&window) {
-                join_nodes(a, b, pool, e.child_page(a.file_id()), pid_b, level_a - 1, level_b, emit)?;
+                join_nodes(
+                    a,
+                    b,
+                    pool,
+                    e.child_page(a.file_id()),
+                    pid_b,
+                    level_a - 1,
+                    level_b,
+                    emit,
+                )?;
             }
         }
         return Ok(());
@@ -69,7 +79,16 @@ fn join_nodes(
     if level_b > level_a {
         for e in &node_b.entries {
             if e.rect.intersects(&window) {
-                join_nodes(a, b, pool, pid_a, e.child_page(b.file_id()), level_a, level_b - 1, emit)?;
+                join_nodes(
+                    a,
+                    b,
+                    pool,
+                    pid_a,
+                    e.child_page(b.file_id()),
+                    level_a,
+                    level_b - 1,
+                    emit,
+                )?;
             }
         }
         return Ok(());
@@ -131,20 +150,9 @@ mod tests {
     }
 
     fn rects(n: usize, seed: u64, spread: f64) -> Vec<(Rect, Oid)> {
-        let mut state = seed;
-        let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
-        };
+        let mut rng = pbsm_geom::lcg::Lcg::new(seed);
         (0..n)
-            .map(|i| {
-                let x = rnd() * spread;
-                let y = rnd() * spread;
-                (
-                    Rect::new(x, y, x + rnd() * 2.0, y + rnd() * 2.0),
-                    Oid::new(FileId(7), i as u32, 0),
-                )
-            })
+            .map(|i| (rng.rect(spread, 2.0), Oid::new(FileId(7), i as u32, 0)))
             .collect()
     }
 
@@ -190,8 +198,10 @@ mod tests {
         assert!(ta.height() > tb.height());
         assert_eq!(run_join(&ta, &tb, &pool), brute(&da, &db));
         // And symmetric.
-        let got: Vec<(Oid, Oid)> =
-            run_join(&tb, &ta, &pool).into_iter().map(|(x, y)| (y, x)).collect();
+        let got: Vec<(Oid, Oid)> = run_join(&tb, &ta, &pool)
+            .into_iter()
+            .map(|(x, y)| (y, x))
+            .collect();
         let mut got = got;
         got.sort_unstable();
         assert_eq!(got, brute(&da, &db));

@@ -48,9 +48,18 @@ impl RTree {
     pub fn create(pool: &BufferPool, capacity: usize) -> StorageResult<Self> {
         assert!(capacity >= 4, "R*-tree capacity must be at least 4");
         let file = pool.disk_mut().create_file();
-        let root_node = Node { is_leaf: true, entries: Vec::new() };
+        let root_node = Node {
+            is_leaf: true,
+            entries: Vec::new(),
+        };
         let root = node::append_node(pool, file, &root_node)?;
-        Ok(RTree { file, root, height: 1, capacity, entries: 0 })
+        Ok(RTree {
+            file,
+            root,
+            height: 1,
+            capacity,
+            entries: 0,
+        })
     }
 
     /// Re-opens a tree from catalog metadata (capacity is layout-implied,
@@ -67,7 +76,12 @@ impl RTree {
 
     /// Catalog metadata for this tree.
     pub fn meta(&self) -> IndexMeta {
-        IndexMeta { file: self.file, root: self.root, height: self.height, entries: self.entries }
+        IndexMeta {
+            file: self.file,
+            root: self.root,
+            height: self.height,
+            entries: self.entries,
+        }
     }
 
     /// The file holding the tree's pages.

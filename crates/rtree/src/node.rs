@@ -36,12 +36,18 @@ pub struct Entry {
 impl Entry {
     /// Leaf entry pointing at a tuple.
     pub fn leaf(rect: Rect, oid: pbsm_storage::Oid) -> Self {
-        Entry { rect, child: oid.raw() }
+        Entry {
+            rect,
+            child: oid.raw(),
+        }
     }
 
     /// Internal entry pointing at a child node page.
     pub fn internal(rect: Rect, page_no: u32) -> Self {
-        Entry { rect, child: page_no as u64 }
+        Entry {
+            rect,
+            child: page_no as u64,
+        }
     }
 
     /// Child page number (internal nodes only).
@@ -65,7 +71,9 @@ pub struct Node {
 impl Node {
     /// Union of all entry rectangles.
     pub fn mbr(&self) -> Rect {
-        self.entries.iter().fold(Rect::empty(), |acc, e| acc.union(&e.rect))
+        self.entries
+            .iter()
+            .fold(Rect::empty(), |acc, e| acc.union(&e.rect))
     }
 }
 
@@ -76,12 +84,21 @@ pub fn read_node(pool: &BufferPool, pid: PageId) -> StorageResult<Node> {
         return Err(StorageError::Corrupt("expected index page"));
     }
     let is_leaf = page[1] == 1;
+    pbsm_obs::cached_counter!("rtree.node.reads").incr();
+    if is_leaf {
+        pbsm_obs::cached_counter!("rtree.leaf.reads").incr();
+    }
     let count = u16::from_le_bytes([page[2], page[3]]) as usize;
     let mut entries = Vec::with_capacity(count);
     for i in 0..count {
         let at = HEADER + i * ENTRY_SIZE;
         let f = |o: usize| f64::from_le_bytes(page[at + o..at + o + 8].try_into().unwrap());
-        let rect = Rect { xl: f(0), yl: f(8), xu: f(16), yu: f(24) };
+        let rect = Rect {
+            xl: f(0),
+            yl: f(8),
+            xu: f(16),
+            yu: f(24),
+        };
         let child = u64::from_le_bytes(page[at + 32..at + 40].try_into().unwrap());
         entries.push(Entry { rect, child });
     }
@@ -152,9 +169,13 @@ mod tests {
     fn overwrite_node() {
         let pool = pool();
         let file = pool.disk_mut().create_file();
-        let mut node = Node { is_leaf: false, entries: Vec::new() };
+        let mut node = Node {
+            is_leaf: false,
+            entries: Vec::new(),
+        };
         let pid = append_node(&pool, file, &node).unwrap();
-        node.entries.push(Entry::internal(Rect::new(0.0, 0.0, 2.0, 2.0), 17));
+        node.entries
+            .push(Entry::internal(Rect::new(0.0, 0.0, 2.0, 2.0), 17));
         write_node(&pool, pid, &node).unwrap();
         let back = read_node(&pool, pid).unwrap();
         assert!(!back.is_leaf);
@@ -168,9 +189,15 @@ mod tests {
         let entries: Vec<Entry> = (0..DEFAULT_CAPACITY)
             .map(|i| Entry::internal(Rect::new(i as f64, 0.0, i as f64 + 1.0, 1.0), i as u32))
             .collect();
-        let node = Node { is_leaf: false, entries };
+        let node = Node {
+            is_leaf: false,
+            entries,
+        };
         let pid = append_node(&pool, file, &node).unwrap();
-        assert_eq!(read_node(&pool, pid).unwrap().entries.len(), DEFAULT_CAPACITY);
+        assert_eq!(
+            read_node(&pool, pid).unwrap().entries.len(),
+            DEFAULT_CAPACITY
+        );
     }
 
     #[test]
@@ -183,7 +210,12 @@ mod tests {
             ],
         };
         assert_eq!(node.mbr(), Rect::new(0.0, -1.0, 4.0, 1.0));
-        assert!(Node { is_leaf: true, entries: vec![] }.mbr().is_empty());
+        assert!(Node {
+            is_leaf: true,
+            entries: vec![]
+        }
+        .mbr()
+        .is_empty());
     }
 
     #[test]

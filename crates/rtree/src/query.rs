@@ -21,7 +21,12 @@ const HEADER: usize = 8;
 fn entry_rect(page: &[u8; PAGE_SIZE], i: usize) -> Rect {
     let at = HEADER + i * ENTRY_SIZE;
     let f = |o: usize| f64::from_le_bytes(page[at + o..at + o + 8].try_into().unwrap());
-    Rect { xl: f(0), yl: f(8), xu: f(16), yu: f(24) }
+    Rect {
+        xl: f(0),
+        yl: f(8),
+        xu: f(16),
+        yu: f(24),
+    }
 }
 
 #[inline]
@@ -72,7 +77,13 @@ fn descend(
     };
     if !is_leaf {
         for child in children {
-            descend(tree, pool, PageId::new(tree.file_id(), child as u32), window, out)?;
+            descend(
+                tree,
+                pool,
+                PageId::new(tree.file_id(), child as u32),
+                window,
+                out,
+            )?;
         }
     }
     Ok(())
@@ -112,10 +123,14 @@ mod tests {
     fn disjoint_window_returns_nothing() {
         let pool = BufferPool::new(32 * PAGE_SIZE, SimDisk::new(DiskModel::default()));
         let entries: Vec<(Rect, Oid)> = (0..100u32)
-            .map(|i| (Rect::new(i as f64, 0.0, i as f64 + 0.4, 1.0), Oid::new(FileId(3), i, 0)))
+            .map(|i| {
+                (
+                    Rect::new(i as f64, 0.0, i as f64 + 0.4, 1.0),
+                    Oid::new(FileId(3), i, 0),
+                )
+            })
             .collect();
-        let tree =
-            bulk_load(&pool, entries, &Rect::new(0.0, 0.0, 100.0, 1.0), 16, false).unwrap();
+        let tree = bulk_load(&pool, entries, &Rect::new(0.0, 0.0, 100.0, 1.0), 16, false).unwrap();
         let mut out = Vec::new();
         window_query(&tree, &pool, &Rect::new(0.0, 5.0, 100.0, 6.0), &mut out).unwrap();
         assert!(out.is_empty());
@@ -126,13 +141,7 @@ mod tests {
         // The fast path must return exactly what a read_node-based scan
         // would.
         use crate::node::read_node;
-        fn slow(
-            tree: &RTree,
-            pool: &BufferPool,
-            pid: PageId,
-            window: &Rect,
-            out: &mut Vec<Oid>,
-        ) {
+        fn slow(tree: &RTree, pool: &BufferPool, pid: PageId, window: &Rect, out: &mut Vec<Oid>) {
             let node = read_node(pool, pid).unwrap();
             for e in &node.entries {
                 if e.rect.intersects(window) {
@@ -145,24 +154,14 @@ mod tests {
             }
         }
         let pool = BufferPool::new(64 * PAGE_SIZE, SimDisk::new(DiskModel::default()));
-        let mut state = 5u64;
-        let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
-        };
+        let mut rng = pbsm_geom::lcg::Lcg::new(5);
         let entries: Vec<(Rect, Oid)> = (0..3000u32)
-            .map(|i| {
-                let x = rnd() * 100.0;
-                let y = rnd() * 100.0;
-                (Rect::new(x, y, x + rnd(), y + rnd()), Oid::new(FileId(3), i, 0))
-            })
+            .map(|i| (rng.rect(100.0, 1.0), Oid::new(FileId(3), i, 0)))
             .collect();
         let universe = Rect::new(0.0, 0.0, 102.0, 102.0);
         let tree = bulk_load(&pool, entries, &universe, 16, false).unwrap();
         for _ in 0..30 {
-            let x = rnd() * 90.0;
-            let y = rnd() * 90.0;
-            let w = Rect::new(x, y, x + rnd() * 10.0, y + rnd() * 10.0);
+            let w = rng.rect(90.0, 10.0);
             let mut fast = Vec::new();
             window_query(&tree, &pool, &w, &mut fast).unwrap();
             let mut want = Vec::new();

@@ -9,7 +9,9 @@ use crate::node::Entry;
 use pbsm_geom::Rect;
 
 fn mbr_of(entries: &[Entry]) -> Rect {
-    entries.iter().fold(Rect::empty(), |acc, e| acc.union(&e.rect))
+    entries
+        .iter()
+        .fold(Rect::empty(), |acc, e| acc.union(&e.rect))
 }
 
 /// All candidate distributions along one axis, per the R\* recipe: sort by
@@ -48,7 +50,12 @@ fn sort_axis(entries: &mut [Entry], by_x: bool, by_upper: bool) {
 /// `min_fill` is the R\* `m` (40 % of capacity). Returns the two groups;
 /// both have at least `min_fill` entries.
 pub fn rstar_split(mut entries: Vec<Entry>, min_fill: usize) -> (Vec<Entry>, Vec<Entry>) {
-    assert!(entries.len() >= 2 * min_fill, "cannot split {} entries", entries.len());
+    assert!(
+        entries.len() >= 2 * min_fill,
+        "cannot split {} entries",
+        entries.len()
+    );
+    pbsm_obs::cached_counter!("rtree.splits").incr();
 
     // ChooseSplitAxis: minimize total margin.
     let margin_x = axis_margin(&mut entries, min_fill, true);
@@ -67,9 +74,7 @@ pub fn rstar_split(mut entries: Vec<Entry>, min_fill: usize) -> (Vec<Entry>, Vec
             let area = g1.area() + g2.area();
             let better = match best {
                 None => true,
-                Some((bo, ba, _, _)) => {
-                    overlap < bo || (overlap == bo && area < ba)
-                }
+                Some((bo, ba, _, _)) => overlap < bo || (overlap == bo && area < ba),
             };
             if better {
                 best = Some((overlap, area, k, by_upper));
@@ -87,13 +92,17 @@ mod tests {
     use super::*;
 
     fn e(xl: f64, yl: f64, xu: f64, yu: f64) -> Entry {
-        Entry { rect: Rect::new(xl, yl, xu, yu), child: 0 }
+        Entry {
+            rect: Rect::new(xl, yl, xu, yu),
+            child: 0,
+        }
     }
 
     #[test]
     fn split_respects_min_fill() {
-        let entries: Vec<Entry> =
-            (0..10).map(|i| e(i as f64, 0.0, i as f64 + 0.5, 1.0)).collect();
+        let entries: Vec<Entry> = (0..10)
+            .map(|i| e(i as f64, 0.0, i as f64 + 0.5, 1.0))
+            .collect();
         let (g1, g2) = rstar_split(entries, 4);
         assert!(g1.len() >= 4 && g2.len() >= 4);
         assert_eq!(g1.len() + g2.len(), 10);
@@ -107,7 +116,12 @@ mod tests {
             entries.push(e(i as f64 * 0.1, 0.0, i as f64 * 0.1 + 0.05, 1.0));
         }
         for i in 0..5 {
-            entries.push(e(100.0 + i as f64 * 0.1, 0.0, 100.0 + i as f64 * 0.1 + 0.05, 1.0));
+            entries.push(e(
+                100.0 + i as f64 * 0.1,
+                0.0,
+                100.0 + i as f64 * 0.1 + 0.05,
+                1.0,
+            ));
         }
         let (g1, g2) = rstar_split(entries, 4);
         let m1 = mbr_of(&g1);
@@ -120,7 +134,12 @@ mod tests {
         let mut entries = Vec::new();
         for i in 0..6 {
             entries.push(e(0.0, i as f64 * 0.1, 1.0, i as f64 * 0.1 + 0.05));
-            entries.push(e(0.0, 50.0 + i as f64 * 0.1, 1.0, 50.0 + i as f64 * 0.1 + 0.05));
+            entries.push(e(
+                0.0,
+                50.0 + i as f64 * 0.1,
+                1.0,
+                50.0 + i as f64 * 0.1 + 0.05,
+            ));
         }
         let (g1, g2) = rstar_split(entries, 5);
         assert_eq!(mbr_of(&g1).overlap_area(&mbr_of(&g2)), 0.0);
@@ -132,7 +151,10 @@ mod tests {
             .map(|i| {
                 let x = (i as f64 * 7.3) % 13.0;
                 let y = (i as f64 * 3.1) % 11.0;
-                Entry { rect: Rect::new(x, y, x + 1.0, y + 1.0), child: i }
+                Entry {
+                    rect: Rect::new(x, y, x + 1.0, y + 1.0),
+                    child: i,
+                }
             })
             .collect();
         let ids: Vec<u64> = entries.iter().map(|e| e.child).collect();

@@ -24,9 +24,11 @@
 use crate::disk::{DiskStats, SimDisk};
 use crate::error::{StorageError, StorageResult};
 use crate::page::{zeroed_page, FileId, PageBuf, PageId, PAGE_SIZE};
+use pbsm_obs as obs;
 use std::cell::{Cell, Ref, RefCell, RefMut};
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
+use std::rc::Rc;
 
 /// Buffer-pool hit/miss counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -53,12 +55,66 @@ struct FrameMeta {
     referenced: bool,
 }
 
+/// Observability mirrors of [`PoolStats`] (`storage.pool.*`).
+///
+/// The pin path is the hottest loop in the system — one hit per page
+/// touch — so the mirrors are *deferred*: each event is a plain `Cell`
+/// add here, and [`obs::FlushMetrics`] drains the cells into the shared
+/// registry at every span boundary and read point. Span deltas come out
+/// identical to eager counting.
+struct PoolCounters {
+    pending_hits: Cell<u64>,
+    pending_misses: Cell<u64>,
+    pending_evictions: Cell<u64>,
+    pending_writebacks: Cell<u64>,
+    hits: obs::Counter,
+    misses: obs::Counter,
+    evictions: obs::Counter,
+    writebacks: obs::Counter,
+}
+
+impl PoolCounters {
+    fn new() -> Rc<Self> {
+        let counters = Rc::new(PoolCounters {
+            pending_hits: Cell::new(0),
+            pending_misses: Cell::new(0),
+            pending_evictions: Cell::new(0),
+            pending_writebacks: Cell::new(0),
+            hits: obs::counter("storage.pool.hits"),
+            misses: obs::counter("storage.pool.misses"),
+            evictions: obs::counter("storage.pool.evictions"),
+            writebacks: obs::counter("storage.pool.writebacks"),
+        });
+        let weak = Rc::downgrade(&counters);
+        let weak: std::rc::Weak<dyn obs::FlushMetrics> = weak;
+        obs::register_flusher(weak);
+        counters
+    }
+}
+
+impl obs::FlushMetrics for PoolCounters {
+    fn flush_metrics(&self) {
+        for (pending, counter) in [
+            (&self.pending_hits, self.hits),
+            (&self.pending_misses, self.misses),
+            (&self.pending_evictions, self.evictions),
+            (&self.pending_writebacks, self.writebacks),
+        ] {
+            let n = pending.take();
+            if n > 0 {
+                counter.add(n);
+            }
+        }
+    }
+}
+
 struct State {
     map: HashMap<PageId, usize>,
     meta: Vec<FrameMeta>,
     free: Vec<usize>,
     hand: usize,
     stats: PoolStats,
+    counters: Rc<PoolCounters>,
 }
 
 /// The buffer pool. Owns the simulated disk: all page I/O flows through
@@ -75,8 +131,23 @@ impl BufferPool {
     /// `disk`.
     pub fn new(bytes: usize, disk: SimDisk) -> Self {
         let nframes = (bytes / PAGE_SIZE).max(8);
-        let frames = (0..nframes).map(|_| RefCell::new(Frame { data: zeroed_page() })).collect();
-        let meta = vec![FrameMeta { page: None, dirty: false, pin: 0, referenced: false }; nframes];
+        let frames = (0..nframes)
+            .map(|_| {
+                RefCell::new(Frame {
+                    data: zeroed_page(),
+                })
+            })
+            .collect();
+        let meta = vec![
+            FrameMeta {
+                page: None,
+                dirty: false,
+                pin: 0,
+                referenced: false
+            };
+            nframes
+        ];
+        obs::gauge("storage.pool.frames").set(nframes as u64);
         BufferPool {
             frames,
             state: RefCell::new(State {
@@ -85,6 +156,7 @@ impl BufferPool {
                 free: (0..nframes).rev().collect(),
                 hand: 0,
                 stats: PoolStats::default(),
+                counters: PoolCounters::new(),
             }),
             disk: RefCell::new(disk),
             sorted_flush: Cell::new(true),
@@ -147,6 +219,7 @@ impl BufferPool {
         }
         let victim = victim.ok_or(StorageError::BufferPoolFull)?;
         st.stats.evictions += 1;
+        obs::bump(&st.counters.pending_evictions);
         if st.meta[victim].dirty {
             self.flush_dirty(st, victim)?;
         }
@@ -179,6 +252,7 @@ impl BufferPool {
             disk.write_page(pid, &frame.data)?;
             st.meta[idx].dirty = false;
             st.stats.writebacks += 1;
+            obs::bump(&st.counters.pending_writebacks);
         }
         Ok(())
     }
@@ -189,12 +263,14 @@ impl BufferPool {
         let mut st = self.state.borrow_mut();
         if let Some(&idx) = st.map.get(&pid) {
             st.stats.hits += 1;
+            obs::bump(&st.counters.pending_hits);
             let m = &mut st.meta[idx];
             m.pin += 1;
             m.referenced = true;
             return Ok(idx);
         }
         st.stats.misses += 1;
+        obs::bump(&st.counters.pending_misses);
         let idx = self.evict_victim(&mut st)?;
         {
             let mut frame = self.frames[idx].borrow_mut();
@@ -205,22 +281,34 @@ impl BufferPool {
             }
         }
         st.map.insert(pid, idx);
-        st.meta[idx] =
-            FrameMeta { page: Some(pid), dirty: !read_from_disk, pin: 1, referenced: true };
+        st.meta[idx] = FrameMeta {
+            page: Some(pid),
+            dirty: !read_from_disk,
+            pin: 1,
+            referenced: true,
+        };
         Ok(idx)
     }
 
     /// Pins `pid` for reading.
     pub fn get(&self, pid: PageId) -> StorageResult<PageRef<'_>> {
         let idx = self.pin_frame(pid, true)?;
-        Ok(PageRef { pool: self, idx, frame: self.frames[idx].borrow() })
+        Ok(PageRef {
+            pool: self,
+            idx,
+            frame: self.frames[idx].borrow(),
+        })
     }
 
     /// Pins `pid` for writing; the page is marked dirty.
     pub fn get_mut(&self, pid: PageId) -> StorageResult<PageMut<'_>> {
         let idx = self.pin_frame(pid, true)?;
         self.state.borrow_mut().meta[idx].dirty = true;
-        Ok(PageMut { pool: self, idx, frame: self.frames[idx].borrow_mut() })
+        Ok(PageMut {
+            pool: self,
+            idx,
+            frame: self.frames[idx].borrow_mut(),
+        })
     }
 
     /// Allocates a fresh page in `file` and pins it for writing without a
@@ -230,7 +318,14 @@ impl BufferPool {
         let pid = self.disk.borrow_mut().allocate_page(file)?;
         let idx = self.pin_frame(pid, false)?;
         self.state.borrow_mut().meta[idx].dirty = true;
-        Ok((pid, PageMut { pool: self, idx, frame: self.frames[idx].borrow_mut() }))
+        Ok((
+            pid,
+            PageMut {
+                pool: self,
+                idx,
+                frame: self.frames[idx].borrow_mut(),
+            },
+        ))
     }
 
     /// Writes every dirty page back to disk in sorted order.
@@ -252,6 +347,7 @@ impl BufferPool {
             disk.write_page(pid, &frame.data)?;
             st.meta[idx].dirty = false;
             st.stats.writebacks += 1;
+            obs::bump(&st.counters.pending_writebacks);
         }
         Ok(())
     }
@@ -266,7 +362,12 @@ impl BufferPool {
         let entries: Vec<(PageId, usize)> = st.map.drain().collect();
         for (pid, idx) in entries {
             assert_eq!(st.meta[idx].pin, 0, "clear_cache with pinned page {pid:?}");
-            st.meta[idx] = FrameMeta { page: None, dirty: false, pin: 0, referenced: false };
+            st.meta[idx] = FrameMeta {
+                page: None,
+                dirty: false,
+                pin: 0,
+                referenced: false,
+            };
             st.free.push(idx);
         }
         Ok(())
@@ -276,12 +377,21 @@ impl BufferPool {
     /// it on disk. Panics if any of its pages are pinned.
     pub fn drop_file(&self, file: FileId) {
         let mut st = self.state.borrow_mut();
-        let doomed: Vec<(PageId, usize)> =
-            st.map.iter().filter(|(pid, _)| pid.file == file).map(|(p, i)| (*p, *i)).collect();
+        let doomed: Vec<(PageId, usize)> = st
+            .map
+            .iter()
+            .filter(|(pid, _)| pid.file == file)
+            .map(|(p, i)| (*p, *i))
+            .collect();
         for (pid, idx) in doomed {
             assert_eq!(st.meta[idx].pin, 0, "drop_file with pinned page {pid:?}");
             st.map.remove(&pid);
-            st.meta[idx] = FrameMeta { page: None, dirty: false, pin: 0, referenced: false };
+            st.meta[idx] = FrameMeta {
+                page: None,
+                dirty: false,
+                pin: 0,
+                referenced: false,
+            };
             st.free.push(idx);
         }
         self.disk.borrow_mut().drop_file(file);
@@ -465,7 +575,11 @@ mod tests {
         assert_eq!(pool.disk_stats().writes, 1);
         let misses_before = pool.stats().misses;
         let _ = pool.get(pid).unwrap();
-        assert_eq!(pool.stats().misses, misses_before + 1, "cache should be cold");
+        assert_eq!(
+            pool.stats().misses,
+            misses_before + 1,
+            "cache should be cold"
+        );
     }
 
     #[test]

@@ -64,7 +64,9 @@ impl Catalog {
 
     /// Looks up a relation.
     pub fn relation(&self, name: &str) -> StorageResult<&RelationMeta> {
-        self.relations.get(name).ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+        self.relations
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
     }
 
     /// Registers an index on `relation`.

@@ -29,7 +29,10 @@ impl Default for DbConfig {
 impl DbConfig {
     /// Convenience constructor with the pool size in megabytes.
     pub fn with_pool_mb(mb: usize) -> Self {
-        DbConfig { buffer_pool_bytes: mb * 1024 * 1024, ..DbConfig::default() }
+        DbConfig {
+            buffer_pool_bytes: mb * 1024 * 1024,
+            ..DbConfig::default()
+        }
     }
 }
 
@@ -48,7 +51,11 @@ impl Db {
         let disk = SimDisk::new(config.disk);
         let pool = BufferPool::new(config.buffer_pool_bytes, disk);
         pool.set_sorted_flush(config.sorted_flush);
-        Db { pool, catalog: RefCell::new(Catalog::new()), config }
+        Db {
+            pool,
+            catalog: RefCell::new(Catalog::new()),
+            config,
+        }
     }
 
     /// The buffer pool (and through it, the disk).
@@ -85,7 +92,10 @@ mod tests {
     #[test]
     fn db_wires_pool_and_catalog() {
         let db = Db::new(DbConfig::with_pool_mb(2));
-        assert_eq!(db.pool().num_frames(), 2 * 1024 * 1024 / crate::page::PAGE_SIZE);
+        assert_eq!(
+            db.pool().num_frames(),
+            2 * 1024 * 1024 / crate::page::PAGE_SIZE
+        );
         let heap = HeapFile::create(db.pool());
         let oid = heap.insert(db.pool(), b"hello").unwrap();
         let mut buf = Vec::new();
@@ -96,7 +106,10 @@ mod tests {
 
     #[test]
     fn sorted_flush_config_respected() {
-        let cfg = DbConfig { sorted_flush: false, ..DbConfig::with_pool_mb(2) };
+        let cfg = DbConfig {
+            sorted_flush: false,
+            ..DbConfig::with_pool_mb(2)
+        };
         let db = Db::new(cfg);
         assert!(!db.config().sorted_flush);
     }

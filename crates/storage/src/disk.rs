@@ -9,6 +9,9 @@
 
 use crate::error::{StorageError, StorageResult};
 use crate::page::{zeroed_page, FileId, PageBuf, PageId, PAGE_SIZE};
+use pbsm_obs as obs;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
 
 /// Disk timing parameters.
 ///
@@ -24,7 +27,10 @@ pub struct DiskModel {
 
 impl Default for DiskModel {
     fn default() -> Self {
-        DiskModel { seek_ms: 11.0, transfer_mb_per_s: 4.5 }
+        DiskModel {
+            seek_ms: 11.0,
+            transfer_mb_per_s: 4.5,
+        }
     }
 }
 
@@ -73,11 +79,87 @@ impl DiskStats {
     }
 }
 
+/// Per-file observability counters (`storage.disk.file.<id>.*`), interned
+/// once at file creation. Deferred like the pool counters: the I/O path
+/// bumps plain `Cell`s and [`DiskCounters`] drains them at every
+/// `pbsm_obs` synchronization point.
+struct FileCounters {
+    pending_reads: Cell<u64>,
+    pending_writes: Cell<u64>,
+    pending_seeks: Cell<u64>,
+    reads: obs::Counter,
+    writes: obs::Counter,
+    seeks: obs::Counter,
+}
+
+impl FileCounters {
+    fn new(id: FileId) -> Self {
+        let name = |kind: &str| format!("storage.disk.file.{}.{kind}", id.0);
+        FileCounters {
+            pending_reads: Cell::new(0),
+            pending_writes: Cell::new(0),
+            pending_seeks: Cell::new(0),
+            reads: obs::counter(&name("reads")),
+            writes: obs::counter(&name("writes")),
+            seeks: obs::counter(&name("seeks")),
+        }
+    }
+
+    fn flush(&self) {
+        for (pending, counter) in [
+            (&self.pending_reads, self.reads),
+            (&self.pending_writes, self.writes),
+            (&self.pending_seeks, self.seeks),
+        ] {
+            let n = pending.take();
+            if n > 0 {
+                counter.add(n);
+            }
+        }
+    }
+}
+
 struct FileData {
     pages: Vec<PageBuf>,
     /// Freed files keep their slot (FileIds are never reused) but drop
     /// their pages.
     dropped: bool,
+    counters: Rc<FileCounters>,
+}
+
+/// Disk-wide observability counters. `io_ns` mirrors `DiskStats::io_ms`
+/// as integer nanoseconds so span deltas stay exact. One registered
+/// [`obs::FlushMetrics`] source per disk drains both the disk-wide and
+/// the per-file pending cells.
+struct DiskCounters {
+    pending_reads: Cell<u64>,
+    pending_writes: Cell<u64>,
+    pending_seeks: Cell<u64>,
+    pending_io_ns: Cell<u64>,
+    reads: obs::Counter,
+    writes: obs::Counter,
+    seeks: obs::Counter,
+    io_ns: obs::Counter,
+    files: RefCell<Vec<Rc<FileCounters>>>,
+}
+
+impl obs::FlushMetrics for DiskCounters {
+    fn flush_metrics(&self) {
+        for (pending, counter) in [
+            (&self.pending_reads, self.reads),
+            (&self.pending_writes, self.writes),
+            (&self.pending_seeks, self.seeks),
+            (&self.pending_io_ns, self.io_ns),
+        ] {
+            let n = pending.take();
+            if n > 0 {
+                counter.add(n);
+            }
+        }
+        for f in self.files.borrow().iter() {
+            f.flush();
+        }
+    }
 }
 
 /// The simulated disk: an array of files, each an array of pages, plus the
@@ -88,18 +170,53 @@ pub struct SimDisk {
     stats: DiskStats,
     /// Last physical position touched, for sequentiality detection.
     last_pos: Option<PageId>,
+    counters: Rc<DiskCounters>,
+    /// Modeled seek / page-transfer costs in integer nanoseconds, for the
+    /// `storage.disk.io_ns` counter.
+    seek_ns: u64,
+    transfer_ns: u64,
 }
 
 impl SimDisk {
     /// Creates an empty disk with the given timing model.
     pub fn new(model: DiskModel) -> Self {
-        SimDisk { files: Vec::new(), model, stats: DiskStats::default(), last_pos: None }
+        SimDisk {
+            files: Vec::new(),
+            model,
+            stats: DiskStats::default(),
+            last_pos: None,
+            counters: {
+                let counters = Rc::new(DiskCounters {
+                    pending_reads: Cell::new(0),
+                    pending_writes: Cell::new(0),
+                    pending_seeks: Cell::new(0),
+                    pending_io_ns: Cell::new(0),
+                    reads: obs::counter("storage.disk.reads"),
+                    writes: obs::counter("storage.disk.writes"),
+                    seeks: obs::counter("storage.disk.seeks"),
+                    io_ns: obs::counter("storage.disk.io_ns"),
+                    files: RefCell::new(Vec::new()),
+                });
+                let weak = Rc::downgrade(&counters);
+                let weak: std::rc::Weak<dyn obs::FlushMetrics> = weak;
+                obs::register_flusher(weak);
+                counters
+            },
+            seek_ns: (model.seek_ms * 1e6) as u64,
+            transfer_ns: (model.page_transfer_ms() * 1e6) as u64,
+        }
     }
 
     /// Creates a new empty file and returns its id.
     pub fn create_file(&mut self) -> FileId {
         let id = FileId(self.files.len() as u32);
-        self.files.push(FileData { pages: Vec::new(), dropped: false });
+        let counters = Rc::new(FileCounters::new(id));
+        self.counters.files.borrow_mut().push(Rc::clone(&counters));
+        self.files.push(FileData {
+            pages: Vec::new(),
+            dropped: false,
+            counters,
+        });
         id
     }
 
@@ -114,7 +231,9 @@ impl SimDisk {
 
     /// Number of allocated pages in `file`.
     pub fn num_pages(&self, file: FileId) -> u32 {
-        self.files.get(file.0 as usize).map_or(0, |f| f.pages.len() as u32)
+        self.files
+            .get(file.0 as usize)
+            .map_or(0, |f| f.pages.len() as u32)
     }
 
     /// Appends a zeroed page to `file` and returns its id. Allocation
@@ -131,19 +250,30 @@ impl SimDisk {
 
     #[inline]
     fn account(&mut self, pid: PageId, is_write: bool) {
+        let file = Rc::clone(&self.files[pid.file.0 as usize].counters);
         let sequential = match self.last_pos {
             Some(last) => last.file == pid.file && pid.page_no == last.page_no.wrapping_add(1),
             None => false,
         };
+        let mut io_ns = self.transfer_ns;
         if !sequential {
             self.stats.seeks += 1;
             self.stats.io_ms += self.model.seek_ms;
+            io_ns += self.seek_ns;
+            obs::bump(&self.counters.pending_seeks);
+            obs::bump(&file.pending_seeks);
         }
         self.stats.io_ms += self.model.page_transfer_ms();
+        let pending_ns = &self.counters.pending_io_ns;
+        pending_ns.set(pending_ns.get() + io_ns);
         if is_write {
             self.stats.writes += 1;
+            obs::bump(&self.counters.pending_writes);
+            obs::bump(&file.pending_writes);
         } else {
             self.stats.reads += 1;
+            obs::bump(&self.counters.pending_reads);
+            obs::bump(&file.pending_reads);
         }
         self.last_pos = Some(pid);
     }
@@ -155,7 +285,10 @@ impl SimDisk {
             .get(pid.file.0 as usize)
             .filter(|f| !f.dropped)
             .ok_or(StorageError::InvalidPage(pid))?;
-        let page = f.pages.get(pid.page_no as usize).ok_or(StorageError::InvalidPage(pid))?;
+        let page = f
+            .pages
+            .get(pid.page_no as usize)
+            .ok_or(StorageError::InvalidPage(pid))?;
         buf.copy_from_slice(&page[..]);
         self.account(pid, false);
         Ok(())
@@ -168,7 +301,10 @@ impl SimDisk {
             .get_mut(pid.file.0 as usize)
             .filter(|f| !f.dropped)
             .ok_or(StorageError::InvalidPage(pid))?;
-        let page = f.pages.get_mut(pid.page_no as usize).ok_or(StorageError::InvalidPage(pid))?;
+        let page = f
+            .pages
+            .get_mut(pid.page_no as usize)
+            .ok_or(StorageError::InvalidPage(pid))?;
         page.copy_from_slice(buf);
         self.account(pid, true);
         Ok(())
@@ -243,7 +379,10 @@ mod tests {
 
     #[test]
     fn model_time_accumulates() {
-        let model = DiskModel { seek_ms: 10.0, transfer_mb_per_s: 8.0 };
+        let model = DiskModel {
+            seek_ms: 10.0,
+            transfer_mb_per_s: 8.0,
+        };
         let mut d = SimDisk::new(model);
         let f = d.create_file();
         let p = d.allocate_page(f).unwrap();

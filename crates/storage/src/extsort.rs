@@ -25,6 +25,7 @@ pub fn external_sort(
     cmp: impl Fn(&[u8], &[u8]) -> Ordering + Copy,
     dedup: bool,
 ) -> StorageResult<RecordFile> {
+    let _span = pbsm_obs::span("external sort");
     let rec_size = input.rec_size();
     let per_run = (work_mem / rec_size).max(1);
 
@@ -51,6 +52,7 @@ pub fn external_sort(
             }
         }
     }
+    pbsm_obs::cached_counter!("storage.extsort.runs").add(runs.len() as u64);
 
     // Phase 2: k-way merge (or pass-through).
     match runs.len() {
@@ -61,6 +63,7 @@ pub fn external_sort(
         }
         1 if !dedup => Ok(runs.pop().unwrap()),
         _ => {
+            pbsm_obs::cached_counter!("storage.extsort.merge_passes").incr();
             let out = merge_runs(pool, &runs, rec_size, cmp, dedup)?;
             for run in runs {
                 run.destroy(pool);
@@ -132,7 +135,11 @@ fn merge_runs(
     let mut heap: BinaryHeap<Head<'_, _>> = BinaryHeap::with_capacity(runs.len());
     for (i, r) in readers.iter_mut().enumerate() {
         if let Some(rec) = r.next_record()? {
-            heap.push(Head { rec: rec.to_vec(), run: i, cmp: &cmp });
+            heap.push(Head {
+                rec: rec.to_vec(),
+                run: i,
+                cmp: &cmp,
+            });
         }
     }
     let mut last: Option<Vec<u8>> = None;
@@ -146,7 +153,11 @@ fn merge_runs(
             last = Some(head.rec.clone());
         }
         if let Some(rec) = readers[head.run].next_record()? {
-            heap.push(Head { rec: rec.to_vec(), run: head.run, cmp: &cmp });
+            heap.push(Head {
+                rec: rec.to_vec(),
+                run: head.run,
+                cmp: &cmp,
+            });
         }
     }
     w.finish()?;
@@ -193,7 +204,9 @@ mod tests {
         let pool = pool(32);
         // Pseudo-random keys; work_mem of 256 bytes → 32 records per run →
         // hundreds of runs.
-        let keys: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let keys: Vec<u64> = (0..10_000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
         let input = fill(&pool, &keys);
         let sorted = external_sort(&pool, &input, 256, u64_cmp, false).unwrap();
         let got = read_keys(&pool, &sorted);

@@ -39,13 +39,21 @@ impl HeapFile {
     /// Creates a new, empty heap file on the pool's disk.
     pub fn create(pool: &BufferPool) -> Self {
         let file = pool.disk_mut().create_file();
-        HeapFile { file, last_data_page: Cell::new(None), count: Cell::new(0) }
+        HeapFile {
+            file,
+            last_data_page: Cell::new(None),
+            count: Cell::new(0),
+        }
     }
 
     /// Re-opens a heap file by id (e.g. from catalog metadata). Appends
     /// will start a fresh page; `count` reflects only subsequent inserts.
     pub fn open(file: FileId) -> Self {
-        HeapFile { file, last_data_page: Cell::new(None), count: Cell::new(0) }
+        HeapFile {
+            file,
+            last_data_page: Cell::new(None),
+            count: Cell::new(0),
+        }
     }
 
     /// Underlying file id.
@@ -117,7 +125,11 @@ impl HeapFile {
             let mut page = pool.get_mut(pids[i])?;
             PageType::Overflow.set(&mut page);
             page[2..4].copy_from_slice(&(chunk.len() as u16).to_le_bytes());
-            let next = if i + 1 < nchunks { pids[i + 1].page_no } else { NO_NEXT };
+            let next = if i + 1 < nchunks {
+                pids[i + 1].page_no
+            } else {
+                NO_NEXT
+            };
             page[4..8].copy_from_slice(&next.to_le_bytes());
             page[OVF_HEADER..OVF_HEADER + chunk.len()].copy_from_slice(chunk);
         }
@@ -173,7 +185,12 @@ impl HeapFile {
     /// order; overflow pages are skipped (their records are reached via
     /// their stubs).
     pub fn scan<'a>(&'a self, pool: &'a BufferPool) -> Scan<'a> {
-        Scan { heap: self, pool, page_no: 0, slot: 0 }
+        Scan {
+            heap: self,
+            pool,
+            page_no: 0,
+            slot: 0,
+        }
     }
 }
 
@@ -212,7 +229,11 @@ impl Iterator for Scan<'_> {
                     let oid = Oid::new(self.heap.file, self.page_no, slot);
                     drop(page);
                     let mut buf = Vec::new();
-                    return Some(self.heap.fetch(self.pool, oid, &mut buf).map(|()| (oid, buf)));
+                    return Some(
+                        self.heap
+                            .fetch(self.pool, oid, &mut buf)
+                            .map(|()| (oid, buf)),
+                    );
                 }
             }
             self.page_no += 1;
@@ -249,7 +270,9 @@ mod tests {
         let pool = pool(16);
         let heap = HeapFile::create(&pool);
         // 3 overflow pages worth of data with a recognizable pattern.
-        let data: Vec<u8> = (0..(OVF_CAPACITY * 2 + 1234)).map(|i| (i % 251) as u8).collect();
+        let data: Vec<u8> = (0..(OVF_CAPACITY * 2 + 1234))
+            .map(|i| (i % 251) as u8)
+            .collect();
         let oid = heap.insert(&pool, &data).unwrap();
         let mut buf = Vec::new();
         heap.fetch(&pool, oid, &mut buf).unwrap();
@@ -260,7 +283,13 @@ mod tests {
     fn record_just_over_inline_threshold() {
         let pool = pool(16);
         let heap = HeapFile::create(&pool);
-        for size in [MAX_INLINE - 1, MAX_INLINE, MAX_INLINE + 1, PAGE_SIZE, PAGE_SIZE * 2] {
+        for size in [
+            MAX_INLINE - 1,
+            MAX_INLINE,
+            MAX_INLINE + 1,
+            PAGE_SIZE,
+            PAGE_SIZE * 2,
+        ] {
             let data = vec![0xAB; size];
             let oid = heap.insert(&pool, &data).unwrap();
             let mut buf = Vec::new();
@@ -276,7 +305,11 @@ mod tests {
         let mut oids = Vec::new();
         for i in 0..500u32 {
             // Mix of small and page-spanning records.
-            let len = if i % 97 == 0 { PAGE_SIZE + 100 } else { 40 + (i as usize % 100) };
+            let len = if i % 97 == 0 {
+                PAGE_SIZE + 100
+            } else {
+                40 + (i as usize % 100)
+            };
             let data = vec![(i % 256) as u8; len];
             oids.push((heap.insert(&pool, &data).unwrap(), len, (i % 256) as u8));
         }

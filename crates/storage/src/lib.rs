@@ -32,6 +32,7 @@
 
 pub mod buffer;
 pub mod catalog;
+pub mod codec;
 pub mod disk;
 pub mod error;
 pub mod extsort;

@@ -20,7 +20,11 @@ impl Oid {
     /// Packs the components. Panics if the file id exceeds 16 bits.
     #[inline]
     pub fn new(file: FileId, page_no: u32, slot: u16) -> Self {
-        assert!(file.0 <= u16::MAX as u32, "file id {} exceeds OID capacity", file.0);
+        assert!(
+            file.0 <= u16::MAX as u32,
+            "file id {} exceeds OID capacity",
+            file.0
+        );
         Oid(((file.0 as u64) << 48) | ((page_no as u64) << 16) | slot as u64)
     }
 
@@ -63,7 +67,13 @@ impl Oid {
 
 impl fmt::Debug for Oid {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Oid({}:{}:{})", self.file().0, self.page_no(), self.slot())
+        write!(
+            f,
+            "Oid({}:{}:{})",
+            self.file().0,
+            self.page_no(),
+            self.slot()
+        )
     }
 }
 

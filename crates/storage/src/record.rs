@@ -27,9 +27,16 @@ pub struct RecordFile {
 impl RecordFile {
     /// Creates an empty record file for records of `rec_size` bytes.
     pub fn create(pool: &BufferPool, rec_size: usize) -> Self {
-        assert!(rec_size > 0 && rec_size <= PAGE_SIZE - HEADER, "record size {rec_size}");
+        assert!(
+            rec_size > 0 && rec_size <= PAGE_SIZE - HEADER,
+            "record size {rec_size}"
+        );
         let file = pool.disk_mut().create_file();
-        RecordFile { file, rec_size, count: Cell::new(0) }
+        RecordFile {
+            file,
+            rec_size,
+            count: Cell::new(0),
+        }
     }
 
     /// Records per page.
@@ -61,7 +68,13 @@ impl RecordFile {
     /// exist per file; records written become visible after
     /// [`RecordWriter::finish`].
     pub fn writer<'a>(&'a self, pool: &'a BufferPool) -> RecordWriter<'a> {
-        RecordWriter { rf: self, pool, buf: vec![0u8; PAGE_SIZE], fill: HEADER, n_in_page: 0 }
+        RecordWriter {
+            rf: self,
+            pool,
+            buf: vec![0u8; PAGE_SIZE],
+            fill: HEADER,
+            n_in_page: 0,
+        }
     }
 
     /// Starts a buffered sequential reader from the first record.

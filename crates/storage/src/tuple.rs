@@ -11,8 +11,8 @@
 //! information that is precomputed and stored along with each spatial
 //! feature".
 
+use crate::codec::{Buf, BufMut};
 use crate::error::{StorageError, StorageResult};
-use bytes::{Buf, BufMut};
 use pbsm_geom::polygon::Ring;
 use pbsm_geom::{Geometry, Point, Polygon, Polyline, Rect};
 
@@ -37,7 +37,12 @@ pub struct SpatialTuple {
 impl SpatialTuple {
     /// Creates a tuple without a MER.
     pub fn new(key: u64, geom: Geometry, filler_len: u16) -> Self {
-        SpatialTuple { key, geom, mer: None, filler_len }
+        SpatialTuple {
+            key,
+            geom,
+            mer: None,
+            filler_len,
+        }
     }
 
     /// Serializes into `out` (cleared first).
@@ -98,7 +103,12 @@ impl SpatialTuple {
         if buf.remaining() != filler_len as usize {
             return Err(StorageError::Corrupt("filler length mismatch"));
         }
-        Ok(SpatialTuple { key, geom, mer, filler_len })
+        Ok(SpatialTuple {
+            key,
+            geom,
+            mer,
+            filler_len,
+        })
     }
 }
 
@@ -226,11 +236,7 @@ mod tests {
 
     #[test]
     fn polyline_roundtrip_with_filler() {
-        let t = SpatialTuple::new(
-            42,
-            pl(&[(0.0, 0.0), (1.0, 2.0), (3.0, 4.0)]).into(),
-            64,
-        );
+        let t = SpatialTuple::new(42, pl(&[(0.0, 0.0), (1.0, 2.0), (3.0, 4.0)]).into(), 64);
         let enc = t.encode();
         assert_eq!(enc.len(), t.encoded_len());
         let back = SpatialTuple::decode(&enc).unwrap();
@@ -241,8 +247,7 @@ mod tests {
     fn swiss_cheese_roundtrip_with_mer() {
         let outer = ring(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]);
         let hole = ring(&[(4.0, 4.0), (6.0, 4.0), (6.0, 6.0), (4.0, 6.0)]);
-        let mut t =
-            SpatialTuple::new(1, Polygon::with_holes(outer, vec![hole]).into(), 32);
+        let mut t = SpatialTuple::new(1, Polygon::with_holes(outer, vec![hole]).into(), 32);
         t.mer = Some(Rect::new(0.5, 0.5, 3.5, 3.5));
         let enc = t.encode();
         assert_eq!(enc.len(), t.encoded_len());

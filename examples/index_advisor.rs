@@ -41,16 +41,33 @@ fn main() {
     let scale = cpu_scale();
 
     let scenarios = [
-        Scenario { name: "no pre-existing index", index_large: false, index_small: false },
-        Scenario { name: "index on smaller input", index_large: false, index_small: true },
-        Scenario { name: "index on larger input", index_large: true, index_small: false },
-        Scenario { name: "indices on both inputs", index_large: true, index_small: true },
+        Scenario {
+            name: "no pre-existing index",
+            index_large: false,
+            index_small: false,
+        },
+        Scenario {
+            name: "index on smaller input",
+            index_large: false,
+            index_small: true,
+        },
+        Scenario {
+            name: "index on larger input",
+            index_large: true,
+            index_small: false,
+        },
+        Scenario {
+            name: "indices on both inputs",
+            index_large: true,
+            index_small: true,
+        },
     ];
 
     for sc in &scenarios {
         let spec = JoinSpec::new("road", "rail", SpatialPredicate::Intersects);
         let mut rows: Vec<(&str, f64, u64)> = Vec::new();
-        type JoinFn = fn(&Db, &JoinSpec, &JoinConfig) -> Result<JoinOutcome, pbsm::storage::StorageError>;
+        type JoinFn =
+            fn(&Db, &JoinSpec, &JoinConfig) -> Result<JoinOutcome, pbsm::storage::StorageError>;
         for (alg, f) in [
             ("PBSM", pbsm_join as JoinFn),
             ("R-tree join", rtree_join as JoinFn),
@@ -63,7 +80,10 @@ fn main() {
             rows.push((alg, out.report.total_1996(scale), out.stats.results));
         }
         let counts: Vec<u64> = rows.iter().map(|r| r.2).collect();
-        assert!(counts.windows(2).all(|w| w[0] == w[1]), "algorithms disagreed");
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "algorithms disagreed"
+        );
         rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         println!("{}:", sc.name);
         for (alg, secs, _) in &rows {

@@ -17,7 +17,10 @@ use std::time::Instant;
 fn run(db: &Db, use_mer: bool) -> (usize, f64) {
     let spec = JoinSpec::new("landuse", "islands", SpatialPredicate::Contains);
     let config = JoinConfig {
-        refine: RefineOptions { plane_sweep: true, mer_filter: use_mer },
+        refine: RefineOptions {
+            plane_sweep: true,
+            mer_filter: use_mer,
+        },
         ..JoinConfig::for_db(db)
     };
     let t = Instant::now();
@@ -27,7 +30,10 @@ fn run(db: &Db, use_mer: bool) -> (usize, f64) {
 
 fn main() {
     // Generate at 5 % of the paper's Sequoia scale, with stored MERs.
-    let cfg = SequoiaConfig { with_mer: true, ..SequoiaConfig::scaled(0.05) };
+    let cfg = SequoiaConfig {
+        with_mer: true,
+        ..SequoiaConfig::scaled(0.05)
+    };
     let (landuse, islands) = sequoia::generate(&cfg);
     println!(
         "{} landuse polygons (avg {:.0} pts), {} islands (avg {:.0} pts)",
@@ -53,12 +59,10 @@ fn main() {
     );
 
     // Show a few concrete overlay results.
-    let landuse_heap = pbsm::storage::heap::HeapFile::open(
-        db.catalog().relation("landuse").unwrap().file,
-    );
-    let island_heap = pbsm::storage::heap::HeapFile::open(
-        db.catalog().relation("islands").unwrap().file,
-    );
+    let landuse_heap =
+        pbsm::storage::heap::HeapFile::open(db.catalog().relation("landuse").unwrap().file);
+    let island_heap =
+        pbsm::storage::heap::HeapFile::open(db.catalog().relation("islands").unwrap().file);
     let spec = JoinSpec::new("landuse", "islands", SpatialPredicate::Contains);
     let out = pbsm_join(&db, &spec, &JoinConfig::for_db(&db)).unwrap();
     println!("\nsample of the overlay result:");

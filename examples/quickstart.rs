@@ -16,7 +16,11 @@ fn main() {
     let cfg = TigerConfig::scaled(0.02);
     let road = tiger::road(&cfg);
     let hydro = tiger::hydrography(&cfg);
-    println!("loaded {} roads, {} hydrography features", road.len(), hydro.len());
+    println!(
+        "loaded {} roads, {} hydrography features",
+        road.len(),
+        hydro.len()
+    );
     load_relation(&db, "road", &road, false).unwrap();
     load_relation(&db, "hydro", &hydro, false).unwrap();
 
@@ -28,7 +32,10 @@ fn main() {
     for (name, run) in [
         ("PBSM", pbsm_join(&db, &spec, &config).unwrap()),
         ("R-tree join", rtree_join(&db, &spec, &config).unwrap()),
-        ("indexed nested loops", inl_join(&db, &spec, &config).unwrap()),
+        (
+            "indexed nested loops",
+            inl_join(&db, &spec, &config).unwrap(),
+        ),
     ] {
         println!(
             "\n{name}: {} result pairs, {:.3}s CPU, {:.2}s modeled 1996 I/O",

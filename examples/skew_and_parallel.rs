@@ -11,30 +11,27 @@
 //! cargo run --release --example skew_and_parallel
 //! ```
 
-use pbsm::prelude::*;
 use pbsm::geom::{Point, Polyline};
+use pbsm::prelude::*;
 use std::time::Instant;
 
 /// 90 % of all features inside one tiny "downtown" cell, the rest spread
 /// out — the "most of the data is concentrated in a very small cluster"
 /// case of §3.5.
 fn skewed_tuples(n: usize, seed: u64) -> Vec<SpatialTuple> {
-    let mut state = seed;
-    let mut rnd = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
-    };
+    let mut rnd = pbsm_geom::lcg::Lcg::new(seed);
     (0..n)
         .map(|i| {
             let (x, y) = if i % 10 != 0 {
-                (49.0 + rnd() * 2.0, 49.0 + rnd() * 2.0) // downtown cell
+                // downtown cell
+                (49.0 + rnd.next_f64() * 2.0, 49.0 + rnd.next_f64() * 2.0)
             } else {
-                (rnd() * 100.0, rnd() * 100.0)
+                (rnd.next_f64() * 100.0, rnd.next_f64() * 100.0)
             };
             let pts = vec![
                 Point::new(x, y),
-                Point::new(x + rnd() * 0.03, y + rnd() * 0.03),
-                Point::new(x + rnd() * 0.03, y + rnd() * 0.03),
+                Point::new(x + rnd.next_f64() * 0.03, y + rnd.next_f64() * 0.03),
+                Point::new(x + rnd.next_f64() * 0.03, y + rnd.next_f64() * 0.03),
             ];
             SpatialTuple::new(i as u64, Polyline::new(pts).into(), 16)
         })
@@ -48,7 +45,10 @@ fn main() {
     let spec = JoinSpec::new("r", "s", SpatialPredicate::Intersects);
 
     // Work memory so small that the downtown partition cannot fit.
-    let base = JoinConfig { work_mem_bytes: 256 * 1024, ..JoinConfig::default() };
+    let base = JoinConfig {
+        work_mem_bytes: 256 * 1024,
+        ..JoinConfig::default()
+    };
 
     let t = Instant::now();
     let plain = pbsm_join(&db, &spec, &base).unwrap();
@@ -58,19 +58,31 @@ fn main() {
     let repart = pbsm_join(
         &db,
         &spec,
-        &JoinConfig { dynamic_repartition: true, ..base.clone() },
+        &JoinConfig {
+            dynamic_repartition: true,
+            ..base.clone()
+        },
     )
     .unwrap();
     let t_repart = t.elapsed().as_secs_f64();
-    assert_eq!(plain.pairs, repart.pairs, "repartitioning changed the answer");
+    assert_eq!(
+        plain.pairs, repart.pairs,
+        "repartitioning changed the answer"
+    );
 
-    println!("skewed join, {} partitions, {} results", plain.stats.partitions, plain.stats.results);
+    println!(
+        "skewed join, {} partitions, {} results",
+        plain.stats.partitions, plain.stats.results
+    );
     println!("  plain merge (overflowing pairs swept in place): {t_plain:.3}s");
     println!("  with §3.5 dynamic repartitioning:               {t_repart:.3}s");
 
     // Parallel merge: same answer, faster wall-clock on the merge phase.
     for threads in [1usize, 2, 4] {
-        let cfg = JoinConfig { merge_threads: threads, ..base.clone() };
+        let cfg = JoinConfig {
+            merge_threads: threads,
+            ..base.clone()
+        };
         let t = Instant::now();
         let out = pbsm_join(&db, &spec, &cfg).unwrap();
         assert_eq!(out.pairs, plain.pairs);

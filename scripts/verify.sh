@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full local verification: what CI runs, in the same order.
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --all-targets --release -- -D warnings
+
+echo "==> cargo test"
+cargo test -q --release
+
+echo "==> bench smoke (tiny scale, JSON output)"
+PBSM_SCALE=0.02 cargo run --release -q -p pbsm-bench --bin bulkload_vs_insert >/dev/null
+test -s bench_results/bulkload_vs_insert.json
+test -s bench_results/bulkload_vs_insert.txt
+
+echo "verify: OK"

@@ -146,8 +146,14 @@ fn tiny_work_memory_floors_gracefully() {
     let spec = JoinSpec::new("l", "r", SpatialPredicate::Intersects);
     // 1 KB work memory: hundreds of partitions, external sorts with
     // single-record runs — must still be correct.
-    let small = JoinConfig { work_mem_bytes: 1024, ..JoinConfig::default() };
-    let big = JoinConfig { work_mem_bytes: 64 << 20, ..JoinConfig::default() };
+    let small = JoinConfig {
+        work_mem_bytes: 1024,
+        ..JoinConfig::default()
+    };
+    let big = JoinConfig {
+        work_mem_bytes: 64 << 20,
+        ..JoinConfig::default()
+    };
     let a = pbsm_join(&db, &spec, &small).unwrap();
     let b = pbsm_join(&db, &spec, &big).unwrap();
     assert!(a.stats.partitions > 20, "partitions {}", a.stats.partitions);
@@ -159,9 +165,7 @@ fn tiny_work_memory_floors_gracefully() {
 fn swiss_cheese_tuples_survive_the_full_pipeline() {
     use pbsm::geom::polygon::Ring;
     use pbsm::geom::Polygon;
-    let ring = |pts: &[(f64, f64)]| {
-        Ring::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect())
-    };
+    let ring = |pts: &[(f64, f64)]| Ring::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect());
     // A park with a lake; an island in the lake (NOT contained in the
     // park's point set) and a meadow in the park (contained).
     let park = SpatialTuple::new(

@@ -18,16 +18,37 @@ fn setup(index_large: bool, index_small: bool) -> Db {
 }
 
 fn names(out: &JoinOutcome) -> Vec<String> {
-    out.report.components.iter().map(|c| c.name.clone()).collect()
+    out.report
+        .components
+        .iter()
+        .map(|c| c.name.clone())
+        .collect()
 }
 
 #[test]
 fn rtree_join_builds_only_missing_indices() {
     let spec = JoinSpec::new("road", "rail", SpatialPredicate::Intersects);
     let cases = [
-        (false, false, vec!["build index on road", "build index on rail", "join indices", "refinement step"]),
-        (true, false, vec!["build index on rail", "join indices", "refinement step"]),
-        (false, true, vec!["build index on road", "join indices", "refinement step"]),
+        (
+            false,
+            false,
+            vec![
+                "build index on road",
+                "build index on rail",
+                "join indices",
+                "refinement step",
+            ],
+        ),
+        (
+            true,
+            false,
+            vec!["build index on rail", "join indices", "refinement step"],
+        ),
+        (
+            false,
+            true,
+            vec!["build index on road", "join indices", "refinement step"],
+        ),
         (true, true, vec!["join indices", "refinement step"]),
     ];
     let mut reference: Option<u64> = None;

@@ -50,7 +50,10 @@ fn setup_tiger(pool_mb: usize, clustered: bool) -> Db {
 fn all_algorithms_agree_on_tiger() {
     let db = setup_tiger(2, false);
     let spec = JoinSpec::new("road", "hydro", SpatialPredicate::Intersects);
-    let config = JoinConfig { work_mem_bytes: 128 * 1024, ..JoinConfig::default() };
+    let config = JoinConfig {
+        work_mem_bytes: 128 * 1024,
+        ..JoinConfig::default()
+    };
 
     let truth = ground_truth(&db, "road", "hydro", SpatialPredicate::Intersects);
     assert!(!truth.is_empty(), "degenerate workload");
@@ -118,12 +121,19 @@ fn sequoia_containment_all_algorithms() {
     load_relation(&db, "landuse", &landuse, false).unwrap();
     load_relation(&db, "islands", &islands, false).unwrap();
     let spec = JoinSpec::new("landuse", "islands", SpatialPredicate::Contains);
-    let config = JoinConfig { work_mem_bytes: 256 * 1024, ..JoinConfig::default() };
+    let config = JoinConfig {
+        work_mem_bytes: 256 * 1024,
+        ..JoinConfig::default()
+    };
 
     let truth = ground_truth(&db, "landuse", "islands", SpatialPredicate::Contains);
     assert!(!truth.is_empty());
     assert_eq!(pbsm_join(&db, &spec, &config).unwrap().pairs, truth, "PBSM");
-    assert_eq!(rtree_join(&db, &spec, &config).unwrap().pairs, truth, "R-tree");
+    assert_eq!(
+        rtree_join(&db, &spec, &config).unwrap().pairs,
+        truth,
+        "R-tree"
+    );
     assert_eq!(inl_join(&db, &spec, &config).unwrap().pairs, truth, "INL");
 }
 
@@ -131,21 +141,40 @@ fn sequoia_containment_all_algorithms() {
 fn extensions_preserve_answers() {
     let db = setup_tiger(2, false);
     let spec = JoinSpec::new("road", "hydro", SpatialPredicate::Intersects);
-    let base = JoinConfig { work_mem_bytes: 64 * 1024, ..JoinConfig::default() };
+    let base = JoinConfig {
+        work_mem_bytes: 64 * 1024,
+        ..JoinConfig::default()
+    };
     let want = pbsm_join(&db, &spec, &base).unwrap().pairs;
 
-    let repart = JoinConfig { dynamic_repartition: true, ..base.clone() };
+    let repart = JoinConfig {
+        dynamic_repartition: true,
+        ..base.clone()
+    };
     assert_eq!(pbsm_join(&db, &spec, &repart).unwrap().pairs, want);
 
-    let par = JoinConfig { merge_threads: 3, ..base.clone() };
+    let par = JoinConfig {
+        merge_threads: 3,
+        ..base.clone()
+    };
     assert_eq!(pbsm_join(&db, &spec, &par).unwrap().pairs, want);
 
-    let rr = JoinConfig { tile_map: TileMapScheme::RoundRobin, ..base.clone() };
+    let rr = JoinConfig {
+        tile_map: TileMapScheme::RoundRobin,
+        ..base.clone()
+    };
     assert_eq!(pbsm_join(&db, &spec, &rr).unwrap().pairs, want);
 
     for tiles in [16usize, 256, 4096] {
-        let t = JoinConfig { num_tiles: tiles, ..base.clone() };
-        assert_eq!(pbsm_join(&db, &spec, &t).unwrap().pairs, want, "{tiles} tiles");
+        let t = JoinConfig {
+            num_tiles: tiles,
+            ..base.clone()
+        };
+        assert_eq!(
+            pbsm_join(&db, &spec, &t).unwrap().pairs,
+            want,
+            "{tiles} tiles"
+        );
     }
 }
 

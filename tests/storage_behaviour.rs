@@ -92,7 +92,10 @@ fn oid_order_is_physical_order() {
 #[test]
 fn sorted_flush_cuts_seeks_under_identical_workload() {
     let run = |sorted: bool| -> u64 {
-        let db = Db::new(DbConfig { sorted_flush: sorted, ..DbConfig::with_pool_mb(2) });
+        let db = Db::new(DbConfig {
+            sorted_flush: sorted,
+            ..DbConfig::with_pool_mb(2)
+        });
         let h1 = HeapFile::create(db.pool());
         let h2 = HeapFile::create(db.pool());
         let mut buf = Vec::new();
