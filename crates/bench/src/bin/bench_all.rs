@@ -1,0 +1,92 @@
+//! The perf-lab orchestrator: runs every figure/table harness, folds all
+//! per-bench JSONs into one `BENCH_<rev>.json` trajectory record at the
+//! repository root, and refreshes the paper-fidelity scorecard in
+//! EXPERIMENTS.md.
+//!
+//! ```text
+//! PBSM_SCALE=0.02 cargo run --release -p pbsm-bench --bin bench_all
+//! ```
+//!
+//! Exit status is non-zero when a harness fails or a scorecard **gate**
+//! check lands outside its band (shape checks and skipped checks never
+//! fail the run). Compare the resulting record against the committed
+//! baseline with `bench_compare`.
+
+use pbsm_bench::{scorecard, traj, HARNESSES};
+use pbsm_obs::Json;
+use std::path::Path;
+use std::process::Command;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+fn main() {
+    let self_path = std::env::current_exe().expect("current exe");
+    let bin_dir = self_path.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    let t0 = Instant::now();
+    for name in HARNESSES {
+        println!("\n================ {name} ================");
+        let status = Command::new(bin_dir.join(name)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("!! {name} failed: {other:?}");
+                failures.push(*name);
+            }
+        }
+    }
+    let total_wall_s = t0.elapsed().as_secs_f64();
+
+    // Fold the per-bench sessions into the trajectory record.
+    let results_dir = Path::new("bench_results");
+    let mut benches = Vec::new();
+    for name in HARNESSES {
+        let path = results_dir.join(format!("{name}.json"));
+        let entry = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| Json::parse(&text).ok())
+            .and_then(|doc| traj::bench_entry(&doc));
+        match entry {
+            Some(e) => benches.push(e),
+            None => eprintln!("!! no usable session JSON at {}", path.display()),
+        }
+    }
+    let (rev, dirty) = traj::git_state();
+    let created_unix_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64);
+    let record = traj::record(&rev, dirty, created_unix_ms, total_wall_s, benches);
+    let record_path = format!("BENCH_{rev}.json");
+    std::fs::write(&record_path, record.render() + "\n").expect("write trajectory record");
+    println!("\n[saved {record_path}]");
+
+    // Refresh the scorecard.
+    let results = scorecard::evaluate_dir(results_dir);
+    let section = scorecard::markdown(&results);
+    print!("\n{section}");
+    let gate_failures = results.iter().filter(|r| r.gate_failed()).count();
+    let experiments = Path::new("EXPERIMENTS.md");
+    match std::fs::read_to_string(experiments) {
+        Ok(text) => {
+            let updated = scorecard::splice_markdown(&text, &section);
+            if updated != text {
+                std::fs::write(experiments, updated).expect("update EXPERIMENTS.md");
+                println!("[updated {}]", experiments.display());
+            }
+        }
+        Err(_) => eprintln!("(EXPERIMENTS.md not found here; scorecard not persisted)"),
+    }
+
+    println!(
+        "\nran {} harnesses in {total_wall_s:.0}s; {} failed{}; {gate_failures} scorecard gate failure(s)",
+        HARNESSES.len(),
+        failures.len(),
+        if failures.is_empty() {
+            String::new()
+        } else {
+            format!(": {failures:?}")
+        }
+    );
+    if !failures.is_empty() || gate_failures > 0 {
+        std::process::exit(1);
+    }
+}

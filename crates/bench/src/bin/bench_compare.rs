@@ -1,0 +1,71 @@
+//! The regression gate: diffs a trajectory record against a committed
+//! baseline.
+//!
+//! ```text
+//! cargo run -p pbsm-bench --bin bench_compare -- \
+//!     bench_results/baseline.json BENCH_<rev>.json [--tol 0.02]
+//! ```
+//!
+//! Gates on the deterministic values only (counters, metrics, histogram
+//! summaries — see `pbsm_bench::compare`); exits non-zero when any gated
+//! value deviates beyond the tolerance in either direction, when a
+//! baseline metric disappears, or when a whole bench goes missing. New
+//! metrics are reported but pass. The default tolerance is exact
+//! (`--tol 0`): these values are reproducible bit-for-bit for a given
+//! (code, scale) pair, so any drift means the baseline is stale.
+
+use pbsm_bench::compare;
+use pbsm_obs::Json;
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let doc = Json::parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+    let schema = doc.get("schema").and_then(Json::as_str);
+    if schema != Some(pbsm_bench::traj::SCHEMA) {
+        panic!(
+            "{path}: expected schema {:?}, found {schema:?}",
+            pbsm_bench::traj::SCHEMA
+        );
+    }
+    doc
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tol = 0.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tol" => {
+                let v = it.next().expect("--tol requires a value");
+                tol = v.parse().expect("--tol value must be a number");
+            }
+            _ => paths.push(arg.clone()),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!("usage: bench_compare <baseline.json> <current.json> [--tol 0.02]");
+        std::process::exit(2);
+    };
+
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+    let report = compare::compare(&baseline, &current, tol);
+
+    for finding in &report.findings {
+        println!("{}", finding.describe());
+    }
+    let regressions = report.regressions().count();
+    println!(
+        "compared {} gated values at tolerance ±{:.1}%: {} regression(s)",
+        report.checked,
+        tol * 100.0,
+        regressions
+    );
+    if !report.passed() {
+        println!("baseline: {baseline_path}; re-record with scripts/bench.sh --update-baseline");
+        std::process::exit(1);
+    }
+    println!("OK: no regressions against {baseline_path}");
+}

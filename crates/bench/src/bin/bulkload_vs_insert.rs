@@ -15,90 +15,101 @@ use pbsm_rtree::{RTree, DEFAULT_CAPACITY};
 use pbsm_storage::{Db, DbConfig};
 
 fn main() {
-    let mut report = Report::new(
+    Report::run(
         "bulkload_vs_insert",
         "§1: bulk load vs multiple inserts, Hydrography index at a 16 MB pool",
+        |report| {
+            let cfg = TigerConfig::scaled(pbsm_bench::scale());
+            let hydro = tiger::hydrography(&cfg);
+            let cs = cpu_scale();
+
+            // Bulk load.
+            let db1 = Db::new(DbConfig::with_pool_mb(16));
+            let meta1 = load_relation(&db1, "hydro", &hydro, false).unwrap();
+            db1.pool().clear_cache().unwrap();
+            let mut t1 = CostTracker::new();
+            let bulk_tree = t1
+                .run("bulk load", || {
+                    let entries = extract_entries(&db1, &meta1)?;
+                    let tree = bulk_load(
+                        db1.pool(),
+                        entries,
+                        &meta1.universe,
+                        DEFAULT_CAPACITY,
+                        false,
+                    )?;
+                    db1.pool().flush_all()?;
+                    Ok::<_, pbsm_storage::StorageError>(tree)
+                })
+                .unwrap();
+            let bulk_report = t1.finish();
+
+            // Multiple inserts.
+            let db2 = Db::new(DbConfig::with_pool_mb(16));
+            let meta2 = load_relation(&db2, "hydro", &hydro, false).unwrap();
+            db2.pool().clear_cache().unwrap();
+            let mut t2 = CostTracker::new();
+            let insert_tree = t2
+                .run("multiple inserts", || {
+                    let entries = extract_entries(&db2, &meta2)?;
+                    let mut tree = RTree::create(db2.pool(), DEFAULT_CAPACITY)?;
+                    for (rect, oid) in entries {
+                        tree.insert(db2.pool(), rect, oid)?;
+                    }
+                    db2.pool().flush_all()?;
+                    Ok::<_, pbsm_storage::StorageError>(tree)
+                })
+                .unwrap();
+            let insert_report = t2.finish();
+
+            let bulk_total = bulk_report.total_1996(cs);
+            let insert_total = insert_report.total_1996(cs);
+            report.metric("entries", bulk_tree.num_entries() as f64);
+            report.metric(
+                "bulk.index_mb",
+                bulk_tree.bytes(db1.pool()) as f64 / (1024.0 * 1024.0),
+            );
+            report.metric(
+                "insert.index_mb",
+                insert_tree.bytes(db2.pool()) as f64 / (1024.0 * 1024.0),
+            );
+            report.timing("slowdown_x", insert_total / bulk_total.max(1e-9));
+            report.table(
+                &["method", "total s (1996)", "io s", "index MB", "entries"],
+                &[
+                    vec![
+                        "bulk load".into(),
+                        secs(bulk_total),
+                        secs(bulk_report.total_io_s()),
+                        format!(
+                            "{:.1}",
+                            bulk_tree.bytes(db1.pool()) as f64 / (1024.0 * 1024.0)
+                        ),
+                        format!("{}", bulk_tree.num_entries()),
+                    ],
+                    vec![
+                        "multiple inserts".into(),
+                        secs(insert_total),
+                        secs(insert_report.total_io_s()),
+                        format!(
+                            "{:.1}",
+                            insert_tree.bytes(db2.pool()) as f64 / (1024.0 * 1024.0)
+                        ),
+                        format!("{}", insert_tree.num_entries()),
+                    ],
+                ],
+            );
+            report.blank();
+            report.line(&format!(
+                "slowdown of multiple inserts: {:.1}x (paper: 864.5/109.9 = 7.9x) — ≥4x: {}",
+                insert_total / bulk_total.max(1e-9),
+                if insert_total >= 4.0 * bulk_total {
+                    "yes ✓"
+                } else {
+                    "NO ✗"
+                }
+            ));
+            assert_eq!(bulk_tree.num_entries(), insert_tree.num_entries());
+        },
     );
-    let cfg = TigerConfig::scaled(pbsm_bench::scale());
-    let hydro = tiger::hydrography(&cfg);
-    let cs = cpu_scale();
-
-    // Bulk load.
-    let db1 = Db::new(DbConfig::with_pool_mb(16));
-    let meta1 = load_relation(&db1, "hydro", &hydro, false).unwrap();
-    db1.pool().clear_cache().unwrap();
-    let mut t1 = CostTracker::new();
-    let bulk_tree = t1
-        .run("bulk load", || {
-            let entries = extract_entries(&db1, &meta1)?;
-            let tree = bulk_load(
-                db1.pool(),
-                entries,
-                &meta1.universe,
-                DEFAULT_CAPACITY,
-                false,
-            )?;
-            db1.pool().flush_all()?;
-            Ok::<_, pbsm_storage::StorageError>(tree)
-        })
-        .unwrap();
-    let bulk_report = t1.finish();
-
-    // Multiple inserts.
-    let db2 = Db::new(DbConfig::with_pool_mb(16));
-    let meta2 = load_relation(&db2, "hydro", &hydro, false).unwrap();
-    db2.pool().clear_cache().unwrap();
-    let mut t2 = CostTracker::new();
-    let insert_tree = t2
-        .run("multiple inserts", || {
-            let entries = extract_entries(&db2, &meta2)?;
-            let mut tree = RTree::create(db2.pool(), DEFAULT_CAPACITY)?;
-            for (rect, oid) in entries {
-                tree.insert(db2.pool(), rect, oid)?;
-            }
-            db2.pool().flush_all()?;
-            Ok::<_, pbsm_storage::StorageError>(tree)
-        })
-        .unwrap();
-    let insert_report = t2.finish();
-
-    let bulk_total = bulk_report.total_1996(cs);
-    let insert_total = insert_report.total_1996(cs);
-    report.table(
-        &["method", "total s (1996)", "io s", "index MB", "entries"],
-        &[
-            vec![
-                "bulk load".into(),
-                secs(bulk_total),
-                secs(bulk_report.total_io_s()),
-                format!(
-                    "{:.1}",
-                    bulk_tree.bytes(db1.pool()) as f64 / (1024.0 * 1024.0)
-                ),
-                format!("{}", bulk_tree.num_entries()),
-            ],
-            vec![
-                "multiple inserts".into(),
-                secs(insert_total),
-                secs(insert_report.total_io_s()),
-                format!(
-                    "{:.1}",
-                    insert_tree.bytes(db2.pool()) as f64 / (1024.0 * 1024.0)
-                ),
-                format!("{}", insert_tree.num_entries()),
-            ],
-        ],
-    );
-    report.blank();
-    report.line(&format!(
-        "slowdown of multiple inserts: {:.1}x (paper: 864.5/109.9 = 7.9x) — ≥4x: {}",
-        insert_total / bulk_total.max(1e-9),
-        if insert_total >= 4.0 * bulk_total {
-            "yes ✓"
-        } else {
-            "NO ✗"
-        }
-    ));
-    assert_eq!(bulk_tree.num_entries(), insert_tree.num_entries());
-    report.save();
 }

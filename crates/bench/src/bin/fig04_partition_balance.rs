@@ -15,53 +15,60 @@ use pbsm_geom::Rect;
 use pbsm_join::partition::{PartitionHistogram, TileGrid, TileMapScheme};
 
 fn main() {
-    let mut report = Report::new(
+    Report::run(
         "fig04_partition_balance",
         "Figure 4: partitioning-function design space, coefficient of variation (Road)",
+        |report| {
+            let cfg = TigerConfig::scaled(pbsm_bench::scale());
+            let mbrs: Vec<Rect> = tiger::road(&cfg).iter().map(|t| t.geom.mbr()).collect();
+            report.line(&format!("{} road MBRs", mbrs.len()));
+            report.blank();
+
+            let tile_counts = [16usize, 25, 64, 121, 256, 529, 1024, 2025, 3025, 4096];
+            let series: [(&str, &str, TileMapScheme, usize); 4] = [
+                ("hash/4 parts", "hash_4", TileMapScheme::Hash, 4),
+                ("hash/16 parts", "hash_16", TileMapScheme::Hash, 16),
+                ("round-robin/4 parts", "rr_4", TileMapScheme::RoundRobin, 4),
+                (
+                    "round-robin/16 parts",
+                    "rr_16",
+                    TileMapScheme::RoundRobin,
+                    16,
+                ),
+            ];
+
+            let mut rows = Vec::new();
+            let mut cov: std::collections::HashMap<(&str, usize), f64> = Default::default();
+            for &tiles in &tile_counts {
+                let grid = TileGrid::new(UNIVERSE, tiles);
+                let mut row = vec![format!("{}", grid.num_tiles())];
+                for (name, key, scheme, p) in series {
+                    let h = PartitionHistogram::build(&grid, scheme, p, mbrs.iter().copied());
+                    row.push(format!("{:.3}", h.coefficient_of_variation()));
+                    cov.insert((name, tiles), h.coefficient_of_variation());
+                    report.metric(&format!("cov.{key}.{tiles}"), h.coefficient_of_variation());
+                }
+                rows.push(row);
+            }
+            report.table(&["tiles", "hash/4", "hash/16", "rr/4", "rr/16"], &rows);
+
+            // Paper's qualitative checks.
+            report.blank();
+            let improves = |name: &str| cov[&(name, 4096)] < cov[&(name, 16)];
+            for (name, _, _, _) in series {
+                report.line(&format!(
+                    "{name}: improves with more tiles: {}",
+                    if improves(name) { "yes ✓" } else { "NO ✗" }
+                ));
+            }
+            report.line(&format!(
+                "hash/4 better than hash/16 at same tile count (1024): {}",
+                if cov[&("hash/4 parts", 1024)] <= cov[&("hash/16 parts", 1024)] {
+                    "yes ✓"
+                } else {
+                    "NO ✗"
+                }
+            ));
+        },
     );
-    let cfg = TigerConfig::scaled(pbsm_bench::scale());
-    let mbrs: Vec<Rect> = tiger::road(&cfg).iter().map(|t| t.geom.mbr()).collect();
-    report.line(&format!("{} road MBRs", mbrs.len()));
-    report.blank();
-
-    let tile_counts = [16usize, 25, 64, 121, 256, 529, 1024, 2025, 3025, 4096];
-    let series: [(&str, TileMapScheme, usize); 4] = [
-        ("hash/4 parts", TileMapScheme::Hash, 4),
-        ("hash/16 parts", TileMapScheme::Hash, 16),
-        ("round-robin/4 parts", TileMapScheme::RoundRobin, 4),
-        ("round-robin/16 parts", TileMapScheme::RoundRobin, 16),
-    ];
-
-    let mut rows = Vec::new();
-    let mut cov: std::collections::HashMap<(&str, usize), f64> = Default::default();
-    for &tiles in &tile_counts {
-        let grid = TileGrid::new(UNIVERSE, tiles);
-        let mut row = vec![format!("{}", grid.num_tiles())];
-        for (name, scheme, p) in series {
-            let h = PartitionHistogram::build(&grid, scheme, p, mbrs.iter().copied());
-            row.push(format!("{:.3}", h.coefficient_of_variation()));
-            cov.insert((name, tiles), h.coefficient_of_variation());
-        }
-        rows.push(row);
-    }
-    report.table(&["tiles", "hash/4", "hash/16", "rr/4", "rr/16"], &rows);
-
-    // Paper's qualitative checks.
-    report.blank();
-    let improves = |name: &str| cov[&(name, 4096)] < cov[&(name, 16)];
-    for (name, _, _) in series {
-        report.line(&format!(
-            "{name}: improves with more tiles: {}",
-            if improves(name) { "yes ✓" } else { "NO ✗" }
-        ));
-    }
-    report.line(&format!(
-        "hash/4 better than hash/16 at same tile count (1024): {}",
-        if cov[&("hash/4 parts", 1024)] <= cov[&("hash/16 parts", 1024)] {
-            "yes ✓"
-        } else {
-            "NO ✗"
-        }
-    ));
-    report.save();
 }

@@ -13,42 +13,48 @@ use pbsm_geom::Rect;
 use pbsm_join::partition::{PartitionHistogram, TileGrid, TileMapScheme};
 
 fn main() {
-    let mut report = Report::new(
+    Report::run(
         "fig05_replication_tiger",
         "Figure 5: replication overhead, Road data, 16 partitions",
-    );
-    let cfg = TigerConfig::scaled(pbsm_bench::scale());
-    let mbrs: Vec<Rect> = tiger::road(&cfg).iter().map(|t| t.geom.mbr()).collect();
-    report.line(&format!("{} road MBRs", mbrs.len()));
-    report.blank();
+        |report| {
+            let cfg = TigerConfig::scaled(pbsm_bench::scale());
+            let mbrs: Vec<Rect> = tiger::road(&cfg).iter().map(|t| t.geom.mbr()).collect();
+            report.line(&format!("{} road MBRs", mbrs.len()));
+            report.blank();
 
-    let p = 16;
-    let tile_counts = [
-        16usize, 64, 144, 256, 400, 784, 1024, 1600, 2304, 3136, 4096,
-    ];
-    let mut rows = Vec::new();
-    let mut last_hash = 0.0;
-    for &tiles in &tile_counts {
-        let grid = TileGrid::new(UNIVERSE, tiles);
-        let hash = PartitionHistogram::build(&grid, TileMapScheme::Hash, p, mbrs.iter().copied());
-        let rr =
-            PartitionHistogram::build(&grid, TileMapScheme::RoundRobin, p, mbrs.iter().copied());
-        rows.push(vec![
-            format!("{}", grid.num_tiles()),
-            format!("{:.2}%", hash.replication_overhead_pct()),
-            format!("{:.2}%", rr.replication_overhead_pct()),
-        ]);
-        last_hash = hash.replication_overhead_pct();
-    }
-    report.table(&["tiles", "hash overhead", "round-robin overhead"], &rows);
-    report.blank();
-    report.line(&format!(
-        "overhead at ~4096 tiles: {last_hash:.2}% (paper: ≈4.8% at 4000 tiles) — modest: {}",
-        if last_hash < 15.0 {
-            "yes ✓"
-        } else {
-            "NO ✗"
-        }
-    ));
-    report.save();
+            let p = 16;
+            let tile_counts = [
+                16usize, 64, 144, 256, 400, 784, 1024, 1600, 2304, 3136, 4096,
+            ];
+            let mut rows = Vec::new();
+            let mut last_hash = 0.0;
+            for &tiles in &tile_counts {
+                let grid = TileGrid::new(UNIVERSE, tiles);
+                let hash =
+                    PartitionHistogram::build(&grid, TileMapScheme::Hash, p, mbrs.iter().copied());
+                let rr = PartitionHistogram::build(
+                    &grid,
+                    TileMapScheme::RoundRobin,
+                    p,
+                    mbrs.iter().copied(),
+                );
+                report.metric(
+                    &format!("replication_pct.{}", grid.num_tiles()),
+                    hash.replication_overhead_pct(),
+                );
+                rows.push(vec![
+                    format!("{}", grid.num_tiles()),
+                    format!("{:.2}%", hash.replication_overhead_pct()),
+                    format!("{:.2}%", rr.replication_overhead_pct()),
+                ]);
+                last_hash = hash.replication_overhead_pct();
+            }
+            report.table(&["tiles", "hash overhead", "round-robin overhead"], &rows);
+            report.blank();
+            report.line(&format!(
+                "overhead at ~4096 tiles: {last_hash:.2}% (paper: ≈4.8% at 4000 tiles) — modest: {}",
+                if last_hash < 15.0 { "yes ✓" } else { "NO ✗" }
+            ));
+        },
+    );
 }

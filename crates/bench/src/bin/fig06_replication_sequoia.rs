@@ -12,59 +12,71 @@ use pbsm_geom::Rect;
 use pbsm_join::partition::{PartitionHistogram, TileGrid, TileMapScheme};
 
 fn main() {
-    let mut report = Report::new(
+    Report::run(
         "fig06_replication_sequoia",
         "Figure 6: replication overhead, Sequoia polygons, 16 partitions",
+        |report| {
+            let cfg = SequoiaConfig {
+                scale: pbsm_bench::scale(),
+                ..SequoiaConfig::default()
+            };
+            let (polys, _) = sequoia::generate(&cfg);
+            let mbrs: Vec<Rect> = polys.iter().map(|t| t.geom.mbr()).collect();
+            report.line(&format!("{} polygon MBRs", mbrs.len()));
+            report.blank();
+
+            let p = 16;
+            let tile_counts = [
+                16usize, 64, 144, 256, 400, 784, 1024, 1600, 2304, 3136, 4096,
+            ];
+            let mut rows = Vec::new();
+            let mut seq_at_1024 = 0.0;
+            for &tiles in &tile_counts {
+                let grid = TileGrid::new(UNIVERSE, tiles);
+                let hash =
+                    PartitionHistogram::build(&grid, TileMapScheme::Hash, p, mbrs.iter().copied());
+                let rr = PartitionHistogram::build(
+                    &grid,
+                    TileMapScheme::RoundRobin,
+                    p,
+                    mbrs.iter().copied(),
+                );
+                if grid.num_tiles() == 1024 {
+                    seq_at_1024 = hash.replication_overhead_pct();
+                }
+                report.metric(
+                    &format!("replication_pct.{}", grid.num_tiles()),
+                    hash.replication_overhead_pct(),
+                );
+                rows.push(vec![
+                    format!("{}", grid.num_tiles()),
+                    format!("{:.2}%", hash.replication_overhead_pct()),
+                    format!("{:.2}%", rr.replication_overhead_pct()),
+                ]);
+            }
+            report.table(&["tiles", "hash overhead", "round-robin overhead"], &rows);
+
+            // Cross-check against Figure 5's data: Sequoia must replicate
+            // much more than Road at the same tile count.
+            let tiger_cfg = pbsm_datagen::tiger::TigerConfig::scaled(pbsm_bench::scale());
+            let road: Vec<Rect> = pbsm_datagen::tiger::road(&tiger_cfg)
+                .iter()
+                .map(|t| t.geom.mbr())
+                .collect();
+            let grid = TileGrid::new(UNIVERSE, 1024);
+            let road_oh =
+                PartitionHistogram::build(&grid, TileMapScheme::Hash, p, road.iter().copied())
+                    .replication_overhead_pct();
+            report.metric("seq_over_road_ratio", seq_at_1024 / road_oh.max(1e-9));
+            report.blank();
+            report.line(&format!(
+                "at 1024 tiles: sequoia {seq_at_1024:.2}% vs road {road_oh:.2}% — much higher: {}",
+                if seq_at_1024 > 2.0 * road_oh {
+                    "yes ✓"
+                } else {
+                    "NO ✗"
+                }
+            ));
+        },
     );
-    let cfg = SequoiaConfig {
-        scale: pbsm_bench::scale(),
-        ..SequoiaConfig::default()
-    };
-    let (polys, _) = sequoia::generate(&cfg);
-    let mbrs: Vec<Rect> = polys.iter().map(|t| t.geom.mbr()).collect();
-    report.line(&format!("{} polygon MBRs", mbrs.len()));
-    report.blank();
-
-    let p = 16;
-    let tile_counts = [
-        16usize, 64, 144, 256, 400, 784, 1024, 1600, 2304, 3136, 4096,
-    ];
-    let mut rows = Vec::new();
-    let mut seq_at_1024 = 0.0;
-    for &tiles in &tile_counts {
-        let grid = TileGrid::new(UNIVERSE, tiles);
-        let hash = PartitionHistogram::build(&grid, TileMapScheme::Hash, p, mbrs.iter().copied());
-        let rr =
-            PartitionHistogram::build(&grid, TileMapScheme::RoundRobin, p, mbrs.iter().copied());
-        if grid.num_tiles() == 1024 {
-            seq_at_1024 = hash.replication_overhead_pct();
-        }
-        rows.push(vec![
-            format!("{}", grid.num_tiles()),
-            format!("{:.2}%", hash.replication_overhead_pct()),
-            format!("{:.2}%", rr.replication_overhead_pct()),
-        ]);
-    }
-    report.table(&["tiles", "hash overhead", "round-robin overhead"], &rows);
-
-    // Cross-check against Figure 5's data: Sequoia must replicate much
-    // more than Road at the same tile count.
-    let tiger_cfg = pbsm_datagen::tiger::TigerConfig::scaled(pbsm_bench::scale());
-    let road: Vec<Rect> = pbsm_datagen::tiger::road(&tiger_cfg)
-        .iter()
-        .map(|t| t.geom.mbr())
-        .collect();
-    let grid = TileGrid::new(UNIVERSE, 1024);
-    let road_oh = PartitionHistogram::build(&grid, TileMapScheme::Hash, p, road.iter().copied())
-        .replication_overhead_pct();
-    report.blank();
-    report.line(&format!(
-        "at 1024 tiles: sequoia {seq_at_1024:.2}% vs road {road_oh:.2}% — much higher: {}",
-        if seq_at_1024 > 2.0 * road_oh {
-            "yes ✓"
-        } else {
-            "NO ✗"
-        }
-    ));
-    report.save();
 }

@@ -8,48 +8,52 @@
 use pbsm_bench::{compare_algorithms, tiger_db, tiger_spec, verdicts, Algorithm, Report, TigerSet};
 
 fn main() {
-    let mut report = Report::new(
+    Report::run(
         "fig07_tiger_road_hydro",
         "Figure 7: TIGER Road ⋈ Hydrography, no pre-existing indices",
-    );
-    let samples = compare_algorithms(
-        &mut report,
-        &|mb| tiger_db(mb, TigerSet::RoadHydro, false),
-        &tiger_spec(TigerSet::RoadHydro),
-    );
-    verdicts(&mut report, &samples);
+        |report| {
+            let samples = compare_algorithms(
+                report,
+                &|mb| tiger_db(mb, TigerSet::RoadHydro, false),
+                &tiger_spec(TigerSet::RoadHydro),
+            );
+            verdicts(report, &samples);
 
-    report.blank();
-    let t = |mb: usize, alg| {
-        samples
-            .iter()
-            .find(|(p, a, _)| *p == mb && *a == alg)
-            .map(|(_, _, t)| *t)
-            .unwrap()
-    };
-    let pbsm_wins = pbsm_bench::pool_sizes_mb().iter().all(|&mb| {
-        t(mb, Algorithm::Pbsm) < t(mb, Algorithm::RtreeJoin)
-            && t(mb, Algorithm::Pbsm) < t(mb, Algorithm::Inl)
-    });
-    // Within-10 % fallback: our from-scratch index build is relatively
-    // cheaper than Paradise's, which narrows PBSM's margin over the
-    // R-tree join at large pools (see EXPERIMENTS.md).
-    let pbsm_competitive = pbsm_bench::pool_sizes_mb().iter().all(|&mb| {
-        let best = t(mb, Algorithm::RtreeJoin).min(t(mb, Algorithm::Inl));
-        t(mb, Algorithm::Pbsm) <= best * 1.10
-    });
-    report.line(&format!(
-        "PBSM strictly fastest at every pool size (paper: 48-98% over R-tree, \
-         93-300% over INL): {}",
-        if pbsm_wins { "yes ✓" } else { "NO ✗" }
-    ));
-    report.line(&format!(
-        "PBSM fastest or within 10% of the best at every pool size: {}",
-        if pbsm_competitive {
-            "yes ✓"
-        } else {
-            "NO ✗"
-        }
-    ));
-    report.save();
+            report.blank();
+            let t = |mb: usize, alg| {
+                samples
+                    .iter()
+                    .find(|(p, a, _)| *p == mb && *a == alg)
+                    .map(|(_, _, t)| *t)
+                    .unwrap()
+            };
+            let pbsm_wins = pbsm_bench::pool_sizes_mb().iter().all(|&mb| {
+                t(mb, Algorithm::Pbsm) < t(mb, Algorithm::RtreeJoin)
+                    && t(mb, Algorithm::Pbsm) < t(mb, Algorithm::Inl)
+            });
+            // Within-10 % fallback: our from-scratch index build is
+            // relatively cheaper than Paradise's, which narrows PBSM's
+            // margin over the R-tree join at large pools (see
+            // EXPERIMENTS.md).
+            let pbsm_competitive = pbsm_bench::pool_sizes_mb().iter().all(|&mb| {
+                let best = t(mb, Algorithm::RtreeJoin).min(t(mb, Algorithm::Inl));
+                t(mb, Algorithm::Pbsm) <= best * 1.10
+            });
+            report.timing("check.pbsm_fastest", f64::from(pbsm_wins));
+            report.timing("check.pbsm_competitive", f64::from(pbsm_competitive));
+            report.line(&format!(
+                "PBSM strictly fastest at every pool size (paper: 48-98% over R-tree, \
+                 93-300% over INL): {}",
+                if pbsm_wins { "yes ✓" } else { "NO ✗" }
+            ));
+            report.line(&format!(
+                "PBSM fastest or within 10% of the best at every pool size: {}",
+                if pbsm_competitive {
+                    "yes ✓"
+                } else {
+                    "NO ✗"
+                }
+            ));
+        },
+    );
 }

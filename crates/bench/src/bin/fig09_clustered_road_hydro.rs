@@ -7,53 +7,55 @@
 use pbsm_bench::{compare_algorithms, tiger_db, tiger_spec, verdicts, Algorithm, Report, TigerSet};
 
 fn main() {
-    let mut report = Report::new(
+    Report::run(
         "fig09_clustered_road_hydro",
         "Figure 9: clustered TIGER Road ⋈ Hydrography, no pre-existing indices",
-    );
-    let clustered = compare_algorithms(
-        &mut report,
-        &|mb| tiger_db(mb, TigerSet::RoadHydro, true),
-        &tiger_spec(TigerSet::RoadHydro),
-    );
-    verdicts(&mut report, &clustered);
+        |report| {
+            let clustered = compare_algorithms(
+                report,
+                &|mb| tiger_db(mb, TigerSet::RoadHydro, true),
+                &tiger_spec(TigerSet::RoadHydro),
+            );
+            verdicts(report, &clustered);
 
-    // Figure 7 counterpart for the improvement check.
-    report.blank();
-    report.line("clustered vs non-clustered totals (modeled 1996 s):");
-    let non_clustered = {
-        let mut scratch = Report::new("fig09_scratch_nc", "(non-clustered baseline)");
-        compare_algorithms(
-            &mut scratch,
-            &|mb| tiger_db(mb, TigerSet::RoadHydro, false),
-            &tiger_spec(TigerSet::RoadHydro),
-        )
-    };
-    let mut all_improve = true;
-    for &(mb, alg, t_cl) in &clustered {
-        let t_nc = non_clustered
-            .iter()
-            .find(|(p, a, _)| *p == mb && *a == alg)
-            .map(|(_, _, t)| *t)
-            .unwrap();
-        // Allow 15 % slack: single-run native-CPU timings on a busy
-        // 1-core host jitter by about that much.
-        if t_cl > t_nc * 1.15 {
-            all_improve = false;
-        }
-        report.line(&format!(
-            "  {:18} {mb:>3} MB: clustered {:>8} vs non-clustered {:>8}  ({:+.0}%)",
-            alg.name(),
-            pbsm_bench::secs(t_cl),
-            pbsm_bench::secs(t_nc),
-            100.0 * (t_cl - t_nc) / t_nc
-        ));
-    }
-    report.blank();
-    report.line(&format!(
-        "all algorithms improve with clustering (±15% timing noise): {}",
-        if all_improve { "yes ✓" } else { "NO ✗" }
-    ));
-    let _ = Algorithm::Pbsm;
-    report.save();
+            // Figure 7 counterpart for the improvement check.
+            report.blank();
+            report.line("clustered vs non-clustered totals (modeled 1996 s):");
+            let non_clustered = {
+                let mut scratch = Report::new("fig09_scratch_nc", "(non-clustered baseline)");
+                compare_algorithms(
+                    &mut scratch,
+                    &|mb| tiger_db(mb, TigerSet::RoadHydro, false),
+                    &tiger_spec(TigerSet::RoadHydro),
+                )
+            };
+            let mut all_improve = true;
+            for &(mb, alg, t_cl) in &clustered {
+                let t_nc = non_clustered
+                    .iter()
+                    .find(|(p, a, _)| *p == mb && *a == alg)
+                    .map(|(_, _, t)| *t)
+                    .unwrap();
+                // Allow 15 % slack: single-run native-CPU timings on a
+                // busy 1-core host jitter by about that much.
+                if t_cl > t_nc * 1.15 {
+                    all_improve = false;
+                }
+                report.line(&format!(
+                    "  {:18} {mb:>3} MB: clustered {:>8} vs non-clustered {:>8}  ({:+.0}%)",
+                    alg.name(),
+                    pbsm_bench::secs(t_cl),
+                    pbsm_bench::secs(t_nc),
+                    100.0 * (t_cl - t_nc) / t_nc
+                ));
+            }
+            report.blank();
+            report.timing("check.all_improve", f64::from(all_improve));
+            report.line(&format!(
+                "all algorithms improve with clustering (±15% timing noise): {}",
+                if all_improve { "yes ✓" } else { "NO ✗" }
+            ));
+            let _ = Algorithm::Pbsm;
+        },
+    );
 }

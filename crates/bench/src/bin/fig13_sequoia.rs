@@ -10,29 +10,32 @@ use pbsm_bench::{compare_algorithms, sequoia_db, sequoia_spec, verdicts, Algorit
 use pbsm_join::JoinConfig;
 
 fn main() {
-    let mut report = Report::new(
+    Report::run(
         "fig13_sequoia",
         "Figure 13: Sequoia landuse ⋈ islands (containment), no pre-existing indices",
-    );
-    let samples = compare_algorithms(&mut report, &|mb| sequoia_db(mb, false), &sequoia_spec());
-    verdicts(&mut report, &samples);
+        |report| {
+            let samples = compare_algorithms(report, &|mb| sequoia_db(mb, false), &sequoia_spec());
+            verdicts(report, &samples);
 
-    // Refinement dominance check.
-    report.blank();
-    let cs = pbsm_bench::cpu_scale();
-    for alg in [Algorithm::Pbsm, Algorithm::RtreeJoin] {
-        let db = sequoia_db(*pbsm_bench::pool_sizes_mb().last().unwrap(), false);
-        let out = alg.run(&db, &sequoia_spec(), &JoinConfig::for_db(&db));
-        let refine = out
-            .report
-            .component("refinement step")
-            .map(|c| c.total_1996(cs))
-            .unwrap_or(0.0);
-        let share = 100.0 * refine / out.report.total_1996(cs).max(1e-9);
-        report.line(&format!(
-            "{}: refinement share {share:.0}% (paper: PBSM ≈79%, R-tree ≈68%)",
-            alg.name()
-        ));
-    }
-    report.save();
+            // Refinement dominance check.
+            report.blank();
+            let cs = pbsm_bench::cpu_scale();
+            for alg in [Algorithm::Pbsm, Algorithm::RtreeJoin] {
+                let db = sequoia_db(*pbsm_bench::pool_sizes_mb().last().unwrap(), false);
+                let out = alg.run(&db, &sequoia_spec(), &JoinConfig::for_db(&db));
+                let refine = out
+                    .report
+                    .component("refinement step")
+                    .map(|c| c.total_1996(cs))
+                    .unwrap_or(0.0);
+                let share = refine / out.report.total_1996(cs).max(1e-9);
+                report.timing(&format!("refine_share.{}", alg.key()), share);
+                report.line(&format!(
+                    "{}: refinement share {:.0}% (paper: PBSM ≈79%, R-tree ≈68%)",
+                    alg.name(),
+                    100.0 * share
+                ));
+            }
+        },
+    );
 }

@@ -4,66 +4,80 @@
 //! index on the larger input, the R-tree join wins; with an index only on
 //! the smaller input, PBSM wins.
 
-use pbsm_bench::{index_scenarios_figure, pool_sizes_mb, secs, TigerSet};
+use pbsm_bench::{index_scenarios_figure, pool_sizes_mb, secs, Report, TigerSet};
 
 fn main() {
-    let (mut report, samples) = index_scenarios_figure(
+    Report::run(
         "fig14_indices_road_hydro",
         "Figure 14: pre-existing index scenarios, Road ⋈ Hydrography",
-        TigerSet::RoadHydro,
+        |report| {
+            let samples = index_scenarios_figure(report, TigerSet::RoadHydro);
+            report.blank();
+            let t = |mb: usize, label: &str| {
+                samples
+                    .iter()
+                    .find(|(p, l, _)| *p == mb && *l == label)
+                    .map(|(_, _, v)| *v)
+                    .unwrap()
+            };
+            // Margins between PBSM and the R-tree variants are tight in
+            // this reproduction (our index builds are relatively cheaper
+            // than Paradise's — see EXPERIMENTS.md), so the qualitative
+            // checks ask for a majority of pool sizes rather than a clean
+            // sweep.
+            let mut both_ok = 0usize;
+            let mut large_ok = 0usize;
+            let mut small_ok = 0usize;
+            let n_pools = pool_sizes_mb().len();
+            for mb in pool_sizes_mb() {
+                both_ok += usize::from(t(mb, "Rtree-2-Indices") <= t(mb, "PBSM") * 1.05);
+                large_ok += usize::from(t(mb, "Rtree-1-LargeIdx") <= t(mb, "PBSM") * 1.05);
+                small_ok += usize::from(
+                    t(mb, "PBSM") <= t(mb, "Rtree-1-SmallIdx") * 1.05
+                        && t(mb, "PBSM") <= t(mb, "INL-1-SmallIdx") * 1.05,
+                );
+                report.line(&format!(
+                    "{mb:>3} MB: PBSM {} | Rtree-2 {} | Rtree-1L {} | INL-1L {} | Rtree-1S {} | INL-1S {}",
+                    secs(t(mb, "PBSM")),
+                    secs(t(mb, "Rtree-2-Indices")),
+                    secs(t(mb, "Rtree-1-LargeIdx")),
+                    secs(t(mb, "INL-1-LargeIdx")),
+                    secs(t(mb, "Rtree-1-SmallIdx")),
+                    secs(t(mb, "INL-1-SmallIdx")),
+                ));
+            }
+            report.blank();
+            let verdict = |k: usize| {
+                if 2 * k >= n_pools {
+                    format!("yes at {k}/{n_pools} pool sizes ✓")
+                } else {
+                    format!("NO — only {k}/{n_pools} pool sizes ✗")
+                }
+            };
+            report.timing(
+                "check.both_indices_rtree_best",
+                f64::from(2 * both_ok >= n_pools),
+            );
+            report.timing(
+                "check.large_index_rtree_best",
+                f64::from(2 * large_ok >= n_pools),
+            );
+            report.timing(
+                "check.small_index_pbsm_best",
+                f64::from(2 * small_ok >= n_pools),
+            );
+            report.line(&format!(
+                "both indices ⇒ R-tree join best: {}",
+                verdict(both_ok)
+            ));
+            report.line(&format!(
+                "index on larger ⇒ R-tree join beats PBSM: {}",
+                verdict(large_ok)
+            ));
+            report.line(&format!(
+                "index on smaller only ⇒ PBSM best: {}",
+                verdict(small_ok)
+            ));
+        },
     );
-    report.blank();
-    let t = |mb: usize, label: &str| {
-        samples
-            .iter()
-            .find(|(p, l, _)| *p == mb && *l == label)
-            .map(|(_, _, v)| *v)
-            .unwrap()
-    };
-    // Margins between PBSM and the R-tree variants are tight in this
-    // reproduction (our index builds are relatively cheaper than
-    // Paradise's — see EXPERIMENTS.md), so the qualitative checks ask for
-    // a majority of pool sizes rather than a clean sweep.
-    let mut both_ok = 0usize;
-    let mut large_ok = 0usize;
-    let mut small_ok = 0usize;
-    let n_pools = pool_sizes_mb().len();
-    for mb in pool_sizes_mb() {
-        both_ok += usize::from(t(mb, "Rtree-2-Indices") <= t(mb, "PBSM") * 1.05);
-        large_ok += usize::from(t(mb, "Rtree-1-LargeIdx") <= t(mb, "PBSM") * 1.05);
-        small_ok += usize::from(
-            t(mb, "PBSM") <= t(mb, "Rtree-1-SmallIdx") * 1.05
-                && t(mb, "PBSM") <= t(mb, "INL-1-SmallIdx") * 1.05,
-        );
-        report.line(&format!(
-            "{mb:>3} MB: PBSM {} | Rtree-2 {} | Rtree-1L {} | INL-1L {} | Rtree-1S {} | INL-1S {}",
-            secs(t(mb, "PBSM")),
-            secs(t(mb, "Rtree-2-Indices")),
-            secs(t(mb, "Rtree-1-LargeIdx")),
-            secs(t(mb, "INL-1-LargeIdx")),
-            secs(t(mb, "Rtree-1-SmallIdx")),
-            secs(t(mb, "INL-1-SmallIdx")),
-        ));
-    }
-    report.blank();
-    let verdict = |k: usize| {
-        if 2 * k >= n_pools {
-            format!("yes at {k}/{n_pools} pool sizes ✓")
-        } else {
-            format!("NO — only {k}/{n_pools} pool sizes ✗")
-        }
-    };
-    report.line(&format!(
-        "both indices ⇒ R-tree join best: {}",
-        verdict(both_ok)
-    ));
-    report.line(&format!(
-        "index on larger ⇒ R-tree join beats PBSM: {}",
-        verdict(large_ok)
-    ));
-    report.line(&format!(
-        "index on smaller only ⇒ PBSM best: {}",
-        verdict(small_ok)
-    ));
-    report.save();
 }

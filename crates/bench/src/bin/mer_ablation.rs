@@ -12,47 +12,50 @@ use pbsm_geom::predicates::RefineOptions;
 use pbsm_join::JoinConfig;
 
 fn main() {
-    let mut report = Report::new(
+    Report::run(
         "mer_ablation",
         "§4.4: MER pre-filter for containment refinement (Sequoia, 8 MB pool)",
+        |report| {
+            let spec = sequoia_spec();
+            let mut rows = Vec::new();
+            let mut cpu = [0.0f64; 2];
+            let mut results = [0u64; 2];
+            for (i, use_mer) in [false, true].into_iter().enumerate() {
+                let db = sequoia_db(8, use_mer);
+                let config = JoinConfig {
+                    refine: RefineOptions {
+                        plane_sweep: true,
+                        mer_filter: use_mer,
+                    },
+                    ..JoinConfig::for_db(&db)
+                };
+                let out = pbsm_join::pbsm::pbsm_join(&db, &spec, &config).unwrap();
+                let refine = out.report.component("refinement step").unwrap();
+                cpu[i] = refine.cpu_s;
+                results[i] = out.stats.results;
+                rows.push(vec![
+                    (if use_mer {
+                        "with stored MER"
+                    } else {
+                        "exact only"
+                    })
+                    .to_string(),
+                    secs(refine.cpu_s),
+                    format!("{}", out.stats.results),
+                ]);
+            }
+            report.table(
+                &["refinement variant", "refine cpu s (native)", "results"],
+                &rows,
+            );
+            report.blank();
+            assert_eq!(results[0], results[1], "MER filter changed the answer!");
+            report.metric("result_pairs", results[0] as f64);
+            report.timing("mer_speedup_x", cpu[0] / cpu[1].max(1e-12));
+            report.line(&format!(
+                "refinement speedup from stored MERs: {:.1}x — answers identical ✓",
+                cpu[0] / cpu[1].max(1e-12)
+            ));
+        },
     );
-    let spec = sequoia_spec();
-    let mut rows = Vec::new();
-    let mut cpu = [0.0f64; 2];
-    let mut results = [0u64; 2];
-    for (i, use_mer) in [false, true].into_iter().enumerate() {
-        let db = sequoia_db(8, use_mer);
-        let config = JoinConfig {
-            refine: RefineOptions {
-                plane_sweep: true,
-                mer_filter: use_mer,
-            },
-            ..JoinConfig::for_db(&db)
-        };
-        let out = pbsm_join::pbsm::pbsm_join(&db, &spec, &config).unwrap();
-        let refine = out.report.component("refinement step").unwrap();
-        cpu[i] = refine.cpu_s;
-        results[i] = out.stats.results;
-        rows.push(vec![
-            (if use_mer {
-                "with stored MER"
-            } else {
-                "exact only"
-            })
-            .to_string(),
-            secs(refine.cpu_s),
-            format!("{}", out.stats.results),
-        ]);
-    }
-    report.table(
-        &["refinement variant", "refine cpu s (native)", "results"],
-        &rows,
-    );
-    report.blank();
-    assert_eq!(results[0], results[1], "MER filter changed the answer!");
-    report.line(&format!(
-        "refinement speedup from stored MERs: {:.1}x — answers identical ✓",
-        cpu[0] / cpu[1].max(1e-12)
-    ));
-    report.save();
 }

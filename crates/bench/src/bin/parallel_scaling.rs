@@ -11,45 +11,53 @@ use pbsm_bench::{secs, tiger_db, tiger_spec, Report, TigerSet};
 use pbsm_join::JoinConfig;
 
 fn main() {
-    let mut report = Report::new(
+    Report::run(
         "parallel_scaling",
         "§5: parallel partition merge scaling (Road ⋈ Hydrography)",
+        |report| {
+            report.line(&format!(
+                "host parallelism: {:?}",
+                std::thread::available_parallelism()
+            ));
+            report.blank();
+            let spec = tiger_spec(TigerSet::RoadHydro);
+            let mut rows = Vec::new();
+            let mut reference: Option<Vec<(pbsm_storage::Oid, pbsm_storage::Oid)>> = None;
+            for threads in [1usize, 2, 4] {
+                let db = tiger_db(2, TigerSet::RoadHydro, false);
+                let config = JoinConfig {
+                    merge_threads: threads,
+                    // Small work memory → many partition pairs to spread
+                    // across workers.
+                    work_mem_bytes: 2 * 1024 * 1024,
+                    ..JoinConfig::for_db(&db)
+                };
+                let out = pbsm_join::pbsm::pbsm_join(&db, &spec, &config).unwrap();
+                let merge = out.report.component("merge partitions").unwrap();
+                if threads == 1 {
+                    report.metric("result_pairs", out.stats.results as f64);
+                    report.metric("partitions", out.stats.partitions as f64);
+                }
+                report.timing(&format!("merge_s.{threads}t"), merge.cpu_s);
+                rows.push(vec![
+                    format!("{threads}"),
+                    secs(merge.cpu_s),
+                    format!("{}", out.stats.partitions),
+                    format!("{}", out.stats.results),
+                ]);
+                match &reference {
+                    None => reference = Some(out.pairs),
+                    Some(want) => {
+                        assert_eq!(&out.pairs, want, "nondeterministic at {threads} threads")
+                    }
+                }
+            }
+            report.table(
+                &["threads", "merge native s", "partitions", "results"],
+                &rows,
+            );
+            report.blank();
+            report.line("answers identical at all thread counts ✓");
+        },
     );
-    report.line(&format!(
-        "host parallelism: {:?}",
-        std::thread::available_parallelism()
-    ));
-    report.blank();
-    let spec = tiger_spec(TigerSet::RoadHydro);
-    let mut rows = Vec::new();
-    let mut reference: Option<Vec<(pbsm_storage::Oid, pbsm_storage::Oid)>> = None;
-    for threads in [1usize, 2, 4] {
-        let db = tiger_db(2, TigerSet::RoadHydro, false);
-        let config = JoinConfig {
-            merge_threads: threads,
-            // Small work memory → many partition pairs to spread across
-            // workers.
-            work_mem_bytes: 2 * 1024 * 1024,
-            ..JoinConfig::for_db(&db)
-        };
-        let out = pbsm_join::pbsm::pbsm_join(&db, &spec, &config).unwrap();
-        let merge = out.report.component("merge partitions").unwrap();
-        rows.push(vec![
-            format!("{threads}"),
-            secs(merge.cpu_s),
-            format!("{}", out.stats.partitions),
-            format!("{}", out.stats.results),
-        ]);
-        match &reference {
-            None => reference = Some(out.pairs),
-            Some(want) => assert_eq!(&out.pairs, want, "nondeterministic at {threads} threads"),
-        }
-    }
-    report.table(
-        &["threads", "merge native s", "partitions", "results"],
-        &rows,
-    );
-    report.blank();
-    report.line("answers identical at all thread counts ✓");
-    report.save();
 }

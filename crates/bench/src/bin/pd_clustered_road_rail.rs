@@ -8,47 +8,49 @@
 use pbsm_bench::{compare_algorithms, tiger_db, tiger_spec, verdicts, Report, TigerSet};
 
 fn main() {
-    let mut report = Report::new(
+    Report::run(
         "pd_clustered_road_rail",
         "[PD]: clustered TIGER Road ⋈ Rail, no pre-existing indices",
-    );
-    let clustered = compare_algorithms(
-        &mut report,
-        &|mb| tiger_db(mb, TigerSet::RoadRail, true),
-        &tiger_spec(TigerSet::RoadRail),
-    );
-    verdicts(&mut report, &clustered);
+        |report| {
+            let clustered = compare_algorithms(
+                report,
+                &|mb| tiger_db(mb, TigerSet::RoadRail, true),
+                &tiger_spec(TigerSet::RoadRail),
+            );
+            verdicts(report, &clustered);
 
-    let mut scratch = Report::new("pd_clustered_road_rail_nc", "(non-clustered baseline)");
-    let non_clustered = compare_algorithms(
-        &mut scratch,
-        &|mb| tiger_db(mb, TigerSet::RoadRail, false),
-        &tiger_spec(TigerSet::RoadRail),
+            let mut scratch = Report::new("pd_clustered_road_rail_nc", "(non-clustered baseline)");
+            let non_clustered = compare_algorithms(
+                &mut scratch,
+                &|mb| tiger_db(mb, TigerSet::RoadRail, false),
+                &tiger_spec(TigerSet::RoadRail),
+            );
+            report.blank();
+            let mut all_improve = true;
+            for &(mb, alg, t_cl) in &clustered {
+                let t_nc = non_clustered
+                    .iter()
+                    .find(|(p, a, _)| *p == mb && *a == alg)
+                    .map(|(_, _, t)| *t)
+                    .unwrap();
+                // Allow 15 % slack: single-run native-CPU timings on a
+                // busy 1-core host jitter by about that much.
+                if t_cl > t_nc * 1.15 {
+                    all_improve = false;
+                }
+                report.line(&format!(
+                    "  {:18} {mb:>3} MB: clustered {:>8} vs non-clustered {:>8}",
+                    alg.name(),
+                    pbsm_bench::secs(t_cl),
+                    pbsm_bench::secs(t_nc),
+                ));
+            }
+            report.blank();
+            report.timing("check.all_improve", f64::from(all_improve));
+            report.line(&format!(
+                "all algorithms improve with clustering, ±15% noise (as on Road ⋈ Hydro): {}",
+                if all_improve { "yes ✓" } else { "NO ✗" }
+            ));
+        },
     );
-    report.blank();
-    let mut all_improve = true;
-    for &(mb, alg, t_cl) in &clustered {
-        let t_nc = non_clustered
-            .iter()
-            .find(|(p, a, _)| *p == mb && *a == alg)
-            .map(|(_, _, t)| *t)
-            .unwrap();
-        // Allow 15 % slack: single-run native-CPU timings on a busy
-        // 1-core host jitter by about that much.
-        if t_cl > t_nc * 1.15 {
-            all_improve = false;
-        }
-        report.line(&format!(
-            "  {:18} {mb:>3} MB: clustered {:>8} vs non-clustered {:>8}",
-            alg.name(),
-            pbsm_bench::secs(t_cl),
-            pbsm_bench::secs(t_nc),
-        ));
-    }
-    report.blank();
-    report.line(&format!(
-        "all algorithms improve with clustering, ±15% noise (as on Road ⋈ Hydro): {}",
-        if all_improve { "yes ✓" } else { "NO ✗" }
-    ));
-    report.save();
 }

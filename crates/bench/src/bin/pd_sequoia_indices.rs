@@ -10,61 +10,70 @@ use pbsm_bench::{
 use pbsm_join::JoinConfig;
 
 fn main() {
-    let mut report = Report::new(
+    Report::run(
         "pd_sequoia_indices",
         "§4.5 omitted result: pre-existing index scenarios, Sequoia landuse ⋈ islands",
-    );
-    let spec = sequoia_spec();
-    let series: [(&str, Algorithm, &[&str]); 6] = [
-        ("PBSM", Algorithm::Pbsm, &[]),
-        (
-            "Rtree-2-Indices",
-            Algorithm::RtreeJoin,
-            &["landuse", "islands"],
-        ),
-        ("Rtree-1-LargeIdx", Algorithm::RtreeJoin, &["landuse"]),
-        ("INL-1-LargeIdx", Algorithm::Inl, &["landuse"]),
-        ("Rtree-1-SmallIdx", Algorithm::RtreeJoin, &["islands"]),
-        ("INL-1-SmallIdx", Algorithm::Inl, &["islands"]),
-    ];
-    let cs = cpu_scale();
-    let mut rows = Vec::new();
-    let mut samples: Vec<(usize, &str, f64)> = Vec::new();
-    for pool_mb in pool_sizes_mb() {
-        for (label, alg, prebuilt) in series {
-            let db = sequoia_db(pool_mb, false);
-            for rel in prebuilt {
-                let meta = db.catalog().relation(rel).unwrap().clone();
-                pbsm_join::loader::build_index(&db, &meta).unwrap();
+        |report| {
+            let spec = sequoia_spec();
+            let series: [(&str, Algorithm, &[&str]); 6] = [
+                ("PBSM", Algorithm::Pbsm, &[]),
+                (
+                    "Rtree-2-Indices",
+                    Algorithm::RtreeJoin,
+                    &["landuse", "islands"],
+                ),
+                ("Rtree-1-LargeIdx", Algorithm::RtreeJoin, &["landuse"]),
+                ("INL-1-LargeIdx", Algorithm::Inl, &["landuse"]),
+                ("Rtree-1-SmallIdx", Algorithm::RtreeJoin, &["islands"]),
+                ("INL-1-SmallIdx", Algorithm::Inl, &["islands"]),
+            ];
+            let cs = cpu_scale();
+            let mut rows = Vec::new();
+            let mut samples: Vec<(usize, &str, f64)> = Vec::new();
+            let mut result_pairs = None;
+            for pool_mb in pool_sizes_mb() {
+                for (label, alg, prebuilt) in series {
+                    let db = sequoia_db(pool_mb, false);
+                    for rel in prebuilt {
+                        let meta = db.catalog().relation(rel).unwrap().clone();
+                        pbsm_join::loader::build_index(&db, &meta).unwrap();
+                    }
+                    db.pool().clear_cache().unwrap();
+                    let out = alg.run(&db, &spec, &JoinConfig::for_db(&db));
+                    let total = out.report.total_1996(cs);
+                    samples.push((pool_mb, label, total));
+                    rows.push(outcome_row(label, pool_mb, &out));
+                    report.timing(&format!("total_1996.{label}.{pool_mb}mb"), total);
+                    result_pairs.get_or_insert(out.stats.results);
+                }
             }
-            db.pool().clear_cache().unwrap();
-            let out = alg.run(&db, &spec, &JoinConfig::for_db(&db));
-            samples.push((pool_mb, label, out.report.total_1996(cs)));
-            rows.push(outcome_row(label, pool_mb, &out));
-        }
-    }
-    report.table(&OUTCOME_HEADER, &rows);
+            if let Some(n) = result_pairs {
+                report.metric("result_pairs", n as f64);
+            }
+            report.table(&OUTCOME_HEADER, &rows);
 
-    report.blank();
-    let t = |mb: usize, label: &str| {
-        samples
-            .iter()
-            .find(|(p, l, _)| *p == mb && *l == label)
-            .map(|(_, _, v)| *v)
-            .unwrap()
-    };
-    let mut both_ok = true;
-    for mb in pool_sizes_mb() {
-        both_ok &= t(mb, "Rtree-2-Indices") <= t(mb, "PBSM") * 1.10;
-        report.line(&format!(
-            "{mb:>3} MB: Rtree-2 {} vs PBSM {}",
-            secs(t(mb, "Rtree-2-Indices")),
-            secs(t(mb, "PBSM"))
-        ));
-    }
-    report.line(&format!(
-        "qualitatively matches Figure 14 (both indices ⇒ R-tree join wins or ties within 10%): {}",
-        if both_ok { "yes ✓" } else { "NO ✗" }
-    ));
-    report.save();
+            report.blank();
+            let t = |mb: usize, label: &str| {
+                samples
+                    .iter()
+                    .find(|(p, l, _)| *p == mb && *l == label)
+                    .map(|(_, _, v)| *v)
+                    .unwrap()
+            };
+            let mut both_ok = true;
+            for mb in pool_sizes_mb() {
+                both_ok &= t(mb, "Rtree-2-Indices") <= t(mb, "PBSM") * 1.10;
+                report.line(&format!(
+                    "{mb:>3} MB: Rtree-2 {} vs PBSM {}",
+                    secs(t(mb, "Rtree-2-Indices")),
+                    secs(t(mb, "PBSM"))
+                ));
+            }
+            report.timing("check.matches_fig14", f64::from(both_ok));
+            report.line(&format!(
+                "qualitatively matches Figure 14 (both indices ⇒ R-tree join wins or ties within 10%): {}",
+                if both_ok { "yes ✓" } else { "NO ✗" }
+            ));
+        },
+    );
 }

@@ -10,109 +10,118 @@ use pbsm_geom::predicates::RefineOptions;
 use pbsm_join::JoinConfig;
 
 fn main() {
-    let mut report = Report::new(
+    Report::run(
         "refinement_sweep_ablation",
         "§4.4: refinement with vs without the plane-sweep intersection test",
-    );
-    let spec = tiger_spec(TigerSet::RoadHydro);
-    let mut cpu = [0.0f64; 2];
-    let mut rows = Vec::new();
-    for (i, sweep) in [true, false].into_iter().enumerate() {
-        let db = tiger_db(8, TigerSet::RoadHydro, false);
-        let config = JoinConfig {
-            refine: RefineOptions {
-                plane_sweep: sweep,
-                mer_filter: false,
-            },
-            ..JoinConfig::for_db(&db)
-        };
-        let out = pbsm_join::pbsm::pbsm_join(&db, &spec, &config).unwrap();
-        let refine = out.report.component("refinement step").unwrap();
-        cpu[i] = refine.cpu_s;
-        rows.push(vec![
-            (if sweep {
-                "plane sweep"
-            } else {
-                "naive O(n·m)"
-            })
-            .to_string(),
-            secs(refine.cpu_s),
-            secs(refine.io_s()),
-            format!("{}", out.stats.results),
-        ]);
-    }
-    report.table(
-        &[
-            "refinement variant",
-            "refine cpu s (native)",
-            "refine io s",
-            "results",
-        ],
-        &rows,
-    );
-    report.blank();
-    let increase = 100.0 * (cpu[1] - cpu[0]) / cpu[0].max(1e-12);
-    report.line(&format!(
-        "MBR-filtered naive refinement CPU increase over sweep: {increase:+.0}%"
-    ));
-
-    // The 1996-faithful baseline: the exact intersection predicate on
-    // every segment pair, with no per-pair MBR reject. Measured directly
-    // over the unique candidate geometry pairs.
-    report.blank();
-    report.line("predicate-only timing over the candidate pairs:");
-    let db = tiger_db(8, TigerSet::RoadHydro, false);
-    let config = JoinConfig::for_db(&db);
-    let out = pbsm_join::pbsm::pbsm_join(&db, &spec, &config).unwrap();
-    let road = pbsm_storage::heap::HeapFile::open(db.catalog().relation("road").unwrap().file);
-    let hyd =
-        pbsm_storage::heap::HeapFile::open(db.catalog().relation("hydrography").unwrap().file);
-    // Candidate pairs = MBR-overlapping pairs; rebuild geometry pairs from
-    // the result's parents by re-running the filter is costly, so sample
-    // the refinement inputs via the join result plus near-miss pairs from
-    // a fresh filter pass at partition level. Simpler: fetch the joined
-    // pairs (true positives) and synthesize the same count of MBR-only
-    // pairs by shifting. Good enough for a CPU-ratio measurement on real
-    // feature shapes.
-    let mut pairs_geom = Vec::new();
-    let mut buf = Vec::new();
-    for (a, b) in out.pairs.iter().take(20_000) {
-        road.fetch(db.pool(), *a, &mut buf).unwrap();
-        let ta = pbsm_storage::tuple::SpatialTuple::decode(&buf).unwrap();
-        hyd.fetch(db.pool(), *b, &mut buf).unwrap();
-        let tb = pbsm_storage::tuple::SpatialTuple::decode(&buf).unwrap();
-        pairs_geom.push((ta.geom, tb.geom));
-    }
-    let time_it = |f: &dyn Fn(&pbsm_geom::Polyline, &pbsm_geom::Polyline) -> bool| -> f64 {
-        let t = std::time::Instant::now();
-        let mut acc = 0u64;
-        for (a, b) in &pairs_geom {
-            if f(a.as_polyline(), b.as_polyline()) {
-                acc += 1;
+        |report| {
+            let spec = tiger_spec(TigerSet::RoadHydro);
+            let mut cpu = [0.0f64; 2];
+            let mut rows = Vec::new();
+            for (i, sweep) in [true, false].into_iter().enumerate() {
+                let db = tiger_db(8, TigerSet::RoadHydro, false);
+                let config = JoinConfig {
+                    refine: RefineOptions {
+                        plane_sweep: sweep,
+                        mer_filter: false,
+                    },
+                    ..JoinConfig::for_db(&db)
+                };
+                let out = pbsm_join::pbsm::pbsm_join(&db, &spec, &config).unwrap();
+                let refine = out.report.component("refinement step").unwrap();
+                cpu[i] = refine.cpu_s;
+                if sweep {
+                    report.metric("result_pairs", out.stats.results as f64);
+                }
+                rows.push(vec![
+                    (if sweep {
+                        "plane sweep"
+                    } else {
+                        "naive O(n·m)"
+                    })
+                    .to_string(),
+                    secs(refine.cpu_s),
+                    secs(refine.io_s()),
+                    format!("{}", out.stats.results),
+                ]);
             }
-        }
-        std::hint::black_box(acc);
-        t.elapsed().as_secs_f64()
-    };
-    let sweep_t = time_it(&pbsm_geom::seg_sweep::polylines_intersect_sweep);
-    let naive_t = time_it(&|a, b| a.intersects_naive(b));
-    let raw_t = time_it(&|a, b| a.intersects_naive_raw(b));
-    report.line(&format!(
-        "  plane sweep {:.4}s | naive+MBR-reject {:.4}s | raw all-pairs {:.4}s  ({} pairs)",
-        sweep_t,
-        naive_t,
-        raw_t,
-        pairs_geom.len()
-    ));
-    let raw_increase = 100.0 * (raw_t - sweep_t) / sweep_t.max(1e-12);
-    report.line(&format!(
-        "raw all-pairs vs plane sweep: {raw_increase:+.0}% (paper: +62%) — \
-         sweep clearly cheaper than the unfiltered 1996 baseline: {}",
-        if raw_increase > 20.0 {
-            "yes ✓"
-        } else {
-            "NO ✗"
-        }
-    ));
-    report.save();
+            report.table(
+                &[
+                    "refinement variant",
+                    "refine cpu s (native)",
+                    "refine io s",
+                    "results",
+                ],
+                &rows,
+            );
+            report.blank();
+            let increase = 100.0 * (cpu[1] - cpu[0]) / cpu[0].max(1e-12);
+            report.timing("naive_cpu_increase_pct", increase);
+            report.line(&format!(
+                "MBR-filtered naive refinement CPU increase over sweep: {increase:+.0}%"
+            ));
+
+            // The 1996-faithful baseline: the exact intersection predicate
+            // on every segment pair, with no per-pair MBR reject. Measured
+            // directly over the unique candidate geometry pairs.
+            report.blank();
+            report.line("predicate-only timing over the candidate pairs:");
+            let db = tiger_db(8, TigerSet::RoadHydro, false);
+            let config = JoinConfig::for_db(&db);
+            let out = pbsm_join::pbsm::pbsm_join(&db, &spec, &config).unwrap();
+            let road =
+                pbsm_storage::heap::HeapFile::open(db.catalog().relation("road").unwrap().file);
+            let hyd = pbsm_storage::heap::HeapFile::open(
+                db.catalog().relation("hydrography").unwrap().file,
+            );
+            // Candidate pairs = MBR-overlapping pairs; rebuild geometry
+            // pairs from the result's parents by re-running the filter is
+            // costly, so sample the refinement inputs via the join result
+            // plus near-miss pairs from a fresh filter pass at partition
+            // level. Simpler: fetch the joined pairs (true positives) and
+            // synthesize the same count of MBR-only pairs by shifting.
+            // Good enough for a CPU-ratio measurement on real feature
+            // shapes.
+            let mut pairs_geom = Vec::new();
+            let mut buf = Vec::new();
+            for (a, b) in out.pairs.iter().take(20_000) {
+                road.fetch(db.pool(), *a, &mut buf).unwrap();
+                let ta = pbsm_storage::tuple::SpatialTuple::decode(&buf).unwrap();
+                hyd.fetch(db.pool(), *b, &mut buf).unwrap();
+                let tb = pbsm_storage::tuple::SpatialTuple::decode(&buf).unwrap();
+                pairs_geom.push((ta.geom, tb.geom));
+            }
+            let time_it = |f: &dyn Fn(&pbsm_geom::Polyline, &pbsm_geom::Polyline) -> bool| -> f64 {
+                let t = std::time::Instant::now();
+                let mut acc = 0u64;
+                for (a, b) in &pairs_geom {
+                    if f(a.as_polyline(), b.as_polyline()) {
+                        acc += 1;
+                    }
+                }
+                std::hint::black_box(acc);
+                t.elapsed().as_secs_f64()
+            };
+            let sweep_t = time_it(&pbsm_geom::seg_sweep::polylines_intersect_sweep);
+            let naive_t = time_it(&|a, b| a.intersects_naive(b));
+            let raw_t = time_it(&|a, b| a.intersects_naive_raw(b));
+            report.line(&format!(
+                "  plane sweep {:.4}s | naive+MBR-reject {:.4}s | raw all-pairs {:.4}s  ({} pairs)",
+                sweep_t,
+                naive_t,
+                raw_t,
+                pairs_geom.len()
+            ));
+            let raw_increase = 100.0 * (raw_t - sweep_t) / sweep_t.max(1e-12);
+            report.timing("raw_cpu_increase_pct", raw_increase);
+            report.line(&format!(
+                "raw all-pairs vs plane sweep: {raw_increase:+.0}% (paper: +62%) — \
+                 sweep clearly cheaper than the unfiltered 1996 baseline: {}",
+                if raw_increase > 20.0 {
+                    "yes ✓"
+                } else {
+                    "NO ✗"
+                }
+            ));
+        },
+    );
 }

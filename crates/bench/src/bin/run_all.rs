@@ -6,37 +6,12 @@
 //! cargo run --release -p pbsm-bench --bin run_all
 //! ```
 //!
-//! Use `PBSM_SCALE=0.05` for a quick smoke pass.
+//! Use `PBSM_SCALE=0.05` for a quick smoke pass. For the perf-lab flow —
+//! the same runs plus a trajectory record, regression baseline, and the
+//! fidelity scorecard — use `bench_all` instead.
 
+use pbsm_bench::HARNESSES;
 use std::process::Command;
-
-const HARNESSES: &[&str] = &[
-    "table02_tiger_stats",
-    "table03_sequoia_stats",
-    "fig04_partition_balance",
-    "fig05_replication_tiger",
-    "fig06_replication_sequoia",
-    "fig07_tiger_road_hydro",
-    "fig08_tiger_road_rail",
-    "fig09_clustered_road_hydro",
-    "fig10_rtree_breakdown",
-    "fig11_inl_breakdown",
-    "fig12_pbsm_breakdown",
-    "fig13_sequoia",
-    "fig14_indices_road_hydro",
-    "fig15_indices_road_rail",
-    "table04_cost_breakdown",
-    "bulkload_vs_insert",
-    "tiles_ablation",
-    "refinement_sweep_ablation",
-    "mer_ablation",
-    "sweep_variants",
-    "sorted_flush_ablation",
-    "skew_ablation",
-    "parallel_scaling",
-    "pd_clustered_road_rail",
-    "pd_sequoia_indices",
-];
 
 fn main() {
     let self_path = std::env::current_exe().expect("current exe");

@@ -1,0 +1,34 @@
+//! Standalone paper-fidelity scorecard: evaluates the committed checks
+//! against whatever `bench_results/*.json` sessions exist, prints the
+//! markdown report, and splices it into EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p pbsm-bench --bin scorecard
+//! ```
+//!
+//! Exits non-zero when a **gate** check lands outside its band. Normally
+//! `bench_all` does all of this after a full run; this binary re-renders
+//! without re-running the harnesses.
+
+use pbsm_bench::scorecard;
+use std::path::Path;
+
+fn main() {
+    let results = scorecard::evaluate_dir(Path::new("bench_results"));
+    let section = scorecard::markdown(&results);
+    print!("{section}");
+    let experiments = Path::new("EXPERIMENTS.md");
+    match std::fs::read_to_string(experiments) {
+        Ok(text) => {
+            let updated = scorecard::splice_markdown(&text, &section);
+            if updated != text {
+                std::fs::write(experiments, updated).expect("update EXPERIMENTS.md");
+                println!("[updated {}]", experiments.display());
+            }
+        }
+        Err(_) => eprintln!("(EXPERIMENTS.md not found here; scorecard not persisted)"),
+    }
+    if results.iter().any(|r| r.gate_failed()) {
+        std::process::exit(1);
+    }
+}

@@ -36,80 +36,87 @@ fn skewed(n: usize, seed: u64) -> Vec<SpatialTuple> {
 }
 
 fn main() {
-    let mut report = Report::new(
+    Report::run(
         "skew_ablation",
         "§3.5: dynamic repartitioning under pathological clustering",
-    );
-    let n = (60_000.0 * pbsm_bench::scale().max(0.05)) as usize;
-    let db = Db::new(DbConfig::with_pool_mb(8));
-    let r = load_relation(&db, "r", &skewed(n, 3), false).unwrap();
-    let s = load_relation(&db, "s", &skewed(n * 4 / 5, 7), false).unwrap();
-    let spec = JoinSpec::new(
-        "r",
-        "s",
-        pbsm_geom::predicates::SpatialPredicate::Intersects,
-    );
-    let work_mem = 256 * 1024;
+        |report| {
+            let n = (60_000.0 * pbsm_bench::scale().max(0.05)) as usize;
+            let db = Db::new(DbConfig::with_pool_mb(8));
+            let r = load_relation(&db, "r", &skewed(n, 3), false).unwrap();
+            let s = load_relation(&db, "s", &skewed(n * 4 / 5, 7), false).unwrap();
+            let spec = JoinSpec::new(
+                "r",
+                "s",
+                pbsm_geom::predicates::SpatialPredicate::Intersects,
+            );
+            let work_mem = 256 * 1024;
 
-    // Show the skew: largest partition pair vs work memory under the
-    // standard partitioning function.
-    let p = partition_count(r.cardinality, s.cardinality, KEY_PTR_SIZE, work_mem);
-    let grid = TileGrid::new(r.universe.union(&s.universe), 1024.max(p));
-    let hist_r = pbsm_join::partition::PartitionHistogram::build(
-        &grid,
-        TileMapScheme::Hash,
-        p,
-        pbsm_join::loader::extract_entries(&db, &r)
-            .unwrap()
-            .iter()
-            .map(|(m, _)| *m),
-    );
-    let max_part = hist_r.counts.iter().max().copied().unwrap_or(0);
-    report.line(&format!(
-        "{p} partitions; fattest R partition holds {max_part} of {} elements \
-         ({:.0}% — work memory fits {})",
-        hist_r.input,
-        100.0 * max_part as f64 / hist_r.input as f64,
-        work_mem / KEY_PTR_SIZE,
-    ));
-    report.blank();
+            // Show the skew: largest partition pair vs work memory under
+            // the standard partitioning function.
+            let p = partition_count(r.cardinality, s.cardinality, KEY_PTR_SIZE, work_mem);
+            let grid = TileGrid::new(r.universe.union(&s.universe), 1024.max(p));
+            let hist_r = pbsm_join::partition::PartitionHistogram::build(
+                &grid,
+                TileMapScheme::Hash,
+                p,
+                pbsm_join::loader::extract_entries(&db, &r)
+                    .unwrap()
+                    .iter()
+                    .map(|(m, _)| *m),
+            );
+            let max_part = hist_r.counts.iter().max().copied().unwrap_or(0);
+            report.metric("partitions", p as f64);
+            report.metric("max_partition_elements", max_part as f64);
+            report.line(&format!(
+                "{p} partitions; fattest R partition holds {max_part} of {} elements \
+                 ({:.0}% — work memory fits {})",
+                hist_r.input,
+                100.0 * max_part as f64 / hist_r.input as f64,
+                work_mem / KEY_PTR_SIZE,
+            ));
+            report.blank();
 
-    let mut rows = Vec::new();
-    let mut wall = [0.0f64; 2];
-    let mut pairs: Vec<Vec<(pbsm_storage::Oid, pbsm_storage::Oid)>> = Vec::new();
-    for (i, repartition) in [false, true].into_iter().enumerate() {
-        let config = JoinConfig {
-            work_mem_bytes: work_mem,
-            dynamic_repartition: repartition,
-            ..JoinConfig::default()
-        };
-        let t = std::time::Instant::now();
-        let out = pbsm_join::pbsm::pbsm_join(&db, &spec, &config).unwrap();
-        wall[i] = t.elapsed().as_secs_f64();
-        rows.push(vec![
-            (if repartition {
-                "with repartitioning"
-            } else {
-                "sweep in place"
-            })
-            .to_string(),
-            secs(wall[i]),
-            format!("{}", out.stats.candidates),
-            format!("{}", out.stats.results),
-        ]);
-        pairs.push(out.pairs);
-    }
-    report.table(
-        &[
-            "overflow handling",
-            "native wall s",
-            "raw candidates",
-            "results",
-        ],
-        &rows,
+            let mut rows = Vec::new();
+            let mut wall = [0.0f64; 2];
+            let mut pairs: Vec<Vec<(pbsm_storage::Oid, pbsm_storage::Oid)>> = Vec::new();
+            for (i, repartition) in [false, true].into_iter().enumerate() {
+                let config = JoinConfig {
+                    work_mem_bytes: work_mem,
+                    dynamic_repartition: repartition,
+                    ..JoinConfig::default()
+                };
+                let t = std::time::Instant::now();
+                let out = pbsm_join::pbsm::pbsm_join(&db, &spec, &config).unwrap();
+                wall[i] = t.elapsed().as_secs_f64();
+                if repartition {
+                    report.metric("result_pairs", out.stats.results as f64);
+                    report.metric("candidates", out.stats.candidates as f64);
+                }
+                rows.push(vec![
+                    (if repartition {
+                        "with repartitioning"
+                    } else {
+                        "sweep in place"
+                    })
+                    .to_string(),
+                    secs(wall[i]),
+                    format!("{}", out.stats.candidates),
+                    format!("{}", out.stats.results),
+                ]);
+                pairs.push(out.pairs);
+            }
+            report.table(
+                &[
+                    "overflow handling",
+                    "native wall s",
+                    "raw candidates",
+                    "results",
+                ],
+                &rows,
+            );
+            assert_eq!(pairs[0], pairs[1], "repartitioning changed the answer!");
+            report.blank();
+            report.line("answers identical with and without repartitioning ✓");
+        },
     );
-    assert_eq!(pairs[0], pairs[1], "repartitioning changed the answer!");
-    report.blank();
-    report.line("answers identical with and without repartitioning ✓");
-    report.save();
 }

@@ -13,64 +13,69 @@ use pbsm_join::{JoinConfig, JoinSpec};
 use pbsm_storage::{Db, DbConfig};
 
 fn main() {
-    let mut report = Report::new(
+    Report::run(
         "sorted_flush_ablation",
         "§4.6: SHORE-style sorted write-behind on vs off (PBSM, 2 MB pool)",
-    );
-    let cfg = TigerConfig::scaled(pbsm_bench::scale());
-    let road = tiger::road(&cfg);
-    let hydro = tiger::hydrography(&cfg);
-    let spec = JoinSpec::new(
-        "road",
-        "hydrography",
-        pbsm_geom::predicates::SpatialPredicate::Intersects,
-    );
-    let cs = cpu_scale();
+        |report| {
+            let cfg = TigerConfig::scaled(pbsm_bench::scale());
+            let road = tiger::road(&cfg);
+            let hydro = tiger::hydrography(&cfg);
+            let spec = JoinSpec::new(
+                "road",
+                "hydrography",
+                pbsm_geom::predicates::SpatialPredicate::Intersects,
+            );
+            let cs = cpu_scale();
 
-    let mut rows = Vec::new();
-    let mut io = [0.0f64; 2];
-    for (i, sorted) in [true, false].into_iter().enumerate() {
-        let db = Db::new(DbConfig {
-            sorted_flush: sorted,
-            ..DbConfig::with_pool_mb(2)
-        });
-        load_relation(&db, "road", &road, false).unwrap();
-        load_relation(&db, "hydrography", &hydro, false).unwrap();
-        db.pool().clear_cache().unwrap();
-        let out = pbsm_join::pbsm::pbsm_join(&db, &spec, &JoinConfig::for_db(&db)).unwrap();
-        let tio = out.report.total_io();
-        io[i] = out.report.total_io_s();
-        rows.push(vec![
-            (if sorted {
-                "sorted write-behind"
-            } else {
-                "single-victim flush"
-            })
-            .to_string(),
-            secs(out.report.total_1996(cs)),
-            secs(out.report.total_io_s()),
-            format!("{}", tio.seeks),
-            format!("{}", tio.writes),
-            format!("{}", out.stats.results),
-        ]);
-    }
-    report.table(
-        &[
-            "flush policy",
-            "total s (1996)",
-            "io s",
-            "seeks",
-            "writes",
-            "results",
-        ],
-        &rows,
+            let mut rows = Vec::new();
+            let mut io = [0.0f64; 2];
+            for (i, sorted) in [true, false].into_iter().enumerate() {
+                let db = Db::new(DbConfig {
+                    sorted_flush: sorted,
+                    ..DbConfig::with_pool_mb(2)
+                });
+                load_relation(&db, "road", &road, false).unwrap();
+                load_relation(&db, "hydrography", &hydro, false).unwrap();
+                db.pool().clear_cache().unwrap();
+                let out = pbsm_join::pbsm::pbsm_join(&db, &spec, &JoinConfig::for_db(&db)).unwrap();
+                let tio = out.report.total_io();
+                io[i] = out.report.total_io_s();
+                let key = if sorted { "sorted" } else { "single" };
+                report.metric(&format!("seeks.{key}"), tio.seeks as f64);
+                report.metric(&format!("writes.{key}"), tio.writes as f64);
+                report.timing(&format!("io_s.{key}"), io[i]);
+                rows.push(vec![
+                    (if sorted {
+                        "sorted write-behind"
+                    } else {
+                        "single-victim flush"
+                    })
+                    .to_string(),
+                    secs(out.report.total_1996(cs)),
+                    secs(out.report.total_io_s()),
+                    format!("{}", tio.seeks),
+                    format!("{}", tio.writes),
+                    format!("{}", out.stats.results),
+                ]);
+            }
+            report.table(
+                &[
+                    "flush policy",
+                    "total s (1996)",
+                    "io s",
+                    "seeks",
+                    "writes",
+                    "results",
+                ],
+                &rows,
+            );
+            report.blank();
+            report.line(&format!(
+                "sorted write-behind reduces modeled I/O time: {} ({} vs {})",
+                if io[0] <= io[1] { "yes ✓" } else { "NO ✗" },
+                secs(io[0]),
+                secs(io[1]),
+            ));
+        },
     );
-    report.blank();
-    report.line(&format!(
-        "sorted write-behind reduces modeled I/O time: {} ({} vs {})",
-        if io[0] <= io[1] { "yes ✓" } else { "NO ✗" },
-        secs(io[0]),
-        secs(io[1]),
-    ));
-    report.save();
 }

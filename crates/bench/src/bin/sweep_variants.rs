@@ -26,78 +26,89 @@ fn time_both(ta: &[Tagged], tb: &[Tagged]) -> (f64, f64, u64, u64) {
 }
 
 fn main() {
-    let mut report = Report::new(
+    Report::run(
         "sweep_variants",
         "Footnote 1: nested-scan sweep vs interval-tree sweep",
-    );
-    // Realistic: TIGER MBRs.
-    let cfg = TigerConfig::scaled(pbsm_bench::scale().min(0.3));
-    let mut ta: Vec<Tagged> = tiger::road(&cfg)
-        .iter()
-        .enumerate()
-        .map(|(i, t)| (t.geom.mbr(), i as u32))
-        .collect();
-    let mut tb: Vec<Tagged> = tiger::hydrography(&cfg)
-        .iter()
-        .enumerate()
-        .map(|(i, t)| (t.geom.mbr(), i as u32))
-        .collect();
-    sort_by_xl(&mut ta);
-    sort_by_xl(&mut tb);
-    let (nested, interval, n1, n2) = time_both(&ta, &tb);
-    assert_eq!(n1, n2);
-    let mut rows = vec![vec![
-        "TIGER road × hydro".to_string(),
-        format!("{}×{}", ta.len(), tb.len()),
-        secs(nested),
-        secs(interval),
-        format!("{n1}"),
-    ]];
+        |report| {
+            // Realistic: TIGER MBRs.
+            let cfg = TigerConfig::scaled(pbsm_bench::scale().min(0.3));
+            let mut ta: Vec<Tagged> = tiger::road(&cfg)
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.geom.mbr(), i as u32))
+                .collect();
+            let mut tb: Vec<Tagged> = tiger::hydrography(&cfg)
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.geom.mbr(), i as u32))
+                .collect();
+            sort_by_xl(&mut ta);
+            sort_by_xl(&mut tb);
+            let (nested, interval, n1, n2) = time_both(&ta, &tb);
+            assert_eq!(n1, n2);
+            report.metric("pairs.tiger", n1 as f64);
+            report.timing("nested_s.tiger", nested);
+            report.timing("interval_s.tiger", interval);
+            let mut rows = vec![vec![
+                "TIGER road × hydro".to_string(),
+                format!("{}×{}", ta.len(), tb.len()),
+                secs(nested),
+                secs(interval),
+                format!("{n1}"),
+            ]];
 
-    // Pathological: tall skinny rectangles all overlapping in x — the
-    // nested scan degenerates toward quadratic, the interval tree stays
-    // output-sensitive.
-    let mk = |n: usize, seed: u64| -> Vec<Tagged> {
-        let mut rng = pbsm_geom::lcg::Lcg::new(seed);
-        let mut v: Vec<Tagged> = (0..n)
-            .map(|i| {
-                let y = rng.next_f64() * 10_000.0;
-                (Rect::new(0.0, y, 100.0, y + 1.0), i as u32)
-            })
-            .collect();
-        sort_by_xl(&mut v);
-        v
-    };
-    let pa = mk(20_000, 3);
-    let pb = mk(20_000, 7);
-    let (nested_p, interval_p, p1, p2) = time_both(&pa, &pb);
-    assert_eq!(p1, p2);
-    rows.push(vec![
-        "tall-skinny (x-degenerate)".to_string(),
-        format!("{}×{}", pa.len(), pb.len()),
-        secs(nested_p),
-        secs(interval_p),
-        format!("{p1}"),
-    ]);
+            // Pathological: tall skinny rectangles all overlapping in x —
+            // the nested scan degenerates toward quadratic, the interval
+            // tree stays output-sensitive.
+            let mk = |n: usize, seed: u64| -> Vec<Tagged> {
+                let mut rng = pbsm_geom::lcg::Lcg::new(seed);
+                let mut v: Vec<Tagged> = (0..n)
+                    .map(|i| {
+                        let y = rng.next_f64() * 10_000.0;
+                        (Rect::new(0.0, y, 100.0, y + 1.0), i as u32)
+                    })
+                    .collect();
+                sort_by_xl(&mut v);
+                v
+            };
+            let pa = mk(20_000, 3);
+            let pb = mk(20_000, 7);
+            let (nested_p, interval_p, p1, p2) = time_both(&pa, &pb);
+            assert_eq!(p1, p2);
+            report.metric("pairs.degenerate", p1 as f64);
+            report.timing("nested_s.degenerate", nested_p);
+            report.timing("interval_s.degenerate", interval_p);
+            rows.push(vec![
+                "tall-skinny (x-degenerate)".to_string(),
+                format!("{}×{}", pa.len(), pb.len()),
+                secs(nested_p),
+                secs(interval_p),
+                format!("{p1}"),
+            ]);
 
-    report.table(
-        &[
-            "workload",
-            "sizes",
-            "nested-scan s",
-            "interval-tree s",
-            "pairs",
-        ],
-        &rows,
+            report.table(
+                &[
+                    "workload",
+                    "sizes",
+                    "nested-scan s",
+                    "interval-tree s",
+                    "pairs",
+                ],
+                &rows,
+            );
+            report.blank();
+            report.timing(
+                "check.interval_wins_degenerate",
+                f64::from(interval_p < nested_p),
+            );
+            report.line(&format!(
+                "interval tree wins the degenerate case: {}",
+                if interval_p < nested_p {
+                    "yes ✓"
+                } else {
+                    "NO ✗"
+                }
+            ));
+        },
     );
-    report.blank();
-    report.line(&format!(
-        "interval tree wins the degenerate case: {}",
-        if interval_p < nested_p {
-            "yes ✓"
-        } else {
-            "NO ✗"
-        }
-    ));
-    report.save();
 }

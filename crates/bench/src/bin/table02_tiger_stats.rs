@@ -10,42 +10,52 @@ use pbsm_join::loader::{build_index, load_relation};
 use pbsm_storage::{Db, DbConfig};
 
 fn main() {
-    let mut report = Report::new("table02_tiger_stats", "Table 2: Wisconsin TIGER data");
-    let cfg = TigerConfig::scaled(pbsm_bench::scale());
-    let db = Db::new(DbConfig::with_pool_mb(16));
+    Report::run(
+        "table02_tiger_stats",
+        "Table 2: Wisconsin TIGER data",
+        |report| {
+            let cfg = TigerConfig::scaled(pbsm_bench::scale());
+            let db = Db::new(DbConfig::with_pool_mb(16));
 
-    let mut rows = Vec::new();
-    for (name, tuples, paper) in [
-        ("Road", tiger::road(&cfg), "456,613 / 62.4 MB / 24.0 MB"),
-        (
-            "Hydrography",
-            tiger::hydrography(&cfg),
-            "122,149 / 25.2 MB / 6.5 MB",
-        ),
-        ("Rail", tiger::rail(&cfg), "16,844 / 2.4 MB / 1.0 MB"),
-    ] {
-        let stats = DatasetStats::from_tuples(name, &tuples);
-        let meta = load_relation(&db, name, &tuples, false).unwrap();
-        let tree = build_index(&db, &meta).unwrap();
-        rows.push(vec![
-            name.to_string(),
-            format!("{}", stats.count),
-            format!("{:.1} MB", meta.bytes as f64 / (1024.0 * 1024.0)),
-            format!("{:.1} MB", tree.bytes(db.pool()) as f64 / (1024.0 * 1024.0)),
-            format!("{:.1}", stats.avg_points),
-            paper.to_string(),
-        ]);
-    }
-    report.table(
-        &[
-            "data",
-            "#objects",
-            "heap size",
-            "R*-tree size",
-            "avg pts",
-            "paper (#/size/index)",
-        ],
-        &rows,
+            let mut rows = Vec::new();
+            for (name, tuples, paper) in [
+                ("Road", tiger::road(&cfg), "456,613 / 62.4 MB / 24.0 MB"),
+                (
+                    "Hydrography",
+                    tiger::hydrography(&cfg),
+                    "122,149 / 25.2 MB / 6.5 MB",
+                ),
+                ("Rail", tiger::rail(&cfg), "16,844 / 2.4 MB / 1.0 MB"),
+            ] {
+                let stats = DatasetStats::from_tuples(name, &tuples);
+                let meta = load_relation(&db, name, &tuples, false).unwrap();
+                let tree = build_index(&db, &meta).unwrap();
+                let heap_mb = meta.bytes as f64 / (1024.0 * 1024.0);
+                let index_mb = tree.bytes(db.pool()) as f64 / (1024.0 * 1024.0);
+                let key = name.to_lowercase();
+                report.metric(&format!("{key}.objects"), stats.count as f64);
+                report.metric(&format!("{key}.heap_mb"), heap_mb);
+                report.metric(&format!("{key}.index_mb"), index_mb);
+                rows.push(vec![
+                    name.to_string(),
+                    format!("{}", stats.count),
+                    format!("{heap_mb:.1} MB"),
+                    format!("{index_mb:.1} MB"),
+                    format!("{:.1}", stats.avg_points),
+                    paper.to_string(),
+                ]);
+            }
+            report.table(
+                &[
+                    "data",
+                    "#objects",
+                    "heap size",
+                    "R*-tree size",
+                    "avg pts",
+                    "paper (#/size/index)",
+                ],
+                &rows,
+            );
+        },
     );
-    report.save();
 }

@@ -10,52 +10,59 @@ use pbsm_join::loader::{build_index, load_relation};
 use pbsm_storage::{Db, DbConfig};
 
 fn main() {
-    let mut report = Report::new("table03_sequoia_stats", "Table 3: Sequoia data");
-    let cfg = SequoiaConfig {
-        scale: pbsm_bench::scale(),
-        ..SequoiaConfig::default()
-    };
-    let (polys, islands) = sequoia::generate(&cfg);
-    let db = Db::new(DbConfig::with_pool_mb(16));
+    Report::run("table03_sequoia_stats", "Table 3: Sequoia data", |report| {
+        let cfg = SequoiaConfig {
+            scale: pbsm_bench::scale(),
+            ..SequoiaConfig::default()
+        };
+        let (polys, islands) = sequoia::generate(&cfg);
+        let db = Db::new(DbConfig::with_pool_mb(16));
 
-    let mut rows = Vec::new();
-    for (name, tuples, paper) in [
-        ("Polygon", &polys, "58,115 / 21.9 MB / avg 46 pts"),
-        ("Island", &islands, "20,256 / avg 35 pts"),
-    ] {
-        let stats = DatasetStats::from_tuples(name, tuples);
-        let meta = load_relation(&db, name, tuples, false).unwrap();
-        let tree = build_index(&db, &meta).unwrap();
-        rows.push(vec![
-            name.to_string(),
-            format!("{}", stats.count),
-            format!("{:.1} MB", meta.bytes as f64 / (1024.0 * 1024.0)),
-            format!("{:.1} MB", tree.bytes(db.pool()) as f64 / (1024.0 * 1024.0)),
-            format!("{:.1}", stats.avg_points),
-            paper.to_string(),
-        ]);
-    }
-    report.table(
-        &[
-            "data",
-            "#objects",
-            "heap size",
-            "R*-tree size",
-            "avg pts",
-            "paper",
-        ],
-        &rows,
-    );
+        let mut rows = Vec::new();
+        for (name, tuples, paper) in [
+            ("Polygon", &polys, "58,115 / 21.9 MB / avg 46 pts"),
+            ("Island", &islands, "20,256 / avg 35 pts"),
+        ] {
+            let stats = DatasetStats::from_tuples(name, tuples);
+            let meta = load_relation(&db, name, tuples, false).unwrap();
+            let tree = build_index(&db, &meta).unwrap();
+            let heap_mb = meta.bytes as f64 / (1024.0 * 1024.0);
+            let index_mb = tree.bytes(db.pool()) as f64 / (1024.0 * 1024.0);
+            let key = name.to_lowercase();
+            report.metric(&format!("{key}.objects"), stats.count as f64);
+            report.metric(&format!("{key}.heap_mb"), heap_mb);
+            report.metric(&format!("{key}.index_mb"), index_mb);
+            rows.push(vec![
+                name.to_string(),
+                format!("{}", stats.count),
+                format!("{heap_mb:.1} MB"),
+                format!("{index_mb:.1} MB"),
+                format!("{:.1}", stats.avg_points),
+                paper.to_string(),
+            ]);
+        }
+        report.table(
+            &[
+                "data",
+                "#objects",
+                "heap size",
+                "R*-tree size",
+                "avg pts",
+                "paper",
+            ],
+            &rows,
+        );
 
-    // The query's result size, for the 25,260-tuple cross-check.
-    let spec = pbsm_bench::sequoia_spec();
-    let db2 = pbsm_bench::sequoia_db(16, false);
-    let out =
-        pbsm_join::pbsm::pbsm_join(&db2, &spec, &pbsm_join::JoinConfig::for_db(&db2)).unwrap();
-    report.blank();
-    report.line(&format!(
-        "landuse ⋈ islands containment result: {} pairs (paper: 25,260)",
-        out.stats.results
-    ));
-    report.save();
+        // The query's result size, for the 25,260-tuple cross-check.
+        let spec = pbsm_bench::sequoia_spec();
+        let db2 = pbsm_bench::sequoia_db(16, false);
+        let out =
+            pbsm_join::pbsm::pbsm_join(&db2, &spec, &pbsm_join::JoinConfig::for_db(&db2)).unwrap();
+        report.metric("result_pairs", out.stats.results as f64);
+        report.blank();
+        report.line(&format!(
+            "landuse ⋈ islands containment result: {} pairs (paper: 25,260)",
+            out.stats.results
+        ));
+    });
 }

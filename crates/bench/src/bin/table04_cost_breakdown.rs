@@ -12,79 +12,86 @@ use pbsm_bench::{cpu_scale, secs, tiger_db, tiger_spec, Algorithm, Report, Tiger
 use pbsm_join::JoinConfig;
 
 fn main() {
-    let mut report = Report::new(
+    Report::run(
         "table04_cost_breakdown",
         "Table 4: detailed cost breakdown, Road ⋈ Hydrography (modeled 1996 seconds)",
-    );
-    let cs = cpu_scale();
-    let spec = tiger_spec(TigerSet::RoadHydro);
-    let mut pools = pbsm_bench::pool_sizes_mb();
-    pools.reverse(); // paper lists 24, 8, 2
+        |report| {
+            let cs = cpu_scale();
+            let spec = tiger_spec(TigerSet::RoadHydro);
+            let mut pools = pbsm_bench::pool_sizes_mb();
+            pools.reverse(); // paper lists 24, 8, 2
 
-    let mut cpu_dominates_everywhere = true;
-    for alg in Algorithm::ALL {
-        report.blank();
-        report.line(&format!("=== {} ===", alg.name()));
-        // One run per pool size; paper's columns are pool sizes, rows are
-        // components. Collect runs first.
-        let runs: Vec<_> = pools
-            .iter()
-            .map(|&mb| {
-                let db = tiger_db(mb, TigerSet::RoadHydro, false);
-                (mb, alg.run(&db, &spec, &JoinConfig::for_db(&db)))
-            })
-            .collect();
-        let component_names: Vec<String> = runs[0]
-            .1
-            .report
-            .components
-            .iter()
-            .map(|c| c.name.clone())
-            .collect();
+            let mut cpu_dominates_everywhere = true;
+            for alg in Algorithm::ALL {
+                report.blank();
+                report.line(&format!("=== {} ===", alg.name()));
+                // One run per pool size; paper's columns are pool sizes,
+                // rows are components. Collect runs first.
+                let runs: Vec<_> = pools
+                    .iter()
+                    .map(|&mb| {
+                        let db = tiger_db(mb, TigerSet::RoadHydro, false);
+                        (mb, alg.run(&db, &spec, &JoinConfig::for_db(&db)))
+                    })
+                    .collect();
+                let component_names: Vec<String> = runs[0]
+                    .1
+                    .report
+                    .components
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect();
 
-        let mut header: Vec<String> = vec!["component".to_string()];
-        for (mb, _) in &runs {
-            header.push(format!("{mb}MB total"));
-            header.push(format!("{mb}MB io"));
-            header.push(format!("{mb}MB io%"));
-        }
-        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-
-        let mut rows = Vec::new();
-        for cname in component_names
-            .iter()
-            .chain(std::iter::once(&"TOTAL".to_string()))
-        {
-            let mut row = vec![cname.clone()];
-            for (_, out) in &runs {
-                let (total, io) = if cname == "TOTAL" {
-                    (out.report.total_1996(cs), out.report.total_io_s())
-                } else {
-                    let c = out.report.component(cname).unwrap();
-                    (c.total_1996(cs), c.io_s())
-                };
-                row.push(secs(total));
-                row.push(secs(io));
-                row.push(format!("{:.1}%", 100.0 * io / total.max(1e-9)));
-                // INL at tiny pools exceeds 50 % even in the paper
-                // (64.5 % at 2 MB); hold PBSM and the R-tree join to it.
-                if cname == "TOTAL" && alg != Algorithm::Inl && io > 0.5 * total {
-                    cpu_dominates_everywhere = false;
+                let mut header: Vec<String> = vec!["component".to_string()];
+                for (mb, _) in &runs {
+                    header.push(format!("{mb}MB total"));
+                    header.push(format!("{mb}MB io"));
+                    header.push(format!("{mb}MB io%"));
                 }
-            }
-            rows.push(row);
-        }
-        report.table(&header_refs, &rows);
-    }
+                let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
 
-    report.blank();
-    report.line(&format!(
-        "CPU cost dominates I/O (PBSM & R-tree TOTAL io% < 50% at all pools; paper: yes): {}",
-        if cpu_dominates_everywhere {
-            "yes ✓"
-        } else {
-            "NO ✗"
-        }
-    ));
-    report.save();
+                let mut rows = Vec::new();
+                for cname in component_names
+                    .iter()
+                    .chain(std::iter::once(&"TOTAL".to_string()))
+                {
+                    let mut row = vec![cname.clone()];
+                    for (mb, out) in &runs {
+                        let (total, io) = if cname == "TOTAL" {
+                            (out.report.total_1996(cs), out.report.total_io_s())
+                        } else {
+                            let c = out.report.component(cname).unwrap();
+                            (c.total_1996(cs), c.io_s())
+                        };
+                        let io_pct = 100.0 * io / total.max(1e-9);
+                        row.push(secs(total));
+                        row.push(secs(io));
+                        row.push(format!("{io_pct:.1}%"));
+                        // INL at tiny pools exceeds 50 % even in the paper
+                        // (64.5 % at 2 MB); hold PBSM and the R-tree join
+                        // to it.
+                        if cname == "TOTAL" {
+                            report.timing(&format!("io_pct.{}.{mb}mb", alg.key()), io_pct);
+                            if alg != Algorithm::Inl && io > 0.5 * total {
+                                cpu_dominates_everywhere = false;
+                            }
+                        }
+                    }
+                    rows.push(row);
+                }
+                report.table(&header_refs, &rows);
+            }
+
+            report.blank();
+            report.timing("check.cpu_dominates", f64::from(cpu_dominates_everywhere));
+            report.line(&format!(
+                "CPU cost dominates I/O (PBSM & R-tree TOTAL io% < 50% at all pools; paper: yes): {}",
+                if cpu_dominates_everywhere {
+                    "yes ✓"
+                } else {
+                    "NO ✗"
+                }
+            ));
+        },
+    );
 }

@@ -9,55 +9,58 @@ use pbsm_bench::{cpu_scale, secs, tiger_db, tiger_spec, Report, TigerSet};
 use pbsm_join::{JoinConfig, TileMapScheme};
 
 fn main() {
-    let mut report = Report::new(
+    Report::run(
         "tiles_ablation",
         "§4.3: PBSM total time vs number of tiles (Road ⋈ Hydrography, 8 MB pool)",
-    );
-    let cs = cpu_scale();
-    let spec = tiger_spec(TigerSet::RoadHydro);
-    let mut rows = Vec::new();
-    let mut totals = Vec::new();
-    for tiles in [64usize, 256, 1024, 4096, 16384] {
-        let db = tiger_db(8, TigerSet::RoadHydro, false);
-        let config = JoinConfig {
-            num_tiles: tiles,
-            tile_map: TileMapScheme::Hash,
-            ..JoinConfig::for_db(&db)
-        };
-        let out = pbsm_join::pbsm::pbsm_join(&db, &spec, &config).unwrap();
-        let total = out.report.total_1996(cs);
-        totals.push(total);
-        rows.push(vec![
-            format!("{}", out.stats.tiles),
-            secs(total),
-            format!("{}", out.stats.partitions),
-            format!(
-                "{:.2}%",
-                100.0
+        |report| {
+            let cs = cpu_scale();
+            let spec = tiger_spec(TigerSet::RoadHydro);
+            let mut rows = Vec::new();
+            let mut totals = Vec::new();
+            for tiles in [64usize, 256, 1024, 4096, 16384] {
+                let db = tiger_db(8, TigerSet::RoadHydro, false);
+                let config = JoinConfig {
+                    num_tiles: tiles,
+                    tile_map: TileMapScheme::Hash,
+                    ..JoinConfig::for_db(&db)
+                };
+                let out = pbsm_join::pbsm::pbsm_join(&db, &spec, &config).unwrap();
+                let total = out.report.total_1996(cs);
+                let replication_pct = 100.0
                     * (out.stats.replicated_elements as f64 / out.stats.input_elements as f64
-                        - 1.0)
-            ),
-            format!("{}", out.stats.results),
-        ]);
-    }
-    report.table(
-        &[
-            "tiles",
-            "total s (1996)",
-            "partitions",
-            "replication",
-            "results",
-        ],
-        &rows,
-    );
+                        - 1.0);
+                report.metric(&format!("results.{tiles}"), out.stats.results as f64);
+                report.metric(&format!("replication_pct.{tiles}"), replication_pct);
+                report.timing(&format!("total_1996.{tiles}"), total);
+                totals.push(total);
+                rows.push(vec![
+                    format!("{}", out.stats.tiles),
+                    secs(total),
+                    format!("{}", out.stats.partitions),
+                    format!("{replication_pct:.2}%"),
+                    format!("{}", out.stats.results),
+                ]);
+            }
+            report.table(
+                &[
+                    "tiles",
+                    "total s (1996)",
+                    "partitions",
+                    "replication",
+                    "results",
+                ],
+                &rows,
+            );
 
-    let min = totals.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = totals.iter().cloned().fold(0.0f64, f64::max);
-    let spread = 100.0 * (max - min) / min;
-    report.blank();
-    report.line(&format!(
-        "spread across tile counts: {spread:.1}% (paper: <5% — small effect: {})",
-        if spread < 15.0 { "yes ✓" } else { "NO ✗" }
-    ));
-    report.save();
+            let min = totals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = totals.iter().cloned().fold(0.0f64, f64::max);
+            let spread = 100.0 * (max - min) / min;
+            report.timing("spread_pct", spread);
+            report.blank();
+            report.line(&format!(
+                "spread across tile counts: {spread:.1}% (paper: <5% — small effect: {})",
+                if spread < 15.0 { "yes ✓" } else { "NO ✗" }
+            ));
+        },
+    );
 }

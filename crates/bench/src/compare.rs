@@ -1,0 +1,314 @@
+//! The regression checker behind the `bench_compare` binary.
+//!
+//! Compares a trajectory record (see [`crate::traj`]) against a committed
+//! baseline, metric by metric, with relative tolerances. Only values
+//! that are deterministic for a given (code, scale) pair are gated:
+//!
+//! * per-bench **counters** (disk reads/writes/seeks, partition element
+//!   counts, sweep comparisons, …),
+//! * per-bench **metrics** (result cardinalities, replication rates,
+//!   index sizes),
+//! * **histogram summaries** (count/p50/p99/max).
+//!
+//! Wall times and `timings` entries are *never* gated — they measure the
+//! host, not the algorithm. A gated value fails when it deviates from the
+//! baseline by more than the tolerance **in either direction**: an
+//! unexplained improvement is as suspicious as a regression until the
+//! baseline is re-recorded (`scripts/bench.sh --update-baseline`).
+
+use pbsm_obs::Json;
+
+/// True when `current` lies within `tol` (relative) of `baseline`.
+/// A small absolute epsilon keeps zero-valued baselines comparable: a
+/// baseline of exactly 0 matches only (near-)zero currents.
+pub fn within_tolerance(baseline: f64, current: f64, tol: f64) -> bool {
+    (current - baseline).abs() <= tol * baseline.abs() + 1e-9
+}
+
+/// One comparison outcome worth reporting.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Finding {
+    /// Value moved beyond tolerance.
+    Deviated {
+        bench: String,
+        key: String,
+        baseline: f64,
+        current: f64,
+        tol: f64,
+    },
+    /// Key present in the baseline, absent from the current run.
+    MissingMetric { bench: String, key: String },
+    /// Key absent from the baseline, present in the current run
+    /// (informational — new instrumentation is not a regression).
+    NewMetric { bench: String, key: String },
+    /// Whole bench present in the baseline, absent from the current run.
+    MissingBench { bench: String },
+}
+
+impl Finding {
+    /// Does this finding fail the gate?
+    pub fn is_regression(&self) -> bool {
+        !matches!(self, Finding::NewMetric { .. })
+    }
+
+    pub fn describe(&self) -> String {
+        match self {
+            Finding::Deviated {
+                bench,
+                key,
+                baseline,
+                current,
+                tol,
+            } => {
+                let dir = if current > baseline { "up" } else { "down" };
+                let pct = 100.0 * (current - baseline) / baseline.abs().max(1e-9);
+                format!(
+                    "FAIL {bench}/{key}: {baseline} -> {current} ({dir} {pct:+.1}%, tolerance ±{:.1}%)",
+                    tol * 100.0
+                )
+            }
+            Finding::MissingMetric { bench, key } => {
+                format!("FAIL {bench}/{key}: present in baseline, missing from current run")
+            }
+            Finding::NewMetric { bench, key } => {
+                format!("note {bench}/{key}: new metric (absent from baseline)")
+            }
+            Finding::MissingBench { bench } => {
+                format!("FAIL {bench}: bench present in baseline, missing from current run")
+            }
+        }
+    }
+}
+
+/// The full comparison result.
+#[derive(Clone, Debug, Default)]
+pub struct CompareReport {
+    pub findings: Vec<Finding>,
+    /// Gated values checked (for the "N metrics compared" summary line).
+    pub checked: usize,
+}
+
+impl CompareReport {
+    pub fn regressions(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.is_regression())
+    }
+
+    pub fn passed(&self) -> bool {
+        self.regressions().next().is_none()
+    }
+}
+
+/// Flattens one bench entry's gated values: `counters.*`, `metrics.*`,
+/// and `histograms.<name>.{count,p50,p99,max}`.
+fn gated_values(bench: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for block in ["counters", "metrics"] {
+        if let Some(Json::Obj(fields)) = bench.get(block) {
+            for (k, v) in fields {
+                if let Some(n) = v.as_f64() {
+                    out.push((format!("{block}.{k}"), n));
+                }
+            }
+        }
+    }
+    if let Some(Json::Obj(hists)) = bench.get("histograms") {
+        for (name, summary) in hists {
+            if let Json::Obj(stats) = summary {
+                for (stat, v) in stats {
+                    if let Some(n) = v.as_f64() {
+                        out.push((format!("histograms.{name}.{stat}"), n));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn benches_by_name(record: &Json) -> Vec<(String, &Json)> {
+    record
+        .get("benches")
+        .and_then(Json::as_arr)
+        .map(|list| {
+            list.iter()
+                .filter_map(|b| Some((b.get("name")?.as_str()?.to_string(), b)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Compares `current` against `baseline` with the given relative
+/// tolerance on every gated value.
+pub fn compare(baseline: &Json, current: &Json, tol: f64) -> CompareReport {
+    let mut report = CompareReport::default();
+    let cur = benches_by_name(current);
+    for (bench_name, base_bench) in benches_by_name(baseline) {
+        let Some((_, cur_bench)) = cur.iter().find(|(n, _)| *n == bench_name) else {
+            report
+                .findings
+                .push(Finding::MissingBench { bench: bench_name });
+            continue;
+        };
+        let base_vals = gated_values(base_bench);
+        let cur_vals = gated_values(cur_bench);
+        for (key, base_v) in &base_vals {
+            match cur_vals.iter().find(|(k, _)| k == key) {
+                None => report.findings.push(Finding::MissingMetric {
+                    bench: bench_name.clone(),
+                    key: key.clone(),
+                }),
+                Some((_, cur_v)) => {
+                    report.checked += 1;
+                    if !within_tolerance(*base_v, *cur_v, tol) {
+                        report.findings.push(Finding::Deviated {
+                            bench: bench_name.clone(),
+                            key: key.clone(),
+                            baseline: *base_v,
+                            current: *cur_v,
+                            tol,
+                        });
+                    }
+                }
+            }
+        }
+        for (key, _) in &cur_vals {
+            if !base_vals.iter().any(|(k, _)| k == key) {
+                report.findings.push(Finding::NewMetric {
+                    bench: bench_name.clone(),
+                    key: key.clone(),
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record_with(counters: &[(&str, f64)]) -> Json {
+        let fields = counters
+            .iter()
+            .map(|(k, v)| (k.to_string(), Json::Num(*v)))
+            .collect();
+        Json::Obj(vec![(
+            "benches".into(),
+            Json::Arr(vec![Json::Obj(vec![
+                ("name".into(), Json::Str("fig_x".into())),
+                ("counters".into(), Json::Obj(fields)),
+            ])]),
+        )])
+    }
+
+    #[test]
+    fn exact_equal_passes() {
+        let base = record_with(&[("storage.disk.reads", 1000.0)]);
+        let report = compare(&base, &base, 0.0);
+        assert!(report.passed());
+        assert_eq!(report.checked, 1);
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn just_inside_tolerance_passes() {
+        let base = record_with(&[("storage.disk.reads", 1000.0)]);
+        let cur = record_with(&[("storage.disk.reads", 1020.0)]);
+        // 2 % up, tolerance 2 %: inside (inclusive).
+        assert!(compare(&base, &cur, 0.02).passed());
+        // Deviation downward is symmetric.
+        let down = record_with(&[("storage.disk.reads", 980.0)]);
+        assert!(compare(&base, &down, 0.02).passed());
+    }
+
+    #[test]
+    fn just_outside_tolerance_fails() {
+        let base = record_with(&[("storage.disk.reads", 1000.0)]);
+        let cur = record_with(&[("storage.disk.reads", 1021.0)]);
+        let report = compare(&base, &cur, 0.02);
+        assert!(!report.passed());
+        let regs: Vec<_> = report.regressions().collect();
+        assert_eq!(regs.len(), 1);
+        assert!(matches!(
+            regs[0],
+            Finding::Deviated { current, .. } if *current == 1021.0
+        ));
+        // An improvement beyond tolerance also trips the gate: the
+        // baseline is stale either way.
+        let down = record_with(&[("storage.disk.reads", 900.0)]);
+        assert!(!compare(&base, &down, 0.02).passed());
+    }
+
+    #[test]
+    fn zero_baseline_edges() {
+        let base = record_with(&[("pbsm.refine.false_hits", 0.0)]);
+        assert!(compare(&base, &base, 0.0).passed());
+        let cur = record_with(&[("pbsm.refine.false_hits", 5.0)]);
+        // No relative slack can absorb movement off a zero baseline.
+        assert!(!compare(&base, &cur, 0.5).passed());
+    }
+
+    #[test]
+    fn missing_metric_fails() {
+        let base = record_with(&[("storage.disk.reads", 10.0), ("storage.disk.seeks", 3.0)]);
+        let cur = record_with(&[("storage.disk.reads", 10.0)]);
+        let report = compare(&base, &cur, 0.02);
+        assert!(!report.passed());
+        assert!(report.findings.iter().any(|f| matches!(
+            f,
+            Finding::MissingMetric { key, .. } if key == "counters.storage.disk.seeks"
+        )));
+    }
+
+    #[test]
+    fn new_metric_is_reported_but_passes() {
+        let base = record_with(&[("storage.disk.reads", 10.0)]);
+        let cur = record_with(&[("storage.disk.reads", 10.0), ("rtree.splits", 4.0)]);
+        let report = compare(&base, &cur, 0.02);
+        assert!(report.passed(), "a new metric must not fail the gate");
+        assert!(report.findings.iter().any(|f| matches!(
+            f,
+            Finding::NewMetric { key, .. } if key == "counters.rtree.splits"
+        )));
+    }
+
+    #[test]
+    fn missing_bench_fails() {
+        let base = record_with(&[("storage.disk.reads", 10.0)]);
+        let cur = Json::Obj(vec![("benches".into(), Json::Arr(vec![]))]);
+        let report = compare(&base, &cur, 0.02);
+        assert!(!report.passed());
+        assert!(matches!(&report.findings[0], Finding::MissingBench { bench } if bench == "fig_x"));
+    }
+
+    #[test]
+    fn histogram_summaries_are_gated() {
+        let mk = |p99: u64| {
+            Json::Obj(vec![(
+                "benches".into(),
+                Json::Arr(vec![Json::Obj(vec![
+                    ("name".into(), Json::Str("fig_x".into())),
+                    (
+                        "histograms".into(),
+                        Json::Obj(vec![(
+                            "h".into(),
+                            Json::Obj(vec![
+                                ("count".into(), Json::uint(100)),
+                                ("p50".into(), Json::uint(1)),
+                                ("p99".into(), Json::uint(p99)),
+                                ("max".into(), Json::uint(p99)),
+                            ]),
+                        )]),
+                    ),
+                ])]),
+            )])
+        };
+        assert!(compare(&mk(7), &mk(7), 0.0).passed());
+        let report = compare(&mk(7), &mk(15), 0.02);
+        assert!(!report.passed());
+        assert!(report.findings.iter().any(|f| matches!(
+            f,
+            Finding::Deviated { key, .. } if key == "histograms.h.p99"
+        )));
+    }
+}

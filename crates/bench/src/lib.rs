@@ -13,11 +13,25 @@
 //!   `pbsm_join::cost`).
 //! * `PBSM_TRACE=1` — print every completed root span tree to stderr
 //!   (see `pbsm_obs`).
+//! * `PBSM_TRACE_JSON` / `PBSM_TRACE_FOLDED` — write the span forest as
+//!   a Chrome trace-event file / folded flamegraph text on every report
+//!   save (see `pbsm_obs::export`; `{name}` expands to the report name).
+//!
+//! The environment is read **once** per process into [`BenchEnv`]; every
+//! `PBSM_*` variable is echoed into each bench JSON's `config` block.
 //!
 //! Output goes to stdout and to `bench_results/<name>.txt`, plus a
 //! machine-readable `bench_results/<name>.json` holding the run's
-//! configuration and the full observability session (counters, gauges,
-//! histograms, and the span forest). See DESIGN.md §7 for the schema.
+//! configuration, recorded metrics, and the full observability session
+//! (counters, gauges, histograms, and the span forest). See DESIGN.md §7
+//! for the schema. The perf-lab layers on top:
+//!
+//! * [`traj`] aggregates all per-bench JSONs into one `BENCH_<rev>.json`
+//!   trajectory record (`bench_all` binary);
+//! * [`compare`] diffs a trajectory record against a committed baseline
+//!   with per-metric relative tolerances (`bench_compare` binary);
+//! * [`scorecard`] asserts measured values against the paper's published
+//!   numbers and renders the fidelity report in EXPERIMENTS.md.
 
 use pbsm_datagen::sequoia::{self, SequoiaConfig};
 use pbsm_datagen::tiger::{self, TigerConfig};
@@ -27,32 +41,103 @@ use pbsm_join::{JoinConfig, JoinOutcome, JoinSpec};
 use pbsm_storage::{Db, DbConfig};
 use std::fmt::Write as _;
 use std::io::Write as _;
+use std::sync::OnceLock;
+use std::time::Instant;
 
-/// Workload scale factor from `PBSM_SCALE` (default 1.0). Warns on an
-/// unparseable value rather than silently running at full scale.
+pub mod compare;
+pub mod scorecard;
+pub mod traj;
+
+/// Every figure/table harness binary, in the paper's presentation order.
+/// `run_all` and `bench_all` both iterate this list, so adding a harness
+/// is a one-line change.
+pub const HARNESSES: &[&str] = &[
+    "table02_tiger_stats",
+    "table03_sequoia_stats",
+    "fig04_partition_balance",
+    "fig05_replication_tiger",
+    "fig06_replication_sequoia",
+    "fig07_tiger_road_hydro",
+    "fig08_tiger_road_rail",
+    "fig09_clustered_road_hydro",
+    "fig10_rtree_breakdown",
+    "fig11_inl_breakdown",
+    "fig12_pbsm_breakdown",
+    "fig13_sequoia",
+    "fig14_indices_road_hydro",
+    "fig15_indices_road_rail",
+    "table04_cost_breakdown",
+    "bulkload_vs_insert",
+    "tiles_ablation",
+    "refinement_sweep_ablation",
+    "mer_ablation",
+    "sweep_variants",
+    "sorted_flush_ablation",
+    "skew_ablation",
+    "parallel_scaling",
+    "pd_clustered_road_rail",
+    "pd_sequoia_indices",
+];
+
+/// The harness environment, read **once** per process. Every `PBSM_*`
+/// variable present at first access is captured verbatim into
+/// [`BenchEnv::vars`] and recorded in each bench JSON's `config` block,
+/// so runs are self-describing; nothing re-reads `std::env` mid-run.
+pub struct BenchEnv {
+    /// `PBSM_SCALE` (default 1.0, the paper's full cardinalities).
+    pub scale: f64,
+    /// `PBSM_POOLS` in MB (default the paper's 2, 8, 24).
+    pub pools_mb: Vec<usize>,
+    /// `PBSM_CPU_SCALE` (see `pbsm_join::cost`).
+    pub cpu_scale: f64,
+    /// Every `PBSM_*` environment variable, sorted by name.
+    pub vars: Vec<(String, String)>,
+}
+
+/// The process-wide harness environment (first call reads the
+/// environment; later calls return the cached snapshot).
+pub fn env() -> &'static BenchEnv {
+    static ENV: OnceLock<BenchEnv> = OnceLock::new();
+    ENV.get_or_init(|| {
+        let mut vars: Vec<(String, String)> = std::env::vars()
+            .filter(|(k, _)| k.starts_with("PBSM_"))
+            .collect();
+        vars.sort();
+        let lookup = |name: &str| vars.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone());
+        let scale = match lookup("PBSM_SCALE") {
+            None => 1.0,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("warning: ignoring unparseable PBSM_SCALE={v:?}; using 1.0");
+                1.0
+            }),
+        };
+        let pools_mb = lookup("PBSM_POOLS")
+            .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+            .filter(|v: &Vec<usize>| !v.is_empty())
+            .unwrap_or_else(|| vec![2, 8, 24]);
+        BenchEnv {
+            scale,
+            pools_mb,
+            cpu_scale: pbsm_join::cost::cpu_scale(),
+            vars,
+        }
+    })
+}
+
+/// Workload scale factor from `PBSM_SCALE` (default 1.0).
 pub fn scale() -> f64 {
-    match std::env::var("PBSM_SCALE") {
-        Err(_) => 1.0,
-        Ok(v) => v.parse().unwrap_or_else(|_| {
-            eprintln!("warning: ignoring unparseable PBSM_SCALE={v:?}; using 1.0");
-            1.0
-        }),
-    }
+    env().scale
 }
 
 /// Buffer-pool sizes in MB from `PBSM_POOLS` (default the paper's
 /// 2, 8, 24).
 pub fn pool_sizes_mb() -> Vec<usize> {
-    std::env::var("PBSM_POOLS")
-        .ok()
-        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
-        .filter(|v: &Vec<usize>| !v.is_empty())
-        .unwrap_or_else(|| vec![2, 8, 24])
+    env().pools_mb.clone()
 }
 
 /// The native→1996 CPU calibration factor (see `pbsm_join::cost`).
 pub fn cpu_scale() -> f64 {
-    pbsm_join::cost::cpu_scale()
+    env().cpu_scale
 }
 
 /// Which TIGER relations to load.
@@ -139,6 +224,15 @@ impl Algorithm {
         }
     }
 
+    /// Short stable identifier used in metric/timing keys.
+    pub fn key(self) -> &'static str {
+        match self {
+            Algorithm::Pbsm => "pbsm",
+            Algorithm::RtreeJoin => "rtree",
+            Algorithm::Inl => "inl",
+        }
+    }
+
     /// Runs this algorithm.
     pub fn run(self, db: &Db, spec: &JoinSpec, config: &JoinConfig) -> JoinOutcome {
         match self {
@@ -151,9 +245,23 @@ impl Algorithm {
 
 /// Collects harness output, mirrors it to stdout, and saves it under
 /// `bench_results/`.
+///
+/// Besides the human-readable table body, a report accumulates named
+/// scalar results in two classes:
+///
+/// * [`metric`](Report::metric) — **deterministic** quantities (result
+///   cardinalities, replication percentages, index sizes, page counts).
+///   These are the values `bench_compare` gates on and the scorecard
+///   checks against the paper.
+/// * [`timing`](Report::timing) — wall-clock-derived quantities
+///   (modeled totals, speedup factors, shape-check verdicts). Reported
+///   in the trajectory but never gated: they jitter with the host.
 pub struct Report {
     name: String,
     body: String,
+    metrics: Vec<(String, f64)>,
+    timings: Vec<(String, f64)>,
+    t0: Instant,
 }
 
 impl Report {
@@ -165,6 +273,9 @@ impl Report {
         let mut r = Report {
             name: name.to_string(),
             body: String::new(),
+            metrics: Vec::new(),
+            timings: Vec::new(),
+            t0: Instant::now(),
         };
         r.line(&format!("# {title}"));
         r.line(&format!(
@@ -174,6 +285,26 @@ impl Report {
             cpu_scale()
         ));
         r
+    }
+
+    /// The one output path every harness shares: build the report inside
+    /// the closure, and the header, save, and trace export are handled
+    /// here.
+    pub fn run(name: &str, title: &str, f: impl FnOnce(&mut Report)) {
+        let mut report = Report::new(name, title);
+        f(&mut report);
+        report.save();
+    }
+
+    /// Records a deterministic scalar result (gated by `bench_compare`,
+    /// consumed by the paper-fidelity scorecard).
+    pub fn metric(&mut self, key: &str, value: f64) {
+        self.metrics.push((key.to_string(), value));
+    }
+
+    /// Records a timing-derived scalar (reported, never gated).
+    pub fn timing(&mut self, key: &str, value: f64) {
+        self.timings.push((key.to_string(), value));
     }
 
     /// Appends (and prints) one line.
@@ -236,24 +367,47 @@ impl Report {
             }
             Err(e) => eprintln!("could not save {}: {e}", json_path.display()),
         }
+        pbsm_obs::export::write_env_traces(&self.name);
+    }
+
+    /// The `config` block shared by every bench JSON and the trajectory
+    /// record: parsed knobs plus the raw `PBSM_*` environment.
+    pub fn config_json() -> pbsm_obs::Json {
+        use pbsm_obs::Json;
+        let e = env();
+        let pools = e.pools_mb.iter().map(|&p| Json::uint(p as u64)).collect();
+        let vars = e
+            .vars
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+            .collect();
+        Json::Obj(vec![
+            ("scale".into(), Json::Num(e.scale)),
+            ("pools_mb".into(), Json::Arr(pools)),
+            ("cpu_scale".into(), Json::Num(e.cpu_scale)),
+            ("env".into(), Json::Obj(vars)),
+        ])
     }
 
     /// The machine-readable form of this report: run identification, the
-    /// harness configuration, and the whole observability session.
+    /// harness configuration, the recorded metrics/timings, and the whole
+    /// observability session.
     pub fn session_json(&self) -> pbsm_obs::Json {
         use pbsm_obs::Json;
-        let pools = pool_sizes_mb()
-            .into_iter()
-            .map(|p| Json::uint(p as u64))
-            .collect();
-        let config = Json::Obj(vec![
-            ("scale".into(), Json::Num(scale())),
-            ("pools_mb".into(), Json::Arr(pools)),
-            ("cpu_scale".into(), Json::Num(cpu_scale())),
-        ]);
+        let kv = |pairs: &[(String, f64)]| {
+            Json::Obj(
+                pairs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                    .collect(),
+            )
+        };
         Json::Obj(vec![
             ("name".into(), Json::Str(self.name.clone())),
-            ("config".into(), config),
+            ("config".into(), Self::config_json()),
+            ("wall_s".into(), Json::Num(self.t0.elapsed().as_secs_f64())),
+            ("metrics".into(), kv(&self.metrics)),
+            ("timings".into(), kv(&self.timings)),
             ("session".into(), pbsm_obs::session_json()),
         ])
     }
@@ -341,6 +495,7 @@ pub fn compare_algorithms(
     let cs = cpu_scale();
     let mut samples = Vec::new();
     let mut rows = Vec::new();
+    let mut result_pairs = None;
     for pool_mb in pool_sizes_mb() {
         for alg in Algorithm::ALL {
             // Fresh database per run: index builds must be paid by the
@@ -348,9 +503,17 @@ pub fn compare_algorithms(
             let db = mk_db(pool_mb);
             let config = JoinConfig::for_db(&db);
             let out = alg.run(&db, spec, &config);
-            samples.push((pool_mb, alg, out.report.total_1996(cs)));
+            let total = out.report.total_1996(cs);
+            samples.push((pool_mb, alg, total));
             rows.push(outcome_row(alg.name(), pool_mb, &out));
+            report.timing(&format!("total_1996.{}.{pool_mb}mb", alg.key()), total);
+            result_pairs.get_or_insert(out.stats.results);
         }
+    }
+    // All (algorithm, pool) runs answer the same join, so one result
+    // cardinality describes the comparison.
+    if let Some(n) = result_pairs {
+        report.metric("result_pairs", n as f64);
     }
     report.table(&OUTCOME_HEADER, &rows);
     samples
@@ -360,36 +523,49 @@ pub fn compare_algorithms(
 /// breakdown on Road ⋈ Hydrography, clustered and non-clustered, at each
 /// buffer-pool size.
 pub fn breakdown_figure(name: &str, title: &str, alg: Algorithm) {
-    let mut report = Report::new(name, title);
-    let spec = tiger_spec(TigerSet::RoadHydro);
-    for clustered in [false, true] {
-        for pool_mb in pool_sizes_mb() {
-            let db = tiger_db(pool_mb, TigerSet::RoadHydro, clustered);
-            let out = alg.run(&db, &spec, &JoinConfig::for_db(&db));
-            report.blank();
-            report.line(&format!(
-                "== {} | {} | {pool_mb} MB pool ==",
-                alg.name(),
-                if clustered {
-                    "clustered"
-                } else {
-                    "non-clustered"
+    let cs = cpu_scale();
+    Report::run(name, title, |report| {
+        let spec = tiger_spec(TigerSet::RoadHydro);
+        for clustered in [false, true] {
+            let cl = if clustered { "cl" } else { "nc" };
+            for pool_mb in pool_sizes_mb() {
+                let db = tiger_db(pool_mb, TigerSet::RoadHydro, clustered);
+                let out = alg.run(&db, &spec, &JoinConfig::for_db(&db));
+                report.blank();
+                report.line(&format!(
+                    "== {} | {} | {pool_mb} MB pool ==",
+                    alg.name(),
+                    if clustered {
+                        "clustered"
+                    } else {
+                        "non-clustered"
+                    }
+                ));
+                report.table(&COMPONENT_HEADER, &component_rows(&out));
+                // Per-component shares of the modeled total: the
+                // Figure-10/11/12 shape, in the trajectory record.
+                let total = out.report.total_1996(cs).max(1e-9);
+                for c in &out.report.components {
+                    report.timing(
+                        &format!("share.{cl}.{pool_mb}mb.{}", c.name.replace(' ', "_")),
+                        c.total_1996(cs) / total,
+                    );
                 }
-            ));
-            report.table(&COMPONENT_HEADER, &component_rows(&out));
+                report.timing(
+                    &format!("io_share.{cl}.{pool_mb}mb"),
+                    out.report.total_io_s() / total,
+                );
+            }
         }
-    }
-    report.save();
+    });
 }
 
 /// The Figure 14/15 experiment: the six pre-existing-index scenarios of
 /// §4.5. Returns `(pool_mb, series, total)` samples.
 pub fn index_scenarios_figure(
-    name: &str,
-    title: &str,
+    report: &mut Report,
     set: TigerSet,
-) -> (Report, Vec<(usize, &'static str, f64)>) {
-    let mut report = Report::new(name, title);
+) -> Vec<(usize, &'static str, f64)> {
     let spec = tiger_spec(set);
     let small_rel = match set {
         TigerSet::RoadHydro => "hydrography",
@@ -411,6 +587,7 @@ pub fn index_scenarios_figure(
     let cs = cpu_scale();
     let mut samples = Vec::new();
     let mut rows = Vec::new();
+    let mut result_pairs = None;
     for pool_mb in pool_sizes_mb() {
         for (label, alg, prebuilt) in series {
             let db = tiger_db(pool_mb, set, false);
@@ -421,12 +598,18 @@ pub fn index_scenarios_figure(
             // Pre-existing indices are not charged to the join.
             db.pool().clear_cache().unwrap();
             let out = alg.run(&db, &spec, &JoinConfig::for_db(&db));
-            samples.push((pool_mb, label, out.report.total_1996(cs)));
+            let total = out.report.total_1996(cs);
+            samples.push((pool_mb, label, total));
             rows.push(outcome_row(label, pool_mb, &out));
+            report.timing(&format!("total_1996.{label}.{pool_mb}mb"), total);
+            result_pairs.get_or_insert(out.stats.results);
         }
     }
+    if let Some(n) = result_pairs {
+        report.metric("result_pairs", n as f64);
+    }
     report.table(&OUTCOME_HEADER, &rows);
-    (report, samples)
+    samples
 }
 
 /// Renders the "who wins" verdicts the paper draws from a comparison.

@@ -31,12 +31,16 @@ use pbsm_storage::disk::DiskStats;
 pub const CPU_SCALE_1996: f64 = 250.0;
 
 /// Reads the calibration factor from `PBSM_CPU_SCALE`, falling back to
-/// [`CPU_SCALE_1996`].
+/// [`CPU_SCALE_1996`]. The environment is consulted once per process;
+/// later calls return the cached value.
 pub fn cpu_scale() -> f64 {
-    std::env::var("PBSM_CPU_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(CPU_SCALE_1996)
+    static SCALE: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+    *SCALE.get_or_init(|| {
+        std::env::var("PBSM_CPU_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(CPU_SCALE_1996)
+    })
 }
 
 /// One join component's measured costs.

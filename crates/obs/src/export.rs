@@ -1,0 +1,261 @@
+//! Trace-timeline export: the span forest rendered for external viewers.
+//!
+//! Two formats, both derived from the same [`SpanRecord`] forest the
+//! session already collects:
+//!
+//! * **Chrome trace-event JSON** ([`chrome_trace`]) — an object with a
+//!   `traceEvents` array of complete (`"ph": "X"`) events, loadable in
+//!   Perfetto or `chrome://tracing`. Timestamps come from each span's
+//!   `start_s` offset against the session epoch, durations from
+//!   `wall_s`; the span's counter deltas ride along in `args`.
+//! * **Folded flamegraph text** ([`folded`]) — one line per distinct
+//!   span stack, `root;child;leaf <self-time-µs>`, the input format of
+//!   `inferno-flamegraph` / Brendan Gregg's `flamegraph.pl`. Self time
+//!   is wall time minus the children's wall time, so the flame widths
+//!   sum correctly.
+//!
+//! Bench binaries trigger the export through the environment (read once
+//! per process):
+//!
+//! * `PBSM_TRACE_JSON=<path>` — write the Chrome trace there.
+//! * `PBSM_TRACE_FOLDED=<path>` — write the folded text there.
+//!
+//! A literal `{name}` in either path is replaced by the report name, so
+//! `PBSM_TRACE_JSON='traces/{name}.json' bench_all …` keeps one trace
+//! per harness instead of last-writer-wins.
+
+use crate::json::Json;
+use crate::SpanRecord;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// Renders a span forest as a Chrome trace-event document.
+///
+/// Schema (pinned by `golden_chrome_trace_schema`):
+/// ```json
+/// {"displayTimeUnit":"ms",
+///  "traceEvents":[{"name":"...","cat":"pbsm","ph":"X",
+///                  "ts":0,"dur":1000,"pid":1,"tid":1,
+///                  "args":{"storage.disk.reads":4}}]}
+/// ```
+/// `ts`/`dur` are microseconds, as the format requires.
+pub fn chrome_trace(spans: &[SpanRecord]) -> Json {
+    let mut events = Vec::new();
+    for s in spans {
+        push_events(s, &mut events);
+    }
+    Json::Obj(vec![
+        ("displayTimeUnit".into(), Json::Str("ms".into())),
+        ("traceEvents".into(), Json::Arr(events)),
+    ])
+}
+
+fn push_events(span: &SpanRecord, out: &mut Vec<Json>) {
+    let args = Json::Obj(
+        span.deltas
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::uint(*v)))
+            .collect(),
+    );
+    out.push(Json::Obj(vec![
+        ("name".into(), Json::Str(span.name.clone())),
+        ("cat".into(), Json::Str("pbsm".into())),
+        ("ph".into(), Json::Str("X".into())),
+        ("ts".into(), Json::Num(span.start_s * 1e6)),
+        ("dur".into(), Json::Num(span.wall_s * 1e6)),
+        ("pid".into(), Json::uint(1)),
+        ("tid".into(), Json::uint(1)),
+        ("args".into(), args),
+    ]));
+    for c in &span.children {
+        push_events(c, out);
+    }
+}
+
+/// Renders a span forest in folded flamegraph form: one
+/// `stack;path value` line per distinct stack, where the value is the
+/// span's *self* wall time in integer microseconds (children excluded).
+/// Identical stacks are merged by summation; lines are sorted, so the
+/// output is deterministic.
+pub fn folded(spans: &[SpanRecord]) -> String {
+    let mut acc: BTreeMap<String, u64> = BTreeMap::new();
+    for s in spans {
+        fold_into(s, String::new(), &mut acc);
+    }
+    let mut out = String::new();
+    for (stack, us) in acc {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&us.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn fold_into(span: &SpanRecord, prefix: String, acc: &mut BTreeMap<String, u64>) {
+    // Flamegraph frame names must not contain the separator.
+    let frame = span.name.replace(';', ",");
+    let stack = if prefix.is_empty() {
+        frame
+    } else {
+        format!("{prefix};{frame}")
+    };
+    let child_s: f64 = span.children.iter().map(|c| c.wall_s).sum();
+    let self_us = ((span.wall_s - child_s).max(0.0) * 1e6).round() as u64;
+    *acc.entry(stack.clone()).or_insert(0) += self_us;
+    for c in &span.children {
+        fold_into(c, stack.clone(), acc);
+    }
+}
+
+fn env_path(var: &'static str, cache: &'static OnceLock<Option<String>>) -> Option<&'static str> {
+    cache
+        .get_or_init(|| std::env::var(var).ok().filter(|v| !v.is_empty()))
+        .as_deref()
+}
+
+/// The `PBSM_TRACE_JSON` destination, if set (read once per process).
+pub fn trace_json_path() -> Option<&'static str> {
+    static P: OnceLock<Option<String>> = OnceLock::new();
+    env_path("PBSM_TRACE_JSON", &P)
+}
+
+/// The `PBSM_TRACE_FOLDED` destination, if set (read once per process).
+pub fn trace_folded_path() -> Option<&'static str> {
+    static P: OnceLock<Option<String>> = OnceLock::new();
+    env_path("PBSM_TRACE_FOLDED", &P)
+}
+
+/// Writes the current session's span forest to the paths requested via
+/// `PBSM_TRACE_JSON` / `PBSM_TRACE_FOLDED`, substituting `{name}`.
+/// No-op when neither variable is set. Errors are reported to stderr,
+/// never fatal: a missing trace must not fail a benchmark run.
+pub fn write_env_traces(name: &str) {
+    let spans = crate::spans();
+    if let Some(tpl) = trace_json_path() {
+        let path = tpl.replace("{name}", name);
+        write_file(&path, &(chrome_trace(&spans).render() + "\n"));
+    }
+    if let Some(tpl) = trace_folded_path() {
+        let path = tpl.replace("{name}", name);
+        write_file(&path, &folded(&spans));
+    }
+}
+
+fn write_file(path: &str, content: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(path, content) {
+        Ok(()) => println!("[saved {path}]"),
+        Err(e) => eprintln!("could not save trace {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fixed two-root forest exercising nesting, deltas, and name
+    /// escaping.
+    fn fixture() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                name: "join".into(),
+                start_s: 0.0,
+                wall_s: 0.003,
+                deltas: vec![("storage.disk.reads".into(), 4)],
+                children: vec![
+                    SpanRecord {
+                        name: "partition road".into(),
+                        start_s: 0.0005,
+                        wall_s: 0.001,
+                        deltas: vec![],
+                        children: vec![],
+                    },
+                    SpanRecord {
+                        name: "merge;sweep".into(), // ';' must be escaped in folded form
+                        start_s: 0.0015,
+                        wall_s: 0.001,
+                        deltas: vec![("pbsm.merge.candidates".into(), 7)],
+                        children: vec![],
+                    },
+                ],
+            },
+            SpanRecord {
+                name: "flush".into(),
+                start_s: 0.003,
+                wall_s: 0.0005,
+                deltas: vec![],
+                children: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn golden_chrome_trace_schema() {
+        // Pins the exact serialized form: any schema change must be
+        // deliberate (Perfetto/chrome://tracing consume this verbatim).
+        let got = chrome_trace(&fixture()).render();
+        let want = concat!(
+            r#"{"displayTimeUnit":"ms","traceEvents":["#,
+            r#"{"name":"join","cat":"pbsm","ph":"X","ts":0,"dur":3000,"pid":1,"tid":1,"args":{"storage.disk.reads":4}},"#,
+            r#"{"name":"partition road","cat":"pbsm","ph":"X","ts":500,"dur":1000,"pid":1,"tid":1,"args":{}},"#,
+            r#"{"name":"merge;sweep","cat":"pbsm","ph":"X","ts":1500,"dur":1000,"pid":1,"tid":1,"args":{"pbsm.merge.candidates":7}},"#,
+            r#"{"name":"flush","cat":"pbsm","ph":"X","ts":3000,"dur":500,"pid":1,"tid":1,"args":{}}"#,
+            r#"]}"#,
+        );
+        assert_eq!(got, want);
+        // And it must be valid JSON by our own parser.
+        assert!(Json::parse(&got).is_ok());
+    }
+
+    #[test]
+    fn golden_folded_schema() {
+        // Self time of "join" = 3000µs − two 1000µs children = 1000µs;
+        // the ';' in a span name is replaced so frames stay unambiguous;
+        // lines are sorted.
+        let got = folded(&fixture());
+        let want = "flush 500\n\
+                    join 1000\n\
+                    join;merge,sweep 1000\n\
+                    join;partition road 1000\n";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn folded_merges_identical_stacks() {
+        let twice = [fixture(), fixture()].concat();
+        let got = folded(&twice);
+        assert!(got.contains("flush 1000\n"));
+        assert!(got.contains("join;partition road 2000\n"));
+    }
+
+    #[test]
+    fn live_spans_carry_monotone_start_offsets() {
+        crate::reset();
+        {
+            let _a = crate::span("export.outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let _b = crate::span("export.inner");
+        }
+        let roots = crate::spans();
+        let outer = roots.iter().find(|s| s.name == "export.outer").unwrap();
+        let inner = &outer.children[0];
+        assert!(outer.start_s >= 0.0);
+        assert!(inner.start_s >= outer.start_s + 0.001);
+        assert!(inner.start_s + inner.wall_s <= outer.start_s + outer.wall_s + 1e-6);
+        // The exported event timeline nests the child inside the parent.
+        let doc = chrome_trace(&roots);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let find = |n: &str| {
+            events
+                .iter()
+                .find(|e| e.get("name").unwrap().as_str() == Some(n))
+                .unwrap()
+        };
+        let o = find("export.outer");
+        let i = find("export.inner");
+        assert!(i.get("ts").unwrap().as_f64().unwrap() >= o.get("ts").unwrap().as_f64().unwrap());
+    }
+}

@@ -38,6 +38,7 @@ use std::rc::Weak;
 use std::sync::OnceLock;
 use std::time::Instant;
 
+pub mod export;
 pub mod json;
 pub use json::Json;
 
@@ -93,6 +94,10 @@ struct OpenSpan {
 pub struct SpanRecord {
     /// Span label, e.g. "partition road".
     pub name: String,
+    /// Seconds between the session epoch (collector creation or the last
+    /// [`reset`]) and span entry — the timeline offset used by the
+    /// Chrome-trace export.
+    pub start_s: f64,
     /// Wall-clock seconds between entry and exit.
     pub wall_s: f64,
     /// Non-zero counter deltas over the span, in registry order.
@@ -114,6 +119,7 @@ impl SpanRecord {
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("name".into(), Json::Str(self.name.clone())),
+            ("start_s".into(), Json::Num(self.start_s)),
             ("wall_s".into(), Json::Num(self.wall_s)),
             (
                 "deltas".into(),
@@ -158,6 +164,8 @@ struct Collector {
     hists: Registry<Box<[u64; HIST_BUCKETS]>>,
     stack: Vec<OpenSpan>,
     roots: Vec<SpanRecord>,
+    /// Session start: span `start_s` offsets are measured from here.
+    epoch: Instant,
 }
 
 impl Collector {
@@ -168,6 +176,7 @@ impl Collector {
             hists: Registry::default(),
             stack: Vec::new(),
             roots: Vec::new(),
+            epoch: Instant::now(),
         }
     }
 
@@ -177,6 +186,7 @@ impl Collector {
     fn close_top(&mut self, want_record: bool) -> Option<SpanRecord> {
         let open = self.stack.pop().expect("span stack underflow");
         let wall_s = open.start.elapsed().as_secs_f64();
+        let start_s = open.start.duration_since(self.epoch).as_secs_f64();
         let mut deltas = Vec::new();
         for (i, &now) in self.counters.values.iter().enumerate() {
             let before = open.snapshot.get(i).copied().unwrap_or(0);
@@ -186,6 +196,7 @@ impl Collector {
         }
         let record = SpanRecord {
             name: open.name,
+            start_s,
             wall_s,
             deltas,
             children: open.children,
@@ -507,6 +518,7 @@ pub fn reset() {
         c.hists.values.iter_mut().for_each(|b| b.fill(0));
         c.stack.clear();
         c.roots.clear();
+        c.epoch = Instant::now();
     });
 }
 
@@ -759,10 +771,12 @@ mod tests {
     fn tree_rendering_indents() {
         let rec = SpanRecord {
             name: "root".into(),
+            start_s: 0.0,
             wall_s: 0.001,
             deltas: vec![("io.reads".into(), 4)],
             children: vec![SpanRecord {
                 name: "leaf".into(),
+                start_s: 0.0002,
                 wall_s: 0.0005,
                 deltas: vec![],
                 children: vec![],

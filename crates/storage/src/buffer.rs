@@ -370,6 +370,10 @@ impl BufferPool {
             };
             st.free.push(idx);
         }
+        // The map drains in hash order, which varies between processes;
+        // restore the canonical cold-pool free order so frame allocation
+        // (and hence the I/O pattern) is reproducible run to run.
+        st.free.sort_unstable_by(|a, b| b.cmp(a));
         Ok(())
     }
 
@@ -377,12 +381,15 @@ impl BufferPool {
     /// it on disk. Panics if any of its pages are pinned.
     pub fn drop_file(&self, file: FileId) {
         let mut st = self.state.borrow_mut();
-        let doomed: Vec<(PageId, usize)> = st
+        let mut doomed: Vec<(PageId, usize)> = st
             .map
             .iter()
             .filter(|(pid, _)| pid.file == file)
             .map(|(p, i)| (*p, *i))
             .collect();
+        // Hash order varies between processes; free lowest frame index
+        // last so reuse order is deterministic.
+        doomed.sort_unstable_by_key(|d| std::cmp::Reverse(d.1));
         for (pid, idx) in doomed {
             assert_eq!(st.meta[idx].pin, 0, "drop_file with pinned page {pid:?}");
             st.map.remove(&pid);

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Perf-lab driver: run the full bench suite via bench_all, fold it into
+# one BENCH_<rev>.json trajectory record, and gate the gated values
+# (counters, metrics, histogram summaries — never wall times) against
+# the committed bench_results/baseline.json.
+#
+# Usage: scripts/bench.sh [--scale S] [--tol T] [--update-baseline]
+#
+#   --scale S           PBSM_SCALE for the run (default 0.02, the CI
+#                       smoke scale the committed baseline was recorded
+#                       at; use 1 for full paper scale)
+#   --tol T             relative tolerance for bench_compare
+#                       (default 0.02; gated values are deterministic,
+#                       the slack only covers cross-platform drift)
+#   --update-baseline   re-record bench_results/baseline.json from this
+#                       run instead of comparing (commit the result)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="0.02"
+TOL="0.02"
+UPDATE=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --scale) SCALE="$2"; shift 2 ;;
+    --tol) TOL="$2"; shift 2 ;;
+    --update-baseline) UPDATE=1; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+cargo build --release -q
+PBSM_SCALE="$SCALE" ./target/release/bench_all
+
+LATEST=$(ls -t BENCH_*.json | head -1)
+if [[ "$UPDATE" == 1 ]]; then
+  cp "$LATEST" bench_results/baseline.json
+  echo "baseline re-recorded from $LATEST (scale=$SCALE) — commit bench_results/baseline.json"
+elif [[ -f bench_results/baseline.json ]]; then
+  ./target/release/bench_compare bench_results/baseline.json "$LATEST" --tol "$TOL"
+else
+  echo "no bench_results/baseline.json — run scripts/bench.sh --update-baseline to record one" >&2
+  exit 1
+fi

@@ -16,8 +16,8 @@ cargo clippy --all-targets --release -- -D warnings
 echo "==> cargo test"
 cargo test -q --release
 
-echo "==> bench smoke (tiny scale, JSON output)"
-PBSM_SCALE=0.02 cargo run --release -q -p pbsm-bench --bin bulkload_vs_insert >/dev/null
+echo "==> perf-lab smoke (bench_all @ PBSM_SCALE=0.02, regression gate vs baseline)"
+scripts/bench.sh --scale 0.02 --tol 0.02
 test -s bench_results/bulkload_vs_insert.json
 test -s bench_results/bulkload_vs_insert.txt
 
