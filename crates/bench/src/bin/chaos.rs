@@ -1,0 +1,26 @@
+//! The chaos harness binary: seeded fault schedules × {PBSM, INL, R-tree},
+//! every run checked against a fault-free oracle.
+//!
+//! ```text
+//! PBSM_SCALE=0.02 cargo run --release -p pbsm-bench --bin chaos
+//! ```
+//!
+//! Writes `bench_results/chaos.txt` / `chaos.json` and exits non-zero if
+//! any cell mismatched the oracle or panicked. Clean typed errors are an
+//! acceptable outcome — the contract is "exact results or a clean error,
+//! never a panic, never silently wrong". See `pbsm_bench::chaos` for the
+//! `PBSM_CHAOS_SEEDS` / `PBSM_CHAOS_PPM` knobs.
+
+use pbsm_bench::{chaos, Report};
+
+fn main() {
+    let mut report = Report::new("chaos", "Chaos sweep: seeded faults x all join algorithms");
+    let summary = chaos::run_sweep(&mut report);
+    report.save();
+    if summary.all_acceptable() {
+        println!("\nchaos: all {} cases acceptable", summary.cases.len());
+    } else {
+        eprintln!("\nchaos: FAILURES — a join mismatched the oracle or panicked");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,286 @@
+//! The chaos harness: seeded fault schedules swept across all three join
+//! algorithms, checked against a fault-free oracle.
+//!
+//! The contract under test is the storage stack's fault story end to end:
+//! under any [`FaultConfig::chaos`] schedule, a join either
+//!
+//! 1. produces **exactly** the oracle's result pairs (transient faults
+//!    absorbed by the buffer pool's bounded retry, ENOSPC absorbed by
+//!    PBSM's degradation loop), or
+//! 2. surfaces a **clean typed** [`StorageError`] (`RetriesExhausted`,
+//!    `Corruption`, `DiskFull`, …),
+//!
+//! and **never** panics and **never** returns silently wrong results.
+//!
+//! Every case is deterministic: the workload generators are seeded, the
+//! fault schedule is a pure function of `(seed, operation index)`, and the
+//! retry loop replays bursts without consuming the decision stream — so a
+//! failing `(algorithm, seed)` cell reproduces exactly under a debugger.
+//!
+//! Knobs (also echoed into `bench_results/chaos.json`):
+//!
+//! * `PBSM_CHAOS_SEEDS` — comma-separated schedule seeds
+//!   (default `13,1996,271828`).
+//! * `PBSM_CHAOS_PPM` — base fault rate in parts per million
+//!   (default 1500); torn-write and ENOSPC rates run at a quarter of it.
+//! * `PBSM_SCALE` — workload scale, as everywhere in the bench crate.
+//!
+//! [`StorageError`]: pbsm_storage::StorageError
+
+use crate::{tiger_db, tiger_spec, Algorithm, Report, TigerSet};
+use pbsm_join::JoinConfig;
+use pbsm_storage::{FaultConfig, FaultTally, Oid};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Default schedule seeds — fixed so CI runs are comparable over time.
+pub const DEFAULT_SEEDS: [u64; 3] = [13, 1996, 271828];
+
+/// Default base fault rate (parts per million of page operations).
+pub const DEFAULT_PPM: u32 = 1500;
+
+/// How one `(algorithm, seed)` cell ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Faults were absorbed; results match the oracle bit-for-bit.
+    Identical,
+    /// A typed storage error surfaced (the message names it).
+    CleanError(String),
+    /// Results differ from the oracle — the one outcome that must never
+    /// happen silently. Carries `(oracle_pairs, got_pairs)`.
+    Mismatch(u64, u64),
+    /// The join panicked (payload text).
+    Panic(String),
+}
+
+impl Verdict {
+    /// Identical and clean errors are acceptable; mismatches and panics
+    /// fail the harness.
+    pub fn acceptable(&self) -> bool {
+        matches!(self, Verdict::Identical | Verdict::CleanError(_))
+    }
+
+    /// Short label for tables and counters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Identical => "identical",
+            Verdict::CleanError(_) => "clean-error",
+            Verdict::Mismatch(..) => "MISMATCH",
+            Verdict::Panic(_) => "PANIC",
+        }
+    }
+}
+
+/// One `(algorithm, seed)` cell of the sweep.
+pub struct ChaosCase {
+    pub algorithm: Algorithm,
+    pub seed: u64,
+    pub verdict: Verdict,
+    /// Faults the schedule injected during this run.
+    pub faults: FaultTally,
+    /// Degraded ENOSPC re-runs (PBSM only; 0 elsewhere).
+    pub recovery_retries: u64,
+}
+
+/// The whole sweep, plus tallies for the exit code and the report.
+pub struct ChaosSummary {
+    pub cases: Vec<ChaosCase>,
+    pub ppm: u32,
+}
+
+impl ChaosSummary {
+    /// True when no case mismatched or panicked.
+    pub fn all_acceptable(&self) -> bool {
+        self.cases.iter().all(|c| c.verdict.acceptable())
+    }
+
+    fn count(&self, label: &str) -> u64 {
+        self.cases
+            .iter()
+            .filter(|c| c.verdict.label() == label)
+            .count() as u64
+    }
+}
+
+/// Seeds from `PBSM_CHAOS_SEEDS`, or the fixed defaults.
+pub fn seeds() -> Vec<u64> {
+    env_var("PBSM_CHAOS_SEEDS")
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|v: &Vec<u64>| !v.is_empty())
+        .unwrap_or_else(|| DEFAULT_SEEDS.to_vec())
+}
+
+/// Base fault rate from `PBSM_CHAOS_PPM`, or the default.
+pub fn ppm() -> u32 {
+    env_var("PBSM_CHAOS_PPM")
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(DEFAULT_PPM)
+}
+
+fn env_var(name: &str) -> Option<String> {
+    crate::env()
+        .vars
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.clone())
+}
+
+/// Runs one algorithm on a fresh faulted database and classifies the
+/// outcome against the oracle pairs.
+fn run_case(alg: Algorithm, seed: u64, ppm: u32, oracle: &[(Oid, Oid)]) -> ChaosCase {
+    // Build (and, for the index algorithms, bulk-load) fault-free, then
+    // arm the schedule: the contract under test is join execution, not
+    // data loading.
+    let db = tiger_db(2, TigerSet::RoadHydro, false);
+    let spec = tiger_spec(TigerSet::RoadHydro);
+    let config = JoinConfig::for_db(&db);
+    db.pool()
+        .disk_mut()
+        .set_faults(Some(FaultConfig::chaos(seed, ppm)));
+
+    // The join must never panic; a panic hook would spray a backtrace for
+    // an outcome the harness wants to record as a red table row instead.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = catch_unwind(AssertUnwindSafe(|| alg.try_run(&db, &spec, &config)));
+    std::panic::set_hook(prev_hook);
+
+    let faults = db.pool().disk().fault_tally();
+    let (verdict, recovery_retries) = match result {
+        Ok(Ok(out)) => {
+            if out.pairs == oracle {
+                (Verdict::Identical, out.stats.recovery_retries)
+            } else {
+                (
+                    Verdict::Mismatch(oracle.len() as u64, out.pairs.len() as u64),
+                    out.stats.recovery_retries,
+                )
+            }
+        }
+        Ok(Err(e)) => (Verdict::CleanError(e.to_string()), 0),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            (Verdict::Panic(msg), 0)
+        }
+    };
+    ChaosCase {
+        algorithm: alg,
+        seed,
+        verdict,
+        faults,
+        recovery_retries,
+    }
+}
+
+/// The full sweep: every algorithm × every seed, each against that
+/// algorithm's own fault-free oracle run on identical data.
+pub fn run_sweep(report: &mut Report) -> ChaosSummary {
+    let ppm = ppm();
+    let seeds = seeds();
+    let spec = tiger_spec(TigerSet::RoadHydro);
+    report.line(&format!(
+        "# fault rate {ppm} ppm (torn/enospc at {} ppm), seeds {seeds:?}",
+        ppm / 4
+    ));
+    report.blank();
+
+    let mut cases = Vec::new();
+    let mut rows = Vec::new();
+    for alg in Algorithm::ALL {
+        // The oracle: same data, same config, perfect device.
+        let db = tiger_db(2, TigerSet::RoadHydro, false);
+        let oracle = alg.run(&db, &spec, &JoinConfig::for_db(&db)).pairs;
+        drop(db);
+
+        for &seed in &seeds {
+            let case = run_case(alg, seed, ppm, &oracle);
+            rows.push(vec![
+                alg.name().to_string(),
+                format!("{seed}"),
+                case.verdict.label().to_string(),
+                format!("{}", case.faults.transient_reads),
+                format!("{}", case.faults.transient_writes),
+                format!("{}", case.faults.torn_writes),
+                format!("{}", case.faults.enospc),
+                format!("{}", case.recovery_retries),
+                match &case.verdict {
+                    Verdict::CleanError(msg) => msg.clone(),
+                    Verdict::Mismatch(want, got) => {
+                        format!("oracle {want} pairs, got {got}")
+                    }
+                    Verdict::Panic(msg) => msg.clone(),
+                    Verdict::Identical => format!("{} pairs", oracle.len()),
+                },
+            ]);
+            cases.push(case);
+        }
+    }
+    report.table(
+        &[
+            "algorithm",
+            "seed",
+            "verdict",
+            "rd-flt",
+            "wr-flt",
+            "torn",
+            "enospc",
+            "degrades",
+            "detail",
+        ],
+        &rows,
+    );
+
+    let summary = ChaosSummary { cases, ppm };
+    report.blank();
+    for label in ["identical", "clean-error", "MISMATCH", "PANIC"] {
+        report.line(&format!("{label:>12}: {}", summary.count(label)));
+    }
+    // chaos.json is informational (the harness is not in `HARNESSES`, so
+    // bench_compare never gates on it), but record the invariants anyway:
+    // mismatches and panics must be zero on every run.
+    report.metric("chaos.cases", summary.cases.len() as f64);
+    report.metric("chaos.mismatches", summary.count("MISMATCH") as f64);
+    report.metric("chaos.panics", summary.count("PANIC") as f64);
+    report.timing("chaos.identical", summary.count("identical") as f64);
+    report.timing("chaos.clean_errors", summary.count("clean-error") as f64);
+    report.timing(
+        "chaos.faults_injected",
+        summary.cases.iter().map(|c| c.faults.total()).sum::<u64>() as f64,
+    );
+    report.timing(
+        "chaos.recovery_retries",
+        summary
+            .cases
+            .iter()
+            .map(|c| c.recovery_retries)
+            .sum::<u64>() as f64,
+    );
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_knobs() {
+        if std::env::var("PBSM_CHAOS_SEEDS").is_err() {
+            assert_eq!(seeds(), DEFAULT_SEEDS.to_vec());
+        }
+        if std::env::var("PBSM_CHAOS_PPM").is_err() {
+            assert_eq!(ppm(), DEFAULT_PPM);
+        }
+    }
+
+    #[test]
+    fn verdict_classification() {
+        assert!(Verdict::Identical.acceptable());
+        assert!(Verdict::CleanError("corruption".into()).acceptable());
+        assert!(!Verdict::Mismatch(10, 9).acceptable());
+        assert!(!Verdict::Panic("boom".into()).acceptable());
+        assert_eq!(Verdict::Mismatch(1, 2).label(), "MISMATCH");
+    }
+}

@@ -44,6 +44,7 @@ use std::io::Write as _;
 use std::sync::OnceLock;
 use std::time::Instant;
 
+pub mod chaos;
 pub mod compare;
 pub mod scorecard;
 pub mod traj;
@@ -233,13 +234,26 @@ impl Algorithm {
         }
     }
 
-    /// Runs this algorithm.
-    pub fn run(self, db: &Db, spec: &JoinSpec, config: &JoinConfig) -> JoinOutcome {
+    /// Runs this algorithm, surfacing storage errors as typed values —
+    /// the entry point the chaos harness drives under fault injection.
+    pub fn try_run(
+        self,
+        db: &Db,
+        spec: &JoinSpec,
+        config: &JoinConfig,
+    ) -> pbsm_storage::StorageResult<JoinOutcome> {
         match self {
-            Algorithm::Pbsm => pbsm_join::pbsm::pbsm_join(db, spec, config).unwrap(),
-            Algorithm::RtreeJoin => pbsm_join::rtree_join::rtree_join(db, spec, config).unwrap(),
-            Algorithm::Inl => pbsm_join::inl::inl_join(db, spec, config).unwrap(),
+            Algorithm::Pbsm => pbsm_join::pbsm::pbsm_join(db, spec, config),
+            Algorithm::RtreeJoin => pbsm_join::rtree_join::rtree_join(db, spec, config),
+            Algorithm::Inl => pbsm_join::inl::inl_join(db, spec, config),
         }
+    }
+
+    /// Runs this algorithm on a fault-free database, where storage errors
+    /// are impossible by construction.
+    pub fn run(self, db: &Db, spec: &JoinSpec, config: &JoinConfig) -> JoinOutcome {
+        self.try_run(db, spec, config)
+            .expect("join failed on a fault-free database")
     }
 }
 

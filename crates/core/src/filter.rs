@@ -55,6 +55,31 @@ pub fn partition_input(
     let files: Vec<RecordFile> = (0..p)
         .map(|_| RecordFile::create(db.pool(), KEY_PTR_SIZE))
         .collect();
+    match partition_into(db, rel, grid, scheme, p, &files) {
+        Ok((input_elements, replicated_elements)) => Ok(Partitioned {
+            files,
+            input_elements,
+            replicated_elements,
+        }),
+        Err(e) => {
+            // A failed scan (I/O fault, ENOSPC mid-spill) releases every
+            // partition file so a degraded re-run starts from clean disk.
+            for f in files {
+                f.destroy(db.pool());
+            }
+            Err(e)
+        }
+    }
+}
+
+fn partition_into(
+    db: &Db,
+    rel: &RelationMeta,
+    grid: &TileGrid,
+    scheme: TileMapScheme,
+    p: usize,
+    files: &[RecordFile],
+) -> StorageResult<(u64, u64)> {
     let mut writers: Vec<_> = files.iter().map(|f| f.writer(db.pool())).collect();
     let heap = HeapFile::open(rel.file);
     // Per-tuple observations tally into stack-local histograms and merge
@@ -105,11 +130,7 @@ pub fn partition_input(
     occupancy.flush(pbsm_obs::cached_histogram!("pbsm.partition.tile_occupancy"));
     pbsm_obs::cached_counter!("pbsm.partition.input_elements").add(input_elements);
     pbsm_obs::cached_counter!("pbsm.partition.replicated_elements").add(replicated_elements);
-    Ok(Partitioned {
-        files,
-        input_elements,
-        replicated_elements,
-    })
+    Ok((input_elements, replicated_elements))
 }
 
 /// Decodes a partition file into memory.
@@ -172,6 +193,22 @@ pub fn merge_partitions(
         return crate::parallel::merge_partitions_parallel(db, r_parts, s_parts, config);
     }
     let out = RecordFile::create(db.pool(), OID_PAIR_SIZE);
+    match merge_into(db, r_parts, s_parts, config, &out) {
+        Ok(candidates) => Ok((out, candidates)),
+        Err(e) => {
+            out.destroy(db.pool());
+            Err(e)
+        }
+    }
+}
+
+fn merge_into(
+    db: &Db,
+    r_parts: &Partitioned,
+    s_parts: &Partitioned,
+    config: &JoinConfig,
+    out: &RecordFile,
+) -> StorageResult<u64> {
     let mut writer = out.writer(db.pool());
     let mut candidates = 0u64;
     let mut stats = SweepStats::default();
@@ -198,7 +235,7 @@ pub fn merge_partitions(
     }
     writer.finish()?;
     report_sweep_stats(stats);
-    Ok((out, candidates))
+    Ok(candidates)
 }
 
 #[cfg(test)]

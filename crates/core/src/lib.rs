@@ -27,6 +27,8 @@
 //!   the Figure 4–6 experiments.
 //! * [`cost`] — per-component cost instrumentation backing the Figure
 //!   10–12 breakdowns and Table 4.
+//! * [`recover`] — the ENOSPC degradation policy: PBSM re-runs the filter
+//!   step with halved work memory / more partitions instead of aborting.
 //! * [`skew`] — §3.5's dynamic repartitioning (described as future work in
 //!   the paper; implemented here as an extension).
 //! * [`parallel`] — §5's parallel partition merge (future work in the
@@ -40,6 +42,7 @@ pub mod loader;
 pub mod parallel;
 pub mod partition;
 pub mod pbsm;
+pub mod recover;
 pub mod refine;
 pub mod rtree_join;
 pub mod select;
@@ -51,6 +54,7 @@ pub use cost::{CostComponent, CostTracker, JoinReport};
 pub use keyptr::KeyPointer;
 pub use loader::load_relation;
 pub use partition::{TileGrid, TileMapScheme};
+pub use recover::RecoveryPolicy;
 
 use pbsm_geom::predicates::{RefineOptions, SpatialPredicate};
 use pbsm_storage::Oid;
@@ -98,6 +102,10 @@ pub struct JoinConfig {
     /// §5 extension: number of threads merging partition pairs. 1 = the
     /// paper's sequential behaviour.
     pub merge_threads: usize,
+    /// Bounded ENOSPC degradation: how many times PBSM may re-run the
+    /// filter step with halved work memory / doubled partitions before
+    /// surfacing `DiskFull`.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for JoinConfig {
@@ -109,6 +117,7 @@ impl Default for JoinConfig {
             refine: RefineOptions::default(),
             dynamic_repartition: false,
             merge_threads: 1,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -141,6 +150,9 @@ pub struct JoinStats {
     pub unique_candidates: u64,
     /// Pairs that satisfied the exact predicate.
     pub results: u64,
+    /// Degraded re-runs the ENOSPC recovery loop performed (0 = first
+    /// attempt succeeded).
+    pub recovery_retries: u64,
 }
 
 /// The outcome of a join: result OID pairs, per-component costs, and

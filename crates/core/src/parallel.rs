@@ -76,12 +76,31 @@ pub fn merge_partitions_parallel(
     }
 
     // Phase 3 (sequential I/O): write candidates in partition order so the
-    // output is deterministic regardless of thread scheduling.
+    // output is deterministic regardless of thread scheduling. The output
+    // file is destroyed if the write fails, so a degraded ENOSPC re-run
+    // starts from a clean disk.
     let out = RecordFile::create(db.pool(), OID_PAIR_SIZE);
+    match write_candidates(db, &results, &out) {
+        Ok((candidates, stats)) => {
+            report_sweep_stats(stats);
+            Ok((out, candidates))
+        }
+        Err(e) => {
+            out.destroy(db.pool());
+            Err(e)
+        }
+    }
+}
+
+fn write_candidates(
+    db: &Db,
+    results: &[(Vec<(Oid, Oid)>, SweepStats)],
+    out: &RecordFile,
+) -> StorageResult<(u64, SweepStats)> {
     let mut writer = out.writer(db.pool());
     let mut candidates = 0u64;
     let mut stats = SweepStats::default();
-    for (part, part_stats) in &results {
+    for (part, part_stats) in results {
         candidates += part.len() as u64;
         stats.absorb(*part_stats);
         for (ro, so) in part {
@@ -89,8 +108,7 @@ pub fn merge_partitions_parallel(
         }
     }
     writer.finish()?;
-    report_sweep_stats(stats);
-    Ok((out, candidates))
+    Ok((candidates, stats))
 }
 
 #[cfg(test)]

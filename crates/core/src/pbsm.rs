@@ -7,11 +7,20 @@ use crate::cost::CostTracker;
 use crate::filter::{merge_partitions, partition_input};
 use crate::keyptr::KEY_PTR_SIZE;
 use crate::partition::{partition_count, TileGrid};
+use crate::recover::degraded_work_mem;
 use crate::refine::refinement_step;
 use crate::{JoinConfig, JoinOutcome, JoinSpec, JoinStats};
+use pbsm_storage::catalog::RelationMeta;
 use pbsm_storage::{Db, StorageResult};
 
 /// Runs the Partition Based Spatial-Merge join.
+///
+/// On `DiskFull` (device out of space during partitioning, the candidate
+/// merge, or the refinement sort) the driver degrades instead of aborting:
+/// the failed attempt's temp files are released, work memory is halved and
+/// the partition floor doubled, and the whole filter + refinement pipeline
+/// re-runs — up to `config.recovery.max_attempts` total attempts. Any
+/// other error, and `DiskFull` past the budget, surfaces unchanged.
 pub fn pbsm_join(db: &Db, spec: &JoinSpec, config: &JoinConfig) -> StorageResult<JoinOutcome> {
     let _span = pbsm_obs::span(format!("pbsm join {} ⋈ {}", spec.left, spec.right));
     let (left, right) = {
@@ -21,18 +30,60 @@ pub fn pbsm_join(db: &Db, spec: &JoinSpec, config: &JoinConfig) -> StorageResult
             cat.relation(&spec.right)?.clone(),
         )
     };
+    let max_attempts = config.recovery.max_attempts.max(1);
+    let mut work_mem = config.work_mem_bytes;
+    let mut min_partitions = 1usize;
+    let mut attempt = 1u32;
+    loop {
+        // Equation 1 sizes the partition set from catalog cardinalities;
+        // a degraded re-run additionally forces more partitions than the
+        // failed attempt used.
+        let p = partition_count(left.cardinality, right.cardinality, KEY_PTR_SIZE, work_mem)
+            .max(min_partitions);
+        match pbsm_attempt(db, spec, config, &left, &right, work_mem, p) {
+            Err(e) if e.is_disk_full() && attempt < max_attempts => {
+                pbsm_obs::cached_counter!("pbsm.recover.enospc_retries").incr();
+                min_partitions = (p * 2).max(2);
+                work_mem = degraded_work_mem(work_mem);
+                attempt += 1;
+            }
+            Err(e) => {
+                if e.is_disk_full() {
+                    pbsm_obs::cached_counter!("pbsm.recover.exhausted").incr();
+                }
+                return Err(e);
+            }
+            Ok(mut out) => {
+                out.stats.recovery_retries = (attempt - 1) as u64;
+                return Ok(out);
+            }
+        }
+    }
+}
+
+/// One full filter + refinement pass. Every temp file created before an
+/// error is destroyed on the way out, so a degraded re-run (and the hard
+/// capacity budget) starts from a clean disk.
+fn pbsm_attempt(
+    db: &Db,
+    spec: &JoinSpec,
+    config: &JoinConfig,
+    left: &RelationMeta,
+    right: &RelationMeta,
+    work_mem: usize,
+    p: usize,
+) -> StorageResult<JoinOutcome> {
     let mut tracker = CostTracker::new();
     let mut stats = JoinStats::default();
+    // Degraded attempts run the whole pipeline (including the merge's
+    // dynamic-repartition threshold) under the reduced work memory.
+    let config = &JoinConfig {
+        work_mem_bytes: work_mem,
+        ..config.clone()
+    };
 
-    // Equation 1 sizes the partition set from catalog cardinalities; the
-    // grid uses at least the configured tile count ("NT is greater than
-    // or equal to P").
-    let p = partition_count(
-        left.cardinality,
-        right.cardinality,
-        KEY_PTR_SIZE,
-        config.work_mem_bytes,
-    );
+    // The grid uses at least the configured tile count ("NT is greater
+    // than or equal to P").
     let universe = left.universe.union(&right.universe);
     let grid = TileGrid::new(universe, config.num_tiles.max(p));
     stats.partitions = p;
@@ -40,34 +91,47 @@ pub fn pbsm_join(db: &Db, spec: &JoinSpec, config: &JoinConfig) -> StorageResult
 
     // Filter step, phase 1: partition both inputs.
     let left_parts = tracker.run(&format!("partition {}", left.name), || {
-        partition_input(db, &left, &grid, config.tile_map, p)
+        partition_input(db, left, &grid, config.tile_map, p)
     })?;
-    let right_parts = tracker.run(&format!("partition {}", right.name), || {
-        partition_input(db, &right, &grid, config.tile_map, p)
-    })?;
+    let right_parts = match tracker.run(&format!("partition {}", right.name), || {
+        partition_input(db, right, &grid, config.tile_map, p)
+    }) {
+        Ok(parts) => parts,
+        Err(e) => {
+            left_parts.destroy(db);
+            return Err(e);
+        }
+    };
     stats.input_elements = left_parts.input_elements + right_parts.input_elements;
     stats.replicated_elements = left_parts.replicated_elements + right_parts.replicated_elements;
 
     // Filter step, phase 2: plane-sweep merge of each partition pair.
-    let (candidates, raw_candidates) = tracker.run("merge partitions", || {
+    let merged = tracker.run("merge partitions", || {
         merge_partitions(db, &left_parts, &right_parts, config)
-    })?;
-    stats.candidates = raw_candidates;
+    });
     left_parts.destroy(db);
     right_parts.destroy(db);
+    let (candidates, raw_candidates) = merged?;
+    stats.candidates = raw_candidates;
 
     // Refinement step.
-    let refined = tracker.run("refinement step", || {
+    let refined = match tracker.run("refinement step", || {
         refinement_step(
             db,
             &candidates,
-            &left,
-            &right,
+            left,
+            right,
             spec.predicate,
             &config.refine,
-            config.work_mem_bytes,
+            work_mem,
         )
-    })?;
+    }) {
+        Ok(refined) => refined,
+        Err(e) => {
+            candidates.destroy(db.pool());
+            return Err(e);
+        }
+    };
     candidates.destroy(db.pool());
     stats.unique_candidates = refined.unique_candidates;
     stats.results = refined.pairs.len() as u64;

@@ -1,0 +1,62 @@
+//! Out-of-space recovery for PBSM — the *degradation* half of the fault
+//! story (the *retry* half for transient faults lives in the buffer pool,
+//! `pbsm_storage::fault::RetryPolicy`; between them, all recovery policy
+//! sits in exactly two declared places, one per fault class).
+//!
+//! ENOSPC is not retryable: re-running the same plan re-fills the same
+//! pages. Instead the PBSM driver degrades and re-runs the filter step —
+//! the failed attempt's temp files are destroyed (every partition, sort
+//! run, and candidate file cleans up on its error path), work memory is
+//! halved, and the partition floor is doubled, so the retry spills smaller
+//! files in more pieces. Attempts are bounded; when they run out, the last
+//! `DiskFull` error surfaces unchanged as a clean typed error.
+
+/// Bounds the ENOSPC degradation loop in [`crate::pbsm::pbsm_join`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Total attempts, including the first. `1` disables degradation:
+    /// the first `DiskFull` aborts the join.
+    pub max_attempts: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        // First run plus two degraded re-runs at 1/2 and 1/4 work memory.
+        RecoveryPolicy { max_attempts: 3 }
+    }
+}
+
+impl RecoveryPolicy {
+    /// No degradation: surface the first `DiskFull` immediately.
+    pub fn disabled() -> Self {
+        RecoveryPolicy { max_attempts: 1 }
+    }
+}
+
+/// Work memory never degrades below this; partition files below it spend
+/// more pages on headers than records.
+pub const MIN_WORK_MEM: usize = 64 * 1024;
+
+/// One degradation step: halve the work memory (with a floor) so Equation
+/// 1 yields more, smaller partitions on the re-run.
+pub fn degraded_work_mem(work_mem: usize) -> usize {
+    (work_mem / 2).max(MIN_WORK_MEM)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degradation_halves_with_floor() {
+        assert_eq!(degraded_work_mem(16 * 1024 * 1024), 8 * 1024 * 1024);
+        assert_eq!(degraded_work_mem(100 * 1024), MIN_WORK_MEM);
+        assert_eq!(degraded_work_mem(0), MIN_WORK_MEM);
+    }
+
+    #[test]
+    fn policy_defaults() {
+        assert_eq!(RecoveryPolicy::default().max_attempts, 3);
+        assert_eq!(RecoveryPolicy::disabled().max_attempts, 1);
+    }
+}

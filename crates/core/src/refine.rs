@@ -47,7 +47,28 @@ pub fn refinement_step(
     let unique_candidates = sorted.count();
     pbsm_obs::cached_counter!("pbsm.refine.raw_candidates").add(candidates.count());
     pbsm_obs::cached_counter!("pbsm.refine.unique_candidates").add(unique_candidates);
+    // Destroy the sorted temp file on error paths too, so an ENOSPC
+    // abort leaves no stranded pages behind for the degraded re-run.
+    let result = refine_sorted(db, &sorted, left, right, predicate, opts, work_mem);
+    sorted.destroy(db.pool());
+    let mut out = result?;
 
+    out.sort_unstable();
+    Ok(RefineOutcome {
+        pairs: out,
+        unique_candidates,
+    })
+}
+
+fn refine_sorted(
+    db: &Db,
+    sorted: &RecordFile,
+    left: &RelationMeta,
+    right: &RelationMeta,
+    predicate: SpatialPredicate,
+    opts: &RefineOptions,
+    work_mem: usize,
+) -> StorageResult<Vec<(Oid, Oid)>> {
     let left_heap = HeapFile::open(left.file);
     let right_heap = HeapFile::open(right.file);
     // Half the work memory holds R tuples; the rest covers the pair array
@@ -105,13 +126,7 @@ pub fn refinement_step(
         };
         batch.push((idx, s_oid));
     }
-    sorted.destroy(db.pool());
-
-    out.sort_unstable();
-    Ok(RefineOutcome {
-        pairs: out,
-        unique_candidates,
-    })
+    Ok(out)
 }
 
 /// Second half of a batch: sort on OID_S, stream S tuples sequentially,
@@ -136,7 +151,7 @@ fn process_batch(
             right_heap.fetch(db.pool(), s_oid, &mut fetch_buf)?;
             cached = Some((s_oid, SpatialTuple::decode(&fetch_buf)?));
         }
-        let s_tuple = &cached.as_ref().unwrap().1;
+        let s_tuple = &cached.as_ref().expect("cached set in the branch above").1;
         let (r_oid, r_tuple) = &r_tuples[r_idx as usize];
         if matches(r_tuple, s_tuple, predicate, opts) {
             true_hits += 1;

@@ -23,6 +23,7 @@
 
 use crate::disk::{DiskStats, SimDisk};
 use crate::error::{StorageError, StorageResult};
+use crate::fault::RetryPolicy;
 use crate::page::{zeroed_page, FileId, PageBuf, PageId, PAGE_SIZE};
 use pbsm_obs as obs;
 use std::cell::{Cell, Ref, RefCell, RefMut};
@@ -124,6 +125,10 @@ pub struct BufferPool {
     state: RefCell<State>,
     disk: RefCell<SimDisk>,
     sorted_flush: Cell<bool>,
+    /// Transient-fault retry budget. Every page transfer funnels through
+    /// [`BufferPool::with_retry`], so this is the *only* place transient
+    /// recovery happens.
+    retry: Cell<RetryPolicy>,
 }
 
 impl BufferPool {
@@ -160,6 +165,7 @@ impl BufferPool {
             }),
             disk: RefCell::new(disk),
             sorted_flush: Cell::new(true),
+            retry: Cell::new(RetryPolicy::default()),
         }
     }
 
@@ -171,6 +177,64 @@ impl BufferPool {
     /// Enables or disables SHORE-style sorted write-behind.
     pub fn set_sorted_flush(&self, enabled: bool) {
         self.sorted_flush.set(enabled);
+    }
+
+    /// Sets the transient-fault retry budget.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.retry.set(policy);
+    }
+
+    /// The retry budget in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry.get()
+    }
+
+    /// Diagnostic frame census for tests and invariant checks:
+    /// `(free frames, pinned frames, mapped pages)`. Every frame is
+    /// either on the free list or mapped, so `free + mapped == frames`
+    /// whenever no I/O is in flight.
+    pub fn frame_census(&self) -> (usize, usize, usize) {
+        let st = self.state.borrow();
+        let pinned = st.meta.iter().filter(|m| m.pin > 0).count();
+        (st.free.len(), pinned, st.map.len())
+    }
+
+    /// The free list, top-of-stack last (frames are reused by `pop`).
+    /// The canonical cold-pool order is descending, so reuse is by
+    /// ascending frame index.
+    pub fn free_list(&self) -> Vec<usize> {
+        self.state.borrow().free.clone()
+    }
+
+    /// Runs one page transfer under the bounded deterministic retry
+    /// policy. Transient faults are retried up to the budget and then
+    /// surfaced as [`StorageError::RetriesExhausted`]; every other error
+    /// passes through untouched.
+    fn with_retry(
+        policy: RetryPolicy,
+        pid: PageId,
+        mut op: impl FnMut() -> StorageResult<()>,
+    ) -> StorageResult<()> {
+        let mut attempt = 1u32;
+        loop {
+            match op() {
+                Ok(()) => {
+                    if attempt > 1 {
+                        obs::cached_counter!("storage.retry.absorbed").incr();
+                    }
+                    return Ok(());
+                }
+                Err(e) if e.is_transient() => {
+                    obs::cached_counter!("storage.retry.attempts").incr();
+                    if attempt >= policy.max_attempts.max(1) {
+                        obs::cached_counter!("storage.retry.exhausted").incr();
+                        return Err(StorageError::RetriesExhausted(pid));
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Buffer counters so far.
@@ -218,11 +282,11 @@ impl BufferPool {
             break;
         }
         let victim = victim.ok_or(StorageError::BufferPoolFull)?;
-        st.stats.evictions += 1;
-        obs::bump(&st.counters.pending_evictions);
         if st.meta[victim].dirty {
             self.flush_dirty(st, victim)?;
         }
+        st.stats.evictions += 1;
+        obs::bump(&st.counters.pending_evictions);
         if let Some(old) = st.meta[victim].page.take() {
             st.map.remove(&old);
         }
@@ -249,7 +313,7 @@ impl BufferPool {
         let mut disk = self.disk.borrow_mut();
         for (pid, idx) in batch {
             let frame = self.frames[idx].borrow();
-            disk.write_page(pid, &frame.data)?;
+            Self::with_retry(self.retry.get(), pid, || disk.write_page(pid, &frame.data))?;
             st.meta[idx].dirty = false;
             st.stats.writebacks += 1;
             obs::bump(&st.counters.pending_writebacks);
@@ -275,7 +339,15 @@ impl BufferPool {
         {
             let mut frame = self.frames[idx].borrow_mut();
             if read_from_disk {
-                self.disk.borrow_mut().read_page(pid, &mut frame.data)?;
+                let read = Self::with_retry(self.retry.get(), pid, || {
+                    self.disk.borrow_mut().read_page(pid, &mut frame.data)
+                });
+                if let Err(e) = read {
+                    // The frame was unmapped by the eviction; return it
+                    // to the free list or it would leak until shutdown.
+                    st.free.push(idx);
+                    return Err(e);
+                }
             } else {
                 frame.data.fill(0);
             }
@@ -344,7 +416,7 @@ impl BufferPool {
         let mut disk = self.disk.borrow_mut();
         for (pid, idx) in batch {
             let frame = self.frames[idx].borrow();
-            disk.write_page(pid, &frame.data)?;
+            Self::with_retry(self.retry.get(), pid, || disk.write_page(pid, &frame.data))?;
             st.meta[idx].dirty = false;
             st.stats.writebacks += 1;
             obs::bump(&st.counters.pending_writebacks);
@@ -597,6 +669,87 @@ mod tests {
         pool.drop_file(f);
         assert_eq!(pool.disk_stats().writes, 0);
         assert_eq!(pool.disk().num_pages(f), 0);
+    }
+
+    #[test]
+    fn transient_read_faults_absorbed_by_retry() {
+        let (pool, f) = pool_with(8);
+        let pid = {
+            let (pid, mut g) = pool.new_page(f).unwrap();
+            g[0] = 5;
+            pid
+        };
+        pool.clear_cache().unwrap();
+        pool.disk_mut().set_faults(Some(crate::fault::FaultConfig {
+            seed: 2,
+            read_transient_ppm: 300_000, // 30% per attempt, bursts of ≤ 2
+            max_transient_burst: 2,
+            ..Default::default()
+        }));
+        // Every miss re-reads from disk. Most faults are absorbed by the
+        // 4-attempt budget; back-to-back fresh draws can still chain past
+        // it, which must surface as the typed error, never a panic.
+        let mut successes = 0;
+        for _ in 0..50 {
+            match pool.get(pid) {
+                Ok(g) => {
+                    assert_eq!(g[0], 5);
+                    successes += 1;
+                }
+                Err(e) => assert_eq!(e, StorageError::RetriesExhausted(pid)),
+            }
+            pool.clear_cache().unwrap();
+        }
+        assert!(successes > 40, "retry should absorb most faults");
+        assert!(pool.disk().fault_tally().transient_reads > 0);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_typed_error_without_leaking_frames() {
+        let (pool, f) = pool_with(8);
+        let pid = {
+            let (pid, _g) = pool.new_page(f).unwrap();
+            pid
+        };
+        pool.clear_cache().unwrap();
+        pool.set_retry_policy(RetryPolicy { max_attempts: 1 });
+        pool.disk_mut().set_faults(Some(crate::fault::FaultConfig {
+            seed: 9,
+            read_transient_ppm: 1_000_000,
+            max_transient_burst: 1,
+            ..Default::default()
+        }));
+        let err = pool.get(pid).map(|_| ()).unwrap_err();
+        assert_eq!(err, StorageError::RetriesExhausted(pid));
+        // The frame grabbed for the failed read went back to the free
+        // list: all frames accounted for, none pinned.
+        let (free, pinned, mapped) = pool.frame_census();
+        assert_eq!(free + mapped, pool.num_frames());
+        assert_eq!(pinned, 0);
+        // With faults cleared the same page reads fine.
+        pool.disk_mut().set_faults(None);
+        assert!(pool.get(pid).is_ok());
+    }
+
+    #[test]
+    fn corruption_propagates_from_miss() {
+        let (pool, f) = pool_with(8);
+        pool.disk_mut().set_faults(Some(crate::fault::FaultConfig {
+            seed: 4,
+            torn_write_ppm: 1_000_000,
+            ..Default::default()
+        }));
+        let pid = {
+            let (pid, mut g) = pool.new_page(f).unwrap();
+            g[7] = 7;
+            pid
+        };
+        pool.clear_cache().unwrap(); // torn write-back happens here
+        let err = pool.get(pid).map(|_| ()).unwrap_err();
+        assert_eq!(err, StorageError::Corruption(pid));
+        let (free, pinned, mapped) = pool.frame_census();
+        assert_eq!(free + mapped, pool.num_frames());
+        assert_eq!(pinned, 0);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::buffer::BufferPool;
 use crate::catalog::Catalog;
 use crate::disk::{DiskModel, DiskStats, SimDisk};
+use crate::fault::{FaultConfig, RetryPolicy};
 use std::cell::{Ref, RefCell, RefMut};
 
 /// Configuration for a [`Db`] instance.
@@ -14,6 +15,12 @@ pub struct DbConfig {
     pub disk: DiskModel,
     /// SHORE-style sorted write-behind (§4.6). Default on.
     pub sorted_flush: bool,
+    /// Seeded fault schedule installed at creation. `None` (the default)
+    /// is a perfect device; chaos runs install one after loading data via
+    /// [`SimDisk::set_faults`].
+    pub faults: Option<FaultConfig>,
+    /// Bounded deterministic retry budget for transient faults.
+    pub retry: RetryPolicy,
 }
 
 impl Default for DbConfig {
@@ -22,6 +29,8 @@ impl Default for DbConfig {
             buffer_pool_bytes: 24 * 1024 * 1024,
             disk: DiskModel::default(),
             sorted_flush: true,
+            faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -48,9 +57,11 @@ pub struct Db {
 impl Db {
     /// Creates an empty database.
     pub fn new(config: DbConfig) -> Self {
-        let disk = SimDisk::new(config.disk);
+        let mut disk = SimDisk::new(config.disk);
+        disk.set_faults(config.faults);
         let pool = BufferPool::new(config.buffer_pool_bytes, disk);
         pool.set_sorted_flush(config.sorted_flush);
+        pool.set_retry_policy(config.retry);
         Db {
             pool,
             catalog: RefCell::new(Catalog::new()),

@@ -8,6 +8,7 @@
 //! cost columns of the benchmark harness.
 
 use crate::error::{StorageError, StorageResult};
+use crate::fault::{page_checksum, FaultConfig, FaultSchedule, FaultTally, WriteDecision};
 use crate::page::{zeroed_page, FileId, PageBuf, PageId, PAGE_SIZE};
 use pbsm_obs as obs;
 use std::cell::{Cell, RefCell};
@@ -121,6 +122,12 @@ impl FileCounters {
 
 struct FileData {
     pages: Vec<PageBuf>,
+    /// Sidecar checksum per page, computed over the bytes the writer
+    /// *intended* to store. A torn write damages `pages[i]` but not
+    /// `sums[i]`, so the mismatch surfaces on the next read as
+    /// [`StorageError::Corruption`]. Kept outside the 8 KB page so the
+    /// on-page layout (and every page-capacity constant) is unchanged.
+    sums: Vec<u64>,
     /// Freed files keep their slot (FileIds are never reused) but drop
     /// their pages.
     dropped: bool,
@@ -162,6 +169,13 @@ impl obs::FlushMetrics for DiskCounters {
     }
 }
 
+/// Checksum of a freshly allocated (all-zero) page, computed once.
+fn zeroed_sum() -> u64 {
+    use std::sync::OnceLock;
+    static SUM: OnceLock<u64> = OnceLock::new();
+    *SUM.get_or_init(|| page_checksum(&zeroed_page()))
+}
+
 /// The simulated disk: an array of files, each an array of pages, plus the
 /// metering state.
 pub struct SimDisk {
@@ -175,6 +189,11 @@ pub struct SimDisk {
     /// `storage.disk.io_ns` counter.
     seek_ns: u64,
     transfer_ns: u64,
+    /// Seeded fault plan; `None` (the default) is the perfect device.
+    faults: Option<FaultSchedule>,
+    /// Pages currently allocated across live files, for the hard
+    /// `capacity_pages` bound. Dropped files return their pages.
+    live_pages: u64,
 }
 
 impl SimDisk {
@@ -204,7 +223,34 @@ impl SimDisk {
             },
             seek_ns: (model.seek_ms * 1e6) as u64,
             transfer_ns: (model.page_transfer_ms() * 1e6) as u64,
+            faults: None,
+            live_pages: 0,
         }
+    }
+
+    /// Installs (or clears) a seeded fault schedule. Takes effect for all
+    /// subsequent I/O; the chaos harness uses this to load data on a
+    /// perfect device and then pull the rug under the join.
+    pub fn set_faults(&mut self, cfg: Option<FaultConfig>) {
+        self.faults = cfg.map(FaultSchedule::new);
+    }
+
+    /// True when a fault schedule is installed.
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Pages currently allocated across live files. Chaos tests size
+    /// `capacity_pages` budgets relative to this.
+    pub fn live_pages(&self) -> u64 {
+        self.live_pages
+    }
+
+    /// Injected-fault totals of the current schedule (zeros when none).
+    pub fn fault_tally(&self) -> FaultTally {
+        self.faults
+            .as_ref()
+            .map_or(FaultTally::default(), |f| f.injected())
     }
 
     /// Creates a new empty file and returns its id.
@@ -214,17 +260,22 @@ impl SimDisk {
         self.counters.files.borrow_mut().push(Rc::clone(&counters));
         self.files.push(FileData {
             pages: Vec::new(),
+            sums: Vec::new(),
             dropped: false,
             counters,
         });
         id
     }
 
-    /// Drops a file's pages (temp-file cleanup). The id is not reused.
+    /// Drops a file's pages (temp-file cleanup). The id is not reused,
+    /// and the pages count back toward free capacity.
     pub fn drop_file(&mut self, file: FileId) {
         if let Some(f) = self.files.get_mut(file.0 as usize) {
+            self.live_pages -= f.pages.len() as u64;
             f.pages.clear();
             f.pages.shrink_to_fit();
+            f.sums.clear();
+            f.sums.shrink_to_fit();
             f.dropped = true;
         }
     }
@@ -237,14 +288,29 @@ impl SimDisk {
     }
 
     /// Appends a zeroed page to `file` and returns its id. Allocation
-    /// itself is not charged; the subsequent write is.
+    /// itself is not charged; the subsequent write is. Fails with
+    /// [`StorageError::DiskFull`] when the schedule injects ENOSPC or the
+    /// device is past its configured capacity.
     pub fn allocate_page(&mut self, file: FileId) -> StorageResult<PageId> {
-        let f = self
-            .files
-            .get_mut(file.0 as usize)
-            .ok_or(StorageError::InvalidPage(PageId::new(file, 0)))?;
+        if self.files.get(file.0 as usize).is_none() {
+            return Err(StorageError::InvalidPage(PageId::new(file, 0)));
+        }
+        if let Some(fs) = self.faults.as_mut() {
+            if let Some(cap) = fs.config().capacity_pages {
+                if self.live_pages >= cap {
+                    fs.note_capacity_enospc();
+                    return Err(StorageError::DiskFull { file: file.0 });
+                }
+            }
+            if fs.on_allocate() {
+                return Err(StorageError::DiskFull { file: file.0 });
+            }
+        }
+        let f = &mut self.files[file.0 as usize];
         let page_no = f.pages.len() as u32;
         f.pages.push(zeroed_page());
+        f.sums.push(zeroed_sum());
+        self.live_pages += 1;
         Ok(PageId::new(file, page_no))
     }
 
@@ -278,34 +344,65 @@ impl SimDisk {
         self.last_pos = Some(pid);
     }
 
-    /// Reads a page into `buf`, charging the model.
+    /// Reads a page into `buf`, charging the model. Verifies the sidecar
+    /// checksum: a mismatch means a torn write damaged the stored copy,
+    /// surfaced as the non-retryable [`StorageError::Corruption`].
     pub fn read_page(&mut self, pid: PageId, buf: &mut [u8; PAGE_SIZE]) -> StorageResult<()> {
         let f = self
             .files
             .get(pid.file.0 as usize)
             .filter(|f| !f.dropped)
             .ok_or(StorageError::InvalidPage(pid))?;
-        let page = f
-            .pages
-            .get(pid.page_no as usize)
-            .ok_or(StorageError::InvalidPage(pid))?;
-        buf.copy_from_slice(&page[..]);
+        if pid.page_no as usize >= f.pages.len() {
+            return Err(StorageError::InvalidPage(pid));
+        }
+        if let Some(fs) = self.faults.as_mut() {
+            // Transient fault: no transfer happened, nothing is charged.
+            if fs.on_read(pid) {
+                return Err(StorageError::TransientRead(pid));
+            }
+        }
+        let f = &self.files[pid.file.0 as usize];
+        buf.copy_from_slice(&f.pages[pid.page_no as usize][..]);
+        let sum_ok = f.sums[pid.page_no as usize] == page_checksum(buf);
         self.account(pid, false);
+        if !sum_ok {
+            obs::cached_counter!("storage.disk.checksum_failures").incr();
+            return Err(StorageError::Corruption(pid));
+        }
         Ok(())
     }
 
-    /// Writes a page from `buf`, charging the model.
+    /// Writes a page from `buf`, charging the model. A torn-write fault
+    /// stores a damaged copy while reporting success — detected by the
+    /// checksum on the next read, like a real torn sector.
     pub fn write_page(&mut self, pid: PageId, buf: &[u8; PAGE_SIZE]) -> StorageResult<()> {
         let f = self
             .files
-            .get_mut(pid.file.0 as usize)
+            .get(pid.file.0 as usize)
             .filter(|f| !f.dropped)
             .ok_or(StorageError::InvalidPage(pid))?;
-        let page = f
-            .pages
-            .get_mut(pid.page_no as usize)
-            .ok_or(StorageError::InvalidPage(pid))?;
+        if pid.page_no as usize >= f.pages.len() {
+            return Err(StorageError::InvalidPage(pid));
+        }
+        let decision = match self.faults.as_mut() {
+            Some(fs) => fs.on_write(pid),
+            None => WriteDecision::Ok,
+        };
+        if matches!(decision, WriteDecision::Transient) {
+            // No transfer happened; the stored copy is untouched.
+            return Err(StorageError::TransientWrite(pid));
+        }
+        let f = &mut self.files[pid.file.0 as usize];
+        let page = &mut f.pages[pid.page_no as usize];
         page.copy_from_slice(buf);
+        // The checksum always describes the *intended* bytes.
+        f.sums[pid.page_no as usize] = page_checksum(buf);
+        if let WriteDecision::Torn { offset } = decision {
+            for b in page[offset..offset + 64].iter_mut() {
+                *b ^= 0xFF;
+            }
+        }
         self.account(pid, true);
         Ok(())
     }
@@ -404,6 +501,74 @@ mod tests {
         let delta = d.stats().delta_since(&snap);
         assert_eq!(delta.reads, 1);
         assert_eq!(delta.writes, 0);
+    }
+
+    #[test]
+    fn torn_write_detected_on_read_back() {
+        let mut d = SimDisk::new(DiskModel::default());
+        let f = d.create_file();
+        let p = d.allocate_page(f).unwrap();
+        d.set_faults(Some(crate::fault::FaultConfig {
+            seed: 5,
+            torn_write_ppm: 1_000_000,
+            ..Default::default()
+        }));
+        d.write_page(p, &page_of(3)).unwrap(); // "succeeds", stores damage
+        let mut buf = zeroed_page();
+        assert_eq!(d.read_page(p, &mut buf), Err(StorageError::Corruption(p)));
+        assert_eq!(d.fault_tally().torn_writes, 1);
+        // Rewriting the page with faults off repairs it.
+        d.set_faults(None);
+        d.write_page(p, &page_of(3)).unwrap();
+        d.read_page(p, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 3));
+    }
+
+    #[test]
+    fn transient_read_leaves_data_intact() {
+        let mut d = SimDisk::new(DiskModel::default());
+        let f = d.create_file();
+        let p = d.allocate_page(f).unwrap();
+        d.write_page(p, &page_of(8)).unwrap();
+        d.set_faults(Some(crate::fault::FaultConfig {
+            seed: 1,
+            read_transient_ppm: 1_000_000,
+            max_transient_burst: 1,
+            ..Default::default()
+        }));
+        let mut buf = zeroed_page();
+        assert_eq!(
+            d.read_page(p, &mut buf),
+            Err(StorageError::TransientRead(p))
+        );
+        let reads_before = d.stats().reads;
+        d.set_faults(None);
+        d.read_page(p, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 8));
+        // The failed attempt charged no transfer.
+        assert_eq!(d.stats().reads, reads_before + 1);
+    }
+
+    #[test]
+    fn capacity_bound_enospc_and_reclaim() {
+        let mut d = SimDisk::new(DiskModel::default());
+        let f1 = d.create_file();
+        let f2 = d.create_file();
+        d.set_faults(Some(crate::fault::FaultConfig {
+            seed: 0,
+            capacity_pages: Some(2),
+            ..Default::default()
+        }));
+        d.allocate_page(f1).unwrap();
+        d.allocate_page(f1).unwrap();
+        assert_eq!(
+            d.allocate_page(f2),
+            Err(StorageError::DiskFull { file: f2.0 })
+        );
+        assert_eq!(d.fault_tally().enospc, 1);
+        // Dropping a file returns its pages to the capacity budget.
+        d.drop_file(f1);
+        d.allocate_page(f2).unwrap();
     }
 
     #[test]

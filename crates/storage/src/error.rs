@@ -18,6 +18,35 @@ pub enum StorageError {
     UnknownRelation(String),
     /// Tuple bytes failed to decode.
     Corrupt(&'static str),
+    /// A read returned bytes whose checksum does not match what was
+    /// written (torn / bit-rotted page). Not retryable: the stored copy
+    /// itself is damaged.
+    Corruption(PageId),
+    /// A read failed transiently (injected fault). Retryable.
+    TransientRead(PageId),
+    /// A write failed transiently (injected fault). Retryable.
+    TransientWrite(PageId),
+    /// The device is out of space; page allocation failed. Recoverable by
+    /// shedding load (smaller spill footprint), not by retrying.
+    DiskFull { file: u32 },
+    /// A bounded retry loop gave up on a transient fault.
+    RetriesExhausted(PageId),
+}
+
+impl StorageError {
+    /// True for faults that a bounded, deterministic retry may absorb.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            StorageError::TransientRead(_) | StorageError::TransientWrite(_)
+        )
+    }
+
+    /// True for out-of-space conditions, which callers handle by degrading
+    /// (fewer pages in flight), never by retrying the same plan.
+    pub fn is_disk_full(&self) -> bool {
+        matches!(self, StorageError::DiskFull { .. })
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -33,6 +62,23 @@ impl fmt::Display for StorageError {
             }
             StorageError::UnknownRelation(name) => write!(f, "unknown relation {name:?}"),
             StorageError::Corrupt(what) => write!(f, "corrupt on-page data: {what}"),
+            StorageError::Corruption(pid) => {
+                write!(
+                    f,
+                    "page checksum mismatch on {pid:?}: stored copy is damaged"
+                )
+            }
+            StorageError::TransientRead(pid) => write!(f, "transient read fault on {pid:?}"),
+            StorageError::TransientWrite(pid) => write!(f, "transient write fault on {pid:?}"),
+            StorageError::DiskFull { file } => {
+                write!(f, "device out of space allocating in file {file}")
+            }
+            StorageError::RetriesExhausted(pid) => {
+                write!(
+                    f,
+                    "transient fault on {pid:?} persisted past the retry budget"
+                )
+            }
         }
     }
 }
@@ -41,3 +87,26 @@ impl std::error::Error for StorageError {}
 
 /// Result alias used across the storage crate.
 pub type StorageResult<T> = Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::FileId;
+
+    #[test]
+    fn transient_classification() {
+        let pid = PageId::new(FileId(0), 3);
+        assert!(StorageError::TransientRead(pid).is_transient());
+        assert!(StorageError::TransientWrite(pid).is_transient());
+        assert!(!StorageError::Corruption(pid).is_transient());
+        assert!(!StorageError::DiskFull { file: 0 }.is_transient());
+        assert!(!StorageError::RetriesExhausted(pid).is_transient());
+        assert!(!StorageError::BufferPoolFull.is_transient());
+    }
+
+    #[test]
+    fn disk_full_classification() {
+        assert!(StorageError::DiskFull { file: 7 }.is_disk_full());
+        assert!(!StorageError::BufferPoolFull.is_disk_full());
+    }
+}

@@ -26,11 +26,32 @@ pub fn external_sort(
     dedup: bool,
 ) -> StorageResult<RecordFile> {
     let _span = pbsm_obs::span("external sort");
+    let mut runs: Vec<RecordFile> = Vec::new();
+    match sort_with_runs(pool, input, work_mem, cmp, dedup, &mut runs) {
+        Ok(out) => Ok(out),
+        Err(e) => {
+            // An error mid-spill (e.g. ENOSPC) must not strand run pages:
+            // the caller's degraded retry needs that space back.
+            for run in runs.drain(..) {
+                run.destroy(pool);
+            }
+            Err(e)
+        }
+    }
+}
+
+fn sort_with_runs(
+    pool: &BufferPool,
+    input: &RecordFile,
+    work_mem: usize,
+    cmp: impl Fn(&[u8], &[u8]) -> Ordering + Copy,
+    dedup: bool,
+    runs: &mut Vec<RecordFile>,
+) -> StorageResult<RecordFile> {
     let rec_size = input.rec_size();
     let per_run = (work_mem / rec_size).max(1);
 
     // Phase 1: run generation.
-    let mut runs: Vec<RecordFile> = Vec::new();
     {
         let mut reader = input.reader(pool);
         let mut chunk: Vec<u8> = Vec::with_capacity(per_run * rec_size);
@@ -61,11 +82,11 @@ pub fn external_sort(
             out.writer(pool).finish()?;
             Ok(out)
         }
-        1 if !dedup => Ok(runs.pop().unwrap()),
+        1 if !dedup => Ok(runs.pop().expect("len checked == 1")),
         _ => {
             pbsm_obs::cached_counter!("storage.extsort.merge_passes").incr();
-            let out = merge_runs(pool, &runs, rec_size, cmp, dedup)?;
-            for run in runs {
+            let out = merge_runs(pool, runs, rec_size, cmp, dedup)?;
+            for run in runs.drain(..) {
                 run.destroy(pool);
             }
             Ok(out)
@@ -87,13 +108,25 @@ fn write_sorted_run(
         cmp(ra, rb)
     });
     let run = RecordFile::create(pool, rec_size);
-    let mut w = run.writer(pool);
-    for idx in order {
-        let at = idx as usize * rec_size;
-        w.push(&chunk[at..at + rec_size])?;
+    let result = {
+        let mut w = run.writer(pool);
+        let mut res = Ok(());
+        for idx in order {
+            let at = idx as usize * rec_size;
+            if let Err(e) = w.push(&chunk[at..at + rec_size]) {
+                res = Err(e);
+                break;
+            }
+        }
+        res.and_then(|()| w.finish())
+    };
+    match result {
+        Ok(()) => Ok(run),
+        Err(e) => {
+            run.destroy(pool);
+            Err(e)
+        }
     }
-    w.finish()?;
-    Ok(run)
 }
 
 /// Heap entry: current head record of one run. Ordering is inverted so the
@@ -130,6 +163,22 @@ fn merge_runs(
     dedup: bool,
 ) -> StorageResult<RecordFile> {
     let out = RecordFile::create(pool, rec_size);
+    match merge_into(pool, runs, &out, cmp, dedup) {
+        Ok(()) => Ok(out),
+        Err(e) => {
+            out.destroy(pool);
+            Err(e)
+        }
+    }
+}
+
+fn merge_into(
+    pool: &BufferPool,
+    runs: &[RecordFile],
+    out: &RecordFile,
+    cmp: impl Fn(&[u8], &[u8]) -> Ordering + Copy,
+    dedup: bool,
+) -> StorageResult<()> {
     let mut w = out.writer(pool);
     let mut readers: Vec<RecordReader<'_>> = runs.iter().map(|r| r.reader(pool)).collect();
     let mut heap: BinaryHeap<Head<'_, _>> = BinaryHeap::with_capacity(runs.len());
@@ -160,8 +209,7 @@ fn merge_runs(
             });
         }
     }
-    w.finish()?;
-    Ok(out)
+    w.finish()
 }
 
 #[cfg(test)]

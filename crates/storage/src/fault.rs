@@ -1,0 +1,403 @@
+//! Deterministic fault injection for the simulated disk.
+//!
+//! SHORE — the storage manager the paper's Paradise testbed runs on —
+//! survives real devices failing mid-join; our [`SimDisk`] is a perfect
+//! device, which left every error path downstream of it dead code. This
+//! module gives the disk a *seeded* [`FaultSchedule`]: a pure function of
+//! `(seed, operation index)` that decides, per page read / write /
+//! allocation, whether to inject a fault. Two runs over the same I/O
+//! sequence with the same seed inject byte-identical faults, so every
+//! failure found by the chaos harness replays under a debugger.
+//!
+//! Four fault kinds are modeled (all rates are per-million-operations):
+//!
+//! * **Transient read** — the read fails with
+//!   [`StorageError::TransientRead`] but the stored bytes are intact.
+//!   A fault opens a *burst* of `1..=max_transient_burst` consecutive
+//!   failures on that page, so a bounded retry usually absorbs it and
+//!   occasionally (burst > budget) does not — exercising both the
+//!   absorb and the give-up path.
+//! * **Transient write** — same, for writes.
+//! * **Torn write** — the write *appears to succeed* but the stored copy
+//!   is damaged (a 64-byte span is bit-flipped). The page checksum kept
+//!   by the disk still describes the intended bytes, so the next read of
+//!   that page fails with [`StorageError::Corruption`]. Silent until
+//!   read back, exactly like a real torn sector.
+//! * **ENOSPC** — page allocation fails with [`StorageError::DiskFull`],
+//!   either probabilistically or deterministically once the disk exceeds
+//!   `capacity_pages`.
+//!
+//! [`SimDisk`]: crate::disk::SimDisk
+//! [`StorageError::TransientRead`]: crate::error::StorageError::TransientRead
+//! [`StorageError::Corruption`]: crate::error::StorageError::Corruption
+//! [`StorageError::DiskFull`]: crate::error::StorageError::DiskFull
+
+use crate::page::PageId;
+use pbsm_obs as obs;
+use std::collections::HashMap;
+
+/// Rates and bounds for a [`FaultSchedule`]. All-zero (the default) means
+/// no faults; `capacity_pages: None` means unbounded space.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Seed for the deterministic decision stream.
+    pub seed: u64,
+    /// Probability a page read fails transiently, in parts per million.
+    pub read_transient_ppm: u32,
+    /// Probability a page write fails transiently, in parts per million.
+    pub write_transient_ppm: u32,
+    /// Probability a page write is torn (stored bytes corrupted, detected
+    /// on the next read via checksum), in parts per million.
+    pub torn_write_ppm: u32,
+    /// Probability a page allocation reports ENOSPC, in parts per million.
+    pub enospc_ppm: u32,
+    /// Longest run of consecutive failures a single transient fault may
+    /// produce (burst length is drawn uniformly from `1..=max`). 0 is
+    /// treated as 1.
+    pub max_transient_burst: u32,
+    /// Hard device capacity in pages; allocations past it fail with
+    /// `DiskFull` deterministically. Dropped files return their pages.
+    pub capacity_pages: Option<u64>,
+}
+
+impl FaultConfig {
+    /// A schedule exercising every fault kind at `ppm` parts per million —
+    /// the profile the chaos harness sweeps. Bursts run up to 6, longer
+    /// than the default 4-attempt retry budget, so some transients are
+    /// absorbed and some escape as `RetriesExhausted`, exercising both
+    /// recovery outcomes.
+    pub fn chaos(seed: u64, ppm: u32) -> Self {
+        FaultConfig {
+            seed,
+            read_transient_ppm: ppm,
+            write_transient_ppm: ppm,
+            torn_write_ppm: ppm / 4,
+            enospc_ppm: ppm / 4,
+            max_transient_burst: 6,
+            capacity_pages: None,
+        }
+    }
+
+    /// Transient-only faults (no torn writes, no ENOSPC) with bursts short
+    /// enough that the pool's default retry budget always absorbs them —
+    /// the profile under which a join must still match the oracle exactly.
+    pub fn transient_only(seed: u64, ppm: u32) -> Self {
+        FaultConfig {
+            seed,
+            read_transient_ppm: ppm,
+            write_transient_ppm: ppm,
+            torn_write_ppm: 0,
+            enospc_ppm: 0,
+            max_transient_burst: 2,
+            capacity_pages: None,
+        }
+    }
+}
+
+/// The kind of operation a fault decision applies to. Also the key of the
+/// injected-fault tally returned by [`FaultSchedule::injected`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    TransientRead,
+    TransientWrite,
+    TornWrite,
+    Enospc,
+}
+
+/// Running totals of injected faults, one slot per [`FaultKind`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultTally {
+    pub transient_reads: u64,
+    pub transient_writes: u64,
+    pub torn_writes: u64,
+    pub enospc: u64,
+}
+
+impl FaultTally {
+    /// Total injected faults of all kinds.
+    pub fn total(&self) -> u64 {
+        self.transient_reads + self.transient_writes + self.torn_writes + self.enospc
+    }
+}
+
+/// What the schedule decided for one write operation.
+pub(crate) enum WriteDecision {
+    Ok,
+    Transient,
+    /// Store the page damaged: xor `0xFF` over 64 bytes at this offset.
+    Torn {
+        offset: usize,
+    },
+}
+
+/// A seeded, deterministic fault plan. Owned by the disk; every I/O entry
+/// point consults it (a `None` schedule short-circuits to the fault-free
+/// path).
+pub struct FaultSchedule {
+    cfg: FaultConfig,
+    /// splitmix64 state; advanced once per *decision*, never per retry, so
+    /// retries do not desynchronize the stream between runs with
+    /// different retry budgets.
+    rng: u64,
+    /// Open transient bursts: remaining failures per (page, is_write).
+    pending: HashMap<(PageId, bool), u32>,
+    tally: FaultTally,
+}
+
+impl FaultSchedule {
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultSchedule {
+            cfg,
+            // Seed 0 would make splitmix64's first outputs small; mix in a
+            // constant so every seed (including 0) gets a full-entropy run.
+            rng: cfg.seed ^ 0x9E37_79B9_7F4A_7C15,
+            pending: HashMap::new(),
+            tally: FaultTally::default(),
+        }
+    }
+
+    /// The configuration this schedule was built from.
+    pub fn config(&self) -> FaultConfig {
+        self.cfg
+    }
+
+    /// Injected-fault totals so far.
+    pub fn injected(&self) -> FaultTally {
+        self.tally
+    }
+
+    /// splitmix64: one 64-bit draw per decision point.
+    fn next_u64(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Draws a fault decision at `ppm` parts per million.
+    fn fires(&mut self, ppm: u32) -> bool {
+        if ppm == 0 {
+            return false;
+        }
+        self.next_u64() % 1_000_000 < ppm as u64
+    }
+
+    /// Opens a transient burst on `(pid, is_write)`: the current operation
+    /// fails, and the next `burst - 1` attempts on the same page fail too.
+    fn open_burst(&mut self, pid: PageId, is_write: bool) {
+        let max = self.cfg.max_transient_burst.max(1) as u64;
+        let burst = 1 + (self.next_u64() % max) as u32;
+        if burst > 1 {
+            self.pending.insert((pid, is_write), burst - 1);
+        }
+    }
+
+    /// Consumes one failure from an open burst, if any.
+    fn drain_burst(&mut self, pid: PageId, is_write: bool) -> bool {
+        if let Some(left) = self.pending.get_mut(&(pid, is_write)) {
+            *left -= 1;
+            if *left == 0 {
+                self.pending.remove(&(pid, is_write));
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Decides whether this read of `pid` fails transiently.
+    pub(crate) fn on_read(&mut self, pid: PageId) -> bool {
+        if self.drain_burst(pid, false) {
+            self.tally.transient_reads += 1;
+            return true;
+        }
+        if self.fires(self.cfg.read_transient_ppm) {
+            self.tally.transient_reads += 1;
+            obs::cached_counter!("storage.fault.transient_reads").incr();
+            self.open_burst(pid, false);
+            return true;
+        }
+        false
+    }
+
+    /// Decides the fate of this write of `pid`.
+    pub(crate) fn on_write(&mut self, pid: PageId) -> WriteDecision {
+        if self.drain_burst(pid, true) {
+            self.tally.transient_writes += 1;
+            return WriteDecision::Transient;
+        }
+        if self.fires(self.cfg.write_transient_ppm) {
+            self.tally.transient_writes += 1;
+            obs::cached_counter!("storage.fault.transient_writes").incr();
+            self.open_burst(pid, true);
+            return WriteDecision::Transient;
+        }
+        if self.fires(self.cfg.torn_write_ppm) {
+            self.tally.torn_writes += 1;
+            obs::cached_counter!("storage.fault.torn_writes").incr();
+            let offset = (self.next_u64() % (crate::page::PAGE_SIZE as u64 - 64)) as usize;
+            return WriteDecision::Torn { offset };
+        }
+        WriteDecision::Ok
+    }
+
+    /// Decides whether this allocation fails probabilistically with
+    /// ENOSPC. (The hard `capacity_pages` bound is checked by the disk,
+    /// which knows the live page count.)
+    pub(crate) fn on_allocate(&mut self) -> bool {
+        if self.fires(self.cfg.enospc_ppm) {
+            self.tally.enospc += 1;
+            obs::cached_counter!("storage.fault.enospc").incr();
+            return true;
+        }
+        false
+    }
+
+    /// Records a capacity-bound ENOSPC (decided by the disk, tallied here
+    /// so `injected()` covers every DiskFull the schedule caused).
+    pub(crate) fn note_capacity_enospc(&mut self) {
+        self.tally.enospc += 1;
+        obs::cached_counter!("storage.fault.enospc").incr();
+    }
+}
+
+/// Bounded deterministic retry for transient faults. One policy object,
+/// consulted by the buffer pool — the single point through which all page
+/// I/O flows — so the recovery behaviour is defined in exactly one place.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per operation, including the first. A transient
+    /// burst longer than `max_attempts - 1` escapes as
+    /// [`StorageError::RetriesExhausted`].
+    ///
+    /// [`StorageError::RetriesExhausted`]: crate::error::StorageError::RetriesExhausted
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // Absorbs bursts of up to 3 while keeping worst-case work per
+        // operation strictly bounded; longer bursts escape as typed
+        // errors rather than spinning.
+        RetryPolicy { max_attempts: 4 }
+    }
+}
+
+/// Word-wise page checksum (FNV-1a over little-endian u64 lanes). Fast
+/// enough to run on every simulated transfer; collision-resistant enough
+/// to catch any 64-byte torn span with near certainty.
+pub fn page_checksum(buf: &[u8; crate::page::PAGE_SIZE]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for chunk in buf.chunks_exact(8) {
+        let lane = u64::from_le_bytes(chunk.try_into().expect("chunks_exact(8)"));
+        h = (h ^ lane).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{zeroed_page, FileId};
+
+    fn pid(n: u32) -> PageId {
+        PageId::new(FileId(0), n)
+    }
+
+    /// Replays `ops` decisions against a fresh schedule and returns the
+    /// fault pattern as a bitvector-like Vec<bool>.
+    fn read_pattern(cfg: FaultConfig, ops: u32) -> Vec<bool> {
+        let mut s = FaultSchedule::new(cfg);
+        (0..ops).map(|i| s.on_read(pid(i))).collect()
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let cfg = FaultConfig::chaos(42, 50_000);
+        assert_eq!(read_pattern(cfg, 2000), read_pattern(cfg, 2000));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = read_pattern(FaultConfig::chaos(1, 50_000), 2000);
+        let b = read_pattern(FaultConfig::chaos(2, 50_000), 2000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_rates_never_fire() {
+        let mut s = FaultSchedule::new(FaultConfig::default());
+        for i in 0..1000 {
+            assert!(!s.on_read(pid(i)));
+            assert!(matches!(s.on_write(pid(i)), WriteDecision::Ok));
+            assert!(!s.on_allocate());
+        }
+        assert_eq!(s.injected().total(), 0);
+    }
+
+    #[test]
+    fn rates_roughly_respected() {
+        let mut s = FaultSchedule::new(FaultConfig {
+            seed: 7,
+            read_transient_ppm: 100_000, // 10%
+            max_transient_burst: 1,
+            ..FaultConfig::default()
+        });
+        let fired = (0..10_000).filter(|&i| s.on_read(pid(i))).count();
+        // 10% of 10k draws; generous 3-sigma-ish band.
+        assert!((700..1400).contains(&fired), "fired {fired} of 10000");
+    }
+
+    #[test]
+    fn burst_fails_consecutive_attempts_then_clears() {
+        // 100% fire rate, burst of exactly 3 (max 3, and we force the
+        // draw by trying until we see a burst > 1).
+        let mut s = FaultSchedule::new(FaultConfig {
+            seed: 3,
+            read_transient_ppm: 1_000_000,
+            max_transient_burst: 3,
+            ..FaultConfig::default()
+        });
+        let p = pid(9);
+        assert!(s.on_read(p)); // opens a burst (length >= 1)
+        let mut failures = 1;
+        while s.pending.contains_key(&(p, false)) {
+            // Pending burst drains without consulting the rng.
+            assert!(s.on_read(p));
+            failures += 1;
+            assert!(failures <= 3, "burst exceeded configured max");
+        }
+        assert_eq!(s.injected().transient_reads, failures);
+    }
+
+    #[test]
+    fn torn_write_offset_in_bounds() {
+        let mut s = FaultSchedule::new(FaultConfig {
+            seed: 11,
+            torn_write_ppm: 1_000_000,
+            ..FaultConfig::default()
+        });
+        for i in 0..100 {
+            match s.on_write(pid(i)) {
+                WriteDecision::Torn { offset } => {
+                    assert!(offset + 64 <= crate::page::PAGE_SIZE)
+                }
+                _ => panic!("torn_write_ppm=100% must tear every write"),
+            }
+        }
+        assert_eq!(s.injected().torn_writes, 100);
+    }
+
+    #[test]
+    fn checksum_detects_torn_span() {
+        let mut page = zeroed_page();
+        page[100] = 7;
+        let sum = page_checksum(&page);
+        assert_eq!(sum, page_checksum(&page));
+        for b in page[4000..4064].iter_mut() {
+            *b ^= 0xFF;
+        }
+        assert_ne!(sum, page_checksum(&page));
+    }
+}

@@ -156,8 +156,13 @@ impl HeapFile {
                     return Ok(());
                 }
                 FLAG_LONG => {
-                    let total = u32::from_le_bytes(rec[1..5].try_into().unwrap());
-                    let first = u32::from_le_bytes(rec[5..9].try_into().unwrap());
+                    // A long-record stub is exactly flag + total + first
+                    // page; anything shorter is damaged bytes, not a bug.
+                    if rec.len() < 9 {
+                        return Err(StorageError::Corrupt("truncated long-record stub"));
+                    }
+                    let total = u32::from_le_bytes(rec[1..5].try_into().expect("checked len"));
+                    let first = u32::from_le_bytes(rec[5..9].try_into().expect("checked len"));
                     (FLAG_LONG, total as usize, first)
                 }
                 _ => return Err(StorageError::Corrupt("bad record flag")),
@@ -172,8 +177,16 @@ impl HeapFile {
                 return Err(StorageError::Corrupt("broken overflow chain"));
             }
             let len = u16::from_le_bytes([page[2], page[3]]) as usize;
-            next = u32::from_le_bytes(page[4..8].try_into().unwrap());
+            if OVF_HEADER + len > PAGE_SIZE {
+                return Err(StorageError::Corrupt("overflow chunk length out of range"));
+            }
+            next = u32::from_le_bytes(page[4..8].try_into().expect("fixed 4-byte field"));
             out.extend_from_slice(&page[OVF_HEADER..OVF_HEADER + len]);
+            // A cyclic or over-long chain (corrupt next pointers) would
+            // otherwise loop forever accumulating bytes.
+            if out.len() > total_len {
+                return Err(StorageError::Corrupt("overflow chain length mismatch"));
+            }
         }
         if out.len() != total_len {
             return Err(StorageError::Corrupt("overflow chain length mismatch"));

@@ -26,6 +26,10 @@
 //!   rectangle PBSM reads "from the catalog information" (§3.1).
 //! * [`extsort`] — an external merge sort bounded by work memory, used to
 //!   sort candidate OID pairs in the refinement step.
+//! * [`fault`] — seeded deterministic fault injection (transient I/O
+//!   errors, torn pages, ENOSPC) plus the bounded [`fault::RetryPolicy`]
+//!   the buffer pool applies; pages carry a sidecar checksum verified on
+//!   every read.
 //!
 //! Everything is deterministic and single-threaded; [`Db`] ties the pieces
 //! together.
@@ -36,6 +40,7 @@ pub mod codec;
 pub mod disk;
 pub mod error;
 pub mod extsort;
+pub mod fault;
 pub mod heap;
 pub mod oid;
 pub mod page;
@@ -47,5 +52,6 @@ mod db;
 
 pub use db::{Db, DbConfig};
 pub use error::{StorageError, StorageResult};
+pub use fault::{FaultConfig, FaultTally, RetryPolicy};
 pub use oid::Oid;
 pub use page::{FileId, PageId, PAGE_SIZE};

@@ -188,6 +188,10 @@ impl RecordReader<'_> {
                 return Err(StorageError::Corrupt("expected record page"));
             }
             self.page_count = u16::from_le_bytes([self.page[2], self.page[3]]) as usize;
+            // A damaged count would walk the cursor off the page end.
+            if self.page_count > self.rf.per_page() {
+                return Err(StorageError::Corrupt("record page count out of range"));
+            }
             self.in_page = 0;
             self.page_no += 1;
             self.loaded = true;

@@ -117,6 +117,11 @@ pub fn get(page: &[u8; PAGE_SIZE], slot: u16) -> Option<&[u8]> {
     if len == 0 {
         return None;
     }
+    // Corrupt slot bytes must not panic the reader; treat an
+    // out-of-bounds extent like an invalid slot.
+    if off + len > PAGE_SIZE {
+        return None;
+    }
     Some(&page[off..off + len])
 }
 

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Chaos smoke: seeded fault schedules swept across PBSM, INL, and the
+# R-tree join, each run checked against a fault-free oracle. Exits
+# non-zero if any cell returns wrong results or panics; clean typed
+# errors are an acceptable outcome.
+#
+# Usage: scripts/chaos.sh [--scale S] [--seeds "a,b,c"] [--ppm N]
+# Defaults: smoke scale 0.05, the three fixed CI seeds, 1500 ppm.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE=0.05
+SEEDS="13,1996,271828"
+PPM=1500
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --scale) SCALE="$2"; shift 2 ;;
+    --seeds) SEEDS="$2"; shift 2 ;;
+    --ppm) PPM="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> chaos sweep (scale=$SCALE seeds=$SEEDS ppm=$PPM)"
+PBSM_SCALE="$SCALE" PBSM_CHAOS_SEEDS="$SEEDS" PBSM_CHAOS_PPM="$PPM" \
+  cargo run --release -p pbsm-bench --bin chaos
+
+test -s bench_results/chaos.json
+test -s bench_results/chaos.txt
+echo "chaos: OK"

@@ -21,4 +21,7 @@ scripts/bench.sh --scale 0.02 --tol 0.02
 test -s bench_results/bulkload_vs_insert.json
 test -s bench_results/bulkload_vs_insert.txt
 
+echo "==> chaos smoke (seeded fault sweep vs fault-free oracle)"
+scripts/chaos.sh
+
 echo "verify: OK"

@@ -192,3 +192,139 @@ fn sorted_flush_off_still_correct() {
     let truth = ground_truth(&db, "road", "hydro", SpatialPredicate::Intersects);
     assert_eq!(out.pairs, truth);
 }
+
+// ---------------------------------------------------------------------------
+// Fault injection: joins under a seeded fault schedule must either match
+// the fault-free ground truth bit-for-bit or fail with a clean typed error.
+// ---------------------------------------------------------------------------
+
+use pbsm::storage::FaultConfig;
+
+#[test]
+fn pbsm_matches_oracle_under_absorbable_transient_faults() {
+    // `transient_only` bursts are at most 2 consecutive failures; the
+    // pool's default retry budget is 4 attempts, so every fault must be
+    // absorbed and the answer must equal the ground truth exactly.
+    let spec = JoinSpec::new("road", "hydro", SpatialPredicate::Intersects);
+    let config = JoinConfig {
+        work_mem_bytes: 64 * 1024, // force partitioning + spill I/O
+        ..JoinConfig::default()
+    };
+    let mut fired = 0u64;
+    for seed in [13u64, 1996, 271_828] {
+        let db = setup_tiger(2, false);
+        let truth = ground_truth(&db, "road", "hydro", SpatialPredicate::Intersects);
+        db.pool().clear_cache().unwrap(); // cold start: faults see real I/O
+        db.pool()
+            .disk_mut()
+            .set_faults(Some(FaultConfig::transient_only(seed, 20_000)));
+        let out = pbsm_join(&db, &spec, &config).unwrap();
+        assert_eq!(out.pairs, truth, "seed {seed}");
+        fired += db.pool().disk().fault_tally().total();
+    }
+    assert!(fired > 0, "schedules must actually have injected faults");
+}
+
+#[test]
+fn all_algorithms_survive_transient_faults_identically() {
+    let db = setup_tiger(2, false);
+    let truth = ground_truth(&db, "road", "hydro", SpatialPredicate::Intersects);
+    let spec = JoinSpec::new("road", "hydro", SpatialPredicate::Intersects);
+    let config = JoinConfig {
+        work_mem_bytes: 64 * 1024,
+        ..JoinConfig::default()
+    };
+    for (name, run) in [
+        ("pbsm", pbsm_join as fn(&Db, &JoinSpec, &JoinConfig) -> _),
+        ("rtree", rtree_join),
+        ("inl", inl_join),
+    ] {
+        db.pool().clear_cache().unwrap();
+        db.pool()
+            .disk_mut()
+            .set_faults(Some(FaultConfig::transient_only(4242, 20_000)));
+        let out = run(&db, &spec, &config).unwrap();
+        db.pool().disk_mut().set_faults(None);
+        assert_eq!(out.pairs, truth, "{name}");
+    }
+}
+
+#[test]
+fn pbsm_enospc_fails_clean_and_destroys_temp_files() {
+    // A capacity budget with almost no headroom: every recovery attempt
+    // must hit the wall, the driver must surface `DiskFull` as a typed
+    // error (never a panic), and — the cleanup-on-error contract — every
+    // temp file of every failed attempt must be destroyed, leaving the
+    // disk at its pre-join footprint with no pinned frames.
+    let db = setup_tiger(2, false);
+    db.pool().flush_all().unwrap();
+    let baseline = db.pool().disk().live_pages();
+    db.pool().disk_mut().set_faults(Some(FaultConfig {
+        capacity_pages: Some(baseline + 4),
+        ..FaultConfig::default()
+    }));
+    let spec = JoinSpec::new("road", "hydro", SpatialPredicate::Intersects);
+    let config = JoinConfig {
+        work_mem_bytes: 64 * 1024,
+        ..JoinConfig::default()
+    };
+    let err = match pbsm_join(&db, &spec, &config) {
+        Ok(_) => panic!("join must fail under a {}-page headroom", 4),
+        Err(e) => e,
+    };
+    assert!(err.is_disk_full(), "expected DiskFull, got {err}");
+    assert_eq!(
+        db.pool().disk().live_pages(),
+        baseline,
+        "failed attempts must destroy all their temp files"
+    );
+    let (free, pinned, mapped) = db.pool().frame_census();
+    assert_eq!(pinned, 0);
+    assert_eq!(free + mapped, db.pool().num_frames());
+
+    // With the budget lifted the same database still answers correctly.
+    db.pool().disk_mut().set_faults(None);
+    let truth = ground_truth(&db, "road", "hydro", SpatialPredicate::Intersects);
+    assert_eq!(pbsm_join(&db, &spec, &config).unwrap().pairs, truth);
+}
+
+#[test]
+fn pbsm_degrades_through_probabilistic_enospc() {
+    // Probabilistic ENOSPC: each attempt redraws the allocation stream, so
+    // the bounded degradation loop gets fresh chances. Across seeds, every
+    // outcome must be either the exact ground truth or a clean typed
+    // DiskFull — and at least one seed must exercise the recovery loop.
+    let spec = JoinSpec::new("road", "hydro", SpatialPredicate::Intersects);
+    let config = JoinConfig {
+        work_mem_bytes: 64 * 1024,
+        ..JoinConfig::default()
+    };
+    let mut recovered = 0u64;
+    let mut enospc_seen = 0u64;
+    for seed in 0u64..6 {
+        let db = setup_tiger(2, false);
+        let truth = ground_truth(&db, "road", "hydro", SpatialPredicate::Intersects);
+        db.pool().clear_cache().unwrap();
+        db.pool().disk_mut().set_faults(Some(FaultConfig {
+            seed,
+            enospc_ppm: 30_000,
+            ..FaultConfig::default()
+        }));
+        match pbsm_join(&db, &spec, &config) {
+            Ok(out) => {
+                assert_eq!(out.pairs, truth, "seed {seed}");
+                recovered += out.stats.recovery_retries;
+            }
+            Err(e) => assert!(e.is_disk_full(), "seed {seed}: expected DiskFull, got {e}"),
+        }
+        enospc_seen += db.pool().disk().fault_tally().enospc;
+    }
+    assert!(
+        enospc_seen > 0,
+        "schedules must actually have injected ENOSPC"
+    );
+    assert!(
+        recovered > 0,
+        "at least one seed must succeed only after degradation"
+    );
+}

@@ -110,3 +110,30 @@ proptest! {
         prop_assert_eq!(back, ts);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Transient faults with bursts inside the retry budget are invisible:
+    /// PBSM under any seeded `transient_only` schedule equals brute force
+    /// bit-for-bit.
+    #[test]
+    fn pbsm_equals_brute_force_under_transient_faults(
+        ls in arb_tuples(50),
+        rs in arb_tuples(50),
+        seed in any::<u64>(),
+    ) {
+        let db = Db::new(DbConfig::with_pool_mb(2));
+        load_relation(&db, "l", &ls, false).unwrap();
+        load_relation(&db, "r", &rs, false).unwrap();
+        let truth = brute(&db, "l", "r");
+        db.pool().clear_cache().unwrap();
+        db.pool().disk_mut().set_faults(Some(
+            pbsm::storage::FaultConfig::transient_only(seed, 50_000),
+        ));
+        let spec = JoinSpec::new("l", "r", SpatialPredicate::Intersects);
+        let config = JoinConfig { work_mem_bytes: 8 * 1024, ..JoinConfig::default() };
+        let out = pbsm_join(&db, &spec, &config).unwrap();
+        prop_assert_eq!(out.pairs, truth);
+    }
+}

@@ -149,3 +149,153 @@ fn db_stats_are_monotonic() {
         prev = now;
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fault injection & buffer-pool pressure (the chaos-test regression guards).
+// ---------------------------------------------------------------------------
+
+use pbsm::storage::{FaultConfig, StorageError};
+
+#[test]
+fn enospc_surfaces_typed_error_without_leaking_frames() {
+    // A hard 48-page device: inserts must fail with `DiskFull` — a typed
+    // error, not a panic — and the pool must come out of the failure with
+    // every frame either free or cleanly mapped, none pinned.
+    let db = Db::new(DbConfig {
+        faults: Some(FaultConfig {
+            capacity_pages: Some(48),
+            ..FaultConfig::default()
+        }),
+        ..DbConfig::with_pool_mb(2)
+    });
+    let heap = HeapFile::create(db.pool());
+    let mut buf = Vec::new();
+    let mut err = None;
+    for t in tuples(20_000) {
+        t.encode_into(&mut buf);
+        match heap.insert(db.pool(), &buf) {
+            Ok(_) => {}
+            Err(e) => {
+                err = Some(e);
+                break;
+            }
+        }
+    }
+    assert!(
+        matches!(err, Some(StorageError::DiskFull { .. })),
+        "expected DiskFull, got {err:?}"
+    );
+    let (free, pinned, mapped) = db.pool().frame_census();
+    assert_eq!(pinned, 0, "no frame may stay pinned after an I/O error");
+    assert_eq!(free + mapped, db.pool().num_frames());
+
+    // Dropping the file returns its pages: a fresh heap can insert again.
+    let used = db.pool().disk().live_pages();
+    assert!(used > 0);
+    db.pool().drop_file(heap.file_id());
+    assert_eq!(db.pool().disk().live_pages(), 0);
+    let heap2 = HeapFile::create(db.pool());
+    tuples(1)[0].encode_into(&mut buf);
+    heap2.insert(db.pool(), &buf).unwrap();
+}
+
+#[test]
+fn pin_heavy_pressure_is_typed_error_then_recovers() {
+    // Pin every frame of a tiny pool via live page guards. One more `get`
+    // must fail with `BufferPoolFull` (no deadlock, no panic); releasing
+    // the guards makes the same call succeed, with a clean census.
+    let db = Db::new(DbConfig::with_pool_mb(2));
+    let heap = HeapFile::create(db.pool());
+    let mut buf = Vec::new();
+    let ts = tuples(60_000); // well past 2 MB of pages
+    for t in &ts {
+        t.encode_into(&mut buf);
+        heap.insert(db.pool(), &buf).unwrap();
+    }
+    db.pool().flush_all().unwrap();
+    let n = db.pool().num_frames();
+    let file = heap.file_id();
+    let pids: Vec<_> = (0..n as u32)
+        .map(|p| pbsm::storage::PageId::new(file, p))
+        .collect();
+    let guards: Vec<_> = pids.iter().map(|&p| db.pool().get(p).unwrap()).collect();
+    let (_, pinned, _) = db.pool().frame_census();
+    assert_eq!(pinned, n, "every frame pinned");
+
+    let overflow = pbsm::storage::PageId::new(file, n as u32);
+    match db.pool().get(overflow) {
+        Err(StorageError::BufferPoolFull) => {}
+        other => panic!("expected BufferPoolFull, got {:?}", other.map(|_| ())),
+    }
+    drop(guards);
+    db.pool().get(overflow).unwrap();
+    let (free, pinned, mapped) = db.pool().frame_census();
+    assert_eq!(pinned, 0);
+    assert_eq!(free + mapped, n);
+}
+
+#[test]
+fn transient_fault_churn_keeps_free_list_canonical() {
+    // Heavy transient faults during churn, all absorbed by the bounded
+    // retry; afterwards `clear_cache` must leave the free list in its
+    // canonical descending order — the PR 2 determinism guarantee that
+    // cold-start replacement behaviour is reproducible after any fault
+    // history.
+    let db = Db::new(DbConfig::with_pool_mb(2));
+    let heap = HeapFile::create(db.pool());
+    let mut buf = Vec::new();
+    for t in tuples(40_000) {
+        t.encode_into(&mut buf);
+        heap.insert(db.pool(), &buf).unwrap();
+    }
+    db.pool()
+        .disk_mut()
+        .set_faults(Some(FaultConfig::transient_only(77, 30_000)));
+    let mut oid_buf = Vec::new();
+    for r in heap.scan(db.pool()) {
+        let (_, bytes) = r.unwrap(); // bursts <= 2 always absorbed
+        oid_buf.clear();
+        oid_buf.extend_from_slice(&bytes[..bytes.len().min(8)]);
+    }
+    assert!(
+        db.pool().disk().fault_tally().transient_reads > 0,
+        "schedule must actually have fired"
+    );
+    db.pool().disk_mut().set_faults(None);
+    db.pool().clear_cache().unwrap();
+    let free = db.pool().free_list();
+    let want: Vec<usize> = (0..db.pool().num_frames()).rev().collect();
+    assert_eq!(free, want, "free list must be canonical descending");
+}
+
+#[test]
+fn torn_write_detected_as_corruption_on_read_back() {
+    // End-to-end checksum story: a torn write is silent at write time and
+    // a typed `Corruption` on read-back — never garbage tuples.
+    let db = Db::new(DbConfig::with_pool_mb(2));
+    let heap = HeapFile::create(db.pool());
+    let mut buf = Vec::new();
+    let mut oids = Vec::new();
+    for t in tuples(30_000) {
+        t.encode_into(&mut buf);
+        oids.push(heap.insert(db.pool(), &buf).unwrap());
+    }
+    // Tear every write while flushing the dirty pool, then read back.
+    db.pool().disk_mut().set_faults(Some(FaultConfig {
+        seed: 5,
+        torn_write_ppm: 1_000_000,
+        ..FaultConfig::default()
+    }));
+    db.pool().flush_all().unwrap(); // torn writes "succeed"
+    db.pool().disk_mut().set_faults(None);
+    db.pool().clear_cache().unwrap();
+    let mut corruptions = 0;
+    for oid in &oids {
+        match heap.fetch(db.pool(), *oid, &mut buf) {
+            Ok(()) => {}
+            Err(StorageError::Corruption(_)) => corruptions += 1,
+            Err(e) => panic!("expected Corruption, got {e}"),
+        }
+    }
+    assert!(corruptions > 0, "at least one torn page must be detected");
+}
