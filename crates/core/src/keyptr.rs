@@ -8,6 +8,7 @@
 //! the `Size_key_ptr` of Equation 1.
 
 use pbsm_geom::Rect;
+use pbsm_storage::codec::{f64_at, u64_at};
 use pbsm_storage::Oid;
 
 /// Serialized size of a key-pointer element in bytes (Equation 1's
@@ -37,15 +38,14 @@ impl KeyPointer {
     /// [`KEY_PTR_SIZE`] long.
     pub fn decode(bytes: &[u8]) -> KeyPointer {
         debug_assert_eq!(bytes.len(), KEY_PTR_SIZE);
-        let f = |at: usize| f64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
         KeyPointer {
             mbr: Rect {
-                xl: f(0),
-                yl: f(8),
-                xu: f(16),
-                yu: f(24),
+                xl: f64_at(bytes, 0),
+                yl: f64_at(bytes, 8),
+                xu: f64_at(bytes, 16),
+                yu: f64_at(bytes, 24),
             },
-            oid: Oid::from_raw(u64::from_le_bytes(bytes[32..40].try_into().unwrap())),
+            oid: Oid::from_raw(u64_at(bytes, 32)),
         }
     }
 }
@@ -65,8 +65,8 @@ pub fn encode_pair(r: Oid, s: Oid) -> [u8; OID_PAIR_SIZE] {
 pub fn decode_pair(bytes: &[u8]) -> (Oid, Oid) {
     debug_assert_eq!(bytes.len(), OID_PAIR_SIZE);
     (
-        Oid::from_raw(u64::from_le_bytes(bytes[0..8].try_into().unwrap())),
-        Oid::from_raw(u64::from_le_bytes(bytes[8..16].try_into().unwrap())),
+        Oid::from_raw(u64_at(bytes, 0)),
+        Oid::from_raw(u64_at(bytes, 8)),
     )
 }
 
@@ -74,11 +74,11 @@ pub fn decode_pair(bytes: &[u8]) -> (Oid, Oid) {
 /// order. Works directly on record bytes so the external sort avoids
 /// decoding.
 pub fn cmp_pair_bytes(a: &[u8], b: &[u8]) -> std::cmp::Ordering {
-    let ar = u64::from_le_bytes(a[0..8].try_into().unwrap());
-    let br = u64::from_le_bytes(b[0..8].try_into().unwrap());
+    let ar = u64_at(a, 0);
+    let br = u64_at(b, 0);
     ar.cmp(&br).then_with(|| {
-        let as_ = u64::from_le_bytes(a[8..16].try_into().unwrap());
-        let bs = u64::from_le_bytes(b[8..16].try_into().unwrap());
+        let as_ = u64_at(a, 8);
+        let bs = u64_at(b, 8);
         as_.cmp(&bs)
     })
 }

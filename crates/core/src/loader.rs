@@ -136,14 +136,14 @@ pub fn build_index(db: &Db, rel: &RelationMeta) -> StorageResult<RTree> {
     {
         let mut r = sorted.reader(db.pool());
         while let Some(rec) = r.next_record()? {
-            let f = |at: usize| f64::from_le_bytes(rec[at..at + 8].try_into().unwrap());
+            use pbsm_storage::codec::{f64_at, u64_at};
             let mbr = pbsm_geom::Rect {
-                xl: f(8),
-                yl: f(16),
-                xu: f(24),
-                yu: f(32),
+                xl: f64_at(rec, 8),
+                yl: f64_at(rec, 16),
+                xu: f64_at(rec, 24),
+                yu: f64_at(rec, 32),
             };
-            let oid = Oid::from_raw(u64::from_le_bytes(rec[40..48].try_into().unwrap()));
+            let oid = Oid::from_raw(u64_at(rec, 40));
             entries.push((mbr, oid));
         }
     }

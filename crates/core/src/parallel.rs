@@ -18,7 +18,7 @@ use crate::JoinConfig;
 use pbsm_geom::sweep::SweepStats;
 use pbsm_storage::record::RecordFile;
 use pbsm_storage::{Db, Oid, StorageResult};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Merges all partition pairs using `config.merge_threads` workers.
 /// Returns the candidate file and the raw (pre-dedup) candidate count.
@@ -52,7 +52,10 @@ pub fn merge_partitions_parallel(
             for _ in 0..threads {
                 scope.spawn(|| loop {
                     let i = {
-                        let mut g = next.lock().unwrap();
+                        // A poisoned lock means a sibling worker panicked;
+                        // its panic resurfaces when the scope joins, so
+                        // ignoring the poison here never masks a failure.
+                        let mut g = next.lock().unwrap_or_else(PoisonError::into_inner);
                         if *g >= n {
                             break;
                         }
@@ -69,7 +72,7 @@ pub fn merge_partitions_parallel(
                     } else {
                         sweep_partition_pair(r, s, &mut out)
                     };
-                    slots.lock().unwrap()[i] = (out, stats);
+                    slots.lock().unwrap_or_else(PoisonError::into_inner)[i] = (out, stats);
                 });
             }
         });

@@ -18,8 +18,8 @@ use pbsm_storage::extsort::external_sort;
 use pbsm_storage::heap::HeapFile;
 use pbsm_storage::record::RecordFile;
 use pbsm_storage::tuple::SpatialTuple;
-use pbsm_storage::{Db, Oid, StorageResult};
-use std::collections::HashMap;
+use pbsm_storage::{Db, Oid, StorageError, StorageResult};
+use std::collections::BTreeMap;
 
 /// Outcome of the refinement step.
 pub struct RefineOutcome {
@@ -82,9 +82,11 @@ fn refine_sorted(
     // Batch state: decoded R tuples (with their OIDs, for result
     // emission) plus the pairs referencing them. The OID→index map is the
     // "swizzling" — pairs carry an index into `r_tuples` instead of an
-    // OID, so the per-pair predicate evaluation does no lookup.
+    // OID, so the per-pair predicate evaluation does no lookup. A
+    // `BTreeMap` (never iterated, but keeps hash order out of this
+    // counter-gated path entirely) — lookups are once per unique R OID.
     let mut r_tuples: Vec<(Oid, SpatialTuple)> = Vec::new();
-    let mut r_index: HashMap<u64, u32> = HashMap::new();
+    let mut r_index: BTreeMap<u64, u32> = BTreeMap::new();
     let mut r_bytes = 0usize;
     let mut batch: Vec<(u32, Oid)> = Vec::new();
 
@@ -151,7 +153,11 @@ fn process_batch(
             right_heap.fetch(db.pool(), s_oid, &mut fetch_buf)?;
             cached = Some((s_oid, SpatialTuple::decode(&fetch_buf)?));
         }
-        let s_tuple = &cached.as_ref().expect("cached set in the branch above").1;
+        // `cached` is always `Some` here (set just above on a miss);
+        // surface the impossible case as a typed error, not a panic.
+        let Some((_, s_tuple)) = cached.as_ref() else {
+            return Err(StorageError::Corrupt("refine batch lost its S tuple"));
+        };
         let (r_oid, r_tuple) = &r_tuples[r_idx as usize];
         if matches(r_tuple, s_tuple, predicate, opts) {
             true_hits += 1;

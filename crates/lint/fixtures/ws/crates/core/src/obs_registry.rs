@@ -1,0 +1,8 @@
+//! Fixture: the `obs-registry` rule.
+
+pub fn emit() {
+    pbsm_obs::counter("good.metric").incr();
+    pbsm_obs::cached_counter!("bad.metric").incr();
+    let dynamic = String::new();
+    pbsm_obs::counter(&dynamic).incr();
+}

@@ -1,0 +1,7 @@
+//! Fixture: the `suppression` meta-rule.
+
+// pbsm-lint: allow(determinism)
+pub fn missing_reason() {}
+
+// pbsm-lint: allow(determinism, reason = "fixture: nothing on the next line violates")
+pub fn unused_allow() {}

@@ -1,0 +1,4 @@
+//! Fixture registry: the one declared metric name.
+
+pub const GOOD: &str = "good.metric";
+pub const ALL: &[&str] = &[GOOD];

@@ -1,0 +1,14 @@
+//! Fixture: the `determinism` rule.
+
+use std::collections::HashMap;
+use std::collections::HashSet; // pbsm-lint: allow(determinism, reason = "fixture: suppressed on purpose")
+use std::time::Instant;
+
+pub fn wall_clock() -> Instant {
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+}

@@ -1,0 +1,20 @@
+//! Fixture: the `error-discipline` rule.
+
+pub fn hot(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn also_hot(x: Option<u32>) -> u32 {
+    x.expect("boom")
+}
+
+pub fn absolved(x: Option<u32>) -> u32 {
+    // pbsm-lint: allow(error-discipline, reason = "fixture: demonstrating an own-line allow")
+    x.unwrap()
+}
+
+#[test]
+fn in_test_code() {
+    let x: Option<u32> = None;
+    x.unwrap();
+}

@@ -1,0 +1,20 @@
+//! Fixture: the `resource-pairing` rule.
+
+pub fn leaky(pool: &mut Disk) -> FileId {
+    pool.create_file()
+}
+
+pub fn paired(pool: &mut Disk) {
+    let f = pool.create_file();
+    pool.drop_file(f);
+}
+
+pub fn pinned_without_guard(pool: &Pool, pid: PageId) {
+    let idx = pool.pin_frame(pid, true);
+    let _ = idx;
+}
+
+pub fn handed_off(pool: &Pool) -> RecordFile {
+    // pbsm-lint: allow(resource-pairing, reason = "fixture: ownership transferred to caller")
+    RecordFile::create(pool, 8)
+}

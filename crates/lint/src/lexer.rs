@@ -1,0 +1,391 @@
+//! A hand-rolled Rust lexer — just enough fidelity for invariant linting.
+//!
+//! The offline build vendors nothing, so there is no `syn` to lean on.
+//! The rules only need four things done *correctly*, and this lexer does
+//! exactly those:
+//!
+//! * identifiers (so `HashMap` in a doc comment or string never fires),
+//! * string literals with their decoded-enough text (metric names),
+//! * punctuation with nesting-relevant brackets (function-body spans,
+//!   `#[cfg(test)]` regions),
+//! * comments, kept separately with position info (suppressions).
+//!
+//! Numeric literals, lifetimes, and char literals are recognized far
+//! enough to not confuse the above (e.g. `'a'` vs `'a`, `0..8`), then
+//! discarded.
+
+/// One significant token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword, e.g. `fn`, `HashMap`, `unwrap`.
+    Ident(String),
+    /// String literal (`"…"`, `r#"…"#`, `b"…"`), raw source text between
+    /// the quotes, escapes left as written.
+    Str(String),
+    /// Single punctuation character (`::` arrives as two `:`).
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Clone, Debug)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A comment, kept out of the token stream.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// Line the comment starts on.
+    pub line: u32,
+    /// True when nothing but whitespace precedes it on its line.
+    pub own_line: bool,
+}
+
+/// Lexer output: significant tokens and comments, both line-tagged.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Spanned>,
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. Malformed input (unterminated strings/comments) is
+/// tolerated: the rest of the file becomes one token and linting goes on.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        line_has_code: false,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// Whether a non-whitespace, non-comment byte occurred on this line
+    /// before the current position (drives `Comment::own_line`).
+    line_has_code: bool,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.line_has_code = false;
+        }
+        b
+    }
+
+    fn run(mut self) -> Lexed {
+        while self.pos < self.src.len() {
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'r' | b'b' if self.raw_or_byte_string() => {}
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                _ if is_ident_start(b) => self.ident(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ => {
+                    let line = self.line;
+                    self.line_has_code = true;
+                    self.bump();
+                    self.out.toks.push(Spanned {
+                        tok: Tok::Punct(b as char),
+                        line,
+                    });
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let own_line = !self.line_has_code;
+        let start = self.pos;
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text: String::from_utf8_lossy(&self.src[start..self.pos]).into_owned(),
+            line,
+            own_line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let own_line = !self.line_has_code;
+        let start = self.pos;
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1u32;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            text: String::from_utf8_lossy(&self.src[start..self.pos]).into_owned(),
+            line,
+            own_line,
+        });
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` when the cursor sits on
+    /// `r`/`b`. Returns false (consuming nothing) if this is actually an
+    /// identifier like `result` or `bytes`.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let mut i = 0;
+        if self.peek(i) == b'b' {
+            i += 1;
+        }
+        if self.peek(i) == b'r' {
+            i += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek(i + hashes) == b'#' {
+            hashes += 1;
+        }
+        if self.peek(i + hashes) != b'"' {
+            return false;
+        }
+        // `b"…"` without `r` has escapes; only `r`-strings are raw.
+        let raw =
+            self.src[self.pos..].starts_with(b"r") || self.src[self.pos + 1..].starts_with(b"r");
+        let line = self.line;
+        self.line_has_code = true;
+        for _ in 0..i + hashes + 1 {
+            self.bump();
+        }
+        let start = self.pos;
+        let closing: Vec<u8> = std::iter::once(b'"')
+            .chain(std::iter::repeat_n(b'#', hashes))
+            .collect();
+        while self.pos < self.src.len() {
+            if !raw && self.peek(0) == b'\\' {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            if self.src[self.pos..].starts_with(&closing) {
+                break;
+            }
+            self.bump();
+        }
+        let end = self.pos.min(self.src.len());
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        for _ in 0..closing.len().min(self.src.len().saturating_sub(self.pos)) {
+            self.bump();
+        }
+        self.out.toks.push(Spanned {
+            tok: Tok::Str(text),
+            line,
+        });
+        true
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.line_has_code = true;
+        self.bump(); // opening quote
+        let start = self.pos;
+        while self.pos < self.src.len() && self.peek(0) != b'"' {
+            if self.peek(0) == b'\\' {
+                self.bump();
+            }
+            self.bump();
+        }
+        let end = self.pos.min(self.src.len());
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.bump(); // closing quote
+        self.out.toks.push(Spanned {
+            tok: Tok::Str(text),
+            line,
+        });
+    }
+
+    /// Disambiguates char literals (`'x'`, `'\n'`) from lifetimes (`'a`).
+    /// Both are discarded; this only has to consume the right span.
+    fn char_or_lifetime(&mut self) {
+        self.line_has_code = true;
+        self.bump(); // the `'`
+        if self.peek(0) == b'\\' {
+            // Escaped char literal: consume escape + closing quote.
+            self.bump();
+            while self.pos < self.src.len() && self.peek(0) != b'\'' {
+                self.bump();
+            }
+            self.bump();
+            return;
+        }
+        if is_ident_start(self.peek(0)) && self.peek(1) != b'\'' {
+            // Lifetime: consume the identifier and stop.
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            return;
+        }
+        // Plain char literal `'x'`.
+        self.bump();
+        if self.peek(0) == b'\'' {
+            self.bump();
+        }
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        self.line_has_code = true;
+        let start = self.pos;
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        self.out.toks.push(Spanned {
+            tok: Tok::Ident(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()),
+            line,
+        });
+    }
+
+    /// Consumes a numeric literal loosely: digits, `_`, type suffixes, hex
+    /// letters, and a fractional part only when `.` is followed by a digit
+    /// (so `0..8` lexes as `0`, `.`, `.`, `8`).
+    fn number(&mut self) {
+        self.line_has_code = true;
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            self.bump();
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter_map(|s| match s.tok {
+                Tok::Ident(i) => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_in_strings_and_comments_do_not_leak() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap /* nested */ still comment */
+            let x = "HashMap in a string";
+            let y = r#"HashMap raw"#;
+            let z = BTreeMap::new();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(ids.contains(&"BTreeMap".to_string()));
+    }
+
+    #[test]
+    fn string_contents_are_captured() {
+        let lexed = lex(r#"counter("storage.pool.hits")"#);
+        let strs: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter_map(|s| match &s.tok {
+                Tok::Str(t) => Some(t.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, ["storage.pool.hits"]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(ids, ["fn", "f", "x", "str", "str", "x"]);
+    }
+
+    #[test]
+    fn char_literals_including_quotes() {
+        let ids = idents(r"let c = '\''; let d = 'x'; let e = '\n'; done");
+        assert!(ids.contains(&"done".to_string()));
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let lexed = lex("&a[0..8]");
+        let puncts: Vec<char> = lexed
+            .toks
+            .iter()
+            .filter_map(|s| match s.tok {
+                Tok::Punct(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, ['&', '[', '.', '.', ']']);
+    }
+
+    #[test]
+    fn comments_track_own_line() {
+        let lexed = lex("let x = 1; // trailing\n// own line\nlet y = 2;");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(!lexed.comments[0].own_line);
+        assert!(lexed.comments[1].own_line);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn byte_and_raw_strings() {
+        let lexed = lex(r###"let a = b"bytes"; let b = r"raw"; let c = br#"both"#;"###);
+        let strs: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter_map(|s| match &s.tok {
+                Tok::Str(t) => Some(t.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, ["bytes", "raw", "both"]);
+    }
+}

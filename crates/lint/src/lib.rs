@@ -1,0 +1,201 @@
+//! `pbsm-lint`: a dependency-free invariant linter for this workspace.
+//!
+//! Four contracts that reviews kept re-litigating are mechanized here:
+//!
+//! * **determinism** — no order-unstable collections, wall clocks, or
+//!   unseeded RNGs in the counter-gated crates (PR 2's free-list drift
+//!   came from `HashMap` iteration order feeding eviction counters);
+//! * **error-discipline** — no `.unwrap()` / `.expect()` on storage/core
+//!   hot paths; fallible code returns typed `StorageError`s;
+//! * **resource-pairing** — page pins and temp files are acquired and
+//!   released in the same function body (or held by a RAII guard);
+//! * **obs-registry** — every metric-name literal is declared in
+//!   `crates/obs/src/names.rs`, because a typo'd name silently evades the
+//!   bench gate instead of failing.
+//!
+//! Violations are silenced inline with
+//! `// pbsm-lint: allow(rule, reason = "…")` — the reason is mandatory,
+//! and malformed or unused allows are findings themselves.
+//!
+//! The linter is deliberately lexical: a hand-rolled tokenizer (no `syn`,
+//! no external crates — the build is offline) plus brace matching. That
+//! is enough for these rules precisely because they are *lexical
+//! contracts*: "this identifier may not appear here", "these two
+//! identifiers appear in the same body", "this literal is declared over
+//! there".
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+pub use lexer::{lex, Tok};
+pub use report::{Candidate, Finding, LintReport};
+pub use source::SourceFile;
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "bench_results", "related"];
+
+/// Lints every `.rs` file under `root` and returns the report.
+/// Unreadable files are skipped (the walk is best-effort); the scan order
+/// is sorted, so reports are byte-stable across runs and machines.
+pub fn run_lint(root: &Path) -> LintReport {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files);
+    files.sort();
+
+    let registry = load_registry(root);
+    let mut report = LintReport::default();
+
+    for path in files {
+        let Ok(src) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = rel_path(root, &path);
+        report.files_scanned += 1;
+        lint_file(&rel, &src, &registry, &mut report);
+    }
+    report.findings.sort();
+    report
+}
+
+/// Lints a single file's source text into `report`. Exposed for the
+/// golden-fixture tests, which feed fixture files one at a time.
+pub fn lint_file(rel: &str, src: &str, registry: &BTreeSet<String>, report: &mut LintReport) {
+    // Integration tests and benches are test code wholesale; the rules
+    // all exempt test code, so skip the parse entirely.
+    if rel.contains("/tests/") || rel.contains("/benches/") {
+        return;
+    }
+    let file = SourceFile::parse(rel.to_string(), src);
+
+    let mut candidates = Vec::new();
+    rules::determinism(&file, &mut candidates);
+    rules::error_discipline(&file, &mut candidates);
+    rules::resource_pairing(&file, &mut candidates);
+    rules::obs_registry(&file, registry, &mut candidates);
+
+    for c in candidates {
+        if file.suppressed(c.rule, c.line) {
+            report.suppressions_used += 1;
+        } else {
+            report.findings.push(Finding {
+                path: rel.to_string(),
+                line: c.line,
+                rule: c.rule.to_string(),
+                message: c.message,
+            });
+        }
+    }
+    for (line, msg) in &file.bad_suppressions {
+        report.findings.push(Finding {
+            path: rel.to_string(),
+            line: *line,
+            rule: rules::SUPPRESSION.to_string(),
+            message: format!("malformed pbsm-lint comment: {msg}"),
+        });
+    }
+    for s in &file.suppressions {
+        if !s.used.get() {
+            report.findings.push(Finding {
+                path: rel.to_string(),
+                line: s.comment_line,
+                rule: rules::SUPPRESSION.to_string(),
+                message: format!(
+                    "unused allow({}): nothing to suppress on line {}",
+                    s.rules.join(", "),
+                    s.target_line
+                ),
+            });
+        }
+    }
+}
+
+/// Parses `crates/obs/src/names.rs` under `root` into the metric-name
+/// registry. A missing registry file yields an empty set, which makes
+/// every metric literal a finding — loud, as it should be.
+pub fn load_registry(root: &Path) -> BTreeSet<String> {
+    let path = root.join("crates/obs/src/names.rs");
+    match fs::read_to_string(&path) {
+        Ok(src) => {
+            let file = SourceFile::parse("crates/obs/src/names.rs".into(), &src);
+            rules::build_registry(&file)
+        }
+        Err(_) => BTreeSet::new(),
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                collect_rs_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppressed_finding_counts_as_used() {
+        let registry = BTreeSet::new();
+        let mut report = LintReport::default();
+        let src = "\
+use std::collections::HashMap; // pbsm-lint: allow(determinism, reason = \"test\")
+";
+        lint_file("crates/storage/src/x.rs", src, &registry, &mut report);
+        assert!(report.clean(), "{:?}", report.findings);
+        assert_eq!(report.suppressions_used, 1);
+    }
+
+    #[test]
+    fn unused_allow_is_a_finding() {
+        let registry = BTreeSet::new();
+        let mut report = LintReport::default();
+        lint_file(
+            "crates/storage/src/x.rs",
+            "// pbsm-lint: allow(determinism, reason = \"nothing here\")\nfn f() {}\n",
+            &registry,
+            &mut report,
+        );
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "suppression");
+    }
+
+    #[test]
+    fn tests_dirs_are_skipped() {
+        let registry = BTreeSet::new();
+        let mut report = LintReport::default();
+        lint_file(
+            "crates/core/tests/x.rs",
+            "fn f() { x.unwrap(); }\n",
+            &registry,
+            &mut report,
+        );
+        assert!(report.clean());
+    }
+}

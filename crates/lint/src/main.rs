@@ -1,0 +1,55 @@
+//! CLI: `cargo run -p pbsm-lint [-- --root DIR --json PATH]`.
+//!
+//! Prints findings as `path:line: [rule] message`, writes the JSON report
+//! (default `<root>/bench_results/lint.json`), and exits nonzero when any
+//! unsuppressed finding remains — that exit code is what `scripts/lint.sh`
+//! and CI gate on.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json_out = Some(PathBuf::from(v)),
+                None => return usage("--json needs a value"),
+            },
+            "--help" | "-h" => {
+                println!("usage: pbsm-lint [--root DIR] [--json PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let report = pbsm_lint::run_lint(&root);
+    print!("{}", report.render_text());
+
+    let json_path = json_out.unwrap_or_else(|| root.join("bench_results/lint.json"));
+    if let Some(parent) = json_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&json_path, report.to_json().render() + "\n") {
+        eprintln!("pbsm-lint: cannot write {}: {e}", json_path.display());
+        return ExitCode::FAILURE;
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("pbsm-lint: {msg}\nusage: pbsm-lint [--root DIR] [--json PATH]");
+    ExitCode::FAILURE
+}

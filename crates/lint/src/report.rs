@@ -1,0 +1,152 @@
+//! Finding types and the two output formats: human text for the terminal
+//! and machine-readable JSON (via the workspace's hand-rolled `Json`) for
+//! `bench_results/lint.json` and the golden-fixture tests.
+
+use pbsm_obs::json::Json;
+
+/// A rule hit before suppression matching: file-independent parts only.
+#[derive(Debug)]
+pub struct Candidate {
+    pub rule: &'static str,
+    pub line: u32,
+    pub message: String,
+}
+
+/// A finding that survived suppression matching.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Path relative to the lint root, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    pub rule: String,
+    pub message: String,
+}
+
+/// Everything one lint run produced.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    pub files_scanned: usize,
+    /// Active findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Suppressions that matched a would-be finding.
+    pub suppressions_used: usize,
+}
+
+impl LintReport {
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// One line per finding, `path:line: [rule] message`, plus a summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.path, f.line, f.rule, f.message
+            ));
+        }
+        if self.clean() {
+            out.push_str(&format!(
+                "pbsm-lint: clean ({} files, {} suppression{} honored)\n",
+                self.files_scanned,
+                self.suppressions_used,
+                if self.suppressions_used == 1 { "" } else { "s" },
+            ));
+        } else {
+            out.push_str(&format!(
+                "pbsm-lint: {} finding{} in {} files\n",
+                self.findings.len(),
+                if self.findings.len() == 1 { "" } else { "s" },
+                self.files_scanned,
+            ));
+        }
+        out
+    }
+
+    /// Canonical JSON document (stable field order, findings pre-sorted).
+    pub fn to_json(&self) -> Json {
+        let findings = self
+            .findings
+            .iter()
+            .map(|f| {
+                Json::Obj(vec![
+                    ("path".into(), Json::Str(f.path.clone())),
+                    ("line".into(), Json::uint(u64::from(f.line))),
+                    ("rule".into(), Json::Str(f.rule.clone())),
+                    ("message".into(), Json::Str(f.message.clone())),
+                ])
+            })
+            .collect();
+        let mut per_rule: Vec<(String, u64)> = Vec::new();
+        for f in &self.findings {
+            match per_rule.iter_mut().find(|(r, _)| *r == f.rule) {
+                Some((_, n)) => *n += 1,
+                None => per_rule.push((f.rule.clone(), 1)),
+            }
+        }
+        per_rule.sort();
+        Json::Obj(vec![
+            ("tool".into(), Json::Str("pbsm-lint".into())),
+            ("version".into(), Json::uint(1)),
+            ("clean".into(), Json::Bool(self.clean())),
+            (
+                "files_scanned".into(),
+                Json::uint(self.files_scanned as u64),
+            ),
+            (
+                "suppressions_used".into(),
+                Json::uint(self.suppressions_used as u64),
+            ),
+            (
+                "counts".into(),
+                Json::Obj(
+                    per_rule
+                        .into_iter()
+                        .map(|(r, n)| (r, Json::uint(n)))
+                        .collect(),
+                ),
+            ),
+            ("findings".into(), Json::Arr(findings)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LintReport {
+        LintReport {
+            files_scanned: 3,
+            findings: vec![Finding {
+                path: "crates/storage/src/x.rs".into(),
+                line: 7,
+                rule: "determinism".into(),
+                message: "`HashMap` in counter-gated code".into(),
+            }],
+            suppressions_used: 2,
+        }
+    }
+
+    #[test]
+    fn text_has_path_line_rule() {
+        let text = sample().render_text();
+        assert!(text.contains("crates/storage/src/x.rs:7: [determinism]"));
+        assert!(text.contains("1 finding in 3 files"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let rendered = sample().to_json().render();
+        let parsed = Json::parse(&rendered).unwrap();
+        assert_eq!(parsed.get("clean"), Some(&Json::Bool(false)));
+        assert_eq!(
+            parsed.get("counts").and_then(|c| c.get("determinism")),
+            Some(&Json::uint(1))
+        );
+        let f = &parsed.get("findings").unwrap().as_arr().unwrap()[0];
+        assert_eq!(f.get("line").unwrap().as_u64(), Some(7));
+    }
+}

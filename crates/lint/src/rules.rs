@@ -1,0 +1,374 @@
+//! The four invariant rules. Each is a pure function from a parsed
+//! [`SourceFile`] (plus shared context) to candidate findings. Rules do
+//! their own test-region filtering (so a future rule could deliberately
+//! inspect test code); suppression matching happens once, in the engine,
+//! where the `used` bookkeeping for unused-allow reporting lives.
+
+use crate::report::Candidate;
+use crate::source::SourceFile;
+use crate::Tok;
+use std::collections::BTreeSet;
+
+/// Rule names as they appear in reports and `allow(…)` directives.
+pub const DETERMINISM: &str = "determinism";
+pub const ERROR_DISCIPLINE: &str = "error-discipline";
+pub const RESOURCE_PAIRING: &str = "resource-pairing";
+pub const OBS_REGISTRY: &str = "obs-registry";
+/// Meta-rule for malformed / unused `pbsm-lint:` comments.
+pub const SUPPRESSION: &str = "suppression";
+
+pub const ALL_RULES: &[&str] = &[
+    DETERMINISM,
+    ERROR_DISCIPLINE,
+    RESOURCE_PAIRING,
+    OBS_REGISTRY,
+    SUPPRESSION,
+];
+
+/// Crates whose counters feed the deterministic bench gate. Iteration
+/// order anywhere in these paths can change gated counter values, so
+/// order-unstable and wall-clock constructs are banned outright.
+const DETERMINISM_SCOPE: &[&str] = &[
+    "crates/storage/src",
+    "crates/core/src",
+    "crates/geom/src",
+    "crates/obs/src",
+];
+
+/// Hot-path crates where a panic tears down a join mid-flight instead of
+/// surfacing a typed `StorageError`.
+const ERROR_SCOPE: &[&str] = &["crates/storage/src", "crates/core/src"];
+
+/// Crates that acquire pages and temp files.
+const PAIRING_SCOPE: &[&str] = &["crates/storage/src", "crates/core/src"];
+
+fn in_scope(rel_path: &str, scope: &[&str]) -> bool {
+    scope.iter().any(|dir| rel_path.starts_with(dir))
+}
+
+/// Identifiers whose mere appearance in counter-gated code is a bug
+/// waiting for a seed change. Paired with the replacement the message
+/// suggests.
+const BANNED_IDENTS: &[(&str, &str)] = &[
+    (
+        "HashMap",
+        "use BTreeMap: iteration order feeds gated counters",
+    ),
+    (
+        "HashSet",
+        "use BTreeSet: iteration order feeds gated counters",
+    ),
+    (
+        "SystemTime",
+        "wall-clock time is nondeterministic; use the modeled disk clock",
+    ),
+    (
+        "Instant",
+        "wall-clock time is nondeterministic; use the modeled disk clock",
+    ),
+    (
+        "thread_rng",
+        "unseeded randomness breaks replay; use the seeded SplitMix in fault.rs",
+    ),
+];
+
+/// `determinism`: bans order-unstable collections, wall clocks, and
+/// unseeded RNGs in the counter-gated crates.
+pub fn determinism(file: &SourceFile, out: &mut Vec<Candidate>) {
+    if !in_scope(&file.rel_path, DETERMINISM_SCOPE) {
+        return;
+    }
+    for t in &file.lexed.toks {
+        let Tok::Ident(id) = &t.tok else { continue };
+        let Some((_, why)) = BANNED_IDENTS.iter().find(|(b, _)| b == id) else {
+            continue;
+        };
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        out.push(Candidate {
+            rule: DETERMINISM,
+            line: t.line,
+            message: format!("`{id}` in counter-gated code: {why}"),
+        });
+    }
+}
+
+/// `error-discipline`: bans `.unwrap()` / `.expect(` in non-test
+/// storage/core code; fallible paths carry `StorageResult`.
+pub fn error_discipline(file: &SourceFile, out: &mut Vec<Candidate>) {
+    if !in_scope(&file.rel_path, ERROR_SCOPE) {
+        return;
+    }
+    let toks = &file.lexed.toks;
+    for i in 0..toks.len() {
+        let Tok::Ident(id) = &toks[i].tok else {
+            continue;
+        };
+        if id != "unwrap" && id != "expect" {
+            continue;
+        }
+        let dotted = i > 0 && toks[i - 1].tok == Tok::Punct('.');
+        let called = toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('('));
+        if !(dotted && called) || file.is_test_line(toks[i].line) {
+            continue;
+        }
+        out.push(Candidate {
+            rule: ERROR_DISCIPLINE,
+            line: toks[i].line,
+            message: format!(
+                "`.{id}()` in hot-path code: return a typed StorageError \
+                 (StorageError::Corrupt for provably-unreachable states)"
+            ),
+        });
+    }
+}
+
+/// One acquire/release pair the `resource-pairing` rule knows about.
+struct Pair {
+    /// Identifier that acquires the resource.
+    trigger: &'static str,
+    /// Leading path qualifier required before the trigger (e.g.
+    /// `RecordFile` for `RecordFile::create`); empty for none.
+    qualifier: &'static str,
+    /// Any of these identifiers in the same `fn` body releases it.
+    releasers: &'static [&'static str],
+    what: &'static str,
+}
+
+const PAIRS: &[Pair] = &[
+    Pair {
+        trigger: "create_file",
+        qualifier: "",
+        releasers: &["drop_file"],
+        what: "temp file from create_file() has no drop_file in this fn",
+    },
+    Pair {
+        trigger: "create",
+        qualifier: "RecordFile",
+        releasers: &["destroy"],
+        what: "RecordFile::create has no destroy in this fn",
+    },
+    Pair {
+        trigger: "pin_frame",
+        qualifier: "",
+        releasers: &["unpin", "PageRef", "PageMut"],
+        what: "pin_frame has no unpin / guard construction in this fn",
+    },
+];
+
+/// `resource-pairing`: every acquisition must be lexically paired with a
+/// release (or a RAII guard) in the same function body. Closures count as
+/// part of their enclosing `fn`, so create-in-closure / destroy-after is
+/// still one scope. Acquisitions outside any `fn` and the definitions of
+/// the acquire functions themselves are skipped.
+pub fn resource_pairing(file: &SourceFile, out: &mut Vec<Candidate>) {
+    if !in_scope(&file.rel_path, PAIRING_SCOPE) {
+        return;
+    }
+    let toks = &file.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(id) = &t.tok else { continue };
+        let Some(pair) = PAIRS.iter().find(|p| p.trigger == id) else {
+            continue;
+        };
+        // Must be a call: `trigger(`.
+        if toks.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct('(')) {
+            continue;
+        }
+        // Not the definition site: `fn trigger(`.
+        if i > 0 && toks[i - 1].tok == Tok::Ident("fn".into()) {
+            continue;
+        }
+        // Qualifier, when required: `Qualifier::trigger(`.
+        if !pair.qualifier.is_empty() {
+            let qualified = i >= 3
+                && toks[i - 1].tok == Tok::Punct(':')
+                && toks[i - 2].tok == Tok::Punct(':')
+                && toks[i - 3].tok == Tok::Ident(pair.qualifier.into());
+            if !qualified {
+                continue;
+            }
+        }
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        let Some(body) = file.enclosing_fn(i) else {
+            continue;
+        };
+        if body.name == pair.trigger {
+            continue; // wrapper named after the acquire fn (e.g. re-export)
+        }
+        let released = toks[body.body_start..=body.body_end]
+            .iter()
+            .any(|bt| matches!(&bt.tok, Tok::Ident(id) if pair.releasers.iter().any(|r| r == id)));
+        if !released {
+            out.push(Candidate {
+                rule: RESOURCE_PAIRING,
+                line: t.line,
+                message: format!("{} (fn `{}`)", pair.what, body.name),
+            });
+        }
+    }
+}
+
+/// Call sites whose first string-literal argument is a metric name.
+const OBS_CALLS: &[&str] = &[
+    "counter",
+    "gauge",
+    "histogram",
+    "counter_value",
+    "cached_counter",
+    "cached_histogram",
+];
+
+/// `obs-registry`: a metric-name literal passed to an obs call must be
+/// declared in `crates/obs/src/names.rs`. A typo'd name never fails —
+/// it registers a fresh always-zero series and silently evades the
+/// bench_compare gate — so the registry is the only declaration site.
+/// Dynamic names (non-literal arguments) are out of reach and ignored.
+pub fn obs_registry(file: &SourceFile, registry: &BTreeSet<String>, out: &mut Vec<Candidate>) {
+    if file.rel_path == "crates/obs/src/names.rs" {
+        return; // the registry itself
+    }
+    let toks = &file.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(id) = &t.tok else { continue };
+        if !OBS_CALLS.contains(&id.as_str()) {
+            continue;
+        }
+        if i > 0 && toks[i - 1].tok == Tok::Ident("fn".into()) {
+            continue; // the obs API definitions themselves
+        }
+        // `name(` or `name!(`, then a string literal.
+        let mut j = i + 1;
+        if toks.get(j).map(|t| &t.tok) == Some(&Tok::Punct('!')) {
+            j += 1;
+        }
+        if toks.get(j).map(|t| &t.tok) != Some(&Tok::Punct('(')) {
+            continue;
+        }
+        let Some(Tok::Str(name)) = toks.get(j + 1).map(|t| &t.tok) else {
+            continue;
+        };
+        if file.is_test_line(t.line) || registry.contains(name) {
+            continue;
+        }
+        out.push(Candidate {
+            rule: OBS_REGISTRY,
+            line: t.line,
+            message: format!(
+                "metric name \"{name}\" is not declared in crates/obs/src/names.rs \
+                 (undeclared names silently evade the bench gate)"
+            ),
+        });
+    }
+}
+
+/// Builds the metric-name registry from the lexed `names.rs`: every
+/// string literal outside test code is a declared name.
+pub fn build_registry(names_rs: &SourceFile) -> BTreeSet<String> {
+    names_rs
+        .lexed
+        .toks
+        .iter()
+        .filter(|t| !names_rs.is_test_line(t.line))
+        .filter_map(|t| match &t.tok {
+            Tok::Str(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn candidates(
+        rel: &str,
+        src: &str,
+        rule: fn(&SourceFile, &mut Vec<Candidate>),
+    ) -> Vec<Candidate> {
+        let f = SourceFile::parse(rel.into(), src);
+        let mut out = Vec::new();
+        rule(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn determinism_fires_in_scope_only() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(
+            candidates("crates/storage/src/x.rs", src, determinism).len(),
+            1
+        );
+        assert_eq!(
+            candidates("crates/bench/src/x.rs", src, determinism).len(),
+            0
+        );
+    }
+
+    #[test]
+    fn determinism_skips_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
+        assert_eq!(
+            candidates("crates/geom/src/x.rs", src, determinism).len(),
+            0
+        );
+    }
+
+    #[test]
+    fn error_discipline_needs_dot_call() {
+        let fires = "fn f() { x.unwrap(); y.expect(\"m\"); }\n";
+        let clean = "fn unwrap() {}\nfn g() { x.unwrap_or_else(h); }\n";
+        assert_eq!(
+            candidates("crates/core/src/x.rs", fires, error_discipline).len(),
+            2
+        );
+        assert_eq!(
+            candidates("crates/core/src/x.rs", clean, error_discipline).len(),
+            0
+        );
+    }
+
+    #[test]
+    fn pairing_sees_whole_fn_including_closures() {
+        let paired = "fn f(pool: &P) {\n    let t = RecordFile::create(pool, 8);\n    run(|| t.destroy(pool));\n}\n";
+        let unpaired = "fn f(pool: &P) {\n    let t = RecordFile::create(pool, 8);\n}\n";
+        assert_eq!(
+            candidates("crates/core/src/x.rs", paired, resource_pairing).len(),
+            0
+        );
+        let c = candidates("crates/core/src/x.rs", unpaired, resource_pairing);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].line, 2);
+    }
+
+    #[test]
+    fn pairing_skips_definition_and_unqualified_create() {
+        let src = "fn create_file() -> FileId { alloc() }\nfn g() { let c = Cfg::create(); }\n";
+        assert_eq!(
+            candidates("crates/storage/src/x.rs", src, resource_pairing).len(),
+            0
+        );
+    }
+
+    #[test]
+    fn registry_lookup() {
+        let names = SourceFile::parse(
+            "crates/obs/src/names.rs".into(),
+            "pub const A: &str = \"good.metric\";\n",
+        );
+        let reg = build_registry(&names);
+        let f = SourceFile::parse(
+            "crates/core/src/x.rs".into(),
+            "fn f() {\n    obs::counter(\"good.metric\").incr();\n    obs::cached_counter!(\"bad.metric\").incr();\n    obs::counter(&dynamic);\n}\n",
+        );
+        let mut out = Vec::new();
+        obs_registry(&f, &reg, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("bad.metric"));
+        assert_eq!(out[0].line, 3);
+    }
+}

@@ -1,0 +1,460 @@
+//! Per-file analysis context: lexed tokens plus the three structural
+//! facts every rule needs — which lines are test code, where function
+//! bodies begin and end, and which findings the author has suppressed.
+
+use crate::lexer::{lex, Comment, Lexed, Spanned, Tok};
+use std::cell::Cell;
+
+/// An inline suppression: `// pbsm-lint: allow(rule, reason = "…")`.
+#[derive(Debug)]
+pub struct Suppression {
+    /// Rules it silences (one `allow` may name several).
+    pub rules: Vec<String>,
+    /// Mandatory justification.
+    pub reason: String,
+    /// Line of the comment itself.
+    pub comment_line: u32,
+    /// Line whose findings it silences (the comment's own line for a
+    /// trailing comment, the next code line for a whole-line comment).
+    pub target_line: u32,
+    /// Set when a finding was actually silenced; unused allows are
+    /// themselves reported.
+    pub used: Cell<bool>,
+}
+
+/// A function body: `fn name { … }`, tokens `[body_start, body_end]`.
+#[derive(Debug)]
+pub struct FnBody {
+    pub name: String,
+    /// Index of the opening `{` in the token stream.
+    pub body_start: usize,
+    /// Index of the matching `}`.
+    pub body_end: usize,
+}
+
+/// One parsed source file.
+pub struct SourceFile {
+    /// Path relative to the lint root, `/`-separated.
+    pub rel_path: String,
+    pub lexed: Lexed,
+    /// `test_lines[line - 1]` is true for lines inside `#[cfg(test)]`
+    /// modules or `#[test]` items.
+    test_lines: Vec<bool>,
+    pub suppressions: Vec<Suppression>,
+    /// Malformed `pbsm-lint:` comments, reported as findings.
+    pub bad_suppressions: Vec<(u32, String)>,
+    pub fn_bodies: Vec<FnBody>,
+}
+
+impl SourceFile {
+    pub fn parse(rel_path: String, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let n_lines = src.lines().count().max(1);
+        let test_lines = mark_test_regions(&lexed.toks, n_lines);
+        let (suppressions, bad_suppressions) = parse_suppressions(&lexed.comments, &lexed.toks);
+        let fn_bodies = find_fn_bodies(&lexed.toks);
+        SourceFile {
+            rel_path,
+            lexed,
+            test_lines,
+            suppressions,
+            bad_suppressions,
+            fn_bodies,
+        }
+    }
+
+    /// Is `line` (1-based) inside test-only code?
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_lines
+            .get(line as usize - 1)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Looks for a live suppression of `rule` at `line`; marks it used.
+    pub fn suppressed(&self, rule: &str, line: u32) -> bool {
+        for s in &self.suppressions {
+            if s.target_line == line && s.rules.iter().any(|r| r == rule) {
+                s.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The innermost function body containing token index `ti`.
+    pub fn enclosing_fn(&self, ti: usize) -> Option<&FnBody> {
+        self.fn_bodies
+            .iter()
+            .filter(|f| f.body_start <= ti && ti <= f.body_end)
+            .min_by_key(|f| f.body_end - f.body_start)
+    }
+}
+
+/// Marks lines covered by `#[cfg(test)]` / `#[test]` items (attribute
+/// line through the item's closing brace or semicolon).
+fn mark_test_regions(toks: &[Spanned], n_lines: usize) -> Vec<bool> {
+    let mut test = vec![false; n_lines];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].tok != Tok::Punct('#') {
+            i += 1;
+            continue;
+        }
+        let attr_line = toks[i].line;
+        let mut j = i + 1;
+        if j < toks.len() && toks[j].tok == Tok::Punct('!') {
+            j += 1;
+        }
+        if j >= toks.len() || toks[j].tok != Tok::Punct('[') {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's tokens up to the matching `]`.
+        let mut depth = 0i32;
+        let mut has_test = false;
+        let mut has_not = false;
+        let attr_end;
+        loop {
+            if j >= toks.len() {
+                return test; // unterminated attribute; give up gracefully
+            }
+            match &toks[j].tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        attr_end = j;
+                        break;
+                    }
+                }
+                Tok::Ident(id) if id == "test" => has_test = true,
+                Tok::Ident(id) if id == "not" => has_not = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !has_test || has_not {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes, then span the annotated item: up to
+        // a `;` at depth 0, or the matching `}` of its first `{`.
+        let mut k = attr_end + 1;
+        while k + 1 < toks.len()
+            && toks[k].tok == Tok::Punct('#')
+            && toks[k + 1].tok == Tok::Punct('[')
+        {
+            let mut d = 0i32;
+            k += 1;
+            while k < toks.len() {
+                match toks[k].tok {
+                    Tok::Punct('[') => d += 1,
+                    Tok::Punct(']') => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        let mut brace = 0i32;
+        let mut paren = 0i32;
+        let end_line;
+        loop {
+            if k >= toks.len() {
+                end_line = toks.last().map_or(attr_line, |t| t.line);
+                break;
+            }
+            match toks[k].tok {
+                Tok::Punct('(') => paren += 1,
+                Tok::Punct(')') => paren -= 1,
+                Tok::Punct('{') => brace += 1,
+                Tok::Punct('}') => {
+                    brace -= 1;
+                    if brace == 0 {
+                        end_line = toks[k].line;
+                        break;
+                    }
+                }
+                Tok::Punct(';') if brace == 0 && paren == 0 => {
+                    end_line = toks[k].line;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        for line in attr_line..=end_line {
+            if let Some(slot) = test.get_mut(line as usize - 1) {
+                *slot = true;
+            }
+        }
+        i = k + 1;
+    }
+    test
+}
+
+/// Extracts `pbsm-lint: allow(rule[, rule…], reason = "…")` comments.
+/// Returns well-formed suppressions and `(line, message)` for malformed
+/// ones (which the engine reports — a silent bad allow would itself be a
+/// silently-evaded contract).
+fn parse_suppressions(
+    comments: &[Comment],
+    toks: &[Spanned],
+) -> (Vec<Suppression>, Vec<(u32, String)>) {
+    let mut out = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        // Doc comments *document* the directive syntax (this very file
+        // does); only plain `//` / `/*` comments carry directives.
+        let is_doc = c.text.starts_with("///")
+            || c.text.starts_with("//!")
+            || c.text.starts_with("/**")
+            || c.text.starts_with("/*!");
+        if is_doc {
+            continue;
+        }
+        let Some(at) = c.text.find("pbsm-lint:") else {
+            continue;
+        };
+        let directive = &c.text[at + "pbsm-lint:".len()..];
+        match parse_allow(directive) {
+            Ok((rules, reason)) => {
+                let target_line = if c.own_line {
+                    toks.iter()
+                        .map(|t| t.line)
+                        .find(|&l| l > c.line)
+                        .unwrap_or(c.line)
+                } else {
+                    c.line
+                };
+                out.push(Suppression {
+                    rules,
+                    reason,
+                    comment_line: c.line,
+                    target_line,
+                    used: Cell::new(false),
+                });
+            }
+            Err(msg) => bad.push((c.line, msg)),
+        }
+    }
+    (out, bad)
+}
+
+/// Parses ` allow(rule[, rule…], reason = "…")`.
+fn parse_allow(directive: &str) -> Result<(Vec<String>, String), String> {
+    let directive = directive.trim_start();
+    let Some(rest) = directive.strip_prefix("allow") else {
+        return Err("expected `allow(…)` after `pbsm-lint:`".into());
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".into());
+    };
+    let Some(close) = rest.rfind(')') else {
+        return Err("unclosed `allow(`".into());
+    };
+    let body = &rest[..close];
+    let Some(reason_at) = body.find("reason") else {
+        return Err("suppression without a reason (reason = \"…\" is mandatory)".into());
+    };
+    let rules: Vec<String> = body[..reason_at]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("allow(…) names no rule".into());
+    }
+    let after = body[reason_at + "reason".len()..].trim_start();
+    let Some(after) = after.strip_prefix('=') else {
+        return Err("expected `reason = \"…\"`".into());
+    };
+    let after = after.trim_start();
+    let Some(after) = after.strip_prefix('"') else {
+        return Err("reason must be a quoted string".into());
+    };
+    let Some(endq) = after.find('"') else {
+        return Err("unterminated reason string".into());
+    };
+    let reason = after[..endq].to_string();
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty".into());
+    }
+    Ok((rules, reason))
+}
+
+/// Finds every `fn` item/method body by brace matching. Closure bodies
+/// intentionally belong to their enclosing `fn` — resource pairing
+/// across a closure boundary (e.g. create inside a tracked closure,
+/// destroy outside) is still one lexical scope for the pairing rule.
+fn find_fn_bodies(toks: &[Spanned]) -> Vec<FnBody> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let is_fn = matches!(&toks[i].tok, Tok::Ident(id) if id == "fn");
+        if !is_fn {
+            i += 1;
+            continue;
+        }
+        let Some(Spanned {
+            tok: Tok::Ident(name),
+            ..
+        }) = toks.get(i + 1)
+        else {
+            i += 1;
+            continue;
+        };
+        // Scan to the body `{`, skipping the signature. A `;` first means
+        // a bodiless declaration (trait method, extern).
+        let mut j = i + 2;
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut angle = 0i32;
+        let body_start = loop {
+            match toks.get(j).map(|t| &t.tok) {
+                None => break None,
+                Some(Tok::Punct('(')) => paren += 1,
+                Some(Tok::Punct(')')) => paren -= 1,
+                Some(Tok::Punct('[')) => bracket += 1,
+                Some(Tok::Punct(']')) => bracket -= 1,
+                Some(Tok::Punct('<')) => angle += 1,
+                Some(Tok::Punct('>')) => angle = (angle - 1).max(0), // `->` arrives as `-`, `>`
+                Some(Tok::Punct(';')) if paren == 0 && bracket == 0 => break None,
+                Some(Tok::Punct('{')) if paren == 0 && bracket == 0 && angle <= 0 => break Some(j),
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(body_start) = body_start else {
+            i = j.max(i + 1);
+            continue;
+        };
+        // Match the body's braces.
+        let mut depth = 0i32;
+        let mut k = body_start;
+        let body_end = loop {
+            match toks.get(k).map(|t| &t.tok) {
+                None => break toks.len() - 1,
+                Some(Tok::Punct('{')) => depth += 1,
+                Some(Tok::Punct('}')) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break k;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        };
+        out.push(FnBody {
+            name: name.clone(),
+            body_start,
+            body_end,
+        });
+        // Continue *inside* the body so nested fns are found too.
+        i = body_start + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("x.rs".into(), src)
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}\n";
+        let f = file(src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn test_attr_fn_is_marked() {
+        let src = "fn a() {}\n#[test]\nfn check() {\n    body();\n}\nfn b() {}\n";
+        let f = file(src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn live() {\n    body();\n}\n";
+        let f = file(src);
+        assert!(!f.is_test_line(2));
+        assert!(!f.is_test_line(3));
+    }
+
+    #[test]
+    fn trailing_and_own_line_suppressions_target_correctly() {
+        let src = "\
+fn f() {
+    x(); // pbsm-lint: allow(determinism, reason = \"trailing\")
+    // pbsm-lint: allow(error-discipline, reason = \"next line\")
+    y();
+}
+";
+        let f = file(src);
+        assert_eq!(f.suppressions.len(), 2);
+        assert!(f.suppressed("determinism", 2));
+        assert!(f.suppressed("error-discipline", 4));
+        assert!(!f.suppressed("determinism", 4));
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let f = file("// pbsm-lint: allow(determinism)\nfn f() {}\n");
+        assert!(f.suppressions.is_empty());
+        assert_eq!(f.bad_suppressions.len(), 1);
+    }
+
+    #[test]
+    fn multi_rule_allow() {
+        let f =
+            file("// pbsm-lint: allow(determinism, error-discipline, reason = \"both\")\nx();\n");
+        assert_eq!(f.suppressions[0].rules.len(), 2);
+        assert!(f.suppressed("error-discipline", 2));
+    }
+
+    #[test]
+    fn fn_bodies_and_nesting() {
+        let src = "\
+fn outer() {
+    let c = || inner_call();
+    fn nested() {
+        deep();
+    }
+}
+fn sig_only(x: impl Fn() -> u32) -> u32 {
+    x()
+}
+";
+        let f = file(src);
+        let names: Vec<_> = f.fn_bodies.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(names, ["outer", "nested", "sig_only"]);
+        // A token inside `nested` resolves to `nested`, not `outer`.
+        let deep_ti = f
+            .lexed
+            .toks
+            .iter()
+            .position(|t| t.tok == Tok::Ident("deep".into()))
+            .unwrap();
+        assert_eq!(f.enclosing_fn(deep_ti).unwrap().name, "nested");
+    }
+}

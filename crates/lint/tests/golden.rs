@@ -1,0 +1,96 @@
+//! Golden-fixture and self-lint tests.
+//!
+//! The fixture workspace under `fixtures/ws/` seeds exactly one scenario
+//! per rule (violation, suppressed violation, and — for the meta-rule —
+//! malformed and unused allows); `fixtures/expected.json` pins the
+//! `(path, line, rule)` triples the linter must produce. The self-lint
+//! test then runs the linter over the real workspace and requires it
+//! clean, which is the merge gate `scripts/lint.sh` enforces.
+
+use pbsm_lint::run_lint;
+use pbsm_obs::json::Json;
+use std::path::{Path, PathBuf};
+
+fn manifest_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn fixture_findings_match_golden() {
+    let ws = manifest_dir().join("fixtures/ws");
+    let report = run_lint(&ws);
+
+    let got: Vec<(String, u64, String)> = report
+        .findings
+        .iter()
+        .map(|f| (f.path.clone(), u64::from(f.line), f.rule.clone()))
+        .collect();
+
+    let golden_path = manifest_dir().join("fixtures/expected.json");
+    let golden_src = std::fs::read_to_string(&golden_path).expect("read expected.json");
+    let golden = Json::parse(&golden_src).expect("parse expected.json");
+    let want: Vec<(String, u64, String)> = golden
+        .get("findings")
+        .and_then(Json::as_arr)
+        .expect("findings array")
+        .iter()
+        .map(|f| {
+            (
+                f.get("path").and_then(Json::as_str).unwrap().to_string(),
+                f.get("line").and_then(Json::as_u64).unwrap(),
+                f.get("rule").and_then(Json::as_str).unwrap().to_string(),
+            )
+        })
+        .collect();
+
+    assert_eq!(got, want, "fixture findings diverge from expected.json");
+    assert_eq!(
+        Some(report.suppressions_used as u64),
+        golden.get("suppressions_used").and_then(Json::as_u64),
+        "suppression accounting diverges from expected.json"
+    );
+}
+
+#[test]
+fn every_rule_appears_in_fixtures() {
+    // Guards fixture rot: if a rule is added to the linter but no fixture
+    // exercises it, this fails before the golden file can go stale.
+    let report = run_lint(&manifest_dir().join("fixtures/ws"));
+    for rule in pbsm_lint::rules::ALL_RULES {
+        assert!(
+            report.findings.iter().any(|f| f.rule == *rule),
+            "no fixture finding exercises rule `{rule}`"
+        );
+    }
+}
+
+#[test]
+fn fixture_report_json_round_trips() {
+    let report = run_lint(&manifest_dir().join("fixtures/ws"));
+    let parsed = Json::parse(&report.to_json().render()).expect("report JSON parses");
+    assert_eq!(parsed.get("clean"), Some(&Json::Bool(false)));
+    assert_eq!(
+        parsed
+            .get("findings")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(report.findings.len())
+    );
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let root = manifest_dir().join("../..");
+    let root = root.canonicalize().unwrap_or(root);
+    assert!(
+        Path::exists(&root.join("crates/obs/src/names.rs")),
+        "workspace root misdetected: {}",
+        root.display()
+    );
+    let report = run_lint(&root);
+    assert!(
+        report.clean(),
+        "the workspace must lint clean; findings:\n{}",
+        report.render_text()
+    );
+}

@@ -33,13 +33,16 @@
 //! the per-event cost is a single in-struct add.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Weak;
 use std::sync::OnceLock;
+// Spans report wall-clock for humans and trace exports only; wall times
+// never feed a gated counter. pbsm-lint: allow(determinism, reason = "span wall-clock is reporting-only, never gated")
 use std::time::Instant;
 
 pub mod export;
 pub mod json;
+pub mod names;
 pub use json::Json;
 
 /// Number of histogram buckets: bucket `i ≥ 1` covers `[2^(i-1), 2^i)`,
@@ -48,7 +51,10 @@ const HIST_BUCKETS: usize = 65;
 
 struct Registry<T> {
     names: Vec<String>,
-    by_name: HashMap<String, u32>,
+    /// Interning index. A `BTreeMap` so not even a never-iterated lookup
+    /// structure depends on hash state in the aggregation layer; interning
+    /// happens once per name, so lookup cost is irrelevant.
+    by_name: BTreeMap<String, u32>,
     values: Vec<T>,
 }
 
@@ -56,7 +62,7 @@ impl<T> Default for Registry<T> {
     fn default() -> Self {
         Registry {
             names: Vec::new(),
-            by_name: HashMap::new(),
+            by_name: BTreeMap::new(),
             values: Vec::new(),
         }
     }
@@ -83,6 +89,7 @@ impl<T: Default> Registry<T> {
 
 struct OpenSpan {
     name: String,
+    // pbsm-lint: allow(determinism, reason = "span wall-clock is reporting-only, never gated")
     start: Instant,
     /// Counter values at entry; counters registered later are implicitly 0.
     snapshot: Vec<u64>,
@@ -165,6 +172,7 @@ struct Collector {
     stack: Vec<OpenSpan>,
     roots: Vec<SpanRecord>,
     /// Session start: span `start_s` offsets are measured from here.
+    // pbsm-lint: allow(determinism, reason = "span wall-clock is reporting-only, never gated")
     epoch: Instant,
 }
 
@@ -176,6 +184,7 @@ impl Collector {
             hists: Registry::default(),
             stack: Vec::new(),
             roots: Vec::new(),
+            // pbsm-lint: allow(determinism, reason = "span wall-clock is reporting-only, never gated")
             epoch: Instant::now(),
         }
     }
@@ -401,7 +410,7 @@ impl LocalHist {
 }
 
 /// Interns a counter once per thread and returns the handle: the
-/// `HashMap` lookup happens on first use only, so this is safe to call
+/// registry lookup happens on first use only, so this is safe to call
 /// from hot free functions that have no struct to cache a handle in.
 #[macro_export]
 macro_rules! cached_counter {
@@ -438,6 +447,7 @@ pub fn span(name: impl Into<String>) -> SpanGuard {
     with(|c| {
         c.stack.push(OpenSpan {
             name,
+            // pbsm-lint: allow(determinism, reason = "span wall-clock is reporting-only, never gated")
             start: Instant::now(),
             snapshot: c.counters.values.clone(),
             children: Vec::new(),
@@ -518,6 +528,7 @@ pub fn reset() {
         c.hists.values.iter_mut().for_each(|b| b.fill(0));
         c.stack.clear();
         c.roots.clear();
+        // pbsm-lint: allow(determinism, reason = "span wall-clock is reporting-only, never gated")
         c.epoch = Instant::now();
     });
 }

@@ -27,7 +27,7 @@ use crate::fault::RetryPolicy;
 use crate::page::{zeroed_page, FileId, PageBuf, PageId, PAGE_SIZE};
 use pbsm_obs as obs;
 use std::cell::{Cell, Ref, RefCell, RefMut};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::ops::{Deref, DerefMut};
 use std::rc::Rc;
 
@@ -110,7 +110,10 @@ impl obs::FlushMetrics for PoolCounters {
 }
 
 struct State {
-    map: HashMap<PageId, usize>,
+    /// Page table. A `BTreeMap` so every whole-table walk (`clear_cache`,
+    /// `drop_file`) runs in `PageId` order by construction — frame-reuse
+    /// order can never drift with a hasher change (the PR 2 incident).
+    map: BTreeMap<PageId, usize>,
     meta: Vec<FrameMeta>,
     free: Vec<usize>,
     hand: usize,
@@ -156,7 +159,7 @@ impl BufferPool {
         BufferPool {
             frames,
             state: RefCell::new(State {
-                map: HashMap::with_capacity(nframes * 2),
+                map: BTreeMap::new(),
                 meta,
                 free: (0..nframes).rev().collect(),
                 hand: 0,
@@ -431,7 +434,7 @@ impl BufferPool {
     pub fn clear_cache(&self) -> StorageResult<()> {
         self.flush_all()?;
         let mut st = self.state.borrow_mut();
-        let entries: Vec<(PageId, usize)> = st.map.drain().collect();
+        let entries: Vec<(PageId, usize)> = std::mem::take(&mut st.map).into_iter().collect();
         for (pid, idx) in entries {
             assert_eq!(st.meta[idx].pin, 0, "clear_cache with pinned page {pid:?}");
             st.meta[idx] = FrameMeta {
@@ -442,9 +445,9 @@ impl BufferPool {
             };
             st.free.push(idx);
         }
-        // The map drains in hash order, which varies between processes;
-        // restore the canonical cold-pool free order so frame allocation
-        // (and hence the I/O pattern) is reproducible run to run.
+        // Restore the canonical cold-pool free order (descending index)
+        // so frame allocation — and hence the I/O pattern — is identical
+        // run to run regardless of which pages happened to be cached.
         st.free.sort_unstable_by(|a, b| b.cmp(a));
         Ok(())
     }
@@ -459,8 +462,8 @@ impl BufferPool {
             .filter(|(pid, _)| pid.file == file)
             .map(|(p, i)| (*p, *i))
             .collect();
-        // Hash order varies between processes; free lowest frame index
-        // last so reuse order is deterministic.
+        // Free lowest frame index last so reuse order is deterministic
+        // no matter which of the file's pages were resident.
         doomed.sort_unstable_by_key(|d| std::cmp::Reverse(d.1));
         for (pid, idx) in doomed {
             assert_eq!(st.meta[idx].pin, 0, "drop_file with pinned page {pid:?}");

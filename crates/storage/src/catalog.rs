@@ -10,7 +10,7 @@
 use crate::error::{StorageError, StorageResult};
 use crate::page::{FileId, PageId};
 use pbsm_geom::Rect;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Statistics and location of a stored relation.
 #[derive(Clone, Debug)]
@@ -45,10 +45,14 @@ pub struct IndexMeta {
 }
 
 /// In-memory catalog of relations and their spatial indices.
+///
+/// Stored in `BTreeMap`s so every enumeration (and anything derived from
+/// one) is in name order, never hash order — the project-wide
+/// determinism contract.
 #[derive(Default)]
 pub struct Catalog {
-    relations: HashMap<String, RelationMeta>,
-    indexes: HashMap<String, IndexMeta>,
+    relations: BTreeMap<String, RelationMeta>,
+    indexes: BTreeMap<String, IndexMeta>,
 }
 
 impl Catalog {
@@ -84,11 +88,9 @@ impl Catalog {
         self.indexes.remove(relation)
     }
 
-    /// All registered relation names, sorted.
+    /// All registered relation names, sorted (`BTreeMap` key order).
     pub fn relation_names(&self) -> Vec<&str> {
-        let mut v: Vec<&str> = self.relations.keys().map(String::as_str).collect();
-        v.sort_unstable();
-        v
+        self.relations.keys().map(String::as_str).collect()
     }
 }
 

@@ -42,8 +42,37 @@ impl Buf for &[u8] {
     fn take<const N: usize>(&mut self) -> [u8; N] {
         let (head, tail) = self.split_at(N);
         *self = tail;
-        head.try_into().expect("split_at returned wrong length")
+        let mut out = [0u8; N];
+        out.copy_from_slice(head);
+        out
     }
+}
+
+/// Reads `N` bytes at `at` as an array. Panics if out of bounds — the
+/// caller owns the length invariant, exactly like slice indexing.
+#[inline]
+pub fn bytes_at<const N: usize>(bytes: &[u8], at: usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(&bytes[at..at + N]);
+    out
+}
+
+/// Little-endian `u32` at byte offset `at`.
+#[inline]
+pub fn u32_at(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes_at(bytes, at))
+}
+
+/// Little-endian `u64` at byte offset `at`.
+#[inline]
+pub fn u64_at(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes_at(bytes, at))
+}
+
+/// Little-endian `f64` at byte offset `at`.
+#[inline]
+pub fn f64_at(bytes: &[u8], at: usize) -> f64 {
+    f64::from_le_bytes(bytes_at(bytes, at))
 }
 
 /// Little-endian appends to a growable buffer.

@@ -8,7 +8,7 @@
 //! optional duplicate elimination during the merge.
 
 use crate::buffer::BufferPool;
-use crate::error::StorageResult;
+use crate::error::{StorageError, StorageResult};
 use crate::record::{RecordFile, RecordReader};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -82,7 +82,9 @@ fn sort_with_runs(
             out.writer(pool).finish()?;
             Ok(out)
         }
-        1 if !dedup => Ok(runs.pop().expect("len checked == 1")),
+        1 if !dedup => runs
+            .pop()
+            .ok_or(StorageError::Corrupt("run list emptied during merge")),
         _ => {
             pbsm_obs::cached_counter!("storage.extsort.merge_passes").incr();
             let out = merge_runs(pool, runs, rec_size, cmp, dedup)?;

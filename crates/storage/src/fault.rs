@@ -34,7 +34,7 @@
 
 use crate::page::PageId;
 use pbsm_obs as obs;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Rates and bounds for a [`FaultSchedule`]. All-zero (the default) means
 /// no faults; `capacity_pages: None` means unbounded space.
@@ -140,7 +140,9 @@ pub struct FaultSchedule {
     /// different retry budgets.
     rng: u64,
     /// Open transient bursts: remaining failures per (page, is_write).
-    pending: HashMap<(PageId, bool), u32>,
+    /// Keyed on a `BTreeMap` so nothing about the schedule depends on
+    /// hash iteration order (the project-wide determinism contract).
+    pending: BTreeMap<(PageId, bool), u32>,
     tally: FaultTally,
 }
 
@@ -151,7 +153,7 @@ impl FaultSchedule {
             // Seed 0 would make splitmix64's first outputs small; mix in a
             // constant so every seed (including 0) gets a full-entropy run.
             rng: cfg.seed ^ 0x9E37_79B9_7F4A_7C15,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             tally: FaultTally::default(),
         }
     }
@@ -290,7 +292,7 @@ impl Default for RetryPolicy {
 pub fn page_checksum(buf: &[u8; crate::page::PAGE_SIZE]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for chunk in buf.chunks_exact(8) {
-        let lane = u64::from_le_bytes(chunk.try_into().expect("chunks_exact(8)"));
+        let lane = crate::codec::u64_at(chunk, 0);
         h = (h ^ lane).wrapping_mul(0x0000_0100_0000_01B3);
     }
     h

@@ -7,6 +7,7 @@
 //! stored as a stub in the slotted page plus a chain of overflow pages.
 
 use crate::buffer::BufferPool;
+use crate::codec::u32_at;
 use crate::error::{StorageError, StorageResult};
 use crate::oid::Oid;
 use crate::page::{FileId, PageId, PAGE_SIZE};
@@ -38,6 +39,7 @@ pub struct HeapFile {
 impl HeapFile {
     /// Creates a new, empty heap file on the pool's disk.
     pub fn create(pool: &BufferPool) -> Self {
+        // pbsm-lint: allow(resource-pairing, reason = "heap files are persistent relations owned by the catalog, not temps; dropped via Catalog::drop_relation")
         let file = pool.disk_mut().create_file();
         HeapFile {
             file,
@@ -161,8 +163,8 @@ impl HeapFile {
                     if rec.len() < 9 {
                         return Err(StorageError::Corrupt("truncated long-record stub"));
                     }
-                    let total = u32::from_le_bytes(rec[1..5].try_into().expect("checked len"));
-                    let first = u32::from_le_bytes(rec[5..9].try_into().expect("checked len"));
+                    let total = u32_at(rec, 1);
+                    let first = u32_at(rec, 5);
                     (FLAG_LONG, total as usize, first)
                 }
                 _ => return Err(StorageError::Corrupt("bad record flag")),
@@ -180,7 +182,7 @@ impl HeapFile {
             if OVF_HEADER + len > PAGE_SIZE {
                 return Err(StorageError::Corrupt("overflow chunk length out of range"));
             }
-            next = u32::from_le_bytes(page[4..8].try_into().expect("fixed 4-byte field"));
+            next = u32_at(&page[..], 4);
             out.extend_from_slice(&page[OVF_HEADER..OVF_HEADER + len]);
             // A cyclic or over-long chain (corrupt next pointers) would
             // otherwise loop forever accumulating bytes.

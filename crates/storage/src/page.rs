@@ -32,10 +32,7 @@ pub type PageBuf = Box<[u8; PAGE_SIZE]>;
 
 /// Allocates a zeroed page buffer.
 pub fn zeroed_page() -> PageBuf {
-    vec![0u8; PAGE_SIZE]
-        .into_boxed_slice()
-        .try_into()
-        .expect("PAGE_SIZE box")
+    Box::new([0u8; PAGE_SIZE])
 }
 
 #[cfg(test)]

@@ -31,6 +31,7 @@ impl RecordFile {
             rec_size > 0 && rec_size <= PAGE_SIZE - HEADER,
             "record size {rec_size}"
         );
+        // pbsm-lint: allow(resource-pairing, reason = "constructor hands the file to the RecordFile handle; callers release it via destroy()")
         let file = pool.disk_mut().create_file();
         RecordFile {
             file,

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Runs pbsm-lint over the workspace; exits nonzero on any unsuppressed
+# finding. The JSON report lands in bench_results/lint.json.
+# Usage: scripts/lint.sh [--json PATH]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec cargo run -q --release -p pbsm-lint -- --root . "$@"

@@ -13,6 +13,10 @@ cargo build --release
 echo "==> cargo clippy -D warnings"
 cargo clippy --all-targets --release -- -D warnings
 
+echo "==> pbsm-lint (invariant linter)"
+scripts/lint.sh
+test -s bench_results/lint.json
+
 echo "==> cargo test"
 cargo test -q --release
 
