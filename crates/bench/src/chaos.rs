@@ -27,9 +27,10 @@
 //!
 //! [`StorageError`]: pbsm_storage::StorageError
 
-use crate::{tiger_db, tiger_spec, Algorithm, Report, TigerSet};
-use pbsm_join::JoinConfig;
-use pbsm_storage::{FaultConfig, FaultTally, Oid};
+use crate::{tiger_db, tiger_db_journaled, tiger_spec, Algorithm, Report, TigerSet};
+use pbsm_join::pbsm::pbsm_join_resume;
+use pbsm_join::{JoinConfig, JoinSpec};
+use pbsm_storage::{Db, FaultConfig, FaultTally, Oid, StorageError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Default schedule seeds — fixed so CI runs are comparable over time.
@@ -50,6 +51,10 @@ pub enum Verdict {
     Mismatch(u64, u64),
     /// The join panicked (payload text).
     Panic(String),
+    /// The kill–restart–verify loop hit a state it must never see: a
+    /// non-crash error before the crash point, a failed recovery or
+    /// resume, or files/pages leaked past the resumed join.
+    Broken(String),
 }
 
 impl Verdict {
@@ -66,6 +71,7 @@ impl Verdict {
             Verdict::CleanError(_) => "clean-error",
             Verdict::Mismatch(..) => "MISMATCH",
             Verdict::Panic(_) => "PANIC",
+            Verdict::Broken(_) => "BROKEN",
         }
     }
 }
@@ -211,7 +217,7 @@ pub fn run_sweep(report: &mut Report) -> ChaosSummary {
                     Verdict::Mismatch(want, got) => {
                         format!("oracle {want} pairs, got {got}")
                     }
-                    Verdict::Panic(msg) => msg.clone(),
+                    Verdict::Panic(msg) | Verdict::Broken(msg) => msg.clone(),
                     Verdict::Identical => format!("{} pairs", oracle.len()),
                 },
             ]);
@@ -261,6 +267,311 @@ pub fn run_sweep(report: &mut Report) -> ChaosSummary {
     summary
 }
 
+// ---------------------------------------------------------------------
+// The kill–restart–verify sweep.
+// ---------------------------------------------------------------------
+
+/// Default crash points sampled per `(algorithm, seed)` cell, spread
+/// evenly across the join's disk-operation window.
+pub const DEFAULT_CRASH_POINTS: usize = 6;
+
+/// Crash points per cell from `PBSM_CRASH_POINTS`, or the default.
+pub fn crash_points() -> usize {
+    env_var("PBSM_CRASH_POINTS")
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_CRASH_POINTS)
+}
+
+/// One `(algorithm, seed, crash point)` cell of the crash sweep.
+pub struct CrashCase {
+    pub algorithm: Algorithm,
+    pub seed: u64,
+    /// Disk operation (counted from join start) the crash landed on.
+    pub crash_op: u64,
+    pub verdict: Verdict,
+    /// Orphan files recovery reclaimed at restart.
+    pub recovered_files: u64,
+    /// Pages those files held.
+    pub recovered_pages: u64,
+    /// Partition pairs the resumed join skipped via checkpoints.
+    pub resumed_pairs: u64,
+    /// Refinement sort runs the resumed join skipped.
+    pub resumed_runs: u64,
+}
+
+/// The whole kill–restart–verify sweep.
+pub struct CrashSummary {
+    pub cases: Vec<CrashCase>,
+    pub points: usize,
+}
+
+impl CrashSummary {
+    /// True when every cell recovered to the oracle result with no
+    /// residue beyond what a fault-free run leaves.
+    pub fn all_acceptable(&self) -> bool {
+        self.cases.iter().all(|c| c.verdict.acceptable())
+    }
+
+    /// Total partition pairs skipped by resumed PBSM joins — the proof
+    /// that checkpoints actually engage (must be nonzero over a sweep
+    /// with late crash points).
+    pub fn resumed_pairs_total(&self) -> u64 {
+        self.cases.iter().map(|c| c.resumed_pairs).sum()
+    }
+
+    fn count(&self, label: &str) -> u64 {
+        self.cases
+            .iter()
+            .filter(|c| c.verdict.label() == label)
+            .count() as u64
+    }
+}
+
+/// Join configuration for the crash sweep: a small fixed work memory
+/// forces several partitions even at smoke scales, so `PairDone`
+/// checkpoints land throughout the merge phase and evenly spaced crash
+/// points actually exercise partial resumes (with the pool-sized default
+/// a single pair checkpoints only at the very end of the op window).
+fn crash_config() -> JoinConfig {
+    JoinConfig {
+        work_mem_bytes: 64 * 1024,
+        num_tiles: 256,
+        ..JoinConfig::default()
+    }
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// One kill–restart–verify cycle: crash a journaled join at a fixed disk
+/// operation, recover over the surviving disk image, resume (PBSM) or
+/// restart (INL, R-tree), and audit the result against the oracle and the
+/// fault-free run's residue.
+fn run_crash_case(
+    alg: Algorithm,
+    seed: u64,
+    crash_op: u64,
+    spec: &JoinSpec,
+    oracle: &[(Oid, Oid)],
+    baseline: (u64, u64),
+) -> CrashCase {
+    let mut case = CrashCase {
+        algorithm: alg,
+        seed,
+        crash_op,
+        verdict: Verdict::Identical,
+        recovered_files: 0,
+        recovered_pages: 0,
+        resumed_pairs: 0,
+        resumed_runs: 0,
+    };
+    // Same deterministic build as the probe run, so disk-operation
+    // indexes line up exactly.
+    let db = tiger_db_journaled(2, TigerSet::RoadHydro, crate::scale());
+    let snapshot = db.catalog().snapshot();
+    let config = crash_config();
+    db.pool()
+        .disk_mut()
+        .set_faults(Some(FaultConfig::crash_at(seed, crash_op)));
+
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let crashed = catch_unwind(AssertUnwindSafe(|| alg.try_run(&db, spec, &config)));
+    std::panic::set_hook(prev_hook);
+
+    match crashed {
+        Err(payload) => {
+            case.verdict = Verdict::Panic(panic_text(payload));
+            return case;
+        }
+        Ok(Ok(out)) => {
+            // The sampled op landed past the join's last disk operation —
+            // the join completed before the crash fired, so its (already
+            // returned) result must match the oracle as-is.
+            if out.pairs != oracle {
+                case.verdict = Verdict::Mismatch(oracle.len() as u64, out.pairs.len() as u64);
+            }
+            return case;
+        }
+        Ok(Err(StorageError::Crashed)) => {}
+        Ok(Err(e)) => {
+            case.verdict = Verdict::Broken(format!("expected Crashed, got: {e}"));
+            return case;
+        }
+    }
+
+    // Restart: recover over the surviving disk image.
+    let (db, state) = match Db::recover(db.config(), db.into_disk()) {
+        Ok(x) => x,
+        Err(e) => {
+            case.verdict = Verdict::Broken(format!("recovery failed: {e}"));
+            return case;
+        }
+    };
+    case.recovered_files = state.orphan_files;
+    case.recovered_pages = state.orphan_pages;
+    // The in-memory catalog died with the crash; the harness plays the
+    // durable system catalog and re-registers the committed relations.
+    for meta in &snapshot {
+        db.catalog_mut().put_relation(meta.clone());
+    }
+
+    let config = crash_config();
+    let resumed = match alg {
+        // PBSM resumes from the journaled checkpoints.
+        Algorithm::Pbsm => pbsm_join_resume(&db, spec, &config, state.join.as_ref()),
+        // INL and the R-tree join restart from scratch: recovery already
+        // reclaimed their half-built (rebuildable) index files.
+        _ => alg.try_run(&db, spec, &config),
+    };
+    let out = match resumed {
+        Ok(out) => out,
+        Err(e) => {
+            case.verdict = Verdict::Broken(format!("resumed join failed: {e}"));
+            return case;
+        }
+    };
+    case.resumed_pairs = out.stats.resumed_pairs;
+    case.resumed_runs = out.stats.resumed_runs;
+    if out.pairs != oracle {
+        case.verdict = Verdict::Mismatch(oracle.len() as u64, out.pairs.len() as u64);
+        return case;
+    }
+
+    // Clean-shutdown audit: one more recovery pass must find no join in
+    // flight and exactly the residue a fault-free run leaves (PBSM: none;
+    // the index algorithms: their rebuildable index files).
+    match Db::recover(db.config(), db.into_disk()) {
+        Ok((_, audit)) => {
+            if audit.join.is_some() || (audit.orphan_files, audit.orphan_pages) != baseline {
+                case.verdict = Verdict::Broken(format!(
+                    "post-resume residue {} files / {} pages (fault-free leaves {} / {}), \
+                     join in flight: {}",
+                    audit.orphan_files,
+                    audit.orphan_pages,
+                    baseline.0,
+                    baseline.1,
+                    audit.join.is_some()
+                ));
+            }
+        }
+        Err(e) => case.verdict = Verdict::Broken(format!("audit recovery failed: {e}")),
+    }
+    case
+}
+
+/// The full kill–restart–verify sweep: every algorithm × every seed ×
+/// evenly sampled crash points, each cycle checked for oracle-identical
+/// results and zero leaked state.
+pub fn run_crash_sweep(report: &mut Report) -> CrashSummary {
+    let seeds = seeds();
+    let points = crash_points();
+    let spec = tiger_spec(TigerSet::RoadHydro);
+    report.line(&format!(
+        "# kill-restart-verify: {points} crash points per (algorithm, seed), seeds {seeds:?}"
+    ));
+    report.blank();
+
+    let mut cases = Vec::new();
+    let mut rows = Vec::new();
+    for alg in Algorithm::ALL {
+        // Probe run: the same journaled database, fault-free. Yields the
+        // oracle pairs, the join's disk-operation window (to place crash
+        // points), and the residue a clean run leaves behind.
+        let db = tiger_db_journaled(2, TigerSet::RoadHydro, crate::scale());
+        let config = crash_config();
+        let ops_before = db.pool().disk().total_ops();
+        let oracle = alg.run(&db, &spec, &config);
+        let ops_in_join = db.pool().disk().total_ops() - ops_before;
+        let baseline = match Db::recover(db.config(), db.into_disk()) {
+            Ok((_, s)) => (s.orphan_files, s.orphan_pages),
+            Err(e) => {
+                report.line(&format!("# {}: probe recovery failed: {e}", alg.name()));
+                (u64::MAX, u64::MAX)
+            }
+        };
+
+        for &seed in &seeds {
+            for k in 0..points {
+                // Evenly spread across the join's op window, starting at
+                // its very first disk operation.
+                let crash_op = 1 + ops_in_join.saturating_sub(1) * k as u64 / points as u64;
+                let case = run_crash_case(alg, seed, crash_op, &spec, &oracle.pairs, baseline);
+                rows.push(vec![
+                    alg.name().to_string(),
+                    format!("{seed}"),
+                    format!("{}/{ops_in_join}", case.crash_op),
+                    case.verdict.label().to_string(),
+                    format!("{}", case.recovered_files),
+                    format!("{}", case.recovered_pages),
+                    format!("{}", case.resumed_pairs),
+                    format!("{}", case.resumed_runs),
+                    match &case.verdict {
+                        Verdict::Identical => format!("{} pairs", oracle.pairs.len()),
+                        Verdict::CleanError(msg) | Verdict::Panic(msg) | Verdict::Broken(msg) => {
+                            msg.clone()
+                        }
+                        Verdict::Mismatch(want, got) => {
+                            format!("oracle {want} pairs, got {got}")
+                        }
+                    },
+                ]);
+                cases.push(case);
+            }
+        }
+    }
+    report.table(
+        &[
+            "algorithm",
+            "seed",
+            "crash op",
+            "verdict",
+            "rec-files",
+            "rec-pages",
+            "res-pairs",
+            "res-runs",
+            "detail",
+        ],
+        &rows,
+    );
+
+    let summary = CrashSummary { cases, points };
+    report.blank();
+    for label in ["identical", "MISMATCH", "PANIC", "BROKEN"] {
+        report.line(&format!("{label:>12}: {}", summary.count(label)));
+    }
+    report.line(&format!(
+        "resumed pairs: {} | resumed runs: {}",
+        summary.resumed_pairs_total(),
+        summary.cases.iter().map(|c| c.resumed_runs).sum::<u64>()
+    ));
+    // crash.json is informational (not in `HARNESSES`, so bench_compare
+    // never gates on it), but record the invariants: mismatches, panics,
+    // and broken cycles must be zero on every run, and resumed pairs must
+    // be nonzero (proof the checkpoints engage).
+    report.metric("crash.cases", summary.cases.len() as f64);
+    report.metric("crash.mismatches", summary.count("MISMATCH") as f64);
+    report.metric("crash.panics", summary.count("PANIC") as f64);
+    report.metric("crash.broken", summary.count("BROKEN") as f64);
+    report.timing("crash.identical", summary.count("identical") as f64);
+    report.timing("crash.resumed_pairs", summary.resumed_pairs_total() as f64);
+    report.timing(
+        "crash.recovered_files",
+        summary.cases.iter().map(|c| c.recovered_files).sum::<u64>() as f64,
+    );
+    report.timing(
+        "crash.recovered_pages",
+        summary.cases.iter().map(|c| c.recovered_pages).sum::<u64>() as f64,
+    );
+    summary
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +592,15 @@ mod tests {
         assert!(Verdict::CleanError("corruption".into()).acceptable());
         assert!(!Verdict::Mismatch(10, 9).acceptable());
         assert!(!Verdict::Panic("boom".into()).acceptable());
+        assert!(!Verdict::Broken("leaked 2 files".into()).acceptable());
         assert_eq!(Verdict::Mismatch(1, 2).label(), "MISMATCH");
+        assert_eq!(Verdict::Broken("x".into()).label(), "BROKEN");
+    }
+
+    #[test]
+    fn crash_points_default() {
+        if std::env::var("PBSM_CRASH_POINTS").is_err() {
+            assert_eq!(crash_points(), DEFAULT_CRASH_POINTS);
+        }
     }
 }

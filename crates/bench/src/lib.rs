@@ -157,7 +157,24 @@ pub fn tiger_db(pool_mb: usize, set: TigerSet, clustered: bool) -> Db {
 /// [`tiger_db`] with an explicit scale (tests use this to avoid mutating
 /// the process-global `PBSM_SCALE`).
 pub fn tiger_db_scaled(pool_mb: usize, set: TigerSet, clustered: bool, scale: f64) -> Db {
-    let db = Db::new(DbConfig::with_pool_mb(pool_mb));
+    tiger_db_config(DbConfig::with_pool_mb(pool_mb), set, clustered, scale)
+}
+
+/// [`tiger_db_scaled`] on a journaling database (`DbConfig::journal`) —
+/// the crash harness's builder. The loader commits the base relations;
+/// everything else stays reclaimable intent, so a restart after a crash
+/// keeps the data and sheds the half-built temp state.
+pub fn tiger_db_journaled(pool_mb: usize, set: TigerSet, scale: f64) -> Db {
+    let config = DbConfig {
+        journal: true,
+        ..DbConfig::with_pool_mb(pool_mb)
+    };
+    tiger_db_config(config, set, false, scale)
+}
+
+/// The TIGER builder everyone above delegates to.
+pub fn tiger_db_config(config: DbConfig, set: TigerSet, clustered: bool, scale: f64) -> Db {
+    let db = Db::new(config);
     let cfg = TigerConfig::scaled(scale);
     let mut road = tiger::road(&cfg);
     let mut other = match set {

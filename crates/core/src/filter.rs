@@ -20,9 +20,11 @@ use crate::{skew, JoinConfig};
 use pbsm_geom::sweep::{sort_by_xl, sweep_join, SweepStats, Tagged};
 use pbsm_storage::catalog::RelationMeta;
 use pbsm_storage::heap::HeapFile;
+use pbsm_storage::journal::{JournalRecord, PairCkpt};
 use pbsm_storage::record::RecordFile;
 use pbsm_storage::tuple::SpatialTuple;
-use pbsm_storage::{Db, StorageResult};
+use pbsm_storage::{Db, StorageError, StorageResult};
+use std::collections::BTreeMap;
 
 /// Result of partitioning one input.
 pub struct Partitioned {
@@ -52,9 +54,18 @@ pub fn partition_input(
     scheme: TileMapScheme,
     p: usize,
 ) -> StorageResult<Partitioned> {
-    let files: Vec<RecordFile> = (0..p)
-        .map(|_| RecordFile::create(db.pool(), KEY_PTR_SIZE))
-        .collect();
+    let mut files: Vec<RecordFile> = Vec::with_capacity(p);
+    for _ in 0..p {
+        match RecordFile::create(db.pool(), KEY_PTR_SIZE) {
+            Ok(f) => files.push(f),
+            Err(e) => {
+                for f in files {
+                    f.destroy(db.pool());
+                }
+                return Err(e);
+            }
+        }
+    }
     match partition_into(db, rel, grid, scheme, p, &files) {
         Ok((input_elements, replicated_elements)) => Ok(Partitioned {
             files,
@@ -192,7 +203,7 @@ pub fn merge_partitions(
     if config.merge_threads > 1 {
         return crate::parallel::merge_partitions_parallel(db, r_parts, s_parts, config);
     }
-    let out = RecordFile::create(db.pool(), OID_PAIR_SIZE);
+    let out = RecordFile::create(db.pool(), OID_PAIR_SIZE)?;
     match merge_into(db, r_parts, s_parts, config, &out) {
         Ok(candidates) => Ok((out, candidates)),
         Err(e) => {
@@ -236,6 +247,146 @@ fn merge_into(
     writer.finish()?;
     report_sweep_stats(stats);
     Ok(candidates)
+}
+
+/// Result of the per-pair checkpointed merge used by journaled joins:
+/// one candidate file per partition pair, in pair order.
+pub struct PairMerge {
+    /// Candidate OID-pair files, one per partition pair.
+    pub files: Vec<RecordFile>,
+    /// Raw candidates across all pairs (with replication duplicates).
+    pub candidates: u64,
+    /// Pairs whose candidate file was reused from a crash checkpoint.
+    pub resumed_pairs: u64,
+}
+
+impl PairMerge {
+    /// Drops every pair file. Under a poisoned (crashed) disk the drops
+    /// no-op, which is exactly what keeps checkpoints alive for recovery.
+    pub fn destroy(self, db: &Db) {
+        for f in self.files {
+            f.destroy(db.pool());
+        }
+    }
+}
+
+/// Checkpointed variant of [`merge_partitions`] for journaled joins: each
+/// partition pair's candidates land in their *own* file, flushed and
+/// journaled as a `PairDone` checkpoint the moment the pair completes.
+/// Pairs present in `resume` are not re-swept — their durable candidate
+/// file from the crashed incarnation is reused as-is.
+///
+/// Always sequential (checkpoint order must match journal order), so
+/// `config.merge_threads` is ignored here.
+pub fn merge_partitions_ckpt(
+    db: &Db,
+    r_parts: &Partitioned,
+    s_parts: &Partitioned,
+    config: &JoinConfig,
+    join_id: u64,
+    resume: &BTreeMap<u32, PairCkpt>,
+) -> StorageResult<PairMerge> {
+    debug_assert_eq!(r_parts.files.len(), s_parts.files.len());
+    let mut out = PairMerge {
+        files: Vec::new(),
+        candidates: 0,
+        resumed_pairs: 0,
+    };
+    match merge_pairs_into(db, r_parts, s_parts, config, join_id, resume, &mut out) {
+        Ok(()) => Ok(out),
+        Err(e) => {
+            out.destroy(db);
+            Err(e)
+        }
+    }
+}
+
+fn merge_pairs_into(
+    db: &Db,
+    r_parts: &Partitioned,
+    s_parts: &Partitioned,
+    config: &JoinConfig,
+    join_id: u64,
+    resume: &BTreeMap<u32, PairCkpt>,
+    out: &mut PairMerge,
+) -> StorageResult<()> {
+    let mut stats = SweepStats::default();
+    let mut pairs = Vec::new();
+    for (i, (rf, sf)) in r_parts.files.iter().zip(&s_parts.files).enumerate() {
+        if let Some(ckpt) = resume.get(&(i as u32)) {
+            out.files
+                .push(RecordFile::open(ckpt.file, OID_PAIR_SIZE, ckpt.count));
+            out.candidates += ckpt.count;
+            out.resumed_pairs += 1;
+            pbsm_obs::cached_counter!("pbsm.resume.pairs_skipped").incr();
+            continue;
+        }
+        // pbsm-lint: allow(resource-pairing, reason = "pair files outlive this fn as join checkpoints; merge_partitions_ckpt destroys them on error and the join driver destroys them at JoinEnd")
+        let created = RecordFile::create(db.pool(), OID_PAIR_SIZE)?;
+        out.files.push(created);
+        let pair_file = out
+            .files
+            .last()
+            .ok_or(StorageError::Corrupt("pair file list emptied mid-merge"))?;
+        let r = load_partition(db, rf)?;
+        let s = load_partition(db, sf)?;
+        pairs.clear();
+        let pair_bytes = (r.len() + s.len()) * KEY_PTR_SIZE;
+        if config.dynamic_repartition && pair_bytes > config.work_mem_bytes {
+            stats.absorb(skew::merge_with_repartition(
+                &r,
+                &s,
+                config.work_mem_bytes,
+                &mut pairs,
+            ));
+        } else {
+            stats.absorb(sweep_partition_pair(&r, &s, &mut pairs));
+        }
+        {
+            let mut writer = pair_file.writer(db.pool());
+            for (ro, so) in &pairs {
+                writer.push(&encode_pair(*ro, *so))?;
+            }
+            writer.finish()?;
+        }
+        out.candidates += pairs.len() as u64;
+        // Durability before checkpoint: the journal record must never
+        // claim candidates the disk does not hold.
+        db.pool().flush_file(pair_file.file_id())?;
+        db.pool().journal_append(JournalRecord::PairDone {
+            join_id,
+            pair_index: i as u32,
+            file: pair_file.file_id(),
+            count: pair_file.count(),
+        })?;
+    }
+    report_sweep_stats(stats);
+    Ok(())
+}
+
+/// Concatenates per-pair candidate files into one relation, in pair order
+/// — byte-identical to what the sequential single-file merge writes, so a
+/// resumed join's refinement sees the exact byte stream the crashed
+/// incarnation's would have.
+pub fn concat_candidates(db: &Db, files: &[RecordFile]) -> StorageResult<RecordFile> {
+    let out = RecordFile::create(db.pool(), OID_PAIR_SIZE)?;
+    let result = (|| -> StorageResult<()> {
+        let mut w = out.writer(db.pool());
+        for f in files {
+            let mut r = f.reader(db.pool());
+            while let Some(rec) = r.next_record()? {
+                w.push(rec)?;
+            }
+        }
+        w.finish()
+    })();
+    match result {
+        Ok(()) => Ok(out),
+        Err(e) => {
+            out.destroy(db.pool());
+            Err(e)
+        }
+    }
 }
 
 #[cfg(test)]

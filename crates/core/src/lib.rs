@@ -54,7 +54,7 @@ pub use cost::{CostComponent, CostTracker, JoinReport};
 pub use keyptr::KeyPointer;
 pub use loader::load_relation;
 pub use partition::{TileGrid, TileMapScheme};
-pub use recover::RecoveryPolicy;
+pub use recover::{join_fingerprint, RecoveryPolicy};
 
 use pbsm_geom::predicates::{RefineOptions, SpatialPredicate};
 use pbsm_storage::Oid;
@@ -153,6 +153,11 @@ pub struct JoinStats {
     /// Degraded re-runs the ENOSPC recovery loop performed (0 = first
     /// attempt succeeded).
     pub recovery_retries: u64,
+    /// Partition pairs skipped on a crash-resumed join because their
+    /// candidate files were recovered from journal checkpoints.
+    pub resumed_pairs: u64,
+    /// Refinement sort runs skipped on a crash-resumed join.
+    pub resumed_runs: u64,
 }
 
 /// The outcome of a join: result OID pairs, per-component costs, and

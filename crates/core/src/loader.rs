@@ -35,7 +35,7 @@ pub fn load_relation(
     tuples: &[SpatialTuple],
     clustered: bool,
 ) -> StorageResult<RelationMeta> {
-    let heap = HeapFile::create(db.pool());
+    let heap = HeapFile::create(db.pool())?;
     let mut universe = Rect::empty();
     let mut points = 0u64;
     let mut buf = Vec::new();
@@ -46,6 +46,10 @@ pub fn load_relation(
         heap.insert(db.pool(), &buf)?;
     }
     db.pool().flush_all()?;
+    // Base relations are the durable ground truth: commit the creation
+    // intent so crash recovery keeps the file (index files, by contrast,
+    // stay uncommitted — they are rebuildable and are reclaimed).
+    db.pool().commit_intent(heap.file_id())?;
     let meta = RelationMeta {
         name: name.to_string(),
         file: heap.file_id(),
@@ -95,7 +99,7 @@ pub fn build_index(db: &Db, rel: &RelationMeta) -> StorageResult<RTree> {
     // Pass 1 (always): scan + extract the key-pointers into a temp
     // relation, keyed by Hilbert value.
     let heap = HeapFile::open(rel.file);
-    let temp = pbsm_storage::record::RecordFile::create(db.pool(), SORT_REC);
+    let temp = pbsm_storage::record::RecordFile::create(db.pool(), SORT_REC)?;
     {
         let mut w = temp.writer(db.pool());
         let mut rec = [0u8; SORT_REC];

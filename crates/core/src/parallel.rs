@@ -82,7 +82,7 @@ pub fn merge_partitions_parallel(
     // output is deterministic regardless of thread scheduling. The output
     // file is destroyed if the write fails, so a degraded ENOSPC re-run
     // starts from a clean disk.
-    let out = RecordFile::create(db.pool(), OID_PAIR_SIZE);
+    let out = RecordFile::create(db.pool(), OID_PAIR_SIZE)?;
     match write_candidates(db, &results, &out) {
         Ok((candidates, stats)) => {
             report_sweep_stats(stats);

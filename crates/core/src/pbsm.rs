@@ -4,14 +4,17 @@
 //! <left>", "Partition <right>", "Merge Partitions", "Refinement Step".
 
 use crate::cost::CostTracker;
-use crate::filter::{merge_partitions, partition_input};
-use crate::keyptr::KEY_PTR_SIZE;
+use crate::filter::{concat_candidates, merge_partitions, merge_partitions_ckpt, partition_input};
+use crate::keyptr::{KEY_PTR_SIZE, OID_PAIR_SIZE};
 use crate::partition::{partition_count, TileGrid};
-use crate::recover::degraded_work_mem;
-use crate::refine::refinement_step;
+use crate::recover::{degraded_work_mem, join_fingerprint};
+use crate::refine::{refinement_step, refinement_step_ckpt};
 use crate::{JoinConfig, JoinOutcome, JoinSpec, JoinStats};
 use pbsm_storage::catalog::RelationMeta;
+use pbsm_storage::journal::{JoinResume, JournalRecord, PairCkpt, RunCkpt};
+use pbsm_storage::record::RecordFile;
 use pbsm_storage::{Db, StorageResult};
+use std::collections::BTreeMap;
 
 /// Runs the Partition Based Spatial-Merge join.
 ///
@@ -22,6 +25,27 @@ use pbsm_storage::{Db, StorageResult};
 /// re-runs — up to `config.recovery.max_attempts` total attempts. Any
 /// other error, and `DiskFull` past the budget, surfaces unchanged.
 pub fn pbsm_join(db: &Db, spec: &JoinSpec, config: &JoinConfig) -> StorageResult<JoinOutcome> {
+    pbsm_join_resume(db, spec, config, None)
+}
+
+/// [`pbsm_join`], optionally resuming from crash checkpoints surfaced by
+/// [`pbsm_storage::Db::recover`].
+///
+/// When the database journals intents (`DbConfig::journal`), every attempt
+/// journals a `JoinBegin` carrying a fingerprint of its plan shape, each
+/// completed partition-pair sweep and refinement sort run is checkpointed,
+/// and a `JoinEnd` retires the checkpoints on success. A caller restarting
+/// after a crash passes the recovered [`JoinResume`]; the driver reuses
+/// checkpoints only when the restarted plan's fingerprint and partition
+/// count match what was journaled — otherwise the checkpoint files are
+/// destroyed and the join runs from scratch. Either way the result is
+/// identical to an uninterrupted run.
+pub fn pbsm_join_resume(
+    db: &Db,
+    spec: &JoinSpec,
+    config: &JoinConfig,
+    resume: Option<&JoinResume>,
+) -> StorageResult<JoinOutcome> {
     let _span = pbsm_obs::span(format!("pbsm join {} ⋈ {}", spec.left, spec.right));
     let (left, right) = {
         let cat = db.catalog();
@@ -34,13 +58,42 @@ pub fn pbsm_join(db: &Db, spec: &JoinSpec, config: &JoinConfig) -> StorageResult
     let mut work_mem = config.work_mem_bytes;
     let mut min_partitions = 1usize;
     let mut attempt = 1u32;
+    let mut resume = resume;
     loop {
         // Equation 1 sizes the partition set from catalog cardinalities;
         // a degraded re-run additionally forces more partitions than the
         // failed attempt used.
         let p = partition_count(left.cardinality, right.cardinality, KEY_PTR_SIZE, work_mem)
             .max(min_partitions);
-        match pbsm_attempt(db, spec, config, &left, &right, work_mem, p) {
+        let outcome = if db.pool().journal_enabled() {
+            let fp = join_fingerprint(
+                &left.name,
+                &right.name,
+                left.cardinality,
+                right.cardinality,
+                spec.predicate,
+                p,
+                work_mem,
+                config.num_tiles,
+            );
+            // Checkpoints are trusted only by the very first attempt, and
+            // only when the restarted plan matches the journaled one — a
+            // degraded re-run has a different fingerprint by construction
+            // (work memory and partition count both feed it).
+            let accepted = match resume.take() {
+                Some(r) if attempt == 1 && r.fingerprint == fp && r.partitions == p as u32 => {
+                    Some(r)
+                }
+                other => {
+                    discard_resume(db, other);
+                    None
+                }
+            };
+            pbsm_attempt_journaled(db, spec, config, &left, &right, work_mem, p, fp, accepted)
+        } else {
+            pbsm_attempt(db, spec, config, &left, &right, work_mem, p)
+        };
+        match outcome {
             Err(e) if e.is_disk_full() && attempt < max_attempts => {
                 pbsm_obs::cached_counter!("pbsm.recover.enospc_retries").incr();
                 min_partitions = (p * 2).max(2);
@@ -58,6 +111,18 @@ pub fn pbsm_join(db: &Db, spec: &JoinSpec, config: &JoinConfig) -> StorageResult
                 return Ok(out);
             }
         }
+    }
+}
+
+/// Destroys the files behind rejected checkpoints. Each destroy journals a
+/// `TempDropped`, so the journal itself records the invalidation.
+fn discard_resume(db: &Db, resume: Option<&JoinResume>) {
+    let Some(r) = resume else { return };
+    for pc in &r.pairs {
+        RecordFile::open(pc.file, OID_PAIR_SIZE, pc.count).destroy(db.pool());
+    }
+    for rc in &r.runs {
+        RecordFile::open(rc.file, OID_PAIR_SIZE, rc.count).destroy(db.pool());
     }
 }
 
@@ -143,6 +208,179 @@ fn pbsm_attempt(
     })
 }
 
+/// One journaled filter + refinement pass. Structure mirrors
+/// [`pbsm_attempt`], with three differences: the attempt brackets its work
+/// in `JoinBegin`/`JoinEnd` records, each partition pair's candidates go to
+/// their own flushed + checkpointed file (merged into one stream only for
+/// the refinement sort, byte-identical to the sequential merge output), and
+/// refinement sort runs are checkpointed as they complete. `accepted`
+/// checkpoints (already validated against this attempt's fingerprint) are
+/// re-journaled under the fresh `JoinBegin` *before* any expensive work, so
+/// a second crash mid-partitioning still finds them.
+#[allow(clippy::too_many_arguments)]
+fn pbsm_attempt_journaled(
+    db: &Db,
+    spec: &JoinSpec,
+    config: &JoinConfig,
+    left: &RelationMeta,
+    right: &RelationMeta,
+    work_mem: usize,
+    p: usize,
+    fp: u64,
+    accepted: Option<&JoinResume>,
+) -> StorageResult<JoinOutcome> {
+    let mut tracker = CostTracker::new();
+    let mut stats = JoinStats::default();
+    let config = &JoinConfig {
+        work_mem_bytes: work_mem,
+        ..config.clone()
+    };
+
+    db.pool().journal_append(JournalRecord::JoinBegin {
+        join_id: fp,
+        fingerprint: fp,
+        partitions: p as u32,
+    })?;
+    let mut pair_ckpts: BTreeMap<u32, PairCkpt> = BTreeMap::new();
+    let mut run_ckpts: Vec<RunCkpt> = Vec::new();
+    if let Some(r) = accepted {
+        pbsm_obs::cached_counter!("pbsm.resume.joins").incr();
+        for pc in &r.pairs {
+            db.pool().journal_append(JournalRecord::PairDone {
+                join_id: fp,
+                pair_index: pc.index,
+                file: pc.file,
+                count: pc.count,
+            })?;
+            pair_ckpts.insert(pc.index, *pc);
+        }
+        // Run checkpoints are sound only when *every* pair was
+        // checkpointed: the refinement input is the concatenation of all
+        // pair files in index order, so one re-swept pair would shift the
+        // byte stream under the resumed runs' skip offsets.
+        if r.pairs.len() == p {
+            for rc in &r.runs {
+                db.pool().journal_append(JournalRecord::RunDone {
+                    join_id: fp,
+                    run_index: rc.index,
+                    file: rc.file,
+                    count: rc.count,
+                })?;
+                run_ckpts.push(*rc);
+            }
+        } else {
+            for rc in &r.runs {
+                RecordFile::open(rc.file, OID_PAIR_SIZE, rc.count).destroy(db.pool());
+            }
+        }
+    }
+    // While the checkpoint files are only referenced by `pair_ckpts` /
+    // `run_ckpts`, an early error must release them here; once handed to
+    // the merge / refinement they clean up on their own error paths.
+    let drop_ckpts = |db: &Db, pairs: &BTreeMap<u32, PairCkpt>, runs: &[RunCkpt]| {
+        for pc in pairs.values() {
+            RecordFile::open(pc.file, OID_PAIR_SIZE, pc.count).destroy(db.pool());
+        }
+        for rc in runs {
+            RecordFile::open(rc.file, OID_PAIR_SIZE, rc.count).destroy(db.pool());
+        }
+    };
+
+    let universe = left.universe.union(&right.universe);
+    let grid = TileGrid::new(universe, config.num_tiles.max(p));
+    stats.partitions = p;
+    stats.tiles = grid.num_tiles() as usize;
+
+    // Filter step, phase 1: partition both inputs (never checkpointed —
+    // partition files are cheap to rebuild relative to sweeps and sorts).
+    let left_parts = match tracker.run(&format!("partition {}", left.name), || {
+        partition_input(db, left, &grid, config.tile_map, p)
+    }) {
+        Ok(parts) => parts,
+        Err(e) => {
+            drop_ckpts(db, &pair_ckpts, &run_ckpts);
+            return Err(e);
+        }
+    };
+    let right_parts = match tracker.run(&format!("partition {}", right.name), || {
+        partition_input(db, right, &grid, config.tile_map, p)
+    }) {
+        Ok(parts) => parts,
+        Err(e) => {
+            left_parts.destroy(db);
+            drop_ckpts(db, &pair_ckpts, &run_ckpts);
+            return Err(e);
+        }
+    };
+    stats.input_elements = left_parts.input_elements + right_parts.input_elements;
+    stats.replicated_elements = left_parts.replicated_elements + right_parts.replicated_elements;
+
+    // Filter step, phase 2: sweep each pair into its own checkpointed
+    // candidate file (resumed pairs are skipped inside).
+    let merged = tracker.run("merge partitions", || {
+        merge_partitions_ckpt(db, &left_parts, &right_parts, config, fp, &pair_ckpts)
+    });
+    left_parts.destroy(db);
+    right_parts.destroy(db);
+    let merged = match merged {
+        Ok(m) => m,
+        Err(e) => {
+            // merge_partitions_ckpt destroyed every pair file (resumed
+            // ones included); only the run checkpoints are still ours.
+            drop_ckpts(db, &BTreeMap::new(), &run_ckpts);
+            return Err(e);
+        }
+    };
+    stats.candidates = merged.candidates;
+    stats.resumed_pairs = merged.resumed_pairs;
+
+    // Refinement step over the concatenated candidate stream.
+    let candidates = match concat_candidates(db, &merged.files) {
+        Ok(c) => c,
+        Err(e) => {
+            merged.destroy(db);
+            drop_ckpts(db, &BTreeMap::new(), &run_ckpts);
+            return Err(e);
+        }
+    };
+    stats.resumed_runs = run_ckpts.len() as u64;
+    if !run_ckpts.is_empty() {
+        pbsm_obs::cached_counter!("pbsm.resume.runs_skipped").add(run_ckpts.len() as u64);
+    }
+    let refined = match tracker.run("refinement step", || {
+        refinement_step_ckpt(
+            db,
+            &candidates,
+            left,
+            right,
+            spec.predicate,
+            &config.refine,
+            work_mem,
+            Some((fp, &run_ckpts)),
+        )
+    }) {
+        Ok(refined) => refined,
+        Err(e) => {
+            // The checkpointed sort destroyed all runs (resumed included).
+            candidates.destroy(db.pool());
+            merged.destroy(db);
+            return Err(e);
+        }
+    };
+    candidates.destroy(db.pool());
+    merged.destroy(db);
+    db.pool()
+        .journal_append(JournalRecord::JoinEnd { join_id: fp })?;
+    stats.unique_candidates = refined.unique_candidates;
+    stats.results = refined.pairs.len() as u64;
+
+    Ok(JoinOutcome {
+        pairs: refined.pairs,
+        report: tracker.finish(),
+        stats,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +449,48 @@ mod tests {
         assert_eq!(out.stats.partitions, 1);
         assert_eq!(out.stats.candidates, out.stats.unique_candidates);
         assert!(out.stats.results > 0);
+    }
+
+    #[test]
+    fn journaled_join_matches_plain_and_retires_checkpoints() {
+        let mk = |journal: bool| {
+            let db = pbsm_storage::Db::new(DbConfig {
+                journal,
+                ..DbConfig::with_pool_mb(2)
+            });
+            load_relation(&db, "road", &mk_tuples(700, 3), false).unwrap();
+            load_relation(&db, "hydro", &mk_tuples(500, 9), false).unwrap();
+            db
+        };
+        let spec = JoinSpec::new("road", "hydro", SpatialPredicate::Intersects);
+        let config = JoinConfig {
+            work_mem_bytes: 16 * 1024,
+            num_tiles: 128,
+            ..JoinConfig::default()
+        };
+        let plain = pbsm_join(&mk(false), &spec, &config).unwrap();
+        let db = mk(true);
+        let out = pbsm_join(&db, &spec, &config).unwrap();
+        // The journal claims file 0, shifting every heap file id by one;
+        // compare the (page, slot) identity of each result pair instead.
+        let strip = |pairs: &[(pbsm_storage::Oid, pbsm_storage::Oid)]| -> Vec<[u64; 2]> {
+            pairs
+                .iter()
+                .map(|(a, b)| [a.raw() & 0xFFFF_FFFF_FFFF, b.raw() & 0xFFFF_FFFF_FFFF])
+                .collect()
+        };
+        assert_eq!(strip(&out.pairs), strip(&plain.pairs));
+        assert_eq!(out.stats.candidates, plain.stats.candidates);
+        assert_eq!(out.stats.unique_candidates, plain.stats.unique_candidates);
+        assert_eq!(out.stats.resumed_pairs, 0);
+        assert_eq!(out.stats.resumed_runs, 0);
+        // The JoinEnd record retired every checkpoint: recovery over this
+        // disk finds no join in flight and nothing to reclaim.
+        let cfg = db.config();
+        let (_db2, state) = pbsm_storage::Db::recover(cfg, db.into_disk()).unwrap();
+        assert_eq!(state.orphan_files, 0);
+        assert_eq!(state.orphan_pages, 0);
+        assert!(state.join.is_none());
     }
 
     #[test]

@@ -43,6 +43,42 @@ pub fn degraded_work_mem(work_mem: usize) -> usize {
     (work_mem / 2).max(MIN_WORK_MEM)
 }
 
+/// Fingerprint of a journaled PBSM plan: FNV-1a over everything that
+/// shapes the partition layout and candidate byte stream. A resumed
+/// incarnation trusts crash checkpoints only when its own fingerprint
+/// matches the one recorded at `JoinBegin` — any drift (different inputs,
+/// predicate, degraded work memory, partition count) silently invalidates
+/// them, and the join simply restarts from scratch.
+#[allow(clippy::too_many_arguments)]
+pub fn join_fingerprint(
+    left: &str,
+    right: &str,
+    left_cardinality: u64,
+    right_cardinality: u64,
+    predicate: pbsm_geom::predicates::SpatialPredicate,
+    partitions: usize,
+    work_mem: usize,
+    num_tiles: usize,
+) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // Field separator so ("ab","c") and ("a","bc") differ.
+        h = (h ^ 0xFF).wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    eat(left.as_bytes());
+    eat(right.as_bytes());
+    eat(&left_cardinality.to_le_bytes());
+    eat(&right_cardinality.to_le_bytes());
+    eat(format!("{predicate:?}").as_bytes());
+    eat(&(partitions as u64).to_le_bytes());
+    eat(&(work_mem as u64).to_le_bytes());
+    eat(&(num_tiles as u64).to_le_bytes());
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,5 +94,25 @@ mod tests {
     fn policy_defaults() {
         assert_eq!(RecoveryPolicy::default().max_attempts, 3);
         assert_eq!(RecoveryPolicy::disabled().max_attempts, 1);
+    }
+
+    #[test]
+    fn fingerprint_separates_plan_shapes() {
+        use pbsm_geom::predicates::SpatialPredicate::*;
+        let base = join_fingerprint("road", "hydro", 700, 500, Intersects, 4, 1 << 20, 1024);
+        assert_eq!(
+            base,
+            join_fingerprint("road", "hydro", 700, 500, Intersects, 4, 1 << 20, 1024)
+        );
+        for other in [
+            join_fingerprint("roadh", "ydro", 700, 500, Intersects, 4, 1 << 20, 1024),
+            join_fingerprint("road", "hydro", 701, 500, Intersects, 4, 1 << 20, 1024),
+            join_fingerprint("road", "hydro", 700, 500, Contains, 4, 1 << 20, 1024),
+            join_fingerprint("road", "hydro", 700, 500, Intersects, 8, 1 << 20, 1024),
+            join_fingerprint("road", "hydro", 700, 500, Intersects, 4, 1 << 19, 1024),
+            join_fingerprint("road", "hydro", 700, 500, Intersects, 4, 1 << 20, 256),
+        ] {
+            assert_ne!(base, other);
+        }
     }
 }

@@ -40,7 +40,7 @@ pub fn rtree_join(db: &Db, spec: &JoinSpec, config: &JoinConfig) -> StorageResul
 
     // Synchronized depth-first traversal producing candidate OID pairs.
     let candidates = tracker.run("join indices", || -> StorageResult<RecordFile> {
-        let out = RecordFile::create(db.pool(), OID_PAIR_SIZE);
+        let out = RecordFile::create(db.pool(), OID_PAIR_SIZE)?;
         let mut writer = out.writer(db.pool());
         let mut err = None;
         bks93_join(&left_tree, &right_tree, db.pool(), &mut |a, b| {

@@ -18,3 +18,18 @@ pub fn handed_off(pool: &Pool) -> RecordFile {
     // pbsm-lint: allow(resource-pairing, reason = "fixture: ownership transferred to caller")
     RecordFile::create(pool, 8)
 }
+
+pub fn intent_leaked(pool: &Pool) -> FileId {
+    pool.begin_intent()
+}
+
+pub fn intent_committed(pool: &Pool) -> FileId {
+    let f = pool.begin_intent();
+    pool.commit_intent(f);
+    f
+}
+
+pub fn intent_aborted(pool: &Pool) {
+    let f = pool.begin_intent();
+    pool.abort_intent(f);
+}

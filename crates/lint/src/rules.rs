@@ -155,6 +155,13 @@ const PAIRS: &[Pair] = &[
         releasers: &["unpin", "PageRef", "PageMut"],
         what: "pin_frame has no unpin / guard construction in this fn",
     },
+    Pair {
+        trigger: "begin_intent",
+        qualifier: "",
+        releasers: &["commit_intent", "abort_intent"],
+        what: "journal intent from begin_intent() has no commit_intent / abort_intent in this fn \
+               (an uncommitted intent is reclaimed by crash recovery)",
+    },
 ];
 
 /// `resource-pairing`: every acquisition must be lexically paired with a
@@ -343,6 +350,24 @@ mod tests {
         let c = candidates("crates/core/src/x.rs", unpaired, resource_pairing);
         assert_eq!(c.len(), 1);
         assert_eq!(c[0].line, 2);
+    }
+
+    #[test]
+    fn pairing_tracks_journal_intents() {
+        let committed = "fn f(pool: &P) -> R {\n    let f = pool.begin_intent()?;\n    fill(f)?;\n    pool.commit_intent(f)\n}\n";
+        let aborted = "fn f(pool: &P) {\n    let f = pool.begin_intent()?;\n    if bad { pool.abort_intent(f); }\n}\n";
+        let leaked = "fn f(pool: &P) {\n    let f = pool.begin_intent()?;\n    fill(f)?;\n}\n";
+        assert_eq!(
+            candidates("crates/storage/src/x.rs", committed, resource_pairing).len(),
+            0
+        );
+        assert_eq!(
+            candidates("crates/storage/src/x.rs", aborted, resource_pairing).len(),
+            0
+        );
+        let c = candidates("crates/storage/src/x.rs", leaked, resource_pairing);
+        assert_eq!(c.len(), 1);
+        assert!(c[0].message.contains("begin_intent"));
     }
 
     #[test]

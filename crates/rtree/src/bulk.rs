@@ -40,7 +40,9 @@ pub fn bulk_load(
         entries.sort_by_cached_key(|(rect, _)| hilbert::hilbert_of_rect(universe, rect));
     }
     let n_entries = entries.len() as u64;
-    let file = pool.disk_mut().create_file();
+    // Rebuildable from the base relation: stays an uncommitted intent, so
+    // crash recovery reclaims a half-built tree.
+    let file = pool.begin_intent()?;
     let per_node = ((capacity as f64 * BULK_FILL) as usize).clamp(2, capacity);
 
     // Build the leaf level, then parent levels until one node remains.

@@ -47,7 +47,10 @@ impl RTree {
     /// node capacity. Use [`DEFAULT_CAPACITY`] outside tests.
     pub fn create(pool: &BufferPool, capacity: usize) -> StorageResult<Self> {
         assert!(capacity >= 4, "R*-tree capacity must be at least 4");
-        let file = pool.disk_mut().create_file();
+        // Index files are rebuildable from their relation: under a
+        // journaled pool the intent stays uncommitted, so recovery
+        // reclaims a half-built index rather than trusting it.
+        let file = pool.begin_intent()?;
         let root_node = Node {
             is_leaf: true,
             entries: Vec::new(),

@@ -24,6 +24,7 @@
 use crate::disk::{DiskStats, SimDisk};
 use crate::error::{StorageError, StorageResult};
 use crate::fault::RetryPolicy;
+use crate::journal::{Journal, JournalRecord};
 use crate::page::{zeroed_page, FileId, PageBuf, PageId, PAGE_SIZE};
 use pbsm_obs as obs;
 use std::cell::{Cell, Ref, RefCell, RefMut};
@@ -132,6 +133,10 @@ pub struct BufferPool {
     /// [`BufferPool::with_retry`], so this is the *only* place transient
     /// recovery happens.
     retry: Cell<RetryPolicy>,
+    /// Intent journal, when the database opted into crash consistency
+    /// (`DbConfig::journal`). `None` — the default — adds no I/O, no file
+    /// ids, and no counters, keeping the gated benchmarks byte-identical.
+    journal: RefCell<Option<Journal>>,
 }
 
 impl BufferPool {
@@ -169,7 +174,61 @@ impl BufferPool {
             disk: RefCell::new(disk),
             sorted_flush: Cell::new(true),
             retry: Cell::new(RetryPolicy::default()),
+            journal: RefCell::new(None),
         }
+    }
+
+    /// Hands the pool the intent journal created by `Db::new` /
+    /// `Db::recover`. From here on every intent-tracked file operation is
+    /// journaled.
+    pub fn install_journal(&self, journal: Journal) {
+        *self.journal.borrow_mut() = Some(journal);
+    }
+
+    /// True when an intent journal is installed.
+    pub fn journal_enabled(&self) -> bool {
+        self.journal.borrow().is_some()
+    }
+
+    /// The journal's file id, when installed.
+    pub fn journal_file(&self) -> Option<FileId> {
+        self.journal.borrow().as_ref().map(|j| j.file_id())
+    }
+
+    /// Appends a record to the intent journal (durable on return). A
+    /// no-op `Ok` when no journal is installed, so callers need not
+    /// branch on the mode.
+    pub fn journal_append(&self, rec: JournalRecord) -> StorageResult<()> {
+        match self.journal.borrow_mut().as_mut() {
+            Some(j) => j.append(&mut self.disk.borrow_mut(), rec, self.retry.get()),
+            None => Ok(()),
+        }
+    }
+
+    /// Creates a file under the journal's intent protocol: the
+    /// `TempCreated` intent is durable before the caller sees the id.
+    /// Until [`BufferPool::commit_intent`] the file is garbage after a
+    /// crash — recovery reclaims it. Pair with `commit_intent` or
+    /// [`BufferPool::abort_intent`].
+    pub fn begin_intent(&self) -> StorageResult<FileId> {
+        // pbsm-lint: allow(resource-pairing, reason = "this IS the journaled creation primitive; ownership passes to the caller, who pairs it with commit_intent/abort_intent")
+        let file = self.disk.borrow_mut().create_file();
+        self.journal_append(JournalRecord::TempCreated { file })?;
+        Ok(file)
+    }
+
+    /// Makes `file` durable: flushes and syncs its dirty pages, then
+    /// journals the `Committed` intent. After a crash, recovery keeps
+    /// committed files and reclaims everything else.
+    pub fn commit_intent(&self, file: FileId) -> StorageResult<()> {
+        self.flush_file(file)?;
+        self.journal_append(JournalRecord::Committed { file })
+    }
+
+    /// Releases a file created by [`BufferPool::begin_intent`] without
+    /// committing it.
+    pub fn abort_intent(&self, file: FileId) {
+        self.drop_file(file);
     }
 
     /// Number of frames.
@@ -427,6 +486,36 @@ impl BufferPool {
         Ok(())
     }
 
+    /// Writes `file`'s dirty pages back in sorted order and syncs the
+    /// device: on return the file's contents are crash-durable (pending
+    /// torn writes, if any, are confirmed). This is the durability half
+    /// of a commit or checkpoint; the journal record is the other half.
+    pub fn flush_file(&self, file: FileId) -> StorageResult<()> {
+        let mut st = self.state.borrow_mut();
+        let mut batch: Vec<(PageId, usize)> = Vec::new();
+        for (idx, m) in st.meta.iter().enumerate() {
+            if m.dirty {
+                if let Some(pid) = m.page {
+                    if pid.file == file {
+                        assert_eq!(m.pin, 0, "flush_file with pinned dirty page {pid:?}");
+                        batch.push((pid, idx));
+                    }
+                }
+            }
+        }
+        batch.sort_unstable();
+        let mut disk = self.disk.borrow_mut();
+        for (pid, idx) in batch {
+            let frame = self.frames[idx].borrow();
+            Self::with_retry(self.retry.get(), pid, || disk.write_page(pid, &frame.data))?;
+            st.meta[idx].dirty = false;
+            st.stats.writebacks += 1;
+            obs::bump(&st.counters.pending_writebacks);
+        }
+        disk.sync();
+        Ok(())
+    }
+
     /// Flushes all dirty pages, then drops every cached mapping, returning
     /// the pool to a cold state. Benchmarks call this between phases so
     /// each measured run starts with an empty cache, like a fresh process
@@ -476,7 +565,21 @@ impl BufferPool {
             };
             st.free.push(idx);
         }
+        drop(st);
         self.disk.borrow_mut().drop_file(file);
+        // Best-effort: a failed (e.g. crashed) drop record is safe — the
+        // file's pages are gone or recovery will reclaim them; either way
+        // nothing leaks. Never journal a drop of the journal itself.
+        if self.journal_file() != Some(file) {
+            let _ = self.journal_append(JournalRecord::TempDropped { file });
+        }
+    }
+
+    /// Tears the pool down, discarding every cached (possibly dirty)
+    /// frame, and returns the disk — exactly what a process crash leaves
+    /// behind. The crash harness feeds the result to `Db::recover`.
+    pub fn into_disk(self) -> SimDisk {
+        self.disk.into_inner()
     }
 
     fn unpin(&self, idx: usize) {
@@ -675,6 +778,48 @@ mod tests {
     }
 
     #[test]
+    fn flush_file_flushes_only_that_file() {
+        let mut disk = SimDisk::new(DiskModel::default());
+        let f1 = disk.create_file();
+        let f2 = disk.create_file();
+        let pool = BufferPool::new(8 * PAGE_SIZE, disk);
+        let (_p1, g1) = pool.new_page(f1).unwrap();
+        drop(g1);
+        let (_p2, g2) = pool.new_page(f2).unwrap();
+        drop(g2);
+        pool.flush_file(f1).unwrap();
+        assert_eq!(pool.disk_stats().writes, 1);
+        pool.flush_all().unwrap();
+        assert_eq!(pool.disk_stats().writes, 2);
+    }
+
+    #[test]
+    fn intent_protocol_journals_lifecycle() {
+        let mut disk = SimDisk::new(DiskModel::default());
+        let j = Journal::create(&mut disk);
+        let pool = BufferPool::new(8 * PAGE_SIZE, disk);
+        pool.install_journal(j);
+        assert!(pool.journal_enabled());
+        let f = pool.begin_intent().unwrap();
+        let (_pid, g) = pool.new_page(f).unwrap();
+        drop(g);
+        pool.commit_intent(f).unwrap();
+        let f2 = pool.begin_intent().unwrap();
+        pool.abort_intent(f2);
+        let mut disk = pool.into_disk();
+        let recs = Journal::scan(&mut disk, FileId(0)).unwrap();
+        assert_eq!(
+            recs,
+            vec![
+                JournalRecord::TempCreated { file: f },
+                JournalRecord::Committed { file: f },
+                JournalRecord::TempCreated { file: f2 },
+                JournalRecord::TempDropped { file: f2 },
+            ]
+        );
+    }
+
+    #[test]
     fn transient_read_faults_absorbed_by_retry() {
         let (pool, f) = pool_with(8);
         let pid = {
@@ -744,10 +889,20 @@ mod tests {
         }));
         let pid = {
             let (pid, mut g) = pool.new_page(f).unwrap();
-            g[7] = 7;
+            // Fill the whole page: a tear reverts a 64-byte span to the
+            // pre-write image (zeros here), so every span must differ for
+            // the revert to be observable wherever it lands.
+            g.fill(7);
             pid
         };
         pool.clear_cache().unwrap(); // torn write-back happens here
+                                     // The tear is latent until a crash materializes it.
+        {
+            let mut disk = pool.disk_mut();
+            disk.crash_now();
+            disk.clear_crash();
+            disk.set_faults(None);
+        }
         let err = pool.get(pid).map(|_| ()).unwrap_err();
         assert_eq!(err, StorageError::Corruption(pid));
         let (free, pinned, mapped) = pool.frame_census();

@@ -92,6 +92,14 @@ impl Catalog {
     pub fn relation_names(&self) -> Vec<&str> {
         self.relations.keys().map(String::as_str).collect()
     }
+
+    /// Clones every relation's metadata, in name order. The catalog is
+    /// volatile (it does not survive a crash), so harnesses snapshot it
+    /// before a simulated kill and re-register relations after
+    /// [`crate::Db::recover`].
+    pub fn snapshot(&self) -> Vec<RelationMeta> {
+        self.relations.values().cloned().collect()
+    }
 }
 
 #[cfg(test)]

@@ -1,10 +1,21 @@
 //! The database handle tying disk, buffer pool, and catalog together.
+//!
+//! With `DbConfig::journal` enabled, the handle also owns the
+//! crash-consistency story: [`Db::new`] claims file 0 for the intent
+//! journal, and [`Db::recover`] rebuilds a usable instance from whatever
+//! a crashed process left on the disk — reclaiming un-committed files and
+//! surfacing the interrupted join's checkpoints as a [`RecoveredState`].
 
 use crate::buffer::BufferPool;
 use crate::catalog::Catalog;
 use crate::disk::{DiskModel, DiskStats, SimDisk};
 use crate::fault::{FaultConfig, RetryPolicy};
+use crate::journal::{JoinResume, Journal, JournalRecord, RecoveredState};
+use crate::page::FileId;
+use crate::StorageResult;
+use pbsm_obs as obs;
 use std::cell::{Ref, RefCell, RefMut};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Configuration for a [`Db`] instance.
 #[derive(Clone, Copy, Debug)]
@@ -21,6 +32,11 @@ pub struct DbConfig {
     pub faults: Option<FaultConfig>,
     /// Bounded deterministic retry budget for transient faults.
     pub retry: RetryPolicy,
+    /// Crash consistency: claim file 0 for the intent journal and log
+    /// every file-lifecycle intent and join checkpoint through it.
+    /// Default off — journaling shifts file ids and adds writes, and the
+    /// gated deterministic benchmarks must stay byte-identical.
+    pub journal: bool,
 }
 
 impl Default for DbConfig {
@@ -31,6 +47,7 @@ impl Default for DbConfig {
             sorted_flush: true,
             faults: None,
             retry: RetryPolicy::default(),
+            journal: false,
         }
     }
 }
@@ -59,14 +76,192 @@ impl Db {
     pub fn new(config: DbConfig) -> Self {
         let mut disk = SimDisk::new(config.disk);
         disk.set_faults(config.faults);
+        // The journal must claim file 0 before anything else exists.
+        let journal = config.journal.then(|| Journal::create(&mut disk));
         let pool = BufferPool::new(config.buffer_pool_bytes, disk);
         pool.set_sorted_flush(config.sorted_flush);
         pool.set_retry_policy(config.retry);
+        if let Some(j) = journal {
+            pool.install_journal(j);
+        }
         Db {
             pool,
             catalog: RefCell::new(Catalog::new()),
             config,
         }
+    }
+
+    /// Rebuilds a database from a disk a crashed process left behind.
+    ///
+    /// Clears the crash poison, scans the intent journal (tolerating a
+    /// torn tail), and reclaims every file that is neither the journal,
+    /// nor committed, nor a checkpoint of the join that was in flight —
+    /// restoring the `live_pages` accounting a dead process could not.
+    /// The catalog is volatile (it lived in the crashed process's
+    /// memory), so callers re-register their relations; only committed
+    /// heap files have durable data to re-register *onto*.
+    pub fn recover(config: DbConfig, mut disk: SimDisk) -> StorageResult<(Db, RecoveredState)> {
+        disk.clear_crash();
+        disk.set_faults(config.faults);
+        if !config.journal || disk.num_files() == 0 {
+            // Nothing journaled, nothing to reconcile: a fresh instance
+            // over the surviving disk.
+            let pool = BufferPool::new(config.buffer_pool_bytes, disk);
+            pool.set_sorted_flush(config.sorted_flush);
+            pool.set_retry_policy(config.retry);
+            let db = Db {
+                pool,
+                catalog: RefCell::new(Catalog::new()),
+                config,
+            };
+            return Ok((db, RecoveredState::default()));
+        }
+
+        let (journal, records) = Journal::open_at_tail(&mut disk)?;
+        let jfile = journal.file_id();
+
+        // Replay the intent log: which files were committed, which were
+        // dropped, and what the in-flight join had checkpointed.
+        let mut committed: BTreeSet<FileId> = BTreeSet::new();
+        let mut cur: Option<JoinResume> = None;
+        let mut pairs: BTreeMap<u32, crate::journal::PairCkpt> = BTreeMap::new();
+        let mut runs: BTreeMap<u32, crate::journal::RunCkpt> = BTreeMap::new();
+        for rec in &records {
+            match *rec {
+                JournalRecord::TempCreated { .. } => {}
+                JournalRecord::TempDropped { file } => {
+                    committed.remove(&file);
+                    // A dropped file invalidates any checkpoint naming it.
+                    pairs.retain(|_, c| c.file != file);
+                    runs.retain(|_, c| c.file != file);
+                }
+                JournalRecord::Committed { file } => {
+                    committed.insert(file);
+                }
+                JournalRecord::JoinBegin {
+                    join_id,
+                    fingerprint,
+                    partitions,
+                } => {
+                    cur = Some(JoinResume {
+                        join_id,
+                        fingerprint,
+                        partitions,
+                        pairs: Vec::new(),
+                        runs: Vec::new(),
+                    });
+                    pairs.clear();
+                    runs.clear();
+                }
+                JournalRecord::PairDone {
+                    join_id,
+                    pair_index,
+                    file,
+                    count,
+                } => {
+                    if cur.as_ref().is_some_and(|j| j.join_id == join_id) {
+                        pairs.insert(
+                            pair_index,
+                            crate::journal::PairCkpt {
+                                index: pair_index,
+                                file,
+                                count,
+                            },
+                        );
+                    }
+                }
+                JournalRecord::RunDone {
+                    join_id,
+                    run_index,
+                    file,
+                    count,
+                } => {
+                    if cur.as_ref().is_some_and(|j| j.join_id == join_id) {
+                        runs.insert(
+                            run_index,
+                            crate::journal::RunCkpt {
+                                index: run_index,
+                                file,
+                                count,
+                            },
+                        );
+                    }
+                }
+                JournalRecord::JoinEnd { join_id } => {
+                    if cur.as_ref().is_some_and(|j| j.join_id == join_id) {
+                        cur = None;
+                        pairs.clear();
+                        runs.clear();
+                    }
+                }
+            }
+        }
+        if let Some(j) = cur.as_mut() {
+            j.pairs = pairs.into_values().collect();
+            j.runs = runs.into_values().collect();
+            // A checkpoint whose file the disk no longer holds is useless.
+            j.pairs.retain(|c| !disk.is_dropped(c.file));
+            j.runs.retain(|c| !disk.is_dropped(c.file));
+            // Sort resume skips a single input prefix sized by the sum of
+            // the resumed runs' counts, so run checkpoints are usable only
+            // as a contiguous prefix of run indices. A gap — e.g. the
+            // crash landed mid-merge, after early runs were already
+            // destroyed — invalidates every checkpoint after it; the
+            // stranded files fall through to orphan reclamation below.
+            let prefix = j
+                .runs
+                .iter()
+                .enumerate()
+                .take_while(|(i, c)| c.index == *i as u32)
+                .count();
+            j.runs.truncate(prefix);
+        }
+
+        // Protected files: the journal itself, committed relations, and
+        // the in-flight join's checkpoints. Everything else is garbage a
+        // dead process could not clean up.
+        let mut keep: BTreeSet<FileId> = committed;
+        keep.insert(jfile);
+        if let Some(j) = &cur {
+            keep.extend(j.pairs.iter().map(|c| c.file));
+            keep.extend(j.runs.iter().map(|c| c.file));
+        }
+        let mut state = RecoveredState {
+            join: cur,
+            ..RecoveredState::default()
+        };
+        let mut reclaimed: Vec<FileId> = Vec::new();
+        for n in 0..disk.num_files() {
+            let file = FileId(n);
+            if keep.contains(&file) || disk.is_dropped(file) {
+                continue;
+            }
+            let pages = disk.num_pages(file) as u64;
+            disk.drop_file(file);
+            reclaimed.push(file);
+            if pages > 0 {
+                state.orphan_files += 1;
+                state.orphan_pages += pages;
+            }
+        }
+        obs::cached_counter!("storage.journal.recovered_files").add(state.orphan_files);
+        obs::cached_counter!("storage.journal.recovered_pages").add(state.orphan_pages);
+
+        let pool = BufferPool::new(config.buffer_pool_bytes, disk);
+        pool.set_sorted_flush(config.sorted_flush);
+        pool.set_retry_policy(config.retry);
+        pool.install_journal(journal);
+        // Record the reclaims so a second crash-recover cycle does not
+        // re-count (or re-trust checkpoints in) the same files.
+        for file in reclaimed {
+            pool.journal_append(JournalRecord::TempDropped { file })?;
+        }
+        let db = Db {
+            pool,
+            catalog: RefCell::new(Catalog::new()),
+            config,
+        };
+        Ok((db, state))
     }
 
     /// The buffer pool (and through it, the disk).
@@ -93,6 +288,13 @@ impl Db {
     pub fn disk_stats(&self) -> DiskStats {
         self.pool.disk_stats()
     }
+
+    /// Tears the instance down, discarding all volatile state (cached
+    /// frames, catalog), and returns the disk — the crash harness's
+    /// "kill -9". Feed the result to [`Db::recover`].
+    pub fn into_disk(self) -> SimDisk {
+        self.pool.into_disk()
+    }
 }
 
 #[cfg(test)]
@@ -107,7 +309,7 @@ mod tests {
             db.pool().num_frames(),
             2 * 1024 * 1024 / crate::page::PAGE_SIZE
         );
-        let heap = HeapFile::create(db.pool());
+        let heap = HeapFile::create(db.pool()).unwrap();
         let oid = heap.insert(db.pool(), b"hello").unwrap();
         let mut buf = Vec::new();
         heap.fetch(db.pool(), oid, &mut buf).unwrap();
@@ -123,5 +325,156 @@ mod tests {
         };
         let db = Db::new(cfg);
         assert!(!db.config().sorted_flush);
+    }
+
+    fn journaled_cfg() -> DbConfig {
+        DbConfig {
+            journal: true,
+            ..DbConfig::with_pool_mb(2)
+        }
+    }
+
+    #[test]
+    fn journaled_db_claims_file_zero() {
+        let db = Db::new(journaled_cfg());
+        assert!(db.pool().journal_enabled());
+        assert_eq!(db.pool().journal_file(), Some(FileId(0)));
+        // The first user file therefore lands at id 1.
+        let heap = HeapFile::create(db.pool()).unwrap();
+        assert_eq!(heap.file_id(), FileId(1));
+    }
+
+    #[test]
+    fn recover_reclaims_uncommitted_files_and_keeps_committed() {
+        let cfg = journaled_cfg();
+        let db = Db::new(cfg);
+        let kept = HeapFile::create(db.pool()).unwrap();
+        kept.insert(db.pool(), b"durable").unwrap();
+        db.pool().commit_intent(kept.file_id()).unwrap();
+        let kept_id = kept.file_id();
+        // An uncommitted temp with real pages: garbage after the crash.
+        let orphan = db.pool().begin_intent().unwrap();
+        {
+            let (_pid, mut g) = db.pool().new_page(orphan).unwrap();
+            g[0] = 1;
+        }
+        db.pool().flush_file(orphan).unwrap();
+
+        let mut disk = db.into_disk();
+        disk.crash_now();
+        let (db2, state) = Db::recover(cfg, disk).unwrap();
+        assert_eq!(state.orphan_files, 1);
+        assert!(state.orphan_pages >= 1);
+        assert!(state.join.is_none());
+        assert!(db2.pool().disk().is_dropped(orphan));
+        assert!(!db2.pool().disk().is_dropped(kept_id));
+        // The committed heap's data survived.
+        let heap = HeapFile::open(kept_id);
+        let mut buf = Vec::new();
+        heap.fetch(db2.pool(), crate::Oid::new(kept_id, 0, 0), &mut buf)
+            .unwrap();
+        assert_eq!(buf, b"durable");
+    }
+
+    #[test]
+    fn recover_surfaces_join_checkpoints() {
+        let cfg = journaled_cfg();
+        let db = Db::new(cfg);
+        let pair_file = db.pool().begin_intent().unwrap();
+        {
+            let (_pid, mut g) = db.pool().new_page(pair_file).unwrap();
+            g[0] = 9;
+        }
+        db.pool().flush_file(pair_file).unwrap();
+        db.pool()
+            .journal_append(JournalRecord::JoinBegin {
+                join_id: 77,
+                fingerprint: 77,
+                partitions: 4,
+            })
+            .unwrap();
+        db.pool()
+            .journal_append(JournalRecord::PairDone {
+                join_id: 77,
+                pair_index: 0,
+                file: pair_file,
+                count: 12,
+            })
+            .unwrap();
+        let mut disk = db.into_disk();
+        disk.crash_now();
+        let (db2, state) = Db::recover(cfg, disk).unwrap();
+        let join = state.join.expect("in-flight join must surface");
+        assert_eq!(join.join_id, 77);
+        assert_eq!(join.partitions, 4);
+        assert_eq!(join.pairs.len(), 1);
+        assert_eq!(join.pairs[0].file, pair_file);
+        assert_eq!(join.pairs[0].count, 12);
+        // The checkpointed file was protected from reclamation.
+        assert!(!db2.pool().disk().is_dropped(pair_file));
+    }
+
+    #[test]
+    fn recovery_trusts_only_a_contiguous_run_prefix() {
+        // Three run checkpoints, then run 0's file is dropped (the crash
+        // landed mid-merge). The skip-a-prefix resume contract makes runs
+        // 1 and 2 unusable: recovery must discard them and reclaim their
+        // files as orphans instead of protecting them.
+        let cfg = journaled_cfg();
+        let db = Db::new(cfg);
+        db.pool()
+            .journal_append(JournalRecord::JoinBegin {
+                join_id: 9,
+                fingerprint: 9,
+                partitions: 1,
+            })
+            .unwrap();
+        let mut run_files = Vec::new();
+        for idx in 0..3u32 {
+            let file = db.pool().begin_intent().unwrap();
+            {
+                let (_pid, mut g) = db.pool().new_page(file).unwrap();
+                g[0] = idx as u8 + 1;
+            }
+            db.pool().flush_file(file).unwrap();
+            db.pool()
+                .journal_append(JournalRecord::RunDone {
+                    join_id: 9,
+                    run_index: idx,
+                    file,
+                    count: 10,
+                })
+                .unwrap();
+            run_files.push(file);
+        }
+        db.pool().drop_file(run_files[0]);
+        let mut disk = db.into_disk();
+        disk.crash_now();
+        let (db2, state) = Db::recover(cfg, disk).unwrap();
+        let join = state.join.expect("join must surface");
+        assert!(join.runs.is_empty(), "gapped runs must be discarded");
+        // The stranded run files were reclaimed, not protected.
+        assert!(db2.pool().disk().is_dropped(run_files[1]));
+        assert!(db2.pool().disk().is_dropped(run_files[2]));
+        assert_eq!(state.orphan_files, 2);
+    }
+
+    #[test]
+    fn join_end_clears_checkpoints() {
+        let cfg = journaled_cfg();
+        let db = Db::new(cfg);
+        db.pool()
+            .journal_append(JournalRecord::JoinBegin {
+                join_id: 5,
+                fingerprint: 5,
+                partitions: 2,
+            })
+            .unwrap();
+        db.pool()
+            .journal_append(JournalRecord::JoinEnd { join_id: 5 })
+            .unwrap();
+        let disk = db.into_disk();
+        let (_db2, state) = Db::recover(cfg, disk).unwrap();
+        assert!(state.join.is_none());
     }
 }

@@ -12,6 +12,7 @@ use crate::fault::{page_checksum, FaultConfig, FaultSchedule, FaultTally, WriteD
 use crate::page::{zeroed_page, FileId, PageBuf, PageId, PAGE_SIZE};
 use pbsm_obs as obs;
 use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Disk timing parameters.
@@ -194,7 +195,27 @@ pub struct SimDisk {
     /// Pages currently allocated across live files, for the hard
     /// `capacity_pages` bound. Dropped files return their pages.
     live_pages: u64,
+    /// Every operation attempted over the disk's lifetime (reads, writes,
+    /// allocations — including ones that failed). The crash harness
+    /// probes a fault-free run to learn how many ops a join performs,
+    /// then samples crash points inside that range.
+    total_ops: u64,
+    /// Countdown to the armed crash point: `Some(0)` means the *next*
+    /// operation crashes. Re-armed by [`SimDisk::set_faults`].
+    ops_until_crash: Option<u64>,
+    /// Whether the crashing write itself is torn (see `FaultConfig`).
+    crash_tear_in_flight: bool,
+    /// True once the crash point fired: the handle is poisoned and every
+    /// operation returns [`StorageError::Crashed`].
+    crashed: bool,
+    /// Torn writes that have not yet been confirmed by a [`SimDisk::sync`]:
+    /// for each page, the span offset and the pre-write bytes that a crash
+    /// would resurrect (the old half of a mixed old/new sector image).
+    pending_tears: BTreeMap<PageId, (usize, [u8; TEAR_SPAN])>,
 }
+
+/// Bytes damaged by a torn write (one simulated sector's worth).
+const TEAR_SPAN: usize = 64;
 
 impl SimDisk {
     /// Creates an empty disk with the given timing model.
@@ -225,13 +246,21 @@ impl SimDisk {
             transfer_ns: (model.page_transfer_ms() * 1e6) as u64,
             faults: None,
             live_pages: 0,
+            total_ops: 0,
+            ops_until_crash: None,
+            crash_tear_in_flight: false,
+            crashed: false,
+            pending_tears: BTreeMap::new(),
         }
     }
 
     /// Installs (or clears) a seeded fault schedule. Takes effect for all
     /// subsequent I/O; the chaos harness uses this to load data on a
-    /// perfect device and then pull the rug under the join.
+    /// perfect device and then pull the rug under the join. A configured
+    /// `crash_after_ops` counts from this arming point.
     pub fn set_faults(&mut self, cfg: Option<FaultConfig>) {
+        self.ops_until_crash = cfg.as_ref().and_then(|c| c.crash_after_ops);
+        self.crash_tear_in_flight = cfg.as_ref().is_some_and(|c| c.crash_tear_in_flight);
         self.faults = cfg.map(FaultSchedule::new);
     }
 
@@ -253,6 +282,83 @@ impl SimDisk {
             .map_or(FaultTally::default(), |f| f.injected())
     }
 
+    /// Every operation attempted over the disk's lifetime.
+    pub fn total_ops(&self) -> u64 {
+        self.total_ops
+    }
+
+    /// True once a crash point fired and poisoned the handle.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Number of file slots ever created (dropped files keep their slot).
+    pub fn num_files(&self) -> u32 {
+        self.files.len() as u32
+    }
+
+    /// True when `file` exists and has been dropped.
+    pub fn is_dropped(&self, file: FileId) -> bool {
+        self.files.get(file.0 as usize).is_some_and(|f| f.dropped)
+    }
+
+    /// Durability point: confirms every write issued so far. Pending torn
+    /// writes are healed — their stored copies already hold the intended
+    /// bytes, and the sync means the device acknowledged them. Charges
+    /// nothing and does not count as an operation, so enabling sync
+    /// boundaries leaves every metered counter untouched.
+    pub fn sync(&mut self) {
+        self.pending_tears.clear();
+    }
+
+    /// Counts one operation against the armed crash point. Returns `true`
+    /// when this operation is the one that crashes.
+    fn count_op(&mut self) -> bool {
+        self.total_ops += 1;
+        match self.ops_until_crash.as_mut() {
+            Some(0) => {
+                self.ops_until_crash = None;
+                true
+            }
+            Some(left) => {
+                *left -= 1;
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Materializes every pending tear — each damaged span reverts to its
+    /// pre-write bytes, while the sidecar checksum keeps describing the
+    /// intended bytes — and poisons the handle.
+    fn enter_crash(&mut self) {
+        let tears = std::mem::take(&mut self.pending_tears);
+        for (pid, (offset, old)) in tears {
+            if let Some(f) = self.files.get_mut(pid.file.0 as usize) {
+                if !f.dropped && (pid.page_no as usize) < f.pages.len() {
+                    f.pages[pid.page_no as usize][offset..offset + TEAR_SPAN].copy_from_slice(&old);
+                }
+            }
+        }
+        self.crashed = true;
+    }
+
+    /// Kills the simulated process right now: pending tears materialize
+    /// and every subsequent operation fails with
+    /// [`StorageError::Crashed`]. Test hook; the scheduled path is
+    /// `FaultConfig::crash_after_ops`.
+    pub fn crash_now(&mut self) {
+        self.enter_crash();
+    }
+
+    /// Un-poisons the handle, as the first step of recovery ("the process
+    /// restarted"). Damage done by the crash — materialized tears, files
+    /// that missed their cleanup — stays, exactly like a real restart.
+    pub fn clear_crash(&mut self) {
+        self.crashed = false;
+        self.ops_until_crash = None;
+    }
+
     /// Creates a new empty file and returns its id.
     pub fn create_file(&mut self) -> FileId {
         let id = FileId(self.files.len() as u32);
@@ -268,8 +374,14 @@ impl SimDisk {
     }
 
     /// Drops a file's pages (temp-file cleanup). The id is not reused,
-    /// and the pages count back toward free capacity.
+    /// and the pages count back toward free capacity. A no-op on a
+    /// crashed handle: a dead process cannot clean up after itself, which
+    /// is exactly the garbage `Db::recover` exists to reclaim.
     pub fn drop_file(&mut self, file: FileId) {
+        if self.crashed {
+            return;
+        }
+        self.pending_tears.retain(|pid, _| pid.file != file);
         if let Some(f) = self.files.get_mut(file.0 as usize) {
             self.live_pages -= f.pages.len() as u64;
             f.pages.clear();
@@ -292,6 +404,13 @@ impl SimDisk {
     /// [`StorageError::DiskFull`] when the schedule injects ENOSPC or the
     /// device is past its configured capacity.
     pub fn allocate_page(&mut self, file: FileId) -> StorageResult<PageId> {
+        if self.crashed {
+            return Err(StorageError::Crashed);
+        }
+        if self.count_op() {
+            self.enter_crash();
+            return Err(StorageError::Crashed);
+        }
         if self.files.get(file.0 as usize).is_none() {
             return Err(StorageError::InvalidPage(PageId::new(file, 0)));
         }
@@ -348,6 +467,13 @@ impl SimDisk {
     /// checksum: a mismatch means a torn write damaged the stored copy,
     /// surfaced as the non-retryable [`StorageError::Corruption`].
     pub fn read_page(&mut self, pid: PageId, buf: &mut [u8; PAGE_SIZE]) -> StorageResult<()> {
+        if self.crashed {
+            return Err(StorageError::Crashed);
+        }
+        if self.count_op() {
+            self.enter_crash();
+            return Err(StorageError::Crashed);
+        }
         let f = self
             .files
             .get(pid.file.0 as usize)
@@ -374,9 +500,17 @@ impl SimDisk {
     }
 
     /// Writes a page from `buf`, charging the model. A torn-write fault
-    /// stores a damaged copy while reporting success — detected by the
-    /// checksum on the next read, like a real torn sector.
+    /// reports success and stores the intended bytes, but registers a
+    /// *pending tear*: if a crash strikes before the next [`sync`], the
+    /// damaged span reverts to its pre-write contents and the checksum
+    /// mismatch surfaces on the post-crash read, like a real torn sector.
+    ///
+    /// [`sync`]: SimDisk::sync
     pub fn write_page(&mut self, pid: PageId, buf: &[u8; PAGE_SIZE]) -> StorageResult<()> {
+        if self.crashed {
+            return Err(StorageError::Crashed);
+        }
+        let crash_here = self.count_op();
         let f = self
             .files
             .get(pid.file.0 as usize)
@@ -384,6 +518,26 @@ impl SimDisk {
             .ok_or(StorageError::InvalidPage(pid))?;
         if pid.page_no as usize >= f.pages.len() {
             return Err(StorageError::InvalidPage(pid));
+        }
+        if crash_here {
+            if self.crash_tear_in_flight {
+                // The dying write reaches the platter half-done: store the
+                // intended bytes, then revert one sector-sized span to the
+                // old image. Offset derives from the op count so the same
+                // crash point tears the same bytes on every replay.
+                let offset = (self.total_ops.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 13) as usize
+                    % (PAGE_SIZE - TEAR_SPAN);
+                let f = &mut self.files[pid.file.0 as usize];
+                let page = &mut f.pages[pid.page_no as usize];
+                let mut old = [0u8; TEAR_SPAN];
+                old.copy_from_slice(&page[offset..offset + TEAR_SPAN]);
+                page.copy_from_slice(buf);
+                f.sums[pid.page_no as usize] = page_checksum(buf);
+                page[offset..offset + TEAR_SPAN].copy_from_slice(&old);
+                self.pending_tears.remove(&pid);
+            }
+            self.enter_crash();
+            return Err(StorageError::Crashed);
         }
         let decision = match self.faults.as_mut() {
             Some(fs) => fs.on_write(pid),
@@ -393,14 +547,28 @@ impl SimDisk {
             // No transfer happened; the stored copy is untouched.
             return Err(StorageError::TransientWrite(pid));
         }
+        // Capture the pre-write span before overwriting, in case this
+        // write is torn: a crash resurrects those bytes.
+        let torn_old = if let WriteDecision::Torn { offset } = decision {
+            let page = &self.files[pid.file.0 as usize].pages[pid.page_no as usize];
+            let mut old = [0u8; TEAR_SPAN];
+            old.copy_from_slice(&page[offset..offset + TEAR_SPAN]);
+            Some((offset, old))
+        } else {
+            None
+        };
         let f = &mut self.files[pid.file.0 as usize];
         let page = &mut f.pages[pid.page_no as usize];
         page.copy_from_slice(buf);
         // The checksum always describes the *intended* bytes.
         f.sums[pid.page_no as usize] = page_checksum(buf);
-        if let WriteDecision::Torn { offset } = decision {
-            for b in page[offset..offset + 64].iter_mut() {
-                *b ^= 0xFF;
+        match torn_old {
+            Some((offset, old)) => {
+                self.pending_tears.insert(pid, (offset, old));
+            }
+            // A clean full-page rewrite supersedes any earlier tear.
+            None => {
+                self.pending_tears.remove(&pid);
             }
         }
         self.account(pid, true);
@@ -504,7 +672,7 @@ mod tests {
     }
 
     #[test]
-    fn torn_write_detected_on_read_back() {
+    fn torn_write_detected_after_crash() {
         let mut d = SimDisk::new(DiskModel::default());
         let f = d.create_file();
         let p = d.allocate_page(f).unwrap();
@@ -513,15 +681,118 @@ mod tests {
             torn_write_ppm: 1_000_000,
             ..Default::default()
         }));
-        d.write_page(p, &page_of(3)).unwrap(); // "succeeds", stores damage
-        let mut buf = zeroed_page();
-        assert_eq!(d.read_page(p, &mut buf), Err(StorageError::Corruption(p)));
+        d.write_page(p, &page_of(3)).unwrap(); // "succeeds", tear pending
         assert_eq!(d.fault_tally().torn_writes, 1);
+        // Until a crash, the stored copy is intact: the tear is latent.
+        let mut buf = zeroed_page();
+        d.read_page(p, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 3));
+        // Crash: the tear materializes (the span reverts to the old,
+        // all-zero image) and the next read reports corruption.
+        d.crash_now();
+        assert_eq!(d.read_page(p, &mut buf), Err(StorageError::Crashed));
+        d.clear_crash();
+        assert_eq!(d.read_page(p, &mut buf), Err(StorageError::Corruption(p)));
         // Rewriting the page with faults off repairs it.
         d.set_faults(None);
         d.write_page(p, &page_of(3)).unwrap();
         d.read_page(p, &mut buf).unwrap();
         assert!(buf.iter().all(|&b| b == 3));
+    }
+
+    #[test]
+    fn sync_heals_pending_tears() {
+        let mut d = SimDisk::new(DiskModel::default());
+        let f = d.create_file();
+        let p = d.allocate_page(f).unwrap();
+        d.set_faults(Some(crate::fault::FaultConfig {
+            seed: 5,
+            torn_write_ppm: 1_000_000,
+            ..Default::default()
+        }));
+        d.write_page(p, &page_of(4)).unwrap();
+        // The sync confirms the write, so a later crash damages nothing.
+        d.sync();
+        d.crash_now();
+        d.clear_crash();
+        let mut buf = zeroed_page();
+        d.read_page(p, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 4));
+    }
+
+    #[test]
+    fn clean_rewrite_supersedes_pending_tear() {
+        let mut d = SimDisk::new(DiskModel::default());
+        let f = d.create_file();
+        let p = d.allocate_page(f).unwrap();
+        d.set_faults(Some(crate::fault::FaultConfig {
+            seed: 5,
+            torn_write_ppm: 1_000_000,
+            ..Default::default()
+        }));
+        d.write_page(p, &page_of(1)).unwrap(); // tear pending
+        d.set_faults(None);
+        d.write_page(p, &page_of(2)).unwrap(); // clean full rewrite
+        d.crash_now();
+        d.clear_crash();
+        let mut buf = zeroed_page();
+        d.read_page(p, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn crash_point_poisons_every_later_op() {
+        let mut d = SimDisk::new(DiskModel::default());
+        let f = d.create_file();
+        let p0 = d.allocate_page(f).unwrap();
+        let p1 = d.allocate_page(f).unwrap();
+        d.write_page(p0, &page_of(1)).unwrap();
+        // Arm: op 0 (the next one) survives, op 1 crashes.
+        d.set_faults(Some(crate::fault::FaultConfig::crash_at(7, 1)));
+        d.write_page(p1, &page_of(2)).unwrap();
+        assert!(!d.is_crashed());
+        assert_eq!(d.write_page(p0, &page_of(9)), Err(StorageError::Crashed));
+        assert!(d.is_crashed());
+        let mut buf = zeroed_page();
+        assert_eq!(d.read_page(p1, &mut buf), Err(StorageError::Crashed));
+        assert_eq!(d.allocate_page(f), Err(StorageError::Crashed));
+        // drop_file is a no-op on a dead process: the pages leak.
+        d.drop_file(f);
+        assert!(!d.is_dropped(f));
+        assert_eq!(d.num_pages(f), 2);
+        // Restart: p1 reads back intact (its write completed cleanly),
+        // while the in-flight write to p0 left a mixed old/new image
+        // whose checksum mismatch is reported as corruption.
+        d.clear_crash();
+        d.set_faults(None);
+        d.read_page(p1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 2));
+        assert_eq!(d.read_page(p0, &mut buf), Err(StorageError::Corruption(p0)));
+    }
+
+    #[test]
+    fn crash_point_is_deterministic() {
+        let run = || {
+            let mut d = SimDisk::new(DiskModel::default());
+            let f = d.create_file();
+            let pids: Vec<_> = (0..4).map(|_| d.allocate_page(f).unwrap()).collect();
+            d.set_faults(Some(crate::fault::FaultConfig::crash_at(3, 5)));
+            let mut outcomes = Vec::new();
+            for round in 0..3u8 {
+                for pid in &pids {
+                    outcomes.push(d.write_page(*pid, &page_of(round)).is_ok());
+                }
+            }
+            d.clear_crash();
+            d.set_faults(None);
+            let mut images = Vec::new();
+            for pid in &pids {
+                let mut buf = zeroed_page();
+                images.push(d.read_page(*pid, &mut buf).map(|()| buf.to_vec()));
+            }
+            (outcomes, images)
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

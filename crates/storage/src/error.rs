@@ -31,6 +31,11 @@ pub enum StorageError {
     DiskFull { file: u32 },
     /// A bounded retry loop gave up on a transient fault.
     RetriesExhausted(PageId),
+    /// The simulated process died: a deterministic crash point poisoned
+    /// the disk handle, and every operation on it fails until the handle
+    /// is surrendered to [`crate::Db::recover`]. Not retryable — a dead
+    /// process cannot retry anything.
+    Crashed,
 }
 
 impl StorageError {
@@ -79,6 +84,9 @@ impl fmt::Display for StorageError {
                     "transient fault on {pid:?} persisted past the retry budget"
                 )
             }
+            StorageError::Crashed => {
+                write!(f, "simulated crash: disk handle is poisoned")
+            }
         }
     }
 }
@@ -102,11 +110,13 @@ mod tests {
         assert!(!StorageError::DiskFull { file: 0 }.is_transient());
         assert!(!StorageError::RetriesExhausted(pid).is_transient());
         assert!(!StorageError::BufferPoolFull.is_transient());
+        assert!(!StorageError::Crashed.is_transient());
     }
 
     #[test]
     fn disk_full_classification() {
         assert!(StorageError::DiskFull { file: 7 }.is_disk_full());
         assert!(!StorageError::BufferPoolFull.is_disk_full());
+        assert!(!StorageError::Crashed.is_disk_full());
     }
 }

@@ -13,6 +13,24 @@ use crate::record::{RecordFile, RecordReader};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// Run-checkpoint callback: `(run_index, run)` once the run is durable.
+pub type OnRun<'a> = &'a mut dyn FnMut(u32, &RecordFile) -> StorageResult<()>;
+
+/// Checkpoint hooks for a resumable external sort.
+///
+/// `resume_runs` are durable runs recovered from the intent journal; the
+/// sort seeds its run list with them and skips the input records they
+/// already capture (sum of their counts — run generation is strictly
+/// sequential, so the resume point is a single prefix length). `on_run`
+/// fires after each *newly generated* run has been flushed to disk,
+/// letting the caller journal a run checkpoint; its error aborts the sort.
+pub struct SortCheckpoint<'a> {
+    /// Runs recovered from a previous incarnation, in run-index order.
+    pub resume_runs: Vec<RecordFile>,
+    /// Called with `(run_index, run)` once the run is durable.
+    pub on_run: OnRun<'a>,
+}
+
 /// Sorts `input` by the total order `cmp`, producing a new file. When
 /// `dedup` is set, records comparing `Equal` are emitted once.
 ///
@@ -25,13 +43,36 @@ pub fn external_sort(
     cmp: impl Fn(&[u8], &[u8]) -> Ordering + Copy,
     dedup: bool,
 ) -> StorageResult<RecordFile> {
+    external_sort_ckpt(pool, input, work_mem, cmp, dedup, None)
+}
+
+/// [`external_sort`] with optional crash checkpoints: previously durable
+/// runs are reused instead of regenerated, and each new run is reported
+/// through the checkpoint callback once flushed.
+pub fn external_sort_ckpt(
+    pool: &BufferPool,
+    input: &RecordFile,
+    work_mem: usize,
+    cmp: impl Fn(&[u8], &[u8]) -> Ordering + Copy,
+    dedup: bool,
+    ckpt: Option<SortCheckpoint<'_>>,
+) -> StorageResult<RecordFile> {
     let _span = pbsm_obs::span("external sort");
     let mut runs: Vec<RecordFile> = Vec::new();
-    match sort_with_runs(pool, input, work_mem, cmp, dedup, &mut runs) {
+    let mut skip = 0u64;
+    let mut on_run: Option<OnRun<'_>> = None;
+    if let Some(c) = ckpt {
+        skip = c.resume_runs.iter().map(RecordFile::count).sum();
+        runs = c.resume_runs;
+        on_run = Some(c.on_run);
+    }
+    match sort_with_runs(pool, input, work_mem, cmp, dedup, &mut runs, skip, on_run) {
         Ok(out) => Ok(out),
         Err(e) => {
             // An error mid-spill (e.g. ENOSPC) must not strand run pages:
-            // the caller's degraded retry needs that space back.
+            // the caller's degraded retry needs that space back. Dropping
+            // a checkpointed run journals its release, which invalidates
+            // the stale run checkpoints for any later recovery.
             for run in runs.drain(..) {
                 run.destroy(pool);
             }
@@ -40,6 +81,7 @@ pub fn external_sort(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn sort_with_runs(
     pool: &BufferPool,
     input: &RecordFile,
@@ -47,13 +89,15 @@ fn sort_with_runs(
     cmp: impl Fn(&[u8], &[u8]) -> Ordering + Copy,
     dedup: bool,
     runs: &mut Vec<RecordFile>,
+    skip: u64,
+    mut on_run: Option<OnRun<'_>>,
 ) -> StorageResult<RecordFile> {
     let rec_size = input.rec_size();
     let per_run = (work_mem / rec_size).max(1);
 
-    // Phase 1: run generation.
+    // Phase 1: run generation, starting past any resumed prefix.
     {
-        let mut reader = input.reader(pool);
+        let mut reader = input.reader_at(pool, skip);
         let mut chunk: Vec<u8> = Vec::with_capacity(per_run * rec_size);
         loop {
             let done = match reader.next_record()? {
@@ -66,6 +110,15 @@ fn sort_with_runs(
             if chunk.len() / rec_size >= per_run || (done && !chunk.is_empty()) {
                 let run = write_sorted_run(pool, &chunk, rec_size, cmp)?;
                 runs.push(run);
+                if let Some(cb) = on_run.as_deref_mut() {
+                    let run = runs
+                        .last()
+                        .ok_or(StorageError::Corrupt("run list emptied during generation"))?;
+                    // Make the run durable before checkpointing it; the
+                    // journal record must never outrun the data.
+                    pool.flush_file(run.file_id())?;
+                    cb((runs.len() - 1) as u32, run)?;
+                }
                 chunk.clear();
             }
             if done {
@@ -78,7 +131,7 @@ fn sort_with_runs(
     // Phase 2: k-way merge (or pass-through).
     match runs.len() {
         0 => {
-            let out = RecordFile::create(pool, rec_size);
+            let out = RecordFile::create(pool, rec_size)?;
             out.writer(pool).finish()?;
             Ok(out)
         }
@@ -109,7 +162,7 @@ fn write_sorted_run(
         let rb = &chunk[b as usize * rec_size..(b as usize + 1) * rec_size];
         cmp(ra, rb)
     });
-    let run = RecordFile::create(pool, rec_size);
+    let run = RecordFile::create(pool, rec_size)?;
     let result = {
         let mut w = run.writer(pool);
         let mut res = Ok(());
@@ -164,7 +217,7 @@ fn merge_runs(
     cmp: impl Fn(&[u8], &[u8]) -> Ordering + Copy,
     dedup: bool,
 ) -> StorageResult<RecordFile> {
-    let out = RecordFile::create(pool, rec_size);
+    let out = RecordFile::create(pool, rec_size)?;
     match merge_into(pool, runs, &out, cmp, dedup) {
         Ok(()) => Ok(out),
         Err(e) => {
@@ -231,7 +284,7 @@ mod tests {
     }
 
     fn fill(pool: &BufferPool, keys: &[u64]) -> RecordFile {
-        let rf = RecordFile::create(pool, 8);
+        let rf = RecordFile::create(pool, 8).unwrap();
         let mut w = rf.writer(pool);
         for k in keys {
             w.push(&k.to_le_bytes()).unwrap();
@@ -299,6 +352,53 @@ mod tests {
         let input = fill(&pool, &[]);
         let sorted = external_sort(&pool, &input, 1024, u64_cmp, true).unwrap();
         assert_eq!(read_keys(&pool, &sorted), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn checkpointed_sort_resumes_from_durable_runs() {
+        // Model a crash during run generation: the first two runs (32
+        // records each, matching work_mem 256 / rec_size 8) survived as
+        // durable files; the rest of the input was never spilled. The
+        // resumed sort must skip their prefix of the input, regenerate
+        // only the remainder, and still produce the full sorted output.
+        let pool = pool(32);
+        let keys: Vec<u64> = (0..500u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        let input = fill(&pool, &keys);
+
+        let per_run = 256 / 8;
+        let mut resume_runs = Vec::new();
+        for chunk in keys.chunks(per_run).take(2) {
+            let mut sorted = chunk.to_vec();
+            sorted.sort_unstable();
+            resume_runs.push(fill(&pool, &sorted));
+        }
+
+        let mut new_runs: Vec<u32> = Vec::new();
+        let mut on_run = |idx: u32, run: &RecordFile| {
+            assert_eq!(run.rec_size(), 8);
+            new_runs.push(idx);
+            Ok(())
+        };
+        let sorted = external_sort_ckpt(
+            &pool,
+            &input,
+            256,
+            u64_cmp,
+            false,
+            Some(SortCheckpoint {
+                resume_runs,
+                on_run: &mut on_run,
+            }),
+        )
+        .unwrap();
+
+        let mut want = keys.clone();
+        want.sort_unstable();
+        assert_eq!(read_keys(&pool, &sorted), want);
+        // 500 records − 64 resumed = 436 left → 14 new runs, indices 2..16.
+        assert_eq!(new_runs, (2..16).collect::<Vec<u32>>());
     }
 
     #[test]

@@ -19,13 +19,27 @@
 //!   absorb and the give-up path.
 //! * **Transient write** — same, for writes.
 //! * **Torn write** — the write *appears to succeed* but the stored copy
-//!   is damaged (a 64-byte span is bit-flipped). The page checksum kept
-//!   by the disk still describes the intended bytes, so the next read of
-//!   that page fails with [`StorageError::Corruption`]. Silent until
-//!   read back, exactly like a real torn sector.
+//!   is only *conditionally* durable: if the process crashes before the
+//!   next [`SimDisk::sync`], a 64-byte span of the page reverts to its
+//!   pre-write contents (the mixed old/new sector image a real torn
+//!   sector leaves behind). The page checksum kept by the disk still
+//!   describes the intended bytes, so the first post-crash read of that
+//!   page fails with [`StorageError::Corruption`]. A sync — the model's
+//!   durability point — confirms the write and heals the pending tear.
 //! * **ENOSPC** — page allocation fails with [`StorageError::DiskFull`],
 //!   either probabilistically or deterministically once the disk exceeds
 //!   `capacity_pages`.
+//!
+//! Beyond per-operation faults, a schedule can carry a deterministic
+//! **crash point** (`crash_after_ops`): after that many disk operations,
+//! the handle is poisoned — pending tears materialize, the in-flight
+//! write is optionally torn too, and every later operation returns
+//! [`StorageError::Crashed`] until the handle is passed to
+//! [`Db::recover`].
+//!
+//! [`SimDisk::sync`]: crate::disk::SimDisk::sync
+//! [`StorageError::Crashed`]: crate::error::StorageError::Crashed
+//! [`Db::recover`]: crate::db::Db::recover
 //!
 //! [`SimDisk`]: crate::disk::SimDisk
 //! [`StorageError::TransientRead`]: crate::error::StorageError::TransientRead
@@ -58,6 +72,15 @@ pub struct FaultConfig {
     /// Hard device capacity in pages; allocations past it fail with
     /// `DiskFull` deterministically. Dropped files return their pages.
     pub capacity_pages: Option<u64>,
+    /// Deterministic crash point: after this many further disk operations
+    /// (reads + writes + allocations, counted from the moment the config
+    /// is armed), the disk handle is poisoned and every subsequent
+    /// operation fails with `StorageError::Crashed`.
+    pub crash_after_ops: Option<u64>,
+    /// When the crash point lands on a write, also tear that in-flight
+    /// write: a 64-byte span of the page reverts to its pre-write bytes,
+    /// as if the sector sequence was interrupted halfway.
+    pub crash_tear_in_flight: bool,
 }
 
 impl FaultConfig {
@@ -75,6 +98,8 @@ impl FaultConfig {
             enospc_ppm: ppm / 4,
             max_transient_burst: 6,
             capacity_pages: None,
+            crash_after_ops: None,
+            crash_tear_in_flight: false,
         }
     }
 
@@ -90,6 +115,20 @@ impl FaultConfig {
             enospc_ppm: 0,
             max_transient_burst: 2,
             capacity_pages: None,
+            crash_after_ops: None,
+            crash_tear_in_flight: false,
+        }
+    }
+
+    /// A fault-free schedule that only crashes: the disk poisons itself
+    /// after `ops` further operations, tearing the in-flight write. The
+    /// profile the kill–restart–verify sweep arms between load and join.
+    pub fn crash_at(seed: u64, ops: u64) -> Self {
+        FaultConfig {
+            seed,
+            crash_after_ops: Some(ops),
+            crash_tear_in_flight: true,
+            ..FaultConfig::default()
         }
     }
 }
@@ -124,7 +163,8 @@ impl FaultTally {
 pub(crate) enum WriteDecision {
     Ok,
     Transient,
-    /// Store the page damaged: xor `0xFF` over 64 bytes at this offset.
+    /// The write is torn: if a crash strikes before the next sync, the
+    /// 64-byte span at this offset reverts to its pre-write contents.
     Torn {
         offset: usize,
     },

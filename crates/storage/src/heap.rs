@@ -37,15 +37,17 @@ pub struct HeapFile {
 }
 
 impl HeapFile {
-    /// Creates a new, empty heap file on the pool's disk.
-    pub fn create(pool: &BufferPool) -> Self {
-        // pbsm-lint: allow(resource-pairing, reason = "heap files are persistent relations owned by the catalog, not temps; dropped via Catalog::drop_relation")
-        let file = pool.disk_mut().create_file();
-        HeapFile {
+    /// Creates a new, empty heap file on the pool's disk. Under a
+    /// journaled pool the creation intent is durable on return; the
+    /// loader commits the file once its data is loaded.
+    pub fn create(pool: &BufferPool) -> StorageResult<Self> {
+        // pbsm-lint: allow(resource-pairing, reason = "heap files are persistent relations owned by the catalog; the loader commits them and Catalog::drop_relation releases them")
+        let file = pool.begin_intent()?;
+        Ok(HeapFile {
             file,
             last_data_page: Cell::new(None),
             count: Cell::new(0),
-        }
+        })
     }
 
     /// Re-opens a heap file by id (e.g. from catalog metadata). Appends
@@ -269,7 +271,7 @@ mod tests {
     #[test]
     fn insert_fetch_small() {
         let pool = pool(16);
-        let heap = HeapFile::create(&pool);
+        let heap = HeapFile::create(&pool).unwrap();
         let a = heap.insert(&pool, b"alpha").unwrap();
         let b = heap.insert(&pool, b"bravo").unwrap();
         let mut buf = Vec::new();
@@ -283,7 +285,7 @@ mod tests {
     #[test]
     fn long_record_roundtrip() {
         let pool = pool(16);
-        let heap = HeapFile::create(&pool);
+        let heap = HeapFile::create(&pool).unwrap();
         // 3 overflow pages worth of data with a recognizable pattern.
         let data: Vec<u8> = (0..(OVF_CAPACITY * 2 + 1234))
             .map(|i| (i % 251) as u8)
@@ -297,7 +299,7 @@ mod tests {
     #[test]
     fn record_just_over_inline_threshold() {
         let pool = pool(16);
-        let heap = HeapFile::create(&pool);
+        let heap = HeapFile::create(&pool).unwrap();
         for size in [
             MAX_INLINE - 1,
             MAX_INLINE,
@@ -316,7 +318,7 @@ mod tests {
     #[test]
     fn scan_returns_all_in_order() {
         let pool = pool(16);
-        let heap = HeapFile::create(&pool);
+        let heap = HeapFile::create(&pool).unwrap();
         let mut oids = Vec::new();
         for i in 0..500u32 {
             // Mix of small and page-spanning records.
@@ -344,8 +346,8 @@ mod tests {
     #[test]
     fn fetch_wrong_file_rejected() {
         let pool = pool(16);
-        let h1 = HeapFile::create(&pool);
-        let h2 = HeapFile::create(&pool);
+        let h1 = HeapFile::create(&pool).unwrap();
+        let h2 = HeapFile::create(&pool).unwrap();
         let oid = h1.insert(&pool, b"x").unwrap();
         let mut buf = Vec::new();
         assert!(h2.fetch(&pool, oid, &mut buf).is_err());
@@ -355,7 +357,7 @@ mod tests {
     fn survives_eviction_pressure() {
         // Pool much smaller than the data: every record round-trips disk.
         let pool = pool(8);
-        let heap = HeapFile::create(&pool);
+        let heap = HeapFile::create(&pool).unwrap();
         let mut oids = Vec::new();
         for i in 0..2000u32 {
             let data = i.to_le_bytes().repeat(20);

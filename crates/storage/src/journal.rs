@@ -1,0 +1,503 @@
+//! Append-only intent journal: the crash-consistency backbone.
+//!
+//! The paper's Paradise testbed inherited crash recovery from SHORE's log
+//! manager; this module is our scaled-down equivalent. Every temp-file
+//! lifecycle event and join checkpoint is recorded as a fixed-size,
+//! checksummed record in file 0 of the [`SimDisk`] — written *through*
+//! the disk, so journal I/O participates in fault injection and crash
+//! points like any other write. After a crash, [`crate::Db::recover`]
+//! scans the journal to decide which files survive (committed relations,
+//! checkpointed join intermediates) and reclaims everything else.
+//!
+//! Record layout (40 bytes, little-endian):
+//!
+//! ```text
+//! [kind u8][pad u8;3][file u32][a u64][b u64][c u64][sum u64]
+//! ```
+//!
+//! `sum` is byte-wise FNV-1a over the first 32 bytes. A record whose sum
+//! does not verify — or whose kind is 0, the unwritten-slot marker —
+//! terminates the scan: everything before it is trusted, everything after
+//! is discarded as a torn tail. Appends rewrite the tail page in place;
+//! that is safe against in-flight tears because a torn span reverts to the
+//! *previous* page image, in which every slot before the new record held
+//! identical bytes — only the record being appended can be lost.
+//!
+//! [`SimDisk`]: crate::disk::SimDisk
+
+use crate::disk::SimDisk;
+use crate::error::{StorageError, StorageResult};
+use crate::fault::RetryPolicy;
+use crate::page::{zeroed_page, FileId, PageBuf, PageId, PAGE_SIZE};
+use pbsm_obs as obs;
+
+/// Bytes per journal record.
+pub const REC_SIZE: usize = 40;
+/// Records per journal page.
+pub const RECS_PER_PAGE: usize = PAGE_SIZE / REC_SIZE;
+
+/// One journal entry. `join_id` is the join fingerprint, so a resumed
+/// incarnation recognizes its own checkpoints and a changed plan
+/// invalidates them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// A temp file was created; until committed it is garbage after a
+    /// crash. Informational: recovery reclaims unknown files regardless.
+    TempCreated { file: FileId },
+    /// A temp file was dropped. Invalidates any checkpoint naming it.
+    TempDropped { file: FileId },
+    /// A file was made durable (base relations): recovery keeps it.
+    Committed { file: FileId },
+    /// A journaled join attempt started with this plan shape.
+    JoinBegin {
+        join_id: u64,
+        fingerprint: u64,
+        partitions: u32,
+    },
+    /// Partition pair `pair_index` finished sweeping; its candidate pairs
+    /// are durable in `file` (`count` records).
+    PairDone {
+        join_id: u64,
+        pair_index: u32,
+        file: FileId,
+        count: u64,
+    },
+    /// Refinement sort run `run_index` is durable in `file`.
+    RunDone {
+        join_id: u64,
+        run_index: u32,
+        file: FileId,
+        count: u64,
+    },
+    /// The join finished; its checkpoints are obsolete.
+    JoinEnd { join_id: u64 },
+}
+
+const KIND_TEMP_CREATED: u8 = 1;
+const KIND_TEMP_DROPPED: u8 = 2;
+const KIND_COMMITTED: u8 = 3;
+const KIND_JOIN_BEGIN: u8 = 4;
+const KIND_PAIR_DONE: u8 = 5;
+const KIND_RUN_DONE: u8 = 6;
+const KIND_JOIN_END: u8 = 7;
+
+/// Byte-wise FNV-1a over a record's first 32 bytes.
+fn record_sum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in &bytes[..REC_SIZE - 8] {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn encode(rec: &JournalRecord, out: &mut [u8]) {
+    debug_assert_eq!(out.len(), REC_SIZE);
+    out.fill(0);
+    let (kind, file, a, b, c) = match *rec {
+        JournalRecord::TempCreated { file } => (KIND_TEMP_CREATED, file.0, 0, 0, 0),
+        JournalRecord::TempDropped { file } => (KIND_TEMP_DROPPED, file.0, 0, 0, 0),
+        JournalRecord::Committed { file } => (KIND_COMMITTED, file.0, 0, 0, 0),
+        JournalRecord::JoinBegin {
+            join_id,
+            fingerprint,
+            partitions,
+        } => (KIND_JOIN_BEGIN, partitions, join_id, fingerprint, 0),
+        JournalRecord::PairDone {
+            join_id,
+            pair_index,
+            file,
+            count,
+        } => (KIND_PAIR_DONE, file.0, join_id, count, pair_index as u64),
+        JournalRecord::RunDone {
+            join_id,
+            run_index,
+            file,
+            count,
+        } => (KIND_RUN_DONE, file.0, join_id, count, run_index as u64),
+        JournalRecord::JoinEnd { join_id } => (KIND_JOIN_END, 0, join_id, 0, 0),
+    };
+    out[0] = kind;
+    out[4..8].copy_from_slice(&file.to_le_bytes());
+    out[8..16].copy_from_slice(&a.to_le_bytes());
+    out[16..24].copy_from_slice(&b.to_le_bytes());
+    out[24..32].copy_from_slice(&c.to_le_bytes());
+    let sum = record_sum(out);
+    out[32..40].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// Decodes one slot. `None` for an unwritten slot (kind 0), a bad
+/// checksum, or an unknown kind — all of which terminate a scan.
+fn decode(bytes: &[u8]) -> Option<JournalRecord> {
+    debug_assert_eq!(bytes.len(), REC_SIZE);
+    if bytes[0] == 0 {
+        return None;
+    }
+    let stored = u64::from_le_bytes([
+        bytes[32], bytes[33], bytes[34], bytes[35], bytes[36], bytes[37], bytes[38], bytes[39],
+    ]);
+    if stored != record_sum(bytes) {
+        return None;
+    }
+    let file = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    let word = |at: usize| {
+        u64::from_le_bytes([
+            bytes[at],
+            bytes[at + 1],
+            bytes[at + 2],
+            bytes[at + 3],
+            bytes[at + 4],
+            bytes[at + 5],
+            bytes[at + 6],
+            bytes[at + 7],
+        ])
+    };
+    let (a, b, c) = (word(8), word(16), word(24));
+    match bytes[0] {
+        KIND_TEMP_CREATED => Some(JournalRecord::TempCreated { file: FileId(file) }),
+        KIND_TEMP_DROPPED => Some(JournalRecord::TempDropped { file: FileId(file) }),
+        KIND_COMMITTED => Some(JournalRecord::Committed { file: FileId(file) }),
+        KIND_JOIN_BEGIN => Some(JournalRecord::JoinBegin {
+            join_id: a,
+            fingerprint: b,
+            partitions: file,
+        }),
+        KIND_PAIR_DONE => Some(JournalRecord::PairDone {
+            join_id: a,
+            pair_index: c as u32,
+            file: FileId(file),
+            count: b,
+        }),
+        KIND_RUN_DONE => Some(JournalRecord::RunDone {
+            join_id: a,
+            run_index: c as u32,
+            file: FileId(file),
+            count: b,
+        }),
+        KIND_JOIN_END => Some(JournalRecord::JoinEnd { join_id: a }),
+        _ => None,
+    }
+}
+
+/// Writer half of the journal: owns the tail-page image and the append
+/// cursor. Reads never go through here — recovery uses [`Journal::scan`].
+pub struct Journal {
+    file: FileId,
+    /// In-memory image of the tail page; appends fill the next slot and
+    /// rewrite the whole page.
+    page: Box<PageBuf>,
+    page_no: u32,
+    slot: usize,
+}
+
+impl Journal {
+    /// Claims a file on a fresh disk for the journal. Must be called
+    /// before any other file is created so the journal lands at file 0,
+    /// where recovery expects it.
+    pub fn create(disk: &mut SimDisk) -> Journal {
+        // pbsm-lint: allow(resource-pairing, reason = "the journal file lives as long as the database; it is never released")
+        let file = disk.create_file();
+        debug_assert_eq!(file, FileId(0), "journal must be the first file");
+        Journal {
+            file,
+            page: Box::new(zeroed_page()),
+            page_no: 0,
+            slot: 0,
+        }
+    }
+
+    /// The journal's file id (always 0).
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    /// Appends one record and syncs: when this returns `Ok`, the record
+    /// is durable. Transient write faults are absorbed by a bounded
+    /// retry; every other error propagates.
+    pub fn append(
+        &mut self,
+        disk: &mut SimDisk,
+        rec: JournalRecord,
+        retry: RetryPolicy,
+    ) -> StorageResult<()> {
+        if self.page_no >= disk.num_pages(self.file) {
+            disk.allocate_page(self.file)?;
+            obs::cached_counter!("storage.journal.pages").incr();
+        }
+        let at = self.slot * REC_SIZE;
+        encode(&rec, &mut self.page[at..at + REC_SIZE]);
+        let pid = PageId::new(self.file, self.page_no);
+        let mut attempt = 1;
+        loop {
+            match disk.write_page(pid, &self.page) {
+                Ok(()) => break,
+                Err(e) if e.is_transient() && attempt < retry.max_attempts.max(1) => {
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // The journal's durability point: the record — and, device-wide,
+        // every write issued before it — is confirmed.
+        disk.sync();
+        obs::cached_counter!("storage.journal.appends").incr();
+        self.slot += 1;
+        if self.slot == RECS_PER_PAGE {
+            self.slot = 0;
+            self.page_no += 1;
+            self.page.fill(0);
+        }
+        Ok(())
+    }
+
+    /// Reads every valid record from the start of `file`, stopping at the
+    /// first unwritten or damaged slot (the torn tail). Checksum failures
+    /// on journal pages are expected after a crash — the page bytes are
+    /// still delivered, and the per-record sums decide what to trust.
+    pub fn scan(disk: &mut SimDisk, file: FileId) -> StorageResult<Vec<JournalRecord>> {
+        let mut out = Vec::new();
+        let mut buf = zeroed_page();
+        for page_no in 0..disk.num_pages(file) {
+            let pid = PageId::new(file, page_no);
+            match disk.read_page(pid, &mut buf) {
+                // A torn journal page still fills `buf`; per-record sums
+                // below decide how much of it is trustworthy.
+                Ok(()) | Err(StorageError::Corruption(_)) => {}
+                Err(e) => return Err(e),
+            }
+            for slot in 0..RECS_PER_PAGE {
+                let at = slot * REC_SIZE;
+                match decode(&buf[at..at + REC_SIZE]) {
+                    Some(rec) => out.push(rec),
+                    None => return Ok(out),
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reopens the journal for appending after a restart: scans the
+    /// existing records, then rebuilds a clean tail-page image holding
+    /// exactly the valid records of the tail page — so the next append
+    /// rewrites the page without resurrecting torn garbage.
+    pub fn open_at_tail(disk: &mut SimDisk) -> StorageResult<(Journal, Vec<JournalRecord>)> {
+        let file = FileId(0);
+        let records = Self::scan(disk, file)?;
+        let page_no = (records.len() / RECS_PER_PAGE) as u32;
+        let slot = records.len() % RECS_PER_PAGE;
+        let mut page = Box::new(zeroed_page());
+        for (i, rec) in records[page_no as usize * RECS_PER_PAGE..]
+            .iter()
+            .enumerate()
+        {
+            let at = i * REC_SIZE;
+            encode(rec, &mut page[at..at + REC_SIZE]);
+        }
+        Ok((
+            Journal {
+                file,
+                page,
+                page_no,
+                slot,
+            },
+            records,
+        ))
+    }
+}
+
+/// What [`crate::Db::recover`] found and did. `join`, when present, is
+/// the checkpoint state of the join that was in flight at the crash;
+/// `pbsm_join_resume` in `pbsm-core` uses it to skip finished work.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveredState {
+    /// Files reclaimed because no committed intent or live checkpoint
+    /// protected them (only files that still held pages are counted).
+    pub orphan_files: u64,
+    /// Pages those files held.
+    pub orphan_pages: u64,
+    /// Checkpoints of the interrupted join, if one was in flight.
+    pub join: Option<JoinResume>,
+}
+
+/// Checkpoint state of an interrupted join, rebuilt from the journal.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JoinResume {
+    /// The interrupted attempt's id (equal to its fingerprint).
+    pub join_id: u64,
+    /// Plan fingerprint; a resumed attempt with a different fingerprint
+    /// must discard these checkpoints.
+    pub fingerprint: u64,
+    /// Partition count of the interrupted attempt.
+    pub partitions: u32,
+    /// Completed partition pairs, in pair-index order.
+    pub pairs: Vec<PairCkpt>,
+    /// Completed refinement sort runs: always a contiguous prefix of run
+    /// indices starting at 0, because a resumed sort skips a single input
+    /// prefix sized by the sum of these counts. Recovery discards
+    /// checkpoints past the first gap.
+    pub runs: Vec<RunCkpt>,
+}
+
+/// A durable candidate-pair file for one completed partition pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairCkpt {
+    pub index: u32,
+    pub file: FileId,
+    pub count: u64,
+}
+
+/// A durable sorted run from the refinement sort.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunCkpt {
+    pub index: u32,
+    pub file: FileId,
+    pub count: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::{DiskModel, SimDisk};
+    use crate::fault::FaultConfig;
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::TempCreated { file: FileId(1) },
+            JournalRecord::Committed { file: FileId(1) },
+            JournalRecord::JoinBegin {
+                join_id: 0xDEAD_BEEF,
+                fingerprint: 0xDEAD_BEEF,
+                partitions: 4,
+            },
+            JournalRecord::PairDone {
+                join_id: 0xDEAD_BEEF,
+                pair_index: 0,
+                file: FileId(2),
+                count: 17,
+            },
+            JournalRecord::RunDone {
+                join_id: 0xDEAD_BEEF,
+                run_index: 1,
+                file: FileId(3),
+                count: 99,
+            },
+            JournalRecord::TempDropped { file: FileId(2) },
+            JournalRecord::JoinEnd {
+                join_id: 0xDEAD_BEEF,
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut buf = [0u8; REC_SIZE];
+        for rec in sample_records() {
+            encode(&rec, &mut buf);
+            assert_eq!(decode(&buf), Some(rec));
+        }
+    }
+
+    #[test]
+    fn damaged_record_decodes_to_none() {
+        let mut buf = [0u8; REC_SIZE];
+        encode(&JournalRecord::Committed { file: FileId(5) }, &mut buf);
+        buf[6] ^= 1;
+        assert_eq!(decode(&buf), None);
+        assert_eq!(decode(&[0u8; REC_SIZE]), None);
+    }
+
+    #[test]
+    fn append_scan_roundtrip_across_pages() {
+        let mut disk = SimDisk::new(DiskModel::default());
+        let mut j = Journal::create(&mut disk);
+        let mut expect = Vec::new();
+        // Enough records to cross a page boundary.
+        for i in 0..(RECS_PER_PAGE as u32 + 10) {
+            let rec = JournalRecord::TempCreated { file: FileId(i) };
+            j.append(&mut disk, rec, RetryPolicy::default()).unwrap();
+            expect.push(rec);
+        }
+        assert_eq!(disk.num_pages(FileId(0)), 2);
+        assert_eq!(Journal::scan(&mut disk, FileId(0)).unwrap(), expect);
+    }
+
+    #[test]
+    fn open_at_tail_continues_after_restart() {
+        let mut disk = SimDisk::new(DiskModel::default());
+        let mut j = Journal::create(&mut disk);
+        for rec in sample_records() {
+            j.append(&mut disk, rec, RetryPolicy::default()).unwrap();
+        }
+        drop(j);
+        let (mut j2, seen) = Journal::open_at_tail(&mut disk).unwrap();
+        assert_eq!(seen, sample_records());
+        j2.append(
+            &mut disk,
+            JournalRecord::Committed { file: FileId(9) },
+            RetryPolicy::default(),
+        )
+        .unwrap();
+        let mut expect = sample_records();
+        expect.push(JournalRecord::Committed { file: FileId(9) });
+        assert_eq!(Journal::scan(&mut disk, FileId(0)).unwrap(), expect);
+    }
+
+    #[test]
+    fn in_flight_tear_loses_only_the_new_record() {
+        let mut disk = SimDisk::new(DiskModel::default());
+        let mut j = Journal::create(&mut disk);
+        for rec in sample_records() {
+            j.append(&mut disk, rec, RetryPolicy::default()).unwrap();
+        }
+        // Crash on the very next disk op — the append's page rewrite —
+        // tearing it in flight.
+        disk.set_faults(Some(FaultConfig::crash_at(11, 0)));
+        let err = j.append(
+            &mut disk,
+            JournalRecord::Committed { file: FileId(42) },
+            RetryPolicy::default(),
+        );
+        assert_eq!(err, Err(StorageError::Crashed));
+        disk.clear_crash();
+        disk.set_faults(None);
+        // Every previously synced record survives; at most the in-flight
+        // one is lost.
+        let seen = Journal::scan(&mut disk, FileId(0)).unwrap();
+        assert!(seen.len() >= sample_records().len());
+        assert_eq!(seen[..sample_records().len()], sample_records());
+    }
+
+    #[test]
+    fn journal_appends_survive_transient_write_faults() {
+        // 10% per-op fault rate with a 10-attempt budget: bursts (max 2
+        // under transient_only) are absorbed, and independent faults
+        // essentially never chain 9 deep. Enough appends that faults fire.
+        let mut disk = SimDisk::new(DiskModel::default());
+        let mut j = Journal::create(&mut disk);
+        disk.set_faults(Some(FaultConfig::transient_only(21, 100_000)));
+        let mut expect = Vec::new();
+        for round in 0..12u32 {
+            for rec in sample_records() {
+                j.append(&mut disk, rec, RetryPolicy { max_attempts: 10 })
+                    .unwrap();
+                expect.push(rec);
+            }
+            j.append(
+                &mut disk,
+                JournalRecord::Committed {
+                    file: FileId(round),
+                },
+                RetryPolicy { max_attempts: 10 },
+            )
+            .unwrap();
+            expect.push(JournalRecord::Committed {
+                file: FileId(round),
+            });
+        }
+        assert!(
+            disk.fault_tally().transient_writes > 0,
+            "schedule never fired; the test exercised nothing"
+        );
+        disk.set_faults(None);
+        assert_eq!(Journal::scan(&mut disk, FileId(0)).unwrap(), expect);
+    }
+}

@@ -27,9 +27,12 @@
 //! * [`extsort`] — an external merge sort bounded by work memory, used to
 //!   sort candidate OID pairs in the refinement step.
 //! * [`fault`] — seeded deterministic fault injection (transient I/O
-//!   errors, torn pages, ENOSPC) plus the bounded [`fault::RetryPolicy`]
-//!   the buffer pool applies; pages carry a sidecar checksum verified on
-//!   every read.
+//!   errors, torn pages, ENOSPC, crash points) plus the bounded
+//!   [`fault::RetryPolicy`] the buffer pool applies; pages carry a sidecar
+//!   checksum verified on every read.
+//! * [`journal`] — an append-only intent journal of file-lifecycle and
+//!   join-checkpoint records; [`Db::recover`] replays it after a simulated
+//!   crash to reclaim orphan temp files and resume PBSM joins.
 //!
 //! Everything is deterministic and single-threaded; [`Db`] ties the pieces
 //! together.
@@ -42,6 +45,7 @@ pub mod error;
 pub mod extsort;
 pub mod fault;
 pub mod heap;
+pub mod journal;
 pub mod oid;
 pub mod page;
 pub mod record;
@@ -53,5 +57,6 @@ mod db;
 pub use db::{Db, DbConfig};
 pub use error::{StorageError, StorageResult};
 pub use fault::{FaultConfig, FaultTally, RetryPolicy};
+pub use journal::{JoinResume, Journal, JournalRecord, PairCkpt, RecoveredState, RunCkpt};
 pub use oid::Oid;
 pub use page::{FileId, PageId, PAGE_SIZE};

@@ -26,17 +26,35 @@ pub struct RecordFile {
 
 impl RecordFile {
     /// Creates an empty record file for records of `rec_size` bytes.
-    pub fn create(pool: &BufferPool, rec_size: usize) -> Self {
+    /// Under a journaled pool the creation intent is durable on return,
+    /// so a crash before `destroy` leaves a reclaimable orphan rather
+    /// than an invisible leak.
+    pub fn create(pool: &BufferPool, rec_size: usize) -> StorageResult<Self> {
         assert!(
             rec_size > 0 && rec_size <= PAGE_SIZE - HEADER,
             "record size {rec_size}"
         );
         // pbsm-lint: allow(resource-pairing, reason = "constructor hands the file to the RecordFile handle; callers release it via destroy()")
-        let file = pool.disk_mut().create_file();
-        RecordFile {
+        let file = pool.begin_intent()?;
+        Ok(RecordFile {
             file,
             rec_size,
             count: Cell::new(0),
+        })
+    }
+
+    /// Re-opens an existing record file (e.g. a checkpointed partition or
+    /// sort run recovered from the intent journal). The caller supplies
+    /// the record count the journal recorded for it.
+    pub fn open(file: FileId, rec_size: usize, count: u64) -> Self {
+        assert!(
+            rec_size > 0 && rec_size <= PAGE_SIZE - HEADER,
+            "record size {rec_size}"
+        );
+        RecordFile {
+            file,
+            rec_size,
+            count: Cell::new(count),
         }
     }
 
@@ -80,14 +98,24 @@ impl RecordFile {
 
     /// Starts a buffered sequential reader from the first record.
     pub fn reader<'a>(&'a self, pool: &'a BufferPool) -> RecordReader<'a> {
+        self.reader_at(pool, 0)
+    }
+
+    /// Starts a buffered sequential reader positioned at record `index`
+    /// (0-based). Used by resumed external sorts to skip input already
+    /// captured in durable runs. Seeks by whole pages, then skips within
+    /// the first loaded page, so positioning costs at most one page read.
+    pub fn reader_at<'a>(&'a self, pool: &'a BufferPool, index: u64) -> RecordReader<'a> {
+        let per_page = self.per_page() as u64;
         RecordReader {
             rf: self,
             pool,
             page: Box::new([0u8; PAGE_SIZE]),
-            page_no: 0,
+            page_no: (index / per_page) as u32,
             in_page: 0,
             page_count: 0,
             loaded: false,
+            pending_skip: (index % per_page) as usize,
         }
     }
 
@@ -170,6 +198,8 @@ pub struct RecordReader<'a> {
     in_page: usize,
     page_count: usize,
     loaded: bool,
+    /// Records to skip within the first loaded page (set by `reader_at`).
+    pending_skip: usize,
 }
 
 impl RecordReader<'_> {
@@ -193,7 +223,7 @@ impl RecordReader<'_> {
             if self.page_count > self.rf.per_page() {
                 return Err(StorageError::Corrupt("record page count out of range"));
             }
-            self.in_page = 0;
+            self.in_page = std::mem::take(&mut self.pending_skip);
             self.page_no += 1;
             self.loaded = true;
         }
@@ -215,7 +245,7 @@ mod tests {
     #[test]
     fn roundtrip_many_records() {
         let pool = pool(16);
-        let rf = RecordFile::create(&pool, 24);
+        let rf = RecordFile::create(&pool, 24).unwrap();
         let mut w = rf.writer(&pool);
         for i in 0..5000u64 {
             let mut rec = [0u8; 24];
@@ -239,7 +269,7 @@ mod tests {
     #[test]
     fn empty_file_reads_nothing() {
         let pool = pool(8);
-        let rf = RecordFile::create(&pool, 16);
+        let rf = RecordFile::create(&pool, 16).unwrap();
         rf.writer(&pool).finish().unwrap();
         assert!(rf.reader(&pool).next_record().unwrap().is_none());
         assert_eq!(rf.num_pages(&pool), 0);
@@ -248,7 +278,7 @@ mod tests {
     #[test]
     fn read_all_matches_stream() {
         let pool = pool(8);
-        let rf = RecordFile::create(&pool, 8);
+        let rf = RecordFile::create(&pool, 8).unwrap();
         let mut w = rf.writer(&pool);
         for i in 0..1000u64 {
             w.push(&i.to_le_bytes()).unwrap();
@@ -265,7 +295,7 @@ mod tests {
     #[test]
     fn writes_are_sequential() {
         let pool = pool(8);
-        let rf = RecordFile::create(&pool, 32);
+        let rf = RecordFile::create(&pool, 32).unwrap();
         let mut w = rf.writer(&pool);
         for i in 0..10_000u64 {
             let mut rec = [0u8; 32];
@@ -285,9 +315,50 @@ mod tests {
     }
 
     #[test]
+    fn reader_at_skips_prefix() {
+        let pool = pool(8);
+        let rf = RecordFile::create(&pool, 24).unwrap();
+        let mut w = rf.writer(&pool);
+        for i in 0..2000u64 {
+            let mut rec = [0u8; 24];
+            rec[..8].copy_from_slice(&i.to_le_bytes());
+            w.push(&rec).unwrap();
+        }
+        w.finish().unwrap();
+        // Mid-page, page-boundary, and past-the-end starting points.
+        let per_page = rf.per_page() as u64;
+        for start in [0, 1, per_page - 1, per_page, per_page + 7, 1999, 2000, 2500] {
+            let mut r = rf.reader_at(&pool, start);
+            let mut i = start;
+            while let Some(rec) = r.next_record().unwrap() {
+                assert_eq!(u64::from_le_bytes(rec[..8].try_into().unwrap()), i);
+                i += 1;
+            }
+            assert_eq!(i, 2000.max(start), "start {start}");
+        }
+    }
+
+    #[test]
+    fn open_resumes_existing_file() {
+        let pool = pool(8);
+        let rf = RecordFile::create(&pool, 8).unwrap();
+        let mut w = rf.writer(&pool);
+        for i in 0..100u64 {
+            w.push(&i.to_le_bytes()).unwrap();
+        }
+        w.finish().unwrap();
+        let reopened = RecordFile::open(rf.file_id(), 8, rf.count());
+        assert_eq!(reopened.count(), 100);
+        assert_eq!(
+            reopened.read_all(&pool).unwrap(),
+            rf.read_all(&pool).unwrap()
+        );
+    }
+
+    #[test]
     fn destroy_frees_pages() {
         let pool = pool(8);
-        let rf = RecordFile::create(&pool, 16);
+        let rf = RecordFile::create(&pool, 16).unwrap();
         let mut w = rf.writer(&pool);
         for _ in 0..1000 {
             w.push(&[0u8; 16]).unwrap();

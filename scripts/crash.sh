@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Crash smoke: the kill–restart–verify sweep. Each (algorithm, seed,
+# crash point) cycle crashes a journaled join at a deterministic disk
+# operation, restarts, recovers from the intent journal, resumes (PBSM)
+# or re-runs (INL, R-tree), and must reproduce the fault-free oracle
+# result with zero leaked files or pages. Exits non-zero on any
+# mismatch, panic, leak — or if no cycle ever resumed from a checkpoint.
+#
+# Usage: scripts/crash.sh [--scale S] [--seeds "a,b,c"] [--points N]
+# Defaults: smoke scale 0.05, the three fixed CI seeds, 6 crash points.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE=0.05
+SEEDS="13,1996,271828"
+POINTS=6
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --scale) SCALE="$2"; shift 2 ;;
+    --seeds) SEEDS="$2"; shift 2 ;;
+    --points) POINTS="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> crash sweep (scale=$SCALE seeds=$SEEDS points=$POINTS)"
+PBSM_SCALE="$SCALE" PBSM_CHAOS_SEEDS="$SEEDS" PBSM_CRASH_POINTS="$POINTS" \
+  cargo run --release -p pbsm-bench --bin crash
+
+test -s bench_results/crash.json
+test -s bench_results/crash.txt
+echo "crash: OK"

@@ -28,4 +28,7 @@ test -s bench_results/bulkload_vs_insert.txt
 echo "==> chaos smoke (seeded fault sweep vs fault-free oracle)"
 scripts/chaos.sh
 
+echo "==> crash smoke (kill-restart-verify sweep, journal recovery + resume)"
+scripts/crash.sh
+
 echo "verify: OK"

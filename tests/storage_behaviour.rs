@@ -25,7 +25,7 @@ fn smaller_pool_means_more_io() {
     // must increase physical I/O for an identical workload.
     let run = |mb: usize| -> u64 {
         let db = Db::new(DbConfig::with_pool_mb(mb));
-        let heap = HeapFile::create(db.pool());
+        let heap = HeapFile::create(db.pool()).unwrap();
         let ts = tuples(80_000);
         let mut buf = Vec::new();
         let mut oids = Vec::new();
@@ -54,7 +54,7 @@ fn oid_order_is_physical_order() {
     // §3.2 sorts candidates by OID to make fetches sequential; that only
     // works if OID order == insertion (physical) order.
     let db = Db::new(DbConfig::with_pool_mb(2));
-    let heap = HeapFile::create(db.pool());
+    let heap = HeapFile::create(db.pool()).unwrap();
     let mut buf = Vec::new();
     let mut oids = Vec::new();
     for t in tuples(5_000) {
@@ -96,8 +96,8 @@ fn sorted_flush_cuts_seeks_under_identical_workload() {
             sorted_flush: sorted,
             ..DbConfig::with_pool_mb(2)
         });
-        let h1 = HeapFile::create(db.pool());
-        let h2 = HeapFile::create(db.pool());
+        let h1 = HeapFile::create(db.pool()).unwrap();
+        let h2 = HeapFile::create(db.pool()).unwrap();
         let mut buf = Vec::new();
         // Interleave inserts into two files: dirty pages alternate, so the
         // naive single-victim flush seeks between files constantly.
@@ -120,7 +120,7 @@ fn sorted_flush_cuts_seeks_under_identical_workload() {
 #[test]
 fn scan_sees_all_records_under_eviction() {
     let db = Db::new(DbConfig::with_pool_mb(2));
-    let heap = HeapFile::create(db.pool());
+    let heap = HeapFile::create(db.pool()).unwrap();
     let ts = tuples(10_000);
     let mut buf = Vec::new();
     for t in &ts {
@@ -137,7 +137,7 @@ fn scan_sees_all_records_under_eviction() {
 #[test]
 fn db_stats_are_monotonic() {
     let db = Db::new(DbConfig::with_pool_mb(2));
-    let heap = HeapFile::create(db.pool());
+    let heap = HeapFile::create(db.pool()).unwrap();
     let mut prev = db.disk_stats();
     let mut buf = Vec::new();
     for t in tuples(2_000) {
@@ -168,7 +168,7 @@ fn enospc_surfaces_typed_error_without_leaking_frames() {
         }),
         ..DbConfig::with_pool_mb(2)
     });
-    let heap = HeapFile::create(db.pool());
+    let heap = HeapFile::create(db.pool()).unwrap();
     let mut buf = Vec::new();
     let mut err = None;
     for t in tuples(20_000) {
@@ -194,7 +194,7 @@ fn enospc_surfaces_typed_error_without_leaking_frames() {
     assert!(used > 0);
     db.pool().drop_file(heap.file_id());
     assert_eq!(db.pool().disk().live_pages(), 0);
-    let heap2 = HeapFile::create(db.pool());
+    let heap2 = HeapFile::create(db.pool()).unwrap();
     tuples(1)[0].encode_into(&mut buf);
     heap2.insert(db.pool(), &buf).unwrap();
 }
@@ -205,7 +205,7 @@ fn pin_heavy_pressure_is_typed_error_then_recovers() {
     // must fail with `BufferPoolFull` (no deadlock, no panic); releasing
     // the guards makes the same call succeed, with a clean census.
     let db = Db::new(DbConfig::with_pool_mb(2));
-    let heap = HeapFile::create(db.pool());
+    let heap = HeapFile::create(db.pool()).unwrap();
     let mut buf = Vec::new();
     let ts = tuples(60_000); // well past 2 MB of pages
     for t in &ts {
@@ -242,7 +242,7 @@ fn transient_fault_churn_keeps_free_list_canonical() {
     // cold-start replacement behaviour is reproducible after any fault
     // history.
     let db = Db::new(DbConfig::with_pool_mb(2));
-    let heap = HeapFile::create(db.pool());
+    let heap = HeapFile::create(db.pool()).unwrap();
     let mut buf = Vec::new();
     for t in tuples(40_000) {
         t.encode_into(&mut buf);
@@ -269,18 +269,21 @@ fn transient_fault_churn_keeps_free_list_canonical() {
 }
 
 #[test]
-fn torn_write_detected_as_corruption_on_read_back() {
+fn torn_write_detected_as_corruption_after_crash() {
     // End-to-end checksum story: a torn write is silent at write time and
-    // a typed `Corruption` on read-back — never garbage tuples.
+    // *latent* while the machine stays up — the drive cache still holds
+    // what the writer intended. Only a crash makes the tear real, and then
+    // read-back surfaces a typed `Corruption` — never garbage tuples.
     let db = Db::new(DbConfig::with_pool_mb(2));
-    let heap = HeapFile::create(db.pool());
+    let heap = HeapFile::create(db.pool()).unwrap();
     let mut buf = Vec::new();
     let mut oids = Vec::new();
     for t in tuples(30_000) {
         t.encode_into(&mut buf);
         oids.push(heap.insert(db.pool(), &buf).unwrap());
     }
-    // Tear every write while flushing the dirty pool, then read back.
+    // Tear every write while flushing the dirty pool (flush_all does not
+    // sync, so the tears stay pending).
     db.pool().disk_mut().set_faults(Some(FaultConfig {
         seed: 5,
         torn_write_ppm: 1_000_000,
@@ -288,6 +291,15 @@ fn torn_write_detected_as_corruption_on_read_back() {
     }));
     db.pool().flush_all().unwrap(); // torn writes "succeed"
     db.pool().disk_mut().set_faults(None);
+    db.pool().clear_cache().unwrap();
+    // No crash yet: every read-back sees the intended bytes.
+    for oid in &oids {
+        heap.fetch(db.pool(), *oid, &mut buf)
+            .expect("pending tears must be invisible before a crash");
+    }
+    // Crash: the pending tears hit the platters. Reopen and read back.
+    db.pool().disk_mut().crash_now();
+    db.pool().disk_mut().clear_crash();
     db.pool().clear_cache().unwrap();
     let mut corruptions = 0;
     for oid in &oids {
