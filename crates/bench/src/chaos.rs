@@ -130,12 +130,31 @@ fn env_var(name: &str) -> Option<String> {
         .map(|(_, v)| v.clone())
 }
 
+/// Writes the flight-recorder ring to `bench_results/flight_<tag>.txt`.
+///
+/// Called whenever a sweep cell ends unacceptably, so "exit 1" comes
+/// with the structured events (faults injected, retries, journal
+/// intents, recovery decisions) that led up to the failure. Returns the
+/// dump path.
+pub fn dump_flight(tag: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new("bench_results");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!("flight_{tag}.txt"));
+    match std::fs::write(&path, pbsm_obs::flight::dump()) {
+        Ok(()) => eprintln!("[flight recorder dumped to {}]", path.display()),
+        Err(e) => eprintln!("could not dump flight recorder to {}: {e}", path.display()),
+    }
+    path
+}
+
 /// Runs one algorithm on a fresh faulted database and classifies the
 /// outcome against the oracle pairs.
 fn run_case(alg: Algorithm, seed: u64, ppm: u32, oracle: &[(Oid, Oid)]) -> ChaosCase {
     // Build (and, for the index algorithms, bulk-load) fault-free, then
     // arm the schedule: the contract under test is join execution, not
-    // data loading.
+    // data loading. The flight ring restarts with the case, so a dump on
+    // failure shows only this cell's events.
+    pbsm_obs::flight::clear();
     let db = tiger_db(2, TigerSet::RoadHydro, false);
     let spec = tiger_spec(TigerSet::RoadHydro);
     let config = JoinConfig::for_db(&db);
@@ -203,6 +222,9 @@ pub fn run_sweep(report: &mut Report) -> ChaosSummary {
 
         for &seed in &seeds {
             let case = run_case(alg, seed, ppm, &oracle);
+            if !case.verdict.acceptable() {
+                dump_flight(&format!("chaos_{}_{}", alg.key(), seed));
+            }
             rows.push(vec![
                 alg.name().to_string(),
                 format!("{seed}"),
@@ -371,6 +393,7 @@ fn run_crash_case(
         resumed_pairs: 0,
         resumed_runs: 0,
     };
+    pbsm_obs::flight::clear();
     // Same deterministic build as the probe run, so disk-operation
     // indexes line up exactly.
     let db = tiger_db_journaled(2, TigerSet::RoadHydro, crate::scale());
@@ -503,6 +526,9 @@ pub fn run_crash_sweep(report: &mut Report) -> CrashSummary {
                 // its very first disk operation.
                 let crash_op = 1 + ops_in_join.saturating_sub(1) * k as u64 / points as u64;
                 let case = run_crash_case(alg, seed, crash_op, &spec, &oracle.pairs, baseline);
+                if !case.verdict.acceptable() {
+                    dump_flight(&format!("crash_{}_{}_{}", alg.key(), seed, crash_op));
+                }
                 rows.push(vec![
                     alg.name().to_string(),
                     format!("{seed}"),
@@ -602,5 +628,41 @@ mod tests {
         if std::env::var("PBSM_CRASH_POINTS").is_err() {
             assert_eq!(crash_points(), DEFAULT_CRASH_POINTS);
         }
+    }
+
+    #[test]
+    fn forced_failure_dump_carries_fault_and_recovery_events() {
+        // Simulate the artifact path a broken crash-sweep cell takes:
+        // crash a journaled join mid-flight, recover, then dump the ring
+        // as the harness would on an unacceptable verdict. The dump must
+        // contain the fault injection and the recovery decisions that
+        // led up to it — that is what turns "exit 1" into a diagnosis.
+        pbsm_obs::flight::clear();
+        let db = crate::tiger_db_journaled(2, TigerSet::RoadHydro, 0.002);
+        let spec = tiger_spec(TigerSet::RoadHydro);
+        let config = crash_config();
+        db.pool()
+            .disk_mut()
+            .set_faults(Some(FaultConfig::crash_at(7, 10)));
+        match Algorithm::Pbsm.try_run(&db, &spec, &config) {
+            Err(StorageError::Crashed) => {}
+            Ok(_) => panic!("join completed before the crash point"),
+            Err(e) => panic!("expected Crashed, got {e}"),
+        }
+        Db::recover(db.config(), db.into_disk()).unwrap();
+
+        let path = dump_flight("test_forced_failure");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(text.contains("crash.point"), "no fault event:\n{text}");
+        assert!(
+            text.contains("recover.decision"),
+            "no recovery event:\n{text}"
+        );
+        assert!(
+            text.contains("journal.intent"),
+            "no journal intents:\n{text}"
+        );
+        assert!(text.contains("span."), "no span breadcrumbs:\n{text}");
     }
 }

@@ -398,6 +398,7 @@ impl Report {
             }
             Err(e) => eprintln!("could not save {}: {e}", json_path.display()),
         }
+        save_profiles(&self.name);
         pbsm_obs::export::write_env_traces(&self.name);
     }
 
@@ -441,6 +442,33 @@ impl Report {
             ("timings".into(), kv(&self.timings)),
             ("session".into(), pbsm_obs::session_json()),
         ])
+    }
+}
+
+/// Drains every profile the joins published during this report and
+/// writes them to `bench_results/profile_<name>.json` (skipped when the
+/// report ran no profiled queries). Each document wraps the individual
+/// `pbsm-profile-v1` profiles in run order.
+pub fn save_profiles(name: &str) {
+    use pbsm_obs::Json;
+    let profiles = pbsm_obs::profile::take_pending();
+    if profiles.is_empty() {
+        return;
+    }
+    let dir = std::path::Path::new("bench_results");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!("profile_{name}.json"));
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str(pbsm_obs::profile::SCHEMA.into())),
+        ("bench".into(), Json::Str(name.to_string())),
+        (
+            "profiles".into(),
+            Json::Arr(profiles.iter().map(|p| p.to_json()).collect()),
+        ),
+    ]);
+    match std::fs::write(&path, doc.render() + "\n") {
+        Ok(()) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("could not save {}: {e}", path.display()),
     }
 }
 
@@ -557,6 +585,8 @@ pub fn breakdown_figure(name: &str, title: &str, alg: Algorithm) {
     let cs = cpu_scale();
     Report::run(name, title, |report| {
         let spec = tiger_spec(TigerSet::RoadHydro);
+        let mut drift: Option<(f64, f64)> = None;
+        let mut explained = false;
         for clustered in [false, true] {
             let cl = if clustered { "cl" } else { "nc" };
             for pool_mb in pool_sizes_mb() {
@@ -573,6 +603,22 @@ pub fn breakdown_figure(name: &str, title: &str, alg: Algorithm) {
                     }
                 ));
                 report.table(&COMPONENT_HEADER, &component_rows(&out));
+                if let Some(p) = &out.profile {
+                    if let Some((lo, hi)) = p.drift_extrema() {
+                        drift = Some(match drift {
+                            None => (lo, hi),
+                            Some((l, h)) => (l.min(lo), h.max(hi)),
+                        });
+                    }
+                    // One EXPLAIN ANALYZE tree per figure is plenty.
+                    if !explained {
+                        explained = true;
+                        report.blank();
+                        for line in p.explain_analyze().lines() {
+                            report.line(line);
+                        }
+                    }
+                }
                 // Per-component shares of the modeled total: the
                 // Figure-10/11/12 shape, in the trajectory record.
                 let total = out.report.total_1996(cs).max(1e-9);
@@ -587,6 +633,14 @@ pub fn breakdown_figure(name: &str, title: &str, alg: Algorithm) {
                     out.report.total_io_s() / total,
                 );
             }
+        }
+        // The drift audit: observed vs modeled I/O over every operator
+        // of every run. Both sides are pure functions of deterministic
+        // counters, so these are gateable metrics (and the scorecard
+        // pins fig12's inside [0.98, 1.02]).
+        if let Some((lo, hi)) = drift {
+            report.metric("drift.min_ratio", lo);
+            report.metric("drift.max_ratio", hi);
         }
     });
 }

@@ -130,6 +130,26 @@ pub const CHECKS: &[Check] = &[
         gate: true,
     },
     Check {
+        id: "Cost model: PBSM observed/modeled I/O drift (min)",
+        bench: "fig12_pbsm_breakdown",
+        key: "metrics.drift.min_ratio",
+        paper: "1.0 (§4 cost model)",
+        lo: 0.98,
+        hi: 1.02,
+        scale: ScaleReq::AnyScale,
+        gate: true,
+    },
+    Check {
+        id: "Cost model: PBSM observed/modeled I/O drift (max)",
+        bench: "fig12_pbsm_breakdown",
+        key: "metrics.drift.max_ratio",
+        paper: "1.0 (§4 cost model)",
+        lo: 0.98,
+        hi: 1.02,
+        scale: ScaleReq::AnyScale,
+        gate: true,
+    },
+    Check {
         id: "Figure 7: PBSM fastest at every pool size",
         bench: "fig07_tiger_road_hydro",
         key: "timings.check.pbsm_competitive",

@@ -22,7 +22,7 @@ use pbsm_storage::{Db, Oid, StorageResult};
 
 /// Runs the indexed nested loops join.
 pub fn inl_join(db: &Db, spec: &JoinSpec, config: &JoinConfig) -> StorageResult<JoinOutcome> {
-    let _span = pbsm_obs::span(format!("inl join {} ⋈ {}", spec.left, spec.right));
+    let guard = pbsm_obs::span(format!("inl join {} ⋈ {}", spec.left, spec.right));
     let (left, right) = {
         let cat = db.catalog();
         (
@@ -97,12 +97,25 @@ pub fn inl_join(db: &Db, spec: &JoinSpec, config: &JoinConfig) -> StorageResult<
     stats.candidates = candidates;
     stats.unique_candidates = candidates;
     stats.results = results;
+    stats.peak_work_mem_pages = (config.work_mem_bytes / pbsm_storage::PAGE_SIZE).max(1) as u64;
     pairs.sort_unstable();
 
+    let record = guard.finish();
+    let report = tracker.finish();
+    let profile = crate::profile::build_join_profile(
+        "inl",
+        &format!("{} ⋈ {}", spec.left, spec.right),
+        &db.config().disk,
+        &record,
+        &report,
+        &stats,
+    );
+    pbsm_obs::profile::publish(profile.clone());
     Ok(JoinOutcome {
         pairs,
-        report: tracker.finish(),
+        report,
         stats,
+        profile: Some(profile),
     })
 }
 

@@ -42,6 +42,7 @@ pub mod loader;
 pub mod parallel;
 pub mod partition;
 pub mod pbsm;
+pub mod profile;
 pub mod recover;
 pub mod refine;
 pub mod rtree_join;
@@ -54,6 +55,7 @@ pub use cost::{CostComponent, CostTracker, JoinReport};
 pub use keyptr::KeyPointer;
 pub use loader::load_relation;
 pub use partition::{TileGrid, TileMapScheme};
+pub use profile::{build_join_profile, drift_model};
 pub use recover::{join_fingerprint, RecoveryPolicy};
 
 use pbsm_geom::predicates::{RefineOptions, SpatialPredicate};
@@ -158,6 +160,11 @@ pub struct JoinStats {
     pub resumed_pairs: u64,
     /// Refinement sort runs skipped on a crash-resumed join.
     pub resumed_runs: u64,
+    /// Work-memory budget the join actually ran under, in pages. After
+    /// ENOSPC degradation this is the successful attempt's (halved)
+    /// budget — the high-water the query really had, not the configured
+    /// one.
+    pub peak_work_mem_pages: u64,
 }
 
 /// The outcome of a join: result OID pairs, per-component costs, and
@@ -169,4 +176,8 @@ pub struct JoinOutcome {
     pub report: JoinReport,
     /// Execution counters.
     pub stats: JoinStats,
+    /// Per-query execution profile (EXPLAIN ANALYZE tree, drift audit),
+    /// attached by the drivers from the root span. Also queued in
+    /// [`pbsm_obs::profile::take_pending`] for the bench harness.
+    pub profile: Option<pbsm_obs::profile::Profile>,
 }

@@ -46,7 +46,10 @@ pub fn pbsm_join_resume(
     config: &JoinConfig,
     resume: Option<&JoinResume>,
 ) -> StorageResult<JoinOutcome> {
-    let _span = pbsm_obs::span(format!("pbsm join {} ⋈ {}", spec.left, spec.right));
+    let mut guard = Some(pbsm_obs::span(format!(
+        "pbsm join {} ⋈ {}",
+        spec.left, spec.right
+    )));
     let (left, right) = {
         let cat = db.catalog();
         (
@@ -96,6 +99,12 @@ pub fn pbsm_join_resume(
         match outcome {
             Err(e) if e.is_disk_full() && attempt < max_attempts => {
                 pbsm_obs::cached_counter!("pbsm.recover.enospc_retries").incr();
+                pbsm_obs::flight::record(
+                    pbsm_obs::flight::EventKind::Degrade,
+                    "halve work_mem",
+                    work_mem as u64,
+                    p as u64,
+                );
                 min_partitions = (p * 2).max(2);
                 work_mem = degraded_work_mem(work_mem);
                 attempt += 1;
@@ -108,6 +117,22 @@ pub fn pbsm_join_resume(
             }
             Ok(mut out) => {
                 out.stats.recovery_retries = (attempt - 1) as u64;
+                // The budget the successful attempt really ran under —
+                // after degradation this is smaller than configured.
+                out.stats.peak_work_mem_pages = (work_mem / pbsm_storage::PAGE_SIZE).max(1) as u64;
+                if let Some(g) = guard.take() {
+                    let record = g.finish();
+                    let profile = crate::profile::build_join_profile(
+                        "pbsm",
+                        &format!("{} ⋈ {}", spec.left, spec.right),
+                        &db.config().disk,
+                        &record,
+                        &out.report,
+                        &out.stats,
+                    );
+                    pbsm_obs::profile::publish(profile.clone());
+                    out.profile = Some(profile);
+                }
                 return Ok(out);
             }
         }
@@ -205,6 +230,7 @@ fn pbsm_attempt(
         pairs: refined.pairs,
         report: tracker.finish(),
         stats,
+        profile: None,
     })
 }
 
@@ -378,6 +404,7 @@ fn pbsm_attempt_journaled(
         pairs: refined.pairs,
         report: tracker.finish(),
         stats,
+        profile: None,
     })
 }
 

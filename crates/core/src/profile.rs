@@ -1,0 +1,309 @@
+//! Builds per-query [`pbsm_obs::profile::Profile`]s from finished root
+//! spans and cost reports.
+//!
+//! [`pbsm_obs::profile`] owns the profile data model but deliberately
+//! knows nothing about the storage engine. This module supplies the two
+//! engine-side ingredients: the disk-model parameters (the modeled side
+//! of every drift ratio) and the mapping from [`CostTracker`]
+//! components to operator nodes. Each join driver finishes its root
+//! span with [`pbsm_obs::SpanGuard::finish`], builds the profile here,
+//! attaches it to the outcome, and [`pbsm_obs::profile::publish`]es a
+//! copy for the bench harness to drain.
+//!
+//! [`CostTracker`]: crate::cost::CostTracker
+
+use crate::cost::{cpu_scale, JoinReport};
+use crate::JoinStats;
+use pbsm_obs::profile::{DriftModel, OpNode, Profile};
+use pbsm_obs::SpanRecord;
+use pbsm_storage::disk::DiskModel;
+
+/// The drift model mirroring a database's simulated-disk parameters.
+///
+/// The observed side of the drift ratio is the integer `io_ns` the disk
+/// actually charged; the modeled side is this closed form recomputed
+/// from the same page/seek deltas. With matching parameters the ratio
+/// is deterministically ≈1 (the disk truncates to whole nanoseconds),
+/// so the scorecard can gate it within a few percent.
+pub fn drift_model(disk: &DiskModel) -> DriftModel {
+    DriftModel {
+        seek_ms: disk.seek_ms,
+        page_transfer_ms: disk.page_transfer_ms(),
+    }
+}
+
+/// Builds a join profile from the driver's finished root span, its cost
+/// report, and the final stats. The root's children that correspond to
+/// cost components (matched from the tail, so an ENOSPC-degraded run
+/// attributes CPU to the successful attempt's spans, not a failed
+/// attempt's) carry the calibrated 1996 CPU seconds.
+pub fn build_join_profile(
+    algorithm: &str,
+    query: &str,
+    disk: &DiskModel,
+    span: &SpanRecord,
+    report: &JoinReport,
+    stats: &JoinStats,
+) -> Profile {
+    build(
+        algorithm,
+        query,
+        disk,
+        span,
+        report,
+        stats.peak_work_mem_pages,
+        stats_pairs(stats),
+    )
+}
+
+/// Builds a selection profile; selections have no work-memory budget,
+/// so only the result count rides along as a stat.
+pub fn build_select_profile(
+    algorithm: &str,
+    query: &str,
+    disk: &DiskModel,
+    span: &SpanRecord,
+    report: &JoinReport,
+    results: u64,
+) -> Profile {
+    build(
+        algorithm,
+        query,
+        disk,
+        span,
+        report,
+        0,
+        vec![("results".into(), results)],
+    )
+}
+
+fn build(
+    algorithm: &str,
+    query: &str,
+    disk: &DiskModel,
+    span: &SpanRecord,
+    report: &JoinReport,
+    mem_pages: u64,
+    stats: Vec<(String, u64)>,
+) -> Profile {
+    let model = drift_model(disk);
+    let scale = cpu_scale();
+    let mut root = OpNode::from_span(span, &model);
+    set_mem(&mut root, mem_pages);
+    root.modeled_cpu_s = report.total_cpu_s() * scale;
+    // Cost components and the root's child spans are the same
+    // measurements in the same execution order, except that a degraded
+    // join's root also contains failed attempts' spans before the
+    // successful attempt's. Matching both sequences back-to-front
+    // therefore lands every component on its own span exactly once.
+    let mut ci = report.components.len();
+    for child in root.children.iter_mut().rev() {
+        if ci == 0 {
+            break;
+        }
+        if child.name == report.components[ci - 1].name {
+            child.modeled_cpu_s = report.components[ci - 1].cpu_s * scale;
+            ci -= 1;
+        }
+    }
+    Profile {
+        query: query.to_string(),
+        algorithm: algorithm.to_string(),
+        peak_work_mem_pages: mem_pages,
+        modeled_cpu_s: report.total_cpu_s() * scale,
+        modeled_io_s: report.total_io_s(),
+        stats,
+        root,
+    }
+}
+
+fn set_mem(node: &mut OpNode, pages: u64) {
+    node.mem_pages = pages;
+    for c in &mut node.children {
+        set_mem(c, pages);
+    }
+}
+
+fn stats_pairs(stats: &JoinStats) -> Vec<(String, u64)> {
+    vec![
+        ("partitions".into(), stats.partitions as u64),
+        ("tiles".into(), stats.tiles as u64),
+        ("input_elements".into(), stats.input_elements),
+        ("replicated_elements".into(), stats.replicated_elements),
+        ("candidates".into(), stats.candidates),
+        ("unique_candidates".into(), stats.unique_candidates),
+        ("results".into(), stats.results),
+        ("recovery_retries".into(), stats.recovery_retries),
+        ("resumed_pairs".into(), stats.resumed_pairs),
+        ("resumed_runs".into(), stats.resumed_runs),
+        ("peak_work_mem_pages".into(), stats.peak_work_mem_pages),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::load_relation;
+    use crate::pbsm::pbsm_join;
+    use crate::{JoinConfig, JoinSpec};
+    use pbsm_geom::predicates::SpatialPredicate;
+    use pbsm_obs::Json;
+    use pbsm_storage::tuple::SpatialTuple;
+    use pbsm_storage::{DbConfig, PAGE_SIZE};
+
+    fn mk_tuples(n: usize, seed: u64) -> Vec<SpatialTuple> {
+        crate::testgen::mk_tuples(n, seed, 80.0, 3, 1.0, -0.5, 24)
+    }
+
+    fn run_profiled_join() -> pbsm_obs::profile::Profile {
+        pbsm_obs::reset();
+        // A pool far smaller than the data keeps the join from running
+        // fully resident, so the profile has real I/O to audit.
+        let db = pbsm_storage::Db::new(DbConfig {
+            buffer_pool_bytes: 8 * PAGE_SIZE,
+            ..DbConfig::with_pool_mb(2)
+        });
+        load_relation(&db, "road", &mk_tuples(700, 3), false).unwrap();
+        load_relation(&db, "hydro", &mk_tuples(500, 9), false).unwrap();
+        let spec = JoinSpec::new("road", "hydro", SpatialPredicate::Intersects);
+        let config = JoinConfig {
+            work_mem_bytes: 16 * 1024,
+            num_tiles: 128,
+            ..JoinConfig::default()
+        };
+        let out = pbsm_join(&db, &spec, &config).unwrap();
+        assert_eq!(
+            out.stats.peak_work_mem_pages,
+            (16 * 1024 / PAGE_SIZE) as u64
+        );
+        out.profile.expect("driver attaches a profile")
+    }
+
+    #[test]
+    fn pbsm_profile_validates_against_schema() {
+        let p = run_profiled_join();
+        assert_eq!(p.algorithm, "pbsm");
+        assert_eq!(p.query, "road ⋈ hydro");
+        let doc = Json::parse(&p.to_json().render()).unwrap();
+        pbsm_obs::profile::validate(&doc).unwrap();
+    }
+
+    #[test]
+    fn root_deltas_are_query_totals_and_children_sum_within_them() {
+        pbsm_obs::reset();
+        let db = pbsm_storage::Db::new(DbConfig {
+            buffer_pool_bytes: 8 * PAGE_SIZE,
+            ..DbConfig::with_pool_mb(2)
+        });
+        load_relation(&db, "road", &mk_tuples(700, 3), false).unwrap();
+        load_relation(&db, "hydro", &mk_tuples(500, 9), false).unwrap();
+        const COUNTERS: [&str; 4] = [
+            "storage.disk.reads",
+            "storage.disk.writes",
+            "storage.disk.seeks",
+            "storage.disk.io_ns",
+        ];
+        let before: Vec<u64> = COUNTERS
+            .iter()
+            .map(|c| pbsm_obs::counter_value(c))
+            .collect();
+        let out = pbsm_join(
+            &db,
+            &JoinSpec::new("road", "hydro", SpatialPredicate::Intersects),
+            &JoinConfig {
+                work_mem_bytes: 16 * 1024,
+                num_tiles: 128,
+                ..JoinConfig::default()
+            },
+        )
+        .unwrap();
+        let p = out.profile.unwrap();
+        // Everything the query charged happened inside the root span,
+        // so its deltas are exactly the query's share of the session
+        // totals.
+        for (counter, before) in COUNTERS.iter().zip(before) {
+            assert_eq!(
+                p.root.delta(counter),
+                pbsm_obs::counter_value(counter) - before,
+                "{counter}"
+            );
+        }
+        // Component spans account for a subset of each total.
+        for counter in ["storage.disk.reads", "storage.disk.writes"] {
+            let child_sum: u64 = p.root.children.iter().map(|c| c.delta(counter)).sum();
+            assert!(child_sum <= p.root.delta(counter), "{counter}");
+        }
+        // The four Figure-12 components all got CPU attribution.
+        assert_eq!(p.root.children.len(), 4);
+        for c in &p.root.children {
+            assert!(c.modeled_cpu_s > 0.0, "{} has no cpu", c.name);
+        }
+    }
+
+    #[test]
+    fn drift_is_tight_when_model_matches_disk() {
+        let p = run_profiled_join();
+        let (lo, hi) = p.drift_extrema().expect("join did I/O");
+        // The disk charges integer nanoseconds computed from the same
+        // model, so observed/modeled can only drift by truncation.
+        assert!(lo > 0.999 && hi < 1.001, "drift {lo}..{hi}");
+    }
+
+    #[test]
+    fn profiles_are_published_for_the_bench_harness() {
+        let p = run_profiled_join();
+        let pending = pbsm_obs::profile::take_pending();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].query, p.query);
+    }
+
+    #[test]
+    fn component_cpu_matches_from_the_tail() {
+        // Simulate a degraded run: the root saw a failed attempt's spans
+        // first; only the trailing spans belong to the report.
+        let mk_span = |name: &str| SpanRecord {
+            name: name.into(),
+            start_s: 0.0,
+            wall_s: 0.001,
+            deltas: vec![],
+            children: vec![],
+        };
+        let root = SpanRecord {
+            name: "pbsm join a ⋈ b".into(),
+            start_s: 0.0,
+            wall_s: 0.01,
+            deltas: vec![],
+            children: vec![
+                mk_span("partition a"), // failed attempt
+                mk_span("partition a"), // successful attempt
+                mk_span("merge partitions"),
+            ],
+        };
+        let report = JoinReport {
+            components: vec![
+                crate::CostComponent {
+                    name: "partition a".into(),
+                    cpu_s: 2.0,
+                    io: Default::default(),
+                },
+                crate::CostComponent {
+                    name: "merge partitions".into(),
+                    cpu_s: 3.0,
+                    io: Default::default(),
+                },
+            ],
+        };
+        let p = build_join_profile(
+            "pbsm",
+            "a ⋈ b",
+            &DiskModel::default(),
+            &root,
+            &report,
+            &JoinStats::default(),
+        );
+        let scale = cpu_scale();
+        assert_eq!(p.root.children[0].modeled_cpu_s, 0.0);
+        assert_eq!(p.root.children[1].modeled_cpu_s, 2.0 * scale);
+        assert_eq!(p.root.children[2].modeled_cpu_s, 3.0 * scale);
+    }
+}

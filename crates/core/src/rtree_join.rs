@@ -24,7 +24,7 @@ use pbsm_storage::{Db, StorageResult};
 /// Runs the R-tree join: build missing indices, BKS93 synchronized
 /// traversal, shared refinement.
 pub fn rtree_join(db: &Db, spec: &JoinSpec, config: &JoinConfig) -> StorageResult<JoinOutcome> {
-    let _span = pbsm_obs::span(format!("rtree join {} ⋈ {}", spec.left, spec.right));
+    let guard = pbsm_obs::span(format!("rtree join {} ⋈ {}", spec.left, spec.right));
     let (left, right) = {
         let cat = db.catalog();
         (
@@ -72,11 +72,24 @@ pub fn rtree_join(db: &Db, spec: &JoinSpec, config: &JoinConfig) -> StorageResul
     candidates.destroy(db.pool());
     stats.unique_candidates = refined.unique_candidates;
     stats.results = refined.pairs.len() as u64;
+    stats.peak_work_mem_pages = (config.work_mem_bytes / pbsm_storage::PAGE_SIZE).max(1) as u64;
 
+    let record = guard.finish();
+    let report = tracker.finish();
+    let profile = crate::profile::build_join_profile(
+        "rtree",
+        &format!("{} ⋈ {}", spec.left, spec.right),
+        &db.config().disk,
+        &record,
+        &report,
+        &stats,
+    );
+    pbsm_obs::profile::publish(profile.clone());
     Ok(JoinOutcome {
         pairs: refined.pairs,
-        report: tracker.finish(),
+        report,
         stats,
+        profile: Some(profile),
     })
 }
 

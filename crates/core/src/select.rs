@@ -24,11 +24,14 @@ pub struct SelectOutcome {
     pub oids: Vec<Oid>,
     /// Cost breakdown ("filter"/"refine" or "probe index"/"refine").
     pub report: JoinReport,
+    /// Per-query execution profile built from the selection's span.
+    pub profile: Option<pbsm_obs::profile::Profile>,
 }
 
 /// Selects all tuples of `relation` whose exact geometry intersects the
 /// query window, via a full scan.
 pub fn select_scan(db: &Db, relation: &str, window: &Rect) -> StorageResult<SelectOutcome> {
+    let guard = pbsm_obs::span(format!("select scan {relation}"));
     let meta = db.catalog().relation(relation)?.clone();
     let heap = HeapFile::open(meta.file);
     let mut tracker = CostTracker::new();
@@ -55,15 +58,20 @@ pub fn select_scan(db: &Db, relation: &str, window: &Rect) -> StorageResult<Sele
     });
     let mut oids = oids?;
     oids.sort_unstable();
-    Ok(SelectOutcome {
+    Ok(finish_select(
+        db,
+        "select.scan",
+        relation,
+        guard,
+        tracker,
         oids,
-        report: tracker.finish(),
-    })
+    ))
 }
 
 /// Selects via the relation's R\*-tree index (which must exist in the
 /// catalog): probe for candidates, then fetch and refine.
 pub fn select_index(db: &Db, relation: &str, window: &Rect) -> StorageResult<SelectOutcome> {
+    let guard = pbsm_obs::span(format!("select probe {relation}"));
     let meta = db.catalog().relation(relation)?.clone();
     let index = db.catalog().index(relation).ok_or_else(|| {
         pbsm_storage::StorageError::UnknownRelation(format!("{relation} (index)"))
@@ -99,10 +107,42 @@ pub fn select_index(db: &Db, relation: &str, window: &Rect) -> StorageResult<Sel
         }
         Ok(out)
     });
-    Ok(SelectOutcome {
-        oids: oids?,
-        report: tracker.finish(),
-    })
+    Ok(finish_select(
+        db,
+        "select.index",
+        relation,
+        guard,
+        tracker,
+        oids?,
+    ))
+}
+
+/// Shared tail of both strategies: close the root span, build and
+/// publish the profile, assemble the outcome.
+fn finish_select(
+    db: &Db,
+    algorithm: &str,
+    relation: &str,
+    guard: pbsm_obs::SpanGuard,
+    tracker: CostTracker,
+    oids: Vec<Oid>,
+) -> SelectOutcome {
+    let record = guard.finish();
+    let report = tracker.finish();
+    let profile = crate::profile::build_select_profile(
+        algorithm,
+        relation,
+        &db.config().disk,
+        &record,
+        &report,
+        oids.len() as u64,
+    );
+    pbsm_obs::profile::publish(profile.clone());
+    SelectOutcome {
+        oids,
+        report,
+        profile: Some(profile),
+    }
 }
 
 fn window_polygon(window: &Rect) -> Geometry {

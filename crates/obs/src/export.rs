@@ -231,6 +231,139 @@ mod tests {
         assert!(got.contains("join;partition road 2000\n"));
     }
 
+    /// A recovery-shaped forest: one join root whose first attempt died
+    /// on ENOSPC (degradation loop) and whose second attempt resumed
+    /// from journal checkpoints — so sibling stacks repeat and the
+    /// deltas carry retry/resume counters. These spans postdate the
+    /// golden fixtures above, which must stay byte-identical.
+    fn recovery_fixture() -> Vec<SpanRecord> {
+        let attempt = |start_s: f64, deltas: Vec<(String, u64)>| SpanRecord {
+            name: "partition road".into(),
+            start_s,
+            wall_s: 0.002,
+            deltas,
+            children: vec![],
+        };
+        vec![SpanRecord {
+            name: "pbsm join road ⋈ hydro".into(),
+            start_s: 0.0,
+            wall_s: 0.010,
+            deltas: vec![
+                ("pbsm.recover.enospc_retries".into(), 1),
+                ("pbsm.resume.pairs_skipped".into(), 3),
+                ("storage.retry.attempts".into(), 2),
+            ],
+            children: vec![
+                attempt(0.0005, vec![("storage.fault.enospc".into(), 1)]),
+                // Second attempt: same span name, later on the timeline.
+                attempt(0.004, vec![("storage.retry.attempts".into(), 2)]),
+                SpanRecord {
+                    name: "refinement step".into(),
+                    start_s: 0.007,
+                    wall_s: 0.002,
+                    deltas: vec![("pbsm.resume.runs_skipped".into(), 2)],
+                    children: vec![SpanRecord {
+                        name: "external sort".into(),
+                        start_s: 0.0075,
+                        wall_s: 0.001,
+                        deltas: vec![("storage.extsort.runs".into(), 1)],
+                        children: vec![],
+                    }],
+                },
+            ],
+        }]
+    }
+
+    #[test]
+    fn folded_recovery_tree_merges_repeated_attempts() {
+        let got = folded(&recovery_fixture());
+        // Both degradation attempts share one stack and sum their self
+        // time; the root keeps only its own self time (10 − 2·2 − 2 ms).
+        assert!(got.contains("pbsm join road ⋈ hydro;partition road 4000\n"));
+        assert!(got.contains("pbsm join road ⋈ hydro 4000\n"));
+        assert!(got.contains("pbsm join road ⋈ hydro;refinement step;external sort 1000\n"));
+        // Self times over every line sum to total wall time.
+        let total: u64 = got
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, 10_000);
+    }
+
+    #[test]
+    fn chrome_trace_recovery_tree_keeps_attempts_and_counters() {
+        let doc = chrome_trace(&recovery_fixture());
+        let rendered = doc.render();
+        assert!(Json::parse(&rendered).is_ok());
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // Depth-first order: root, attempt 1, attempt 2, refine, sort.
+        let names: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "pbsm join road ⋈ hydro",
+                "partition road",
+                "partition road",
+                "refinement step",
+                "external sort"
+            ]
+        );
+        // Repeated attempts keep their distinct timeline offsets...
+        assert_eq!(events[1].get("ts").unwrap().as_f64(), Some(500.0));
+        assert_eq!(events[2].get("ts").unwrap().as_f64(), Some(4000.0));
+        // ...and the retry/resume counters ride along in args.
+        let root_args = events[0].get("args").unwrap();
+        assert_eq!(
+            root_args
+                .get("pbsm.resume.pairs_skipped")
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            root_args
+                .get("storage.retry.attempts")
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            events[1].get("args").unwrap().get("storage.fault.enospc"),
+            Some(&Json::uint(1))
+        );
+    }
+
+    #[test]
+    fn live_recovery_spans_export_to_both_formats() {
+        crate::reset();
+        {
+            let _j = crate::span("export.join");
+            {
+                let _a = crate::span("export.attempt");
+                crate::counter("storage.retry.attempts").add(1);
+            }
+            {
+                let _a = crate::span("export.attempt");
+                crate::counter("pbsm.resume.pairs_skipped").add(2);
+            }
+        }
+        let roots = crate::spans();
+        let join = roots.iter().find(|s| s.name == "export.join").unwrap();
+        assert_eq!(join.children.len(), 2);
+        let doc = chrome_trace(std::slice::from_ref(join));
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 3);
+        let text = folded(std::slice::from_ref(join));
+        // The two same-named attempts merge into one folded stack.
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.starts_with("export.join;export.attempt "))
+                .count(),
+            1
+        );
+    }
+
     #[test]
     fn live_spans_carry_monotone_start_offsets() {
         crate::reset();

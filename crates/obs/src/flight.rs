@@ -1,0 +1,287 @@
+//! Flight recorder: a bounded, allocation-free ring of recent structured
+//! events, dumped when a harness hits a mismatch, panic, or leak.
+//!
+//! The chaos and crash sweeps classify thousands of fault-injected runs
+//! and, until now, reported a bad one as little more than "exit 1". The
+//! flight recorder turns that into a diagnosable artifact: every span
+//! boundary, retry, injected fault, journal intent, and recovery decision
+//! appends one fixed-size [`Event`] to a thread-local ring of
+//! [`RING_SLOTS`] slots. Recording is a single array-slot write — no heap
+//! allocation, no I/O — so it is safe to leave on unconditionally; when a
+//! harness decides a run is unacceptable it calls [`dump`] and writes the
+//! ring (oldest → newest) next to its report.
+//!
+//! Events carry no wall-clock timestamps on purpose: the monotone `seq`
+//! orders them, and keeping time out of the record keeps dumps of a
+//! seeded run byte-for-byte reproducible.
+
+use std::cell::RefCell;
+
+/// Ring capacity. 1024 events comfortably covers the window between the
+/// first injected fault of a chaos case and its verdict (a crash-resume
+/// cycle records a few hundred events); older events are overwritten.
+pub const RING_SLOTS: usize = 1024;
+
+/// Bytes of label stored inline per event. Longer labels are truncated
+/// at a character boundary — enough to identify a span or file.
+pub const LABEL_BYTES: usize = 32;
+
+/// What happened. The discriminant names (see [`EventKind::tag`]) are the
+/// vocabulary of a dump.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened; label is the span name.
+    SpanEnter,
+    /// A span closed; label is the span name, `a` = wall µs, `b` = number
+    /// of counters that moved.
+    SpanExit,
+    /// A transient fault consumed one retry attempt; `a` = page id,
+    /// `b` = attempt number.
+    RetryAttempt,
+    /// An operation succeeded after at least one retry; `a` = page id.
+    RetryAbsorbed,
+    /// The retry budget ran out; `a` = page id, `b` = attempts made.
+    RetryExhausted,
+    /// Injected transient read fault; `a` = page id.
+    FaultTransientRead,
+    /// Injected transient write fault; `a` = page id.
+    FaultTransientWrite,
+    /// Injected torn write (page stored damaged); `a` = page id.
+    FaultTornWrite,
+    /// Injected out-of-space failure.
+    FaultEnospc,
+    /// The simulated crash point fired; `a` = operation index.
+    CrashPoint,
+    /// An intent-journal record was appended; label is the record kind,
+    /// `a`/`b` carry its ids (file, join, or index as applicable).
+    JournalIntent,
+    /// A recovery decision (`Db::recover` or resume admission); label
+    /// says which, `a`/`b` carry the affected counts or ids.
+    RecoveryDecision,
+    /// The ENOSPC degradation loop shrank its budget; `a` = new work_mem
+    /// bytes, `b` = new partition floor.
+    Degrade,
+    /// Free-form breadcrumb from a harness.
+    Note,
+}
+
+impl EventKind {
+    /// The dotted tag used in dumps.
+    pub fn tag(self) -> &'static str {
+        match self {
+            EventKind::SpanEnter => "span.enter",
+            EventKind::SpanExit => "span.exit",
+            EventKind::RetryAttempt => "retry.attempt",
+            EventKind::RetryAbsorbed => "retry.absorbed",
+            EventKind::RetryExhausted => "retry.exhausted",
+            EventKind::FaultTransientRead => "fault.transient_read",
+            EventKind::FaultTransientWrite => "fault.transient_write",
+            EventKind::FaultTornWrite => "fault.torn_write",
+            EventKind::FaultEnospc => "fault.enospc",
+            EventKind::CrashPoint => "crash.point",
+            EventKind::JournalIntent => "journal.intent",
+            EventKind::RecoveryDecision => "recover.decision",
+            EventKind::Degrade => "recover.degrade",
+            EventKind::Note => "note",
+        }
+    }
+}
+
+/// One recorded event. Fixed-size and `Copy`: recording is a slot write.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Monotone sequence number (1-based) over the thread's lifetime.
+    pub seq: u64,
+    pub kind: EventKind,
+    label: [u8; LABEL_BYTES],
+    label_len: u8,
+    /// Kind-specific payload (see [`EventKind`] docs).
+    pub a: u64,
+    /// Kind-specific payload.
+    pub b: u64,
+}
+
+impl Event {
+    /// The (possibly truncated) label.
+    pub fn label(&self) -> &str {
+        // The constructor only ever copies whole UTF-8 characters.
+        std::str::from_utf8(&self.label[..self.label_len as usize]).unwrap_or("")
+    }
+}
+
+struct Ring {
+    /// Total events ever recorded; `seq` of the newest event.
+    recorded: u64,
+    /// Preallocated to `RING_SLOTS`: pushes never reallocate, and once
+    /// full the ring overwrites in place.
+    slots: Vec<Event>,
+}
+
+thread_local! {
+    static RING: RefCell<Ring> = RefCell::new(Ring {
+        recorded: 0,
+        slots: Vec::with_capacity(RING_SLOTS),
+    });
+}
+
+/// Records one event. Allocation-free: the label is copied into a fixed
+/// inline buffer (truncated at a character boundary if longer than
+/// [`LABEL_BYTES`]) and the event overwrites the oldest slot once the
+/// ring is full.
+pub fn record(kind: EventKind, label: &str, a: u64, b: u64) {
+    let mut buf = [0u8; LABEL_BYTES];
+    let mut end = label.len().min(LABEL_BYTES);
+    while !label.is_char_boundary(end) {
+        end -= 1;
+    }
+    buf[..end].copy_from_slice(&label.as_bytes()[..end]);
+    RING.with(|r| {
+        let mut ring = r.borrow_mut();
+        ring.recorded += 1;
+        let ev = Event {
+            seq: ring.recorded,
+            kind,
+            label: buf,
+            label_len: end as u8,
+            a,
+            b,
+        };
+        if ring.slots.len() < RING_SLOTS {
+            ring.slots.push(ev);
+        } else {
+            let slot = ((ev.seq - 1) % RING_SLOTS as u64) as usize;
+            ring.slots[slot] = ev;
+        }
+    });
+}
+
+/// Total events recorded on this thread (including overwritten ones).
+pub fn recorded() -> u64 {
+    RING.with(|r| r.borrow().recorded)
+}
+
+/// Snapshot of the retained events, oldest first.
+pub fn events() -> Vec<Event> {
+    RING.with(|r| {
+        let ring = r.borrow();
+        let n = ring.slots.len();
+        if n < RING_SLOTS {
+            return ring.slots.clone();
+        }
+        // Oldest retained event is the one `recorded` would overwrite next.
+        let split = (ring.recorded % RING_SLOTS as u64) as usize;
+        let mut out = Vec::with_capacity(n);
+        out.extend_from_slice(&ring.slots[split..]);
+        out.extend_from_slice(&ring.slots[..split]);
+        out
+    })
+}
+
+/// Empties the ring (sequence numbers keep counting). Harnesses call
+/// this at the start of each case so a dump contains only that case.
+pub fn clear() {
+    RING.with(|r| r.borrow_mut().slots.clear());
+}
+
+/// Renders the retained events as the text artifact the chaos and crash
+/// harnesses write on failure. Also publishes the `obs.flight.events`
+/// gauge so the dump moment is visible in session JSON.
+pub fn dump() -> String {
+    use std::fmt::Write as _;
+    let evs = events();
+    let total = recorded();
+    crate::gauge("obs.flight.events").set(total);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "flight recorder: {} events retained of {} recorded (ring {})",
+        evs.len(),
+        total,
+        RING_SLOTS
+    );
+    for ev in &evs {
+        let _ = write!(out, "[{:>6}] {:<21} {}", ev.seq, ev.kind.tag(), ev.label());
+        if ev.a != 0 {
+            let _ = write!(out, " a={}", ev.a);
+        }
+        if ev.b != 0 {
+            let _ = write!(out, " b={}", ev.b);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_orders_events() {
+        clear();
+        let base = recorded();
+        record(EventKind::Note, "first", 1, 0);
+        record(EventKind::FaultEnospc, "alloc", 0, 2);
+        let evs = events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].seq, base + 1);
+        assert_eq!(evs[0].label(), "first");
+        assert_eq!(evs[1].kind, EventKind::FaultEnospc);
+        assert_eq!(evs[1].b, 2);
+    }
+
+    #[test]
+    fn ring_wraps_keeping_newest() {
+        clear();
+        for i in 0..(RING_SLOTS as u64 + 10) {
+            record(EventKind::Note, "n", i, 0);
+        }
+        let evs = events();
+        assert_eq!(evs.len(), RING_SLOTS);
+        // Oldest retained is the 11th recorded in this batch; newest is the last.
+        assert_eq!(evs.last().unwrap().a, RING_SLOTS as u64 + 9);
+        assert_eq!(
+            evs.first().unwrap().a + RING_SLOTS as u64 - 1,
+            evs.last().unwrap().a
+        );
+        let seqs: Vec<u64> = evs.iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1), "seq contiguous");
+    }
+
+    #[test]
+    fn labels_truncate_at_char_boundary() {
+        clear();
+        // 31 ASCII bytes then a 3-byte character that cannot fit whole.
+        let long = format!("{}⋈tail", "x".repeat(LABEL_BYTES - 1));
+        record(EventKind::SpanEnter, &long, 0, 0);
+        let evs = events();
+        let label = evs.last().unwrap().label();
+        assert_eq!(label, "x".repeat(LABEL_BYTES - 1));
+        // A label that fits exactly is kept whole.
+        record(EventKind::SpanEnter, "short ⋈", 0, 0);
+        assert_eq!(events().last().unwrap().label(), "short ⋈");
+    }
+
+    #[test]
+    fn dump_renders_tags_and_payloads() {
+        clear();
+        record(EventKind::RetryAttempt, "pin", 42, 1);
+        record(EventKind::RecoveryDecision, "resume join", 7, 0);
+        let text = dump();
+        assert!(text.contains("retry.attempt"));
+        assert!(text.contains("pin a=42 b=1"));
+        assert!(text.contains("recover.decision"));
+        assert!(text.contains("resume join a=7"));
+        assert!(text.starts_with("flight recorder:"));
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_sequence() {
+        record(EventKind::Note, "before", 0, 0);
+        let before = recorded();
+        clear();
+        assert!(events().is_empty());
+        record(EventKind::Note, "after", 0, 0);
+        assert_eq!(events()[0].seq, before + 1);
+    }
+}

@@ -41,8 +41,10 @@ use std::sync::OnceLock;
 use std::time::Instant;
 
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod names;
+pub mod profile;
 pub use json::Json;
 
 /// Number of histogram buckets: bucket `i ≥ 1` covers `[2^(i-1), 2^i)`,
@@ -210,6 +212,14 @@ impl Collector {
             deltas,
             children: open.children,
         };
+        // The flight ring is its own thread-local; recording here cannot
+        // re-borrow the collector.
+        flight::record(
+            flight::EventKind::SpanExit,
+            &record.name,
+            (record.wall_s * 1e6) as u64,
+            record.deltas.len() as u64,
+        );
         let ret = want_record.then(|| record.clone());
         match self.stack.last_mut() {
             Some(parent) => parent.children.push(record),
@@ -444,6 +454,7 @@ pub struct SpanGuard {
 pub fn span(name: impl Into<String>) -> SpanGuard {
     let name = name.into();
     run_flushers();
+    flight::record(flight::EventKind::SpanEnter, &name, 0, 0);
     with(|c| {
         c.stack.push(OpenSpan {
             name,
@@ -456,6 +467,23 @@ pub fn span(name: impl Into<String>) -> SpanGuard {
             depth: c.stack.len(),
         }
     })
+}
+
+impl SpanGuard {
+    /// Closes the span now (instead of at scope exit) and returns the
+    /// finished record, which is also threaded into the span forest.
+    /// Use when the record feeds a query profile but the guarded body
+    /// has early returns that make [`with_span`] awkward.
+    pub fn finish(self) -> SpanRecord {
+        let depth = self.depth;
+        std::mem::forget(self); // closed explicitly just below
+        run_flushers();
+        with(|c| {
+            debug_assert_eq!(c.stack.len(), depth, "span guards closed out of order");
+            c.close_top(true)
+        })
+        .expect("close_top(true) returns the record")
+    }
 }
 
 impl Drop for SpanGuard {
@@ -517,11 +545,14 @@ pub fn counters() -> Vec<(String, u64)> {
     })
 }
 
-/// Zeroes every metric and discards all finished and open spans. Handles
-/// remain valid (names are never un-interned). Bench binaries call this
-/// so each run's session is self-contained.
+/// Zeroes every metric and discards all finished and open spans, pending
+/// query profiles, and retained flight-recorder events. Handles remain
+/// valid (names are never un-interned). Bench binaries call this so each
+/// run's session is self-contained.
 pub fn reset() {
     run_flushers();
+    profile::clear_pending();
+    flight::clear();
     with(|c| {
         c.counters.values.iter_mut().for_each(|v| *v = 0);
         c.gauges.values.iter_mut().for_each(|v| *v = 0);
@@ -672,6 +703,32 @@ mod tests {
         assert_eq!(rec.children[0].name, "inner");
         assert_eq!(rec.delta("t5.absent"), 0);
         assert!(rec.wall_s >= 0.0);
+    }
+
+    #[test]
+    fn guard_finish_returns_record_and_files_it() {
+        let before = spans().len();
+        let guard = span("t11.root");
+        counter("t11.work").add(6);
+        let rec = guard.finish();
+        assert_eq!(rec.name, "t11.root");
+        assert_eq!(rec.delta("t11.work"), 6);
+        let roots = spans();
+        assert_eq!(roots.len(), before + 1);
+        assert_eq!(roots.last().unwrap().name, "t11.root");
+    }
+
+    #[test]
+    fn spans_leave_flight_breadcrumbs() {
+        flight::clear();
+        drop(span("t12.breadcrumb"));
+        let evs = flight::events();
+        assert!(evs
+            .iter()
+            .any(|e| e.kind == flight::EventKind::SpanEnter && e.label() == "t12.breadcrumb"));
+        assert!(evs
+            .iter()
+            .any(|e| e.kind == flight::EventKind::SpanExit && e.label() == "t12.breadcrumb"));
     }
 
     #[test]

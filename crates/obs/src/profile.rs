@@ -1,0 +1,540 @@
+//! Per-query execution profiles: EXPLAIN ANALYZE text and
+//! schema-versioned JSON built from the span forest.
+//!
+//! A profile is an operator tree mirroring a query's span tree
+//! (load → partition → filter → refine, or index build → probe), where
+//! each node carries its wall time, the counter deltas observed inside
+//! it, the work-memory budget it ran under, and two I/O costs:
+//!
+//! * **observed** — the `storage.disk.io_ns` actually charged by the
+//!   simulated disk inside the node, and
+//! * **modeled** — the closed-form disk-model prediction recomputed from
+//!   the node's own page and seek deltas.
+//!
+//! Their ratio is the **drift**: the paper's central claim (PAPER.md
+//! §4–5) is that measured behaviour tracks the cost model, and drift is
+//! where that claim becomes continuously observable per query. Both
+//! sides are pure functions of deterministic counters, so drift is
+//! deterministic and the scorecard can gate it tightly.
+//!
+//! The crate that executes queries builds a [`Profile`] from the root
+//! [`SpanRecord`](crate::SpanRecord) and [`publish`]es it; bench
+//! binaries drain the pending list with [`take_pending`] and write
+//! `bench_results/profile_<name>.json`. [`validate`] checks a JSON
+//! document against the `pbsm-profile-v1` schema (used by the CI smoke
+//! job and the golden tests).
+//!
+//! This crate deliberately knows nothing about the storage engine, so
+//! the disk-model parameters arrive as plain numbers in [`DriftModel`].
+
+use std::cell::RefCell;
+
+use crate::{Json, SpanRecord};
+
+/// Schema identifier stamped into every profile document.
+pub const SCHEMA: &str = "pbsm-profile-v1";
+
+/// Disk-model parameters used to recompute the modeled I/O cost of a
+/// node from its own counter deltas.
+#[derive(Clone, Copy, Debug)]
+pub struct DriftModel {
+    /// Cost of one head seek, in milliseconds.
+    pub seek_ms: f64,
+    /// Cost of transferring one page, in milliseconds.
+    pub page_transfer_ms: f64,
+}
+
+impl DriftModel {
+    /// Closed-form modeled I/O time for `pages` transfers and `seeks`
+    /// head movements.
+    pub fn modeled_io_ms(&self, pages: u64, seeks: u64) -> f64 {
+        seeks as f64 * self.seek_ms + pages as f64 * self.page_transfer_ms
+    }
+}
+
+/// One operator in the profile tree.
+#[derive(Clone, Debug, Default)]
+pub struct OpNode {
+    /// Operator label — the span name, e.g. `partition road`.
+    pub name: String,
+    /// Wall-clock seconds (reporting only, never gated).
+    pub wall_s: f64,
+    /// Non-zero counter deltas observed inside this operator.
+    pub deltas: Vec<(String, u64)>,
+    /// I/O time actually charged by the simulated disk, in ms.
+    pub observed_io_ms: f64,
+    /// Disk-model prediction recomputed from this node's deltas, in ms.
+    pub modeled_io_ms: f64,
+    /// Modeled CPU seconds attributed to this operator by the cost
+    /// tracker (0 when the operator has no cost component).
+    pub modeled_cpu_s: f64,
+    /// Work-memory budget the operator ran under, in pages.
+    pub mem_pages: u64,
+    pub children: Vec<OpNode>,
+}
+
+impl OpNode {
+    /// Builds the node (and its subtree) from a finished span, deriving
+    /// observed and modeled I/O from the span's own counter deltas.
+    pub fn from_span(span: &SpanRecord, model: &DriftModel) -> OpNode {
+        let pages = span.delta("storage.disk.reads") + span.delta("storage.disk.writes");
+        let seeks = span.delta("storage.disk.seeks");
+        OpNode {
+            name: span.name.clone(),
+            wall_s: span.wall_s,
+            deltas: span.deltas.clone(),
+            observed_io_ms: span.delta("storage.disk.io_ns") as f64 / 1e6,
+            modeled_io_ms: model.modeled_io_ms(pages, seeks),
+            modeled_cpu_s: 0.0,
+            mem_pages: 0,
+            children: span
+                .children
+                .iter()
+                .map(|c| OpNode::from_span(c, model))
+                .collect(),
+        }
+    }
+
+    /// The delta of one counter over this operator (0 if it did not move).
+    pub fn delta(&self, counter: &str) -> u64 {
+        self.deltas
+            .iter()
+            .find(|(n, _)| n == counter)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Observed / modeled I/O ratio, or `None` for nodes that did no I/O.
+    pub fn drift(&self) -> Option<f64> {
+        (self.modeled_io_ms > 0.0).then(|| self.observed_io_ms / self.modeled_io_ms)
+    }
+
+    /// Buffer hit rate inside this operator, or `None` if the pool was
+    /// never consulted.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let hits = self.delta("storage.pool.hits");
+        let total = hits + self.delta("storage.pool.misses");
+        (total > 0).then(|| hits as f64 / total as f64)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("wall_s".into(), Json::Num(self.wall_s)),
+            ("observed_io_ms".into(), Json::Num(self.observed_io_ms)),
+            ("modeled_io_ms".into(), Json::Num(self.modeled_io_ms)),
+            ("drift".into(), self.drift().map_or(Json::Null, Json::Num)),
+            ("modeled_cpu_s".into(), Json::Num(self.modeled_cpu_s)),
+            ("mem_pages".into(), Json::uint(self.mem_pages)),
+            (
+                "deltas".into(),
+                Json::Obj(
+                    self.deltas
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::uint(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "children".into(),
+                Json::Arr(self.children.iter().map(|c| c.to_json()).collect()),
+            ),
+        ])
+    }
+
+    fn render(&self, depth: usize, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "{:indent$}-> {}  wall={:.1}ms",
+            "",
+            self.name,
+            self.wall_s * 1e3,
+            indent = depth * 2
+        );
+        let reads = self.delta("storage.disk.reads");
+        let writes = self.delta("storage.disk.writes");
+        let seeks = self.delta("storage.disk.seeks");
+        if reads + writes + seeks > 0 {
+            let _ = write!(out, "  reads={reads} writes={writes} seeks={seeks}");
+        }
+        if let Some(rate) = self.hit_rate() {
+            let _ = write!(out, "  hit={:.1}%", rate * 100.0);
+        }
+        if let Some(drift) = self.drift() {
+            let _ = write!(
+                out,
+                "  io obs={:.1}ms model={:.1}ms drift={:.4}",
+                self.observed_io_ms, self.modeled_io_ms, drift
+            );
+        }
+        if self.modeled_cpu_s > 0.0 {
+            let _ = write!(out, "  cpu={:.3}s", self.modeled_cpu_s);
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.render(depth + 1, out);
+        }
+    }
+
+    fn fold_drift(&self, acc: &mut Option<(f64, f64)>) {
+        if let Some(d) = self.drift() {
+            *acc = Some(match *acc {
+                None => (d, d),
+                Some((lo, hi)) => (lo.min(d), hi.max(d)),
+            });
+        }
+        for c in &self.children {
+            c.fold_drift(acc);
+        }
+    }
+}
+
+/// A complete per-query profile.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    /// Human-readable query description, e.g. `road ⋈ hydro`.
+    pub query: String,
+    /// Executor that produced it: `pbsm`, `inl`, `rtree`, `select.scan`…
+    pub algorithm: String,
+    /// Largest work-memory budget the query actually ran under, in
+    /// pages (after any ENOSPC degradation, this is the budget of the
+    /// attempt that succeeded).
+    pub peak_work_mem_pages: u64,
+    /// Total modeled CPU seconds from the cost tracker.
+    pub modeled_cpu_s: f64,
+    /// Total modeled I/O seconds from the cost tracker.
+    pub modeled_io_s: f64,
+    /// Executor statistics (JoinStats flattened to name/value pairs).
+    pub stats: Vec<(String, u64)>,
+    /// The operator tree; the root's deltas are the query totals.
+    pub root: OpNode,
+}
+
+impl Profile {
+    /// The (min, max) drift ratio over every operator that did I/O.
+    pub fn drift_extrema(&self) -> Option<(f64, f64)> {
+        let mut acc = None;
+        self.root.fold_drift(&mut acc);
+        acc
+    }
+
+    /// Renders the schema-versioned JSON document.
+    pub fn to_json(&self) -> Json {
+        let drift = match self.drift_extrema() {
+            Some((lo, hi)) => Json::Obj(vec![
+                ("min_ratio".into(), Json::Num(lo)),
+                ("max_ratio".into(), Json::Num(hi)),
+            ]),
+            None => Json::Null,
+        };
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(SCHEMA.into())),
+            ("query".into(), Json::Str(self.query.clone())),
+            ("algorithm".into(), Json::Str(self.algorithm.clone())),
+            (
+                "peak_work_mem_pages".into(),
+                Json::uint(self.peak_work_mem_pages),
+            ),
+            ("modeled_cpu_s".into(), Json::Num(self.modeled_cpu_s)),
+            ("modeled_io_s".into(), Json::Num(self.modeled_io_s)),
+            ("drift".into(), drift),
+            (
+                "stats".into(),
+                Json::Obj(
+                    self.stats
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::uint(*v)))
+                        .collect(),
+                ),
+            ),
+            ("root".into(), self.root.to_json()),
+        ])
+    }
+
+    /// Renders the human-readable EXPLAIN ANALYZE tree.
+    pub fn explain_analyze(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "EXPLAIN ANALYZE ({}) {}  [{}]",
+            self.algorithm, self.query, SCHEMA
+        );
+        let _ = write!(
+            out,
+            "modeled cpu {:.3}s · modeled io {:.3}s · peak work-mem {} pages",
+            self.modeled_cpu_s, self.modeled_io_s, self.peak_work_mem_pages
+        );
+        match self.drift_extrema() {
+            Some((lo, hi)) => {
+                let _ = writeln!(out, " · drift {lo:.4}..{hi:.4}");
+            }
+            None => out.push('\n'),
+        }
+        self.root.render(0, &mut out);
+        out
+    }
+}
+
+/// Validates a JSON document against the `pbsm-profile-v1` schema.
+///
+/// Beyond field presence and types, this enforces the structural
+/// invariant that makes a profile trustworthy: counters are monotone, so
+/// within every node the sum of any counter's child deltas can never
+/// exceed the node's own delta (the root's deltas are the query totals).
+pub fn validate(doc: &Json) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing schema field")?;
+    if schema != SCHEMA {
+        return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+    }
+    for key in ["query", "algorithm"] {
+        doc.get(key)
+            .and_then(Json::as_str)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| format!("missing or empty {key}"))?;
+    }
+    doc.get("peak_work_mem_pages")
+        .and_then(Json::as_u64)
+        .ok_or("missing peak_work_mem_pages")?;
+    for key in ["modeled_cpu_s", "modeled_io_s"] {
+        let v = doc
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing {key}"))?;
+        if v < 0.0 {
+            return Err(format!("negative {key}"));
+        }
+    }
+    match doc.get("drift") {
+        Some(Json::Null) | None => {}
+        Some(d) => {
+            for key in ["min_ratio", "max_ratio"] {
+                let v = d
+                    .get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("drift missing {key}"))?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(format!("drift {key} not a positive number"));
+                }
+            }
+        }
+    }
+    let stats = doc.get("stats").ok_or("missing stats")?;
+    match stats {
+        Json::Obj(fields) => {
+            for (k, v) in fields {
+                v.as_u64().ok_or_else(|| format!("stat {k} not a u64"))?;
+            }
+        }
+        _ => return Err("stats is not an object".into()),
+    }
+    let root = doc.get("root").ok_or("missing root")?;
+    validate_node(root, "root")
+}
+
+fn validate_node(node: &Json, path: &str) -> Result<(), String> {
+    node.get("name")
+        .and_then(Json::as_str)
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| format!("{path}: missing name"))?;
+    for key in ["wall_s", "observed_io_ms", "modeled_io_ms", "modeled_cpu_s"] {
+        let v = node
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{path}: missing {key}"))?;
+        if v < 0.0 {
+            return Err(format!("{path}: negative {key}"));
+        }
+    }
+    node.get("mem_pages")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{path}: missing mem_pages"))?;
+    let deltas = match node.get("deltas") {
+        Some(Json::Obj(fields)) => fields,
+        _ => return Err(format!("{path}: deltas is not an object")),
+    };
+    for (k, v) in deltas {
+        v.as_u64()
+            .ok_or_else(|| format!("{path}: delta {k} not a u64"))?;
+    }
+    let children = node
+        .get("children")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing children"))?;
+    // Children partition the parent's work: no counter may move more in
+    // the children combined than it did in the parent.
+    for (name, total) in deltas {
+        let child_sum: u64 = children
+            .iter()
+            .filter_map(|c| c.get("deltas").and_then(|d| d.get(name)))
+            .filter_map(Json::as_u64)
+            .sum();
+        let total = total.as_u64().unwrap_or(0);
+        if child_sum > total {
+            return Err(format!(
+                "{path}: counter {name} children sum {child_sum} exceeds node delta {total}"
+            ));
+        }
+    }
+    for (i, c) in children.iter().enumerate() {
+        validate_node(c, &format!("{path}.children[{i}]"))?;
+    }
+    Ok(())
+}
+
+thread_local! {
+    static PENDING: RefCell<Vec<Profile>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Queues a finished profile for the bench harness to drain, and bumps
+/// the `obs.profile.captured` counter.
+pub fn publish(p: Profile) {
+    crate::counter("obs.profile.captured").incr();
+    PENDING.with(|q| q.borrow_mut().push(p));
+}
+
+/// Removes and returns every profile published since the last drain (or
+/// [`reset`](crate::reset)).
+pub fn take_pending() -> Vec<Profile> {
+    PENDING.with(|q| std::mem::take(&mut *q.borrow_mut()))
+}
+
+pub(crate) fn clear_pending() {
+    PENDING.with(|q| q.borrow_mut().clear());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DriftModel {
+        DriftModel {
+            seek_ms: 11.0,
+            page_transfer_ms: 2.0,
+        }
+    }
+
+    fn span(name: &str, deltas: Vec<(&str, u64)>, children: Vec<SpanRecord>) -> SpanRecord {
+        SpanRecord {
+            name: name.into(),
+            start_s: 0.0,
+            wall_s: 0.01,
+            deltas: deltas.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+            children,
+        }
+    }
+
+    fn sample_profile() -> Profile {
+        // Root: 10 reads + 4 writes + 2 seeks; child does 6 of the reads.
+        let io_ns = (2 * 11_000_000 + 14 * 2_000_000) as u64;
+        let rec = span(
+            "pbsm join road ⋈ hydro",
+            vec![
+                ("storage.disk.reads", 10),
+                ("storage.disk.writes", 4),
+                ("storage.disk.seeks", 2),
+                ("storage.disk.io_ns", io_ns),
+                ("storage.pool.hits", 90),
+                ("storage.pool.misses", 10),
+            ],
+            vec![span(
+                "partition road",
+                vec![
+                    ("storage.disk.reads", 6),
+                    ("storage.disk.io_ns", 12_000_000),
+                ],
+                vec![],
+            )],
+        );
+        let mut root = OpNode::from_span(&rec, &model());
+        root.modeled_cpu_s = 1.5;
+        Profile {
+            query: "road ⋈ hydro".into(),
+            algorithm: "pbsm".into(),
+            peak_work_mem_pages: 2048,
+            modeled_cpu_s: 1.5,
+            modeled_io_s: io_ns as f64 / 1e9,
+            stats: vec![("results".into(), 77), ("partitions".into(), 4)],
+            root,
+        }
+    }
+
+    #[test]
+    fn from_span_computes_drift_from_deltas() {
+        let p = sample_profile();
+        // Root: modeled = 2*11 + 14*2 = 50ms, observed = io_ns/1e6 = 50ms.
+        assert!((p.root.modeled_io_ms - 50.0).abs() < 1e-9);
+        assert!((p.root.drift().unwrap() - 1.0).abs() < 1e-9);
+        // Child: modeled = 6*2 = 12ms, observed = 12ms.
+        assert!((p.root.children[0].drift().unwrap() - 1.0).abs() < 1e-9);
+        assert_eq!(p.root.hit_rate(), Some(0.9));
+        assert_eq!(p.root.children[0].hit_rate(), None);
+        let (lo, hi) = p.drift_extrema().unwrap();
+        assert!(lo <= 1.0 + 1e-9 && hi >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn json_roundtrip_validates() {
+        let doc = p_json(&sample_profile());
+        validate(&doc).unwrap();
+    }
+
+    fn p_json(p: &Profile) -> Json {
+        Json::parse(&p.to_json().render()).unwrap()
+    }
+
+    #[test]
+    fn validate_rejects_bad_documents() {
+        let good = sample_profile();
+        // Wrong schema string.
+        let mut doc = p_json(&good);
+        if let Json::Obj(fields) = &mut doc {
+            fields[0].1 = Json::Str("pbsm-profile-v0".into());
+        }
+        assert!(validate(&doc).unwrap_err().contains("schema"));
+        // Missing root.
+        let mut doc = p_json(&good);
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "root");
+        }
+        assert!(validate(&doc).unwrap_err().contains("root"));
+        // Children claiming more I/O than the parent observed.
+        let mut bad = good.clone();
+        bad.root.children[0].deltas = vec![("storage.disk.reads".into(), 99)];
+        assert!(validate(&p_json(&bad))
+            .unwrap_err()
+            .contains("children sum"));
+    }
+
+    #[test]
+    fn explain_analyze_renders_tree_and_drift() {
+        let text = sample_profile().explain_analyze();
+        assert!(text.starts_with("EXPLAIN ANALYZE (pbsm) road ⋈ hydro"));
+        assert!(text.contains("peak work-mem 2048 pages"));
+        assert!(text.contains("-> pbsm join road ⋈ hydro"));
+        assert!(text.contains("  -> partition road"));
+        assert!(text.contains("drift=1.0000"));
+        assert!(text.contains("hit=90.0%"));
+    }
+
+    #[test]
+    fn publish_take_pending_roundtrip() {
+        clear_pending();
+        publish(sample_profile());
+        publish(sample_profile());
+        let drained = take_pending();
+        assert_eq!(drained.len(), 2);
+        assert!(take_pending().is_empty());
+        assert!(crate::counter_value("obs.profile.captured") >= 2);
+    }
+
+    #[test]
+    fn reset_clears_pending_profiles() {
+        publish(sample_profile());
+        crate::reset();
+        assert!(take_pending().is_empty());
+    }
+}

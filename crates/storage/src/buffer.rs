@@ -73,6 +73,13 @@ struct PoolCounters {
     misses: obs::Counter,
     evictions: obs::Counter,
     writebacks: obs::Counter,
+    /// Mirror of the page-table size, published as the
+    /// `storage.pool.occupied` gauge only when it moved since the last
+    /// flush. Maintained at every map mutation (miss/evict/clear/drop
+    /// paths — never the per-touch hit path).
+    occupied: Cell<u64>,
+    occupied_published: Cell<u64>,
+    occupied_gauge: obs::Gauge,
 }
 
 impl PoolCounters {
@@ -86,6 +93,9 @@ impl PoolCounters {
             misses: obs::counter("storage.pool.misses"),
             evictions: obs::counter("storage.pool.evictions"),
             writebacks: obs::counter("storage.pool.writebacks"),
+            occupied: Cell::new(0),
+            occupied_published: Cell::new(0),
+            occupied_gauge: obs::gauge("storage.pool.occupied"),
         });
         let weak = Rc::downgrade(&counters);
         let weak: std::rc::Weak<dyn obs::FlushMetrics> = weak;
@@ -106,6 +116,11 @@ impl obs::FlushMetrics for PoolCounters {
             if n > 0 {
                 counter.add(n);
             }
+        }
+        let occupied = self.occupied.get();
+        if occupied != self.occupied_published.get() {
+            self.occupied_gauge.set(occupied);
+            self.occupied_published.set(occupied);
         }
     }
 }
@@ -283,13 +298,31 @@ impl BufferPool {
                 Ok(()) => {
                     if attempt > 1 {
                         obs::cached_counter!("storage.retry.absorbed").incr();
+                        obs::flight::record(
+                            obs::flight::EventKind::RetryAbsorbed,
+                            "page transfer",
+                            pid.page_no as u64,
+                            attempt as u64,
+                        );
                     }
                     return Ok(());
                 }
                 Err(e) if e.is_transient() => {
                     obs::cached_counter!("storage.retry.attempts").incr();
+                    obs::flight::record(
+                        obs::flight::EventKind::RetryAttempt,
+                        "page transfer",
+                        pid.page_no as u64,
+                        attempt as u64,
+                    );
                     if attempt >= policy.max_attempts.max(1) {
                         obs::cached_counter!("storage.retry.exhausted").incr();
+                        obs::flight::record(
+                            obs::flight::EventKind::RetryExhausted,
+                            "page transfer",
+                            pid.page_no as u64,
+                            attempt as u64,
+                        );
                         return Err(StorageError::RetriesExhausted(pid));
                     }
                     attempt += 1;
@@ -351,6 +384,7 @@ impl BufferPool {
         obs::bump(&st.counters.pending_evictions);
         if let Some(old) = st.meta[victim].page.take() {
             st.map.remove(&old);
+            st.counters.occupied.set(st.map.len() as u64);
         }
         st.meta[victim].dirty = false;
         Ok(victim)
@@ -415,6 +449,7 @@ impl BufferPool {
             }
         }
         st.map.insert(pid, idx);
+        st.counters.occupied.set(st.map.len() as u64);
         st.meta[idx] = FrameMeta {
             page: Some(pid),
             dirty: !read_from_disk,
@@ -524,6 +559,7 @@ impl BufferPool {
         self.flush_all()?;
         let mut st = self.state.borrow_mut();
         let entries: Vec<(PageId, usize)> = std::mem::take(&mut st.map).into_iter().collect();
+        st.counters.occupied.set(0);
         for (pid, idx) in entries {
             assert_eq!(st.meta[idx].pin, 0, "clear_cache with pinned page {pid:?}");
             st.meta[idx] = FrameMeta {
@@ -565,6 +601,7 @@ impl BufferPool {
             };
             st.free.push(idx);
         }
+        st.counters.occupied.set(st.map.len() as u64);
         drop(st);
         self.disk.borrow_mut().drop_file(file);
         // Best-effort: a failed (e.g. crashed) drop record is safe — the

@@ -101,6 +101,12 @@ impl Db {
     /// memory), so callers re-register their relations; only committed
     /// heap files have durable data to re-register *onto*.
     pub fn recover(config: DbConfig, mut disk: SimDisk) -> StorageResult<(Db, RecoveredState)> {
+        obs::flight::record(
+            obs::flight::EventKind::RecoveryDecision,
+            "recover start",
+            disk.num_files() as u64,
+            disk.live_pages(),
+        );
         disk.clear_crash();
         disk.set_faults(config.faults);
         if !config.journal || disk.num_files() == 0 {
@@ -197,6 +203,12 @@ impl Db {
             }
         }
         if let Some(j) = cur.as_mut() {
+            obs::flight::record(
+                obs::flight::EventKind::RecoveryDecision,
+                "join in flight",
+                j.join_id,
+                j.partitions as u64,
+            );
             j.pairs = pairs.into_values().collect();
             j.runs = runs.into_values().collect();
             // A checkpoint whose file the disk no longer holds is useless.
@@ -215,6 +227,12 @@ impl Db {
                 .take_while(|(i, c)| c.index == *i as u32)
                 .count();
             j.runs.truncate(prefix);
+            obs::flight::record(
+                obs::flight::EventKind::RecoveryDecision,
+                "checkpoints trusted",
+                j.pairs.len() as u64,
+                j.runs.len() as u64,
+            );
         }
 
         // Protected files: the journal itself, committed relations, and
@@ -242,6 +260,12 @@ impl Db {
             if pages > 0 {
                 state.orphan_files += 1;
                 state.orphan_pages += pages;
+                obs::flight::record(
+                    obs::flight::EventKind::RecoveryDecision,
+                    "reclaim orphan",
+                    file.0 as u64,
+                    pages,
+                );
             }
         }
         obs::cached_counter!("storage.journal.recovered_files").add(state.orphan_files);

@@ -148,6 +148,12 @@ struct DiskCounters {
     writes: obs::Counter,
     seeks: obs::Counter,
     io_ns: obs::Counter,
+    /// Mirror of `SimDisk::live_pages`, published as the
+    /// `storage.disk.live_pages` gauge only when it moved since the last
+    /// flush so idle flushes stay free.
+    live_pages: Cell<u64>,
+    live_pages_published: Cell<u64>,
+    live_pages_gauge: obs::Gauge,
     files: RefCell<Vec<Rc<FileCounters>>>,
 }
 
@@ -163,6 +169,11 @@ impl obs::FlushMetrics for DiskCounters {
             if n > 0 {
                 counter.add(n);
             }
+        }
+        let live = self.live_pages.get();
+        if live != self.live_pages_published.get() {
+            self.live_pages_gauge.set(live);
+            self.live_pages_published.set(live);
         }
         for f in self.files.borrow().iter() {
             f.flush();
@@ -235,6 +246,9 @@ impl SimDisk {
                     writes: obs::counter("storage.disk.writes"),
                     seeks: obs::counter("storage.disk.seeks"),
                     io_ns: obs::counter("storage.disk.io_ns"),
+                    live_pages: Cell::new(0),
+                    live_pages_published: Cell::new(0),
+                    live_pages_gauge: obs::gauge("storage.disk.live_pages"),
                     files: RefCell::new(Vec::new()),
                 });
                 let weak = Rc::downgrade(&counters);
@@ -332,6 +346,12 @@ impl SimDisk {
     /// pre-write bytes, while the sidecar checksum keeps describing the
     /// intended bytes — and poisons the handle.
     fn enter_crash(&mut self) {
+        obs::flight::record(
+            obs::flight::EventKind::CrashPoint,
+            "disk",
+            self.total_ops,
+            0,
+        );
         let tears = std::mem::take(&mut self.pending_tears);
         for (pid, (offset, old)) in tears {
             if let Some(f) = self.files.get_mut(pid.file.0 as usize) {
@@ -384,6 +404,7 @@ impl SimDisk {
         self.pending_tears.retain(|pid, _| pid.file != file);
         if let Some(f) = self.files.get_mut(file.0 as usize) {
             self.live_pages -= f.pages.len() as u64;
+            self.counters.live_pages.set(self.live_pages);
             f.pages.clear();
             f.pages.shrink_to_fit();
             f.sums.clear();
@@ -430,6 +451,7 @@ impl SimDisk {
         f.pages.push(zeroed_page());
         f.sums.push(zeroed_sum());
         self.live_pages += 1;
+        self.counters.live_pages.set(self.live_pages);
         Ok(PageId::new(file, page_no))
     }
 

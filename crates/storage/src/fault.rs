@@ -252,11 +252,13 @@ impl FaultSchedule {
     pub(crate) fn on_read(&mut self, pid: PageId) -> bool {
         if self.drain_burst(pid, false) {
             self.tally.transient_reads += 1;
+            self.flight(obs::flight::EventKind::FaultTransientRead, "burst", pid);
             return true;
         }
         if self.fires(self.cfg.read_transient_ppm) {
             self.tally.transient_reads += 1;
             obs::cached_counter!("storage.fault.transient_reads").incr();
+            self.flight(obs::flight::EventKind::FaultTransientRead, "injected", pid);
             self.open_burst(pid, false);
             return true;
         }
@@ -267,17 +269,20 @@ impl FaultSchedule {
     pub(crate) fn on_write(&mut self, pid: PageId) -> WriteDecision {
         if self.drain_burst(pid, true) {
             self.tally.transient_writes += 1;
+            self.flight(obs::flight::EventKind::FaultTransientWrite, "burst", pid);
             return WriteDecision::Transient;
         }
         if self.fires(self.cfg.write_transient_ppm) {
             self.tally.transient_writes += 1;
             obs::cached_counter!("storage.fault.transient_writes").incr();
+            self.flight(obs::flight::EventKind::FaultTransientWrite, "injected", pid);
             self.open_burst(pid, true);
             return WriteDecision::Transient;
         }
         if self.fires(self.cfg.torn_write_ppm) {
             self.tally.torn_writes += 1;
             obs::cached_counter!("storage.fault.torn_writes").incr();
+            self.flight(obs::flight::EventKind::FaultTornWrite, "injected", pid);
             let offset = (self.next_u64() % (crate::page::PAGE_SIZE as u64 - 64)) as usize;
             return WriteDecision::Torn { offset };
         }
@@ -291,6 +296,7 @@ impl FaultSchedule {
         if self.fires(self.cfg.enospc_ppm) {
             self.tally.enospc += 1;
             obs::cached_counter!("storage.fault.enospc").incr();
+            obs::flight::record(obs::flight::EventKind::FaultEnospc, "injected", 0, 0);
             return true;
         }
         false
@@ -301,6 +307,13 @@ impl FaultSchedule {
     pub(crate) fn note_capacity_enospc(&mut self) {
         self.tally.enospc += 1;
         obs::cached_counter!("storage.fault.enospc").incr();
+        obs::flight::record(obs::flight::EventKind::FaultEnospc, "capacity", 0, 0);
+    }
+
+    /// Leaves a flight-recorder breadcrumb for an injected fault, keyed
+    /// by the page it hit.
+    fn flight(&self, kind: obs::flight::EventKind, label: &str, pid: PageId) {
+        obs::flight::record(kind, label, pid.page_no as u64, pid.file.0 as u64);
     }
 }
 

@@ -240,6 +240,26 @@ impl Journal {
         // every write issued before it — is confirmed.
         disk.sync();
         obs::cached_counter!("storage.journal.appends").incr();
+        let (label, a, b) = match rec {
+            JournalRecord::TempCreated { file } => ("temp_created", file.0 as u64, 0),
+            JournalRecord::TempDropped { file } => ("temp_dropped", file.0 as u64, 0),
+            JournalRecord::Committed { file } => ("committed", file.0 as u64, 0),
+            JournalRecord::JoinBegin {
+                join_id,
+                partitions,
+                ..
+            } => ("join_begin", join_id, partitions as u64),
+            JournalRecord::PairDone {
+                join_id,
+                pair_index,
+                ..
+            } => ("pair_done", join_id, pair_index as u64),
+            JournalRecord::RunDone {
+                join_id, run_index, ..
+            } => ("run_done", join_id, run_index as u64),
+            JournalRecord::JoinEnd { join_id } => ("join_end", join_id, 0),
+        };
+        obs::flight::record(obs::flight::EventKind::JournalIntent, label, a, b);
         self.slot += 1;
         if self.slot == RECS_PER_PAGE {
             self.slot = 0;
