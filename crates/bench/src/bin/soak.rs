@@ -1,0 +1,42 @@
+//! Continuous-telemetry soak: a long mixed workload (selections + all
+//! three joins over TIGER and Sequoia, with a transient-fault phase)
+//! through one database, sampled by the deterministic time-series
+//! sampler and gated by the leak/SLO sentinels.
+//!
+//! Writes `bench_results/soak.{json,txt}` and exits nonzero on any
+//! sentinel breach. All knobs are `PBSM_SOAK_*` environment variables —
+//! see [`pbsm_bench::soak::SoakConfig`].
+
+use pbsm_bench::soak::{run_soak, write_outputs, SoakConfig};
+
+fn main() {
+    let config = SoakConfig::from_env();
+    println!(
+        "# soak: {} queries (warmup {}), sample every {}, seed {}, scale {}, faults {}",
+        config.queries,
+        config.warmup,
+        config.sample_every,
+        config.seed,
+        config.scale,
+        config.faults
+    );
+    let outcome = run_soak(&config);
+    print!("{}", outcome.dashboard);
+    if let Err(e) = write_outputs(&outcome) {
+        eprintln!("could not write soak outputs: {e}");
+        std::process::exit(2);
+    }
+    println!("\n[saved bench_results/soak.json]");
+    println!("[saved bench_results/soak.txt]");
+    if !outcome.breaches.is_empty() {
+        eprintln!(
+            "\nsoak FAILED: {} sentinel breach(es)",
+            outcome.breaches.len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "\nsoak passed: {} queries, {} failed cleanly under faults, all sentinels green",
+        outcome.queries_run, outcome.failures
+    );
+}

@@ -99,7 +99,9 @@ impl CompareReport {
 }
 
 /// Flattens one bench entry's gated values: `counters.*`, `metrics.*`,
-/// and `histograms.<name>.{count,p50,p99,max}`.
+/// and `histograms.<name>.{count,p50,p99,p999,max}` (stats present only
+/// on one side surface as Missing/NewMetric findings, so a baseline
+/// predating a stat keeps passing).
 fn gated_values(bench: &Json) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     for block in ["counters", "metrics"] {

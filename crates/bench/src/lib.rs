@@ -47,6 +47,7 @@ use std::time::Instant;
 pub mod chaos;
 pub mod compare;
 pub mod scorecard;
+pub mod soak;
 pub mod traj;
 
 /// Every figure/table harness binary, in the paper's presentation order.

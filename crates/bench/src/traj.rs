@@ -5,7 +5,7 @@
 //! trajectory record, `BENCH_<rev>.json`, written at the repository root
 //! so the perf history accrues alongside the code. The record keeps the
 //! decision-relevant reductions — per-bench wall time, deterministic
-//! counters and metrics, histogram p50/p99 — not the full span forests
+//! counters and metrics, histogram p50/p99/p999 — not the full span forests
 //! (those stay in `bench_results/`).
 //!
 //! Schema (`pbsm-bench-trajectory-v1`, see DESIGN.md §7):
@@ -24,7 +24,7 @@
 //!      "metrics": {"result_pairs": 36587},
 //!      "timings": {"total_1996.pbsm.2mb": 332.1},
 //!      "histograms": {"pbsm.partition.tiles_per_mbr":
-//!                     {"count": 900, "p50": 1, "p99": 3, "max": 7}}}
+//!                     {"count": 900, "p50": 1, "p99": 3, "p999": 5, "max": 7}}}
 //!   ]
 //! }
 //! ```
@@ -47,21 +47,11 @@ const EXCLUDED_COUNTER_PREFIXES: &[&str] = &["storage.disk.file."];
 /// An approximate quantile over sparse power-of-two histogram entries
 /// (`[bucket_upper_bound, count]` pairs, ascending): the upper bound of
 /// the bucket where the cumulative count first reaches `q` of the total.
-/// Returns 0 for an empty histogram.
+/// Returns 0 for an empty histogram. The implementation lives with the
+/// SLO sentinels in `pbsm_obs::timeseries`; this re-export keeps the
+/// trajectory module self-describing.
 pub fn hist_quantile(entries: &[(u64, u64)], q: f64) -> u64 {
-    let total: u64 = entries.iter().map(|(_, c)| c).sum();
-    if total == 0 {
-        return 0;
-    }
-    let want = (q * total as f64).ceil().max(1.0) as u64;
-    let mut acc = 0;
-    for &(upper, count) in entries {
-        acc += count;
-        if acc >= want {
-            return upper;
-        }
-    }
-    entries.last().map_or(0, |&(u, _)| u)
+    pbsm_obs::timeseries::hist_quantile(entries, q)
 }
 
 fn parse_hist(json: &Json) -> Vec<(u64, u64)> {
@@ -104,6 +94,7 @@ pub fn bench_entry(doc: &Json) -> Option<Json> {
                         ("count".into(), Json::uint(count)),
                         ("p50".into(), Json::uint(hist_quantile(&entries, 0.50))),
                         ("p99".into(), Json::uint(hist_quantile(&entries, 0.99))),
+                        ("p999".into(), Json::uint(hist_quantile(&entries, 0.999))),
                         ("max".into(), Json::uint(max)),
                     ]),
                 )
@@ -183,9 +174,20 @@ mod tests {
         assert_eq!(hist_quantile(&entries, 0.50), 1);
         assert_eq!(hist_quantile(&entries, 0.95), 7);
         assert_eq!(hist_quantile(&entries, 0.99), 7);
+        assert_eq!(hist_quantile(&entries, 0.999), 1023);
         assert_eq!(hist_quantile(&entries, 1.0), 1023);
         assert_eq!(hist_quantile(&[], 0.5), 0);
         assert_eq!(hist_quantile(&[(0, 5)], 0.99), 0);
+    }
+
+    #[test]
+    fn p999_separates_the_tail_p99_misses() {
+        // 998 fast observations and two 1023-bucket stragglers: p99
+        // (rank 990) stays in the fast bucket, p999 (rank 999) lands on
+        // the stragglers p99 cannot see.
+        let entries = [(3u64, 998u64), (1023, 2)];
+        assert_eq!(hist_quantile(&entries, 0.99), 3);
+        assert_eq!(hist_quantile(&entries, 0.999), 1023);
     }
 
     #[test]
@@ -215,6 +217,7 @@ mod tests {
         assert_eq!(h.get("count").unwrap().as_u64(), Some(100));
         assert_eq!(h.get("p50").unwrap().as_u64(), Some(1));
         assert_eq!(h.get("p99").unwrap().as_u64(), Some(7));
+        assert_eq!(h.get("p999").unwrap().as_u64(), Some(7));
         assert_eq!(h.get("max").unwrap().as_u64(), Some(7));
         assert_eq!(
             e.get("metrics")
@@ -223,6 +226,42 @@ mod tests {
                 .unwrap()
                 .as_u64(),
             Some(42)
+        );
+    }
+
+    #[test]
+    fn bench_entry_summary_round_trips_through_json() {
+        // Golden shape: the rendered histogram summary must parse back
+        // identically, p999 included — the trajectory file is consumed
+        // by `bench_compare` after a disk round trip.
+        let doc = Json::parse(
+            r#"{"name":"fig_y","config":{},"wall_s":0.5,
+                "metrics":{},"timings":{},
+                "session":{
+                  "counters":{},"gauges":{},
+                  "histograms":{"lat":[[3,998],[1023,2]]},
+                  "spans":[]}}"#,
+        )
+        .unwrap();
+        let e = bench_entry(&doc).unwrap();
+        let golden = r#""lat":{"count":1000,"p50":3,"p99":3,"p999":1023,"max":1023}"#;
+        assert!(
+            e.render().contains(golden),
+            "rendered entry lacks golden summary: {}",
+            e.render()
+        );
+        let reparsed = Json::parse(&e.render()).unwrap();
+        assert_eq!(reparsed, e, "trajectory entry must round-trip");
+        assert_eq!(
+            reparsed
+                .get("histograms")
+                .unwrap()
+                .get("lat")
+                .unwrap()
+                .get("p999")
+                .unwrap()
+                .as_u64(),
+            Some(1023)
         );
     }
 

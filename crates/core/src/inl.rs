@@ -111,6 +111,10 @@ pub fn inl_join(db: &Db, spec: &JoinSpec, config: &JoinConfig) -> StorageResult<
         &stats,
     );
     pbsm_obs::profile::publish(profile.clone());
+    crate::telemetry::query_complete(
+        crate::telemetry::QueryClass::Inl,
+        record.delta(pbsm_obs::names::DISK_IO_NS),
+    );
     Ok(JoinOutcome {
         pairs,
         report,

@@ -48,6 +48,7 @@ pub mod refine;
 pub mod rtree_join;
 pub mod select;
 pub mod skew;
+pub mod telemetry;
 #[cfg(test)]
 pub(crate) mod testgen;
 

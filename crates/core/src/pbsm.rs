@@ -132,6 +132,10 @@ pub fn pbsm_join_resume(
                     );
                     pbsm_obs::profile::publish(profile.clone());
                     out.profile = Some(profile);
+                    crate::telemetry::query_complete(
+                        crate::telemetry::QueryClass::Pbsm,
+                        record.delta(pbsm_obs::names::DISK_IO_NS),
+                    );
                 }
                 return Ok(out);
             }
@@ -222,7 +226,12 @@ fn pbsm_attempt(
             return Err(e);
         }
     };
-    candidates.destroy(db.pool());
+    if crate::telemetry::force_temp_leak() {
+        // Test hook: leak the candidate file so the leak sentinel has a
+        // genuine monotonic drift to detect.
+    } else {
+        candidates.destroy(db.pool());
+    }
     stats.unique_candidates = refined.unique_candidates;
     stats.results = refined.pairs.len() as u64;
 
@@ -393,7 +402,13 @@ fn pbsm_attempt_journaled(
             return Err(e);
         }
     };
-    candidates.destroy(db.pool());
+    if crate::telemetry::force_temp_leak() {
+        // Test hook: leak the candidate file (see pbsm_attempt). The
+        // skipped TempDropped also leaves the intent open, so the
+        // journal-length leak axis drifts alongside live pages.
+    } else {
+        candidates.destroy(db.pool());
+    }
     merged.destroy(db);
     db.pool()
         .journal_append(JournalRecord::JoinEnd { join_id: fp })?;

@@ -85,6 +85,10 @@ pub fn rtree_join(db: &Db, spec: &JoinSpec, config: &JoinConfig) -> StorageResul
         &stats,
     );
     pbsm_obs::profile::publish(profile.clone());
+    crate::telemetry::query_complete(
+        crate::telemetry::QueryClass::Rtree,
+        record.delta(pbsm_obs::names::DISK_IO_NS),
+    );
     Ok(JoinOutcome {
         pairs: refined.pairs,
         report,

@@ -138,6 +138,12 @@ fn finish_select(
         oids.len() as u64,
     );
     pbsm_obs::profile::publish(profile.clone());
+    let class = if algorithm == "select.index" {
+        crate::telemetry::QueryClass::SelectIndex
+    } else {
+        crate::telemetry::QueryClass::SelectScan
+    };
+    crate::telemetry::query_complete(class, record.delta(pbsm_obs::names::DISK_IO_NS));
     SelectOutcome {
         oids,
         report,

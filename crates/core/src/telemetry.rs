@@ -1,0 +1,121 @@
+//! Query-completion telemetry: the bridge between the five query
+//! drivers and the continuous sampler in `pbsm_obs::timeseries`.
+//!
+//! Each driver calls [`query_complete`] exactly once per successful
+//! query, passing its class and the query's **modeled** I/O time (the
+//! root span's `storage.disk.io_ns` delta — deterministic, unlike wall
+//! clock). That one call records the per-class latency histogram the
+//! SLO sentinel reads and advances the sampler's logical clock, so
+//! "every N ticks" means "every N queries" and two identical runs
+//! sample at identical points.
+//!
+//! The module also hosts the forced-leak test hook: a sticky flag that
+//! makes the PBSM driver skip its candidate-file cleanup, giving the
+//! leak sentinel a real, reproducible leak to catch in tests.
+
+use std::cell::Cell;
+
+/// The five query shapes the engine executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryClass {
+    /// Partition based spatial-merge join.
+    Pbsm,
+    /// Indexed nested loops join.
+    Inl,
+    /// R-tree synchronized-traversal join.
+    Rtree,
+    /// Window selection via sequential scan.
+    SelectScan,
+    /// Window selection via index probe.
+    SelectIndex,
+}
+
+impl QueryClass {
+    /// Every class, in a fixed report order.
+    pub const ALL: [QueryClass; 5] = [
+        QueryClass::Pbsm,
+        QueryClass::Inl,
+        QueryClass::Rtree,
+        QueryClass::SelectScan,
+        QueryClass::SelectIndex,
+    ];
+
+    /// Short label used in reports and SLO specs.
+    pub fn key(self) -> &'static str {
+        match self {
+            QueryClass::Pbsm => "pbsm",
+            QueryClass::Inl => "inl",
+            QueryClass::Rtree => "rtree",
+            QueryClass::SelectScan => "select_scan",
+            QueryClass::SelectIndex => "select_index",
+        }
+    }
+
+    /// The registered per-class latency histogram.
+    pub fn hist_name(self) -> &'static str {
+        match self {
+            QueryClass::Pbsm => pbsm_obs::names::TIMESERIES_QUERY_IO_PBSM,
+            QueryClass::Inl => pbsm_obs::names::TIMESERIES_QUERY_IO_INL,
+            QueryClass::Rtree => pbsm_obs::names::TIMESERIES_QUERY_IO_RTREE,
+            QueryClass::SelectScan => pbsm_obs::names::TIMESERIES_QUERY_IO_SELECT_SCAN,
+            QueryClass::SelectIndex => pbsm_obs::names::TIMESERIES_QUERY_IO_SELECT_INDEX,
+        }
+    }
+}
+
+/// Records one completed query: per-class modeled-latency histogram
+/// plus one logical sampler tick.
+pub fn query_complete(class: QueryClass, modeled_io_ns: u64) {
+    pbsm_obs::histogram(class.hist_name()).record(modeled_io_ns);
+    pbsm_obs::timeseries::tick();
+}
+
+thread_local! {
+    static FORCE_TEMP_LEAK: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Test hook: while set, the PBSM driver leaks its candidate file
+/// instead of destroying it, so leak-sentinel tests have a genuine
+/// monotonic page leak to detect. Sticky until cleared.
+pub fn set_force_temp_leak(on: bool) {
+    FORCE_TEMP_LEAK.with(|f| f.set(on));
+}
+
+/// Is the forced-leak hook armed?
+pub fn force_temp_leak() -> bool {
+    FORCE_TEMP_LEAK.with(Cell::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_map_to_registered_histograms() {
+        for class in QueryClass::ALL {
+            assert!(
+                pbsm_obs::names::ALL.contains(&class.hist_name()),
+                "{} histogram unregistered",
+                class.key()
+            );
+        }
+    }
+
+    #[test]
+    fn query_complete_records_and_ticks() {
+        let before = pbsm_obs::timeseries::ticks();
+        query_complete(QueryClass::Pbsm, 1234);
+        assert_eq!(pbsm_obs::timeseries::ticks(), before + 1);
+        let entries = pbsm_obs::histogram_entries(QueryClass::Pbsm.hist_name());
+        assert!(entries.iter().map(|&(_, c)| c).sum::<u64>() >= 1);
+    }
+
+    #[test]
+    fn leak_hook_is_sticky_and_clearable() {
+        assert!(!force_temp_leak());
+        set_force_temp_leak(true);
+        assert!(force_temp_leak());
+        set_force_temp_leak(false);
+        assert!(!force_temp_leak());
+    }
+}

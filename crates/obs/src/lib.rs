@@ -45,6 +45,7 @@ pub mod flight;
 pub mod json;
 pub mod names;
 pub mod profile;
+pub mod timeseries;
 pub use json::Json;
 
 /// Number of histogram buckets: bucket `i ≥ 1` covers `[2^(i-1), 2^i)`,
@@ -545,6 +546,53 @@ pub fn counters() -> Vec<(String, u64)> {
     })
 }
 
+/// All gauges as `(name, value)` pairs, in registration order.
+pub fn gauges() -> Vec<(String, u64)> {
+    run_flushers();
+    with(|c| {
+        c.gauges
+            .names
+            .iter()
+            .cloned()
+            .zip(c.gauges.values.iter().copied())
+            .collect()
+    })
+}
+
+/// Total observation count per histogram, in registration order.
+pub fn histogram_counts() -> Vec<(String, u64)> {
+    run_flushers();
+    with(|c| {
+        c.hists
+            .names
+            .iter()
+            .cloned()
+            .zip(c.hists.values.iter().map(|b| b.iter().sum()))
+            .collect()
+    })
+}
+
+/// Non-empty `[bucket_upper_bound, count]` entries of the named
+/// histogram — the same encoding as [`session_json`] — or empty if the
+/// name was never registered.
+pub fn histogram_entries(name: &str) -> Vec<(u64, u64)> {
+    run_flushers();
+    with(|c| {
+        let Some(&id) = c.hists.by_name.get(name) else {
+            return Vec::new();
+        };
+        c.hists.values[id as usize]
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(i, &count)| {
+                let upper = if i == 0 { 0 } else { ((1u128 << i) - 1) as u64 };
+                (upper, count)
+            })
+            .collect()
+    })
+}
+
 /// Zeroes every metric and discards all finished and open spans, pending
 /// query profiles, and retained flight-recorder events. Handles remain
 /// valid (names are never un-interned). Bench binaries call this so each
@@ -553,6 +601,7 @@ pub fn reset() {
     run_flushers();
     profile::clear_pending();
     flight::clear();
+    timeseries::clear();
     with(|c| {
         c.counters.values.iter_mut().for_each(|v| *v = 0);
         c.gauges.values.iter_mut().for_each(|v| *v = 0);

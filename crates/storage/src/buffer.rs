@@ -104,6 +104,16 @@ impl PoolCounters {
     }
 }
 
+impl Drop for PoolCounters {
+    fn drop(&mut self) {
+        // The pool is gone, so its occupancy is zero; publish that so
+        // the gauge's post-drop baseline is exact (leak-sentinel
+        // contract: gauges return to baseline when the Db is dropped).
+        self.occupied_gauge.set(0);
+        self.occupied_published.set(0);
+    }
+}
+
 impl obs::FlushMetrics for PoolCounters {
     fn flush_metrics(&self) {
         for (pending, counter) in [
@@ -208,6 +218,15 @@ impl BufferPool {
     /// The journal's file id, when installed.
     pub fn journal_file(&self) -> Option<FileId> {
         self.journal.borrow().as_ref().map(|j| j.file_id())
+    }
+
+    /// Open journal intents: temp files with a journaled `TempCreated`
+    /// and no terminal record yet. 0 when no journal is installed.
+    pub fn journal_open_intents(&self) -> u64 {
+        self.journal
+            .borrow()
+            .as_ref()
+            .map_or(0, Journal::open_intents)
     }
 
     /// Appends a record to the intent journal (durable on return). A

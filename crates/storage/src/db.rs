@@ -62,6 +62,23 @@ impl DbConfig {
     }
 }
 
+/// Resting levels of the resources the leak sentinels watch, captured
+/// from the engine's own state (disk allocator, page table, journal) so
+/// a baseline never depends on metric-flush timing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TelemetryBaseline {
+    /// Pages allocated across all live files.
+    pub live_pages: u64,
+    /// Pages currently mapped to a buffer-pool frame.
+    pub pool_occupied: u64,
+    /// Journaled temp files awaiting a drop or commit.
+    pub journal_open_intents: u64,
+    /// Pages held by the append-only journal file itself. The journal
+    /// legitimately grows forever, so leak math over `live_pages`
+    /// subtracts this.
+    pub journal_pages: u64,
+}
+
 /// An in-process spatial database instance: simulated disk + buffer pool +
 /// catalog. All structures (heap files, record files, R*-trees) operate
 /// through [`Db::pool`].
@@ -311,6 +328,24 @@ impl Db {
     /// Cumulative disk counters.
     pub fn disk_stats(&self) -> DiskStats {
         self.pool.disk_stats()
+    }
+
+    /// Point-in-time resting levels of the leak-sentinel axes, read
+    /// from the authoritative engine state (not the metric registry).
+    /// The soak harness captures this once after warmup and holds each
+    /// sentinel to it.
+    pub fn telemetry_baseline(&self) -> TelemetryBaseline {
+        let (_, _, mapped) = self.pool.frame_census();
+        let journal_pages = self
+            .pool
+            .journal_file()
+            .map_or(0, |f| self.pool.disk().num_pages(f) as u64);
+        TelemetryBaseline {
+            live_pages: self.pool.disk().live_pages(),
+            pool_occupied: mapped as u64,
+            journal_open_intents: self.pool.journal_open_intents(),
+            journal_pages,
+        }
     }
 
     /// Tears the instance down, discarding all volatile state (cached

@@ -157,6 +157,16 @@ struct DiskCounters {
     files: RefCell<Vec<Rc<FileCounters>>>,
 }
 
+impl Drop for DiskCounters {
+    fn drop(&mut self) {
+        // No disk, no live pages: publish the resting level so the
+        // gauge's post-drop baseline is exact (leak-sentinel contract:
+        // gauges return to baseline when the Db is dropped).
+        self.live_pages_gauge.set(0);
+        self.live_pages_published.set(0);
+    }
+}
+
 impl obs::FlushMetrics for DiskCounters {
     fn flush_metrics(&self) {
         for (pending, counter) in [

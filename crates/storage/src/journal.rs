@@ -30,6 +30,7 @@ use crate::error::{StorageError, StorageResult};
 use crate::fault::RetryPolicy;
 use crate::page::{zeroed_page, FileId, PageBuf, PageId, PAGE_SIZE};
 use pbsm_obs as obs;
+use std::collections::BTreeSet;
 
 /// Bytes per journal record.
 pub const REC_SIZE: usize = 40;
@@ -187,6 +188,11 @@ pub struct Journal {
     page: Box<PageBuf>,
     page_no: u32,
     slot: usize,
+    /// Temp files with a journaled `TempCreated` and no terminal record
+    /// yet — the journal's "length" as the leak sentinel sees it,
+    /// mirrored into the `storage.journal.open_intents` gauge.
+    open_intents: BTreeSet<FileId>,
+    open_intents_gauge: obs::Gauge,
 }
 
 impl Journal {
@@ -197,12 +203,35 @@ impl Journal {
         // pbsm-lint: allow(resource-pairing, reason = "the journal file lives as long as the database; it is never released")
         let file = disk.create_file();
         debug_assert_eq!(file, FileId(0), "journal must be the first file");
+        let gauge = obs::gauge("storage.journal.open_intents");
+        gauge.set(0);
         Journal {
             file,
             page: Box::new(zeroed_page()),
             page_no: 0,
             slot: 0,
+            open_intents: BTreeSet::new(),
+            open_intents_gauge: gauge,
         }
+    }
+
+    /// Temp files whose intent is still open (created, not yet dropped
+    /// or committed).
+    pub fn open_intents(&self) -> u64 {
+        self.open_intents.len() as u64
+    }
+
+    fn track_intent(&mut self, rec: JournalRecord) {
+        match rec {
+            JournalRecord::TempCreated { file } => {
+                self.open_intents.insert(file);
+            }
+            JournalRecord::TempDropped { file } | JournalRecord::Committed { file } => {
+                self.open_intents.remove(&file);
+            }
+            _ => {}
+        }
+        self.open_intents_gauge.set(self.open_intents.len() as u64);
     }
 
     /// The journal's file id (always 0).
@@ -260,6 +289,7 @@ impl Journal {
             JournalRecord::JoinEnd { join_id } => ("join_end", join_id, 0),
         };
         obs::flight::record(obs::flight::EventKind::JournalIntent, label, a, b);
+        self.track_intent(rec);
         self.slot += 1;
         if self.slot == RECS_PER_PAGE {
             self.slot = 0;
@@ -312,15 +342,32 @@ impl Journal {
             let at = i * REC_SIZE;
             encode(rec, &mut page[at..at + REC_SIZE]);
         }
-        Ok((
-            Journal {
-                file,
-                page,
-                page_no,
-                slot,
-            },
-            records,
-        ))
+        let mut journal = Journal {
+            file,
+            page,
+            page_no,
+            slot,
+            open_intents: BTreeSet::new(),
+            open_intents_gauge: obs::gauge("storage.journal.open_intents"),
+        };
+        // Rebuild the open-intent set from the durable history so the
+        // gauge is correct from the first post-restart append.
+        for rec in &records {
+            journal.track_intent(*rec);
+        }
+        journal
+            .open_intents_gauge
+            .set(journal.open_intents.len() as u64);
+        Ok((journal, records))
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        // A dropped journal (database teardown) has no open intents;
+        // return the gauge to its resting level so "baseline after Db
+        // drop" is exactly zero.
+        self.open_intents_gauge.set(0);
     }
 }
 

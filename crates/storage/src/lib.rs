@@ -54,7 +54,7 @@ pub mod tuple;
 
 mod db;
 
-pub use db::{Db, DbConfig};
+pub use db::{Db, DbConfig, TelemetryBaseline};
 pub use error::{StorageError, StorageResult};
 pub use fault::{FaultConfig, FaultTally, RetryPolicy};
 pub use journal::{JoinResume, Journal, JournalRecord, PairCkpt, RecoveredState, RunCkpt};

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Soak smoke: a long seeded mixed workload (selections + all three joins
+# over TIGER and Sequoia, with a transient-fault phase) through one
+# journaled database, sampled by the deterministic time-series sampler.
+# The leak sentinels assert the resting resource levels never drift
+# monotonically off the post-warmup baseline; the SLO sentinels gate the
+# per-query-class modeled-latency percentiles. Exits non-zero on any
+# sentinel breach.
+#
+# Usage: scripts/soak.sh [--queries N] [--scale S]
+# Defaults: 1000 queries at scale 0.01 — a few minutes, CI-sized.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUERIES=1000
+SCALE=0.01
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --queries) QUERIES="$2"; shift 2 ;;
+    --scale) SCALE="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> soak (queries=$QUERIES scale=$SCALE)"
+PBSM_SCALE="$SCALE" PBSM_SOAK_QUERIES="$QUERIES" \
+  cargo run --release -p pbsm-bench --bin soak
+
+test -s bench_results/soak.json
+test -s bench_results/soak.txt
+echo "soak: OK"
