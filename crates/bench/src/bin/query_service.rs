@@ -1,0 +1,37 @@
+//! Concurrent serving bench: a seeded mixed read workload replayed by
+//! `PBSM_SERVE_THREADS` workers over one shared database through
+//! snapshot handles, with bounded in-flight admission control, every
+//! result digest-checked against a single-threaded oracle pass.
+//!
+//! Writes `bench_results/query_service.{json,txt}` and exits nonzero on
+//! any digest mismatch. All knobs are `PBSM_SERVE_*` environment
+//! variables — see [`pbsm_bench::serve::ServeConfig`].
+
+use pbsm_bench::serve::{run_serve, write_outputs, ServeConfig};
+
+fn main() {
+    let config = ServeConfig::from_env();
+    println!(
+        "# query_service: {} queries x {} threads (inflight {}), seed {}, scale {}, policy {:?}",
+        config.queries, config.threads, config.inflight, config.seed, config.scale, config.policy
+    );
+    let outcome = run_serve(&config);
+    print!("{}", outcome.summary);
+    if let Err(e) = write_outputs(&outcome) {
+        eprintln!("could not write query_service outputs: {e}");
+        std::process::exit(2);
+    }
+    println!("[saved bench_results/query_service.json]");
+    println!("[saved bench_results/query_service.txt]");
+    if outcome.mismatches > 0 {
+        eprintln!(
+            "\nquery_service FAILED: {} digest mismatch(es) vs oracle",
+            outcome.mismatches
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "\nquery_service passed: {} queries byte-identical to the oracle",
+        outcome.queries_run
+    );
+}

@@ -47,6 +47,7 @@ use std::time::Instant;
 pub mod chaos;
 pub mod compare;
 pub mod scorecard;
+pub mod serve;
 pub mod soak;
 pub mod traj;
 

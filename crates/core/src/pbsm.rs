@@ -13,7 +13,7 @@ use crate::{JoinConfig, JoinOutcome, JoinSpec, JoinStats};
 use pbsm_storage::catalog::RelationMeta;
 use pbsm_storage::journal::{JoinResume, JournalRecord, PairCkpt, RunCkpt};
 use pbsm_storage::record::RecordFile;
-use pbsm_storage::{Db, StorageResult};
+use pbsm_storage::{Db, Snapshot, StorageResult};
 use std::collections::BTreeMap;
 
 /// Runs the Partition Based Spatial-Merge join.
@@ -26,6 +26,19 @@ use std::collections::BTreeMap;
 /// other error, and `DiskFull` past the budget, surfaces unchanged.
 pub fn pbsm_join(db: &Db, spec: &JoinSpec, config: &JoinConfig) -> StorageResult<JoinOutcome> {
     pbsm_join_resume(db, spec, config, None)
+}
+
+/// [`pbsm_join`] against a read snapshot — the serving-thread entry
+/// point. PBSM reads the catalog, never writes it; its partition and
+/// candidate temp files are private to the running query, so concurrent
+/// joins over the shared pool do not interact. Never resumes from
+/// checkpoints (serving instances run unjournaled).
+pub fn pbsm_join_at(
+    snap: Snapshot<'_>,
+    spec: &JoinSpec,
+    config: &JoinConfig,
+) -> StorageResult<JoinOutcome> {
+    pbsm_join_resume(snap.db(), spec, config, None)
 }
 
 /// [`pbsm_join`], optionally resuming from crash checkpoints surfaced by

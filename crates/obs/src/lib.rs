@@ -22,9 +22,12 @@
 //! * **`PBSM_TRACE=1`** — when set, every completed root span prints an
 //!   indented tree with its I/O deltas to stderr.
 //!
-//! Like the storage manager, the collector is thread-local: the system
-//! is single-threaded by design (worker threads in the parallel merge do
-//! pure CPU work and report through return values, not counters).
+//! The collector is thread-local: every thread tallies into its own
+//! registry, and the gated deterministic pipelines stay single-threaded
+//! by design. Serving threads (the concurrent query layer) accumulate
+//! locally and ship a [`MetricsDelta`] back to the session's main thread
+//! via [`take_metrics_delta`]/[`merge_metrics_delta`] — counter addition
+//! commutes, so merged totals are scheduling-independent.
 //!
 //! The very hottest paths (one buffer-pool hit per page touch) do not
 //! even pay the thread-local access: they tally into plain `Cell`s and
@@ -34,8 +37,7 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Weak;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, Weak};
 // Spans report wall-clock for humans and trace exports only; wall times
 // never feed a gated counter. pbsm-lint: allow(determinism, reason = "span wall-clock is reporting-only, never gated")
 use std::time::Instant;
@@ -262,8 +264,10 @@ thread_local! {
 }
 
 /// Registers a deferred metric source for this thread. Hold the owning
-/// `Rc` in the instrumented struct; the registry keeps only a `Weak`
-/// and prunes it once the source is dropped.
+/// `Arc` in the instrumented struct; the registry keeps only a `Weak`
+/// and prunes it once the source is dropped. Registration is per-thread
+/// (the collector is thread-local): a source shared across threads is
+/// drained only by the registering thread's synchronization points.
 pub fn register_flusher(source: Weak<dyn FlushMetrics>) {
     FLUSHERS.with(|f| f.borrow_mut().push(source));
 }
@@ -273,6 +277,15 @@ pub fn register_flusher(source: Weak<dyn FlushMetrics>) {
 #[inline]
 pub fn bump(cell: &std::cell::Cell<u64>) {
     cell.set(cell.get() + 1);
+}
+
+/// Adds 1 to a shared pending-tally cell — the multi-reader counterpart
+/// of [`bump`] for sources shared across serving threads. Relaxed
+/// ordering: counters are commutative sums with no cross-variable
+/// ordering contract.
+#[inline]
+pub fn bump_shared(cell: &std::sync::atomic::AtomicU64) {
+    cell.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
 }
 
 fn run_flushers() {
@@ -593,6 +606,74 @@ pub fn histogram_entries(name: &str) -> Vec<(u64, u64)> {
     })
 }
 
+/// A portable snapshot of one thread's counter and histogram tallies,
+/// produced by [`take_metrics_delta`] and folded into another thread's
+/// registry by [`merge_metrics_delta`]. This is how serving workers ship
+/// their thread-local metrics (the collector is thread-local by design)
+/// back to the session's main thread: counter addition commutes, so the
+/// merged totals are independent of worker scheduling.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsDelta {
+    counters: Vec<(String, u64)>,
+    hists: Vec<(String, Box<[u64; HIST_BUCKETS]>)>,
+}
+
+impl MetricsDelta {
+    /// True when the delta carries no tallies at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.hists.is_empty()
+    }
+
+    /// The counter tallies carried, as `(name, delta)` pairs.
+    pub fn counters(&self) -> &[(String, u64)] {
+        &self.counters
+    }
+}
+
+/// Drains this thread's registry into a [`MetricsDelta`]: runs deferred
+/// flushers, then takes every non-zero counter value and histogram
+/// bucket, zeroing them locally. Gauges and spans stay put — a gauge is
+/// a set-point owned by whoever publishes it, and span forests are not
+/// meaningfully mergeable across threads.
+pub fn take_metrics_delta() -> MetricsDelta {
+    run_flushers();
+    with(|c| {
+        let mut delta = MetricsDelta::default();
+        for (i, v) in c.counters.values.iter_mut().enumerate() {
+            if *v > 0 {
+                delta.counters.push((c.counters.names[i].clone(), *v));
+                *v = 0;
+            }
+        }
+        for (i, buckets) in c.hists.values.iter_mut().enumerate() {
+            if buckets.iter().any(|&b| b > 0) {
+                delta.hists.push((
+                    c.hists.names[i].clone(),
+                    std::mem::replace(buckets, Box::new([0; HIST_BUCKETS])),
+                ));
+            }
+        }
+        delta
+    })
+}
+
+/// Folds a [`MetricsDelta`] (typically taken on a worker thread) into
+/// this thread's registry, interning any names not seen here yet.
+pub fn merge_metrics_delta(delta: &MetricsDelta) {
+    with(|c| {
+        for (name, v) in &delta.counters {
+            let id = c.counters.intern(name) as usize;
+            c.counters.values[id] += v;
+        }
+        for (name, buckets) in &delta.hists {
+            let id = c.hists.intern_with(name, || Box::new([0; HIST_BUCKETS])) as usize;
+            for (dst, src) in c.hists.values[id].iter_mut().zip(buckets.iter()) {
+                *dst += src;
+            }
+        }
+    });
+}
+
 /// Zeroes every metric and discards all finished and open spans, pending
 /// query profiles, and retained flight-recorder events. Handles remain
 /// valid (names are never un-interned). Bench binaries call this so each
@@ -828,41 +909,72 @@ mod tests {
 
     #[test]
     fn deferred_flushers_keep_span_deltas_exact() {
-        use std::cell::Cell;
-        use std::rc::Rc;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
 
         struct Pending {
-            n: Cell<u64>,
+            n: AtomicU64,
             target: Counter,
         }
         impl FlushMetrics for Pending {
             fn flush_metrics(&self) {
-                let n = self.n.take();
+                let n = self.n.swap(0, Ordering::Relaxed);
                 if n > 0 {
                     self.target.add(n);
                 }
             }
         }
 
-        let source = Rc::new(Pending {
-            n: Cell::new(0),
+        let source = Arc::new(Pending {
+            n: AtomicU64::new(0),
             target: counter("t9.deferred"),
         });
-        let weak = Rc::downgrade(&source);
+        let weak = Arc::downgrade(&source);
         let weak: Weak<dyn FlushMetrics> = weak;
         register_flusher(weak);
 
-        source.n.set(source.n.get() + 3); // before the span: flushed at open
+        source.n.fetch_add(3, Ordering::Relaxed); // before the span: flushed at open
         let (_, rec) = with_span("t9.span", || {
-            source.n.set(source.n.get() + 4); // inside: flushed at close
+            source.n.fetch_add(4, Ordering::Relaxed); // inside: flushed at close
         });
         assert_eq!(rec.delta("t9.deferred"), 4);
         assert_eq!(counter_value("t9.deferred"), 7);
-        assert_eq!(source.n.get(), 0, "flush drains the pending cell");
+        assert_eq!(
+            source.n.load(Ordering::Relaxed),
+            0,
+            "flush drains the pending cell"
+        );
 
         // A dropped source is pruned, not called.
         drop(source);
         assert_eq!(counter_value("t9.deferred"), 7);
+    }
+
+    #[test]
+    fn metrics_delta_round_trips_counters_and_hists() {
+        // Worker side: tally, then take — the local registry is drained.
+        let delta = std::thread::spawn(|| {
+            counter("t13.work").add(5);
+            histogram("t13.lat").record(100);
+            histogram("t13.lat").record(3);
+            let delta = take_metrics_delta();
+            assert_eq!(counter_value("t13.work"), 0, "take zeroes the source");
+            assert_eq!(histogram("t13.lat").count(), 0);
+            delta
+        })
+        .join()
+        .expect("worker");
+        assert!(!delta.is_empty());
+        // Main side: merge twice — additions commute and accumulate.
+        merge_metrics_delta(&delta);
+        merge_metrics_delta(&delta);
+        assert_eq!(counter_value("t13.work"), 10);
+        assert_eq!(histogram("t13.lat").count(), 4);
+        // An empty take merges as a no-op.
+        assert!(std::thread::spawn(take_metrics_delta)
+            .join()
+            .expect("worker")
+            .is_empty());
     }
 
     #[test]

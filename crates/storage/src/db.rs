@@ -6,7 +6,7 @@
 //! a crashed process left on the disk — reclaiming un-committed files and
 //! surfacing the interrupted join's checkpoints as a [`RecoveredState`].
 
-use crate::buffer::BufferPool;
+use crate::buffer::{BufferPool, ReplacementPolicy};
 use crate::catalog::Catalog;
 use crate::disk::{DiskModel, DiskStats, SimDisk};
 use crate::fault::{FaultConfig, RetryPolicy};
@@ -14,8 +14,8 @@ use crate::journal::{JoinResume, Journal, JournalRecord, RecoveredState};
 use crate::page::FileId;
 use crate::StorageResult;
 use pbsm_obs as obs;
-use std::cell::{Ref, RefCell, RefMut};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Configuration for a [`Db`] instance.
 #[derive(Clone, Copy, Debug)]
@@ -37,6 +37,10 @@ pub struct DbConfig {
     /// Default off — journaling shifts file ids and adds writes, and the
     /// gated deterministic benchmarks must stay byte-identical.
     pub journal: bool,
+    /// Buffer-pool victim selection. Default [`ReplacementPolicy::Clock`]
+    /// — the policy the gated deterministic counter streams were recorded
+    /// under; [`ReplacementPolicy::Lru`] selects the exact-LRU list.
+    pub replacement: ReplacementPolicy,
 }
 
 impl Default for DbConfig {
@@ -48,6 +52,7 @@ impl Default for DbConfig {
             faults: None,
             retry: RetryPolicy::default(),
             journal: false,
+            replacement: ReplacementPolicy::default(),
         }
     }
 }
@@ -82,9 +87,14 @@ pub struct TelemetryBaseline {
 /// An in-process spatial database instance: simulated disk + buffer pool +
 /// catalog. All structures (heap files, record files, R*-trees) operate
 /// through [`Db::pool`].
+///
+/// `Db` is `Sync`: N serving threads may share one instance through
+/// [`Db::read_snapshot`] handles, running queries concurrently against
+/// the shared buffer pool (see the lock-ordering notes in
+/// [`crate::buffer`]).
 pub struct Db {
     pool: BufferPool,
-    catalog: RefCell<Catalog>,
+    catalog: RwLock<Catalog>,
     config: DbConfig,
 }
 
@@ -98,12 +108,13 @@ impl Db {
         let pool = BufferPool::new(config.buffer_pool_bytes, disk);
         pool.set_sorted_flush(config.sorted_flush);
         pool.set_retry_policy(config.retry);
+        pool.set_replacement_policy(config.replacement);
         if let Some(j) = journal {
             pool.install_journal(j);
         }
         Db {
             pool,
-            catalog: RefCell::new(Catalog::new()),
+            catalog: RwLock::new(Catalog::new()),
             config,
         }
     }
@@ -132,9 +143,10 @@ impl Db {
             let pool = BufferPool::new(config.buffer_pool_bytes, disk);
             pool.set_sorted_flush(config.sorted_flush);
             pool.set_retry_policy(config.retry);
+            pool.set_replacement_policy(config.replacement);
             let db = Db {
                 pool,
-                catalog: RefCell::new(Catalog::new()),
+                catalog: RwLock::new(Catalog::new()),
                 config,
             };
             return Ok((db, RecoveredState::default()));
@@ -291,6 +303,7 @@ impl Db {
         let pool = BufferPool::new(config.buffer_pool_bytes, disk);
         pool.set_sorted_flush(config.sorted_flush);
         pool.set_retry_policy(config.retry);
+        pool.set_replacement_policy(config.replacement);
         pool.install_journal(journal);
         // Record the reclaims so a second crash-recover cycle does not
         // re-count (or re-trust checkpoints in) the same files.
@@ -299,7 +312,7 @@ impl Db {
         }
         let db = Db {
             pool,
-            catalog: RefCell::new(Catalog::new()),
+            catalog: RwLock::new(Catalog::new()),
             config,
         };
         Ok((db, state))
@@ -310,14 +323,30 @@ impl Db {
         &self.pool
     }
 
-    /// Read access to the catalog.
-    pub fn catalog(&self) -> Ref<'_, Catalog> {
-        self.catalog.borrow()
+    /// Read access to the catalog. Many readers may hold this at once;
+    /// scope the guard tightly (clone the metas out) — holding it across
+    /// a whole query would block registrations on other threads.
+    pub fn catalog(&self) -> RwLockReadGuard<'_, Catalog> {
+        self.catalog.read().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Write access to the catalog.
-    pub fn catalog_mut(&self) -> RefMut<'_, Catalog> {
-        self.catalog.borrow_mut()
+    /// Write access to the catalog (registration / index bookkeeping).
+    pub fn catalog_mut(&self) -> RwLockWriteGuard<'_, Catalog> {
+        self.catalog.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// A read-only handle for a serving thread.
+    ///
+    /// `Snapshot` is `Copy + Send`: hand one to each worker in a
+    /// `thread::scope` and run the `*_at` query drivers
+    /// (`select_scan_at`, `pbsm_join_at`, …) against it concurrently.
+    /// The name states the contract, not an MVCC implementation: the
+    /// serving layer is read-only over loaded-then-immutable relations
+    /// (the paper's workload), so every read observes the same data and
+    /// snapshot isolation holds trivially. Handles borrow the `Db`, so
+    /// the instance cannot be torn down while any are live.
+    pub fn read_snapshot(&self) -> Snapshot<'_> {
+        Snapshot { db: self }
     }
 
     /// The configuration this instance was created with.
@@ -356,10 +385,81 @@ impl Db {
     }
 }
 
+/// A read-only view of a [`Db`] for one serving thread. See
+/// [`Db::read_snapshot`].
+#[derive(Clone, Copy)]
+pub struct Snapshot<'a> {
+    db: &'a Db,
+}
+
+impl<'a> Snapshot<'a> {
+    /// The shared buffer pool.
+    pub fn pool(&self) -> &'a BufferPool {
+        self.db.pool()
+    }
+
+    /// Read access to the shared catalog.
+    pub fn catalog(&self) -> RwLockReadGuard<'a, Catalog> {
+        self.db.catalog()
+    }
+
+    /// The configuration of the underlying instance.
+    pub fn config(&self) -> DbConfig {
+        self.db.config()
+    }
+
+    /// Cumulative disk counters of the underlying instance.
+    pub fn disk_stats(&self) -> DiskStats {
+        self.db.disk_stats()
+    }
+
+    /// The underlying handle, for the `*_at` query drivers that
+    /// delegate to the existing `&Db` entry points. Deliberately not
+    /// `DerefMut`-style sugar: going through `db()` keeps mutation
+    /// visibly impossible at the type level in snapshot code.
+    pub fn db(&self) -> &'a Db {
+        self.db
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::heap::HeapFile;
+
+    #[test]
+    fn db_and_snapshot_are_shareable_across_threads() {
+        // Compile-time contract of the serving layer: a `&Db` may be
+        // shared across threads and snapshot handles may move to them.
+        fn assert_sync<T: Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_sync::<Db>();
+        assert_send::<Snapshot<'static>>();
+        assert_sync::<Snapshot<'static>>();
+    }
+
+    #[test]
+    fn replacement_policy_config_reaches_pool() {
+        let cfg = DbConfig {
+            replacement: ReplacementPolicy::Lru,
+            ..DbConfig::with_pool_mb(2)
+        };
+        let db = Db::new(cfg);
+        assert_eq!(db.pool().replacement_policy(), ReplacementPolicy::Lru);
+        // And survives recovery on both recover paths.
+        let (db2, _) = Db::recover(cfg, db.into_disk()).unwrap();
+        assert_eq!(db2.pool().replacement_policy(), ReplacementPolicy::Lru);
+    }
+
+    #[test]
+    fn snapshot_bridges_pool_catalog_and_config() {
+        let db = Db::new(DbConfig::with_pool_mb(2));
+        let snap = db.read_snapshot();
+        assert_eq!(snap.config().buffer_pool_bytes, 2 * 1024 * 1024);
+        assert_eq!(snap.pool().num_frames(), db.pool().num_frames());
+        assert!(snap.catalog().relation("nope").is_err());
+        assert_eq!(snap.disk_stats().reads, db.disk_stats().reads);
+    }
 
     #[test]
     fn db_wires_pool_and_catalog() {

@@ -11,9 +11,9 @@ use crate::error::{StorageError, StorageResult};
 use crate::fault::{page_checksum, FaultConfig, FaultSchedule, FaultTally, WriteDecision};
 use crate::page::{zeroed_page, FileId, PageBuf, PageId, PAGE_SIZE};
 use pbsm_obs as obs;
-use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Disk timing parameters.
 ///
@@ -83,12 +83,13 @@ impl DiskStats {
 
 /// Per-file observability counters (`storage.disk.file.<id>.*`), interned
 /// once at file creation. Deferred like the pool counters: the I/O path
-/// bumps plain `Cell`s and [`DiskCounters`] drains them at every
-/// `pbsm_obs` synchronization point.
+/// bumps atomics (the disk may sit behind a shared pool's mutex) and
+/// [`DiskCounters`] drains them at every `pbsm_obs` synchronization
+/// point on the registering thread.
 struct FileCounters {
-    pending_reads: Cell<u64>,
-    pending_writes: Cell<u64>,
-    pending_seeks: Cell<u64>,
+    pending_reads: AtomicU64,
+    pending_writes: AtomicU64,
+    pending_seeks: AtomicU64,
     reads: obs::Counter,
     writes: obs::Counter,
     seeks: obs::Counter,
@@ -98,9 +99,9 @@ impl FileCounters {
     fn new(id: FileId) -> Self {
         let name = |kind: &str| format!("storage.disk.file.{}.{kind}", id.0);
         FileCounters {
-            pending_reads: Cell::new(0),
-            pending_writes: Cell::new(0),
-            pending_seeks: Cell::new(0),
+            pending_reads: AtomicU64::new(0),
+            pending_writes: AtomicU64::new(0),
+            pending_seeks: AtomicU64::new(0),
             reads: obs::counter(&name("reads")),
             writes: obs::counter(&name("writes")),
             seeks: obs::counter(&name("seeks")),
@@ -113,7 +114,7 @@ impl FileCounters {
             (&self.pending_writes, self.writes),
             (&self.pending_seeks, self.seeks),
         ] {
-            let n = pending.take();
+            let n = pending.swap(0, Ordering::Relaxed);
             if n > 0 {
                 counter.add(n);
             }
@@ -132,7 +133,7 @@ struct FileData {
     /// Freed files keep their slot (FileIds are never reused) but drop
     /// their pages.
     dropped: bool,
-    counters: Rc<FileCounters>,
+    counters: Arc<FileCounters>,
 }
 
 /// Disk-wide observability counters. `io_ns` mirrors `DiskStats::io_ms`
@@ -140,10 +141,10 @@ struct FileData {
 /// [`obs::FlushMetrics`] source per disk drains both the disk-wide and
 /// the per-file pending cells.
 struct DiskCounters {
-    pending_reads: Cell<u64>,
-    pending_writes: Cell<u64>,
-    pending_seeks: Cell<u64>,
-    pending_io_ns: Cell<u64>,
+    pending_reads: AtomicU64,
+    pending_writes: AtomicU64,
+    pending_seeks: AtomicU64,
+    pending_io_ns: AtomicU64,
     reads: obs::Counter,
     writes: obs::Counter,
     seeks: obs::Counter,
@@ -151,19 +152,21 @@ struct DiskCounters {
     /// Mirror of `SimDisk::live_pages`, published as the
     /// `storage.disk.live_pages` gauge only when it moved since the last
     /// flush so idle flushes stay free.
-    live_pages: Cell<u64>,
-    live_pages_published: Cell<u64>,
+    live_pages: AtomicU64,
+    live_pages_published: AtomicU64,
     live_pages_gauge: obs::Gauge,
-    files: RefCell<Vec<Rc<FileCounters>>>,
+    files: Mutex<Vec<Arc<FileCounters>>>,
 }
 
 impl Drop for DiskCounters {
     fn drop(&mut self) {
         // No disk, no live pages: publish the resting level so the
         // gauge's post-drop baseline is exact (leak-sentinel contract:
-        // gauges return to baseline when the Db is dropped).
-        self.live_pages_gauge.set(0);
-        self.live_pages_published.set(0);
+        // gauges return to baseline when the Db is dropped). Resolved by
+        // name, not the stored handle: handles index the *registering*
+        // thread's registry, and the drop may run on any thread.
+        obs::gauge("storage.disk.live_pages").set(0);
+        self.live_pages_published.store(0, Ordering::Relaxed);
     }
 }
 
@@ -175,17 +178,18 @@ impl obs::FlushMetrics for DiskCounters {
             (&self.pending_seeks, self.seeks),
             (&self.pending_io_ns, self.io_ns),
         ] {
-            let n = pending.take();
+            let n = pending.swap(0, Ordering::Relaxed);
             if n > 0 {
                 counter.add(n);
             }
         }
-        let live = self.live_pages.get();
-        if live != self.live_pages_published.get() {
+        let live = self.live_pages.load(Ordering::Relaxed);
+        if live != self.live_pages_published.load(Ordering::Relaxed) {
             self.live_pages_gauge.set(live);
-            self.live_pages_published.set(live);
+            self.live_pages_published.store(live, Ordering::Relaxed);
         }
-        for f in self.files.borrow().iter() {
+        let files = self.files.lock().unwrap_or_else(PoisonError::into_inner);
+        for f in files.iter() {
             f.flush();
         }
     }
@@ -206,7 +210,7 @@ pub struct SimDisk {
     stats: DiskStats,
     /// Last physical position touched, for sequentiality detection.
     last_pos: Option<PageId>,
-    counters: Rc<DiskCounters>,
+    counters: Arc<DiskCounters>,
     /// Modeled seek / page-transfer costs in integer nanoseconds, for the
     /// `storage.disk.io_ns` counter.
     seek_ns: u64,
@@ -247,22 +251,22 @@ impl SimDisk {
             stats: DiskStats::default(),
             last_pos: None,
             counters: {
-                let counters = Rc::new(DiskCounters {
-                    pending_reads: Cell::new(0),
-                    pending_writes: Cell::new(0),
-                    pending_seeks: Cell::new(0),
-                    pending_io_ns: Cell::new(0),
+                let counters = Arc::new(DiskCounters {
+                    pending_reads: AtomicU64::new(0),
+                    pending_writes: AtomicU64::new(0),
+                    pending_seeks: AtomicU64::new(0),
+                    pending_io_ns: AtomicU64::new(0),
                     reads: obs::counter("storage.disk.reads"),
                     writes: obs::counter("storage.disk.writes"),
                     seeks: obs::counter("storage.disk.seeks"),
                     io_ns: obs::counter("storage.disk.io_ns"),
-                    live_pages: Cell::new(0),
-                    live_pages_published: Cell::new(0),
+                    live_pages: AtomicU64::new(0),
+                    live_pages_published: AtomicU64::new(0),
                     live_pages_gauge: obs::gauge("storage.disk.live_pages"),
-                    files: RefCell::new(Vec::new()),
+                    files: Mutex::new(Vec::new()),
                 });
-                let weak = Rc::downgrade(&counters);
-                let weak: std::rc::Weak<dyn obs::FlushMetrics> = weak;
+                let weak = Arc::downgrade(&counters);
+                let weak: std::sync::Weak<dyn obs::FlushMetrics> = weak;
                 obs::register_flusher(weak);
                 counters
             },
@@ -392,8 +396,12 @@ impl SimDisk {
     /// Creates a new empty file and returns its id.
     pub fn create_file(&mut self) -> FileId {
         let id = FileId(self.files.len() as u32);
-        let counters = Rc::new(FileCounters::new(id));
-        self.counters.files.borrow_mut().push(Rc::clone(&counters));
+        let counters = Arc::new(FileCounters::new(id));
+        self.counters
+            .files
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Arc::clone(&counters));
         self.files.push(FileData {
             pages: Vec::new(),
             sums: Vec::new(),
@@ -414,7 +422,9 @@ impl SimDisk {
         self.pending_tears.retain(|pid, _| pid.file != file);
         if let Some(f) = self.files.get_mut(file.0 as usize) {
             self.live_pages -= f.pages.len() as u64;
-            self.counters.live_pages.set(self.live_pages);
+            self.counters
+                .live_pages
+                .store(self.live_pages, Ordering::Relaxed);
             f.pages.clear();
             f.pages.shrink_to_fit();
             f.sums.clear();
@@ -461,13 +471,15 @@ impl SimDisk {
         f.pages.push(zeroed_page());
         f.sums.push(zeroed_sum());
         self.live_pages += 1;
-        self.counters.live_pages.set(self.live_pages);
+        self.counters
+            .live_pages
+            .store(self.live_pages, Ordering::Relaxed);
         Ok(PageId::new(file, page_no))
     }
 
     #[inline]
     fn account(&mut self, pid: PageId, is_write: bool) {
-        let file = Rc::clone(&self.files[pid.file.0 as usize].counters);
+        let file = Arc::clone(&self.files[pid.file.0 as usize].counters);
         let sequential = match self.last_pos {
             Some(last) => last.file == pid.file && pid.page_no == last.page_no.wrapping_add(1),
             None => false,
@@ -477,20 +489,21 @@ impl SimDisk {
             self.stats.seeks += 1;
             self.stats.io_ms += self.model.seek_ms;
             io_ns += self.seek_ns;
-            obs::bump(&self.counters.pending_seeks);
-            obs::bump(&file.pending_seeks);
+            obs::bump_shared(&self.counters.pending_seeks);
+            obs::bump_shared(&file.pending_seeks);
         }
         self.stats.io_ms += self.model.page_transfer_ms();
-        let pending_ns = &self.counters.pending_io_ns;
-        pending_ns.set(pending_ns.get() + io_ns);
+        self.counters
+            .pending_io_ns
+            .fetch_add(io_ns, Ordering::Relaxed);
         if is_write {
             self.stats.writes += 1;
-            obs::bump(&self.counters.pending_writes);
-            obs::bump(&file.pending_writes);
+            obs::bump_shared(&self.counters.pending_writes);
+            obs::bump_shared(&file.pending_writes);
         } else {
             self.stats.reads += 1;
-            obs::bump(&self.counters.pending_reads);
-            obs::bump(&file.pending_reads);
+            obs::bump_shared(&self.counters.pending_reads);
+            obs::bump_shared(&file.pending_reads);
         }
         self.last_pos = Some(pid);
     }

@@ -190,9 +190,16 @@ pub struct Journal {
     slot: usize,
     /// Temp files with a journaled `TempCreated` and no terminal record
     /// yet — the journal's "length" as the leak sentinel sees it,
-    /// mirrored into the `storage.journal.open_intents` gauge.
+    /// mirrored into the `storage.journal.open_intents` gauge. The gauge
+    /// is resolved by name at each (rare) publish point, not held as a
+    /// handle: handles index the registering thread's registry, and a
+    /// shared pool may journal — or drop — from any serving thread.
     open_intents: BTreeSet<FileId>,
-    open_intents_gauge: obs::Gauge,
+}
+
+/// Publishes the open-intent count to this thread's registry.
+fn publish_open_intents(n: u64) {
+    obs::gauge("storage.journal.open_intents").set(n);
 }
 
 impl Journal {
@@ -203,15 +210,13 @@ impl Journal {
         // pbsm-lint: allow(resource-pairing, reason = "the journal file lives as long as the database; it is never released")
         let file = disk.create_file();
         debug_assert_eq!(file, FileId(0), "journal must be the first file");
-        let gauge = obs::gauge("storage.journal.open_intents");
-        gauge.set(0);
+        publish_open_intents(0);
         Journal {
             file,
             page: Box::new(zeroed_page()),
             page_no: 0,
             slot: 0,
             open_intents: BTreeSet::new(),
-            open_intents_gauge: gauge,
         }
     }
 
@@ -231,7 +236,7 @@ impl Journal {
             }
             _ => {}
         }
-        self.open_intents_gauge.set(self.open_intents.len() as u64);
+        publish_open_intents(self.open_intents.len() as u64);
     }
 
     /// The journal's file id (always 0).
@@ -348,16 +353,13 @@ impl Journal {
             page_no,
             slot,
             open_intents: BTreeSet::new(),
-            open_intents_gauge: obs::gauge("storage.journal.open_intents"),
         };
         // Rebuild the open-intent set from the durable history so the
         // gauge is correct from the first post-restart append.
         for rec in &records {
             journal.track_intent(*rec);
         }
-        journal
-            .open_intents_gauge
-            .set(journal.open_intents.len() as u64);
+        publish_open_intents(journal.open_intents.len() as u64);
         Ok((journal, records))
     }
 }
@@ -367,7 +369,7 @@ impl Drop for Journal {
         // A dropped journal (database teardown) has no open intents;
         // return the gauge to its resting level so "baseline after Db
         // drop" is exactly zero.
-        self.open_intents_gauge.set(0);
+        publish_open_intents(0);
     }
 }
 

@@ -34,8 +34,11 @@
 //!   join-checkpoint records; [`Db::recover`] replays it after a simulated
 //!   crash to reclaim orphan temp files and resume PBSM joins.
 //!
-//! Everything is deterministic and single-threaded; [`Db`] ties the pieces
-//! together.
+//! Everything is deterministic; [`Db`] ties the pieces together. The
+//! buffer pool and catalog are shared-state thread-safe (`Db` is `Sync`):
+//! a serving layer hands [`Snapshot`] handles to N reader threads while
+//! single-threaded runs keep byte-identical counter streams (see the
+//! concurrency notes in [`buffer`]).
 
 pub mod buffer;
 pub mod catalog;
@@ -54,7 +57,8 @@ pub mod tuple;
 
 mod db;
 
-pub use db::{Db, DbConfig, TelemetryBaseline};
+pub use buffer::ReplacementPolicy;
+pub use db::{Db, DbConfig, Snapshot, TelemetryBaseline};
 pub use error::{StorageError, StorageResult};
 pub use fault::{FaultConfig, FaultTally, RetryPolicy};
 pub use journal::{JoinResume, Journal, JournalRecord, PairCkpt, RecoveredState, RunCkpt};

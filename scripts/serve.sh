@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Concurrent serving smoke: the multi-reader stress suite (K threads
+# replaying a seeded query mix through snapshot handles, every result
+# compared full-equality against a single-threaded oracle, under both
+# replacement policies), then the query_service bench (bounded-admission
+# worker pool, per-class latency histograms, digest-checked against the
+# oracle). Exits non-zero on any divergence.
+#
+# Usage: scripts/serve.sh [--threads K] [--queries N] [--scale S]
+# Defaults: 4 threads, 240 queries at scale 0.05 — seconds, CI-sized.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THREADS="${PBSM_SERVE_THREADS:-4}"
+QUERIES=240
+SCALE=0.05
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --threads) THREADS="$2"; shift 2 ;;
+    --queries) QUERIES="$2"; shift 2 ;;
+    --scale) SCALE="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> concurrent serving stress suite (threads=$THREADS)"
+PBSM_SERVE_THREADS="$THREADS" \
+  cargo test -q --release --test concurrent_serving
+
+echo "==> query_service bench (threads=$THREADS queries=$QUERIES scale=$SCALE)"
+PBSM_SERVE_THREADS="$THREADS" PBSM_SERVE_QUERIES="$QUERIES" PBSM_SCALE="$SCALE" \
+  cargo run --release -p pbsm-bench --bin query_service
+
+test -s bench_results/query_service.json
+test -s bench_results/query_service.txt
+echo "serve: OK"

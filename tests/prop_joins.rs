@@ -112,6 +112,48 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The exact-LRU pool tracks a naive reference model over arbitrary
+    /// access traces: after every touch the intrusive recency list equals
+    /// the model, and the hit/miss tallies agree. (The seeded unit-test
+    /// variant lives in `pbsm_storage::buffer`; this one drives arbitrary
+    /// pool sizes and traces.)
+    #[test]
+    fn lru_pool_equals_reference_model(
+        nframes in 8usize..24,
+        npages in 1usize..48,
+        trace in prop::collection::vec(any::<u16>(), 1..300),
+    ) {
+        use pbsm::storage::ReplacementPolicy;
+        let db = Db::new(DbConfig {
+            replacement: ReplacementPolicy::Lru,
+            buffer_pool_bytes: nframes * pbsm::storage::PAGE_SIZE,
+            ..DbConfig::default()
+        });
+        let file = db.pool().disk_mut().create_file();
+        let mut pids = Vec::new();
+        for _ in 0..npages {
+            let (pid, _g) = db.pool().new_page(file).unwrap();
+            pids.push(pid);
+        }
+        db.pool().clear_cache().unwrap();
+        let mut model: Vec<pbsm::storage::PageId> = Vec::new();
+        for step in trace {
+            let pid = pids[step as usize % pids.len()];
+            if let Some(pos) = model.iter().position(|p| *p == pid) {
+                model.remove(pos);
+            } else if model.len() == nframes {
+                model.remove(0);
+            }
+            model.push(pid);
+            drop(db.pool().get(pid).unwrap());
+            prop_assert_eq!(db.pool().lru_order(), model.clone());
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// Transient faults with bursts inside the retry budget are invisible:
