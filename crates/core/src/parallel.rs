@@ -16,9 +16,10 @@ use crate::filter::{load_partition, report_sweep_stats, sweep_partition_pair, Pa
 use crate::keyptr::{encode_pair, KeyPointer, OID_PAIR_SIZE};
 use crate::JoinConfig;
 use pbsm_geom::sweep::SweepStats;
+use pbsm_storage::lockcheck::{self, LockId};
 use pbsm_storage::record::RecordFile;
 use pbsm_storage::{Db, Oid, StorageResult};
-use std::sync::{Mutex, PoisonError};
+use std::sync::Mutex;
 
 /// Merges all partition pairs using `config.merge_threads` workers.
 /// Returns the candidate file and the raw (pre-dedup) candidate count.
@@ -55,7 +56,7 @@ pub fn merge_partitions_parallel(
                         // A poisoned lock means a sibling worker panicked;
                         // its panic resurfaces when the scope joins, so
                         // ignoring the poison here never masks a failure.
-                        let mut g = next.lock().unwrap_or_else(PoisonError::into_inner);
+                        let mut g = lockcheck::lock(&next, LockId::ParallelNext);
                         if *g >= n {
                             break;
                         }
@@ -72,7 +73,7 @@ pub fn merge_partitions_parallel(
                     } else {
                         sweep_partition_pair(r, s, &mut out)
                     };
-                    slots.lock().unwrap_or_else(PoisonError::into_inner)[i] = (out, stats);
+                    lockcheck::lock(&slots, LockId::ParallelSlots)[i] = (out, stats);
                 });
             }
         });

@@ -1,0 +1,21 @@
+//! Fixture: guard escape — an exclusive page guard live across a
+//! `with_retry` boundary (flagged), the same shape absolved by a
+//! reasoned allow, and a variant that drops the guard first (clean).
+
+fn escaped(pool: &Pool, idx: usize) {
+    let mut frame = pool.write_latch(idx);
+    with_retry(retry, pid, || disk.read_page(pid, &mut frame.data));
+}
+
+fn absolved(pool: &Pool, idx: usize) {
+    // pbsm-lint: allow(lock-order, reason = "fixture: deliberate hold across the retry boundary")
+    let mut frame = pool.write_latch(idx);
+    with_retry(retry, pid, || disk.read_page(pid, &mut frame.data));
+}
+
+fn released_first(pool: &Pool, idx: usize) {
+    let mut frame = pool.write_latch(idx);
+    frame.data.fill(0);
+    drop(frame);
+    with_retry(retry, pid, || noop());
+}

@@ -1,0 +1,16 @@
+//! Fixture: acquisition cycle — two functions take `pool.journal` and
+//! `pool.retry` in opposite orders. Neither direction is declared, so
+//! both acquisitions contradict the order, and together they form an
+//! observed cycle (`pool.journal -> pool.retry -> pool.journal`).
+
+fn journal_then_retry(pool: &Pool) {
+    let j = lock(&pool.journal, LockId::PoolJournal);
+    let r = lock(&pool.retry, LockId::PoolRetry);
+    r.note(j.len());
+}
+
+fn retry_then_journal(pool: &Pool) {
+    let r = lock(&pool.retry, LockId::PoolRetry);
+    let j = lock(&pool.journal, LockId::PoolJournal);
+    j.note(r.len());
+}

@@ -1,0 +1,15 @@
+//! Fixture: lock-order — one declared-direction pair (clean) and one
+//! inversion (the `pool.state` acquisition under `pool.disk` must be
+//! flagged).
+
+fn ordered_catalog_then_state(db: &Db) {
+    let cat = lock(&db.catalog, LockId::Catalog);
+    let st = lock(&db.pool.state, LockId::PoolState);
+    st.stats.hits += cat.relations.len();
+}
+
+fn inverted_disk_then_state(pool: &Pool) {
+    let d = lock(&pool.disk, LockId::PoolDisk);
+    let st = lock(&pool.state, LockId::PoolState);
+    st.stats.misses += d.reads;
+}

@@ -1,0 +1,13 @@
+//! Fixture: lock-registry — a raw `.lock()` on a field the registry
+//! does not declare (flagged: it evades both the order rules and the
+//! runtime sentinel), next to one on a declared field (clean).
+
+fn shadowy(&self) {
+    let g = self.shadow.lock();
+    g.touch();
+}
+
+fn declared(&self) {
+    let st = self.state.lock();
+    st.touch();
+}

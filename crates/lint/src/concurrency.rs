@@ -1,0 +1,1033 @@
+//! The concurrency-discipline analysis: an interprocedural lock-order
+//! check, an acquisition-cycle check, a declared-locks registry check,
+//! and a latch-guard-escape check — all lexical, all dependency-free,
+//! and all sharing one order model with the runtime sentinel
+//! (`crates/storage/src/lockcheck.rs`; `tests/cross_check.rs` pins the
+//! two tables together).
+//!
+//! ## What it recognizes
+//!
+//! Acquisition sites come in three forms:
+//!
+//! * **A** — tracked helpers: `lock(&…, LockId::X)`, `read(…)`,
+//!   `write(…)`, bare or `lockcheck::`-qualified. The explicit `LockId`
+//!   variant names the lock exactly.
+//! * **B** — raw lock methods: zero-argument `.lock()` / `.read()` /
+//!   `.write()` / `.try_read()` / `.try_write()`. The receiver field is
+//!   looked up in the registry; an undeclared field is a
+//!   `lock-registry` finding.
+//! * **C** — declared acquirer methods (`.catalog()`, `.disk_mut()`,
+//!   `.write_latch(…)`, …) and the pool guard constructors
+//!   (`pool.get(…)` / `pool.get_mut(…)` / `pool.new_page(…)`), which
+//!   hold the frame latch through their returned guard.
+//!
+//! ## Guard lifetimes
+//!
+//! A let-bound acquisition (`let g = lock(…);` — nothing after the call
+//! but `;` / `?;`) is live to the end of its enclosing block, truncated
+//! at `drop(g)`. Anything else is a temporary, live to the end of its
+//! statement (which covers match scrutinees through the whole match).
+//!
+//! ## Propagation
+//!
+//! Held-lock sets flow along call edges: callees resolved by unique
+//! name within the analyzed crates are re-analyzed under the caller's
+//! held set (memoized per `(fn, held-set)`). Analysis starts at roots —
+//! functions no analyzed function calls — and a safety net covers
+//! never-reached functions with an empty entry set. A call that
+//! resolves to *several* definitions while locks are held is flagged
+//! rather than guessed at — but only when the definitions' combined
+//! may-acquire footprint contains a lock that would be illegal under
+//! the held set (if every candidate acquisition is legal, the
+//! ambiguity is harmless) — unless the name is on [`OPAQUE_CALLEES`]
+//! (ubiquitous method names like `get` or `push` whose call sites are
+//! overwhelmingly collection operations).
+
+use crate::locks;
+use crate::report::Candidate;
+use crate::rules::{LOCK_ORDER, LOCK_REGISTRY};
+use crate::source::SourceFile;
+use crate::Tok;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Callee names treated as opaque (no propagation, no ambiguity
+/// finding): ubiquitous method names where name-resolution would be
+/// noise, plus workspace names with several same-named definitions
+/// whose call sites never take locks.
+const OPAQUE_CALLEES: &[&str] = &[
+    "append",
+    "clear",
+    "clone",
+    "cmp",
+    "contains",
+    "default",
+    "drop",
+    "drop_file",
+    "eq",
+    "flush",
+    "fmt",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "is_empty",
+    "iter",
+    "len",
+    "lock",
+    "map",
+    "new",
+    "next",
+    // Leaf accessor with per-type definitions (`SimDisk`, `HeapFile`,
+    // `RecordFile`); every call site dispatches on an already-resolved
+    // receiver, usually the very disk guard being "held".
+    "num_pages",
+    "open",
+    "pop",
+    "push",
+    "read",
+    "remove",
+    "stats",
+    "sync",
+    "take",
+    "write",
+];
+
+/// Statement keywords that precede `(` without being calls.
+const NON_CALL_KEYWORDS: &[&str] = &["if", "while", "for", "match", "return", "loop", "in"];
+
+/// One recognized lock acquisition.
+struct Acq {
+    /// Token index of the acquisition site.
+    ti: usize,
+    line: u32,
+    /// Registry name; `None` for an unregistered acquisition (already
+    /// reported as `lock-registry` at extraction time).
+    lock: Option<&'static str>,
+    /// Last token index at which the guard is live.
+    end: usize,
+    /// Binding names when let-bound (`let (pid, mut page) = …`).
+    names: Vec<String>,
+    /// True for exclusive page-guard sources (`write_latch`, `get_mut`,
+    /// `new_page`) — the subjects of the guard-escape rule.
+    exclusive_guard: bool,
+}
+
+/// A call site that is not an acquisition.
+struct CallSite {
+    ti: usize,
+    line: u32,
+    name: String,
+}
+
+/// One analyzed function body.
+struct FnInfo {
+    file: usize,
+    name: String,
+    body_end: usize,
+    acqs: Vec<Acq>,
+    calls: Vec<CallSite>,
+}
+
+/// Runs the whole analysis over the in-scope subset of `files` and
+/// returns `(file index, candidate)` pairs for the engine to match
+/// against suppressions.
+pub fn analyze(files: &[SourceFile]) -> Vec<(usize, Candidate)> {
+    let mut cands: BTreeSet<(usize, u32, &'static str, String)> = BTreeSet::new();
+    let mut fns: Vec<FnInfo> = Vec::new();
+
+    for (fi, file) in files.iter().enumerate() {
+        if !locks::LOCK_SCOPE
+            .iter()
+            .any(|d| file.rel_path.starts_with(d))
+            || locks::EXEMPT_FILES.contains(&file.rel_path.as_str())
+        {
+            continue;
+        }
+        extract_file(fi, file, &mut fns, &mut cands);
+    }
+
+    // Guard escape is intraprocedural: an exclusive page guard may not
+    // be live across a state/disk acquisition, a disk transfer, or a
+    // `with_retry` boundary in its own function.
+    for f in &fns {
+        guard_escape(f, &files[f.file].lexed.toks, &mut cands);
+    }
+
+    // Name → candidate definitions, and the set of names anything calls
+    // (a function nobody calls is a root and starts with no locks held).
+    let mut defs: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        defs.entry(&f.name).or_default().push(i);
+    }
+    let called: BTreeSet<&str> = fns
+        .iter()
+        .flat_map(|f| f.calls.iter().map(|c| c.name.as_str()))
+        .collect();
+
+    // Transitive may-acquire footprints, for the ambiguity check only
+    // (ambiguous callees that provably touch no lock are harmless).
+    let footprints = footprints(&fns, &defs);
+
+    let mut walk = Walk {
+        files,
+        fns: &fns,
+        defs: &defs,
+        footprints: &footprints,
+        memo: BTreeSet::new(),
+        edges: BTreeMap::new(),
+        cands: &mut cands,
+    };
+    for (i, f) in fns.iter().enumerate() {
+        if !called.contains(f.name.as_str()) {
+            walk.visit(i, &[], 0);
+        }
+    }
+    for i in 0..fns.len() {
+        if !walk.memo.iter().any(|(f, _)| *f == i) {
+            walk.visit(i, &[], 0);
+        }
+    }
+
+    // Cycle check over the observed graph, excluding excused edges
+    // (pin-protocol and serialized edges carry their own documented
+    // deadlock-freedom arguments). The declared ORDER is a DAG, so any
+    // cycle here necessarily involves a contradiction recorded above.
+    let edges = walk.edges.clone();
+    report_cycles(&edges, &mut cands);
+
+    cands
+        .into_iter()
+        .map(|(file, line, rule, message)| {
+            (
+                file,
+                Candidate {
+                    rule,
+                    line,
+                    message,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Extracts acquisitions and calls from every non-test fn in `file`.
+fn extract_file(
+    fi: usize,
+    file: &SourceFile,
+    fns: &mut Vec<FnInfo>,
+    cands: &mut BTreeSet<(usize, u32, &'static str, String)>,
+) {
+    let toks = &file.lexed.toks;
+    for fnb in &file.fn_bodies {
+        if file.is_test_line(toks[fnb.body_start].line) {
+            continue;
+        }
+        let mut info = FnInfo {
+            file: fi,
+            name: fnb.name.clone(),
+            body_end: fnb.body_end,
+            acqs: Vec::new(),
+            calls: Vec::new(),
+        };
+        for i in fnb.body_start + 1..fnb.body_end {
+            let Tok::Ident(id) = &toks[i].tok else {
+                continue;
+            };
+            if toks.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct('(')) {
+                continue;
+            }
+            let line = toks[i].line;
+            if file.is_test_line(line) {
+                continue;
+            }
+            if matches!(&toks[i - 1].tok, Tok::Ident(p) if p == "fn") {
+                continue; // definition, not a call
+            }
+            // Tokens of a nested fn belong to the nested fn only.
+            if file
+                .enclosing_fn(i)
+                .is_none_or(|e| e.body_start != fnb.body_start)
+            {
+                continue;
+            }
+            let is_method = toks[i - 1].tok == Tok::Punct('.');
+            let close = match matching_close(toks, i + 1) {
+                Some(c) => c,
+                None => continue,
+            };
+
+            if !is_method {
+                if matches!(id.as_str(), "lock" | "read" | "write") {
+                    if let Some(variant) = lock_id_variant(toks, i + 2, close) {
+                        match locks::by_variant(&variant) {
+                            Some(lock) => {
+                                let chain = free_chain_start(toks, i);
+                                info.acqs.push(make_acq(
+                                    toks,
+                                    i,
+                                    chain,
+                                    close,
+                                    fnb.body_end,
+                                    Some(lock),
+                                    false,
+                                ));
+                            }
+                            None => {
+                                cands.insert((
+                                    fi,
+                                    line,
+                                    LOCK_REGISTRY,
+                                    format!(
+                                        "`LockId::{variant}` is not in the declared-locks \
+                                         registry (crates/lint/src/locks.rs)"
+                                    ),
+                                ));
+                            }
+                        }
+                        continue;
+                    }
+                }
+                if !NON_CALL_KEYWORDS.contains(&id.as_str()) {
+                    info.calls.push(CallSite {
+                        ti: i,
+                        line,
+                        name: id.clone(),
+                    });
+                }
+                continue;
+            }
+
+            // Method forms. B: raw zero-arg lock methods on a field.
+            let zero_arg = close == i + 2;
+            if zero_arg
+                && matches!(
+                    id.as_str(),
+                    "lock" | "read" | "write" | "try_read" | "try_write"
+                )
+            {
+                let chain = chain_start(toks, i - 1);
+                match receiver_ident(toks, i - 1) {
+                    Some(field) => match locks::by_field(&field) {
+                        Some(decl) => {
+                            info.acqs.push(make_acq(
+                                toks,
+                                i,
+                                chain,
+                                close,
+                                fnb.body_end,
+                                Some(decl.name),
+                                false,
+                            ));
+                        }
+                        None => {
+                            cands.insert((
+                                fi,
+                                line,
+                                LOCK_REGISTRY,
+                                format!(
+                                    "`.{id}()` on undeclared field `{field}`: declare the lock \
+                                     in crates/lint/src/locks.rs (and lockcheck::LockId) or it \
+                                     evades the order rules and the runtime sentinel"
+                                ),
+                            ));
+                        }
+                    },
+                    None => {
+                        cands.insert((
+                            fi,
+                            line,
+                            LOCK_REGISTRY,
+                            format!(
+                                "`.{id}()` on an unresolvable receiver evades the lock registry"
+                            ),
+                        ));
+                    }
+                }
+                continue;
+            }
+            // C: declared acquirer methods.
+            if let Some(decl) = locks::by_acquirer(id) {
+                let chain = chain_start(toks, i - 1);
+                info.acqs.push(make_acq(
+                    toks,
+                    i,
+                    chain,
+                    close,
+                    fnb.body_end,
+                    Some(decl.name),
+                    id == "write_latch",
+                ));
+                continue;
+            }
+            // C: pool guard constructors (the returned PageRef/PageMut
+            // holds the frame latch).
+            if matches!(id.as_str(), "get" | "get_mut" | "new_page")
+                && receiver_ident(toks, i - 1).as_deref() == Some("pool")
+            {
+                let chain = chain_start(toks, i - 1);
+                info.acqs.push(make_acq(
+                    toks,
+                    i,
+                    chain,
+                    close,
+                    fnb.body_end,
+                    Some("pool.frame"),
+                    id != "get",
+                ));
+                continue;
+            }
+            info.calls.push(CallSite {
+                ti: i,
+                line,
+                name: id.clone(),
+            });
+        }
+        info.acqs.sort_by_key(|a| a.ti);
+        info.calls.sort_by_key(|c| c.ti);
+        fns.push(info);
+    }
+}
+
+/// Builds an [`Acq`] with its guard lifetime classified.
+fn make_acq(
+    toks: &[crate::lexer::Spanned],
+    ti: usize,
+    chain_start: usize,
+    close: usize,
+    body_end: usize,
+    lock: Option<&'static str>,
+    exclusive_guard: bool,
+) -> Acq {
+    let line = toks[ti].line;
+    match let_binding(toks, chain_start, close) {
+        Some((names, semi)) => {
+            let mut end = scope_end(toks, semi, body_end);
+            if let Some(d) = drop_site(toks, semi, end, &names) {
+                end = d;
+            }
+            Acq {
+                ti,
+                line,
+                lock,
+                end,
+                names,
+                exclusive_guard,
+            }
+        }
+        None => Acq {
+            ti,
+            line,
+            lock,
+            end: stmt_end(toks, close, body_end),
+            names: Vec::new(),
+            exclusive_guard,
+        },
+    }
+}
+
+/// Finds `LockId :: Variant` between token indices `from..to`.
+fn lock_id_variant(toks: &[crate::lexer::Spanned], from: usize, to: usize) -> Option<String> {
+    for j in from..to.saturating_sub(3) {
+        if matches!(&toks[j].tok, Tok::Ident(id) if id == "LockId")
+            && toks[j + 1].tok == Tok::Punct(':')
+            && toks[j + 2].tok == Tok::Punct(':')
+        {
+            if let Tok::Ident(v) = &toks[j + 3].tok {
+                return Some(v.clone());
+            }
+        }
+    }
+    None
+}
+
+/// Start of a free call chain: `lockcheck :: lock(` begins at
+/// `lockcheck`, a bare `lock(` at the call ident itself.
+fn free_chain_start(toks: &[crate::lexer::Spanned], i: usize) -> usize {
+    if i >= 3
+        && toks[i - 1].tok == Tok::Punct(':')
+        && toks[i - 2].tok == Tok::Punct(':')
+        && matches!(&toks[i - 3].tok, Tok::Ident(_))
+    {
+        i - 3
+    } else {
+        i
+    }
+}
+
+/// Walks a method chain backward from the `.` before the method name to
+/// the chain's first token (`self.pool.disk()` → index of `self`).
+fn chain_start(toks: &[crate::lexer::Spanned], mut dot: usize) -> usize {
+    loop {
+        let Some(seg) = segment_before(toks, dot) else {
+            return dot;
+        };
+        if seg > 0 && toks[seg - 1].tok == Tok::Punct('.') {
+            dot = seg - 1;
+        } else {
+            return seg;
+        }
+    }
+}
+
+/// First token index of the chain segment ending just before `dot`
+/// (skipping one `[…]` index or `(…)` call backward).
+fn segment_before(toks: &[crate::lexer::Spanned], dot: usize) -> Option<usize> {
+    let mut j = dot.checked_sub(1)?;
+    if matches!(toks[j].tok, Tok::Punct(']') | Tok::Punct(')')) {
+        j = matching_open(toks, j)?.checked_sub(1)?;
+    }
+    match &toks[j].tok {
+        Tok::Ident(_) => Some(j),
+        _ => None,
+    }
+}
+
+/// The identifier owning the method called after `dot` — the field for
+/// `self.state.lock()`, the receiver for `pool.get_mut(…)`.
+fn receiver_ident(toks: &[crate::lexer::Spanned], dot: usize) -> Option<String> {
+    let seg = segment_before(toks, dot)?;
+    match &toks[seg].tok {
+        Tok::Ident(id) => Some(id.clone()),
+        _ => None,
+    }
+}
+
+/// If the acquisition whose chain starts at `chain` and closes at
+/// `close` is the *entire* right-hand side of a `let`, returns the
+/// bound names and the index of the statement's `;`.
+fn let_binding(
+    toks: &[crate::lexer::Spanned],
+    chain: usize,
+    close: usize,
+) -> Option<(Vec<String>, usize)> {
+    let mut k = close + 1;
+    if toks.get(k).map(|t| &t.tok) == Some(&Tok::Punct('?')) {
+        k += 1;
+    }
+    if toks.get(k).map(|t| &t.tok) != Some(&Tok::Punct(';')) {
+        return None;
+    }
+    let semi = k;
+    let eq = chain.checked_sub(1)?;
+    if toks[eq].tok != Tok::Punct('=') {
+        return None;
+    }
+    // Scan back for `let`, bounded to this statement.
+    let mut j = eq;
+    let let_at = loop {
+        j = j.checked_sub(1)?;
+        match &toks[j].tok {
+            Tok::Ident(id) if id == "let" => break j,
+            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => return None,
+            _ => {
+                if eq - j > 12 {
+                    return None;
+                }
+            }
+        }
+    };
+    // Names: idents between `let` and `=` (or the first `:` of a type
+    // annotation), excluding `mut`.
+    let mut names = Vec::new();
+    for t in &toks[let_at + 1..eq] {
+        match &t.tok {
+            Tok::Punct(':') => break,
+            Tok::Ident(id) if id != "mut" => names.push(id.clone()),
+            _ => {}
+        }
+    }
+    if names.is_empty() {
+        return None;
+    }
+    Some((names, semi))
+}
+
+/// End of the statement containing `from`: the next `;` at this brace
+/// depth, the `}` closing the first block the statement itself opens
+/// (an `if let` / `match` scrutinee temporary dies at the end of that
+/// expression — it does *not* outlive the block into the next
+/// statement), or the `}` closing the surrounding block.
+fn stmt_end(toks: &[crate::lexer::Spanned], from: usize, body_end: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().take(body_end + 1).skip(from) {
+        match t.tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                if depth <= 1 {
+                    return k;
+                }
+                depth -= 1;
+            }
+            Tok::Punct(';') if depth == 0 => return k,
+            _ => {}
+        }
+    }
+    body_end
+}
+
+/// End of the block enclosing the statement that ends at `semi`.
+fn scope_end(toks: &[crate::lexer::Spanned], semi: usize, body_end: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().take(body_end + 1).skip(semi + 1) {
+        match t.tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                if depth == 0 {
+                    return k;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    body_end
+}
+
+/// First `drop(name)` of any bound name within `[from, to]`.
+fn drop_site(
+    toks: &[crate::lexer::Spanned],
+    from: usize,
+    to: usize,
+    names: &[String],
+) -> Option<usize> {
+    for k in from..to.saturating_sub(3) {
+        if matches!(&toks[k].tok, Tok::Ident(id) if id == "drop")
+            && toks[k + 1].tok == Tok::Punct('(')
+            && matches!(&toks[k + 2].tok, Tok::Ident(n) if names.iter().any(|x| x == n))
+            && toks[k + 3].tok == Tok::Punct(')')
+        {
+            return Some(k);
+        }
+    }
+    None
+}
+
+fn matching_close(toks: &[crate::lexer::Spanned], open: usize) -> Option<usize> {
+    let (o, c) = match toks[open].tok {
+        Tok::Punct('(') => ('(', ')'),
+        Tok::Punct('[') => ('[', ']'),
+        Tok::Punct('{') => ('{', '}'),
+        _ => return None,
+    };
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.tok == Tok::Punct(o) {
+            depth += 1;
+        } else if t.tok == Tok::Punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+fn matching_open(toks: &[crate::lexer::Spanned], close: usize) -> Option<usize> {
+    let (o, c) = match toks[close].tok {
+        Tok::Punct(')') => ('(', ')'),
+        Tok::Punct(']') => ('[', ']'),
+        Tok::Punct('}') => ('{', '}'),
+        _ => return None,
+    };
+    let mut depth = 0i32;
+    for k in (0..=close).rev() {
+        if toks[k].tok == Tok::Punct(c) {
+            depth += 1;
+        } else if toks[k].tok == Tok::Punct(o) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// The guard-escape rule: an exclusive page guard (`write_latch`,
+/// `pool.get_mut`, `pool.new_page`) that is let-bound may not be live
+/// across a `pool.state`/`pool.disk` acquisition, a disk transfer
+/// (`read_page`/`write_page`), or a `with_retry` boundary. Shared
+/// guards are exempt: the sorted-flush path deliberately reads pages
+/// under shared latches that are uncontended-by-invariant.
+fn guard_escape(
+    f: &FnInfo,
+    toks: &[crate::lexer::Spanned],
+    cands: &mut BTreeSet<(usize, u32, &'static str, String)>,
+) {
+    for acq in &f.acqs {
+        if !acq.exclusive_guard || acq.names.is_empty() || acq.lock != Some("pool.frame") {
+            continue;
+        }
+        let mut trigger: Option<(usize, String)> = None;
+        let live = toks
+            .iter()
+            .enumerate()
+            .take(acq.end.min(f.body_end) + 1)
+            .skip(acq.ti + 1);
+        for (k, t) in live {
+            if let Tok::Ident(id) = &t.tok {
+                let what = match id.as_str() {
+                    "with_retry" => Some("a `with_retry` boundary".to_string()),
+                    "read_page" | "write_page" => Some(format!("a disk transfer (`{id}`)")),
+                    _ => None,
+                };
+                if let Some(w) = what {
+                    trigger = Some((k, w));
+                    break;
+                }
+            }
+            if let Some(other) = f
+                .acqs
+                .iter()
+                .find(|a| a.ti == k && matches!(a.lock, Some("pool.state") | Some("pool.disk")))
+            {
+                trigger = Some((k, format!("a `{}` acquisition", other.lock.unwrap_or("?"))));
+                break;
+            }
+        }
+        if let Some((_, what)) = trigger {
+            cands.insert((
+                f.file,
+                acq.line,
+                LOCK_ORDER,
+                format!(
+                    "exclusive page guard `{}` is live across {what}: holding a latch across \
+                     state/disk/retry boundaries stalls every reader of that page — drop the \
+                     guard first, or carry a reasoned allow(lock-order)",
+                    acq.names.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+/// Transitive may-acquire footprints per fn (for the ambiguity check).
+fn footprints(fns: &[FnInfo], defs: &BTreeMap<&str, Vec<usize>>) -> Vec<BTreeSet<&'static str>> {
+    let mut fp: Vec<BTreeSet<&'static str>> = fns
+        .iter()
+        .map(|f| f.acqs.iter().filter_map(|a| a.lock).collect())
+        .collect();
+    for _ in 0..fns.len() {
+        let mut changed = false;
+        for (i, f) in fns.iter().enumerate() {
+            for c in &f.calls {
+                if OPAQUE_CALLEES.contains(&c.name.as_str()) {
+                    continue;
+                }
+                if let Some(cands) = defs.get(c.name.as_str()) {
+                    if cands.len() == 1 && cands[0] != i {
+                        let add: Vec<_> = fp[cands[0]].difference(&fp[i]).copied().collect();
+                        if !add.is_empty() {
+                            fp[i].extend(add);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    fp
+}
+
+/// The interprocedural walk: simulates each fn under an entry held-set,
+/// recording acquisition edges and order contradictions.
+struct Walk<'a> {
+    files: &'a [SourceFile],
+    fns: &'a [FnInfo],
+    defs: &'a BTreeMap<&'a str, Vec<usize>>,
+    footprints: &'a [BTreeSet<&'static str>],
+    memo: BTreeSet<(usize, Vec<&'static str>)>,
+    /// Observed, un-excused acquisition edges → first site (file, line).
+    edges: BTreeMap<(&'static str, &'static str), (usize, u32)>,
+    cands: &'a mut BTreeSet<(usize, u32, &'static str, String)>,
+}
+
+impl Walk<'_> {
+    fn visit(&mut self, fi: usize, entry_held: &[&'static str], depth: usize) {
+        let mut key: Vec<&'static str> = entry_held.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if depth > 64 || !self.memo.insert((fi, key)) {
+            return;
+        }
+        let f = &self.fns[fi];
+        let toks = &self.files[f.file].lexed.toks;
+        let mut active: Vec<(&'static str, usize)> = Vec::new();
+
+        let mut ai = 0usize;
+        let mut ci = 0usize;
+        loop {
+            let next_acq = f.acqs.get(ai).map(|a| a.ti);
+            let next_call = f.calls.get(ci).map(|c| c.ti);
+            let (ti, is_acq) = match (next_acq, next_call) {
+                (None, None) => break,
+                (Some(a), None) => (a, true),
+                (None, Some(c)) => (c, false),
+                (Some(a), Some(c)) => {
+                    if a <= c {
+                        (a, true)
+                    } else {
+                        (c, false)
+                    }
+                }
+            };
+            active.retain(|&(_, end)| end >= ti);
+            let held: Vec<&'static str> = entry_held
+                .iter()
+                .copied()
+                .chain(active.iter().map(|&(l, _)| l))
+                .collect();
+
+            if is_acq {
+                let acq = &f.acqs[ai];
+                ai += 1;
+                let Some(lock) = acq.lock else { continue };
+                if !locks::order_allows(&held, lock) {
+                    self.cands.insert((
+                        f.file,
+                        acq.line,
+                        LOCK_ORDER,
+                        format!(
+                            "acquiring `{lock}` while holding [{}] contradicts the declared \
+                             lock order (crates/lint/src/locks.rs)",
+                            held.join(", ")
+                        ),
+                    ));
+                }
+                for &h in &held {
+                    if locks::HELD_EXEMPT.contains(&h) || h == lock {
+                        continue;
+                    }
+                    let excused = locks::SERIALIZED
+                        .iter()
+                        .any(|&(a, b, dom)| (a, b) == (h, lock) && held.contains(&dom));
+                    if !excused {
+                        self.edges
+                            .entry((h, lock))
+                            .or_insert((f.file, toks[acq.ti].line));
+                    }
+                }
+                active.push((lock, acq.end));
+            } else {
+                let call = &f.calls[ci];
+                ci += 1;
+                if OPAQUE_CALLEES.contains(&call.name.as_str()) {
+                    continue;
+                }
+                let Some(cands) = self.defs.get(call.name.as_str()) else {
+                    continue;
+                };
+                if cands.len() == 1 {
+                    if cands[0] != fi {
+                        self.visit(cands[0], &held, depth + 1);
+                    }
+                } else if !held.is_empty() {
+                    // Flag only when the may-acquire union holds a lock
+                    // that would be *illegal* under the current held
+                    // set: if every candidate acquisition is legal, it
+                    // does not matter which definition is meant.
+                    let union: BTreeSet<_> = cands
+                        .iter()
+                        .flat_map(|&c| self.footprints[c].iter().copied())
+                        .collect();
+                    if union.iter().any(|&l| !locks::order_allows(&held, l)) {
+                        self.cands.insert((
+                            f.file,
+                            call.line,
+                            LOCK_ORDER,
+                            format!(
+                                "call to `{}` while holding [{}] is ambiguous ({} workspace \
+                                 definitions) and may acquire [{}] — rename the callee or add \
+                                 it to the lint's opaque-callee list",
+                                call.name,
+                                held.join(", "),
+                                cands.len(),
+                                union.into_iter().collect::<Vec<_>>().join(", ")
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reports every elementary cycle in the observed edge graph, anchored
+/// at the recorded site of the cycle's first edge.
+fn report_cycles(
+    edges: &BTreeMap<(&'static str, &'static str), (usize, u32)>,
+    cands: &mut BTreeSet<(usize, u32, &'static str, String)>,
+) {
+    let nodes: BTreeSet<&'static str> = edges.keys().flat_map(|&(a, b)| [a, b]).collect();
+    let mut cycles: BTreeSet<Vec<&'static str>> = BTreeSet::new();
+    for &start in &nodes {
+        let mut path = vec![start];
+        dfs_cycles(start, start, edges, &mut path, &mut cycles);
+    }
+    for cycle in cycles {
+        let (file, line) = edges[&(cycle[0], cycle[1 % cycle.len()])];
+        let mut shown: Vec<&str> = cycle.clone();
+        shown.push(cycle[0]);
+        cands.insert((
+            file,
+            line,
+            LOCK_ORDER,
+            format!(
+                "observed acquisition cycle: {} — every edge is a real acquisition site, so \
+                 some interleaving of these paths can deadlock",
+                shown.join(" -> ")
+            ),
+        ));
+    }
+}
+
+/// Finds elementary cycles through `start`, restricted to nodes ≥
+/// `start` so each cycle is found exactly once, rooted at its least
+/// node.
+fn dfs_cycles(
+    start: &'static str,
+    at: &'static str,
+    edges: &BTreeMap<(&'static str, &'static str), (usize, u32)>,
+    path: &mut Vec<&'static str>,
+    cycles: &mut BTreeSet<Vec<&'static str>>,
+) {
+    for &(a, b) in edges.keys() {
+        if a != at || b < start {
+            continue;
+        }
+        if b == start {
+            cycles.insert(path.clone());
+            continue;
+        }
+        if !path.contains(&b) {
+            path.push(b);
+            dfs_cycles(start, b, edges, path, cycles);
+            path.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<Candidate> {
+        let file = SourceFile::parse(rel.into(), src);
+        analyze(std::slice::from_ref(&file))
+            .into_iter()
+            .map(|(_, c)| c)
+            .collect()
+    }
+
+    #[test]
+    fn declared_direction_is_clean() {
+        let src = "\
+fn ordered(pool: &Pool) {
+    let st = lock(&pool.state, LockId::PoolState);
+    let d = lock(&pool.disk, LockId::PoolDisk);
+}
+";
+        assert!(run("crates/storage/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn inversion_is_flagged() {
+        let src = "\
+fn inverted(pool: &Pool) {
+    let d = lock(&pool.disk, LockId::PoolDisk);
+    let st = lock(&pool.state, LockId::PoolState);
+}
+";
+        let c = run("crates/storage/src/x.rs", src);
+        assert_eq!(c.len(), 1, "{c:?}");
+        assert_eq!(c[0].rule, LOCK_ORDER);
+        assert_eq!(c[0].line, 3);
+    }
+
+    #[test]
+    fn temporary_guard_ends_at_statement() {
+        let src = "\
+fn tight(pool: &Pool) {
+    lock(&pool.disk, LockId::PoolDisk).drop_file(f);
+    let st = lock(&pool.state, LockId::PoolState);
+}
+";
+        assert!(run("crates/storage/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn drop_releases_a_let_bound_guard() {
+        let src = "\
+fn dropped(pool: &Pool) {
+    let d = lock(&pool.disk, LockId::PoolDisk);
+    drop(d);
+    let st = lock(&pool.state, LockId::PoolState);
+}
+";
+        assert!(run("crates/storage/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn held_set_propagates_through_calls() {
+        let src = "\
+fn outer(pool: &Pool) {
+    let d = lock(&pool.disk, LockId::PoolDisk);
+    inner(pool);
+}
+fn inner(pool: &Pool) {
+    let st = lock(&pool.state, LockId::PoolState);
+}
+";
+        let c = run("crates/storage/src/x.rs", src);
+        assert_eq!(c.len(), 1, "{c:?}");
+        assert_eq!(c[0].line, 6, "finding sits at the acquisition inside inner");
+    }
+
+    #[test]
+    fn unregistered_lock_is_flagged() {
+        let src = "\
+fn shadowy(&self) {
+    let g = self.shadow.lock();
+}
+";
+        let c = run("crates/storage/src/x.rs", src);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].rule, LOCK_REGISTRY);
+    }
+
+    #[test]
+    fn guard_escape_across_with_retry() {
+        let src = "\
+fn escaped(pool: &Pool, idx: usize) {
+    let mut frame = pool.write_latch(idx);
+    with_retry(retry, pid, || disk.read_page(pid, &mut frame.data));
+}
+";
+        let c = run("crates/storage/src/x.rs", src);
+        assert_eq!(c.len(), 1, "{c:?}");
+        assert_eq!(c[0].rule, LOCK_ORDER);
+        assert_eq!(c[0].line, 2);
+        assert!(c[0].message.contains("with_retry"), "{}", c[0].message);
+    }
+
+    #[test]
+    fn shared_guard_is_exempt_from_escape() {
+        let src = "\
+fn flushy(pool: &Pool, idx: usize) {
+    let frame = pool.read_latch(idx);
+    with_retry(retry, pid, || disk.write_page(pid, &frame.data));
+}
+";
+        assert!(run("crates/storage/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_files_are_ignored() {
+        let src = "fn f(pool: &Pool) { let d = lock(&pool.disk, LockId::PoolDisk); let s = lock(&pool.state, LockId::PoolState); }\n";
+        assert!(run("crates/bench/src/x.rs", src).is_empty());
+    }
+}

@@ -1,6 +1,6 @@
 //! `pbsm-lint`: a dependency-free invariant linter for this workspace.
 //!
-//! Four contracts that reviews kept re-litigating are mechanized here:
+//! Six contracts that reviews kept re-litigating are mechanized here:
 //!
 //! * **determinism** — no order-unstable collections, wall clocks, or
 //!   unseeded RNGs in the counter-gated crates (PR 2's free-list drift
@@ -12,6 +12,13 @@
 //! * **obs-registry** — every metric-name literal is declared in
 //!   `crates/obs/src/names.rs`, because a typo'd name silently evades the
 //!   bench gate instead of failing.
+//! * **lock-order** — lock acquisitions must respect the declared
+//!   partial order (`locks.rs`, the static twin of the runtime
+//!   sentinel in `crates/storage/src/lockcheck.rs`), the observed
+//!   acquisition graph must be acyclic, and exclusive page guards may
+//!   not be live across state/disk/retry boundaries;
+//! * **lock-registry** — every lock taken in the concurrency-sensitive
+//!   crates is declared in `locks.rs`, or it evades the order rules.
 //!
 //! Violations are silenced inline with
 //! `// pbsm-lint: allow(rule, reason = "…")` — the reason is mandatory,
@@ -22,9 +29,13 @@
 //! is enough for these rules precisely because they are *lexical
 //! contracts*: "this identifier may not appear here", "these two
 //! identifiers appear in the same body", "this literal is declared over
-//! there".
+//! there". The concurrency rules stretch this to a call graph — callee
+//! resolution by unique name, with ambiguity *flagged* rather than
+//! guessed at — which is as far as lexical analysis honestly goes.
 
+pub mod concurrency;
 pub mod lexer;
+pub mod locks;
 pub mod report;
 pub mod rules;
 pub mod source;
@@ -43,6 +54,12 @@ const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "bench_results", "rel
 /// Lints every `.rs` file under `root` and returns the report.
 /// Unreadable files are skipped (the walk is best-effort); the scan order
 /// is sorted, so reports are byte-stable across runs and machines.
+///
+/// Two phases: every file runs the per-file rules as it is parsed, then
+/// the concurrency analysis runs over the whole parsed set (its held-set
+/// propagation crosses files). Suppression matching happens last, once
+/// both phases' candidates are in, so an allow aimed at a concurrency
+/// finding is never misreported as unused.
 pub fn run_lint(root: &Path) -> LintReport {
     let mut files = Vec::new();
     collect_rs_files(root, &mut files);
@@ -51,40 +68,72 @@ pub fn run_lint(root: &Path) -> LintReport {
     let registry = load_registry(root);
     let mut report = LintReport::default();
 
+    let mut parsed: Vec<SourceFile> = Vec::new();
+    let mut candidates: Vec<Vec<Candidate>> = Vec::new();
     for path in files {
         let Ok(src) = fs::read_to_string(&path) else {
             continue;
         };
         let rel = rel_path(root, &path);
         report.files_scanned += 1;
-        lint_file(&rel, &src, &registry, &mut report);
+        // Integration tests and benches are test code wholesale; the
+        // rules all exempt test code, so skip the parse entirely.
+        if rel.contains("/tests/") || rel.contains("/benches/") {
+            continue;
+        }
+        let file = SourceFile::parse(rel, &src);
+        candidates.push(file_candidates(&file, &registry));
+        parsed.push(file);
+    }
+
+    for (fi, cand) in concurrency::analyze(&parsed) {
+        candidates[fi].push(cand);
+    }
+
+    for (file, cands) in parsed.iter().zip(candidates) {
+        finalize(file, cands, &mut report);
     }
     report.findings.sort();
     report
 }
 
 /// Lints a single file's source text into `report`. Exposed for the
-/// golden-fixture tests, which feed fixture files one at a time.
+/// golden-fixture tests, which feed fixture files one at a time. The
+/// concurrency analysis still runs, but sees only this one file.
 pub fn lint_file(rel: &str, src: &str, registry: &BTreeSet<String>, report: &mut LintReport) {
-    // Integration tests and benches are test code wholesale; the rules
-    // all exempt test code, so skip the parse entirely.
     if rel.contains("/tests/") || rel.contains("/benches/") {
         return;
     }
     let file = SourceFile::parse(rel.to_string(), src);
+    let mut cands = file_candidates(&file, registry);
+    cands.extend(
+        concurrency::analyze(std::slice::from_ref(&file))
+            .into_iter()
+            .map(|(_, c)| c),
+    );
+    finalize(&file, cands, report);
+}
 
+/// Phase 1: the per-file rules.
+fn file_candidates(file: &SourceFile, registry: &BTreeSet<String>) -> Vec<Candidate> {
     let mut candidates = Vec::new();
-    rules::determinism(&file, &mut candidates);
-    rules::error_discipline(&file, &mut candidates);
-    rules::resource_pairing(&file, &mut candidates);
-    rules::obs_registry(&file, registry, &mut candidates);
+    rules::determinism(file, &mut candidates);
+    rules::error_discipline(file, &mut candidates);
+    rules::resource_pairing(file, &mut candidates);
+    rules::obs_registry(file, registry, &mut candidates);
+    candidates
+}
 
+/// Suppression matching and accounting for one file's candidates.
+fn finalize(file: &SourceFile, candidates: Vec<Candidate>, report: &mut LintReport) {
+    let rel = &file.rel_path;
     for c in candidates {
         if file.suppressed(c.rule, c.line) {
             report.suppressions_used += 1;
+            report.audit_used(c.rule);
         } else {
             report.findings.push(Finding {
-                path: rel.to_string(),
+                path: rel.clone(),
                 line: c.line,
                 rule: c.rule.to_string(),
                 message: c.message,
@@ -92,8 +141,9 @@ pub fn lint_file(rel: &str, src: &str, registry: &BTreeSet<String>, report: &mut
         }
     }
     for (line, msg) in &file.bad_suppressions {
+        report.malformed_suppressions += 1;
         report.findings.push(Finding {
-            path: rel.to_string(),
+            path: rel.clone(),
             line: *line,
             rule: rules::SUPPRESSION.to_string(),
             message: format!("malformed pbsm-lint comment: {msg}"),
@@ -101,8 +151,11 @@ pub fn lint_file(rel: &str, src: &str, registry: &BTreeSet<String>, report: &mut
     }
     for s in &file.suppressions {
         if !s.used.get() {
+            for rule in &s.rules {
+                report.audit_unused(rule);
+            }
             report.findings.push(Finding {
-                path: rel.to_string(),
+                path: rel.clone(),
                 line: s.comment_line,
                 rule: rules::SUPPRESSION.to_string(),
                 message: format!(

@@ -3,6 +3,7 @@
 //! `bench_results/lint.json` and the golden-fixture tests.
 
 use pbsm_obs::json::Json;
+use std::collections::BTreeMap;
 
 /// A rule hit before suppression matching: file-independent parts only.
 #[derive(Debug)]
@@ -31,11 +32,30 @@ pub struct LintReport {
     pub findings: Vec<Finding>,
     /// Suppressions that matched a would-be finding.
     pub suppressions_used: usize,
+    /// Malformed `pbsm-lint:` comments seen (each is also a finding).
+    pub malformed_suppressions: usize,
+    /// Per-rule suppression accounting: rule → (used, unused). An
+    /// unused multi-rule allow counts once under every rule it names.
+    pub suppression_audit: BTreeMap<String, (usize, usize)>,
 }
 
 impl LintReport {
     pub fn clean(&self) -> bool {
         self.findings.is_empty()
+    }
+
+    pub(crate) fn audit_used(&mut self, rule: &str) {
+        self.suppression_audit
+            .entry(rule.to_string())
+            .or_default()
+            .0 += 1;
+    }
+
+    pub(crate) fn audit_unused(&mut self, rule: &str) {
+        self.suppression_audit
+            .entry(rule.to_string())
+            .or_default()
+            .1 += 1;
     }
 
     /// One line per finding, `path:line: [rule] message`, plus a summary.
@@ -100,6 +120,32 @@ impl LintReport {
                 Json::uint(self.suppressions_used as u64),
             ),
             (
+                "suppression_audit".into(),
+                Json::Obj(vec![
+                    (
+                        "malformed".into(),
+                        Json::uint(self.malformed_suppressions as u64),
+                    ),
+                    (
+                        "rules".into(),
+                        Json::Obj(
+                            self.suppression_audit
+                                .iter()
+                                .map(|(rule, &(used, unused))| {
+                                    (
+                                        rule.clone(),
+                                        Json::Obj(vec![
+                                            ("used".into(), Json::uint(used as u64)),
+                                            ("unused".into(), Json::uint(unused as u64)),
+                                        ]),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
                 "counts".into(),
                 Json::Obj(
                     per_rule
@@ -127,6 +173,8 @@ mod tests {
                 message: "`HashMap` in counter-gated code".into(),
             }],
             suppressions_used: 2,
+            malformed_suppressions: 0,
+            suppression_audit: BTreeMap::new(),
         }
     }
 

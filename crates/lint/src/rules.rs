@@ -14,6 +14,13 @@ pub const DETERMINISM: &str = "determinism";
 pub const ERROR_DISCIPLINE: &str = "error-discipline";
 pub const RESOURCE_PAIRING: &str = "resource-pairing";
 pub const OBS_REGISTRY: &str = "obs-registry";
+/// Concurrency discipline: order contradictions, acquisition cycles,
+/// ambiguous lock-taking callees, and escaped latch guards (see
+/// `crate::concurrency`).
+pub const LOCK_ORDER: &str = "lock-order";
+/// A lock acquisition on a field absent from the declared-locks
+/// registry (`crate::locks`).
+pub const LOCK_REGISTRY: &str = "lock-registry";
 /// Meta-rule for malformed / unused `pbsm-lint:` comments.
 pub const SUPPRESSION: &str = "suppression";
 
@@ -22,6 +29,8 @@ pub const ALL_RULES: &[&str] = &[
     ERROR_DISCIPLINE,
     RESOURCE_PAIRING,
     OBS_REGISTRY,
+    LOCK_ORDER,
+    LOCK_REGISTRY,
     SUPPRESSION,
 ];
 

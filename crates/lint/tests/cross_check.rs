@@ -1,0 +1,97 @@
+//! Pins the lint crate's string-keyed lock tables (`locks.rs`) to the
+//! runtime sentinel's typed tables (`pbsm_storage::lockcheck`). The two
+//! sides are written independently on purpose — the lint must not link
+//! the storage crate at runtime — so this test is what keeps them from
+//! drifting: same lock set, same ORDER pairs, same exemptions, and
+//! agreeing `order_allows` verdicts on every (held, acquired) pair.
+
+use pbsm_lint::locks;
+use pbsm_storage::lockcheck;
+
+#[test]
+fn lock_sets_match() {
+    let runtime: Vec<&str> = lockcheck::ALL_LOCKS.iter().map(|l| l.name()).collect();
+    let lint: Vec<&str> = locks::LOCKS.iter().map(|l| l.name).collect();
+    for name in &runtime {
+        assert!(
+            lint.contains(name),
+            "sentinel lock `{name}` missing from lint registry"
+        );
+    }
+    for name in &lint {
+        assert!(
+            runtime.contains(name),
+            "lint lock `{name}` missing from sentinel LockId"
+        );
+    }
+    assert_eq!(runtime.len(), lint.len());
+}
+
+#[test]
+fn order_tables_match_pair_for_pair() {
+    let runtime: Vec<(&str, &str)> = lockcheck::ORDER
+        .iter()
+        .map(|&(a, b)| (a.name(), b.name()))
+        .collect();
+    for pair in &runtime {
+        assert!(
+            locks::ORDER.contains(pair),
+            "ORDER pair {pair:?} missing from lint"
+        );
+    }
+    for pair in locks::ORDER {
+        assert!(
+            runtime.contains(pair),
+            "ORDER pair {pair:?} missing from sentinel"
+        );
+    }
+
+    let held_exempt: Vec<&str> = lockcheck::HELD_EXEMPT.iter().map(|l| l.name()).collect();
+    assert_eq!(
+        held_exempt,
+        locks::HELD_EXEMPT,
+        "HELD_EXEMPT tables diverge"
+    );
+
+    let serialized: Vec<(&str, &str, &str)> = lockcheck::SERIALIZED
+        .iter()
+        .map(|&(a, b, d)| (a.name(), b.name(), d.name()))
+        .collect();
+    assert_eq!(serialized, locks::SERIALIZED, "SERIALIZED tables diverge");
+}
+
+#[test]
+fn order_allows_agrees_on_every_combination() {
+    // Every (held-pair, acquired) combination, with and without each
+    // possible dominator in the held set — covers the directional
+    // SERIALIZED excuse as well as the plain pairs.
+    for &h in lockcheck::ALL_LOCKS {
+        for &acq in lockcheck::ALL_LOCKS {
+            for &dom in lockcheck::ALL_LOCKS {
+                let held_rt = if dom == h { vec![h] } else { vec![dom, h] };
+                let held_li: Vec<&str> = held_rt.iter().map(|l| l.name()).collect();
+                assert_eq!(
+                    lockcheck::order_allows(&held_rt, acq),
+                    locks::order_allows(&held_li, acq.name()),
+                    "verdict diverges for held={held_li:?} acq={}",
+                    acq.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn variant_names_resolve_to_runtime_names() {
+    // The lint's `LockId::Variant` → name table (used at `lock(…,
+    // LockId::X)` sites) must spell variants exactly as the enum does.
+    for &id in lockcheck::ALL_LOCKS {
+        let variant = format!("{id:?}");
+        assert_eq!(
+            locks::by_variant(&variant),
+            Some(id.name()),
+            "lint VARIANTS table misses or misnames LockId::{variant}"
+        );
+    }
+    assert_eq!(locks::VARIANTS.len(), lockcheck::ALL_LOCKS.len());
+}

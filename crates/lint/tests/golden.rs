@@ -49,6 +49,16 @@ fn fixture_findings_match_golden() {
         golden.get("suppressions_used").and_then(Json::as_u64),
         "suppression accounting diverges from expected.json"
     );
+
+    // The per-rule suppression audit (malformed count plus used/unused
+    // per rule) is part of the report shape; compare the rendered
+    // subtree against the golden one key-for-key.
+    let got_json = Json::parse(&report.to_json().render()).expect("report JSON parses");
+    assert_eq!(
+        got_json.get("suppression_audit"),
+        golden.get("suppression_audit"),
+        "per-rule suppression audit diverges from expected.json"
+    );
 }
 
 #[test]

@@ -57,6 +57,7 @@ use crate::disk::{DiskStats, SimDisk};
 use crate::error::{StorageError, StorageResult};
 use crate::fault::RetryPolicy;
 use crate::journal::{Journal, JournalRecord};
+use crate::lockcheck::{self, lock, LockId, Tracked};
 use crate::page::{zeroed_page, FileId, PageBuf, PageId, PAGE_SIZE};
 use pbsm_obs as obs;
 use std::collections::BTreeMap;
@@ -65,13 +66,6 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{
     Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError,
 };
-
-/// Locks a mutex, ignoring poison: pool state is kept consistent by the
-/// lock-ordering discipline, not by unwind flags, and a panicked reader
-/// must not wedge every other serving thread.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
 
 /// Buffer-pool hit/miss counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -331,23 +325,25 @@ impl BufferPool {
     /// `Db::recover`. From here on every intent-tracked file operation is
     /// journaled.
     pub fn install_journal(&self, journal: Journal) {
-        *lock(&self.journal) = Some(journal);
+        *lock(&self.journal, LockId::PoolJournal) = Some(journal);
     }
 
     /// True when an intent journal is installed.
     pub fn journal_enabled(&self) -> bool {
-        lock(&self.journal).is_some()
+        lock(&self.journal, LockId::PoolJournal).is_some()
     }
 
     /// The journal's file id, when installed.
     pub fn journal_file(&self) -> Option<FileId> {
-        lock(&self.journal).as_ref().map(Journal::file_id)
+        lock(&self.journal, LockId::PoolJournal)
+            .as_ref()
+            .map(Journal::file_id)
     }
 
     /// Open journal intents: temp files with a journaled `TempCreated`
     /// and no terminal record yet. 0 when no journal is installed.
     pub fn journal_open_intents(&self) -> u64 {
-        lock(&self.journal)
+        lock(&self.journal, LockId::PoolJournal)
             .as_ref()
             .map_or(0, Journal::open_intents)
     }
@@ -358,8 +354,8 @@ impl BufferPool {
     /// not hold the disk lock.
     pub fn journal_append(&self, rec: JournalRecord) -> StorageResult<()> {
         let retry = self.retry_policy();
-        match lock(&self.journal).as_mut() {
-            Some(j) => j.append(&mut lock(&self.disk), rec, retry),
+        match lock(&self.journal, LockId::PoolJournal).as_mut() {
+            Some(j) => j.append(&mut lock(&self.disk, LockId::PoolDisk), rec, retry),
             None => Ok(()),
         }
     }
@@ -371,7 +367,7 @@ impl BufferPool {
     /// [`BufferPool::abort_intent`].
     pub fn begin_intent(&self) -> StorageResult<FileId> {
         // pbsm-lint: allow(resource-pairing, reason = "this IS the journaled creation primitive; ownership passes to the caller, who pairs it with commit_intent/abort_intent")
-        let file = lock(&self.disk).create_file();
+        let file = lock(&self.disk, LockId::PoolDisk).create_file();
         self.journal_append(JournalRecord::TempCreated { file })?;
         Ok(file)
     }
@@ -404,22 +400,22 @@ impl BufferPool {
     /// eviction; the LRU recency list is maintained under both policies,
     /// so switching on a warm pool is well-defined.
     pub fn set_replacement_policy(&self, policy: ReplacementPolicy) {
-        lock(&self.state).policy = policy;
+        lock(&self.state, LockId::PoolState).policy = policy;
     }
 
     /// The replacement policy in force.
     pub fn replacement_policy(&self) -> ReplacementPolicy {
-        lock(&self.state).policy
+        lock(&self.state, LockId::PoolState).policy
     }
 
     /// Sets the transient-fault retry budget.
     pub fn set_retry_policy(&self, policy: RetryPolicy) {
-        *lock(&self.retry) = policy;
+        *lock(&self.retry, LockId::PoolRetry) = policy;
     }
 
     /// The retry budget in force.
     pub fn retry_policy(&self) -> RetryPolicy {
-        *lock(&self.retry)
+        *lock(&self.retry, LockId::PoolRetry)
     }
 
     /// Diagnostic frame census for tests and invariant checks:
@@ -427,7 +423,7 @@ impl BufferPool {
     /// either on the free list or mapped, so `free + mapped == frames`
     /// whenever no I/O is in flight.
     pub fn frame_census(&self) -> (usize, usize, usize) {
-        let st = lock(&self.state);
+        let st = lock(&self.state, LockId::PoolState);
         let pinned = st.meta.iter().filter(|m| m.pin > 0).count();
         (st.free.len(), pinned, st.map.len())
     }
@@ -436,19 +432,23 @@ impl BufferPool {
     /// The canonical cold-pool order is descending, so reuse is by
     /// ascending frame index.
     pub fn free_list(&self) -> Vec<usize> {
-        lock(&self.state).free.clone()
+        lock(&self.state, LockId::PoolState).free.clone()
     }
 
     /// Every currently mapped page, in `PageId` order (diagnostic).
     pub fn resident_pages(&self) -> Vec<PageId> {
-        lock(&self.state).map.keys().copied().collect()
+        lock(&self.state, LockId::PoolState)
+            .map
+            .keys()
+            .copied()
+            .collect()
     }
 
     /// The recency list, coldest first (diagnostic; drives eviction only
     /// under [`ReplacementPolicy::Lru`]). The model-based LRU tests
     /// compare this against a naive reference after every step.
     pub fn lru_order(&self) -> Vec<PageId> {
-        let st = lock(&self.state);
+        let st = lock(&self.state, LockId::PoolState);
         let mut out = Vec::with_capacity(st.map.len());
         let mut cur = st.lru_head;
         while cur != NIL {
@@ -511,32 +511,34 @@ impl BufferPool {
 
     /// Buffer counters so far.
     pub fn stats(&self) -> PoolStats {
-        lock(&self.state).stats
+        lock(&self.state, LockId::PoolState).stats
     }
 
     /// Disk counters so far (reads/writes/seeks/modeled ms).
     pub fn disk_stats(&self) -> DiskStats {
-        lock(&self.disk).stats()
+        lock(&self.disk, LockId::PoolDisk).stats()
     }
 
     /// Direct (read) access to the underlying disk. The returned guard
     /// excludes all pool I/O — do not hold it across other pool calls.
-    pub fn disk(&self) -> MutexGuard<'_, SimDisk> {
-        lock(&self.disk)
+    pub fn disk(&self) -> Tracked<MutexGuard<'_, SimDisk>> {
+        lock(&self.disk, LockId::PoolDisk)
     }
 
     /// Direct (mutable) access to the underlying disk, e.g. for file
     /// creation. Same exclusion caveat as [`BufferPool::disk`].
-    pub fn disk_mut(&self) -> MutexGuard<'_, SimDisk> {
-        lock(&self.disk)
+    pub fn disk_mut(&self) -> Tracked<MutexGuard<'_, SimDisk>> {
+        lock(&self.disk, LockId::PoolDisk)
     }
 
     /// Acquires the shared latch on `frames[idx]`, counting contention.
     /// The caller must hold a pin on the frame (or the table lock with
-    /// `pin == 0` — see the module lock-ordering notes).
-    fn read_latch(&self, idx: usize) -> RwLockReadGuard<'_, Frame> {
+    /// `pin == 0` — see the module lock-ordering notes). The sentinel
+    /// check runs before the try so an inversion panics, never blocks.
+    fn read_latch(&self, idx: usize) -> Tracked<RwLockReadGuard<'_, Frame>> {
         obs::bump_shared(&self.counters.pending_latch_shared);
-        match self.frames[idx].try_read() {
+        lockcheck::acquired(LockId::PoolFrame);
+        let g = match self.frames[idx].try_read() {
             Ok(g) => g,
             Err(TryLockError::Poisoned(e)) => e.into_inner(),
             Err(TryLockError::WouldBlock) => {
@@ -545,13 +547,15 @@ impl BufferPool {
                     .read()
                     .unwrap_or_else(PoisonError::into_inner)
             }
-        }
+        };
+        Tracked::adopt(LockId::PoolFrame, g)
     }
 
     /// Acquires the exclusive latch on `frames[idx]`, counting contention.
-    fn write_latch(&self, idx: usize) -> RwLockWriteGuard<'_, Frame> {
+    fn write_latch(&self, idx: usize) -> Tracked<RwLockWriteGuard<'_, Frame>> {
         obs::bump_shared(&self.counters.pending_latch_exclusive);
-        match self.frames[idx].try_write() {
+        lockcheck::acquired(LockId::PoolFrame);
+        let g = match self.frames[idx].try_write() {
             Ok(g) => g,
             Err(TryLockError::Poisoned(e)) => e.into_inner(),
             Err(TryLockError::WouldBlock) => {
@@ -560,7 +564,8 @@ impl BufferPool {
                     .write()
                     .unwrap_or_else(PoisonError::into_inner)
             }
-        }
+        };
+        Tracked::adopt(LockId::PoolFrame, g)
     }
 
     /// Picks an unpinned victim frame under the configured policy,
@@ -643,7 +648,7 @@ impl BufferPool {
             batch.push((pid, victim));
         }
         let retry = self.retry_policy();
-        let mut disk = lock(&self.disk);
+        let mut disk = lock(&self.disk, LockId::PoolDisk);
         for (pid, idx) in batch {
             let frame = self.read_latch(idx);
             Self::with_retry(retry, pid, || disk.write_page(pid, &frame.data))?;
@@ -662,7 +667,7 @@ impl BufferPool {
     /// the second requester finds a hit instead of double-reading.
     fn pin_frame(&self, pid: PageId, read_from_disk: bool) -> StorageResult<usize> {
         let retry = self.retry_policy();
-        let mut st = lock(&self.state);
+        let mut st = lock(&self.state, LockId::PoolState);
         if let Some(&idx) = st.map.get(&pid) {
             st.stats.hits += 1;
             obs::bump_shared(&self.counters.pending_hits);
@@ -676,12 +681,13 @@ impl BufferPool {
         obs::bump_shared(&self.counters.pending_misses);
         let idx = self.evict_victim(&mut st)?;
         {
-            // Exclusive latch on an evicted (unmapped, pin == 0) frame:
-            // safe under the state lock per the module invariant.
+            // Exclusive latch on an evicted (unmapped, pin == 0) frame,
+            // held across the disk read by design — see the method doc.
+            // pbsm-lint: allow(lock-order, reason = "miss path: pool.state serializes concurrent misses, and the evicted frame is unmapped with pin == 0, so no other thread can hold or want this latch while the read fills it")
             let mut frame = self.write_latch(idx);
             if read_from_disk {
                 let read = Self::with_retry(retry, pid, || {
-                    lock(&self.disk).read_page(pid, &mut frame.data)
+                    lock(&self.disk, LockId::PoolDisk).read_page(pid, &mut frame.data)
                 });
                 if let Err(e) = read {
                     // The frame was unmapped by the eviction; return it
@@ -722,7 +728,7 @@ impl BufferPool {
         let idx = self.pin_frame(pid, true)?;
         // Dirty before the latch: flushers skip pinned frames, so the
         // mark cannot be consumed until this guard drops.
-        lock(&self.state).meta[idx].dirty = true;
+        lock(&self.state, LockId::PoolState).meta[idx].dirty = true;
         Ok(PageMut {
             pool: self,
             idx,
@@ -734,7 +740,7 @@ impl BufferPool {
     /// disk read (it is known-zero). This is how partition files and index
     /// builds append pages.
     pub fn new_page(&self, file: FileId) -> StorageResult<(PageId, PageMut<'_>)> {
-        let pid = lock(&self.disk).allocate_page(file)?;
+        let pid = lock(&self.disk, LockId::PoolDisk).allocate_page(file)?;
         // A zero-fill install is born dirty, so no extra mark is needed.
         let idx = self.pin_frame(pid, false)?;
         Ok((
@@ -749,7 +755,7 @@ impl BufferPool {
 
     /// Writes every dirty page back to disk in sorted order.
     pub fn flush_all(&self) -> StorageResult<()> {
-        let mut st = lock(&self.state);
+        let mut st = lock(&self.state, LockId::PoolState);
         let mut batch: Vec<(PageId, usize)> = Vec::new();
         for (idx, m) in st.meta.iter().enumerate() {
             if m.dirty {
@@ -761,7 +767,7 @@ impl BufferPool {
         }
         batch.sort_unstable();
         let retry = self.retry_policy();
-        let mut disk = lock(&self.disk);
+        let mut disk = lock(&self.disk, LockId::PoolDisk);
         for (pid, idx) in batch {
             let frame = self.read_latch(idx);
             Self::with_retry(retry, pid, || disk.write_page(pid, &frame.data))?;
@@ -777,7 +783,7 @@ impl BufferPool {
     /// torn writes, if any, are confirmed). This is the durability half
     /// of a commit or checkpoint; the journal record is the other half.
     pub fn flush_file(&self, file: FileId) -> StorageResult<()> {
-        let mut st = lock(&self.state);
+        let mut st = lock(&self.state, LockId::PoolState);
         let mut batch: Vec<(PageId, usize)> = Vec::new();
         for (idx, m) in st.meta.iter().enumerate() {
             if m.dirty {
@@ -791,7 +797,7 @@ impl BufferPool {
         }
         batch.sort_unstable();
         let retry = self.retry_policy();
-        let mut disk = lock(&self.disk);
+        let mut disk = lock(&self.disk, LockId::PoolDisk);
         for (pid, idx) in batch {
             let frame = self.read_latch(idx);
             Self::with_retry(retry, pid, || disk.write_page(pid, &frame.data))?;
@@ -809,7 +815,7 @@ impl BufferPool {
     /// in the paper's testbed. Panics if any page is pinned.
     pub fn clear_cache(&self) -> StorageResult<()> {
         self.flush_all()?;
-        let mut st = lock(&self.state);
+        let mut st = lock(&self.state, LockId::PoolState);
         let entries: Vec<(PageId, usize)> = std::mem::take(&mut st.map).into_iter().collect();
         self.counters.occupied.store(0, Ordering::Relaxed);
         for (pid, idx) in entries {
@@ -833,7 +839,7 @@ impl BufferPool {
     /// Discards all cached pages of `file` (without write-back) and frees
     /// it on disk. Panics if any of its pages are pinned.
     pub fn drop_file(&self, file: FileId) {
-        let mut st = lock(&self.state);
+        let mut st = lock(&self.state, LockId::PoolState);
         let mut doomed: Vec<(PageId, usize)> = st
             .map
             .iter()
@@ -859,7 +865,7 @@ impl BufferPool {
             .occupied
             .store(st.map.len() as u64, Ordering::Relaxed);
         drop(st);
-        lock(&self.disk).drop_file(file);
+        lock(&self.disk, LockId::PoolDisk).drop_file(file);
         // Best-effort: a failed (e.g. crashed) drop record is safe — the
         // file's pages are gone or recovery will reclaim them; either way
         // nothing leaks. Never journal a drop of the journal itself.
@@ -878,7 +884,7 @@ impl BufferPool {
     }
 
     fn unpin(&self, idx: usize) {
-        let mut st = lock(&self.state);
+        let mut st = lock(&self.state, LockId::PoolState);
         let m = &mut st.meta[idx];
         debug_assert!(m.pin > 0);
         m.pin -= 1;
@@ -894,7 +900,7 @@ impl BufferPool {
 pub struct PageRef<'a> {
     pool: &'a BufferPool,
     idx: usize,
-    frame: RwLockReadGuard<'a, Frame>,
+    frame: Tracked<RwLockReadGuard<'a, Frame>>,
 }
 
 impl Deref for PageRef<'_> {
@@ -916,7 +922,7 @@ impl Drop for PageRef<'_> {
 pub struct PageMut<'a> {
     pool: &'a BufferPool,
     idx: usize,
-    frame: RwLockWriteGuard<'a, Frame>,
+    frame: Tracked<RwLockWriteGuard<'a, Frame>>,
 }
 
 impl Deref for PageMut<'_> {

@@ -11,11 +11,12 @@ use crate::catalog::Catalog;
 use crate::disk::{DiskModel, DiskStats, SimDisk};
 use crate::fault::{FaultConfig, RetryPolicy};
 use crate::journal::{JoinResume, Journal, JournalRecord, RecoveredState};
+use crate::lockcheck::{self, LockId, Tracked};
 use crate::page::FileId;
 use crate::StorageResult;
 use pbsm_obs as obs;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Configuration for a [`Db`] instance.
 #[derive(Clone, Copy, Debug)]
@@ -326,13 +327,13 @@ impl Db {
     /// Read access to the catalog. Many readers may hold this at once;
     /// scope the guard tightly (clone the metas out) — holding it across
     /// a whole query would block registrations on other threads.
-    pub fn catalog(&self) -> RwLockReadGuard<'_, Catalog> {
-        self.catalog.read().unwrap_or_else(PoisonError::into_inner)
+    pub fn catalog(&self) -> Tracked<RwLockReadGuard<'_, Catalog>> {
+        lockcheck::read(&self.catalog, LockId::Catalog)
     }
 
     /// Write access to the catalog (registration / index bookkeeping).
-    pub fn catalog_mut(&self) -> RwLockWriteGuard<'_, Catalog> {
-        self.catalog.write().unwrap_or_else(PoisonError::into_inner)
+    pub fn catalog_mut(&self) -> Tracked<RwLockWriteGuard<'_, Catalog>> {
+        lockcheck::write(&self.catalog, LockId::Catalog)
     }
 
     /// A read-only handle for a serving thread.
@@ -369,10 +370,16 @@ impl Db {
             .pool
             .journal_file()
             .map_or(0, |f| self.pool.disk().num_pages(f) as u64);
+        // Each reading in its own statement: a disk guard living to the
+        // end of a struct literal would overlap the journal lock inside
+        // `journal_open_intents`, inverting the declared journal → disk
+        // order (the lockcheck sentinel caught exactly that here).
+        let live_pages = self.pool.disk().live_pages();
+        let journal_open_intents = self.pool.journal_open_intents();
         TelemetryBaseline {
-            live_pages: self.pool.disk().live_pages(),
+            live_pages,
             pool_occupied: mapped as u64,
-            journal_open_intents: self.pool.journal_open_intents(),
+            journal_open_intents,
             journal_pages,
         }
     }
@@ -399,7 +406,7 @@ impl<'a> Snapshot<'a> {
     }
 
     /// Read access to the shared catalog.
-    pub fn catalog(&self) -> RwLockReadGuard<'a, Catalog> {
+    pub fn catalog(&self) -> Tracked<RwLockReadGuard<'a, Catalog>> {
         self.db.catalog()
     }
 

@@ -9,11 +9,12 @@
 
 use crate::error::{StorageError, StorageResult};
 use crate::fault::{page_checksum, FaultConfig, FaultSchedule, FaultTally, WriteDecision};
+use crate::lockcheck::{self, LockId};
 use crate::page::{zeroed_page, FileId, PageBuf, PageId, PAGE_SIZE};
 use pbsm_obs as obs;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex};
 
 /// Disk timing parameters.
 ///
@@ -188,7 +189,7 @@ impl obs::FlushMetrics for DiskCounters {
             self.live_pages_gauge.set(live);
             self.live_pages_published.store(live, Ordering::Relaxed);
         }
-        let files = self.files.lock().unwrap_or_else(PoisonError::into_inner);
+        let files = lockcheck::lock(&self.files, LockId::DiskFiles);
         for f in files.iter() {
             f.flush();
         }
@@ -397,11 +398,7 @@ impl SimDisk {
     pub fn create_file(&mut self) -> FileId {
         let id = FileId(self.files.len() as u32);
         let counters = Arc::new(FileCounters::new(id));
-        self.counters
-            .files
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .push(Arc::clone(&counters));
+        lockcheck::lock(&self.counters.files, LockId::DiskFiles).push(Arc::clone(&counters));
         self.files.push(FileData {
             pages: Vec::new(),
             sums: Vec::new(),

@@ -49,6 +49,7 @@ pub mod extsort;
 pub mod fault;
 pub mod heap;
 pub mod journal;
+pub mod lockcheck;
 pub mod oid;
 pub mod page;
 pub mod record;

@@ -1,6 +1,12 @@
 #!/usr/bin/env bash
 # Runs pbsm-lint over the workspace; exits nonzero on any unsuppressed
 # finding. The JSON report lands in bench_results/lint.json.
+# All rules run by default, including the concurrency rules added in
+# PR 9 (lock-order, lock-registry): the interprocedural lock-order
+# check, acquisition-cycle detection, the declared-locks registry, and
+# the latch-guard-escape rule. Their runtime twin (the debug-build
+# latch sentinel in crates/storage/src/lockcheck.rs) is exercised by
+# the debug stress run in scripts/verify.sh and the CI lockcheck job.
 # Usage: scripts/lint.sh [--json PATH]
 set -euo pipefail
 cd "$(dirname "$0")/.."

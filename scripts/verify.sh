@@ -20,6 +20,10 @@ test -s bench_results/lint.json
 echo "==> cargo test"
 cargo test -q --release
 
+echo "==> lockcheck stress (debug build: latch-order sentinel armed, 8 threads)"
+PBSM_SERVE_THREADS=8 PBSM_LOCKCHECK_DUMP=bench_results/lockcheck_violation.txt \
+    cargo test -q -p pbsm --test concurrent_serving
+
 echo "==> perf-lab smoke (bench_all @ PBSM_SCALE=0.02, regression gate vs baseline)"
 scripts/bench.sh --scale 0.02 --tol 0.02
 test -s bench_results/bulkload_vs_insert.json
