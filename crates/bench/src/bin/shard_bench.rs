@@ -1,0 +1,52 @@
+//! The sharded scatter-gather harness binary: K-shard joins verified
+//! against the unsharded single-engine oracle, then the shard crash
+//! sweep — every (crash-point × seed × algorithm × crashed-shard) cell
+//! kills one shard mid-join and requires the coordinator to recover and
+//! resume it without disturbing its siblings.
+//!
+//! ```text
+//! PBSM_SCALE=0.02 cargo run --release -p pbsm-bench --bin shard_bench
+//! ```
+//!
+//! Writes `bench_results/shard.txt` / `shard.json` and exits non-zero if
+//! any sharded configuration diverged from the oracle, any sweep cell
+//! mismatched/panicked/leaked, no cell ever contained a crash (the
+//! schedule never fired), or no resumed join ever reused a checkpoint
+//! (the resume path is inert). See `pbsm_bench::shard` for the
+//! `PBSM_SHARD_COUNT` / `PBSM_SHARD_CRASH_POINTS` knobs.
+
+use pbsm_bench::{shard, Report};
+
+fn main() {
+    let mut report = Report::new(
+        "shard",
+        "Sharded scatter-gather: K-shard joins + single-shard crash sweep",
+    );
+    let bench_ok = shard::run_shard_bench(&mut report);
+    let summary = shard::run_shard_crash_sweep(&mut report);
+    report.save();
+
+    if !bench_ok {
+        eprintln!("\nshard: FAILURES — a sharded join diverged from the unsharded oracle");
+        std::process::exit(1);
+    }
+    if !summary.all_acceptable() {
+        eprintln!("\nshard: FAILURES — a crash cell mismatched, panicked, or leaked");
+        std::process::exit(1);
+    }
+    if summary.contained_total() == 0 {
+        eprintln!("\nshard: FAILURES — no cell ever contained a crash; the schedule is inert");
+        std::process::exit(1);
+    }
+    if summary.resumed_total() == 0 {
+        eprintln!("\nshard: FAILURES — no resumed join reused a checkpoint; the resume is inert");
+        std::process::exit(1);
+    }
+    println!(
+        "\nshard: all {} cells recovered to oracle results ({} crashes contained, {} \
+         checkpointed pairs/runs reused)",
+        summary.cases.len(),
+        summary.contained_total(),
+        summary.resumed_total()
+    );
+}

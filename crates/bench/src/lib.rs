@@ -48,6 +48,7 @@ pub mod chaos;
 pub mod compare;
 pub mod scorecard;
 pub mod serve;
+pub mod shard;
 pub mod soak;
 pub mod traj;
 

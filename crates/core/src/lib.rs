@@ -33,6 +33,9 @@
 //!   the paper; implemented here as an extension).
 //! * [`parallel`] — §5's parallel partition merge (future work in the
 //!   paper; implemented as an extension).
+//! * [`shard`] — the scale-out extension: K independent journaled engines
+//!   behind a duplicate-free scatter-gather coordinator whose per-shard
+//!   fault domains survive any single-shard crash mid-query.
 
 pub mod cost;
 pub mod filter;
@@ -47,6 +50,7 @@ pub mod recover;
 pub mod refine;
 pub mod rtree_join;
 pub mod select;
+pub mod shard;
 pub mod skew;
 pub mod telemetry;
 #[cfg(test)]
@@ -58,6 +62,10 @@ pub use loader::load_relation;
 pub use partition::{TileGrid, TileMapScheme};
 pub use profile::{build_join_profile, drift_model};
 pub use recover::{join_fingerprint, RecoveryPolicy};
+pub use shard::{
+    ShardAlgorithm, ShardError, ShardRetryPolicy, ShardStats, ShardedDb, ShardedDbConfig,
+    ShardedJoinOutcome,
+};
 
 use pbsm_geom::predicates::{RefineOptions, SpatialPredicate};
 use pbsm_storage::Oid;

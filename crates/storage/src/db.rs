@@ -384,6 +384,19 @@ impl Db {
         }
     }
 
+    /// Pages held by all live (non-dropped) files — what
+    /// [`SimDisk::live_pages`] must equal when the allocator's
+    /// accounting reconciles. Crash/shard audits assert
+    /// `live_pages() == held_pages()` on every engine.
+    pub fn held_pages(&self) -> u64 {
+        let disk = self.pool.disk();
+        (0..disk.num_files())
+            .map(FileId)
+            .filter(|f| !disk.is_dropped(*f))
+            .map(|f| disk.num_pages(f) as u64)
+            .sum()
+    }
+
     /// Tears the instance down, discarding all volatile state (cached
     /// frames, catalog), and returns the disk — the crash harness's
     /// "kill -9". Feed the result to [`Db::recover`].

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Sharded scatter-gather smoke: the sharded integration suite (two-layer
+# partitioning duplicate-free/total on TIGER + Sequoia slices, typed
+# missing-index errors, single-shard crash containment with checkpoint
+# resume, transient-fault absorption), then the shard_bench harness —
+# K-shard joins byte-identical to the unsharded oracle plus the
+# shard-axis crash sweep (algorithm x seed x victim x crash point, every
+# cell oracle-equal, exactly one containment, gauges reconciled, real
+# resumes at the 90% points). Exits non-zero on any divergence or on an
+# inert crash/resume schedule.
+#
+# Usage: scripts/shard.sh [--shards K] [--points N] [--scale S]
+# Defaults: 3 shards, 3 crash points at scale 0.02 — seconds, CI-sized.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SHARDS="${PBSM_SHARD_COUNT:-3}"
+POINTS="${PBSM_SHARD_CRASH_POINTS:-3}"
+SCALE="${PBSM_SCALE:-0.02}"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --shards) SHARDS="$2"; shift 2 ;;
+    --points) POINTS="$2"; shift 2 ;;
+    --scale) SCALE="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> sharded integration suite"
+cargo test -q --release --test sharded_joins
+
+echo "==> shard_bench (shards=$SHARDS crash_points=$POINTS scale=$SCALE)"
+PBSM_SHARD_COUNT="$SHARDS" PBSM_SHARD_CRASH_POINTS="$POINTS" PBSM_SCALE="$SCALE" \
+  cargo run --release -p pbsm-bench --bin shard_bench
+
+test -s bench_results/shard.json
+test -s bench_results/shard.txt
+echo "shard: OK"

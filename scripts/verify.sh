@@ -41,6 +41,9 @@ scripts/soak.sh --queries 250 --scale 0.01
 echo "==> serve smoke (multi-reader stress suite + query_service bench)"
 scripts/serve.sh --queries 120 --scale 0.02
 
+echo "==> shard smoke (K-shard scatter-gather vs oracle + single-shard crash sweep)"
+scripts/shard.sh
+
 echo "==> profile smoke (EXPLAIN ANALYZE + pbsm-profile-v1 schema validation)"
 PBSM_SCALE=0.02 cargo run -q --release -p pbsm-bench --bin profile_smoke
 test -s bench_results/profile_smoke.json

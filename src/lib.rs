@@ -45,7 +45,10 @@ pub mod prelude {
     pub use pbsm_join::loader::{build_index, load_relation, spatial_sort};
     pub use pbsm_join::pbsm::pbsm_join;
     pub use pbsm_join::rtree_join::rtree_join;
-    pub use pbsm_join::{JoinConfig, JoinOutcome, JoinSpec, JoinStats, TileMapScheme};
+    pub use pbsm_join::{
+        JoinConfig, JoinOutcome, JoinSpec, JoinStats, ShardAlgorithm, ShardError, ShardRetryPolicy,
+        ShardedDb, ShardedDbConfig, ShardedJoinOutcome, TileMapScheme,
+    };
     pub use pbsm_storage::tuple::SpatialTuple;
     pub use pbsm_storage::{Db, DbConfig, Oid};
 }
